@@ -1,0 +1,248 @@
+// Package acctee is the public API of the AccTEE reproduction: a
+// WebAssembly-based two-way sandbox for trusted resource accounting
+// (Goltzsche et al., Middleware '19).
+//
+// The workflow mirrors the paper's Fig. 3:
+//
+//  1. The workload provider compiles code to WebAssembly (here: text
+//     format via ParseWAT, binary via DecodeBinary, or the builder in
+//     internal/wasm for programmatic construction).
+//  2. An Instrumenter — the instrumentation enclave (IE) — rewrites the
+//     module with a weighted instruction counter and signs Evidence
+//     binding input to output.
+//  3. Both parties attest the IE and the accounting enclave (AE) against
+//     their public measurements on a Platform (quoting enclave +
+//     attestation service).
+//  4. A Sandbox — the AE — verifies the evidence, executes the workload
+//     inside the two-way sandbox, and emits signed usage logs both
+//     parties trust.
+//
+// See examples/quickstart for the complete chain in ~60 lines.
+package acctee
+
+import (
+	"crypto/ecdsa"
+
+	"acctee/internal/accounting"
+	"acctee/internal/core"
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/sgx"
+	"acctee/internal/wasm"
+	wasmbin "acctee/internal/wasm/binary"
+	"acctee/internal/wasm/validate"
+	"acctee/internal/wasm/wat"
+	"acctee/internal/weights"
+)
+
+// Module is a WebAssembly module in the AccTEE pipeline.
+type Module struct {
+	m *wasm.Module
+}
+
+// ParseWAT parses WebAssembly text format.
+func ParseWAT(src string) (*Module, error) {
+	m, err := wat.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate.Module(m); err != nil {
+		return nil, err
+	}
+	return &Module{m: m}, nil
+}
+
+// DecodeBinary parses a wasm binary.
+func DecodeBinary(b []byte) (*Module, error) {
+	m, err := wasmbin.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate.Module(m); err != nil {
+		return nil, err
+	}
+	return &Module{m: m}, nil
+}
+
+// WrapModule adopts an internally-built module (used by the examples and
+// the evaluation harness, whose workloads come from the builder API).
+func WrapModule(m *wasm.Module) *Module { return &Module{m: m} }
+
+// WAT renders the module as WebAssembly text.
+func (m *Module) WAT() string { return wat.Print(m.m) }
+
+// Binary encodes the module as a wasm binary.
+func (m *Module) Binary() ([]byte, error) { return wasmbin.Encode(m.m) }
+
+// Hash returns the module's SHA-256 identity (over the binary encoding).
+func (m *Module) Hash() ([32]byte, error) { return core.ModuleHash(m.m) }
+
+// Raw exposes the underlying module for advanced use.
+func (m *Module) Raw() *wasm.Module { return m.m }
+
+// OptLevel selects the instrumentation optimisation level (paper §3.6).
+type OptLevel = instrument.Level
+
+// Instrumentation levels.
+const (
+	Naive     = instrument.Naive
+	FlowBased = instrument.FlowBased
+	LoopBased = instrument.LoopBased
+)
+
+// Mode selects hardware or simulation enclaves (paper §5 setups).
+type Mode = sgx.Mode
+
+// Enclave modes.
+const (
+	Simulation = sgx.ModeSimulation
+	Hardware   = sgx.ModeHardware
+)
+
+// Evidence is the instrumentation enclave's signed statement binding an
+// instrumented module to its original (Fig. 3).
+type Evidence = core.Evidence
+
+// UsageLog is one execution's resource record (paper §3.5).
+type UsageLog = accounting.UsageLog
+
+// SignedLog is a usage log signed by the accounting enclave.
+type SignedLog = accounting.SignedLog
+
+// Weights is an instruction weight table (paper §3.7).
+type Weights = weights.Table
+
+// UnitWeights returns the plain instruction-counting table.
+func UnitWeights() *Weights { return weights.Unit() }
+
+// CalibratedWeights returns the Fig. 7-shaped cycle weight table.
+func CalibratedWeights() *Weights { return weights.Calibrated() }
+
+// Platform is one infrastructure-provider machine: its quoting enclave
+// registered with an attestation service (paper §2.2).
+type Platform struct {
+	QE *sgx.QuotingEnclave
+	AS *sgx.AttestationService
+}
+
+// NewPlatform provisions a platform with a fresh quoting enclave.
+func NewPlatform(name string) (*Platform, error) {
+	qe, err := sgx.NewQuotingEnclave()
+	if err != nil {
+		return nil, err
+	}
+	as := sgx.NewAttestationService()
+	as.RegisterPlatform(name, qe)
+	return &Platform{QE: qe, AS: as}, nil
+}
+
+// Instrumenter is the instrumentation enclave (IE).
+type Instrumenter struct {
+	ie *core.InstrumentationEnclave
+}
+
+// NewInstrumenter creates an IE at the given level; nil weights means unit
+// (plain instruction counting).
+func NewInstrumenter(level OptLevel, w *Weights) (*Instrumenter, error) {
+	ie, err := core.NewInstrumentationEnclave(level, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Instrumenter{ie: ie}, nil
+}
+
+// Instrument rewrites the module for weighted instruction counting and
+// signs the evidence.
+func (i *Instrumenter) Instrument(m *Module) (*Module, Evidence, error) {
+	out, ev, err := i.ie.Instrument(m.m)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	return &Module{m: out}, ev, nil
+}
+
+// PublicKey returns the IE's evidence-signing key.
+func (i *Instrumenter) PublicKey() *ecdsa.PublicKey { return i.ie.PublicKey() }
+
+// Attest verifies this IE against its public measurement on the platform.
+func (i *Instrumenter) Attest(p *Platform) error {
+	q, err := i.ie.Quote(p.QE)
+	if err != nil {
+		return err
+	}
+	return p.AS.Attest(q, core.IEMeasurement(), i.ie.PublicKey())
+}
+
+// RunOptions configure one sandbox execution.
+type RunOptions = core.RunOptions
+
+// RunResult is one execution's results plus its signed usage log.
+type RunResult = core.RunResult
+
+// Sandbox is the accountable two-way sandbox: the accounting enclave (AE)
+// hosting the execution sandbox.
+type Sandbox struct {
+	ae *core.AccountingEnclave
+}
+
+// SandboxConfig configures sandbox creation.
+type SandboxConfig struct {
+	// Mode selects hardware or simulation (default Hardware).
+	Mode Mode
+	// Costs overrides the SGX cost parameters (zero value = paper
+	// defaults: 93 MB EPC).
+	Costs sgx.CostParams
+	// Weights must match the table the evidence was produced with
+	// (nil = unit).
+	Weights *Weights
+}
+
+// NewSandbox verifies the instrumented module against the evidence (signed
+// by iePub, which the caller must have attested) and prepares execution.
+func NewSandbox(cfg SandboxConfig, m *Module, ev Evidence, iePub *ecdsa.PublicKey) (*Sandbox, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = Hardware
+	}
+	if cfg.Costs == (sgx.CostParams{}) {
+		cfg.Costs = sgx.DefaultCostParams()
+	}
+	ae, err := core.NewAccountingEnclave(cfg.Mode, cfg.Costs, cfg.Weights, m.m, ev, iePub)
+	if err != nil {
+		return nil, err
+	}
+	return &Sandbox{ae: ae}, nil
+}
+
+// Attest verifies this sandbox's accounting enclave on the platform.
+func (s *Sandbox) Attest(p *Platform) error {
+	q, err := s.ae.Quote(p.QE)
+	if err != nil {
+		return err
+	}
+	return p.AS.Attest(q, core.AEMeasurement(), s.ae.PublicKey())
+}
+
+// PublicKey returns the AE's log-signing key.
+func (s *Sandbox) PublicKey() *ecdsa.PublicKey { return s.ae.PublicKey() }
+
+// Run executes an exported function and returns results plus the signed
+// usage log.
+func (s *Sandbox) Run(opts RunOptions) (RunResult, error) { return s.ae.Run(opts) }
+
+// VerifyLog checks a signed usage log against the attested AE key.
+func VerifyLog(sl SignedLog, aePub *ecdsa.PublicKey) error {
+	return accounting.Verify(sl, aePub, core.AEMeasurement())
+}
+
+// Execute is a convenience for untrusted-free local runs (no enclaves, no
+// accounting): instantiate the module and call an export.
+func Execute(m *Module, entry string, args ...uint64) ([]uint64, error) {
+	vm, err := interp.Instantiate(m.m, interp.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return vm.InvokeExport(entry, args...)
+}
+
+// Version identifies this implementation.
+const Version = "1.0.0"

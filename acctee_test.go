@@ -1,0 +1,116 @@
+package acctee_test
+
+import (
+	"strings"
+	"testing"
+
+	"acctee"
+)
+
+const doubleWAT = `
+(module $double
+  (memory 1)
+  (global $g (mut i64) (i64.const 0))
+  (func $double (param i32) (result i32)
+    local.get 0
+    i32.const 2
+    i32.mul
+  )
+  (export "double" (func $double))
+  (export "memory" (memory 0))
+)`
+
+// TestFacadeEndToEnd walks the full public-API workflow from WAT source to
+// a verified usage log.
+func TestFacadeEndToEnd(t *testing.T) {
+	m, err := acctee.ParseWAT(doubleWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	platform, err := acctee.NewPlatform("provider-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie, err := acctee.NewInstrumenter(acctee.LoopBased, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ie.Attest(platform); err != nil {
+		t.Fatalf("IE attestation: %v", err)
+	}
+	inst, ev, err := ie.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := acctee.NewSandbox(acctee.SandboxConfig{}, inst, ev, ie.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Attest(platform); err != nil {
+		t.Fatalf("AE attestation: %v", err)
+	}
+	res, err := sb.Run(acctee.RunOptions{Entry: "double", Args: []uint64{21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0] != 42 {
+		t.Errorf("double(21) = %d", res.Results[0])
+	}
+	if res.SignedLog.Log.WeightedInstructions != 3 {
+		t.Errorf("weighted instructions = %d, want 3 (local.get, i32.const, i32.mul)",
+			res.SignedLog.Log.WeightedInstructions)
+	}
+	if err := acctee.VerifyLog(res.SignedLog, sb.PublicKey()); err != nil {
+		t.Errorf("log verification: %v", err)
+	}
+}
+
+func TestFacadeWATBinaryRoundTrip(t *testing.T) {
+	m, err := acctee.ParseWAT(doubleWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := m.Binary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := acctee.DecodeBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := m.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := back.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("binary round trip changed module identity")
+	}
+	if !strings.Contains(back.WAT(), "i32.mul") {
+		t.Error("WAT output lost instructions")
+	}
+}
+
+func TestFacadeExecute(t *testing.T) {
+	m, err := acctee.ParseWAT(doubleWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acctee.Execute(m, "double", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 16 {
+		t.Errorf("double(8) = %d", res[0])
+	}
+}
+
+func TestFacadeRejectsInvalidWAT(t *testing.T) {
+	if _, err := acctee.ParseWAT(`(module (func $f (result i32)))`); err == nil {
+		t.Error("expected validation error for missing result")
+	}
+}

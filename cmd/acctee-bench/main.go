@@ -1,0 +1,129 @@
+// Command acctee-bench regenerates the paper's evaluation figures and
+// tables (§5) on this machine.
+//
+// Usage:
+//
+//	acctee-bench -fig all          # everything
+//	acctee-bench -fig 6            # PolyBench sandboxing overhead
+//	acctee-bench -fig 7 -n 10000   # per-instruction weights
+//	acctee-bench -fig 8            # memory access costs
+//	acctee-bench -fig 9 -requests 20
+//	acctee-bench -fig 10
+//	acctee-bench -fig size         # §5.4 binary sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acctee/internal/bench"
+	"acctee/internal/faas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "acctee-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, size, all")
+	n := flag.Uint64("n", 10000, "fig 7: executions per instruction")
+	trials := flag.Int("trials", 3, "fig 6/10: best-of-n trials")
+	requests := flag.Int("requests", 20, "fig 9: requests per configuration")
+	clients := flag.Int("clients", 10, "fig 9: concurrent clients")
+	quick := flag.Bool("quick", false, "shrink fig 8/9 parameter ranges")
+	flag.Parse()
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	matched := false
+
+	if want("6") {
+		matched = true
+		fmt.Println("== Fig. 6: PolyBench sandboxing overhead (normalised to native) ==")
+		rows, err := bench.RunFig6(nil, *trials)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig6(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("7") {
+		matched = true
+		fmt.Println("== Fig. 7: per-instruction cost distribution ==")
+		r, err := bench.RunFig7(*n)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(os.Stdout, r)
+		fmt.Println()
+	}
+	if want("8") {
+		matched = true
+		fmt.Println("== Fig. 8: memory access costs by size and pattern ==")
+		sizes := []int{1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20}
+		accesses := uint64(200_000)
+		if *quick {
+			sizes = []int{1 << 20, 16 << 20}
+			accesses = 50_000
+		}
+		r, err := bench.RunFig8(sizes, accesses)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig8(os.Stdout, r)
+		fmt.Println()
+	}
+	if want("9") {
+		matched = true
+		fmt.Println("== Fig. 9: FaaS throughput (echo / resize) ==")
+		opts := bench.Fig9Options{Requests: *requests, Clients: *clients}
+		if *quick {
+			opts.Sizes = []int{64, 128}
+			opts.Setups = []faas.Setup{faas.SetupWASM, faas.SetupSGXHWInstr, faas.SetupJS}
+		}
+		rows, err := bench.RunFig9(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig9(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("10") {
+		matched = true
+		fmt.Println("== Fig. 10: instrumentation optimisation levels ==")
+		rows, err := bench.RunFig10(*trials)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig10(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("size") {
+		matched = true
+		fmt.Println("== §5.4: binary size overhead ==")
+		rows, err := bench.RunSizeTable()
+		if err != nil {
+			return err
+		}
+		bench.PrintSizeTable(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("ablation") {
+		matched = true
+		fmt.Println("== Ablation: counter updates eliminated per optimisation ==")
+		rows, err := bench.RunAblation()
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(os.Stdout, rows)
+		fmt.Println()
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, all)", strings.TrimSpace(*fig))
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command acctee-faas serves the paper's FaaS functions (echo, resize)
+// behind an HTTP gateway in any of the six Fig. 9 deployment setups.
+//
+// Usage:
+//
+//	acctee-faas -listen :8080 -function resize -setup hw-instr
+//
+// Request payloads go in the POST body; resize reads image dimensions from
+// the X-Width / X-Height headers. Instrumented setups return the weighted
+// instruction count in X-Weighted-Instructions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"acctee/internal/faas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "acctee-faas:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", ":8080", "listen address")
+	fnName := flag.String("function", "echo", "function: echo or resize")
+	setupName := flag.String("setup", "hw-instr", "setup: wasm, sim, hw, hw-instr, hw-io, js")
+	flag.Parse()
+
+	var fn faas.Function
+	switch *fnName {
+	case "echo":
+		fn = faas.Echo
+	case "resize":
+		fn = faas.Resize
+	default:
+		return fmt.Errorf("unknown function %q", *fnName)
+	}
+	var setup faas.Setup
+	switch *setupName {
+	case "wasm":
+		setup = faas.SetupWASM
+	case "sim":
+		setup = faas.SetupSGXSim
+	case "hw":
+		setup = faas.SetupSGXHW
+	case "hw-instr":
+		setup = faas.SetupSGXHWInstr
+	case "hw-io":
+		setup = faas.SetupSGXHWIO
+	case "js":
+		setup = faas.SetupJS
+	default:
+		return fmt.Errorf("unknown setup %q", *setupName)
+	}
+	srv, err := faas.NewServer(fn, setup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("acctee-faas: serving %s (%s) on %s\n", fn, setup, *listen)
+	return http.ListenAndServe(*listen, srv)
+}

@@ -1,0 +1,86 @@
+// Command acctee-instrument runs the instrumentation-enclave step of the
+// AccTEE pipeline: it reads a WebAssembly text module, injects the weighted
+// instruction counter at the requested optimisation level, and writes the
+// instrumented WAT plus a JSON evidence record.
+//
+// Usage:
+//
+//	acctee-instrument -in module.wat -out instrumented.wat -evidence ev.json -level loop
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"acctee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "acctee-instrument:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input WAT file")
+	out := flag.String("out", "", "output WAT file (default: stdout)")
+	evOut := flag.String("evidence", "", "evidence JSON output file (default: stdout)")
+	level := flag.String("level", "loop", "instrumentation level: naive, flow, loop")
+	flag.Parse()
+	if *in == "" {
+		return errors.New("missing -in")
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	m, err := acctee.ParseWAT(string(src))
+	if err != nil {
+		return err
+	}
+	var lvl acctee.OptLevel
+	switch *level {
+	case "naive":
+		lvl = acctee.Naive
+	case "flow":
+		lvl = acctee.FlowBased
+	case "loop":
+		lvl = acctee.LoopBased
+	default:
+		return fmt.Errorf("unknown level %q", *level)
+	}
+	ie, err := acctee.NewInstrumenter(lvl, nil)
+	if err != nil {
+		return err
+	}
+	inst, ev, err := ie.Instrument(m)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(inst.WAT())
+	} else if err := os.WriteFile(*out, []byte(inst.WAT()), 0o644); err != nil {
+		return err
+	}
+	evJSON, err := json.MarshalIndent(map[string]interface{}{
+		"originalHash":     base64.StdEncoding.EncodeToString(ev.OriginalHash[:]),
+		"instrumentedHash": base64.StdEncoding.EncodeToString(ev.InstrumentedHash[:]),
+		"counterGlobal":    ev.CounterGlobal,
+		"counterName":      ev.CounterName,
+		"level":            ev.Level.String(),
+		"signature":        base64.StdEncoding.EncodeToString(ev.Signature),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *evOut == "" {
+		fmt.Println(string(evJSON))
+		return nil
+	}
+	return os.WriteFile(*evOut, evJSON, 0o644)
+}

@@ -1,0 +1,82 @@
+// Pay-by-computation example (paper §2.1): a news site replaces ads with
+// short-lived background compute. The reader's browser runs a bounded
+// image-classification task (Darknet-style CNN) inside the two-way
+// sandbox; the site grants access once the signed log proves the agreed
+// amount of computation — and the fuel limit stops the site from taking
+// more than the reader agreed to.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"acctee"
+	"acctee/internal/interp"
+	"acctee/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	raw, err := workloads.BuildDarknet(16, 4)
+	if err != nil {
+		return err
+	}
+	module := acctee.WrapModule(raw)
+
+	platform, err := acctee.NewPlatform("reader-browser")
+	if err != nil {
+		return err
+	}
+	ie, err := acctee.NewInstrumenter(acctee.LoopBased, nil)
+	if err != nil {
+		return err
+	}
+	if err := ie.Attest(platform); err != nil {
+		return err
+	}
+	instrumented, evidence, err := ie.Instrument(module)
+	if err != nil {
+		return err
+	}
+	sandbox, err := acctee.NewSandbox(acctee.SandboxConfig{Mode: acctee.Hardware},
+		instrumented, evidence, ie.PublicKey())
+	if err != nil {
+		return err
+	}
+	if err := sandbox.Attest(platform); err != nil {
+		return err
+	}
+
+	// The reader agreed to ~3 classification tasks' worth of compute.
+	const priceForArticle = 3
+	var paid uint64
+	for task := 0; task < priceForArticle; task++ {
+		res, err := sandbox.Run(acctee.RunOptions{Entry: "run"})
+		if err != nil {
+			return err
+		}
+		if err := acctee.VerifyLog(res.SignedLog, sandbox.PublicKey()); err != nil {
+			return err
+		}
+		paid += res.SignedLog.Log.WeightedInstructions
+		fmt.Printf("classification task %d done | +%d weighted instructions (total %d)\n",
+			task+1, res.SignedLog.Log.WeightedInstructions, paid)
+	}
+	fmt.Printf("payment complete: %d weighted instructions — article unlocked\n", paid)
+
+	// The sandbox also bounds what the site can take: a task that exceeds
+	// the agreed fuel budget is cut off.
+	_, err = sandbox.Run(acctee.RunOptions{Entry: "run", Fuel: 10_000})
+	if errors.Is(err, interp.ErrFuelExhausted) {
+		fmt.Println("over-budget task stopped by the sandbox (fuel exhausted) — the")
+		fmt.Println("reader never donates more than agreed.")
+		return nil
+	}
+	return fmt.Errorf("expected fuel exhaustion, got %v", err)
+}

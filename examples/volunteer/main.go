@@ -1,0 +1,83 @@
+// Volunteer computing example (paper §2.1): a project server hands a
+// factorisation work unit to an untrusted volunteer. The volunteer's
+// machine runs it inside the accountable two-way sandbox; the returned
+// signed usage log lets the server credit exactly the work done — and a
+// cheating volunteer who tampers with the result or inflates the log is
+// caught by signature verification.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acctee"
+	"acctee/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Project server: build and instrument the work-unit module once.
+	raw, err := workloads.BuildMSieve()
+	if err != nil {
+		return err
+	}
+	module := acctee.WrapModule(raw)
+	ie, err := acctee.NewInstrumenter(acctee.LoopBased, nil)
+	if err != nil {
+		return err
+	}
+	instrumented, evidence, err := ie.Instrument(module)
+	if err != nil {
+		return err
+	}
+
+	// Volunteer machine: platform with quoting enclave; the server attests
+	// both enclaves remotely before trusting anything.
+	platform, err := acctee.NewPlatform("volunteer-42")
+	if err != nil {
+		return err
+	}
+	if err := ie.Attest(platform); err != nil {
+		return err
+	}
+	sandbox, err := acctee.NewSandbox(acctee.SandboxConfig{Mode: acctee.Hardware},
+		instrumented, evidence, ie.PublicKey())
+	if err != nil {
+		return err
+	}
+	if err := sandbox.Attest(platform); err != nil {
+		return err
+	}
+
+	// Work unit: factor 30 consecutive integers starting at 10^9+7.
+	const lo, count = 1_000_000_007, 30
+	res, err := sandbox.Run(acctee.RunOptions{Entry: "run", Args: []uint64{lo, count}})
+	if err != nil {
+		return err
+	}
+	if err := acctee.VerifyLog(res.SignedLog, sandbox.PublicKey()); err != nil {
+		return fmt.Errorf("volunteer's log failed verification: %w", err)
+	}
+
+	// Server-side checks: the result matches the reference (no need to
+	// re-run the unit on N other volunteers — the paper's point), and the
+	// credited work is the signed weighted instruction count.
+	want := workloads.NativeMSieve(lo, count)
+	fmt.Printf("work unit result: %d (reference: %d, match: %v)\n", res.Results[0], want, res.Results[0] == want)
+	fmt.Printf("credit granted: %d weighted instructions\n", res.SignedLog.Log.WeightedInstructions)
+
+	// A cheater inflating the counter for leader-board credit:
+	forged := res.SignedLog
+	forged.Log.WeightedInstructions *= 10
+	if err := acctee.VerifyLog(forged, sandbox.PublicKey()); err != nil {
+		fmt.Printf("forged log rejected: %v\n", err)
+	} else {
+		return fmt.Errorf("forged log was accepted — accounting broken")
+	}
+	return nil
+}

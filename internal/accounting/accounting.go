@@ -1,0 +1,142 @@
+// Package accounting defines AccTEE's resource usage log (paper §3.5): the
+// weighted instruction counter, memory accounting under the peak and
+// integral policies, I/O byte counts, and the signed log record both
+// parties trust after attesting the accounting enclave.
+package accounting
+
+import (
+	"crypto/ecdsa"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"acctee/internal/sgx"
+)
+
+// MemoryPolicy selects how memory usage is billed (§3.5 "two policies").
+type MemoryPolicy int
+
+// Memory accounting policies.
+const (
+	// PeakMemory bills the final (== peak, memory never shrinks) linear
+	// memory size.
+	PeakMemory MemoryPolicy = iota + 1
+	// MemoryIntegral bills the integral of linear memory size over
+	// execution time, approximated by the weighted instruction counter.
+	MemoryIntegral
+)
+
+// String names the policy.
+func (p MemoryPolicy) String() string {
+	switch p {
+	case PeakMemory:
+		return "peak"
+	case MemoryIntegral:
+		return "integral"
+	}
+	return "policy?"
+}
+
+// UsageLog is one workload execution's resource record.
+type UsageLog struct {
+	// WorkloadHash identifies the (instrumented) module that ran.
+	WorkloadHash [32]byte `json:"workloadHash"`
+	// WeightedInstructions is the weighted instruction counter value.
+	WeightedInstructions uint64 `json:"weightedInstructions"`
+	// PeakMemoryBytes is the final linear memory size.
+	PeakMemoryBytes uint64 `json:"peakMemoryBytes"`
+	// MemoryIntegral is ∑ memorySize·Δcounter over the execution, in
+	// byte·instructions (meaningful under MemoryIntegral policy).
+	MemoryIntegral uint64 `json:"memoryIntegral"`
+	// IOBytesIn / IOBytesOut count bytes crossing the sandbox boundary.
+	IOBytesIn  uint64 `json:"ioBytesIn"`
+	IOBytesOut uint64 `json:"ioBytesOut"`
+	// SimulatedCycles is the cost-model cycle total (EPC paging,
+	// transitions) — reported for transparency, not billed per §3.2.
+	SimulatedCycles uint64 `json:"simulatedCycles"`
+	// Policy is the memory policy both parties agreed on.
+	Policy MemoryPolicy `json:"policy"`
+	// Sequence orders periodic log records of one execution.
+	Sequence uint64 `json:"sequence"`
+}
+
+// Marshal serialises the log deterministically for signing.
+func (u *UsageLog) Marshal() []byte {
+	buf := make([]byte, 0, 32+8*8)
+	buf = append(buf, u.WorkloadHash[:]...)
+	for _, v := range []uint64{
+		u.WeightedInstructions, u.PeakMemoryBytes, u.MemoryIntegral,
+		u.IOBytesIn, u.IOBytesOut, u.SimulatedCycles, uint64(u.Policy), u.Sequence,
+	} {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// SignedLog is a usage log signed by the accounting enclave. After remote
+// attestation binds the enclave's public key to the audited measurement,
+// both the workload provider and the infrastructure provider trust it.
+type SignedLog struct {
+	Log         UsageLog        `json:"log"`
+	Measurement sgx.Measurement `json:"measurement"`
+	Signature   []byte          `json:"signature"`
+}
+
+// ErrBadLogSignature indicates a forged or corrupted usage log.
+var ErrBadLogSignature = errors.New("accounting: usage log signature invalid")
+
+// Sign produces a signed log with the enclave's key.
+func Sign(e *sgx.Enclave, log UsageLog) (SignedLog, error) {
+	sig, err := e.Sign(log.Marshal())
+	if err != nil {
+		return SignedLog{}, fmt.Errorf("accounting: sign log: %w", err)
+	}
+	return SignedLog{Log: log, Measurement: e.Measurement(), Signature: sig}, nil
+}
+
+// Verify checks a signed log against the accounting enclave's attested
+// public key and expected measurement.
+func Verify(sl SignedLog, pub *ecdsa.PublicKey, expected sgx.Measurement) error {
+	if sl.Measurement != expected {
+		return sgx.ErrWrongMeasurement
+	}
+	if !sgx.VerifyBy(pub, sl.Log.Marshal(), sl.Signature) {
+		return ErrBadLogSignature
+	}
+	return nil
+}
+
+// JSON renders a signed log for transport.
+func (sl SignedLog) JSON() ([]byte, error) { return json.Marshal(sl) }
+
+// ParseJSON parses a transported signed log.
+func ParseJSON(data []byte) (SignedLog, error) {
+	var sl SignedLog
+	if err := json.Unmarshal(data, &sl); err != nil {
+		return SignedLog{}, fmt.Errorf("accounting: parse log: %w", err)
+	}
+	return sl, nil
+}
+
+// Meter tracks the memory integral during execution: Update is called with
+// the current counter and memory size whenever either may have changed
+// (e.g. at host-call boundaries and after execution).
+type Meter struct {
+	lastCounter uint64
+	integral    uint64
+}
+
+// Update advances the integral: memory size is weighted by the counter
+// delta since the previous observation.
+func (m *Meter) Update(counter uint64, memBytes uint64) {
+	if counter > m.lastCounter {
+		m.integral += (counter - m.lastCounter) * memBytes
+		m.lastCounter = counter
+	}
+}
+
+// Integral returns the accumulated byte·instruction integral.
+func (m *Meter) Integral() uint64 { return m.integral }

@@ -1,0 +1,152 @@
+package accounting_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"acctee/internal/accounting"
+	"acctee/internal/sgx"
+)
+
+func newEnclave(t *testing.T) *sgx.Enclave {
+	t.Helper()
+	e, err := sgx.NewEnclave([]byte("acctee test AE"), sgx.ModeSimulation, sgx.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func sampleLog() accounting.UsageLog {
+	return accounting.UsageLog{
+		WorkloadHash:         [32]byte{1, 2, 3},
+		WeightedInstructions: 123456,
+		PeakMemoryBytes:      1 << 20,
+		MemoryIntegral:       99,
+		IOBytesIn:            10,
+		IOBytesOut:           20,
+		SimulatedCycles:      777,
+		Policy:               accounting.PeakMemory,
+		Sequence:             3,
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	e := newEnclave(t)
+	sl, err := accounting.Sign(e, sampleLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := accounting.Verify(sl, e.PublicKey(), e.Measurement()); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	e := newEnclave(t)
+	sl, err := accounting.Sign(e, sampleLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every field of the log is covered by the signature.
+	mutations := []func(*accounting.UsageLog){
+		func(u *accounting.UsageLog) { u.WeightedInstructions++ },
+		func(u *accounting.UsageLog) { u.PeakMemoryBytes-- },
+		func(u *accounting.UsageLog) { u.MemoryIntegral++ },
+		func(u *accounting.UsageLog) { u.IOBytesIn++ },
+		func(u *accounting.UsageLog) { u.IOBytesOut++ },
+		func(u *accounting.UsageLog) { u.SimulatedCycles++ },
+		func(u *accounting.UsageLog) { u.Sequence++ },
+		func(u *accounting.UsageLog) { u.Policy = accounting.MemoryIntegral },
+		func(u *accounting.UsageLog) { u.WorkloadHash[0] ^= 1 },
+	}
+	for i, mutate := range mutations {
+		forged := sl
+		mutate(&forged.Log)
+		if err := accounting.Verify(forged, e.PublicKey(), e.Measurement()); !errors.Is(err, accounting.ErrBadLogSignature) {
+			t.Errorf("mutation %d accepted: %v", i, err)
+		}
+	}
+	// Wrong measurement must also fail.
+	other := newEnclave(t)
+	_ = other
+	wrong := sl
+	wrong.Measurement[0] ^= 1
+	if err := accounting.Verify(wrong, e.PublicKey(), e.Measurement()); !errors.Is(err, sgx.ErrWrongMeasurement) {
+		t.Errorf("wrong measurement: %v", err)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	a := sampleLog()
+	b := sampleLog()
+	if string(a.Marshal()) != string(b.Marshal()) {
+		t.Error("identical logs marshal differently")
+	}
+	b.Sequence++
+	if string(a.Marshal()) == string(b.Marshal()) {
+		t.Error("different logs marshal identically")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	e := newEnclave(t)
+	sl, err := accounting.Sign(e, sampleLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := sl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := accounting.ParseJSON(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Log != sl.Log {
+		t.Error("JSON round trip changed the log")
+	}
+	if err := accounting.Verify(back, e.PublicKey(), e.Measurement()); err != nil {
+		t.Errorf("round-tripped log rejected: %v", err)
+	}
+	if _, err := accounting.ParseJSON([]byte("not json")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+// TestMeterIntegral property-checks the memory-integral meter: it is
+// monotone and equals Σ mem·Δcounter for increasing counters.
+func TestMeterIntegral(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var m accounting.Meter
+		var counter, want uint64
+		mem := uint64(4096)
+		for _, s := range steps {
+			delta := uint64(s % 100)
+			counter += delta
+			want += delta * mem
+			m.Update(counter, mem)
+		}
+		return m.Integral() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterIgnoresCounterRegression(t *testing.T) {
+	var m accounting.Meter
+	m.Update(100, 10)
+	before := m.Integral()
+	m.Update(50, 10) // a stale observation must not decrease the integral
+	if m.Integral() != before {
+		t.Error("meter regressed on stale counter")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if accounting.PeakMemory.String() != "peak" || accounting.MemoryIntegral.String() != "integral" {
+		t.Error("policy names wrong")
+	}
+}

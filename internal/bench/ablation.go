@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"acctee/internal/instrument"
+	"acctee/internal/polybench"
+	"acctee/internal/wasm"
+)
+
+// AblationRow quantifies what each optimisation level contributes for one
+// module: the number of counter updates placed statically. This is the
+// design-choice ablation DESIGN.md calls out — the paper's Fig. 4/Fig. 10
+// argue the flow/loop passes matter; this shows how many updates each pass
+// actually eliminates.
+type AblationRow struct {
+	Module          string
+	Blocks          int
+	IncrementsNaive int
+	IncrementsFlow  int
+	IncrementsLoop  int
+	LoopsOptimised  int
+}
+
+// RunAblation computes the static instrumentation ablation over the
+// PolyBench suite plus the scenario workloads used in Fig. 10.
+func RunAblation() ([]AblationRow, error) {
+	mods, err := evaluationModules()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, nm := range mods {
+		row := AblationRow{Module: nm.name}
+		for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+			res, err := instrument.Instrument(nm.mod, instrument.Options{Level: lvl})
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s %v: %w", nm.name, lvl, err)
+			}
+			switch lvl {
+			case instrument.Naive:
+				row.Blocks = res.Stats.BlocksTotal
+				row.IncrementsNaive = res.Stats.IncrementsPlaced
+			case instrument.FlowBased:
+				row.IncrementsFlow = res.Stats.IncrementsPlaced
+			case instrument.LoopBased:
+				row.IncrementsLoop = res.Stats.IncrementsPlaced
+				row.LoopsOptimised = res.Stats.LoopsOptimised
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+type namedMod struct {
+	name string
+	mod  *wasm.Module
+}
+
+func evaluationModules() ([]namedMod, error) {
+	var mods []namedMod
+	for _, name := range polybench.Names() {
+		k, err := polybench.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := k.Build(k.DefaultN)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, namedMod{name, m})
+	}
+	for _, wl := range Fig10Workloads() {
+		m, err := wl.Build()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, namedMod{wl.Name, m})
+	}
+	return mods, nil
+}
+
+// PrintAblation renders the static ablation table with aggregate
+// elimination percentages.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "module\tblocks\tnaive\tflow\tloop\tcounted loops")
+	var tn, tf, tl int
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			r.Module, r.Blocks, r.IncrementsNaive, r.IncrementsFlow, r.IncrementsLoop, r.LoopsOptimised)
+		tn += r.IncrementsNaive
+		tf += r.IncrementsFlow
+		tl += r.IncrementsLoop
+	}
+	_ = tw.Flush()
+	if tn > 0 {
+		fmt.Fprintf(w, "flow-based eliminates %.0f%% of naive updates; loop-based %.0f%% (paper Fig. 4: 2 of 4 eliminated on the example)\n",
+			(1-float64(tf)/float64(tn))*100, (1-float64(tl)/float64(tn))*100)
+	}
+}

@@ -1,0 +1,145 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"acctee/internal/bench"
+	"acctee/internal/faas"
+)
+
+func TestRunFig6SubsetShape(t *testing.T) {
+	rows, err := bench.RunFig6([]string{"gemm", "jacobi-1d", "doitgen"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WASM <= 0 {
+			t.Errorf("%s: nonsensical WASM ratio %v", r.Kernel, r.WASM)
+		}
+		// SIM must not be radically above HW; HW >= SIM (paging only ever
+		// adds cycles).
+		if r.WASMSGXHW < r.WASMSGXSim*0.5 {
+			t.Errorf("%s: HW %.2f unexpectedly below SIM %.2f", r.Kernel, r.WASMSGXHW, r.WASMSGXSim)
+		}
+	}
+	var sb strings.Builder
+	bench.PrintFig6(&sb, rows)
+	if !strings.Contains(sb.String(), "gemm") {
+		t.Error("print output missing kernel name")
+	}
+}
+
+func TestRunFig7Small(t *testing.T) {
+	r, err := bench.RunFig7(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 127 {
+		t.Errorf("measured %d instructions, want 127", len(r.Results))
+	}
+	var sb strings.Builder
+	bench.PrintFig7(&sb, r)
+	if !strings.Contains(sb.String(), "127") {
+		t.Error("print output missing instruction count")
+	}
+}
+
+func TestRunFig8Small(t *testing.T) {
+	r, err := bench.RunFig8([]int{1 << 20}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 16 { // 4 types x load/store x linear/random
+		t.Errorf("points = %d, want 16", len(r.Points))
+	}
+	var sb strings.Builder
+	bench.PrintFig8(&sb, r)
+	if !strings.Contains(sb.String(), "random") {
+		t.Error("print output missing pattern")
+	}
+}
+
+func TestRunFig9Small(t *testing.T) {
+	old := faas.JSDispatchCost
+	faas.JSDispatchCost = time.Millisecond
+	defer func() { faas.JSDispatchCost = old }()
+	rows, err := bench.RunFig9(bench.Fig9Options{
+		Sizes:     []int{64},
+		Clients:   4,
+		Requests:  4,
+		Functions: []faas.Function{faas.Echo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 setups", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReqPerSec <= 0 {
+			t.Errorf("%v: req/s = %v", r.Setup, r.ReqPerSec)
+		}
+	}
+	var sb strings.Builder
+	bench.PrintFig9(&sb, rows)
+	if !strings.Contains(sb.String(), "echo") {
+		t.Error("print output missing function")
+	}
+}
+
+func TestRunSizeTable(t *testing.T) {
+	rows, err := bench.RunSizeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 35 { // 29 kernels + 6 scenario modules
+		t.Fatalf("rows = %d, want 35", len(rows))
+	}
+	var totNaive, totOpt int
+	for _, r := range rows {
+		if r.NaiveBytes <= r.OriginalBytes {
+			t.Errorf("%s: naive instrumentation did not grow the binary", r.Name)
+		}
+		totNaive += r.NaiveBytes
+		totOpt += r.OptBytes
+	}
+	// Per-module the loop epilogue can outweigh removed increments on tiny
+	// binaries; in aggregate the optimised form must be smaller (paper:
+	// +4..39% naive vs +4..27% optimised).
+	if totOpt >= totNaive {
+		t.Errorf("optimised total %d not below naive total %d", totOpt, totNaive)
+	}
+	var sb strings.Builder
+	bench.PrintSizeTable(&sb, rows)
+	if !strings.Contains(sb.String(), "paper") {
+		t.Error("print output missing paper comparison")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	rows, err := bench.RunAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 33 { // 29 kernels + 4 Fig. 10 workloads
+		t.Fatalf("rows = %d, want 33", len(rows))
+	}
+	for _, r := range rows {
+		if r.IncrementsFlow > r.IncrementsNaive {
+			t.Errorf("%s: flow-based (%d) above naive (%d)", r.Module, r.IncrementsFlow, r.IncrementsNaive)
+		}
+		if r.IncrementsLoop > r.IncrementsFlow {
+			t.Errorf("%s: loop-based (%d) above flow-based (%d)", r.Module, r.IncrementsLoop, r.IncrementsFlow)
+		}
+	}
+	var sb strings.Builder
+	bench.PrintAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "eliminates") {
+		t.Error("print output missing summary")
+	}
+}

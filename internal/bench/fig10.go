@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/sgx"
+	"acctee/internal/wasm"
+	"acctee/internal/workloads"
+)
+
+// Fig10Workload identifies one volunteer-computing / pay-by-computation
+// program from Fig. 10.
+type Fig10Workload struct {
+	Name  string
+	Build func() (*wasm.Module, error)
+	Args  []uint64
+}
+
+// Fig10Workloads returns the four Fig. 10 programs with harness-scale
+// parameters.
+func Fig10Workloads() []Fig10Workload {
+	return []Fig10Workload{
+		{Name: "MSieve", Build: workloads.BuildMSieve, Args: []uint64{1_000_003, 40}},
+		{Name: "PC", Build: func() (*wasm.Module, error) { return workloads.BuildPC(24, 60) }},
+		{Name: "SubsetSum", Build: workloads.BuildSubsetSum, Args: []uint64{60, 60_000}},
+		{Name: "Darknet", Build: func() (*wasm.Module, error) { return workloads.BuildDarknet(24, 6) }},
+	}
+}
+
+// Fig10Row is one workload's normalised runtimes per instrumentation level
+// and platform (Fig. 10: normalised to no instrumentation on the same
+// platform).
+type Fig10Row struct {
+	Workload string
+	// Normalised runtimes on plain WASM.
+	WASMNaive, WASMFlow, WASMLoop float64
+	// Normalised runtimes on WASM-SGX (hardware mode).
+	SGXNaive, SGXFlow, SGXLoop float64
+}
+
+// RunFig10 reproduces the instrumentation-optimisation comparison.
+func RunFig10(trials int) ([]Fig10Row, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	var rows []Fig10Row
+	for _, wl := range Fig10Workloads() {
+		m, err := wl.Build()
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", wl.Name, err)
+		}
+		variants := map[instrument.Level]*wasm.Module{}
+		for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+			res, err := instrument.Instrument(m, instrument.Options{Level: lvl})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s %v: %w", wl.Name, lvl, err)
+			}
+			variants[lvl] = res.Module
+		}
+		// Calibrate the interpreter's ns/instruction once per workload from
+		// a wall-clock run of the uninstrumented module; all variants are
+		// then compared on deterministic dynamic instruction counts (plus
+		// simulated enclave cycles), which reproduces identically across
+		// runs — wall-clock ratios on a contended host do not.
+		baseWall, _, err := bestOf(trials, func() (time.Duration, uint64, error) {
+			d, _, err := timeWasm(m, interp.Config{}, "run", wl.Args...)
+			return d, 0, err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s calibrate: %w", wl.Name, err)
+		}
+		baseVM, err := interp.Instantiate(m, interp.Config{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := baseVM.InvokeExport("run", wl.Args...); err != nil {
+			return nil, err
+		}
+		nsPerInstr := float64(baseWall.Nanoseconds()) / float64(baseVM.InstrCount())
+
+		run := func(mod *wasm.Module, hw bool) (float64, error) {
+			var cfg interp.Config
+			if hw {
+				cfg.CostModel = sgx.NewEPCModel(sgx.ModeHardware, hwParams(), nil)
+			}
+			vm, err := interp.Instantiate(mod, cfg)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := vm.InvokeExport("run", wl.Args...); err != nil {
+				return 0, err
+			}
+			return float64(vm.InstrCount())*nsPerInstr + float64(vm.Cost())/CyclesPerNs, nil
+		}
+		row := Fig10Row{Workload: wl.Name}
+		for _, hw := range []bool{false, true} {
+			base, err := run(m, hw)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s base: %w", wl.Name, err)
+			}
+			if base <= 0 {
+				base = 1
+			}
+			norm := func(lvl instrument.Level) (float64, error) {
+				v, err := run(variants[lvl], hw)
+				return v / base, err
+			}
+			na, err := norm(instrument.Naive)
+			if err != nil {
+				return nil, err
+			}
+			fl, err := norm(instrument.FlowBased)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := norm(instrument.LoopBased)
+			if err != nil {
+				return nil, err
+			}
+			if hw {
+				row.SGXNaive, row.SGXFlow, row.SGXLoop = na, fl, lo
+			} else {
+				row.WASMNaive, row.WASMFlow, row.WASMLoop = na, fl, lo
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig10 renders the normalised-overhead table.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workload\tWASM naive\tWASM flow\tWASM loop\tSGX naive\tSGX flow\tSGX loop")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", r.Workload,
+			fmtRatio(r.WASMNaive), fmtRatio(r.WASMFlow), fmtRatio(r.WASMLoop),
+			fmtRatio(r.SGXNaive), fmtRatio(r.SGXFlow), fmtRatio(r.SGXLoop))
+	}
+	_ = tw.Flush()
+	fmt.Fprintln(w, "paper shape: naive worst (Darknet +34%), loop-based best (-7%..+10%; Darknet +3-4%)")
+}

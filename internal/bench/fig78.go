@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"acctee/internal/wasm"
+	"acctee/internal/weights"
+)
+
+// Fig7Result is the per-instruction cost distribution (Fig. 7).
+type Fig7Result struct {
+	Results []weights.MeasureResult // sorted ascending by cost
+	// CheapRatio is the fraction of instructions costing less than 10x the
+	// cheapest (paper: 74% execute in under 10 cycles).
+	CheapRatio float64
+	// Derived is the weight table normalised to the cheapest instruction.
+	Derived *weights.Table
+}
+
+// RunFig7 measures every non-memory instruction n times (paper: 10,000).
+func RunFig7(n uint64) (Fig7Result, error) {
+	res, err := weights.MeasureAll(n)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	tbl := weights.Derive(res)
+	cheap := 0
+	for _, r := range res {
+		if tbl.Weight(r.Op) < 10 {
+			cheap++
+		}
+	}
+	ratio := 0.0
+	if len(res) > 0 {
+		ratio = float64(cheap) / float64(len(res))
+	}
+	return Fig7Result{Results: res, CheapRatio: ratio, Derived: tbl}, nil
+}
+
+// PrintFig7 renders the distribution: percentile curve plus the extremes.
+func PrintFig7(w io.Writer, r Fig7Result) {
+	fmt.Fprintf(w, "measured %d instructions (paper: 127)\n", len(r.Results))
+	for _, pct := range []int{10, 25, 50, 74, 90, 100} {
+		idx := pct*len(r.Results)/100 - 1
+		if idx < 0 {
+			idx = 0
+		}
+		m := r.Results[idx]
+		fmt.Fprintf(w, "p%-3d %-22s %6.1f ns/instr (weight %d)\n",
+			pct, m.Op, m.NsPerInstr, r.Derived.Weight(m.Op))
+	}
+	fmt.Fprintf(w, "instructions below weight 10: %.0f%% (paper: 74%% below 10 cycles)\n", r.CheapRatio*100)
+	// extremes, as the paper calls out floor/ceil and div/sqrt
+	show := func(op wasm.Opcode) {
+		for _, m := range r.Results {
+			if m.Op == op {
+				fmt.Fprintf(w, "  %-22s %6.1f ns (weight %d)\n", op, m.NsPerInstr, r.Derived.Weight(op))
+			}
+		}
+	}
+	show(wasm.OpI32Add)
+	show(wasm.OpF32Floor)
+	show(wasm.OpF64Ceil)
+	show(wasm.OpI64DivS)
+	show(wasm.OpF32Sqrt)
+}
+
+// Fig8Result is the memory access cost surface (Fig. 8).
+type Fig8Result struct {
+	Points []weights.MemMeasure
+}
+
+// RunFig8 measures load/store cost for every value type over linear and
+// random patterns across the given memory sizes.
+func RunFig8(memSizes []int, n uint64) (Fig8Result, error) {
+	if memSizes == nil {
+		memSizes = []int{1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	}
+	var out []weights.MemMeasure
+	for _, sz := range memSizes {
+		for _, t := range []wasm.ValueType{wasm.F32, wasm.F64, wasm.I32, wasm.I64} {
+			for _, store := range []bool{false, true} {
+				for _, pat := range []weights.MemPattern{weights.Linear, weights.Random} {
+					m, err := weights.MeasureMem(t, store, pat, sz, n)
+					if err != nil {
+						return Fig8Result{}, err
+					}
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return Fig8Result{Points: out}, nil
+}
+
+// PrintFig8 renders the cost table and checks the paper's orderings:
+// linear flat and cheap; random loads grow with memory size; random stores
+// cost more than random loads at the largest size.
+func PrintFig8(w io.Writer, r Fig8Result) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "memory\ttype\top\tpattern\tns/op")
+	pts := append([]weights.MemMeasure(nil), r.Points...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].MemBytes != pts[j].MemBytes {
+			return pts[i].MemBytes < pts[j].MemBytes
+		}
+		return pts[i].NsPerOp < pts[j].NsPerOp
+	})
+	for _, p := range pts {
+		op := "load"
+		if p.Store {
+			op = "store"
+		}
+		fmt.Fprintf(tw, "%dMB\t%s\t%s\t%s\t%.1f\n",
+			p.MemBytes>>20, p.Type, op, p.Pattern, p.NsPerOp)
+	}
+	_ = tw.Flush()
+
+	avg := func(pat weights.MemPattern, store bool, mem int) float64 {
+		var s float64
+		var c int
+		for _, p := range r.Points {
+			if p.Pattern == pat && p.Store == store && p.MemBytes == mem {
+				s += p.NsPerOp
+				c++
+			}
+		}
+		if c == 0 {
+			return 0
+		}
+		return s / float64(c)
+	}
+	sizes := map[int]bool{}
+	for _, p := range r.Points {
+		sizes[p.MemBytes] = true
+	}
+	maxSz := 0
+	minSz := 1 << 62
+	for s := range sizes {
+		if s > maxSz {
+			maxSz = s
+		}
+		if s < minSz {
+			minSz = s
+		}
+	}
+	fmt.Fprintf(w, "random loads: %.1f ns at %dMB vs %.1f ns at %dMB (paper: grows with memory size)\n",
+		avg(weights.Random, false, minSz), minSz>>20, avg(weights.Random, false, maxSz), maxSz>>20)
+	fmt.Fprintf(w, "at %dMB: random store %.1f ns vs random load %.1f ns vs linear %.1f ns (paper: store > load >> linear)\n",
+		maxSz>>20, avg(weights.Random, true, maxSz), avg(weights.Random, false, maxSz),
+		(avg(weights.Linear, false, maxSz)+avg(weights.Linear, true, maxSz))/2)
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"acctee/internal/instrument"
+	"acctee/internal/polybench"
+	"acctee/internal/wasm"
+	wasmbin "acctee/internal/wasm/binary"
+	"acctee/internal/workloads"
+)
+
+// SizeRow is one module's binary-size overhead (paper §5.4).
+type SizeRow struct {
+	Name          string
+	OriginalBytes int
+	NaiveBytes    int
+	OptBytes      int // loop-based (all optimisations)
+	NaivePct      float64
+	OptPct        float64
+}
+
+// RunSizeTable reproduces the §5.4 binary-size experiment over every
+// evaluation module: all 29 PolyBench kernels plus the six scenario
+// workloads, encoded to wasm binaries before and after instrumentation.
+func RunSizeTable() ([]SizeRow, error) {
+	type namedModule struct {
+		name string
+		mod  *wasm.Module
+	}
+	var mods []namedModule
+	for _, name := range polybench.Names() {
+		k, err := polybench.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := k.Build(k.DefaultN)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, namedModule{name, m})
+	}
+	scen := []struct {
+		name  string
+		build func() (*wasm.Module, error)
+	}{
+		{"msieve", workloads.BuildMSieve},
+		{"pc", func() (*wasm.Module, error) { return workloads.BuildPC(24, 60) }},
+		{"subsetsum", workloads.BuildSubsetSum},
+		{"darknet", func() (*wasm.Module, error) { return workloads.BuildDarknet(16, 4) }},
+		{"echo", workloads.BuildEcho},
+		{"resize", workloads.BuildResize},
+	}
+	for _, s := range scen {
+		m, err := s.build()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, namedModule{s.name, m})
+	}
+
+	var rows []SizeRow
+	for _, nm := range mods {
+		orig, err := wasmbin.Encode(nm.mod)
+		if err != nil {
+			return nil, fmt.Errorf("size %s: %w", nm.name, err)
+		}
+		naive, err := instrument.Instrument(nm.mod, instrument.Options{Level: instrument.Naive})
+		if err != nil {
+			return nil, err
+		}
+		naiveBin, err := wasmbin.Encode(naive.Module)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := instrument.Instrument(nm.mod, instrument.Options{Level: instrument.LoopBased})
+		if err != nil {
+			return nil, err
+		}
+		optBin, err := wasmbin.Encode(opt.Module)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SizeRow{
+			Name:          nm.name,
+			OriginalBytes: len(orig),
+			NaiveBytes:    len(naiveBin),
+			OptBytes:      len(optBin),
+			NaivePct:      pct(len(orig), len(naiveBin)),
+			OptPct:        pct(len(orig), len(optBin)),
+		})
+	}
+	return rows, nil
+}
+
+func pct(before, after int) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (float64(after)/float64(before) - 1) * 100
+}
+
+// PrintSizeTable renders the rows plus the min/max summary the paper
+// reports (naive +4..39%, optimised +4..27%).
+func PrintSizeTable(w io.Writer, rows []SizeRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "module\toriginal\tnaive\topt\tnaive%\topt%")
+	minN, maxN := rows[0].NaivePct, rows[0].NaivePct
+	minO, maxO := rows[0].OptPct, rows[0].OptPct
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%+.1f%%\t%+.1f%%\n",
+			r.Name, r.OriginalBytes, r.NaiveBytes, r.OptBytes, r.NaivePct, r.OptPct)
+		if r.NaivePct < minN {
+			minN = r.NaivePct
+		}
+		if r.NaivePct > maxN {
+			maxN = r.NaivePct
+		}
+		if r.OptPct < minO {
+			minO = r.OptPct
+		}
+		if r.OptPct > maxO {
+			maxO = r.OptPct
+		}
+	}
+	_ = tw.Flush()
+	fmt.Fprintf(w, "naive: %+.1f%% .. %+.1f%% (paper: +4%%..+39%%); optimised: %+.1f%% .. %+.1f%% (paper: +4%%..+27%%)\n",
+		minN, maxN, minO, maxO)
+}

@@ -1,0 +1,427 @@
+// Package core assembles AccTEE's two-way sandbox (paper §3, Fig. 2/3):
+// the Instrumentation Enclave (IE) that rewrites WebAssembly for weighted
+// instruction counting and signs evidence of having done so, and the
+// Accounting Enclave (AE) that verifies the evidence, executes the workload
+// inside the execution sandbox under an SGX cost model, and emits signed
+// resource usage logs trusted by both the workload provider and the
+// infrastructure provider.
+package core
+
+import (
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"acctee/internal/accounting"
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/sgx"
+	"acctee/internal/sgxlkl"
+	"acctee/internal/wasm"
+	wasmbin "acctee/internal/wasm/binary"
+	"acctee/internal/wasm/validate"
+	"acctee/internal/weights"
+)
+
+// Enclave code identities. Both parties audit the (public) enclave code and
+// compute these measurements independently (§3.3); attestation then proves
+// a genuine enclave with exactly this code is running.
+const (
+	ieCodeIdentity = "acctee/instrumentation-enclave v1.0"
+	aeCodeIdentity = "acctee/accounting-enclave v1.0 (sgx-lkl + wasm interpreter)"
+)
+
+// IEMeasurement returns the expected instrumentation-enclave measurement.
+func IEMeasurement() sgx.Measurement { return sgx.MeasureCode([]byte(ieCodeIdentity)) }
+
+// AEMeasurement returns the expected accounting-enclave measurement.
+func AEMeasurement() sgx.Measurement { return sgx.MeasureCode([]byte(aeCodeIdentity)) }
+
+// Evidence is the instrumentation enclave's signed statement that a given
+// instrumented module was derived from a given original module with a given
+// instrumentation configuration (Fig. 3 "Instrumentation Evidence").
+type Evidence struct {
+	OriginalHash     [32]byte
+	InstrumentedHash [32]byte
+	CounterGlobal    uint32
+	CounterName      string
+	Level            instrument.Level
+	WeightsHash      [32]byte
+	Signature        []byte
+}
+
+func (e *Evidence) marshalForSig() []byte {
+	out := make([]byte, 0, 128)
+	out = append(out, e.OriginalHash[:]...)
+	out = append(out, e.InstrumentedHash[:]...)
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], e.CounterGlobal)
+	out = append(out, b[:4]...)
+	binary.LittleEndian.PutUint64(b[:], uint64(e.Level))
+	out = append(out, b[:]...)
+	out = append(out, e.WeightsHash[:]...)
+	out = append(out, []byte(e.CounterName)...)
+	return out
+}
+
+// Evidence verification errors.
+var (
+	ErrEvidenceSignature = errors.New("core: instrumentation evidence signature invalid")
+	ErrEvidenceMismatch  = errors.New("core: module does not match instrumentation evidence")
+)
+
+// InstrumentationEnclave (IE) instruments modules inside a TEE and signs
+// evidence binding input to output. Its code is public and auditable; the
+// measurement commits to exactly this implementation.
+type InstrumentationEnclave struct {
+	enclave *sgx.Enclave
+	weights *weights.Table
+	level   instrument.Level
+}
+
+// NewInstrumentationEnclave creates an IE with the given instrumentation
+// level and weight table (nil means unit weights).
+func NewInstrumentationEnclave(level instrument.Level, tbl *weights.Table) (*InstrumentationEnclave, error) {
+	if tbl == nil {
+		tbl = weights.Unit()
+	}
+	encl, err := sgx.NewEnclave([]byte(ieCodeIdentity), sgx.ModeSimulation, sgx.DefaultCostParams())
+	if err != nil {
+		return nil, err
+	}
+	return &InstrumentationEnclave{enclave: encl, weights: tbl, level: level}, nil
+}
+
+// PublicKey returns the IE's signing key (bound via attestation).
+func (ie *InstrumentationEnclave) PublicKey() *ecdsa.PublicKey { return ie.enclave.PublicKey() }
+
+// Quote produces a remote-attestation quote for the IE via the platform's
+// quoting enclave.
+func (ie *InstrumentationEnclave) Quote(qe *sgx.QuotingEnclave) (sgx.Quote, error) {
+	rep := ie.enclave.CreateReport(sgx.PubKeyUserData(ie.enclave.PublicKey()))
+	return qe.QuoteReport(rep)
+}
+
+// ModuleHash hashes a module's binary encoding.
+func ModuleHash(m *wasm.Module) ([32]byte, error) {
+	bin, err := wasmbin.Encode(m)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("core: encode module: %w", err)
+	}
+	return sha256.Sum256(bin), nil
+}
+
+// Instrument validates and instruments a module, returning the instrumented
+// module and signed evidence. The instrumentation runs once; the output can
+// be cached and reused across many executions (§3.3).
+func (ie *InstrumentationEnclave) Instrument(m *wasm.Module) (*wasm.Module, Evidence, error) {
+	origHash, err := ModuleHash(m)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	res, err := instrument.Instrument(m, instrument.Options{Level: ie.level, Weights: ie.weights})
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	instHash, err := ModuleHash(res.Module)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	ev := Evidence{
+		OriginalHash:     origHash,
+		InstrumentedHash: instHash,
+		CounterGlobal:    res.CounterGlobal,
+		CounterName:      res.CounterName,
+		Level:            ie.level,
+		WeightsHash:      ie.weights.Hash(),
+	}
+	sig, err := ie.enclave.Sign(ev.marshalForSig())
+	if err != nil {
+		return nil, Evidence{}, fmt.Errorf("core: sign evidence: %w", err)
+	}
+	ev.Signature = sig
+	return res.Module, ev, nil
+}
+
+// VerifyEvidence checks that the instrumented module matches the evidence
+// and that the evidence was signed by the attested IE key.
+func VerifyEvidence(m *wasm.Module, ev Evidence, iePub *ecdsa.PublicKey) error {
+	h, err := ModuleHash(m)
+	if err != nil {
+		return err
+	}
+	if h != ev.InstrumentedHash {
+		return ErrEvidenceMismatch
+	}
+	probe := ev
+	probe.Signature = nil
+	if !sgx.VerifyBy(iePub, probe.marshalForSig(), ev.Signature) {
+		return ErrEvidenceSignature
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Accounting enclave
+
+// RunOptions configure one workload execution inside the AE.
+type RunOptions struct {
+	// Entry is the exported function to invoke.
+	Entry string
+	// Args are the raw argument values.
+	Args []uint64
+	// Fuel bounds total executed instructions (0 = unbounded) — the
+	// two-way sandbox's resource limit.
+	Fuel uint64
+	// Policy selects the memory accounting policy (default PeakMemory).
+	Policy accounting.MemoryPolicy
+	// Imports adds host functions beyond the library-OS defaults.
+	Imports map[string]interp.HostFunc
+	// MaxPages caps linear memory growth.
+	MaxPages uint32
+}
+
+// RunResult is one execution's outcome plus its signed usage log.
+type RunResult struct {
+	Results   []uint64
+	SignedLog accounting.SignedLog
+	// PageFaults and Transitions expose cost-model detail for evaluation.
+	PageFaults  uint64
+	Transitions uint64
+}
+
+// AccountingEnclave (AE) hosts the execution sandbox under SGX protection.
+// One AE instance executes one workload module (possibly many invocations,
+// e.g. FaaS requests), emitting a signed usage log per invocation.
+type AccountingEnclave struct {
+	enclave  *sgx.Enclave
+	libos    *sgxlkl.LibOS
+	mode     sgx.Mode
+	costs    sgx.CostParams
+	weights  *weights.Table
+	module   *wasm.Module
+	modHash  [32]byte
+	counter  uint32
+	sequence uint64
+	// cumulative totals across invocations, for on-request logs
+	// (paper §3.3: "either periodically or upon request produces a
+	// resource accounting log").
+	totals accounting.UsageLog
+}
+
+// NewAccountingEnclave verifies the instrumented module against the
+// evidence and prepares it for execution. iePub must already have been
+// attested against IEMeasurement by the caller (see Workflow in the root
+// package for the full chain).
+func NewAccountingEnclave(mode sgx.Mode, costs sgx.CostParams, tbl *weights.Table,
+	m *wasm.Module, ev Evidence, iePub *ecdsa.PublicKey) (*AccountingEnclave, error) {
+	if tbl == nil {
+		tbl = weights.Unit()
+	}
+	if tbl.Hash() != ev.WeightsHash {
+		return nil, errors.New("core: weight table does not match evidence")
+	}
+	if iePub != nil {
+		if err := VerifyEvidence(m, ev, iePub); err != nil {
+			return nil, err
+		}
+	}
+	if err := validate.Module(m); err != nil {
+		return nil, fmt.Errorf("core: instrumented module invalid: %w", err)
+	}
+	encl, err := sgx.NewEnclave([]byte(aeCodeIdentity), mode, costs)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ModuleHash(m)
+	if err != nil {
+		return nil, err
+	}
+	return &AccountingEnclave{
+		enclave: encl,
+		libos:   sgxlkl.New(encl),
+		mode:    mode,
+		costs:   costs,
+		weights: tbl,
+		module:  m,
+		modHash: h,
+		counter: ev.CounterGlobal,
+	}, nil
+}
+
+// PublicKey returns the AE key that signs usage logs.
+func (ae *AccountingEnclave) PublicKey() *ecdsa.PublicKey { return ae.enclave.PublicKey() }
+
+// Measurement returns the AE's measurement.
+func (ae *AccountingEnclave) Measurement() sgx.Measurement { return ae.enclave.Measurement() }
+
+// Quote produces a remote-attestation quote for the AE.
+func (ae *AccountingEnclave) Quote(qe *sgx.QuotingEnclave) (sgx.Quote, error) {
+	rep := ae.enclave.CreateReport(sgx.PubKeyUserData(ae.enclave.PublicKey()))
+	return qe.QuoteReport(rep)
+}
+
+// LibOS exposes the in-enclave library OS (network pipe, block device).
+func (ae *AccountingEnclave) LibOS() *sgxlkl.LibOS { return ae.libos }
+
+// Run executes the workload once and returns results plus the signed log.
+// Each invocation instantiates a fresh sandbox, as the FaaS gateway does
+// per request (§5.3).
+func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
+	if opts.Policy == 0 {
+		opts.Policy = accounting.PeakMemory
+	}
+	model := sgx.NewEPCModel(ae.mode, ae.costs, ae.weights)
+	imports := DefaultImports(ae.libos)
+	for k, v := range opts.Imports {
+		imports[k] = v
+	}
+	// The meter integrates linear-memory size over the weighted counter:
+	// each growth event closes the interval at the old size (§3.5,
+	// fine-grained memory policy).
+	var meter accounting.Meter
+	counterIdx := ae.counter
+	vm, err := interp.Instantiate(ae.module, interp.Config{
+		Imports:   imports,
+		Fuel:      opts.Fuel,
+		CostModel: model,
+		MaxPages:  opts.MaxPages,
+		GrowHook: func(vm *interp.VM, oldPages, newPages uint32) {
+			c, err := vm.Global(counterIdx)
+			if err == nil {
+				meter.Update(c, uint64(oldPages)*wasm.PageSize)
+			}
+		},
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: instantiate workload: %w", err)
+	}
+	// Entering the enclave for the call is one transition.
+	vm.AddCost(ae.enclave.Transition())
+
+	results, runErr := vm.InvokeExport(opts.Entry, opts.Args...)
+	// Leaving the enclave with the results is another transition.
+	vm.AddCost(ae.enclave.Transition())
+
+	counter, err := vm.Global(ae.counter)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: read counter: %w", err)
+	}
+	meter.Update(counter, uint64(vm.MemorySize()))
+
+	netIn, netOut, diskIn, diskOut, extra := ae.libos.IOStats()
+	log := accounting.UsageLog{
+		WorkloadHash:         ae.modHash,
+		WeightedInstructions: counter,
+		PeakMemoryBytes:      uint64(vm.MemorySize()),
+		MemoryIntegral:       meter.Integral(),
+		IOBytesIn:            netIn + diskIn + vm.IOBytes(),
+		IOBytesOut:           netOut + diskOut,
+		SimulatedCycles:      vm.Cost() + extra,
+		Policy:               opts.Policy,
+		Sequence:             ae.sequence,
+	}
+	ae.sequence++
+	ae.totals.WeightedInstructions += log.WeightedInstructions
+	if log.PeakMemoryBytes > ae.totals.PeakMemoryBytes {
+		ae.totals.PeakMemoryBytes = log.PeakMemoryBytes
+	}
+	ae.totals.MemoryIntegral += log.MemoryIntegral
+	signed, err := accounting.Sign(ae.enclave, log)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{
+		Results:     results,
+		SignedLog:   signed,
+		PageFaults:  model.PageFaults(),
+		Transitions: ae.enclave.Transitions(),
+	}
+	if runErr != nil {
+		// The log is still valid — resources were spent up to the trap.
+		return res, fmt.Errorf("core: workload: %w", runErr)
+	}
+	return res, nil
+}
+
+// Snapshot produces a signed cumulative usage log on request: totals over
+// all invocations so far (the paper's on-demand log, §3.3). It can be
+// called between invocations, e.g. once per billing period.
+func (ae *AccountingEnclave) Snapshot(policy accounting.MemoryPolicy) (accounting.SignedLog, error) {
+	if policy == 0 {
+		policy = accounting.PeakMemory
+	}
+	netIn, netOut, diskIn, diskOut, extra := ae.libos.IOStats()
+	log := ae.totals
+	log.WorkloadHash = ae.modHash
+	log.IOBytesIn = netIn + diskIn
+	log.IOBytesOut = netOut + diskOut
+	log.SimulatedCycles = extra
+	log.Policy = policy
+	log.Sequence = ae.sequence
+	ae.sequence++
+	return accounting.Sign(ae.enclave, log)
+}
+
+// DefaultImports exposes the library OS to workloads as host functions:
+//
+//	env.read(fd, ptr, len) -> n      env.write(fd, ptr, len) -> n
+//	env.clock() -> i64               env.block_read(off, ptr, len) -> errno
+//	env.block_write(off, ptr, len) -> errno
+func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
+	return map[string]interp.HostFunc{
+		"env.read": func(vm *interp.VM, args []uint64) ([]uint64, error) {
+			fd, ptr, n := int32(uint32(args[0])), uint32(args[1]), uint32(args[2])
+			mem := vm.Memory()
+			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
+			}
+			got, err := l.Read(fd, mem[ptr:ptr+n])
+			if err != nil {
+				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
+			}
+			vm.AddIOBytes(uint64(got))
+			return []uint64{uint64(uint32(got))}, nil
+		},
+		"env.write": func(vm *interp.VM, args []uint64) ([]uint64, error) {
+			fd, ptr, n := int32(uint32(args[0])), uint32(args[1]), uint32(args[2])
+			mem := vm.Memory()
+			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
+			}
+			put, err := l.Write(fd, mem[ptr:ptr+n])
+			if err != nil {
+				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
+			}
+			vm.AddIOBytes(uint64(put))
+			return []uint64{uint64(uint32(put))}, nil
+		},
+		"env.clock": func(vm *interp.VM, args []uint64) ([]uint64, error) {
+			return []uint64{l.Clock()}, nil
+		},
+		"env.block_read": func(vm *interp.VM, args []uint64) ([]uint64, error) {
+			off, ptr, n := uint32(args[0]), uint32(args[1]), uint32(args[2])
+			mem := vm.Memory()
+			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+				return []uint64{1}, nil
+			}
+			if err := l.ReadBlock(int(off), mem[ptr:ptr+n]); err != nil {
+				return []uint64{1}, nil
+			}
+			return []uint64{0}, nil
+		},
+		"env.block_write": func(vm *interp.VM, args []uint64) ([]uint64, error) {
+			off, ptr, n := uint32(args[0]), uint32(args[1]), uint32(args[2])
+			mem := vm.Memory()
+			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+				return []uint64{1}, nil
+			}
+			if err := l.WriteBlock(int(off), mem[ptr:ptr+n]); err != nil {
+				return []uint64{1}, nil
+			}
+			return []uint64{0}, nil
+		},
+	}
+}

@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"acctee/internal/accounting"
+	"acctee/internal/core"
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/sgx"
+	"acctee/internal/wasm"
+	"acctee/internal/weights"
+)
+
+func sumModule() *wasm.Module {
+	b := wasm.NewModule("sum")
+	b.Memory(1, 4)
+	f := b.Func("sum", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.LocalGet(acc).LocalGet(i).Op(wasm.OpI32Add).LocalSet(acc)
+		// touch memory so the EPC model sees traffic
+		f.I32Const(0).LocalGet(acc).Store(wasm.OpI32Store, 0)
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("sum", f.End())
+	return b.MustBuild()
+}
+
+// TestEndToEndWorkflow walks the full Fig. 3 pipeline: instrument → attest
+// both enclaves → verify evidence → execute → verify the signed log.
+func TestEndToEndWorkflow(t *testing.T) {
+	// Platform setup (infrastructure provider machine).
+	qe, err := sgx.NewQuotingEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sgx.NewAttestationService()
+	svc.RegisterPlatform("provider-1", qe)
+
+	// Workload provider instruments through the IE.
+	ie, err := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sumModule()
+	inst, ev, err := ie.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both parties attest the IE before trusting the evidence.
+	ieQuote, err := ie.Quote(qe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Attest(ieQuote, core.IEMeasurement(), ie.PublicKey()); err != nil {
+		t.Fatalf("IE attestation: %v", err)
+	}
+
+	// Infrastructure provider sets up the AE with the evidence.
+	ae, err := core.NewAccountingEnclave(sgx.ModeHardware, sgx.DefaultCostParams(), nil, inst, ev, ie.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeQuote, err := ae.Quote(qe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Attest(aeQuote, core.AEMeasurement(), ae.PublicKey()); err != nil {
+		t.Fatalf("AE attestation: %v", err)
+	}
+
+	// Execute and check results + log.
+	res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{100}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Results[0] != 4950 {
+		t.Errorf("sum(100) = %d, want 4950", res.Results[0])
+	}
+	if err := accounting.Verify(res.SignedLog, ae.PublicKey(), core.AEMeasurement()); err != nil {
+		t.Errorf("log verification: %v", err)
+	}
+	if res.SignedLog.Log.WeightedInstructions == 0 {
+		t.Error("weighted instruction counter is zero")
+	}
+	if res.SignedLog.Log.PeakMemoryBytes != 64*1024 {
+		t.Errorf("peak memory = %d, want one page", res.SignedLog.Log.PeakMemoryBytes)
+	}
+
+	// Counter equals the uninstrumented ground truth.
+	ref, err := interp.Instantiate(m, interp.Config{CostModel: weights.Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.InvokeExport("sum", 100); err != nil {
+		t.Fatal(err)
+	}
+	if res.SignedLog.Log.WeightedInstructions != ref.Cost() {
+		t.Errorf("counter %d != ground truth %d", res.SignedLog.Log.WeightedInstructions, ref.Cost())
+	}
+
+	// Sequence numbers advance per invocation.
+	res2, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SignedLog.Log.Sequence != 1 {
+		t.Errorf("second log sequence = %d, want 1", res2.SignedLog.Log.Sequence)
+	}
+}
+
+func TestEvidenceTamperDetected(t *testing.T) {
+	ie, _ := core.NewInstrumentationEnclave(instrument.Naive, nil)
+	inst, ev, err := ie.Instrument(sumModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampering with the module after instrumentation must be detected.
+	bad := inst.Clone()
+	bad.Funcs[0].Body[0] = wasm.ConstI32(42) // swap an instruction
+	if _, err := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, bad, ev, ie.PublicKey()); !errors.Is(err, core.ErrEvidenceMismatch) {
+		t.Errorf("module tamper: %v", err)
+	}
+
+	// Tampering with the evidence (counter index redirect) must be detected.
+	badEv := ev
+	badEv.CounterGlobal++
+	if _, err := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, inst, badEv, ie.PublicKey()); !errors.Is(err, core.ErrEvidenceSignature) {
+		t.Errorf("evidence tamper: %v", err)
+	}
+
+	// Evidence signed by a different (unattested) IE key must be rejected.
+	other, _ := core.NewInstrumentationEnclave(instrument.Naive, nil)
+	if _, err := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, inst, ev, other.PublicKey()); !errors.Is(err, core.ErrEvidenceSignature) {
+		t.Errorf("wrong IE key: %v", err)
+	}
+}
+
+func TestWeightTableMismatchRejected(t *testing.T) {
+	ie, _ := core.NewInstrumentationEnclave(instrument.LoopBased, weights.Unit())
+	inst, ev, err := ie.Instrument(sumModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), weights.Calibrated(), inst, ev, ie.PublicKey()); err == nil {
+		t.Error("mismatched weight table accepted")
+	}
+}
+
+func TestLogTamperDetected(t *testing.T) {
+	ie, _ := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	inst, ev, _ := ie.Instrument(sumModule())
+	ae, err := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, inst, ev, ie.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := res.SignedLog
+	forged.Log.WeightedInstructions /= 2 // provider tries to undercharge
+	if err := accounting.Verify(forged, ae.PublicKey(), core.AEMeasurement()); !errors.Is(err, accounting.ErrBadLogSignature) {
+		t.Errorf("forged log: %v", err)
+	}
+}
+
+func TestFuelBoundsExecution(t *testing.T) {
+	ie, _ := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	inst, ev, _ := ie.Instrument(sumModule())
+	ae, err := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, inst, ev, ie.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{1 << 30}, Fuel: 10_000})
+	if !errors.Is(err, interp.ErrFuelExhausted) {
+		t.Errorf("unbounded workload: %v", err)
+	}
+}
+
+func TestHardwareModeCostsMore(t *testing.T) {
+	ie, _ := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	inst, ev, _ := ie.Instrument(sumModule())
+	params := sgx.DefaultCostParams()
+	params.UsableEPCBytes = 4096 // tiny EPC so paging shows immediately
+
+	runMode := func(mode sgx.Mode) uint64 {
+		ae, err := core.NewAccountingEnclave(mode, params, nil, inst, ev, ie.PublicKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{500}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SignedLog.Log.SimulatedCycles
+	}
+	sim := runMode(sgx.ModeSimulation)
+	hw := runMode(sgx.ModeHardware)
+	if hw <= sim {
+		t.Errorf("hardware cycles %d not above simulation cycles %d", hw, sim)
+	}
+}
+
+func TestUsageLogJSONRoundTrip(t *testing.T) {
+	ie, _ := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	inst, ev, _ := ie.Instrument(sumModule())
+	ae, _ := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, inst, ev, ie.PublicKey())
+	res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := res.SignedLog.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := accounting.ParseJSON(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Log != res.SignedLog.Log {
+		t.Error("JSON round trip changed the log")
+	}
+	if err := accounting.Verify(back, ae.PublicKey(), core.AEMeasurement()); err != nil {
+		t.Errorf("round-tripped log fails verification: %v", err)
+	}
+}

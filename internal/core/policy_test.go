@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"testing"
+
+	"acctee/internal/accounting"
+	"acctee/internal/core"
+	"acctee/internal/instrument"
+	"acctee/internal/sgx"
+	"acctee/internal/wasm"
+)
+
+// growingModule grows memory by one page per outer iteration and touches
+// it, so the memory integral is sensitive to when growth happens.
+func growingModule() *wasm.Module {
+	b := wasm.NewModule("grow")
+	b.Memory(1, 16)
+	f := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := f.Local(wasm.I32)
+	j := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.I32Const(1).Op(wasm.OpMemoryGrow).Op(wasm.OpDrop)
+		// busy work between grows so intervals have weight
+		f.ForI32(j, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(500)}, 1, func() {
+			f.LocalGet(acc).LocalGet(j).Op(wasm.OpI32Add).LocalSet(acc)
+		})
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("run", f.End())
+	return b.MustBuild()
+}
+
+func newAE(t *testing.T, m *wasm.Module) *core.AccountingEnclave {
+	t.Helper()
+	ie, err := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, ev, err := ie.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, err := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, inst, ev, ie.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ae
+}
+
+// TestMemoryIntegralPolicy checks the §3.5 fine-grained memory policy: the
+// integral reflects that early instructions ran against a smaller memory.
+func TestMemoryIntegralPolicy(t *testing.T) {
+	ae := newAE(t, growingModule())
+	res, err := ae.Run(core.RunOptions{Entry: "run", Args: []uint64{4}, Policy: accounting.MemoryIntegral})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := res.SignedLog.Log
+	if log.Policy != accounting.MemoryIntegral {
+		t.Errorf("policy = %v", log.Policy)
+	}
+	// 4 grows: final memory = 5 pages.
+	if log.PeakMemoryBytes != 5*wasm.PageSize {
+		t.Errorf("peak = %d, want 5 pages", log.PeakMemoryBytes)
+	}
+	// The integral must be strictly below counter*peak (some instructions
+	// ran with less memory) and at least counter*initial.
+	upper := log.WeightedInstructions * log.PeakMemoryBytes
+	lower := log.WeightedInstructions * wasm.PageSize
+	if log.MemoryIntegral >= upper {
+		t.Errorf("integral %d not below peak bound %d", log.MemoryIntegral, upper)
+	}
+	if log.MemoryIntegral < lower {
+		t.Errorf("integral %d below initial-size bound %d", log.MemoryIntegral, lower)
+	}
+}
+
+// TestIntegralScalesWithWork: more iterations at large memory push the
+// integral closer to the peak bound.
+func TestIntegralScalesWithWork(t *testing.T) {
+	run := func(iters uint64) (integral, counter uint64) {
+		ae := newAE(t, growingModule())
+		res, err := ae.Run(core.RunOptions{Entry: "run", Args: []uint64{iters}, Policy: accounting.MemoryIntegral})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SignedLog.Log.MemoryIntegral, res.SignedLog.Log.WeightedInstructions
+	}
+	i2, c2 := run(2)
+	i8, c8 := run(8)
+	if i8 <= i2 || c8 <= c2 {
+		t.Errorf("integral/counter did not grow with work: %d/%d vs %d/%d", i2, c2, i8, c8)
+	}
+	// average memory per instruction must grow too (later iterations run
+	// against more pages)
+	if float64(i8)/float64(c8) <= float64(i2)/float64(c2) {
+		t.Errorf("average memory did not increase: %f vs %f",
+			float64(i8)/float64(c8), float64(i2)/float64(c2))
+	}
+}
+
+// TestSnapshotAccumulates checks the on-request cumulative log.
+func TestSnapshotAccumulates(t *testing.T) {
+	ae := newAE(t, growingModule())
+	var perRun uint64
+	for i := 0; i < 3; i++ {
+		res, err := ae.Run(core.RunOptions{Entry: "run", Args: []uint64{2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRun = res.SignedLog.Log.WeightedInstructions
+	}
+	snap, err := ae.Snapshot(accounting.PeakMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Log.WeightedInstructions != 3*perRun {
+		t.Errorf("cumulative = %d, want %d", snap.Log.WeightedInstructions, 3*perRun)
+	}
+	if snap.Log.Sequence != 3 {
+		t.Errorf("snapshot sequence = %d, want 3", snap.Log.Sequence)
+	}
+	if err := accounting.Verify(snap, ae.PublicKey(), core.AEMeasurement()); err != nil {
+		t.Errorf("snapshot verification: %v", err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package faas implements the serverless evaluation infrastructure of the
+// paper (§5.3, Fig. 9): an HTTP gateway that instantiates one WebAssembly
+// sandbox per request ("To maintain isolation between the functions, the
+// HTTP Server instantiates a new WebAssembly module for every incoming
+// request"), six deployment setups (WASM, WASM-SGX SIM, WASM-SGX HW, HW
+// +instrumentation, HW +I/O accounting, and the JavaScript/OpenFaaS
+// baseline), and a concurrent load generator standing in for h2load.
+package faas
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"acctee/internal/core"
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/sgx"
+	"acctee/internal/wasm"
+	"acctee/internal/workloads"
+)
+
+// Function selects the deployed FaaS function.
+type Function int
+
+// Deployed functions.
+const (
+	Echo Function = iota + 1
+	Resize
+)
+
+// String names the function.
+func (f Function) String() string {
+	if f == Echo {
+		return "echo"
+	}
+	return "resize"
+}
+
+// Setup is one of the paper's six deployment configurations.
+type Setup int
+
+// Deployment setups of Fig. 9.
+const (
+	SetupWASM Setup = iota + 1
+	SetupSGXSim
+	SetupSGXHW
+	SetupSGXHWInstr
+	SetupSGXHWIO
+	SetupJS
+)
+
+// String names the setup as in Fig. 9.
+func (s Setup) String() string {
+	switch s {
+	case SetupWASM:
+		return "WASM"
+	case SetupSGXSim:
+		return "WASM-SGX SIM"
+	case SetupSGXHW:
+		return "WASM-SGX HW"
+	case SetupSGXHWInstr:
+		return "WASM-SGX HW instr."
+	case SetupSGXHWIO:
+		return "WASM-SGX HW I/O"
+	case SetupJS:
+		return "JS"
+	}
+	return "setup?"
+}
+
+// JSDispatchCost models the OpenFaaS classic-watchdog fork/exec plus Docker
+// network hop the paper's JS baseline pays on every request (DESIGN.md §1:
+// modelled, since Docker is unavailable here). It is busy-waited, not
+// slept, because the watchdog burns CPU on fork+exec.
+var JSDispatchCost = 12 * time.Millisecond
+
+// Server is the FaaS gateway for one function in one setup.
+type Server struct {
+	fn       Function
+	setup    Setup
+	module   *wasm.Module // nil for SetupJS
+	counter  uint32       // instrumented counter global (instr setups)
+	enclave  *sgx.Enclave // nil for non-SGX setups
+	costs    sgx.CostParams
+	mu       sync.Mutex
+	requests uint64
+	ioBytes  uint64
+}
+
+// NewServer builds (and, where applicable, instruments) the function module
+// once — the paper's cached-instrumentation deployment — and returns the
+// gateway.
+func NewServer(fn Function, setup Setup) (*Server, error) {
+	s := &Server{fn: fn, setup: setup, costs: sgx.DefaultCostParams()}
+	if setup == SetupJS {
+		return s, nil
+	}
+	var (
+		m   *wasm.Module
+		err error
+	)
+	if fn == Echo {
+		m, err = workloads.BuildEcho()
+	} else {
+		m, err = workloads.BuildResize()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("faas: build function: %w", err)
+	}
+	if setup == SetupSGXHWInstr || setup == SetupSGXHWIO {
+		res, err := instrument.Instrument(m, instrument.Options{Level: instrument.LoopBased})
+		if err != nil {
+			return nil, fmt.Errorf("faas: instrument: %w", err)
+		}
+		m = res.Module
+		s.counter = res.CounterGlobal
+	}
+	s.module = m
+	if setup != SetupWASM {
+		mode := sgx.ModeSimulation
+		if setup >= SetupSGXHW {
+			mode = sgx.ModeHardware
+		}
+		encl, err := sgx.NewEnclave([]byte(core.AEMeasurement().String()), mode, s.costs)
+		if err != nil {
+			return nil, err
+		}
+		s.enclave = encl
+	}
+	return s, nil
+}
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// IOBytes returns the accounted I/O volume (SetupSGXHWIO only).
+func (s *Server) IOBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ioBytes
+}
+
+// ServeHTTP handles one function invocation. The request body is the
+// payload; for resize the image dimensions travel in X-Width/X-Height.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil || len(body) > workloads.MaxPayload {
+		http.Error(w, "bad payload", http.StatusBadRequest)
+		return
+	}
+	width, _ := strconv.Atoi(r.Header.Get("X-Width"))
+	height, _ := strconv.Atoi(r.Header.Get("X-Height"))
+
+	var out []byte
+	var counter uint64
+	switch s.setup {
+	case SetupJS:
+		out = s.serveJS(body, width, height)
+	default:
+		out, counter, err = s.serveWasm(body, width, height)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.requests++
+	if s.setup == SetupSGXHWIO {
+		s.ioBytes += uint64(len(body) + len(out))
+	}
+	s.mu.Unlock()
+	if counter > 0 {
+		w.Header().Set("X-Weighted-Instructions", strconv.FormatUint(counter, 10))
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}
+
+func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, error) {
+	var model interp.CostModel
+	if s.enclave != nil && s.enclave.Mode() == sgx.ModeHardware {
+		model = sgx.NewEPCModel(sgx.ModeHardware, s.costs, nil)
+	}
+	vm, err := interp.Instantiate(s.module, interp.Config{CostModel: model})
+	if err != nil {
+		return nil, 0, fmt.Errorf("faas: instantiate: %w", err)
+	}
+	if s.enclave != nil {
+		// request enters the enclave, response leaves it
+		burn(s.enclave.Transition())
+		defer burn(s.enclave.Transition())
+	}
+	copy(vm.Memory()[workloads.InBase:], body)
+	var res []uint64
+	if s.fn == Echo {
+		res, err = vm.InvokeExport("run", uint64(len(body)))
+	} else {
+		res, err = vm.InvokeExport("run", uint64(width), uint64(height))
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("faas: run: %w", err)
+	}
+	n := int(uint32(res[0]))
+	out := make([]byte, n)
+	copy(out, vm.Memory()[workloads.OutBase:])
+	var counter uint64
+	if s.setup == SetupSGXHWInstr || s.setup == SetupSGXHWIO {
+		counter, _ = vm.Global(s.counter)
+	}
+	// EPC paging cycles burn wall-clock on real hardware.
+	if s.enclave != nil && s.enclave.Mode() == sgx.ModeHardware {
+		burn(vm.Cost())
+	}
+	return out, counter, nil
+}
+
+func (s *Server) serveJS(body []byte, width, height int) []byte {
+	spin(JSDispatchCost)
+	if s.fn == Echo {
+		return workloads.JSEcho(body)
+	}
+	return workloads.JSResize(body, width, height)
+}
+
+// burn converts simulated cycles into wall-clock time at an assumed
+// 3 GHz so hardware-mode penalties show up in throughput, as on real SGX.
+func burn(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	spin(time.Duration(cycles) * time.Nanosecond / 3)
+}
+
+// spin busy-waits (enclave transitions and fork/exec burn CPU, they do not
+// yield it).
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// ---------------------------------------------------------------------------
+// load generator (h2load stand-in)
+
+// LoadResult is one load-generation run's outcome.
+type LoadResult struct {
+	Requests  int
+	Duration  time.Duration
+	Errors    int
+	ReqPerSec float64
+}
+
+// GenerateLoad drives the URL with `clients` concurrent connections until
+// `total` requests have completed, mirroring the paper's h2load usage
+// (10 concurrent clients).
+func GenerateLoad(url string, clients, total int, payload []byte, width, height int) LoadResult {
+	var (
+		mu     sync.Mutex
+		done   int
+		errs   int
+		wg     sync.WaitGroup
+		client = &http.Client{}
+	)
+	start := time.Now()
+	next := make(chan struct{}, total)
+	for i := 0; i < total; i++ {
+		next <- struct{}{}
+	}
+	close(next)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				req, err := http.NewRequest(http.MethodPost, url, bytesReader(payload))
+				if err != nil {
+					recordErr(&mu, &errs)
+					continue
+				}
+				req.Header.Set("X-Width", strconv.Itoa(width))
+				req.Header.Set("X-Height", strconv.Itoa(height))
+				resp, err := client.Do(req)
+				if err != nil {
+					recordErr(&mu, &errs)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				mu.Lock()
+				if resp.StatusCode != http.StatusOK {
+					errs++
+				} else {
+					done++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	return LoadResult{
+		Requests:  done,
+		Duration:  dur,
+		Errors:    errs,
+		ReqPerSec: float64(done) / dur.Seconds(),
+	}
+}
+
+func recordErr(mu *sync.Mutex, errs *int) {
+	mu.Lock()
+	*errs++
+	mu.Unlock()
+}
+
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.pos:])
+	r.pos += n
+	return n, nil
+}

@@ -1,0 +1,122 @@
+package faas_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"acctee/internal/faas"
+	"acctee/internal/workloads"
+)
+
+func post(t *testing.T, url string, payload []byte, w, h int) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Width", strconv.Itoa(w))
+	req.Header.Set("X-Height", strconv.Itoa(h))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	return resp, body
+}
+
+func TestEchoAllSetups(t *testing.T) {
+	payload := workloads.TestImage(16, 16)
+	for _, setup := range []faas.Setup{
+		faas.SetupWASM, faas.SetupSGXSim, faas.SetupSGXHW,
+		faas.SetupSGXHWInstr, faas.SetupSGXHWIO, faas.SetupJS,
+	} {
+		srv, err := faas.NewServer(faas.Echo, setup)
+		if err != nil {
+			t.Fatalf("%v: %v", setup, err)
+		}
+		ts := httptest.NewServer(srv)
+		resp, body := post(t, ts.URL, payload, 0, 0)
+		ts.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%v: status %d", setup, resp.StatusCode)
+			continue
+		}
+		if !bytes.Equal(body, payload) {
+			t.Errorf("%v: echo mangled payload", setup)
+		}
+		if setup == faas.SetupSGXHWInstr || setup == faas.SetupSGXHWIO {
+			if resp.Header.Get("X-Weighted-Instructions") == "" {
+				t.Errorf("%v: missing accounting header", setup)
+			}
+		}
+		if setup == faas.SetupSGXHWIO && srv.IOBytes() == 0 {
+			t.Errorf("%v: no I/O accounted", setup)
+		}
+	}
+}
+
+func TestResizeOutputsMatchAcrossSetups(t *testing.T) {
+	const size = 64
+	img := workloads.TestImage(size, size)
+	want := workloads.NativeResize(img, size, size)
+	for _, setup := range []faas.Setup{faas.SetupWASM, faas.SetupSGXHWInstr, faas.SetupJS} {
+		srv, err := faas.NewServer(faas.Resize, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		resp, body := post(t, ts.URL, img, size, size)
+		ts.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%v: status %d", setup, resp.StatusCode)
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("%v: resize output differs from native reference", setup)
+		}
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	srv, err := faas.NewServer(faas.Echo, faas.SetupWASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	big := make([]byte, workloads.MaxPayload+1)
+	resp, _ := post(t, ts.URL, big, 0, 0)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestGenerateLoad(t *testing.T) {
+	old := faas.JSDispatchCost
+	faas.JSDispatchCost = time.Millisecond
+	defer func() { faas.JSDispatchCost = old }()
+	srv, err := faas.NewServer(faas.Echo, faas.SetupJS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	res := faas.GenerateLoad(ts.URL, 4, 12, []byte("ping"), 0, 0)
+	if res.Requests != 12 || res.Errors != 0 {
+		t.Errorf("load result %+v", res)
+	}
+	if srv.Requests() != 12 {
+		t.Errorf("server saw %d requests, want 12", srv.Requests())
+	}
+	if res.ReqPerSec <= 0 {
+		t.Errorf("nonsensical throughput %v", res.ReqPerSec)
+	}
+}

@@ -1,0 +1,223 @@
+// Package host implements the runtime embedding concerns of AccTEE's
+// execution sandbox (paper §4.1): the Emscripten-style main-module /
+// side-module split. Accepting workload-supplied JavaScript glue code would
+// let workloads interfere with the accounting, so AccTEE statically ships
+// one audited *main module* exporting the standard-library surface, and
+// every dynamically loaded workload is a *side module* that may only import
+// from it. Link statically merges a side module into the main module,
+// producing a single self-contained module for the accounting enclave.
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"acctee/internal/wasm"
+)
+
+// Linking errors.
+var (
+	ErrSideHasMemory = errors.New("host: side modules must import memory, not define it")
+	ErrSideHasTable  = errors.New("host: side modules must not define tables")
+	ErrSideHasStart  = errors.New("host: side modules must not declare start functions")
+	ErrExportClash   = errors.New("host: side module export collides with main module")
+)
+
+// UnresolvedImportError reports a side-module import the main module does
+// not export.
+type UnresolvedImportError struct {
+	Module, Name string
+}
+
+func (e *UnresolvedImportError) Error() string {
+	return fmt.Sprintf("host: unresolved side-module import %s.%s", e.Module, e.Name)
+}
+
+// Link merges side into main. Side-module function imports from module
+// "main" (or "env", Emscripten's default namespace) resolve against the
+// main module's exports; everything else in the side module is rebased
+// into the merged index spaces. The merged module exports the union of
+// both modules' exports.
+func Link(main, side *wasm.Module) (*wasm.Module, error) {
+	if len(side.Memories) > 0 {
+		return nil, ErrSideHasMemory
+	}
+	if len(side.Tables) > 0 || len(side.Elements) > 0 {
+		return nil, ErrSideHasTable
+	}
+	if side.Start != nil {
+		return nil, ErrSideHasStart
+	}
+
+	out := main.Clone()
+	mainFuncs := uint32(main.NumImportedFuncs() + len(main.Funcs))
+
+	// Remap side type indices into the merged type section.
+	typeMap := make([]uint32, len(side.Types))
+	for i, t := range side.Types {
+		typeMap[i] = out.AddType(wasm.FuncType{
+			Params:  append([]wasm.ValueType(nil), t.Params...),
+			Results: append([]wasm.ValueType(nil), t.Results...),
+		})
+	}
+
+	// Resolve side function imports against main exports (checking
+	// signatures), build the function index translation table.
+	nSideImports := side.NumImportedFuncs()
+	funcMap := make([]uint32, nSideImports+len(side.Funcs))
+	impIdx := 0
+	for _, im := range side.Imports {
+		switch im.Kind {
+		case wasm.ExternalFunc:
+			if im.Module != "main" && im.Module != "env" {
+				return nil, &UnresolvedImportError{im.Module, im.Name}
+			}
+			target, ok := main.ExportedFunc(im.Name)
+			if !ok {
+				return nil, &UnresolvedImportError{im.Module, im.Name}
+			}
+			want := side.Types[im.TypeIdx]
+			got, err := main.FuncTypeAt(target)
+			if err != nil {
+				return nil, err
+			}
+			if !got.Equal(want) {
+				return nil, fmt.Errorf("host: import %s.%s signature mismatch: main exports %s, side wants %s",
+					im.Module, im.Name, got, want)
+			}
+			funcMap[impIdx] = target
+			impIdx++
+		case wasm.ExternalMemory:
+			// side imports the main module's memory: nothing to merge,
+			// offsets already refer to the shared linear memory.
+		default:
+			return nil, fmt.Errorf("host: unsupported side import kind %d", im.Kind)
+		}
+	}
+	for i := range side.Funcs {
+		funcMap[nSideImports+i] = mainFuncs + uint32(i)
+	}
+
+	globalBase := uint32(len(main.Globals))
+	for _, g := range side.Globals {
+		out.Globals = append(out.Globals, g)
+	}
+
+	// Rebase and append side functions.
+	for _, f := range side.Funcs {
+		nf := wasm.Func{
+			TypeIdx: typeMap[f.TypeIdx],
+			Locals:  append([]wasm.ValueType(nil), f.Locals...),
+			Name:    f.Name,
+			Body:    make([]wasm.Instr, len(f.Body)),
+		}
+		for pc, in := range f.Body {
+			ni := in
+			switch in.Op {
+			case wasm.OpCall:
+				if int(in.Idx) >= len(funcMap) {
+					return nil, fmt.Errorf("host: side call index %d out of range", in.Idx)
+				}
+				ni.Idx = funcMap[in.Idx]
+			case wasm.OpCallIndirect:
+				ni.Idx = typeMap[in.Idx]
+			case wasm.OpGlobalGet, wasm.OpGlobalSet:
+				ni.Idx = in.Idx + globalBase
+			}
+			if in.Table != nil {
+				ni.Table = append([]uint32(nil), in.Table...)
+			}
+			nf.Body[pc] = ni
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+
+	// Side data segments land in the shared memory.
+	for _, d := range side.Data {
+		out.Data = append(out.Data, wasm.Data{
+			Offset: d.Offset,
+			Bytes:  append([]byte(nil), d.Bytes...),
+		})
+	}
+
+	// Merge exports; side exports win only if the name is free.
+	taken := make(map[string]bool, len(out.Exports))
+	for _, e := range out.Exports {
+		taken[e.Name] = true
+	}
+	for _, e := range side.Exports {
+		if e.Kind != wasm.ExternalFunc {
+			continue // memory/table exports belong to the main module
+		}
+		if taken[e.Name] {
+			return nil, fmt.Errorf("%w: %q", ErrExportClash, e.Name)
+		}
+		if int(e.Idx) >= len(funcMap) {
+			return nil, fmt.Errorf("host: side export %q index out of range", e.Name)
+		}
+		out.Exports = append(out.Exports, wasm.Export{
+			Name: e.Name, Kind: wasm.ExternalFunc, Idx: funcMap[e.Idx],
+		})
+		taken[e.Name] = true
+	}
+	if side.Name != "" {
+		out.Name = main.Name + "+" + side.Name
+	}
+	return out, nil
+}
+
+// StdlibMain builds the audited main module the accounting enclave ships:
+// linear memory plus the standard-library surface side modules import
+// (paper §4.1: "a main module which provides all standard library
+// functions together with its glue code").
+func StdlibMain(memPages uint32) *wasm.Module {
+	b := wasm.NewModule("main")
+	b.Memory(memPages, memPages)
+
+	// abs(i32) -> i32
+	abs := b.Func("abs", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	abs.LocalGet(0).I32Const(0).Op(wasm.OpI32LtS)
+	abs.If(wasm.BlockOf(wasm.I32), func() {
+		abs.I32Const(0).LocalGet(0).Op(wasm.OpI32Sub)
+	}, func() {
+		abs.LocalGet(0)
+	})
+	b.ExportFunc("abs", abs.End())
+
+	// memset(dst, byte, len) -> dst
+	ms := b.Func("memset", []wasm.ValueType{wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := ms.Local(wasm.I32)
+	ms.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 2)}, 1, func() {
+		ms.LocalGet(0).LocalGet(i).Op(wasm.OpI32Add)
+		ms.LocalGet(1)
+		ms.Store(wasm.OpI32Store8, 0)
+	})
+	ms.LocalGet(0)
+	b.ExportFunc("memset", ms.End())
+
+	// memcpy(dst, src, len) -> dst
+	mc := b.Func("memcpy", []wasm.ValueType{wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	j := mc.Local(wasm.I32)
+	mc.ForI32(j, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 2)}, 1, func() {
+		mc.LocalGet(0).LocalGet(j).Op(wasm.OpI32Add)
+		mc.LocalGet(1).LocalGet(j).Op(wasm.OpI32Add)
+		mc.Load(wasm.OpI32Load8U, 0)
+		mc.Store(wasm.OpI32Store8, 0)
+	})
+	mc.LocalGet(0)
+	b.ExportFunc("memcpy", mc.End())
+
+	// imin/imax(i32, i32) -> i32
+	for _, fn := range []struct {
+		name string
+		op   wasm.Opcode
+	}{{"imin", wasm.OpI32LtS}, {"imax", wasm.OpI32GtS}} {
+		f := b.Func(fn.name, []wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+		f.LocalGet(0).LocalGet(1)
+		f.LocalGet(0).LocalGet(1).Op(fn.op)
+		f.Op(wasm.OpSelect)
+		b.ExportFunc(fn.name, f.End())
+	}
+
+	return b.MustBuild()
+}

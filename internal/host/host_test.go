@@ -1,0 +1,140 @@
+package host_test
+
+import (
+	"errors"
+	"testing"
+
+	"acctee/internal/host"
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/wasm"
+	"acctee/internal/wasm/validate"
+	"acctee/internal/weights"
+)
+
+// sideModule builds a side module that imports memcpy and abs from the
+// main module and exports shift(dst, src, len, bias).
+func sideModule() *wasm.Module {
+	b := wasm.NewModule("side")
+	memcpy := b.ImportFunc("main", "memcpy",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	abs := b.ImportFunc("main", "abs", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	g := b.Global("calls", wasm.I64, true, wasm.ConstI64(0))
+	f := b.Func("shift", []wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.GlobalGet(g).I64ConstV(1).Op(wasm.OpI64Add).GlobalSet(g)
+	f.LocalGet(0).LocalGet(1).LocalGet(2).Call(memcpy).Op(wasm.OpDrop)
+	f.LocalGet(3).Call(abs)
+	b.ExportFunc("shift", f.End())
+	return b.MustBuild()
+}
+
+func TestLinkAndRun(t *testing.T) {
+	main := host.StdlibMain(1)
+	merged, err := host.Link(main, sideModule())
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if err := validate.Module(merged); err != nil {
+		t.Fatalf("merged module invalid: %v", err)
+	}
+	vm, err := interp.Instantiate(merged, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(vm.Memory()[100:], []byte("hello"))
+	res, err := vm.InvokeExport("shift", 200, 100, 5, uint64(uint32(0xFFFFFFF8))) // bias -8
+	if err != nil {
+		t.Fatalf("shift: %v", err)
+	}
+	if res[0] != 8 {
+		t.Errorf("abs(-8) via side module = %d", res[0])
+	}
+	if string(vm.Memory()[200:205]) != "hello" {
+		t.Error("memcpy via main module did not copy")
+	}
+	// Side-module global must have been rebased and updated.
+	found := false
+	for i, g := range merged.Globals {
+		if g.Name == "calls" {
+			v, _ := vm.Global(uint32(i))
+			if v != 1 {
+				t.Errorf("side global = %d, want 1", v)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("side global lost in merge")
+	}
+}
+
+func TestLinkRejectsBadSides(t *testing.T) {
+	main := host.StdlibMain(1)
+
+	withMem := wasm.NewModule("m")
+	withMem.Memory(1, 1)
+	if _, err := host.Link(main, withMem.MustBuild()); !errors.Is(err, host.ErrSideHasMemory) {
+		t.Errorf("memory side: %v", err)
+	}
+
+	b := wasm.NewModule("m")
+	b.ImportFunc("main", "no_such_fn", nil, nil)
+	f := b.Func("f", nil, nil)
+	f.End()
+	var unresolved *host.UnresolvedImportError
+	if _, err := host.Link(main, b.MustBuild()); !errors.As(err, &unresolved) {
+		t.Errorf("unresolved import: %v", err)
+	}
+
+	// signature mismatch
+	b2 := wasm.NewModule("m")
+	b2.ImportFunc("main", "abs", []wasm.ValueType{wasm.I64}, []wasm.ValueType{wasm.I64})
+	f2 := b2.Func("f", nil, nil)
+	f2.End()
+	if _, err := host.Link(main, b2.MustBuild()); err == nil {
+		t.Error("signature mismatch accepted")
+	}
+
+	// export clash
+	b3 := wasm.NewModule("m")
+	f3 := b3.Func("abs2", nil, nil)
+	idx := f3.End()
+	b3.ExportFunc("abs", idx)
+	if _, err := host.Link(main, b3.MustBuild()); !errors.Is(err, host.ErrExportClash) {
+		t.Errorf("export clash: %v", err)
+	}
+}
+
+// TestLinkedModuleInstrumentsExactly: the §4.1 deployment instruments the
+// merged module; the exactness invariant must survive linking.
+func TestLinkedModuleInstrumentsExactly(t *testing.T) {
+	merged, err := host.Link(host.StdlibMain(1), sideModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.Instantiate(merged, interp.Config{CostModel: weights.Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.InvokeExport("shift", 300, 0, 16, 5); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Cost()
+	for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+		res, err := instrument.Instrument(merged, instrument.Options{Level: lvl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := interp.Instantiate(res.Module, interp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.InvokeExport("shift", 300, 0, 16, 5); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := vm.Global(res.CounterGlobal)
+		if got != want {
+			t.Errorf("level %v: counter %d != %d", lvl, got, want)
+		}
+	}
+}

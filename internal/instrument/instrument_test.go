@@ -1,0 +1,352 @@
+package instrument_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/wasm"
+	"acctee/internal/weights"
+)
+
+// groundTruth executes the uninstrumented module with the weight table as
+// the interpreter's cost model and returns the weighted instruction count.
+func groundTruth(t *testing.T, m *wasm.Module, tbl *weights.Table, export string, args ...uint64) uint64 {
+	t.Helper()
+	vm, err := interp.Instantiate(m, interp.Config{CostModel: tbl})
+	if err != nil {
+		t.Fatalf("instantiate reference: %v", err)
+	}
+	if _, err := vm.InvokeExport(export, args...); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return vm.Cost()
+}
+
+// instrumentedCount runs the instrumented module and reads the counter.
+func instrumentedCount(t *testing.T, m *wasm.Module, lvl instrument.Level, tbl *weights.Table, export string, args ...uint64) uint64 {
+	t.Helper()
+	res, err := instrument.Instrument(m, instrument.Options{Level: lvl, Weights: tbl})
+	if err != nil {
+		t.Fatalf("instrument(%v): %v", lvl, err)
+	}
+	vm, err := interp.Instantiate(res.Module, interp.Config{})
+	if err != nil {
+		t.Fatalf("instantiate instrumented: %v", err)
+	}
+	if _, err := vm.InvokeExport(export, args...); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	c, err := vm.Global(res.CounterGlobal)
+	if err != nil {
+		t.Fatalf("read counter: %v", err)
+	}
+	return c
+}
+
+// checkAllLevels asserts the exactness invariant (DESIGN.md §4.1) for one
+// module/entry/args combination.
+func checkAllLevels(t *testing.T, m *wasm.Module, export string, args ...uint64) {
+	t.Helper()
+	for _, tbl := range []*weights.Table{weights.Unit(), weights.Calibrated()} {
+		want := groundTruth(t, m, tbl, export, args...)
+		for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+			got := instrumentedCount(t, m, lvl, tbl, export, args...)
+			if got != want {
+				t.Errorf("level %v: counter = %d, ground truth = %d", lvl, got, want)
+			}
+		}
+	}
+}
+
+func sumModule() *wasm.Module {
+	b := wasm.NewModule("sum")
+	f := b.Func("sum", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.LocalGet(acc).LocalGet(i).Op(wasm.OpI32Add).LocalSet(acc)
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("sum", f.End())
+	return b.MustBuild()
+}
+
+func TestExactCountingLoop(t *testing.T) {
+	m := sumModule()
+	for _, n := range []uint64{0, 1, 7, 100} {
+		checkAllLevels(t, m, "sum", n)
+	}
+}
+
+func TestLoopOptimisationFires(t *testing.T) {
+	res, err := instrument.Instrument(sumModule(), instrument.Options{Level: instrument.LoopBased})
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	if res.Stats.LoopsOptimised != 1 {
+		t.Errorf("loops optimised = %d, want 1", res.Stats.LoopsOptimised)
+	}
+	// The loop body must contain no counter updates: between the loop opcode
+	// and its end there must be no global.set of the counter.
+	body := res.Module.Funcs[0].Body
+	inLoop := false
+	for _, in := range body {
+		switch in.Op {
+		case wasm.OpLoop:
+			inLoop = true
+		case wasm.OpEnd:
+			inLoop = false
+		case wasm.OpGlobalSet:
+			if inLoop && in.Idx == res.CounterGlobal {
+				t.Fatal("loop body still contains counter update")
+			}
+		}
+	}
+}
+
+func TestFlowBasedReducesIncrements(t *testing.T) {
+	// Diamond: if/else merging — flow-based should place fewer increments
+	// than naive.
+	b := wasm.NewModule("diamond")
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.LocalGet(0).I32Const(0).Op(wasm.OpI32GtS)
+	f.If(wasm.BlockOf(wasm.I32), func() {
+		f.LocalGet(0).I32Const(3).Op(wasm.OpI32Mul)
+	}, func() {
+		f.LocalGet(0).I32Const(5).Op(wasm.OpI32Sub).I32Const(2).Op(wasm.OpI32Mul)
+	})
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+
+	naive, err := instrument.Instrument(m, instrument.Options{Level: instrument.Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := instrument.Instrument(m, instrument.Options{Level: instrument.FlowBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow.Stats.IncrementsPlaced >= naive.Stats.IncrementsPlaced {
+		t.Errorf("flow-based placed %d increments, naive %d — expected a reduction",
+			flow.Stats.IncrementsPlaced, naive.Stats.IncrementsPlaced)
+	}
+	checkAllLevels(t, m, "f", 5)
+	checkAllLevels(t, m, "f", uint64(uint32(0xFFFFFFF0)))
+}
+
+func TestCounterNameFresh(t *testing.T) {
+	b := wasm.NewModule("clash")
+	b.Global("acctee_wic", wasm.I64, true, wasm.ConstI64(0))
+	b.Global("acctee_wic_0", wasm.I64, true, wasm.ConstI64(0))
+	f := b.Func("f", nil, []wasm.ValueType{wasm.I32})
+	f.I32Const(1)
+	b.ExportFunc("f", f.End())
+	res, err := instrument.Instrument(b.MustBuild(), instrument.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterName != "acctee_wic_1" {
+		t.Errorf("counter name = %q, want acctee_wic_1", res.CounterName)
+	}
+	if res.CounterGlobal != 2 {
+		t.Errorf("counter global = %d, want 2", res.CounterGlobal)
+	}
+}
+
+func TestInputModuleNotMutated(t *testing.T) {
+	m := sumModule()
+	before := len(m.Funcs[0].Body)
+	if _, err := instrument.Instrument(m, instrument.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs[0].Body) != before || len(m.Globals) != 0 {
+		t.Error("Instrument mutated its input module")
+	}
+}
+
+func TestLoopVarTamperingNotOptimised(t *testing.T) {
+	// A loop that writes the loop variable twice per iteration must NOT be
+	// loop-optimised (§3.6 attack: decrease the loop variable in the last
+	// operation).
+	b := wasm.NewModule("tamper")
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := f.Local(wasm.I32)
+	f.I32Const(0).LocalSet(i)
+	f.Block(wasm.BlockEmpty, func() {
+		f.Loop(wasm.BlockEmpty, func() {
+			f.LocalGet(i).LocalGet(0).Op(wasm.OpI32GeS).BrIf(1)
+			// extra write to the loop variable inside the body
+			f.LocalGet(i).I32Const(0).Op(wasm.OpI32Add).LocalSet(i)
+			f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+			f.Br(0)
+		})
+	})
+	f.LocalGet(i)
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+	res, err := instrument.Instrument(m, instrument.Options{Level: instrument.LoopBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LoopsOptimised != 0 {
+		t.Errorf("tampered loop was optimised (%d loops)", res.Stats.LoopsOptimised)
+	}
+	checkAllLevels(t, m, "f", 9)
+}
+
+func TestNestedLoops(t *testing.T) {
+	// inner counted loop inside an outer counted loop: inner is optimised,
+	// outer is not (its body has control flow); counts stay exact.
+	b := wasm.NewModule("nested")
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := f.Local(wasm.I32)
+	j := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.ForI32(j, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+			f.LocalGet(acc).I32Const(1).Op(wasm.OpI32Add).LocalSet(acc)
+		})
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+	for _, n := range []uint64{0, 1, 5, 13} {
+		checkAllLevels(t, m, "f", n)
+	}
+}
+
+func TestBrTableExact(t *testing.T) {
+	b := wasm.NewModule("bt")
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	r := f.Local(wasm.I32)
+	f.Block(wasm.BlockEmpty, func() {
+		f.Block(wasm.BlockEmpty, func() {
+			f.Block(wasm.BlockEmpty, func() {
+				f.LocalGet(0)
+				f.Emit(wasm.Instr{Op: wasm.OpBrTable, Table: []uint32{0, 1, 2}})
+			})
+			f.I32Const(11).LocalSet(r).Br(1)
+		})
+		f.I32Const(22).LocalSet(r)
+	})
+	f.LocalGet(r)
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+	for _, n := range []uint64{0, 1, 2, 9} {
+		checkAllLevels(t, m, "f", n)
+	}
+}
+
+func TestCallsExact(t *testing.T) {
+	b := wasm.NewModule("calls")
+	g := b.Func("double", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	g.LocalGet(0).I32Const(2).Op(wasm.OpI32Mul)
+	gi := g.End()
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.LocalGet(0).Call(gi).Call(gi)
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+	checkAllLevels(t, m, "f", 10)
+}
+
+// TestRandomProgramsExact generates random structured programs and checks
+// the exactness invariant at every level against the interpreter's ground
+// truth. This is the repository's main property test for the paper's core
+// claim: instrumentation never miscounts.
+func TestRandomProgramsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xACC7EE))
+	for trial := 0; trial < 60; trial++ {
+		m := randomModule(rng)
+		arg := uint64(rng.Intn(20))
+		// Reference run may trap (e.g. due to random div): skip those.
+		vmRef, err := interp.Instantiate(m, interp.Config{CostModel: weights.Unit(), Fuel: 1 << 20})
+		if err != nil {
+			t.Fatalf("trial %d: instantiate: %v", trial, err)
+		}
+		if _, err := vmRef.InvokeExport("main", arg); err != nil {
+			continue
+		}
+		want := vmRef.Cost()
+		for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+			res, err := instrument.Instrument(m, instrument.Options{Level: lvl, Weights: weights.Unit()})
+			if err != nil {
+				t.Fatalf("trial %d level %v: instrument: %v", trial, lvl, err)
+			}
+			vm, err := interp.Instantiate(res.Module, interp.Config{Fuel: 1 << 21})
+			if err != nil {
+				t.Fatalf("trial %d level %v: instantiate: %v", trial, lvl, err)
+			}
+			if _, err := vm.InvokeExport("main", arg); err != nil {
+				t.Fatalf("trial %d level %v: run: %v", trial, lvl, err)
+			}
+			got, _ := vm.Global(res.CounterGlobal)
+			if got != want {
+				t.Errorf("trial %d level %v: counter = %d, ground truth = %d", trial, lvl, got, want)
+			}
+		}
+	}
+}
+
+// randomModule builds a random structured program with loops, branches and
+// arithmetic over two i32 locals.
+func randomModule(rng *rand.Rand) *wasm.Module {
+	b := wasm.NewModule("rand")
+	f := b.Func("main", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	x := f.Local(wasm.I32)
+	y := f.Local(wasm.I32)
+	f.LocalGet(0).LocalSet(x)
+	f.I32Const(1).LocalSet(y)
+
+	var gen func(depth int)
+	arith := func() {
+		switch rng.Intn(5) {
+		case 0:
+			f.LocalGet(x).I32Const(int32(rng.Intn(7) + 1)).Op(wasm.OpI32Add).LocalSet(x)
+		case 1:
+			f.LocalGet(y).LocalGet(x).Op(wasm.OpI32Xor).LocalSet(y)
+		case 2:
+			f.LocalGet(x).I32Const(3).Op(wasm.OpI32Mul).LocalGet(y).Op(wasm.OpI32Add).LocalSet(y)
+		case 3:
+			f.LocalGet(y).I32Const(int32(rng.Intn(15) + 1)).Op(wasm.OpI32RemU).LocalSet(y)
+		case 4:
+			f.LocalGet(x).LocalGet(y).Op(wasm.OpI32Or).LocalSet(x)
+		}
+	}
+	gen = func(depth int) {
+		n := rng.Intn(4) + 1
+		for k := 0; k < n; k++ {
+			switch c := rng.Intn(10); {
+			case c < 5 || depth >= 3:
+				arith()
+			case c < 7:
+				// if/else on y&1
+				f.LocalGet(y).I32Const(1).Op(wasm.OpI32And)
+				if rng.Intn(2) == 0 {
+					f.If(wasm.BlockEmpty, func() { gen(depth + 1) }, func() { gen(depth + 1) })
+				} else {
+					f.If(wasm.BlockEmpty, func() { gen(depth + 1) }, nil)
+				}
+			case c < 9:
+				// counted loop over a fresh local
+				i := f.Local(wasm.I32)
+				limit := int32(rng.Intn(6))
+				f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(limit)}, 1, func() {
+					gen(depth + 1)
+				})
+			default:
+				// block with early exit
+				f.Block(wasm.BlockEmpty, func() {
+					arith()
+					f.LocalGet(y).I32Const(2).Op(wasm.OpI32And).BrIf(0)
+					arith()
+				})
+			}
+		}
+	}
+	gen(0)
+	f.LocalGet(x).LocalGet(y).Op(wasm.OpI32Add)
+	b.ExportFunc("main", f.End())
+	return b.MustBuild()
+}

@@ -1,0 +1,113 @@
+package instrument_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/wasm"
+	"acctee/internal/weights"
+)
+
+// TestCounterUnaddressableByWorkload verifies the §3.5 protection
+// argument: the counter global is appended after all workload globals, and
+// a workload that references the future counter index is rejected by
+// validation before instrumentation even runs — "since operations on
+// global variables must identify the operand at compile time, it is
+// impossible to modify the counter other than with the injected code".
+func TestCounterUnaddressableByWorkload(t *testing.T) {
+	b := wasm.NewModule("evil")
+	b.Global("mine", wasm.I64, true, wasm.ConstI64(0))
+	f := b.Func("f", nil, nil)
+	// global index 1 does not exist yet — it would become the counter.
+	f.I64ConstV(-1_000_000).Emit(wasm.WithIdx(wasm.OpGlobalSet, 1))
+	f.End()
+	m := b.MustBuild()
+	if _, err := instrument.Instrument(m, instrument.Options{}); err == nil {
+		t.Fatal("module addressing the future counter index was accepted")
+	}
+}
+
+// TestCounterOnlyWrittenByInjectedCode: in the instrumented module, every
+// write to the counter global is one of the injected update shapes
+// (global.get c / const / add / global.set c, or the loop epilogue ending
+// in global.set c) — there is no bare store of an attacker-chosen value.
+func TestCounterOnlyWrittenByInjectedCode(t *testing.T) {
+	res, err := instrument.Instrument(sumModule(), instrument.Options{Level: instrument.LoopBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, fn := range res.Module.Funcs {
+		for pc, in := range fn.Body {
+			if in.Op == wasm.OpGlobalSet && in.Idx == res.CounterGlobal {
+				// the instruction before the set must be an i64.add whose
+				// chain started from global.get counter
+				if pc == 0 || fn.Body[pc-1].Op != wasm.OpI64Add {
+					t.Errorf("func %d pc %d: counter write not preceded by i64.add", fi, pc)
+				}
+			}
+			if in.Op == wasm.OpGlobalGet && in.Idx == res.CounterGlobal {
+				continue // reads are fine (they feed the adds)
+			}
+		}
+	}
+}
+
+// TestRandomWeightTablesExact: exactness holds for arbitrary weight
+// tables, not just unit/calibrated ones (§3.7 runtime weight adjustment).
+func TestRandomWeightTablesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		tbl := weights.Unit()
+		for _, op := range wasm.AllOpcodes() {
+			tbl.Set(op, uint64(rng.Intn(64)+1))
+		}
+		m := sumModule()
+		ref, err := interp.Instantiate(m, interp.Config{CostModel: tbl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.InvokeExport("sum", 37); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Cost()
+		for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+			res, err := instrument.Instrument(m, instrument.Options{Level: lvl, Weights: tbl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err := interp.Instantiate(res.Module, interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vm.InvokeExport("sum", 37); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := vm.Global(res.CounterGlobal)
+			if got != want {
+				t.Errorf("trial %d level %v: counter %d != %d", trial, lvl, got, want)
+			}
+		}
+	}
+}
+
+// TestInstrumentedModuleRoundTripsThroughWAT: the deployment pipeline
+// prints instrumented modules to WAT (cmd/acctee-instrument); behaviour
+// must survive.
+func TestInstrumentedStatsConsistent(t *testing.T) {
+	res, err := instrument.Instrument(sumModule(), instrument.Options{Level: instrument.Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IncrementsPlaced != res.Stats.IncrementsNaive {
+		t.Errorf("naive pass placed %d of %d increments", res.Stats.IncrementsPlaced, res.Stats.IncrementsNaive)
+	}
+	flow, err := instrument.Instrument(sumModule(), instrument.Options{Level: instrument.FlowBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow.Stats.IncrementsPlaced > res.Stats.IncrementsPlaced {
+		t.Error("flow-based placed more increments than naive")
+	}
+}

@@ -1,0 +1,332 @@
+// Package interp implements AccTEE's WebAssembly execution sandbox: a
+// from-scratch interpreter for the full MVP instruction set with bounds-
+// checked linear memory, a protected call stack, host-function imports and
+// cost hooks. It replaces the paper's V8 engine; because the paper's
+// accounting counts executed WebAssembly instructions, any conforming engine
+// yields identical counts (§3.5), which this interpreter's ground-truth
+// counter is used to verify.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"acctee/internal/wasm"
+)
+
+// Trap errors returned by execution. They match the wasm spec trap
+// conditions.
+var (
+	ErrUnreachable        = errors.New("wasm trap: unreachable executed")
+	ErrOutOfBounds        = errors.New("wasm trap: out of bounds memory access")
+	ErrDivByZero          = errors.New("wasm trap: integer divide by zero")
+	ErrIntOverflow        = errors.New("wasm trap: integer overflow")
+	ErrInvalidConversion  = errors.New("wasm trap: invalid conversion to integer")
+	ErrUndefinedElement   = errors.New("wasm trap: undefined table element")
+	ErrIndirectTypeBad    = errors.New("wasm trap: indirect call type mismatch")
+	ErrCallStackExhausted = errors.New("wasm trap: call stack exhausted")
+	ErrFuelExhausted      = errors.New("wasm trap: fuel exhausted")
+)
+
+// HostFunc is a function provided by the embedder (the runtime "glue code").
+// Args and results are raw 64-bit values matching the import signature.
+type HostFunc func(vm *VM, args []uint64) ([]uint64, error)
+
+// Config parameterises instantiation.
+type Config struct {
+	// Imports maps "module.name" to host implementations.
+	Imports map[string]HostFunc
+	// MaxPages caps linear memory growth regardless of the module's limit.
+	MaxPages uint32
+	// Fuel, when >0, bounds the number of executed instructions; execution
+	// traps with ErrFuelExhausted when spent. Used by the two-way sandbox to
+	// bound resource consumption (paper §2.1, pay-by-computation).
+	Fuel uint64
+	// CostModel, when non-nil, accrues a weighted cycle count per executed
+	// instruction and per memory access; read it back via VM.Cost.
+	CostModel CostModel
+	// MaxCallDepth bounds recursion; 0 means the default (1024).
+	MaxCallDepth int
+	// GrowHook, when non-nil, runs after every successful memory.grow with
+	// the old and new page counts. The accounting enclave uses it to track
+	// the memory-size integral (paper §3.5, fine-grained memory policy).
+	GrowHook func(vm *VM, oldPages, newPages uint32)
+}
+
+// CostModel charges simulated cycles for executed instructions. It is how
+// the SGX substrate injects EPC/transition penalties and how ground-truth
+// weighted instruction counting is implemented.
+type CostModel interface {
+	// InstrCost returns the cycles charged for one dynamic execution of op.
+	InstrCost(op wasm.Opcode) uint64
+	// MemCost returns extra cycles for a memory access at addr of the given
+	// byte width (store=true for stores), given current memory size.
+	MemCost(addr uint32, width uint32, store bool, memSize uint32) uint64
+}
+
+// VM is an instantiated module ready for invocation.
+type VM struct {
+	module   *wasm.Module
+	funcs    []compiledFunc // defined functions, compiled
+	hostFns  []HostFunc     // imported functions
+	hostSigs []wasm.FuncType
+	globals  []uint64
+	memory   []byte
+	maxPages uint32
+	table    []int32 // function indices; -1 = undefined
+
+	fuel        uint64
+	fuelLimited bool
+	cost        CostModel
+	costAcc     uint64
+	instrCount  uint64 // ground-truth executed instructions (all opcodes)
+	ioBytes     uint64 // accounted by host shims via AddIOBytes
+
+	maxDepth int
+	depth    int
+	growHook func(vm *VM, oldPages, newPages uint32)
+}
+
+type compiledFunc struct {
+	typeIdx  uint32
+	numLoc   int // params + locals
+	nparams  int
+	nresults int
+	body     []wasm.Instr
+	ctrl     []ctrlMeta // per-pc control metadata (targets)
+	name     string
+}
+
+// ctrlMeta holds the pre-resolved structure for a pc: for block/loop/if the
+// matching end (and else); interpreted branches use it to jump directly.
+type ctrlMeta struct {
+	end   int // pc of matching end (for block/loop/if); for end/else: start pc
+	els   int // pc of else for if, or -1
+	arity int // number of values the label yields
+}
+
+// Instantiate compiles and instantiates a module.
+func Instantiate(m *wasm.Module, cfg Config) (*VM, error) {
+	vm := &VM{
+		module:   m,
+		cost:     cfg.CostModel,
+		fuel:     cfg.Fuel,
+		maxDepth: cfg.MaxCallDepth,
+		growHook: cfg.GrowHook,
+	}
+	if vm.maxDepth == 0 {
+		vm.maxDepth = 1024
+	}
+	vm.fuelLimited = cfg.Fuel > 0
+
+	// Resolve imports.
+	for _, im := range m.Imports {
+		switch im.Kind {
+		case wasm.ExternalFunc:
+			key := im.Module + "." + im.Name
+			fn, ok := cfg.Imports[key]
+			if !ok {
+				return nil, fmt.Errorf("interp: unresolved import %q", key)
+			}
+			vm.hostFns = append(vm.hostFns, fn)
+			vm.hostSigs = append(vm.hostSigs, m.Types[im.TypeIdx])
+		case wasm.ExternalMemory:
+			return nil, fmt.Errorf("interp: memory imports must be linked via host.Link")
+		}
+	}
+
+	// Globals.
+	vm.globals = make([]uint64, len(m.Globals))
+	for i, g := range m.Globals {
+		vm.globals[i] = g.Init.U64
+	}
+
+	// Memory.
+	if len(m.Memories) > 0 {
+		minPages := m.Memories[0].Limits.Min
+		vm.maxPages = uint32(65536)
+		if m.Memories[0].Limits.HasMax {
+			vm.maxPages = m.Memories[0].Limits.Max
+		}
+		if cfg.MaxPages > 0 && cfg.MaxPages < vm.maxPages {
+			vm.maxPages = cfg.MaxPages
+		}
+		vm.memory = make([]byte, int(minPages)*wasm.PageSize)
+	}
+	for _, d := range m.Data {
+		off := int(d.Offset.I32Val())
+		if off < 0 || off+len(d.Bytes) > len(vm.memory) {
+			return nil, fmt.Errorf("interp: data segment out of bounds")
+		}
+		copy(vm.memory[off:], d.Bytes)
+	}
+
+	// Table.
+	if len(m.Tables) > 0 {
+		vm.table = make([]int32, m.Tables[0].Limits.Min)
+		for i := range vm.table {
+			vm.table[i] = -1
+		}
+		for _, e := range m.Elements {
+			off := int(e.Offset.I32Val())
+			if off < 0 || off+len(e.Funcs) > len(vm.table) {
+				return nil, fmt.Errorf("interp: element segment out of bounds")
+			}
+			for j, f := range e.Funcs {
+				vm.table[off+j] = int32(f)
+			}
+		}
+	}
+
+	// Compile functions.
+	nimp := m.NumImportedFuncs()
+	vm.funcs = make([]compiledFunc, len(m.Funcs))
+	for i := range m.Funcs {
+		cf, err := compile(m, &m.Funcs[i])
+		if err != nil {
+			return nil, fmt.Errorf("interp: func %d: %w", nimp+i, err)
+		}
+		vm.funcs[i] = cf
+	}
+
+	// Start function runs at instantiation.
+	if m.Start != nil {
+		if _, err := vm.Invoke(*m.Start); err != nil {
+			return nil, fmt.Errorf("interp: start: %w", err)
+		}
+	}
+	return vm, nil
+}
+
+func compile(m *wasm.Module, f *wasm.Func) (compiledFunc, error) {
+	t := m.Types[f.TypeIdx]
+	cf := compiledFunc{
+		typeIdx:  f.TypeIdx,
+		nparams:  len(t.Params),
+		nresults: len(t.Results),
+		numLoc:   len(t.Params) + len(f.Locals),
+		body:     f.Body,
+		ctrl:     make([]ctrlMeta, len(f.Body)),
+		name:     f.Name,
+	}
+	type open struct {
+		pc int
+	}
+	var stack []open
+	for pc, in := range f.Body {
+		switch in.Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			cf.ctrl[pc] = ctrlMeta{els: -1}
+			stack = append(stack, open{pc: pc})
+		case wasm.OpElse:
+			if len(stack) == 0 {
+				return cf, fmt.Errorf("else outside if")
+			}
+			hdr := stack[len(stack)-1].pc
+			cf.ctrl[hdr].els = pc
+			cf.ctrl[pc] = ctrlMeta{end: hdr}
+		case wasm.OpEnd:
+			if len(stack) == 0 {
+				// function-closing end
+				cf.ctrl[pc] = ctrlMeta{end: -1}
+				continue
+			}
+			hdr := stack[len(stack)-1].pc
+			stack = stack[:len(stack)-1]
+			cf.ctrl[hdr].end = pc
+			arity := 0
+			if _, ok := f.Body[hdr].BT.Value(); ok {
+				arity = 1
+			}
+			cf.ctrl[hdr].arity = arity
+			cf.ctrl[pc] = ctrlMeta{end: hdr}
+			if e := cf.ctrl[hdr].els; e >= 0 {
+				cf.ctrl[e].end = pc // else jumps to end
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return cf, fmt.Errorf("unbalanced control structure")
+	}
+	return cf, nil
+}
+
+// InstrCount returns the ground-truth number of instructions executed so far
+// (every opcode, including structural ones, costed per the weight model).
+func (vm *VM) InstrCount() uint64 { return vm.instrCount }
+
+// Cost returns the accumulated simulated-cycle cost (0 without a CostModel).
+func (vm *VM) Cost() uint64 { return vm.costAcc }
+
+// AddCost charges extra simulated cycles (used by host shims, e.g. enclave
+// transition penalties).
+func (vm *VM) AddCost(c uint64) { vm.costAcc += c }
+
+// IOBytes returns the accounted I/O volume.
+func (vm *VM) IOBytes() uint64 { return vm.ioBytes }
+
+// AddIOBytes records accounted I/O traffic crossing the sandbox boundary.
+func (vm *VM) AddIOBytes(n uint64) { vm.ioBytes += n }
+
+// FuelRemaining reports the remaining fuel (meaningful only when limited).
+func (vm *VM) FuelRemaining() uint64 { return vm.fuel }
+
+// MemorySize returns the current linear memory size in bytes.
+func (vm *VM) MemorySize() uint32 { return uint32(len(vm.memory)) }
+
+// Memory exposes the linear memory for host functions. The returned slice
+// aliases the VM's memory; it is invalidated by memory.grow.
+func (vm *VM) Memory() []byte { return vm.memory }
+
+// Global reads a global by index.
+func (vm *VM) Global(i uint32) (uint64, error) {
+	if int(i) >= len(vm.globals) {
+		return 0, fmt.Errorf("interp: global %d out of range", i)
+	}
+	return vm.globals[i], nil
+}
+
+// SetGlobal writes a global by index (host-side; bypasses mutability).
+func (vm *VM) SetGlobal(i uint32, v uint64) error {
+	if int(i) >= len(vm.globals) {
+		return fmt.Errorf("interp: global %d out of range", i)
+	}
+	vm.globals[i] = v
+	return nil
+}
+
+// Module returns the instantiated module.
+func (vm *VM) Module() *wasm.Module { return vm.module }
+
+// InvokeExport calls an exported function by name.
+func (vm *VM) InvokeExport(name string, args ...uint64) ([]uint64, error) {
+	idx, ok := vm.module.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("interp: no exported function %q", name)
+	}
+	return vm.Invoke(idx, args...)
+}
+
+// Invoke calls a function by index in the combined function index space.
+func (vm *VM) Invoke(idx uint32, args ...uint64) ([]uint64, error) {
+	nimp := len(vm.hostFns)
+	if int(idx) < nimp {
+		return vm.hostFns[idx](vm, args)
+	}
+	di := int(idx) - nimp
+	if di >= len(vm.funcs) {
+		return nil, fmt.Errorf("interp: function index %d out of range", idx)
+	}
+	f := &vm.funcs[di]
+	if len(args) != f.nparams {
+		return nil, fmt.Errorf("interp: func %d expects %d args, got %d", idx, f.nparams, len(args))
+	}
+	locals := make([]uint64, f.numLoc)
+	copy(locals, args)
+	stack := make([]uint64, 0, 64)
+	res, err := vm.exec(f, locals, stack)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

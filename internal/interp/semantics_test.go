@@ -1,0 +1,285 @@
+package interp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acctee/internal/interp"
+	"acctee/internal/wasm"
+	wasmbin "acctee/internal/wasm/binary"
+	"acctee/internal/weights"
+)
+
+// unop builds a module computing one unary instruction over its argument.
+func unop(t *testing.T, op wasm.Opcode, in, out wasm.ValueType) *interp.VM {
+	t.Helper()
+	b := wasm.NewModule("u")
+	f := b.Func("f", []wasm.ValueType{in}, []wasm.ValueType{out})
+	f.LocalGet(0).Op(op)
+	b.ExportFunc("f", f.End())
+	vm, err := interp.Instantiate(b.MustBuild(), interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// binop builds a module computing one binary instruction.
+func binop(t *testing.T, op wasm.Opcode, vt, out wasm.ValueType) *interp.VM {
+	t.Helper()
+	b := wasm.NewModule("b")
+	f := b.Func("f", []wasm.ValueType{vt, vt}, []wasm.ValueType{out})
+	f.LocalGet(0).LocalGet(1).Op(op)
+	b.ExportFunc("f", f.End())
+	vm, err := interp.Instantiate(b.MustBuild(), interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func call1(t *testing.T, vm *interp.VM, args ...uint64) uint64 {
+	t.Helper()
+	res, err := vm.InvokeExport("f", args...)
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	return res[0]
+}
+
+func TestBitCountingOps(t *testing.T) {
+	clz := unop(t, wasm.OpI32Clz, wasm.I32, wasm.I32)
+	ctz := unop(t, wasm.OpI32Ctz, wasm.I32, wasm.I32)
+	pop := unop(t, wasm.OpI32Popcnt, wasm.I32, wasm.I32)
+	cases := []struct{ v, clz, ctz, pop uint64 }{
+		{0, 32, 32, 0},
+		{1, 31, 0, 1},
+		{0x80000000, 0, 31, 1},
+		{0xFFFFFFFF, 0, 0, 32},
+		{0x00F0, 24, 4, 4},
+	}
+	for _, c := range cases {
+		if got := call1(t, clz, c.v); got != c.clz {
+			t.Errorf("clz(%#x) = %d, want %d", c.v, got, c.clz)
+		}
+		if got := call1(t, ctz, c.v); got != c.ctz {
+			t.Errorf("ctz(%#x) = %d, want %d", c.v, got, c.ctz)
+		}
+		if got := call1(t, pop, c.v); got != c.pop {
+			t.Errorf("popcnt(%#x) = %d, want %d", c.v, got, c.pop)
+		}
+	}
+}
+
+func TestRotates(t *testing.T) {
+	rotl := binop(t, wasm.OpI32Rotl, wasm.I32, wasm.I32)
+	rotr := binop(t, wasm.OpI32Rotr, wasm.I32, wasm.I32)
+	if got := call1(t, rotl, 0x80000001, 1); got != 3 {
+		t.Errorf("rotl(0x80000001,1) = %#x, want 3", got)
+	}
+	if got := call1(t, rotr, 3, 1); got != 0x80000001 {
+		t.Errorf("rotr(3,1) = %#x", got)
+	}
+	// shift counts wrap mod 32
+	if got := call1(t, rotl, 0xABCD, 32); got != 0xABCD {
+		t.Errorf("rotl by 32 changed value: %#x", got)
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	shl := binop(t, wasm.OpI32Shl, wasm.I32, wasm.I32)
+	if got := call1(t, shl, 1, 33); got != 2 { // 33 & 31 == 1
+		t.Errorf("shl(1,33) = %d, want 2", got)
+	}
+	shrS := binop(t, wasm.OpI32ShrS, wasm.I32, wasm.I32)
+	if got := call1(t, shrS, uint64(uint32(0x80000000)), 31); got != uint64(uint32(0xFFFFFFFF)) {
+		t.Errorf("shr_s sign fill = %#x", got)
+	}
+}
+
+func TestSignExtendingLoads(t *testing.T) {
+	b := wasm.NewModule("sx")
+	b.Memory(1, 1)
+	b.Data(0, []byte{0xFF, 0x80, 0x00, 0x80, 0xFF, 0xFF, 0xFF, 0xFF})
+	mk := func(name string, op wasm.Opcode, out wasm.ValueType, off uint32) {
+		f := b.Func(name, nil, []wasm.ValueType{out})
+		f.I32Const(0).Load(op, off)
+		b.ExportFunc(name, f.End())
+	}
+	mk("l8s", wasm.OpI32Load8S, wasm.I32, 0)   // 0xFF -> -1
+	mk("l8u", wasm.OpI32Load8U, wasm.I32, 0)   // 0xFF -> 255
+	mk("l16s", wasm.OpI32Load16S, wasm.I32, 2) // 0x8000 -> -32768
+	mk("l64_32s", wasm.OpI64Load32S, wasm.I64, 4)
+	mk("l64_8s", wasm.OpI64Load8S, wasm.I64, 1) // 0x80 -> -128
+	vm, err := interp.Instantiate(b.MustBuild(), interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) uint64 {
+		res, err := vm.InvokeExport(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res[0]
+	}
+	if v := get("l8s"); int32(uint32(v)) != -1 {
+		t.Errorf("load8_s = %d", int32(uint32(v)))
+	}
+	if v := get("l8u"); v != 255 {
+		t.Errorf("load8_u = %d", v)
+	}
+	if v := get("l16s"); int32(uint32(v)) != -32768 {
+		t.Errorf("load16_s = %d", int32(uint32(v)))
+	}
+	if v := get("l64_32s"); int64(v) != -1 {
+		t.Errorf("load32_s = %d", int64(v))
+	}
+	if v := get("l64_8s"); int64(v) != -128 {
+		t.Errorf("i64.load8_s = %d", int64(v))
+	}
+}
+
+func TestFloatMinMaxCorners(t *testing.T) {
+	minv := binop(t, wasm.OpF64Min, wasm.F64, wasm.F64)
+	maxv := binop(t, wasm.OpF64Max, wasm.F64, wasm.F64)
+	fb := math.Float64bits
+	// NaN propagates
+	if got := call1(t, minv, fb(math.NaN()), fb(1)); !math.IsNaN(math.Float64frombits(got)) {
+		t.Error("min(NaN,1) not NaN")
+	}
+	if got := call1(t, maxv, fb(2), fb(math.NaN())); !math.IsNaN(math.Float64frombits(got)) {
+		t.Error("max(2,NaN) not NaN")
+	}
+	// signed zeros: min(-0,+0) = -0, max(-0,+0) = +0
+	if got := call1(t, minv, fb(math.Copysign(0, -1)), fb(0)); !math.Signbit(math.Float64frombits(got)) {
+		t.Error("min(-0,+0) lost sign")
+	}
+	if got := call1(t, maxv, fb(math.Copysign(0, -1)), fb(0)); math.Signbit(math.Float64frombits(got)) {
+		t.Error("max(-0,+0) kept sign")
+	}
+}
+
+func TestWrapAndExtend(t *testing.T) {
+	wrap := unop(t, wasm.OpI32WrapI64, wasm.I64, wasm.I32)
+	if got := call1(t, wrap, 0x1_00000002); got != 2 {
+		t.Errorf("wrap = %d", got)
+	}
+	extS := unop(t, wasm.OpI64ExtendI32S, wasm.I32, wasm.I64)
+	if got := call1(t, extS, uint64(uint32(0xFFFFFFFE))); int64(got) != -2 {
+		t.Errorf("extend_s = %d", int64(got))
+	}
+	extU := unop(t, wasm.OpI64ExtendI32U, wasm.I32, wasm.I64)
+	if got := call1(t, extU, uint64(uint32(0xFFFFFFFE))); got != 0xFFFFFFFE {
+		t.Errorf("extend_u = %#x", got)
+	}
+}
+
+func TestMemargOffsetOverflowTraps(t *testing.T) {
+	b := wasm.NewModule("ov")
+	b.Memory(1, 1)
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.LocalGet(0).Load(wasm.OpI32Load, 0xFFFFFFF0)
+	b.ExportFunc("f", f.End())
+	vm, err := interp.Instantiate(b.MustBuild(), interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base + offset overflows well past memory: must trap, not wrap.
+	if _, err := vm.InvokeExport("f", 0x100); err == nil {
+		t.Error("offset overflow did not trap")
+	}
+}
+
+// TestQuickDivRemIdentity property-checks (a/b)*b + a%b == a for non-zero b.
+func TestQuickDivRemIdentity(t *testing.T) {
+	div := binop(t, wasm.OpI32DivS, wasm.I32, wasm.I32)
+	rem := binop(t, wasm.OpI32RemS, wasm.I32, wasm.I32)
+	f := func(a int32, b int32) bool {
+		if b == 0 || (a == math.MinInt32 && b == -1) {
+			return true
+		}
+		q := int32(uint32(call1(t, div, uint64(uint32(a)), uint64(uint32(b)))))
+		r := int32(uint32(call1(t, rem, uint64(uint32(a)), uint64(uint32(b)))))
+		return q*b+r == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinaryRoundTripExecutionEquivalence: encoding to wasm binary and
+// decoding back must not change behaviour — results, traps, or instruction
+// counts — across random structured programs.
+func TestBinaryRoundTripExecutionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xB1A))
+	for trial := 0; trial < 30; trial++ {
+		m := randomProgram(rng)
+		bin, err := wasmbin.Encode(m)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		back, err := wasmbin.Decode(bin)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		arg := uint64(rng.Intn(25))
+		r1, c1, e1 := execCounted(m, arg)
+		r2, c2, e2 := execCounted(back, arg)
+		if (e1 == nil) != (e2 == nil) || r1 != r2 || c1 != c2 {
+			t.Errorf("trial %d: diverged: %d/%d %d/%d %v/%v", trial, r1, r2, c1, c2, e1, e2)
+		}
+	}
+}
+
+func execCounted(m *wasm.Module, arg uint64) (uint64, uint64, error) {
+	vm, err := interp.Instantiate(m, interp.Config{CostModel: weights.Unit(), Fuel: 1 << 20})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := vm.InvokeExport("main", arg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res[0], vm.Cost(), nil
+}
+
+// randomProgram mirrors the generator used elsewhere: loops, branches,
+// i32/i64 arithmetic, memory traffic.
+func randomProgram(rng *rand.Rand) *wasm.Module {
+	b := wasm.NewModule("r")
+	b.Memory(1, 2)
+	f := b.Func("main", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	x := f.Local(wasm.I32)
+	f.LocalGet(0).LocalSet(x)
+	n := rng.Intn(6) + 2
+	for k := 0; k < n; k++ {
+		switch rng.Intn(4) {
+		case 0:
+			f.LocalGet(x).I32Const(int32(rng.Intn(11) + 1)).Op(wasm.OpI32Mul).LocalSet(x)
+		case 1:
+			i := f.Local(wasm.I32)
+			f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(int32(rng.Intn(6)))}, 1, func() {
+				f.LocalGet(x).I32Const(1).Op(wasm.OpI32Add).LocalSet(x)
+			})
+		case 2:
+			f.LocalGet(x).I32Const(1).Op(wasm.OpI32And)
+			f.If(wasm.BlockEmpty, func() {
+				f.LocalGet(x).I32Const(3).Op(wasm.OpI32Add).LocalSet(x)
+			}, func() {
+				f.LocalGet(x).I32Const(1).Op(wasm.OpI32ShrU).LocalSet(x)
+			})
+		case 3:
+			f.LocalGet(x).I32Const(255).Op(wasm.OpI32And)
+			f.LocalGet(x)
+			f.Store(wasm.OpI32Store, 128)
+			f.LocalGet(x).I32Const(255).Op(wasm.OpI32And)
+			f.Load(wasm.OpI32Load, 128)
+			f.LocalSet(x)
+		}
+	}
+	f.LocalGet(x)
+	b.ExportFunc("main", f.End())
+	return b.MustBuild()
+}

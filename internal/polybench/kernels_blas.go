@@ -1,0 +1,897 @@
+package polybench
+
+import (
+	"acctee/internal/wasm"
+)
+
+// This file implements the linear-algebra (BLAS-like) PolyBench kernels:
+// gemm, gemver, gesummv, symm, syr2k, syrk, trmm, 2mm, 3mm, atax, bicg,
+// mvt, doitgen. Each kernel mirrors the PolyBench/C 4.2.1 loop structure;
+// the wasm and native versions perform the same IEEE-754 operations in the
+// same order, so checksums match exactly.
+
+// initFormula is the PolyBench-style deterministic initialiser
+// ((i*op j + c) % m) / n as f64.
+func initVal(i, j, c, m, n int) float64 {
+	return float64((i*j+c)%m) / float64(n)
+}
+
+// init2 emits arr[i][j] = ((i*j+c) % m)/n for the wasm side.
+func (k *kb) init2(base int32, rows, cols int32, i, j uint32, c, m int32, n int) {
+	k.loop(i, k.ci(0), k.ci(rows), func() {
+		k.loop(j, k.ci(0), k.ci(cols), func() {
+			k.fstore(base, k.idx2(k.get(i), cols, k.get(j)),
+				k.div(k.i2f(k.imod(k.iadd(k.imul(k.get(i), k.get(j)), k.ci(c)), m)), k.cf(float64(n))))
+		})
+	})
+}
+
+// init1 emits arr[i] = ((i*f+c) % m)/n.
+func (k *kb) init1(base int32, count int32, i uint32, f, c, m int32, n int) {
+	k.loop(i, k.ci(0), k.ci(count), func() {
+		k.fstore(base, k.get(i),
+			k.div(k.i2f(k.imod(k.iadd(k.imul(k.get(i), k.ci(f)), k.ci(c)), m)), k.cf(float64(n))))
+	})
+}
+
+func nativeInit2(a []float64, rows, cols, c, m, n int) {
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			a[i*cols+j] = float64((i*j+c)%m) / float64(n)
+		}
+	}
+}
+
+func nativeInit1(a []float64, count, f, c, m, n int) {
+	for i := 0; i < count; i++ {
+		a[i] = float64((i*f+c)%m) / float64(n)
+	}
+}
+
+func sum(arrs ...[]float64) float64 {
+	var s float64
+	for _, a := range arrs {
+		for _, v := range a {
+			s += v
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// gemm: C = alpha*A*B + beta*C
+
+func buildGemm(n int) (*wasm.Module, error) {
+	k, _ := newKB("gemm")
+	N := int32(n)
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	C := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(B, N, N, i, j, 2, N, int(N))
+	k.init2(C, N, N, i, j, 3, N, int(N))
+	const alpha, beta = 1.5, 1.2
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(C, k.idx2(k.get(i), N, k.get(j)),
+				k.mul(k.fload(C, k.idx2(k.get(i), N, k.get(j))), k.cf(beta)))
+		})
+		k.loop(l, k.ci(0), k.ci(N), func() {
+			k.loop(j, k.ci(0), k.ci(N), func() {
+				k.fstore(C, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(C, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.mul(k.cf(alpha), k.fload(A, k.idx2(k.get(i), N, k.get(l)))),
+							k.fload(B, k.idx2(k.get(l), N, k.get(j))))))
+			})
+		})
+	})
+	k.checksum([]int32{C}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeGemm(n int) float64 {
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	C := make([]float64, n*n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(B, n, n, 2, n, n)
+	nativeInit2(C, n, n, 3, n, n)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			C[i*n+j] = C[i*n+j] * beta
+		}
+		for l := 0; l < n; l++ {
+			for j := 0; j < n; j++ {
+				C[i*n+j] = C[i*n+j] + alpha*A[i*n+l]*B[l*n+j]
+			}
+		}
+	}
+	return sum(C)
+}
+
+// ---------------------------------------------------------------------------
+// gesummv: y = alpha*A*x + beta*B*x
+
+func buildGesummv(n int) (*wasm.Module, error) {
+	k, _ := newKB("gesummv")
+	N := int32(n)
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	x := k.alloc(n)
+	y := k.alloc(n)
+	tmp := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j := k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(B, N, N, i, j, 2, N, int(N))
+	k.init1(x, N, i, 3, 1, N, int(N))
+	const alpha, beta = 1.5, 1.2
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(tmp, k.get(i), k.cf(0))
+		k.fstore(y, k.get(i), k.cf(0))
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(tmp, k.get(i),
+				k.add(k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(j))), k.fload(x, k.get(j))),
+					k.fload(tmp, k.get(i))))
+			k.fstore(y, k.get(i),
+				k.add(k.mul(k.fload(B, k.idx2(k.get(i), N, k.get(j))), k.fload(x, k.get(j))),
+					k.fload(y, k.get(i))))
+		})
+		k.fstore(y, k.get(i),
+			k.add(k.mul(k.cf(alpha), k.fload(tmp, k.get(i))),
+				k.mul(k.cf(beta), k.fload(y, k.get(i)))))
+	})
+	k.checksum([]int32{y}, []int{n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeGesummv(n int) float64 {
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	tmp := make([]float64, n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(B, n, n, 2, n, n)
+	nativeInit1(x, n, 3, 1, n, n)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		tmp[i] = 0
+		y[i] = 0
+		for j := 0; j < n; j++ {
+			tmp[i] = A[i*n+j]*x[j] + tmp[i]
+			y[i] = B[i*n+j]*x[j] + y[i]
+		}
+		y[i] = alpha*tmp[i] + beta*y[i]
+	}
+	return sum(y)
+}
+
+// ---------------------------------------------------------------------------
+// gemver: multiple matrix-vector products and rank-1 updates
+
+func buildGemver(n int) (*wasm.Module, error) {
+	k, _ := newKB("gemver")
+	N := int32(n)
+	A := k.alloc(n * n)
+	u1 := k.alloc(n)
+	v1 := k.alloc(n)
+	u2 := k.alloc(n)
+	v2 := k.alloc(n)
+	w := k.alloc(n)
+	x := k.alloc(n)
+	y := k.alloc(n)
+	z := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j := k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init1(u1, N, i, 1, 0, N, int(N))
+	k.init1(v1, N, i, 2, 1, N, int(N))
+	k.init1(u2, N, i, 3, 2, N, int(N))
+	k.init1(v2, N, i, 4, 3, N, int(N))
+	k.init1(y, N, i, 5, 4, N, int(N))
+	k.init1(z, N, i, 6, 5, N, int(N))
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(x, k.get(i), k.cf(0))
+		k.fstore(w, k.get(i), k.cf(0))
+	})
+	const alpha, beta = 1.5, 1.2
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+				k.add(k.fload(A, k.idx2(k.get(i), N, k.get(j))),
+					k.add(k.mul(k.fload(u1, k.get(i)), k.fload(v1, k.get(j))),
+						k.mul(k.fload(u2, k.get(i)), k.fload(v2, k.get(j))))))
+		})
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(x, k.get(i),
+				k.add(k.fload(x, k.get(i)),
+					k.mul(k.mul(k.cf(beta), k.fload(A, k.idx2(k.get(j), N, k.get(i)))),
+						k.fload(y, k.get(j)))))
+		})
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(x, k.get(i), k.add(k.fload(x, k.get(i)), k.fload(z, k.get(i))))
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(w, k.get(i),
+				k.add(k.fload(w, k.get(i)),
+					k.mul(k.mul(k.cf(alpha), k.fload(A, k.idx2(k.get(i), N, k.get(j)))),
+						k.fload(x, k.get(j)))))
+		})
+	})
+	k.checksum([]int32{w}, []int{n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeGemver(n int) float64 {
+	A := make([]float64, n*n)
+	u1 := make([]float64, n)
+	v1 := make([]float64, n)
+	u2 := make([]float64, n)
+	v2 := make([]float64, n)
+	w := make([]float64, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit1(u1, n, 1, 0, n, n)
+	nativeInit1(v1, n, 2, 1, n, n)
+	nativeInit1(u2, n, 3, 2, n, n)
+	nativeInit1(v2, n, 4, 3, n, n)
+	nativeInit1(y, n, 5, 4, n, n)
+	nativeInit1(z, n, 6, 5, n, n)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			A[i*n+j] = A[i*n+j] + u1[i]*v1[j] + u2[i]*v2[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x[i] = x[i] + beta*A[j*n+i]*y[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] = x[i] + z[i]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w[i] = w[i] + alpha*A[i*n+j]*x[j]
+		}
+	}
+	return sum(w)
+}
+
+// ---------------------------------------------------------------------------
+// atax: y = A^T (A x)
+
+func buildAtax(n int) (*wasm.Module, error) {
+	k, _ := newKB("atax")
+	N := int32(n)
+	A := k.alloc(n * n)
+	x := k.alloc(n)
+	y := k.alloc(n)
+	tmp := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j := k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init1(x, N, i, 1, 1, N, int(N))
+	k.loop(i, k.ci(0), k.ci(N), func() { k.fstore(y, k.get(i), k.cf(0)) })
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(tmp, k.get(i), k.cf(0))
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(tmp, k.get(i),
+				k.add(k.fload(tmp, k.get(i)),
+					k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(j))), k.fload(x, k.get(j)))))
+		})
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(y, k.get(j),
+				k.add(k.fload(y, k.get(j)),
+					k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(j))), k.fload(tmp, k.get(i)))))
+		})
+	})
+	k.checksum([]int32{y}, []int{n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeAtax(n int) float64 {
+	A := make([]float64, n*n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	tmp := make([]float64, n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit1(x, n, 1, 1, n, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = 0
+		for j := 0; j < n; j++ {
+			tmp[i] = tmp[i] + A[i*n+j]*x[j]
+		}
+		for j := 0; j < n; j++ {
+			y[j] = y[j] + A[i*n+j]*tmp[i]
+		}
+	}
+	return sum(y)
+}
+
+// ---------------------------------------------------------------------------
+// bicg: s = r^T A, q = A p
+
+func buildBicg(n int) (*wasm.Module, error) {
+	k, _ := newKB("bicg")
+	N := int32(n)
+	A := k.alloc(n * n)
+	s := k.alloc(n)
+	q := k.alloc(n)
+	p := k.alloc(n)
+	r := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j := k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init1(p, N, i, 1, 0, N, int(N))
+	k.init1(r, N, i, 2, 1, N, int(N))
+	k.loop(i, k.ci(0), k.ci(N), func() { k.fstore(s, k.get(i), k.cf(0)) })
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(q, k.get(i), k.cf(0))
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(s, k.get(j),
+				k.add(k.fload(s, k.get(j)),
+					k.mul(k.fload(r, k.get(i)), k.fload(A, k.idx2(k.get(i), N, k.get(j))))))
+			k.fstore(q, k.get(i),
+				k.add(k.fload(q, k.get(i)),
+					k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(j))), k.fload(p, k.get(j)))))
+		})
+	})
+	k.checksum([]int32{s, q}, []int{n, n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeBicg(n int) float64 {
+	A := make([]float64, n*n)
+	s := make([]float64, n)
+	q := make([]float64, n)
+	p := make([]float64, n)
+	r := make([]float64, n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit1(p, n, 1, 0, n, n)
+	nativeInit1(r, n, 2, 1, n, n)
+	for i := 0; i < n; i++ {
+		q[i] = 0
+		for j := 0; j < n; j++ {
+			s[j] = s[j] + r[i]*A[i*n+j]
+			q[i] = q[i] + A[i*n+j]*p[j]
+		}
+	}
+	return sum(s, q)
+}
+
+// ---------------------------------------------------------------------------
+// mvt: x1 += A y1 ; x2 += A^T y2
+
+func buildMvt(n int) (*wasm.Module, error) {
+	k, _ := newKB("mvt")
+	N := int32(n)
+	A := k.alloc(n * n)
+	x1 := k.alloc(n)
+	x2 := k.alloc(n)
+	y1 := k.alloc(n)
+	y2 := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j := k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init1(x1, N, i, 1, 0, N, int(N))
+	k.init1(x2, N, i, 2, 1, N, int(N))
+	k.init1(y1, N, i, 3, 2, N, int(N))
+	k.init1(y2, N, i, 4, 3, N, int(N))
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(x1, k.get(i),
+				k.add(k.fload(x1, k.get(i)),
+					k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(j))), k.fload(y1, k.get(j)))))
+		})
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(x2, k.get(i),
+				k.add(k.fload(x2, k.get(i)),
+					k.mul(k.fload(A, k.idx2(k.get(j), N, k.get(i))), k.fload(y2, k.get(j)))))
+		})
+	})
+	k.checksum([]int32{x1, x2}, []int{n, n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeMvt(n int) float64 {
+	A := make([]float64, n*n)
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y1 := make([]float64, n)
+	y2 := make([]float64, n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit1(x1, n, 1, 0, n, n)
+	nativeInit1(x2, n, 2, 1, n, n)
+	nativeInit1(y1, n, 3, 2, n, n)
+	nativeInit1(y2, n, 4, 3, n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x1[i] = x1[i] + A[i*n+j]*y1[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x2[i] = x2[i] + A[j*n+i]*y2[j]
+		}
+	}
+	return sum(x1, x2)
+}
+
+// ---------------------------------------------------------------------------
+// 2mm: D = alpha*A*B*C + beta*D
+
+func build2mm(n int) (*wasm.Module, error) {
+	k, _ := newKB("2mm")
+	N := int32(n)
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	C := k.alloc(n * n)
+	D := k.alloc(n * n)
+	tmp := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(B, N, N, i, j, 2, N, int(N))
+	k.init2(C, N, N, i, j, 3, N, int(N))
+	k.init2(D, N, N, i, j, 4, N, int(N))
+	const alpha, beta = 1.5, 1.2
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(tmp, k.idx2(k.get(i), N, k.get(j)), k.cf(0))
+			k.loop(l, k.ci(0), k.ci(N), func() {
+				k.fstore(tmp, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(tmp, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.mul(k.cf(alpha), k.fload(A, k.idx2(k.get(i), N, k.get(l)))),
+							k.fload(B, k.idx2(k.get(l), N, k.get(j))))))
+			})
+		})
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(D, k.idx2(k.get(i), N, k.get(j)),
+				k.mul(k.fload(D, k.idx2(k.get(i), N, k.get(j))), k.cf(beta)))
+			k.loop(l, k.ci(0), k.ci(N), func() {
+				k.fstore(D, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(D, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(tmp, k.idx2(k.get(i), N, k.get(l))),
+							k.fload(C, k.idx2(k.get(l), N, k.get(j))))))
+			})
+		})
+	})
+	k.checksum([]int32{D}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func native2mm(n int) float64 {
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	C := make([]float64, n*n)
+	D := make([]float64, n*n)
+	tmp := make([]float64, n*n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(B, n, n, 2, n, n)
+	nativeInit2(C, n, n, 3, n, n)
+	nativeInit2(D, n, n, 4, n, n)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tmp[i*n+j] = 0
+			for l := 0; l < n; l++ {
+				tmp[i*n+j] = tmp[i*n+j] + alpha*A[i*n+l]*B[l*n+j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			D[i*n+j] = D[i*n+j] * beta
+			for l := 0; l < n; l++ {
+				D[i*n+j] = D[i*n+j] + tmp[i*n+l]*C[l*n+j]
+			}
+		}
+	}
+	return sum(D)
+}
+
+// ---------------------------------------------------------------------------
+// 3mm: G = (A*B)*(C*D)
+
+func build3mm(n int) (*wasm.Module, error) {
+	k, _ := newKB("3mm")
+	N := int32(n)
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	C := k.alloc(n * n)
+	D := k.alloc(n * n)
+	E := k.alloc(n * n)
+	F := k.alloc(n * n)
+	G := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(B, N, N, i, j, 2, N, int(N))
+	k.init2(C, N, N, i, j, 3, N, int(N))
+	k.init2(D, N, N, i, j, 4, N, int(N))
+	matmul := func(dst, x, y int32) {
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			k.loop(j, k.ci(0), k.ci(N), func() {
+				k.fstore(dst, k.idx2(k.get(i), N, k.get(j)), k.cf(0))
+				k.loop(l, k.ci(0), k.ci(N), func() {
+					k.fstore(dst, k.idx2(k.get(i), N, k.get(j)),
+						k.add(k.fload(dst, k.idx2(k.get(i), N, k.get(j))),
+							k.mul(k.fload(x, k.idx2(k.get(i), N, k.get(l))),
+								k.fload(y, k.idx2(k.get(l), N, k.get(j))))))
+				})
+			})
+		})
+	}
+	matmul(E, A, B)
+	matmul(F, C, D)
+	matmul(G, E, F)
+	k.checksum([]int32{G}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func native3mm(n int) float64 {
+	mk := func() []float64 { return make([]float64, n*n) }
+	A, B, C, D, E, F, G := mk(), mk(), mk(), mk(), mk(), mk(), mk()
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(B, n, n, 2, n, n)
+	nativeInit2(C, n, n, 3, n, n)
+	nativeInit2(D, n, n, 4, n, n)
+	matmul := func(dst, x, y []float64) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dst[i*n+j] = 0
+				for l := 0; l < n; l++ {
+					dst[i*n+j] = dst[i*n+j] + x[i*n+l]*y[l*n+j]
+				}
+			}
+		}
+	}
+	matmul(E, A, B)
+	matmul(F, C, D)
+	matmul(G, E, F)
+	return sum(G)
+}
+
+// ---------------------------------------------------------------------------
+// doitgen: 3-D tensor times matrix
+
+func buildDoitgen(n int) (*wasm.Module, error) {
+	k, _ := newKB("doitgen")
+	N := int32(n)
+	A := k.alloc(n * n * n)
+	C4 := k.alloc(n * n)
+	sumv := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	r, q, p, s := k.local(), k.local(), k.local(), k.local()
+	acc := k.flocal()
+	// init A[r][q][p] = ((r*q+p)%n)/n
+	k.loop(r, k.ci(0), k.ci(N), func() {
+		k.loop(q, k.ci(0), k.ci(N), func() {
+			k.loop(p, k.ci(0), k.ci(N), func() {
+				k.fstore(A, k.idx3(k.get(r), N, k.get(q), N, k.get(p)),
+					k.div(k.i2f(k.imod(k.iadd(k.imul(k.get(r), k.get(q)), k.get(p)), N)), k.cf(float64(n))))
+			})
+		})
+	})
+	k.init2(C4, N, N, r, q, 1, N, int(N))
+	k.loop(r, k.ci(0), k.ci(N), func() {
+		k.loop(q, k.ci(0), k.ci(N), func() {
+			k.loop(p, k.ci(0), k.ci(N), func() {
+				k.fstore(sumv, k.get(p), k.cf(0))
+				k.loop(s, k.ci(0), k.ci(N), func() {
+					k.fstore(sumv, k.get(p),
+						k.add(k.fload(sumv, k.get(p)),
+							k.mul(k.fload(A, k.idx3(k.get(r), N, k.get(q), N, k.get(s))),
+								k.fload(C4, k.idx2(k.get(s), N, k.get(p))))))
+				})
+			})
+			k.loop(p, k.ci(0), k.ci(N), func() {
+				k.fstore(A, k.idx3(k.get(r), N, k.get(q), N, k.get(p)), k.fload(sumv, k.get(p)))
+			})
+		})
+	})
+	k.checksum([]int32{A}, []int{n * n * n}, acc, r)
+	return k.finishModule()
+}
+
+func nativeDoitgen(n int) float64 {
+	A := make([]float64, n*n*n)
+	C4 := make([]float64, n*n)
+	sumv := make([]float64, n)
+	for r := 0; r < n; r++ {
+		for q := 0; q < n; q++ {
+			for p := 0; p < n; p++ {
+				A[(r*n+q)*n+p] = float64((r*q+p)%n) / float64(n)
+			}
+		}
+	}
+	nativeInit2(C4, n, n, 1, n, n)
+	for r := 0; r < n; r++ {
+		for q := 0; q < n; q++ {
+			for p := 0; p < n; p++ {
+				sumv[p] = 0
+				for s := 0; s < n; s++ {
+					sumv[p] = sumv[p] + A[(r*n+q)*n+s]*C4[s*n+p]
+				}
+			}
+			for p := 0; p < n; p++ {
+				A[(r*n+q)*n+p] = sumv[p]
+			}
+		}
+	}
+	return sum(A)
+}
+
+// ---------------------------------------------------------------------------
+// syrk: C = alpha*A*A^T + beta*C (lower triangle)
+
+func buildSyrk(n int) (*wasm.Module, error) {
+	k, _ := newKB("syrk")
+	N := int32(n)
+	A := k.alloc(n * n)
+	C := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(C, N, N, i, j, 2, N, int(N))
+	const alpha, beta = 1.5, 1.2
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		// for j <= i
+		k.loop(j, k.ci(0), k.iadd(k.get(i), k.ci(1)), func() {
+			k.fstore(C, k.idx2(k.get(i), N, k.get(j)),
+				k.mul(k.fload(C, k.idx2(k.get(i), N, k.get(j))), k.cf(beta)))
+		})
+		k.loop(l, k.ci(0), k.ci(N), func() {
+			k.loop(j, k.ci(0), k.iadd(k.get(i), k.ci(1)), func() {
+				k.fstore(C, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(C, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.mul(k.cf(alpha), k.fload(A, k.idx2(k.get(i), N, k.get(l)))),
+							k.fload(A, k.idx2(k.get(j), N, k.get(l))))))
+			})
+		})
+	})
+	k.checksum([]int32{C}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeSyrk(n int) float64 {
+	A := make([]float64, n*n)
+	C := make([]float64, n*n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(C, n, n, 2, n, n)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			C[i*n+j] = C[i*n+j] * beta
+		}
+		for l := 0; l < n; l++ {
+			for j := 0; j <= i; j++ {
+				C[i*n+j] = C[i*n+j] + alpha*A[i*n+l]*A[j*n+l]
+			}
+		}
+	}
+	return sum(C)
+}
+
+// ---------------------------------------------------------------------------
+// syr2k: C = alpha*(A*B^T + B*A^T) + beta*C (lower triangle)
+
+func buildSyr2k(n int) (*wasm.Module, error) {
+	k, _ := newKB("syr2k")
+	N := int32(n)
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	C := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(B, N, N, i, j, 2, N, int(N))
+	k.init2(C, N, N, i, j, 3, N, int(N))
+	const alpha, beta = 1.5, 1.2
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.iadd(k.get(i), k.ci(1)), func() {
+			k.fstore(C, k.idx2(k.get(i), N, k.get(j)),
+				k.mul(k.fload(C, k.idx2(k.get(i), N, k.get(j))), k.cf(beta)))
+		})
+		k.loop(l, k.ci(0), k.ci(N), func() {
+			k.loop(j, k.ci(0), k.iadd(k.get(i), k.ci(1)), func() {
+				k.fstore(C, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(C, k.idx2(k.get(i), N, k.get(j))),
+						k.add(
+							k.mul(k.mul(k.fload(A, k.idx2(k.get(j), N, k.get(l))), k.cf(alpha)),
+								k.fload(B, k.idx2(k.get(i), N, k.get(l)))),
+							k.mul(k.mul(k.fload(B, k.idx2(k.get(j), N, k.get(l))), k.cf(alpha)),
+								k.fload(A, k.idx2(k.get(i), N, k.get(l)))))))
+			})
+		})
+	})
+	k.checksum([]int32{C}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeSyr2k(n int) float64 {
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	C := make([]float64, n*n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(B, n, n, 2, n, n)
+	nativeInit2(C, n, n, 3, n, n)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			C[i*n+j] = C[i*n+j] * beta
+		}
+		for l := 0; l < n; l++ {
+			for j := 0; j <= i; j++ {
+				C[i*n+j] = C[i*n+j] + A[j*n+l]*alpha*B[i*n+l] + B[j*n+l]*alpha*A[i*n+l]
+			}
+		}
+	}
+	return sum(C)
+}
+
+// ---------------------------------------------------------------------------
+// symm: symmetric matrix multiply
+
+func buildSymm(n int) (*wasm.Module, error) {
+	k, _ := newKB("symm")
+	N := int32(n)
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	C := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	temp2 := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(B, N, N, i, j, 2, N, int(N))
+	k.init2(C, N, N, i, j, 3, N, int(N))
+	const alpha, beta = 1.5, 1.2
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fsetLocal(temp2, k.cf(0))
+			k.loop(l, k.ci(0), k.get(i), func() {
+				k.fstore(C, k.idx2(k.get(l), N, k.get(j)),
+					k.add(k.fload(C, k.idx2(k.get(l), N, k.get(j))),
+						k.mul(k.mul(k.cf(alpha), k.fload(B, k.idx2(k.get(i), N, k.get(j)))),
+							k.fload(A, k.idx2(k.get(i), N, k.get(l))))))
+				k.fsetLocal(temp2,
+					k.add(k.fget(temp2),
+						k.mul(k.fload(B, k.idx2(k.get(l), N, k.get(j))),
+							k.fload(A, k.idx2(k.get(i), N, k.get(l))))))
+			})
+			k.fstore(C, k.idx2(k.get(i), N, k.get(j)),
+				k.add(k.add(
+					k.mul(k.cf(beta), k.fload(C, k.idx2(k.get(i), N, k.get(j)))),
+					k.mul(k.mul(k.cf(alpha), k.fload(B, k.idx2(k.get(i), N, k.get(j)))),
+						k.fload(A, k.idx2(k.get(i), N, k.get(i))))),
+					k.mul(k.cf(alpha), k.fget(temp2))))
+		})
+	})
+	k.checksum([]int32{C}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeSymm(n int) float64 {
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	C := make([]float64, n*n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(B, n, n, 2, n, n)
+	nativeInit2(C, n, n, 3, n, n)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			temp2 := 0.0
+			for l := 0; l < i; l++ {
+				C[l*n+j] = C[l*n+j] + alpha*B[i*n+j]*A[i*n+l]
+				temp2 = temp2 + B[l*n+j]*A[i*n+l]
+			}
+			C[i*n+j] = beta*C[i*n+j] + alpha*B[i*n+j]*A[i*n+i] + alpha*temp2
+		}
+	}
+	return sum(C)
+}
+
+// ---------------------------------------------------------------------------
+// trmm: triangular matrix multiply B := alpha * A^T * B
+
+func buildTrmm(n int) (*wasm.Module, error) {
+	k, _ := newKB("trmm")
+	N := int32(n)
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 1, N, int(N))
+	k.init2(B, N, N, i, j, 2, N, int(N))
+	const alpha = 1.5
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			// for l = i+1 .. n
+			k.f.ForI32(l, exprInstrs(k, k.iadd(k.get(i), k.ci(1))), exprInstrs(k, k.ci(N)), 1, func() {
+				k.fstore(B, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(B, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(A, k.idx2(k.get(l), N, k.get(i))),
+							k.fload(B, k.idx2(k.get(l), N, k.get(j))))))
+			})
+			k.fstore(B, k.idx2(k.get(i), N, k.get(j)),
+				k.mul(k.cf(alpha), k.fload(B, k.idx2(k.get(i), N, k.get(j)))))
+		})
+	})
+	k.checksum([]int32{B}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeTrmm(n int) float64 {
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	nativeInit2(A, n, n, 1, n, n)
+	nativeInit2(B, n, n, 2, n, n)
+	const alpha = 1.5
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for l := i + 1; l < n; l++ {
+				B[i*n+j] = B[i*n+j] + A[l*n+i]*B[l*n+j]
+			}
+			B[i*n+j] = alpha * B[i*n+j]
+		}
+	}
+	return sum(B)
+}
+
+func registerBLAS() {
+	register(Kernel{Name: "gemm", Build: buildGemm, Native: nativeGemm, DefaultN: 24})
+	register(Kernel{Name: "gesummv", Build: buildGesummv, Native: nativeGesummv, DefaultN: 40})
+	register(Kernel{Name: "gemver", Build: buildGemver, Native: nativeGemver, DefaultN: 40})
+	register(Kernel{Name: "atax", Build: buildAtax, Native: nativeAtax, DefaultN: 40})
+	register(Kernel{Name: "bicg", Build: buildBicg, Native: nativeBicg, DefaultN: 40})
+	register(Kernel{Name: "mvt", Build: buildMvt, Native: nativeMvt, DefaultN: 40})
+	register(Kernel{Name: "2mm", Build: build2mm, Native: native2mm, DefaultN: 20})
+	register(Kernel{Name: "3mm", Build: build3mm, Native: native3mm, DefaultN: 18})
+	register(Kernel{Name: "doitgen", Build: buildDoitgen, Native: nativeDoitgen, DefaultN: 14, MemoryHeavy: true})
+	register(Kernel{Name: "syrk", Build: buildSyrk, Native: nativeSyrk, DefaultN: 24})
+	register(Kernel{Name: "syr2k", Build: buildSyr2k, Native: nativeSyr2k, DefaultN: 22})
+	register(Kernel{Name: "symm", Build: buildSymm, Native: nativeSymm, DefaultN: 24})
+	register(Kernel{Name: "trmm", Build: buildTrmm, Native: nativeTrmm, DefaultN: 24})
+}

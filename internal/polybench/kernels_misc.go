@@ -1,0 +1,487 @@
+package polybench
+
+import (
+	"math"
+
+	"acctee/internal/wasm"
+)
+
+// This file implements the data-mining and remaining PolyBench kernels:
+// correlation, covariance, deriche, nussinov.
+
+// ---------------------------------------------------------------------------
+// covariance
+
+func buildCovariance(n int) (*wasm.Module, error) {
+	k, _ := newKB("covariance")
+	N := int32(n)
+	data := k.alloc(n * n)
+	mean := k.alloc(n)
+	cov := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(data, N, N, i, j, 1, N, int(N))
+	fn := float64(n)
+	k.loop(j, k.ci(0), k.ci(N), func() {
+		k.fstore(mean, k.get(j), k.cf(0))
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			k.fstore(mean, k.get(j),
+				k.add(k.fload(mean, k.get(j)), k.fload(data, k.idx2(k.get(i), N, k.get(j)))))
+		})
+		k.fstore(mean, k.get(j), k.div(k.fload(mean, k.get(j)), k.cf(fn)))
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(data, k.idx2(k.get(i), N, k.get(j)),
+				k.sub(k.fload(data, k.idx2(k.get(i), N, k.get(j))), k.fload(mean, k.get(j))))
+		})
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.f.ForI32(j, exprInstrs(k, k.get(i)), exprInstrs(k, k.ci(N)), 1, func() {
+			k.fstore(cov, k.idx2(k.get(i), N, k.get(j)), k.cf(0))
+			k.loop(l, k.ci(0), k.ci(N), func() {
+				k.fstore(cov, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(cov, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(data, k.idx2(k.get(l), N, k.get(i))),
+							k.fload(data, k.idx2(k.get(l), N, k.get(j))))))
+			})
+			k.fstore(cov, k.idx2(k.get(i), N, k.get(j)),
+				k.div(k.fload(cov, k.idx2(k.get(i), N, k.get(j))), k.cf(fn-1)))
+			k.fstore(cov, k.idx2(k.get(j), N, k.get(i)),
+				k.fload(cov, k.idx2(k.get(i), N, k.get(j))))
+		})
+	})
+	k.checksum([]int32{cov}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeCovariance(n int) float64 {
+	data := make([]float64, n*n)
+	mean := make([]float64, n)
+	cov := make([]float64, n*n)
+	nativeInit2(data, n, n, 1, n, n)
+	fn := float64(n)
+	for j := 0; j < n; j++ {
+		mean[j] = 0
+		for i := 0; i < n; i++ {
+			mean[j] = mean[j] + data[i*n+j]
+		}
+		mean[j] = mean[j] / fn
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			data[i*n+j] = data[i*n+j] - mean[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			cov[i*n+j] = 0
+			for l := 0; l < n; l++ {
+				cov[i*n+j] = cov[i*n+j] + data[l*n+i]*data[l*n+j]
+			}
+			cov[i*n+j] = cov[i*n+j] / (fn - 1)
+			cov[j*n+i] = cov[i*n+j]
+		}
+	}
+	return sum(cov)
+}
+
+// ---------------------------------------------------------------------------
+// correlation
+
+func buildCorrelation(n int) (*wasm.Module, error) {
+	k, _ := newKB("correlation")
+	N := int32(n)
+	data := k.alloc(n * n)
+	mean := k.alloc(n)
+	stddev := k.alloc(n)
+	corr := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	s := k.flocal()
+	k.init2(data, N, N, i, j, 1, N, int(N))
+	fn := float64(n)
+	const eps = 0.1
+	k.loop(j, k.ci(0), k.ci(N), func() {
+		k.fstore(mean, k.get(j), k.cf(0))
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			k.fstore(mean, k.get(j),
+				k.add(k.fload(mean, k.get(j)), k.fload(data, k.idx2(k.get(i), N, k.get(j)))))
+		})
+		k.fstore(mean, k.get(j), k.div(k.fload(mean, k.get(j)), k.cf(fn)))
+	})
+	k.loop(j, k.ci(0), k.ci(N), func() {
+		k.fstore(stddev, k.get(j), k.cf(0))
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			d := k.sub(k.fload(data, k.idx2(k.get(i), N, k.get(j))), k.fload(mean, k.get(j)))
+			d2 := k.sub(k.fload(data, k.idx2(k.get(i), N, k.get(j))), k.fload(mean, k.get(j)))
+			k.fstore(stddev, k.get(j), k.add(k.fload(stddev, k.get(j)), k.mul(d, d2)))
+		})
+		k.fstore(stddev, k.get(j), k.div(k.fload(stddev, k.get(j)), k.cf(fn)))
+		k.fstore(stddev, k.get(j), k.sqrtE(k.fload(stddev, k.get(j))))
+		// stddev[j] = stddev[j] <= eps ? 1.0 : stddev[j]
+		k.fsetLocal(s, k.fload(stddev, k.get(j)))
+		k.f.LocalGet(s).F64ConstV(eps).Op(wasm.OpF64Le)
+		k.f.If(wasm.BlockOf(wasm.F64), func() {
+			k.f.F64ConstV(1)
+		}, func() {
+			k.f.LocalGet(s)
+		})
+		k.f.LocalSet(s)
+		k.fstore(stddev, k.get(j), k.fget(s))
+	})
+	// normalise
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(data, k.idx2(k.get(i), N, k.get(j)),
+				k.sub(k.fload(data, k.idx2(k.get(i), N, k.get(j))), k.fload(mean, k.get(j))))
+			k.fstore(data, k.idx2(k.get(i), N, k.get(j)),
+				k.div(k.fload(data, k.idx2(k.get(i), N, k.get(j))),
+					k.mul(k.sqrtE(k.cf(fn)), k.fload(stddev, k.get(j)))))
+		})
+	})
+	// correlation matrix
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(corr, k.idx2(k.get(i), N, k.get(i)), k.cf(1))
+		k.f.ForI32(j, exprInstrs(k, k.iadd(k.get(i), k.ci(1))), exprInstrs(k, k.ci(N)), 1, func() {
+			k.fstore(corr, k.idx2(k.get(i), N, k.get(j)), k.cf(0))
+			k.loop(l, k.ci(0), k.ci(N), func() {
+				k.fstore(corr, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.fload(corr, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(data, k.idx2(k.get(l), N, k.get(i))),
+							k.fload(data, k.idx2(k.get(l), N, k.get(j))))))
+			})
+			k.fstore(corr, k.idx2(k.get(j), N, k.get(i)),
+				k.fload(corr, k.idx2(k.get(i), N, k.get(j))))
+		})
+	})
+	k.checksum([]int32{corr}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeCorrelation(n int) float64 {
+	data := make([]float64, n*n)
+	mean := make([]float64, n)
+	stddev := make([]float64, n)
+	corr := make([]float64, n*n)
+	nativeInit2(data, n, n, 1, n, n)
+	fn := float64(n)
+	const eps = 0.1
+	for j := 0; j < n; j++ {
+		mean[j] = 0
+		for i := 0; i < n; i++ {
+			mean[j] = mean[j] + data[i*n+j]
+		}
+		mean[j] = mean[j] / fn
+	}
+	for j := 0; j < n; j++ {
+		stddev[j] = 0
+		for i := 0; i < n; i++ {
+			d := data[i*n+j] - mean[j]
+			d2 := data[i*n+j] - mean[j]
+			stddev[j] = stddev[j] + d*d2
+		}
+		stddev[j] = stddev[j] / fn
+		stddev[j] = math.Sqrt(stddev[j])
+		if stddev[j] <= eps {
+			stddev[j] = 1.0
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			data[i*n+j] = data[i*n+j] - mean[j]
+			data[i*n+j] = data[i*n+j] / (math.Sqrt(fn) * stddev[j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		corr[i*n+i] = 1
+		for j := i + 1; j < n; j++ {
+			corr[i*n+j] = 0
+			for l := 0; l < n; l++ {
+				corr[i*n+j] = corr[i*n+j] + data[l*n+i]*data[l*n+j]
+			}
+			corr[j*n+i] = corr[i*n+j]
+		}
+	}
+	return sum(corr)
+}
+
+// ---------------------------------------------------------------------------
+// deriche: recursive edge-detection filter (horizontal + vertical passes).
+// The exponential filter coefficients are precomputed host-side constants —
+// identical in both versions — because Wasm MVP has no exp instruction.
+
+func dericheCoeffs() (a1, a2, a3, a4, b1, b2, c1 float64) {
+	alpha := 0.25
+	k := (1 - math.Exp(-alpha)) * (1 - math.Exp(-alpha)) /
+		(1 + 2*alpha*math.Exp(-alpha) - math.Exp(2*alpha))
+	a1 = k
+	a2 = k * math.Exp(-alpha) * (alpha - 1)
+	a3 = k * math.Exp(-alpha) * (alpha + 1)
+	a4 = -k * math.Exp(-2*alpha)
+	b1 = math.Pow(2, -alpha)
+	b2 = -math.Exp(-2 * alpha)
+	c1 = 1
+	return
+}
+
+func buildDeriche(n int) (*wasm.Module, error) {
+	k, _ := newKB("deriche")
+	N := int32(n)
+	img := k.alloc(n * n)
+	y1 := k.alloc(n * n)
+	y2 := k.alloc(n * n)
+	out := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, jj := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	ym1, ym2, xm1 := k.flocal(), k.flocal(), k.flocal()
+	a1, a2, a3, a4, b1, b2, c1 := dericheCoeffs()
+	k.init2(img, N, N, i, j, 1, 313, 313)
+	// horizontal forward pass
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fsetLocal(ym1, k.cf(0))
+		k.fsetLocal(ym2, k.cf(0))
+		k.fsetLocal(xm1, k.cf(0))
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(y1, k.idx2(k.get(i), N, k.get(j)),
+				k.add(k.add(
+					k.mul(k.cf(a1), k.fload(img, k.idx2(k.get(i), N, k.get(j)))),
+					k.mul(k.cf(a2), k.fget(xm1))),
+					k.add(k.mul(k.cf(b1), k.fget(ym1)), k.mul(k.cf(b2), k.fget(ym2)))))
+			k.fsetLocal(xm1, k.fload(img, k.idx2(k.get(i), N, k.get(j))))
+			k.fsetLocal(ym2, k.fget(ym1))
+			k.fsetLocal(ym1, k.fload(y1, k.idx2(k.get(i), N, k.get(j))))
+		})
+	})
+	// horizontal backward pass
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fsetLocal(ym1, k.cf(0))
+		k.fsetLocal(ym2, k.cf(0))
+		k.fsetLocal(xm1, k.cf(0))
+		k.loop(jj, k.ci(0), k.ci(N), func() {
+			k.f.I32Const(N - 1).LocalGet(jj).Op(wasm.OpI32Sub).LocalSet(j)
+			k.fstore(y2, k.idx2(k.get(i), N, k.get(j)),
+				k.add(k.add(
+					k.mul(k.cf(a3), k.fget(xm1)),
+					k.mul(k.cf(a4), k.fget(xm1))),
+					k.add(k.mul(k.cf(b1), k.fget(ym1)), k.mul(k.cf(b2), k.fget(ym2)))))
+			k.fsetLocal(xm1, k.fload(img, k.idx2(k.get(i), N, k.get(j))))
+			k.fsetLocal(ym2, k.fget(ym1))
+			k.fsetLocal(ym1, k.fload(y2, k.idx2(k.get(i), N, k.get(j))))
+		})
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(out, k.idx2(k.get(i), N, k.get(j)),
+				k.mul(k.cf(c1), k.add(k.fload(y1, k.idx2(k.get(i), N, k.get(j))),
+					k.fload(y2, k.idx2(k.get(i), N, k.get(j))))))
+		})
+	})
+	// vertical passes over out -> y1/y2 -> img
+	k.loop(j, k.ci(0), k.ci(N), func() {
+		k.fsetLocal(ym1, k.cf(0))
+		k.fsetLocal(ym2, k.cf(0))
+		k.fsetLocal(xm1, k.cf(0))
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			k.fstore(y1, k.idx2(k.get(i), N, k.get(j)),
+				k.add(k.add(
+					k.mul(k.cf(a1), k.fload(out, k.idx2(k.get(i), N, k.get(j)))),
+					k.mul(k.cf(a2), k.fget(xm1))),
+					k.add(k.mul(k.cf(b1), k.fget(ym1)), k.mul(k.cf(b2), k.fget(ym2)))))
+			k.fsetLocal(xm1, k.fload(out, k.idx2(k.get(i), N, k.get(j))))
+			k.fsetLocal(ym2, k.fget(ym1))
+			k.fsetLocal(ym1, k.fload(y1, k.idx2(k.get(i), N, k.get(j))))
+		})
+	})
+	k.loop(j, k.ci(0), k.ci(N), func() {
+		k.fsetLocal(ym1, k.cf(0))
+		k.fsetLocal(ym2, k.cf(0))
+		k.fsetLocal(xm1, k.cf(0))
+		k.loop(jj, k.ci(0), k.ci(N), func() {
+			k.f.I32Const(N - 1).LocalGet(jj).Op(wasm.OpI32Sub).LocalSet(i)
+			k.fstore(y2, k.idx2(k.get(i), N, k.get(j)),
+				k.add(k.add(
+					k.mul(k.cf(a3), k.fget(xm1)),
+					k.mul(k.cf(a4), k.fget(xm1))),
+					k.add(k.mul(k.cf(b1), k.fget(ym1)), k.mul(k.cf(b2), k.fget(ym2)))))
+			k.fsetLocal(xm1, k.fload(out, k.idx2(k.get(i), N, k.get(j))))
+			k.fsetLocal(ym2, k.fget(ym1))
+			k.fsetLocal(ym1, k.fload(y2, k.idx2(k.get(i), N, k.get(j))))
+		})
+	})
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(img, k.idx2(k.get(i), N, k.get(j)),
+				k.mul(k.cf(c1), k.add(k.fload(y1, k.idx2(k.get(i), N, k.get(j))),
+					k.fload(y2, k.idx2(k.get(i), N, k.get(j))))))
+		})
+	})
+	k.checksum([]int32{img}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeDeriche(n int) float64 {
+	img := make([]float64, n*n)
+	y1 := make([]float64, n*n)
+	y2 := make([]float64, n*n)
+	out := make([]float64, n*n)
+	a1, a2, a3, a4, b1, b2, c1 := dericheCoeffs()
+	nativeInit2(img, n, n, 1, 313, 313)
+	for i := 0; i < n; i++ {
+		ym1, ym2, xm1 := 0.0, 0.0, 0.0
+		for j := 0; j < n; j++ {
+			y1[i*n+j] = a1*img[i*n+j] + a2*xm1 + (b1*ym1 + b2*ym2)
+			xm1 = img[i*n+j]
+			ym2 = ym1
+			ym1 = y1[i*n+j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		ym1, ym2, xm1 := 0.0, 0.0, 0.0
+		for jj := 0; jj < n; jj++ {
+			j := n - 1 - jj
+			y2[i*n+j] = a3*xm1 + a4*xm1 + (b1*ym1 + b2*ym2)
+			xm1 = img[i*n+j]
+			ym2 = ym1
+			ym1 = y2[i*n+j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i*n+j] = c1 * (y1[i*n+j] + y2[i*n+j])
+		}
+	}
+	for j := 0; j < n; j++ {
+		ym1, ym2, xm1 := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			y1[i*n+j] = a1*out[i*n+j] + a2*xm1 + (b1*ym1 + b2*ym2)
+			xm1 = out[i*n+j]
+			ym2 = ym1
+			ym1 = y1[i*n+j]
+		}
+	}
+	for j := 0; j < n; j++ {
+		ym1, ym2, xm1 := 0.0, 0.0, 0.0
+		for jj := 0; jj < n; jj++ {
+			i := n - 1 - jj
+			y2[i*n+j] = a3*xm1 + a4*xm1 + (b1*ym1 + b2*ym2)
+			xm1 = out[i*n+j]
+			ym2 = ym1
+			ym1 = y2[i*n+j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			img[i*n+j] = c1 * (y1[i*n+j] + y2[i*n+j])
+		}
+	}
+	return sum(img)
+}
+
+// ---------------------------------------------------------------------------
+// nussinov: RNA secondary-structure dynamic program. The DP table holds
+// f64 scores; max via f64.max, base pairing via an equality test.
+
+func buildNussinov(n int) (*wasm.Module, error) {
+	k, _ := newKB("nussinov")
+	N := int32(n)
+	seq := k.alloc(n)
+	tbl := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l, ii := k.local(), k.local(), k.local(), k.local()
+	acc := k.flocal()
+	// seq[i] = (i+1) % 4
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(seq, k.get(i), k.i2f(k.imod(k.iaddc(k.get(i), 1), 4)))
+	})
+	// table zeroed
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(tbl, k.idx2(k.get(i), N, k.get(j)), k.cf(0))
+		})
+	})
+	maxInto := func(dst expr, cand expr, storeIdx expr) {
+		// tbl[storeIdx] = max(dst, cand)
+		storeIdx()
+		k.f.I32Const(8).Op(wasm.OpI32Mul)
+		dst()
+		cand()
+		k.f.Op(wasm.OpF64Max)
+		k.f.Store(wasm.OpF64Store, uint32(tbl))
+	}
+	// for i = N-1 down to 0; for j = i+1 .. N
+	k.loop(ii, k.ci(0), k.ci(N), func() {
+		k.f.I32Const(N - 1).LocalGet(ii).Op(wasm.OpI32Sub).LocalSet(i)
+		k.f.ForI32(j, exprInstrs(k, k.iadd(k.get(i), k.ci(1))), exprInstrs(k, k.ci(N)), 1, func() {
+			cur := k.idx2(k.get(i), N, k.get(j))
+			// option 1: tbl[i][j-1]
+			maxInto(k.fload(tbl, cur), k.fload(tbl, k.idx2(k.get(i), N, k.isubc(k.get(j), 1))), cur)
+			// option 2: tbl[i+1][j]
+			maxInto(k.fload(tbl, cur), k.fload(tbl, k.idx2(k.iaddc(k.get(i), 1), N, k.get(j))), cur)
+			// option 3: tbl[i+1][j-1] + match(i,j) when j-1 > i
+			k.f.LocalGet(j).I32Const(1).Op(wasm.OpI32Sub).LocalGet(i).Op(wasm.OpI32GtS)
+			k.f.If(wasm.BlockEmpty, func() {
+				match := func() {
+					// (seq[i]+seq[j] == 3) ? 1 : 0 as f64
+					k.fload(seq, k.get(i))()
+					k.fload(seq, k.get(j))()
+					k.f.Op(wasm.OpF64Add).F64ConstV(3).Op(wasm.OpF64Eq)
+					k.f.Op(wasm.OpF64ConvertI32S)
+				}
+				maxInto(k.fload(tbl, cur),
+					k.add(k.fload(tbl, k.idx2(k.iaddc(k.get(i), 1), N, k.isubc(k.get(j), 1))), match),
+					cur)
+			}, nil)
+			// option 4: split
+			k.f.ForI32(l, exprInstrs(k, k.iadd(k.get(i), k.ci(1))), exprInstrs(k, k.get(j)), 1, func() {
+				maxInto(k.fload(tbl, cur),
+					k.add(k.fload(tbl, k.idx2(k.get(i), N, k.get(l))),
+						k.fload(tbl, k.idx2(k.iaddc(k.get(l), 1), N, k.get(j)))),
+					cur)
+			})
+		})
+	})
+	k.checksum([]int32{tbl}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeNussinov(n int) float64 {
+	seq := make([]float64, n)
+	tbl := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		seq[i] = float64((i + 1) % 4)
+	}
+	max := func(a, b float64) float64 { return math.Max(a, b) }
+	for ii := 0; ii < n; ii++ {
+		i := n - 1 - ii
+		for j := i + 1; j < n; j++ {
+			tbl[i*n+j] = max(tbl[i*n+j], tbl[i*n+j-1])
+			tbl[i*n+j] = max(tbl[i*n+j], tbl[(i+1)*n+j])
+			if j-1 > i {
+				match := 0.0
+				if seq[i]+seq[j] == 3 {
+					match = 1
+				}
+				tbl[i*n+j] = max(tbl[i*n+j], tbl[(i+1)*n+j-1]+match)
+			}
+			for l := i + 1; l < j; l++ {
+				tbl[i*n+j] = max(tbl[i*n+j], tbl[i*n+l]+tbl[(l+1)*n+j])
+			}
+		}
+	}
+	return sum(tbl)
+}
+
+func registerMisc() {
+	register(Kernel{Name: "covariance", Build: buildCovariance, Native: nativeCovariance, DefaultN: 24})
+	register(Kernel{Name: "correlation", Build: buildCorrelation, Native: nativeCorrelation, DefaultN: 24})
+	register(Kernel{Name: "deriche", Build: buildDeriche, Native: nativeDeriche, DefaultN: 32})
+	register(Kernel{Name: "nussinov", Build: buildNussinov, Native: nativeNussinov, DefaultN: 26})
+}

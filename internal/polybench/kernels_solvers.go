@@ -1,0 +1,478 @@
+package polybench
+
+import (
+	"math"
+
+	"acctee/internal/wasm"
+)
+
+// This file implements the linear-solver PolyBench kernels: cholesky,
+// durbin, gramschmidt, lu, ludcmp, trisolv.
+
+// spd2 initialises a symmetric positive-definite-ish matrix the PolyBench
+// way: strong diagonal. A[i][j] = (i==j) ? n+2 : ((i+j)%n)/n + small.
+func (k *kb) spd2(base int32, N int32, i, j uint32) {
+	n := int(N)
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			// off-diagonal value
+			k.fstore(base, k.idx2(k.get(i), N, k.get(j)),
+				k.div(k.i2f(k.imod(k.iadd(k.get(i), k.get(j)), N)), k.cf(float64(2*n))))
+		})
+		// dominant diagonal
+		k.fstore(base, k.idx2(k.get(i), N, k.get(i)), k.cf(float64(n)+2))
+	})
+}
+
+func nativeSPD2(a []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float64((i+j)%n) / float64(2*n)
+		}
+		a[i*n+i] = float64(n) + 2
+	}
+}
+
+// sqrtE wraps f64.sqrt as an expr combinator.
+func (k *kb) sqrtE(e expr) expr {
+	return func() {
+		e()
+		k.f.Op(wasm.OpF64Sqrt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// cholesky: in-place Cholesky factorisation
+
+func buildCholesky(n int) (*wasm.Module, error) {
+	k, _ := newKB("cholesky")
+	N := int32(n)
+	A := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.spd2(A, N, i, j)
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		// for j < i: A[i][j] = (A[i][j] - sum_{l<j} A[i][l]*A[j][l]) / A[j][j]
+		k.loop(j, k.ci(0), k.get(i), func() {
+			k.loop(l, k.ci(0), k.get(j), func() {
+				k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+					k.sub(k.fload(A, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+							k.fload(A, k.idx2(k.get(j), N, k.get(l))))))
+			})
+			k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+				k.div(k.fload(A, k.idx2(k.get(i), N, k.get(j))),
+					k.fload(A, k.idx2(k.get(j), N, k.get(j)))))
+		})
+		// diagonal
+		k.loop(l, k.ci(0), k.get(i), func() {
+			k.fstore(A, k.idx2(k.get(i), N, k.get(i)),
+				k.sub(k.fload(A, k.idx2(k.get(i), N, k.get(i))),
+					k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+						k.fload(A, k.idx2(k.get(i), N, k.get(l))))))
+		})
+		k.fstore(A, k.idx2(k.get(i), N, k.get(i)),
+			k.sqrtE(k.fload(A, k.idx2(k.get(i), N, k.get(i)))))
+	})
+	k.checksum([]int32{A}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeCholesky(n int) float64 {
+	A := make([]float64, n*n)
+	nativeSPD2(A, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			for l := 0; l < j; l++ {
+				A[i*n+j] = A[i*n+j] - A[i*n+l]*A[j*n+l]
+			}
+			A[i*n+j] = A[i*n+j] / A[j*n+j]
+		}
+		for l := 0; l < i; l++ {
+			A[i*n+i] = A[i*n+i] - A[i*n+l]*A[i*n+l]
+		}
+		A[i*n+i] = math.Sqrt(A[i*n+i])
+	}
+	return sum(A)
+}
+
+// ---------------------------------------------------------------------------
+// lu: in-place LU decomposition
+
+func buildLu(n int) (*wasm.Module, error) {
+	k, _ := newKB("lu")
+	N := int32(n)
+	A := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.spd2(A, N, i, j)
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.get(i), func() {
+			k.loop(l, k.ci(0), k.get(j), func() {
+				k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+					k.sub(k.fload(A, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+							k.fload(A, k.idx2(k.get(l), N, k.get(j))))))
+			})
+			k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+				k.div(k.fload(A, k.idx2(k.get(i), N, k.get(j))),
+					k.fload(A, k.idx2(k.get(j), N, k.get(j)))))
+		})
+		k.f.ForI32(j, exprInstrs(k, k.get(i)), exprInstrs(k, k.ci(N)), 1, func() {
+			k.loop(l, k.ci(0), k.get(i), func() {
+				k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+					k.sub(k.fload(A, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+							k.fload(A, k.idx2(k.get(l), N, k.get(j))))))
+			})
+		})
+	})
+	k.checksum([]int32{A}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeLu(n int) float64 {
+	A := make([]float64, n*n)
+	nativeSPD2(A, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			for l := 0; l < j; l++ {
+				A[i*n+j] = A[i*n+j] - A[i*n+l]*A[l*n+j]
+			}
+			A[i*n+j] = A[i*n+j] / A[j*n+j]
+		}
+		for j := i; j < n; j++ {
+			for l := 0; l < i; l++ {
+				A[i*n+j] = A[i*n+j] - A[i*n+l]*A[l*n+j]
+			}
+		}
+	}
+	return sum(A)
+}
+
+// ---------------------------------------------------------------------------
+// ludcmp: LU decomposition + forward/back substitution
+
+func buildLudcmp(n int) (*wasm.Module, error) {
+	k, _ := newKB("ludcmp")
+	N := int32(n)
+	A := k.alloc(n * n)
+	b := k.alloc(n)
+	x := k.alloc(n)
+	y := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	ii := k.local() // ascending surrogate for the descending loop
+	acc := k.flocal()
+	w := k.flocal()
+	k.spd2(A, N, i, j)
+	k.init1(b, N, i, 2, 1, N, int(N))
+	// LU decomposition (same as lu, with scalar w as in PolyBench)
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.get(i), func() {
+			k.fsetLocal(w, k.fload(A, k.idx2(k.get(i), N, k.get(j))))
+			k.loop(l, k.ci(0), k.get(j), func() {
+				k.fsetLocal(w, k.sub(k.fget(w),
+					k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+						k.fload(A, k.idx2(k.get(l), N, k.get(j))))))
+			})
+			k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+				k.div(k.fget(w), k.fload(A, k.idx2(k.get(j), N, k.get(j)))))
+		})
+		k.f.ForI32(j, exprInstrs(k, k.get(i)), exprInstrs(k, k.ci(N)), 1, func() {
+			k.fsetLocal(w, k.fload(A, k.idx2(k.get(i), N, k.get(j))))
+			k.loop(l, k.ci(0), k.get(i), func() {
+				k.fsetLocal(w, k.sub(k.fget(w),
+					k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+						k.fload(A, k.idx2(k.get(l), N, k.get(j))))))
+			})
+			k.fstore(A, k.idx2(k.get(i), N, k.get(j)), k.fget(w))
+		})
+	})
+	// forward substitution: y
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fsetLocal(w, k.fload(b, k.get(i)))
+		k.loop(j, k.ci(0), k.get(i), func() {
+			k.fsetLocal(w, k.sub(k.fget(w),
+				k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(j))), k.fload(y, k.get(j)))))
+		})
+		k.fstore(y, k.get(i), k.fget(w))
+	})
+	// back substitution: x (descending i via ascending surrogate ii)
+	k.loop(ii, k.ci(0), k.ci(N), func() {
+		// i = N-1-ii
+		k.f.I32Const(N - 1).LocalGet(ii).Op(wasm.OpI32Sub).LocalSet(i)
+		k.fsetLocal(w, k.fload(y, k.get(i)))
+		k.f.ForI32(j, exprInstrs(k, k.iadd(k.get(i), k.ci(1))), exprInstrs(k, k.ci(N)), 1, func() {
+			k.fsetLocal(w, k.sub(k.fget(w),
+				k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(j))), k.fload(x, k.get(j)))))
+		})
+		k.fstore(x, k.get(i), k.div(k.fget(w), k.fload(A, k.idx2(k.get(i), N, k.get(i)))))
+	})
+	k.checksum([]int32{x}, []int{n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeLudcmp(n int) float64 {
+	A := make([]float64, n*n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	nativeSPD2(A, n)
+	nativeInit1(b, n, 2, 1, n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			w := A[i*n+j]
+			for l := 0; l < j; l++ {
+				w = w - A[i*n+l]*A[l*n+j]
+			}
+			A[i*n+j] = w / A[j*n+j]
+		}
+		for j := i; j < n; j++ {
+			w := A[i*n+j]
+			for l := 0; l < i; l++ {
+				w = w - A[i*n+l]*A[l*n+j]
+			}
+			A[i*n+j] = w
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := b[i]
+		for j := 0; j < i; j++ {
+			w = w - A[i*n+j]*y[j]
+		}
+		y[i] = w
+	}
+	for ii := 0; ii < n; ii++ {
+		i := n - 1 - ii
+		w := y[i]
+		for j := i + 1; j < n; j++ {
+			w = w - A[i*n+j]*x[j]
+		}
+		x[i] = w / A[i*n+i]
+	}
+	return sum(x)
+}
+
+// ---------------------------------------------------------------------------
+// trisolv: forward substitution L x = b
+
+func buildTrisolv(n int) (*wasm.Module, error) {
+	k, _ := newKB("trisolv")
+	N := int32(n)
+	L := k.alloc(n * n)
+	x := k.alloc(n)
+	b := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j := k.local(), k.local()
+	acc := k.flocal()
+	k.spd2(L, N, i, j)
+	k.init1(b, N, i, 3, 1, N, int(N))
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(x, k.get(i), k.fload(b, k.get(i)))
+		k.loop(j, k.ci(0), k.get(i), func() {
+			k.fstore(x, k.get(i),
+				k.sub(k.fload(x, k.get(i)),
+					k.mul(k.fload(L, k.idx2(k.get(i), N, k.get(j))), k.fload(x, k.get(j)))))
+		})
+		k.fstore(x, k.get(i),
+			k.div(k.fload(x, k.get(i)), k.fload(L, k.idx2(k.get(i), N, k.get(i)))))
+	})
+	k.checksum([]int32{x}, []int{n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeTrisolv(n int) float64 {
+	L := make([]float64, n*n)
+	x := make([]float64, n)
+	b := make([]float64, n)
+	nativeSPD2(L, n)
+	nativeInit1(b, n, 3, 1, n, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[i]
+		for j := 0; j < i; j++ {
+			x[i] = x[i] - L[i*n+j]*x[j]
+		}
+		x[i] = x[i] / L[i*n+i]
+	}
+	return sum(x)
+}
+
+// ---------------------------------------------------------------------------
+// durbin: Levinson-Durbin recursion
+
+func buildDurbin(n int) (*wasm.Module, error) {
+	k, _ := newKB("durbin")
+	N := int32(n)
+	r := k.alloc(n)
+	y := k.alloc(n)
+	z := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	kk, i := k.local(), k.local()
+	acc := k.flocal()
+	alpha := k.flocal()
+	beta := k.flocal()
+	sumf := k.flocal()
+	k.init1(r, N, i, 1, 1, N+1, int(N)+1)
+	// y[0] = -r[0]; beta = 1; alpha = -r[0]
+	k.fstore(y, k.ci(0), k.sub(k.cf(0), k.fload(r, k.ci(0))))
+	k.fsetLocal(beta, k.cf(1))
+	k.fsetLocal(alpha, k.sub(k.cf(0), k.fload(r, k.ci(0))))
+	k.f.ForI32(kk, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N)), 1, func() {
+		// beta = (1 - alpha*alpha) * beta
+		k.fsetLocal(beta, k.mul(k.sub(k.cf(1), k.mul(k.fget(alpha), k.fget(alpha))), k.fget(beta)))
+		// sum = 0; for i<k: sum += r[k-i-1]*y[i]
+		k.fsetLocal(sumf, k.cf(0))
+		k.loop(i, k.ci(0), k.get(kk), func() {
+			// r index = k-i-1
+			k.fsetLocal(sumf, k.add(k.fget(sumf),
+				k.mul(k.fload(r, func() {
+					k.f.LocalGet(kk).LocalGet(i).Op(wasm.OpI32Sub).I32Const(1).Op(wasm.OpI32Sub)
+				}), k.fload(y, k.get(i)))))
+		})
+		// alpha = -(r[k] + sum)/beta
+		k.fsetLocal(alpha, k.div(k.sub(k.cf(0), k.add(k.fload(r, k.get(kk)), k.fget(sumf))), k.fget(beta)))
+		// for i<k: z[i] = y[i] + alpha*y[k-i-1]
+		k.loop(i, k.ci(0), k.get(kk), func() {
+			k.fstore(z, k.get(i),
+				k.add(k.fload(y, k.get(i)),
+					k.mul(k.fget(alpha), k.fload(y, func() {
+						k.f.LocalGet(kk).LocalGet(i).Op(wasm.OpI32Sub).I32Const(1).Op(wasm.OpI32Sub)
+					}))))
+		})
+		k.loop(i, k.ci(0), k.get(kk), func() {
+			k.fstore(y, k.get(i), k.fload(z, k.get(i)))
+		})
+		k.fstore(y, k.get(kk), k.fget(alpha))
+	})
+	k.checksum([]int32{y}, []int{n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeDurbin(n int) float64 {
+	r := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	nativeInit1(r, n, 1, 1, n+1, n+1)
+	y[0] = 0 - r[0]
+	beta := 1.0
+	alpha := 0 - r[0]
+	for k := 1; k < n; k++ {
+		beta = (1 - alpha*alpha) * beta
+		sumf := 0.0
+		for i := 0; i < k; i++ {
+			sumf = sumf + r[k-i-1]*y[i]
+		}
+		alpha = (0 - (r[k] + sumf)) / beta
+		for i := 0; i < k; i++ {
+			z[i] = y[i] + alpha*y[k-i-1]
+		}
+		for i := 0; i < k; i++ {
+			y[i] = z[i]
+		}
+		y[k] = alpha
+	}
+	return sum(y)
+}
+
+// ---------------------------------------------------------------------------
+// gramschmidt: QR decomposition by modified Gram-Schmidt
+
+func buildGramschmidt(n int) (*wasm.Module, error) {
+	k, _ := newKB("gramschmidt")
+	N := int32(n)
+	A := k.alloc(n * n)
+	R := k.alloc(n * n)
+	Q := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	i, j, l := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	nrm := k.flocal()
+	// init: A[i][j] = (((i*j+1)%n)/n)*100 + 10 (well-conditioned columns)
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+				k.add(k.mul(k.div(k.i2f(k.imod(k.iadd(k.imul(k.get(i), k.get(j)), k.ci(1)), N)), k.cf(float64(n))), k.cf(100)), k.cf(10)))
+		})
+	})
+	k.loop(l, k.ci(0), k.ci(N), func() {
+		// nrm = sum_i A[i][l]^2
+		k.fsetLocal(nrm, k.cf(0))
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			k.fsetLocal(nrm, k.add(k.fget(nrm),
+				k.mul(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+					k.fload(A, k.idx2(k.get(i), N, k.get(l))))))
+		})
+		k.fstore(R, k.idx2(k.get(l), N, k.get(l)), k.sqrtE(k.fget(nrm)))
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			k.fstore(Q, k.idx2(k.get(i), N, k.get(l)),
+				k.div(k.fload(A, k.idx2(k.get(i), N, k.get(l))),
+					k.fload(R, k.idx2(k.get(l), N, k.get(l)))))
+		})
+		k.f.ForI32(j, exprInstrs(k, k.iadd(k.get(l), k.ci(1))), exprInstrs(k, k.ci(N)), 1, func() {
+			k.fstore(R, k.idx2(k.get(l), N, k.get(j)), k.cf(0))
+			k.loop(i, k.ci(0), k.ci(N), func() {
+				k.fstore(R, k.idx2(k.get(l), N, k.get(j)),
+					k.add(k.fload(R, k.idx2(k.get(l), N, k.get(j))),
+						k.mul(k.fload(Q, k.idx2(k.get(i), N, k.get(l))),
+							k.fload(A, k.idx2(k.get(i), N, k.get(j))))))
+			})
+			k.loop(i, k.ci(0), k.ci(N), func() {
+				k.fstore(A, k.idx2(k.get(i), N, k.get(j)),
+					k.sub(k.fload(A, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.fload(Q, k.idx2(k.get(i), N, k.get(l))),
+							k.fload(R, k.idx2(k.get(l), N, k.get(j))))))
+			})
+		})
+	})
+	k.checksum([]int32{R, Q}, []int{n * n, n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeGramschmidt(n int) float64 {
+	A := make([]float64, n*n)
+	R := make([]float64, n*n)
+	Q := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			A[i*n+j] = (float64((i*j+1)%n)/float64(n))*100 + 10
+		}
+	}
+	for l := 0; l < n; l++ {
+		nrm := 0.0
+		for i := 0; i < n; i++ {
+			nrm = nrm + A[i*n+l]*A[i*n+l]
+		}
+		R[l*n+l] = math.Sqrt(nrm)
+		for i := 0; i < n; i++ {
+			Q[i*n+l] = A[i*n+l] / R[l*n+l]
+		}
+		for j := l + 1; j < n; j++ {
+			R[l*n+j] = 0
+			for i := 0; i < n; i++ {
+				R[l*n+j] = R[l*n+j] + Q[i*n+l]*A[i*n+j]
+			}
+			for i := 0; i < n; i++ {
+				A[i*n+j] = A[i*n+j] - Q[i*n+l]*R[l*n+j]
+			}
+		}
+	}
+	return sum(R, Q)
+}
+
+func registerSolvers() {
+	register(Kernel{Name: "cholesky", Build: buildCholesky, Native: nativeCholesky, DefaultN: 28})
+	register(Kernel{Name: "lu", Build: buildLu, Native: nativeLu, DefaultN: 26})
+	register(Kernel{Name: "ludcmp", Build: buildLudcmp, Native: nativeLudcmp, DefaultN: 26})
+	register(Kernel{Name: "trisolv", Build: buildTrisolv, Native: nativeTrisolv, DefaultN: 60})
+	register(Kernel{Name: "durbin", Build: buildDurbin, Native: nativeDurbin, DefaultN: 60})
+	register(Kernel{Name: "gramschmidt", Build: buildGramschmidt, Native: nativeGramschmidt, DefaultN: 24})
+}

@@ -1,0 +1,480 @@
+package polybench
+
+import (
+	"acctee/internal/wasm"
+)
+
+// This file implements the stencil PolyBench kernels: jacobi-1d, jacobi-2d,
+// fdtd-2d, heat-3d, seidel-2d, adi. Time-step counts scale with the problem
+// size so the interpreter finishes quickly.
+
+func tsteps(n int) int {
+	t := n / 5
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// iaddc pushes e + c.
+func (k *kb) iaddc(e expr, c int32) expr { return k.iadd(e, k.ci(c)) }
+
+// isubc pushes e - c.
+func (k *kb) isubc(e expr, c int32) expr {
+	return func() {
+		e()
+		k.f.I32Const(c).Op(wasm.OpI32Sub)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// jacobi-1d: two-array 3-point stencil
+
+func buildJacobi1d(n int) (*wasm.Module, error) {
+	k, _ := newKB("jacobi-1d")
+	N := int32(n)
+	T := int32(tsteps(n))
+	A := k.alloc(n)
+	B := k.alloc(n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	t, i := k.local(), k.local()
+	acc := k.flocal()
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.fstore(A, k.get(i), k.div(k.i2f(k.iaddc(k.get(i), 2)), k.cf(float64(n))))
+		k.fstore(B, k.get(i), k.div(k.i2f(k.iaddc(k.get(i), 3)), k.cf(float64(n))))
+	})
+	k.loop(t, k.ci(0), k.ci(T), func() {
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+			k.fstore(B, k.get(i),
+				k.mul(k.cf(0.33333),
+					k.add(k.add(k.fload(A, k.isubc(k.get(i), 1)), k.fload(A, k.get(i))),
+						k.fload(A, k.iaddc(k.get(i), 1)))))
+		})
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+			k.fstore(A, k.get(i),
+				k.mul(k.cf(0.33333),
+					k.add(k.add(k.fload(B, k.isubc(k.get(i), 1)), k.fload(B, k.get(i))),
+						k.fload(B, k.iaddc(k.get(i), 1)))))
+		})
+	})
+	k.checksum([]int32{A}, []int{n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeJacobi1d(n int) float64 {
+	A := make([]float64, n)
+	B := make([]float64, n)
+	for i := 0; i < n; i++ {
+		A[i] = float64(i+2) / float64(n)
+		B[i] = float64(i+3) / float64(n)
+	}
+	for t := 0; t < tsteps(n); t++ {
+		for i := 1; i < n-1; i++ {
+			B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1])
+		}
+		for i := 1; i < n-1; i++ {
+			A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1])
+		}
+	}
+	return sum(A)
+}
+
+// ---------------------------------------------------------------------------
+// jacobi-2d: two-array 5-point stencil
+
+func buildJacobi2d(n int) (*wasm.Module, error) {
+	k, _ := newKB("jacobi-2d")
+	N := int32(n)
+	T := int32(tsteps(n))
+	A := k.alloc(n * n)
+	B := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	t, i, j := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 2, N, int(N))
+	k.init2(B, N, N, i, j, 3, N, int(N))
+	stencil := func(dst, src int32) {
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+			k.f.ForI32(j, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+				k.fstore(dst, k.idx2(k.get(i), N, k.get(j)),
+					k.mul(k.cf(0.2),
+						k.add(k.add(k.add(k.add(
+							k.fload(src, k.idx2(k.get(i), N, k.get(j))),
+							k.fload(src, k.idx2(k.get(i), N, k.isubc(k.get(j), 1)))),
+							k.fload(src, k.idx2(k.get(i), N, k.iaddc(k.get(j), 1)))),
+							k.fload(src, k.idx2(k.iaddc(k.get(i), 1), N, k.get(j)))),
+							k.fload(src, k.idx2(k.isubc(k.get(i), 1), N, k.get(j))))))
+			})
+		})
+	}
+	k.loop(t, k.ci(0), k.ci(T), func() {
+		stencil(B, A)
+		stencil(A, B)
+	})
+	k.checksum([]int32{A}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeJacobi2d(n int) float64 {
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	nativeInit2(A, n, n, 2, n, n)
+	nativeInit2(B, n, n, 3, n, n)
+	stencil := func(dst, src []float64) {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				dst[i*n+j] = 0.2 * (src[i*n+j] + src[i*n+j-1] + src[i*n+j+1] + src[(i+1)*n+j] + src[(i-1)*n+j])
+			}
+		}
+	}
+	for t := 0; t < tsteps(n); t++ {
+		stencil(B, A)
+		stencil(A, B)
+	}
+	return sum(A)
+}
+
+// ---------------------------------------------------------------------------
+// seidel-2d: in-place 9-point Gauss-Seidel
+
+func buildSeidel2d(n int) (*wasm.Module, error) {
+	k, _ := newKB("seidel-2d")
+	N := int32(n)
+	T := int32(tsteps(n))
+	A := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	t, i, j := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(A, N, N, i, j, 2, N, int(N))
+	k.loop(t, k.ci(0), k.ci(T), func() {
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+			k.f.ForI32(j, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+				sumAll := k.add(k.add(k.add(k.add(k.add(k.add(k.add(k.add(
+					k.fload(A, k.idx2(k.isubc(k.get(i), 1), N, k.isubc(k.get(j), 1))),
+					k.fload(A, k.idx2(k.isubc(k.get(i), 1), N, k.get(j)))),
+					k.fload(A, k.idx2(k.isubc(k.get(i), 1), N, k.iaddc(k.get(j), 1)))),
+					k.fload(A, k.idx2(k.get(i), N, k.isubc(k.get(j), 1)))),
+					k.fload(A, k.idx2(k.get(i), N, k.get(j)))),
+					k.fload(A, k.idx2(k.get(i), N, k.iaddc(k.get(j), 1)))),
+					k.fload(A, k.idx2(k.iaddc(k.get(i), 1), N, k.isubc(k.get(j), 1)))),
+					k.fload(A, k.idx2(k.iaddc(k.get(i), 1), N, k.get(j)))),
+					k.fload(A, k.idx2(k.iaddc(k.get(i), 1), N, k.iaddc(k.get(j), 1))))
+				k.fstore(A, k.idx2(k.get(i), N, k.get(j)), k.div(sumAll, k.cf(9)))
+			})
+		})
+	})
+	k.checksum([]int32{A}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeSeidel2d(n int) float64 {
+	A := make([]float64, n*n)
+	nativeInit2(A, n, n, 2, n, n)
+	for t := 0; t < tsteps(n); t++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1] +
+					A[i*n+j-1] + A[i*n+j] + A[i*n+j+1] +
+					A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1]) / 9
+			}
+		}
+	}
+	return sum(A)
+}
+
+// ---------------------------------------------------------------------------
+// fdtd-2d: finite-difference time domain
+
+func buildFdtd2d(n int) (*wasm.Module, error) {
+	k, _ := newKB("fdtd-2d")
+	N := int32(n)
+	T := int32(tsteps(n))
+	ex := k.alloc(n * n)
+	ey := k.alloc(n * n)
+	hz := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	t, i, j := k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(ex, N, N, i, j, 1, N, int(N)+1)
+	k.init2(ey, N, N, i, j, 2, N, int(N)+2)
+	k.init2(hz, N, N, i, j, 3, N, int(N)+3)
+	k.loop(t, k.ci(0), k.ci(T), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.fstore(ey, k.idx2(k.ci(0), N, k.get(j)), k.i2f(k.get(t)))
+		})
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N)), 1, func() {
+			k.loop(j, k.ci(0), k.ci(N), func() {
+				k.fstore(ey, k.idx2(k.get(i), N, k.get(j)),
+					k.sub(k.fload(ey, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.cf(0.5),
+							k.sub(k.fload(hz, k.idx2(k.get(i), N, k.get(j))),
+								k.fload(hz, k.idx2(k.isubc(k.get(i), 1), N, k.get(j)))))))
+			})
+		})
+		k.loop(i, k.ci(0), k.ci(N), func() {
+			k.f.ForI32(j, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N)), 1, func() {
+				k.fstore(ex, k.idx2(k.get(i), N, k.get(j)),
+					k.sub(k.fload(ex, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.cf(0.5),
+							k.sub(k.fload(hz, k.idx2(k.get(i), N, k.get(j))),
+								k.fload(hz, k.idx2(k.get(i), N, k.isubc(k.get(j), 1)))))))
+			})
+		})
+		k.loop(i, k.ci(0), k.ci(N-1), func() {
+			k.loop(j, k.ci(0), k.ci(N-1), func() {
+				k.fstore(hz, k.idx2(k.get(i), N, k.get(j)),
+					k.sub(k.fload(hz, k.idx2(k.get(i), N, k.get(j))),
+						k.mul(k.cf(0.7),
+							k.add(
+								k.sub(k.fload(ex, k.idx2(k.get(i), N, k.iaddc(k.get(j), 1))),
+									k.fload(ex, k.idx2(k.get(i), N, k.get(j)))),
+								k.sub(k.fload(ey, k.idx2(k.iaddc(k.get(i), 1), N, k.get(j))),
+									k.fload(ey, k.idx2(k.get(i), N, k.get(j))))))))
+			})
+		})
+	})
+	k.checksum([]int32{hz}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeFdtd2d(n int) float64 {
+	ex := make([]float64, n*n)
+	ey := make([]float64, n*n)
+	hz := make([]float64, n*n)
+	nativeInit2(ex, n, n, 1, n, n+1)
+	nativeInit2(ey, n, n, 2, n, n+2)
+	nativeInit2(hz, n, n, 3, n, n+3)
+	for t := 0; t < tsteps(n); t++ {
+		for j := 0; j < n; j++ {
+			ey[j] = float64(t)
+		}
+		for i := 1; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ey[i*n+j] = ey[i*n+j] - 0.5*(hz[i*n+j]-hz[(i-1)*n+j])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 1; j < n; j++ {
+				ex[i*n+j] = ex[i*n+j] - 0.5*(hz[i*n+j]-hz[i*n+j-1])
+			}
+		}
+		for i := 0; i < n-1; i++ {
+			for j := 0; j < n-1; j++ {
+				hz[i*n+j] = hz[i*n+j] - 0.7*(ex[i*n+j+1]-ex[i*n+j]+ey[(i+1)*n+j]-ey[i*n+j])
+			}
+		}
+	}
+	return sum(hz)
+}
+
+// ---------------------------------------------------------------------------
+// heat-3d: 3-D heat equation, two arrays
+
+func buildHeat3d(n int) (*wasm.Module, error) {
+	k, _ := newKB("heat-3d")
+	N := int32(n)
+	T := int32(tsteps(n))
+	A := k.alloc(n * n * n)
+	B := k.alloc(n * n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	t, i, j, l := k.local(), k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.loop(i, k.ci(0), k.ci(N), func() {
+		k.loop(j, k.ci(0), k.ci(N), func() {
+			k.loop(l, k.ci(0), k.ci(N), func() {
+				v := k.div(k.i2f(k.iadd(k.iadd(k.get(i), k.get(j)), k.iaddc(k.get(l), 10))), k.cf(float64(n)))
+				k.fstore(A, k.idx3(k.get(i), N, k.get(j), N, k.get(l)), v)
+				v2 := k.div(k.i2f(k.iadd(k.iadd(k.get(i), k.get(j)), k.iaddc(k.get(l), 10))), k.cf(float64(n)))
+				k.fstore(B, k.idx3(k.get(i), N, k.get(j), N, k.get(l)), v2)
+			})
+		})
+	})
+	step := func(dst, src int32) {
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+			k.f.ForI32(j, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+				k.f.ForI32(l, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+					axis := func(p, m expr) expr {
+						c := k.fload(src, k.idx3(k.get(i), N, k.get(j), N, k.get(l)))
+						return k.mul(k.cf(0.125), k.add(k.sub(p, k.mul(k.cf(2), c)), m))
+					}
+					xp := k.fload(src, k.idx3(k.iaddc(k.get(i), 1), N, k.get(j), N, k.get(l)))
+					xm := k.fload(src, k.idx3(k.isubc(k.get(i), 1), N, k.get(j), N, k.get(l)))
+					yp := k.fload(src, k.idx3(k.get(i), N, k.iaddc(k.get(j), 1), N, k.get(l)))
+					ym := k.fload(src, k.idx3(k.get(i), N, k.isubc(k.get(j), 1), N, k.get(l)))
+					zp := k.fload(src, k.idx3(k.get(i), N, k.get(j), N, k.iaddc(k.get(l), 1)))
+					zm := k.fload(src, k.idx3(k.get(i), N, k.get(j), N, k.isubc(k.get(l), 1)))
+					c := k.fload(src, k.idx3(k.get(i), N, k.get(j), N, k.get(l)))
+					k.fstore(dst, k.idx3(k.get(i), N, k.get(j), N, k.get(l)),
+						k.add(k.add(k.add(axis(xp, xm), axis(yp, ym)), axis(zp, zm)), c))
+				})
+			})
+		})
+	}
+	k.loop(t, k.ci(0), k.ci(T), func() {
+		step(B, A)
+		step(A, B)
+	})
+	k.checksum([]int32{A}, []int{n * n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeHeat3d(n int) float64 {
+	A := make([]float64, n*n*n)
+	B := make([]float64, n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for l := 0; l < n; l++ {
+				A[(i*n+j)*n+l] = float64(i+j+l+10) / float64(n)
+				B[(i*n+j)*n+l] = float64(i+j+l+10) / float64(n)
+			}
+		}
+	}
+	idx := func(i, j, l int) int { return (i*n+j)*n + l }
+	step := func(dst, src []float64) {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				for l := 1; l < n-1; l++ {
+					c := src[idx(i, j, l)]
+					x := 0.125 * (src[idx(i+1, j, l)] - 2*c + src[idx(i-1, j, l)])
+					y := 0.125 * (src[idx(i, j+1, l)] - 2*c + src[idx(i, j-1, l)])
+					z := 0.125 * (src[idx(i, j, l+1)] - 2*c + src[idx(i, j, l-1)])
+					dst[idx(i, j, l)] = x + y + z + c
+				}
+			}
+		}
+	}
+	for t := 0; t < tsteps(n); t++ {
+		step(B, A)
+		step(A, B)
+	}
+	return sum(A)
+}
+
+// ---------------------------------------------------------------------------
+// adi: alternating direction implicit integration (simplified sweeps with
+// the original's column/row alternation and data flow)
+
+func buildAdi(n int) (*wasm.Module, error) {
+	k, _ := newKB("adi")
+	N := int32(n)
+	T := int32(tsteps(n))
+	u := k.alloc(n * n)
+	v := k.alloc(n * n)
+	p := k.alloc(n * n)
+	q := k.alloc(n * n)
+	k.b.Memory(k.pages(), k.pages())
+	k.begin()
+	t, i, j, jj := k.local(), k.local(), k.local(), k.local()
+	acc := k.flocal()
+	k.init2(u, N, N, i, j, 1, N, int(N))
+	const a, b, c, d, e, f = 0.21, 0.58, 0.21, 0.21, 0.58, 0.21
+	k.loop(t, k.ci(0), k.ci(T), func() {
+		// column sweep
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+			k.fstore(v, k.idx2(k.ci(0), N, k.get(i)), k.cf(1))
+			k.fstore(p, k.idx2(k.get(i), N, k.ci(0)), k.cf(0))
+			k.fstore(q, k.idx2(k.get(i), N, k.ci(0)), k.cf(1))
+			k.f.ForI32(j, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+				denom := k.sub(k.cf(b), k.mul(k.cf(a), k.fload(p, k.idx2(k.get(i), N, k.isubc(k.get(j), 1)))))
+				k.fstore(p, k.idx2(k.get(i), N, k.get(j)), k.div(k.cf(0-c), denom))
+				denom2 := k.sub(k.cf(b), k.mul(k.cf(a), k.fload(p, k.idx2(k.get(i), N, k.isubc(k.get(j), 1)))))
+				num := k.add(
+					k.sub(k.fload(u, k.idx2(k.get(j), N, k.get(i))),
+						k.mul(k.cf(d), k.fload(u, k.idx2(k.get(j), N, k.isubc(k.get(i), 1))))),
+					k.add(k.mul(k.cf(e), k.fload(u, k.idx2(k.get(j), N, k.get(i)))),
+						k.mul(k.mul(k.cf(a), k.cf(-1)), k.fload(q, k.idx2(k.get(i), N, k.isubc(k.get(j), 1))))))
+				k.fstore(q, k.idx2(k.get(i), N, k.get(j)), k.div(num, denom2))
+			})
+			k.fstore(v, k.idx2(k.ci(int32(n)-1), N, k.get(i)), k.cf(1))
+			// back substitution (descending j)
+			k.loop(jj, k.ci(0), k.ci(N-2), func() {
+				k.f.I32Const(N - 2).LocalGet(jj).Op(wasm.OpI32Sub).LocalSet(j)
+				k.fstore(v, k.idx2(k.get(j), N, k.get(i)),
+					k.add(k.mul(k.fload(p, k.idx2(k.get(i), N, k.get(j))),
+						k.fload(v, k.idx2(k.iaddc(k.get(j), 1), N, k.get(i)))),
+						k.fload(q, k.idx2(k.get(i), N, k.get(j)))))
+			})
+		})
+		// row sweep
+		k.f.ForI32(i, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+			k.fstore(u, k.idx2(k.get(i), N, k.ci(0)), k.cf(1))
+			k.fstore(p, k.idx2(k.get(i), N, k.ci(0)), k.cf(0))
+			k.fstore(q, k.idx2(k.get(i), N, k.ci(0)), k.cf(1))
+			k.f.ForI32(j, exprInstrs(k, k.ci(1)), exprInstrs(k, k.ci(N-1)), 1, func() {
+				denom := k.sub(k.cf(e), k.mul(k.cf(d), k.fload(p, k.idx2(k.get(i), N, k.isubc(k.get(j), 1)))))
+				k.fstore(p, k.idx2(k.get(i), N, k.get(j)), k.div(k.cf(0-f), denom))
+				denom2 := k.sub(k.cf(e), k.mul(k.cf(d), k.fload(p, k.idx2(k.get(i), N, k.isubc(k.get(j), 1)))))
+				num := k.add(
+					k.sub(k.fload(v, k.idx2(k.isubc(k.get(i), 1), N, k.get(j))),
+						k.mul(k.cf(a), k.fload(v, k.idx2(k.get(i), N, k.get(j))))),
+					k.add(k.mul(k.cf(b), k.fload(v, k.idx2(k.get(i), N, k.get(j)))),
+						k.mul(k.mul(k.cf(d), k.cf(-1)), k.fload(q, k.idx2(k.get(i), N, k.isubc(k.get(j), 1))))))
+				k.fstore(q, k.idx2(k.get(i), N, k.get(j)), k.div(num, denom2))
+			})
+			k.fstore(u, k.idx2(k.get(i), N, k.ci(int32(n)-1)), k.cf(1))
+			k.loop(jj, k.ci(0), k.ci(N-2), func() {
+				k.f.I32Const(N - 2).LocalGet(jj).Op(wasm.OpI32Sub).LocalSet(j)
+				k.fstore(u, k.idx2(k.get(i), N, k.get(j)),
+					k.add(k.mul(k.fload(p, k.idx2(k.get(i), N, k.get(j))),
+						k.fload(u, k.idx2(k.get(i), N, k.iaddc(k.get(j), 1)))),
+						k.fload(q, k.idx2(k.get(i), N, k.get(j)))))
+			})
+		})
+	})
+	k.checksum([]int32{u}, []int{n * n}, acc, i)
+	return k.finishModule()
+}
+
+func nativeAdi(n int) float64 {
+	u := make([]float64, n*n)
+	v := make([]float64, n*n)
+	p := make([]float64, n*n)
+	q := make([]float64, n*n)
+	nativeInit2(u, n, n, 1, n, n)
+	const a, b, c, d, e, f = 0.21, 0.58, 0.21, 0.21, 0.58, 0.21
+	for t := 0; t < tsteps(n); t++ {
+		for i := 1; i < n-1; i++ {
+			v[0*n+i] = 1
+			p[i*n+0] = 0
+			q[i*n+0] = 1
+			for j := 1; j < n-1; j++ {
+				p[i*n+j] = (0 - c) / (b - a*p[i*n+j-1])
+				q[i*n+j] = (u[j*n+i] - d*u[j*n+i-1] + (e*u[j*n+i] + a*(-1)*q[i*n+j-1])) / (b - a*p[i*n+j-1])
+			}
+			v[(n-1)*n+i] = 1
+			for jj := 0; jj < n-2; jj++ {
+				j := n - 2 - jj
+				v[j*n+i] = p[i*n+j]*v[(j+1)*n+i] + q[i*n+j]
+			}
+		}
+		for i := 1; i < n-1; i++ {
+			u[i*n+0] = 1
+			p[i*n+0] = 0
+			q[i*n+0] = 1
+			for j := 1; j < n-1; j++ {
+				p[i*n+j] = (0 - f) / (e - d*p[i*n+j-1])
+				q[i*n+j] = (v[(i-1)*n+j] - a*v[i*n+j] + (b*v[i*n+j] + d*(-1)*q[i*n+j-1])) / (e - d*p[i*n+j-1])
+			}
+			u[i*n+n-1] = 1
+			for jj := 0; jj < n-2; jj++ {
+				j := n - 2 - jj
+				u[i*n+j] = p[i*n+j]*u[i*n+j+1] + q[i*n+j]
+			}
+		}
+	}
+	return sum(u)
+}
+
+func registerStencils() {
+	register(Kernel{Name: "jacobi-1d", Build: buildJacobi1d, Native: nativeJacobi1d, DefaultN: 120})
+	register(Kernel{Name: "jacobi-2d", Build: buildJacobi2d, Native: nativeJacobi2d, DefaultN: 24})
+	register(Kernel{Name: "seidel-2d", Build: buildSeidel2d, Native: nativeSeidel2d, DefaultN: 24})
+	register(Kernel{Name: "fdtd-2d", Build: buildFdtd2d, Native: nativeFdtd2d, DefaultN: 24, MemoryHeavy: true})
+	register(Kernel{Name: "heat-3d", Build: buildHeat3d, Native: nativeHeat3d, DefaultN: 12, MemoryHeavy: true})
+	register(Kernel{Name: "adi", Build: buildAdi, Native: nativeAdi, DefaultN: 22})
+}

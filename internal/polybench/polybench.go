@@ -1,0 +1,248 @@
+// Package polybench implements all 29 kernels of the PolyBench/C 4.2.1
+// benchmark suite (paper §5.1, Fig. 6) twice: as WebAssembly modules built
+// with the wasm builder (the workloads executed inside the two-way sandbox)
+// and as native Go reference implementations (the paper's "native" baseline
+// and the correctness oracle — both versions perform identical IEEE-754
+// operation sequences, so their checksums must match bit-for-bit).
+//
+// Every kernel initialises its own inputs deterministically (PolyBench
+// style), runs the computation, and returns a checksum of the output
+// arrays as f64.
+package polybench
+
+import (
+	"fmt"
+	"sort"
+
+	"acctee/internal/wasm"
+)
+
+// Kernel is one PolyBench program.
+type Kernel struct {
+	// Name is the PolyBench kernel name (e.g. "gemm").
+	Name string
+	// Build constructs the Wasm module for problem size n. The module
+	// exports "run" () -> f64 returning the output checksum.
+	Build func(n int) (*wasm.Module, error)
+	// Native runs the reference implementation and returns the checksum.
+	Native func(n int) float64
+	// DefaultN is the problem size used by the evaluation harness, chosen
+	// so the whole suite completes quickly under interpretation.
+	DefaultN int
+	// MemoryHeavy marks kernels whose working set is scaled beyond the
+	// (scaled-down) EPC in the Fig. 6 experiment.
+	MemoryHeavy bool
+}
+
+var registry = map[string]Kernel{}
+
+// The registry is populated once at package initialisation — the accepted
+// use of init for pluggable registries.
+func init() {
+	registerBLAS()
+	registerSolvers()
+	registerStencils()
+	registerMisc()
+}
+
+func register(k Kernel) {
+	if _, dup := registry[k.Name]; dup {
+		panic("polybench: duplicate kernel " + k.Name)
+	}
+	registry[k.Name] = k
+}
+
+// Names returns all kernel names in PolyBench's alphabetical order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a kernel by name.
+func Get(name string) (Kernel, error) {
+	k, ok := registry[name]
+	if !ok {
+		return Kernel{}, fmt.Errorf("polybench: unknown kernel %q", name)
+	}
+	return k, nil
+}
+
+// ---------------------------------------------------------------------------
+// builder DSL
+//
+// Kernels are written against kb, a thin layer over the wasm builder that
+// makes loop nests and flat f64 array accesses read like the C originals.
+
+type kb struct {
+	f *wasm.FuncBuilder
+	b *wasm.ModuleBuilder
+	// next free byte in linear memory for array allocation
+	next int32
+}
+
+// expr emits instructions pushing exactly one value.
+type expr func()
+
+func newKB(name string) (*kb, *wasm.ModuleBuilder) {
+	b := wasm.NewModule(name)
+	return &kb{b: b, next: 64}, b
+}
+
+// begin opens the exported "run" function.
+func (k *kb) begin() {
+	k.f = k.b.Func("run", nil, []wasm.ValueType{wasm.F64})
+}
+
+// finishModule closes run (leaving the checksum on the stack), sizes memory
+// and builds the module.
+func (k *kb) finishModule() (*wasm.Module, error) {
+	idx := k.f.End()
+	k.b.ExportFunc("run", idx)
+	return k.b.Build()
+}
+
+// alloc reserves n f64 elements and returns the base byte offset.
+func (k *kb) alloc(n int) int32 {
+	base := k.next
+	k.next += int32(n) * 8
+	return base
+}
+
+// pages returns the number of 64 KiB pages needed for all allocations.
+func (k *kb) pages() uint32 {
+	return uint32((k.next + wasm.PageSize - 1) / wasm.PageSize)
+}
+
+// local declares a fresh i32 local.
+func (k *kb) local() uint32 { return k.f.Local(wasm.I32) }
+
+// flocal declares a fresh f64 local.
+func (k *kb) flocal() uint32 { return k.f.Local(wasm.F64) }
+
+// get pushes an i32 local.
+func (k *kb) get(v uint32) expr { return func() { k.f.LocalGet(v) } }
+
+// fget pushes an f64 local.
+func (k *kb) fget(v uint32) expr { return func() { k.f.LocalGet(v) } }
+
+// ci pushes an i32 constant.
+func (k *kb) ci(v int32) expr { return func() { k.f.I32Const(v) } }
+
+// cf pushes an f64 constant.
+func (k *kb) cf(v float64) expr { return func() { k.f.F64ConstV(v) } }
+
+// loop emits `for v = lo; v < hi; v++ { body }`. lo and hi must be
+// side-effect-free (they are re-evaluated each iteration by the canonical
+// loop shape the loop-based optimisation matches).
+func (k *kb) loop(v uint32, lo, hi expr, body func()) {
+	k.f.ForI32(v, exprInstrs(k, lo), exprInstrs(k, hi), 1, body)
+}
+
+// exprInstrs captures the instruction sequence an expr emits so it can be
+// passed to ForI32 (which re-emits loop bounds inside the canonical
+// counted-loop shape).
+func exprInstrs(k *kb, e expr) []wasm.Instr {
+	mark := k.f.BodyLen()
+	e()
+	return k.f.TakeFrom(mark)
+}
+
+// idx2 pushes the flat element index i*cols + j.
+func (k *kb) idx2(i expr, cols int32, j expr) expr {
+	return func() {
+		i()
+		k.f.I32Const(cols).Op(wasm.OpI32Mul)
+		j()
+		k.f.Op(wasm.OpI32Add)
+	}
+}
+
+// idx3 pushes ((i*d2)+j)*d3 + l for 3-D arrays.
+func (k *kb) idx3(i expr, d2 int32, j expr, d3 int32, l expr) expr {
+	return func() {
+		i()
+		k.f.I32Const(d2).Op(wasm.OpI32Mul)
+		j()
+		k.f.Op(wasm.OpI32Add)
+		k.f.I32Const(d3).Op(wasm.OpI32Mul)
+		l()
+		k.f.Op(wasm.OpI32Add)
+	}
+}
+
+// fload pushes arr[idx] (f64) for the array at byte offset base.
+func (k *kb) fload(base int32, idx expr) expr {
+	return func() {
+		idx()
+		k.f.I32Const(8).Op(wasm.OpI32Mul)
+		k.f.Load(wasm.OpF64Load, uint32(base))
+	}
+}
+
+// fstore emits arr[idx] = val.
+func (k *kb) fstore(base int32, idx expr, val expr) {
+	idx()
+	k.f.I32Const(8).Op(wasm.OpI32Mul)
+	val()
+	k.f.Store(wasm.OpF64Store, uint32(base))
+}
+
+// binf applies an f64 binary op to two exprs.
+func (k *kb) binf(op wasm.Opcode, a, b expr) expr {
+	return func() {
+		a()
+		b()
+		k.f.Op(op)
+	}
+}
+
+func (k *kb) add(a, b expr) expr { return k.binf(wasm.OpF64Add, a, b) }
+func (k *kb) sub(a, b expr) expr { return k.binf(wasm.OpF64Sub, a, b) }
+func (k *kb) mul(a, b expr) expr { return k.binf(wasm.OpF64Mul, a, b) }
+func (k *kb) div(a, b expr) expr { return k.binf(wasm.OpF64Div, a, b) }
+
+// fsetLocal stores an expr into an f64 local.
+func (k *kb) fsetLocal(v uint32, e expr) {
+	e()
+	k.f.LocalSet(v)
+}
+
+// i2f converts an i32 expr to f64.
+func (k *kb) i2f(e expr) expr {
+	return func() {
+		e()
+		k.f.Op(wasm.OpF64ConvertI32S)
+	}
+}
+
+// imod pushes a % m for i32 exprs.
+func (k *kb) imod(a expr, m int32) expr {
+	return func() {
+		a()
+		k.f.I32Const(m).Op(wasm.OpI32RemS)
+	}
+}
+
+// iadd/imul build i32 arithmetic exprs.
+func (k *kb) iadd(a, b expr) expr {
+	return func() { a(); b(); k.f.Op(wasm.OpI32Add) }
+}
+
+func (k *kb) imul(a, b expr) expr {
+	return func() { a(); b(); k.f.Op(wasm.OpI32Mul) }
+}
+
+// checksum sums the n elements of the array at base into acc and pushes it.
+func (k *kb) checksum(bases []int32, counts []int, acc uint32, i uint32) {
+	k.f.F64ConstV(0).LocalSet(acc)
+	for a, base := range bases {
+		k.loop(i, k.ci(0), k.ci(int32(counts[a])), func() {
+			k.fsetLocal(acc, k.add(k.fget(acc), k.fload(base, k.get(i))))
+		})
+	}
+	k.f.LocalGet(acc)
+}

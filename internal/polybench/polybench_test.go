@@ -1,0 +1,199 @@
+package polybench_test
+
+import (
+	"math"
+	"testing"
+
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/polybench"
+	"acctee/internal/wasm/validate"
+	"acctee/internal/weights"
+)
+
+func TestAll29KernelsRegistered(t *testing.T) {
+	names := polybench.Names()
+	if len(names) != 29 {
+		t.Fatalf("registered kernels = %d (%v), want 29", len(names), names)
+	}
+	want := []string{
+		"2mm", "3mm", "adi", "atax", "bicg", "cholesky", "correlation",
+		"covariance", "deriche", "doitgen", "durbin", "fdtd-2d", "gemm",
+		"gemver", "gesummv", "gramschmidt", "heat-3d", "jacobi-1d",
+		"jacobi-2d", "lu", "ludcmp", "mvt", "nussinov", "seidel-2d", "symm",
+		"syr2k", "syrk", "trisolv", "trmm",
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+// TestKernelsMatchNative is the suite's correctness oracle: the wasm build
+// of every kernel must produce the same checksum as its native reference,
+// bit-for-bit (identical IEEE-754 operation sequences).
+func TestKernelsMatchNative(t *testing.T) {
+	for _, name := range polybench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k, err := polybench.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := k.DefaultN
+			if n > 16 {
+				n = 16 // keep unit tests quick; benches use DefaultN
+			}
+			m, err := k.Build(n)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := validate.Module(m); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			vm, err := interp.Instantiate(m, interp.Config{})
+			if err != nil {
+				t.Fatalf("instantiate: %v", err)
+			}
+			res, err := vm.InvokeExport("run")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := math.Float64frombits(res[0])
+			want := k.Native(n)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("checksum mismatch: wasm %v (%x) vs native %v (%x)",
+					got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("degenerate checksum %v", got)
+			}
+		})
+	}
+}
+
+// TestKernelsInstrumentedExact checks the exactness invariant on three
+// representative kernels at every instrumentation level.
+func TestKernelsInstrumentedExact(t *testing.T) {
+	for _, name := range []string{"gemm", "jacobi-2d", "nussinov"} {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Build(10)
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		ref, err := interp.Instantiate(m, interp.Config{CostModel: weights.Unit()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.InvokeExport("run"); err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		want := ref.Cost()
+		for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+			res, err := instrument.Instrument(m, instrument.Options{Level: lvl})
+			if err != nil {
+				t.Fatalf("%s %v: instrument: %v", name, lvl, err)
+			}
+			vm, err := interp.Instantiate(res.Module, interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vm.InvokeExport("run"); err != nil {
+				t.Fatalf("%s %v: run: %v", name, lvl, err)
+			}
+			got, _ := vm.Global(res.CounterGlobal)
+			if got != want {
+				t.Errorf("%s %v: counter %d != ground truth %d", name, lvl, got, want)
+			}
+		}
+	}
+}
+
+// TestLoopOptimisationAppliesToKernels: the counted-loop pattern should be
+// found in the loop-nest-heavy kernels.
+func TestLoopOptimisationAppliesToKernels(t *testing.T) {
+	k, _ := polybench.Get("gemm")
+	m, err := k.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := instrument.Instrument(m, instrument.Options{Level: instrument.LoopBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LoopsOptimised == 0 {
+		t.Error("no counted loops optimised in gemm")
+	}
+}
+
+func TestGetUnknownKernel(t *testing.T) {
+	if _, err := polybench.Get("nope"); err == nil {
+		t.Error("expected error for unknown kernel")
+	}
+}
+
+// TestInstrumentationPreservesResults: injecting the counter must never
+// change what the workload computes — instrumented kernels produce
+// bit-identical checksums.
+func TestInstrumentationPreservesResults(t *testing.T) {
+	for _, name := range []string{"gemm", "cholesky", "fdtd-2d", "durbin", "nussinov"} {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Build(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := k.Native(12)
+		for _, lvl := range []instrument.Level{instrument.Naive, instrument.FlowBased, instrument.LoopBased} {
+			res, err := instrument.Instrument(m, instrument.Options{Level: lvl})
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, lvl, err)
+			}
+			vm, err := interp.Instantiate(res.Module, interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := vm.InvokeExport("run")
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, lvl, err)
+			}
+			if got := math.Float64frombits(out[0]); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s %v: instrumented checksum %v != native %v", name, lvl, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelsScaleInvariant: kernels remain correct at a second problem
+// size (guards against size-dependent indexing bugs).
+func TestKernelsScaleInvariant(t *testing.T) {
+	for _, name := range []string{"2mm", "atax", "jacobi-2d", "lu", "covariance", "heat-3d"} {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{8, 20} {
+			m, err := k.Build(n)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			vm, err := interp.Instantiate(m, interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := vm.InvokeExport("run")
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			if got, want := math.Float64frombits(res[0]), k.Native(n); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s n=%d: %v != %v", name, n, got, want)
+			}
+		}
+	}
+}

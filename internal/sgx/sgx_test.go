@@ -1,0 +1,162 @@
+package sgx_test
+
+import (
+	"errors"
+	"testing"
+
+	"acctee/internal/sgx"
+	"acctee/internal/wasm"
+	"acctee/internal/weights"
+)
+
+func TestMeasurementDeterministic(t *testing.T) {
+	a := sgx.MeasureCode([]byte("enclave v1"))
+	b := sgx.MeasureCode([]byte("enclave v1"))
+	c := sgx.MeasureCode([]byte("enclave v2"))
+	if a != b {
+		t.Error("same code produced different measurements")
+	}
+	if a == c {
+		t.Error("different code produced same measurement")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	e, err := sgx.NewEnclave([]byte("code"), sgx.ModeSimulation, sgx.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := e.Sign([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sgx.VerifyBy(e.PublicKey(), []byte("payload"), sig) {
+		t.Error("valid signature rejected")
+	}
+	if sgx.VerifyBy(e.PublicKey(), []byte("tampered"), sig) {
+		t.Error("tampered payload accepted")
+	}
+	other, _ := sgx.NewEnclave([]byte("code"), sgx.ModeSimulation, sgx.DefaultCostParams())
+	if sgx.VerifyBy(other.PublicKey(), []byte("payload"), sig) {
+		t.Error("signature verified under wrong key")
+	}
+}
+
+func TestAttestationChain(t *testing.T) {
+	qe, err := sgx.NewQuotingEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sgx.NewAttestationService()
+	svc.RegisterPlatform("machine-1", qe)
+
+	e, _ := sgx.NewEnclave([]byte("audited code"), sgx.ModeHardware, sgx.DefaultCostParams())
+	rep := e.CreateReport(sgx.PubKeyUserData(e.PublicKey()))
+	q, err := qe.QuoteReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := sgx.MeasureCode([]byte("audited code"))
+	if err := svc.Attest(q, expected, e.PublicKey()); err != nil {
+		t.Errorf("honest attestation failed: %v", err)
+	}
+
+	// wrong measurement expectation
+	wrong := sgx.MeasureCode([]byte("evil code"))
+	if err := svc.Attest(q, wrong, e.PublicKey()); !errors.Is(err, sgx.ErrWrongMeasurement) {
+		t.Errorf("wrong measurement: %v", err)
+	}
+
+	// quote from unregistered platform
+	rogueQE, _ := sgx.NewQuotingEnclave()
+	rq, _ := rogueQE.QuoteReport(rep)
+	if err := svc.Attest(rq, expected, e.PublicKey()); err == nil {
+		t.Error("rogue platform quote accepted")
+	}
+
+	// report binding a different key
+	imposter, _ := sgx.NewEnclave([]byte("audited code"), sgx.ModeHardware, sgx.DefaultCostParams())
+	if err := svc.Attest(q, expected, imposter.PublicKey()); err == nil {
+		t.Error("key substitution accepted")
+	}
+
+	// tampered quote signature
+	bad := q
+	bad.Signature = append([]byte(nil), q.Signature...)
+	bad.Signature[4] ^= 0xFF
+	if err := svc.VerifyQuote(bad); err == nil {
+		t.Error("tampered quote accepted")
+	}
+}
+
+func TestTransitionsChargeOnlyInHardware(t *testing.T) {
+	params := sgx.DefaultCostParams()
+	hw, _ := sgx.NewEnclave([]byte("c"), sgx.ModeHardware, params)
+	sim, _ := sgx.NewEnclave([]byte("c"), sgx.ModeSimulation, params)
+	if c := hw.Transition(); c != params.TransitionCycles {
+		t.Errorf("hw transition cost = %d, want %d", c, params.TransitionCycles)
+	}
+	if c := sim.Transition(); c != 0 {
+		t.Errorf("sim transition cost = %d, want 0", c)
+	}
+	if hw.Transitions() != 1 || sim.Transitions() != 1 {
+		t.Error("transition counters wrong")
+	}
+}
+
+func TestEPCModelPaging(t *testing.T) {
+	params := sgx.CostParams{UsableEPCBytes: 8 * 4096, PageFaultCycles: 1000, TransitionCycles: 0}
+
+	// Working set within EPC: only cold faults.
+	m := sgx.NewEPCModel(sgx.ModeHardware, params, nil)
+	var within uint64
+	for rep := 0; rep < 10; rep++ {
+		for page := 0; page < 8; page++ {
+			within += m.MemCost(uint32(page*4096), 4, false, 1<<20)
+		}
+	}
+	if m.PageFaults() != 8 {
+		t.Errorf("faults within EPC = %d, want 8 cold faults", m.PageFaults())
+	}
+
+	// Working set twice the EPC with FIFO-hostile sweep: faults every round.
+	m2 := sgx.NewEPCModel(sgx.ModeHardware, params, nil)
+	var beyond uint64
+	for rep := 0; rep < 10; rep++ {
+		for page := 0; page < 16; page++ {
+			beyond += m2.MemCost(uint32(page*4096), 4, false, 1<<20)
+		}
+	}
+	if beyond <= within*2 {
+		t.Errorf("EPC thrashing cost %d not clearly above resident cost %d", beyond, within)
+	}
+
+	// Simulation mode never charges.
+	m3 := sgx.NewEPCModel(sgx.ModeSimulation, params, nil)
+	if c := m3.MemCost(0, 8, true, 1<<20); c != 0 || m3.PageFaults() != 0 {
+		t.Errorf("sim mode charged %d cycles, %d faults", c, m3.PageFaults())
+	}
+}
+
+func TestEPCModelInstrWeights(t *testing.T) {
+	tbl := weights.Unit()
+	m := sgx.NewEPCModel(sgx.ModeHardware, sgx.DefaultCostParams(), tbl)
+	if c := m.InstrCost(wasm.OpI32Add); c != 1 {
+		t.Errorf("i32.add cost = %d, want 1", c)
+	}
+	if c := m.InstrCost(wasm.OpEnd); c != 0 {
+		t.Errorf("end cost = %d, want 0", c)
+	}
+}
+
+func TestCostParamsHash(t *testing.T) {
+	a := sgx.DefaultCostParams()
+	b := sgx.DefaultCostParams()
+	if a.Hash() != b.Hash() {
+		t.Error("equal params hash differently")
+	}
+	b.PageFaultCycles++
+	if a.Hash() == b.Hash() {
+		t.Error("different params hash equally")
+	}
+}

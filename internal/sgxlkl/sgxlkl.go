@@ -1,0 +1,263 @@
+// Package sgxlkl simulates the SGX-LKL library OS layer AccTEE runs on
+// (paper §3.4, §4): a minimal in-enclave "kernel" that services system
+// calls for enclave code. Calls that can be handled inside the enclave
+// (clock, in-memory files) stay inside; calls that need external resources
+// (network, block device) cross the enclave boundary, are charged an
+// enclave transition, and are accounted as I/O. Block-device contents can
+// be transparently encrypted (LKL's block-device encryption analogue).
+package sgxlkl
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"acctee/internal/sgx"
+)
+
+// Errors returned by the library OS.
+var (
+	ErrBadFD     = errors.New("sgxlkl: bad file descriptor")
+	ErrBadLength = errors.New("sgxlkl: bad length")
+)
+
+// LibOS is one library-OS instance bound to an enclave. It tracks I/O
+// volume crossing the enclave boundary so the accounting enclave can fold
+// it into the usage log.
+type LibOS struct {
+	mu       sync.Mutex
+	enclave  *sgx.Enclave
+	files    map[int32]*file
+	nextFD   int32
+	netIn    uint64
+	netOut   uint64
+	diskIn   uint64
+	diskOut  uint64
+	extra    uint64 // simulated cycles charged for boundary crossings
+	clockSeq uint64
+	// netPeer receives writes to the network fd and supplies reads.
+	netPeer *Pipe
+	block   *blockDevice
+}
+
+type file struct {
+	kind byte // 'm' in-memory, 'n' network, 'b' block device
+	data []byte
+	pos  int
+}
+
+// New creates a library OS bound to the enclave.
+func New(enclave *sgx.Enclave) *LibOS {
+	return &LibOS{
+		enclave: enclave,
+		files:   map[int32]*file{},
+		nextFD:  3,
+	}
+}
+
+// Pipe is an in-memory bidirectional byte channel standing in for a TCP
+// connection to the untrusted host network stack.
+type Pipe struct {
+	mu  sync.Mutex
+	in  []byte // host -> enclave
+	out []byte // enclave -> host
+}
+
+// HostWrite feeds bytes toward the enclave.
+func (p *Pipe) HostWrite(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.in = append(p.in, b...)
+}
+
+// HostRead drains bytes the enclave sent out.
+func (p *Pipe) HostRead() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.out
+	p.out = nil
+	return b
+}
+
+// AttachNetwork connects the network fd backend.
+func (l *LibOS) AttachNetwork(p *Pipe) { l.netPeer = p }
+
+// blockDevice is a host-side disk image, optionally AES-CTR encrypted so
+// the untrusted host never sees plaintext (LKL block-device encryption).
+type blockDevice struct {
+	image  []byte
+	cipher cipher.Block
+}
+
+// AttachBlockDevice creates a block device of the given size; when key is
+// non-nil the device is encrypted with AES-CTR derived from it.
+func (l *LibOS) AttachBlockDevice(size int, key []byte) error {
+	bd := &blockDevice{image: make([]byte, size)}
+	if key != nil {
+		k := sha256.Sum256(key)
+		c, err := aes.NewCipher(k[:])
+		if err != nil {
+			return fmt.Errorf("sgxlkl: block cipher: %w", err)
+		}
+		bd.cipher = c
+	}
+	l.block = bd
+	return nil
+}
+
+func (bd *blockDevice) xorStream(off int, data []byte) {
+	// AES-CTR keyed by block offset: deterministic, seekable.
+	iv := make([]byte, aes.BlockSize)
+	for i := 0; i < 8; i++ {
+		iv[i] = byte(uint64(off/aes.BlockSize) >> (8 * i))
+	}
+	ctr := cipher.NewCTR(bd.cipher, iv)
+	// advance to offset within block
+	skip := off % aes.BlockSize
+	if skip > 0 {
+		pad := make([]byte, skip)
+		ctr.XORKeyStream(pad, pad)
+	}
+	ctr.XORKeyStream(data, data)
+}
+
+// OpenMemFile creates an in-enclave memory file preloaded with data and
+// returns its fd. Reads/writes never leave the enclave.
+func (l *LibOS) OpenMemFile(data []byte) int32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fd := l.nextFD
+	l.nextFD++
+	l.files[fd] = &file{kind: 'm', data: append([]byte(nil), data...)}
+	return fd
+}
+
+// NetFD is the fixed descriptor for the simulated network socket.
+const NetFD int32 = 1
+
+// BlockFD is the fixed descriptor for the simulated block device.
+const BlockFD int32 = 2
+
+// Read services a read system call; external fds charge a transition and
+// account the traffic.
+func (l *LibOS) Read(fd int32, buf []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch fd {
+	case NetFD:
+		if l.netPeer == nil {
+			return 0, ErrBadFD
+		}
+		l.extra += l.enclave.Transition()
+		l.netPeer.mu.Lock()
+		n := copy(buf, l.netPeer.in)
+		l.netPeer.in = l.netPeer.in[n:]
+		l.netPeer.mu.Unlock()
+		l.netIn += uint64(n)
+		return n, nil
+	case BlockFD:
+		return 0, ErrBadFD // block reads go through ReadBlock
+	default:
+		f, ok := l.files[fd]
+		if !ok {
+			return 0, ErrBadFD
+		}
+		n := copy(buf, f.data[f.pos:])
+		f.pos += n
+		return n, nil
+	}
+}
+
+// Write services a write system call.
+func (l *LibOS) Write(fd int32, data []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch fd {
+	case NetFD:
+		if l.netPeer == nil {
+			return 0, ErrBadFD
+		}
+		l.extra += l.enclave.Transition()
+		l.netPeer.mu.Lock()
+		l.netPeer.out = append(l.netPeer.out, data...)
+		l.netPeer.mu.Unlock()
+		l.netOut += uint64(len(data))
+		return len(data), nil
+	case BlockFD:
+		return 0, ErrBadFD
+	default:
+		f, ok := l.files[fd]
+		if !ok {
+			return 0, ErrBadFD
+		}
+		f.data = append(f.data[:f.pos], data...)
+		f.pos = len(f.data)
+		return len(data), nil
+	}
+}
+
+// ReadBlock reads from the block device at the given offset, decrypting if
+// the device is encrypted. Crossing to the host disk charges a transition.
+func (l *LibOS) ReadBlock(off int, buf []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.block == nil || off < 0 || off+len(buf) > len(l.block.image) {
+		return ErrBadLength
+	}
+	l.extra += l.enclave.Transition()
+	copy(buf, l.block.image[off:])
+	if l.block.cipher != nil {
+		l.block.xorStream(off, buf)
+	}
+	l.diskIn += uint64(len(buf))
+	return nil
+}
+
+// WriteBlock writes to the block device, encrypting if configured.
+func (l *LibOS) WriteBlock(off int, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.block == nil || off < 0 || off+len(data) > len(l.block.image) {
+		return ErrBadLength
+	}
+	l.extra += l.enclave.Transition()
+	tmp := append([]byte(nil), data...)
+	if l.block.cipher != nil {
+		l.block.xorStream(off, tmp)
+	}
+	copy(l.block.image[off:], tmp)
+	l.diskOut += uint64(len(data))
+	return nil
+}
+
+// RawImage exposes the host's view of the block device (ciphertext when
+// encryption is enabled) — what a malicious infrastructure provider sees.
+func (l *LibOS) RawImage() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.block == nil {
+		return nil
+	}
+	return append([]byte(nil), l.block.image...)
+}
+
+// Clock returns a monotonically increasing lower-bound timestamp: SGX
+// trusted time can be delayed by the host but never reversed (§2.2), which
+// this models with a sequence the host cannot decrease.
+func (l *LibOS) Clock() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clockSeq++
+	return l.clockSeq
+}
+
+// IOStats reports accounted I/O volumes and the simulated cycles spent on
+// enclave transitions.
+func (l *LibOS) IOStats() (netIn, netOut, diskIn, diskOut, transitionCycles uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.netIn, l.netOut, l.diskIn, l.diskOut, l.extra
+}

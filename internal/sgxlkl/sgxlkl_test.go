@@ -1,0 +1,157 @@
+package sgxlkl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"acctee/internal/sgx"
+	"acctee/internal/sgxlkl"
+)
+
+func newLibOS(t *testing.T, mode sgx.Mode) *sgxlkl.LibOS {
+	t.Helper()
+	e, err := sgx.NewEnclave([]byte("lkl test"), mode, sgx.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sgxlkl.New(e)
+}
+
+func TestMemFileStaysInEnclave(t *testing.T) {
+	l := newLibOS(t, sgx.ModeHardware)
+	fd := l.OpenMemFile([]byte("secret data"))
+	buf := make([]byte, 6)
+	n, err := l.Read(fd, buf)
+	if err != nil || n != 6 || string(buf) != "secret" {
+		t.Fatalf("read: %v %d %q", err, n, buf)
+	}
+	// In-enclave file I/O must not charge transitions or count as I/O.
+	netIn, netOut, diskIn, diskOut, cycles := l.IOStats()
+	if netIn+netOut+diskIn+diskOut+cycles != 0 {
+		t.Errorf("in-enclave file read leaked accounting: %d %d %d %d %d",
+			netIn, netOut, diskIn, diskOut, cycles)
+	}
+}
+
+func TestNetworkAccountedAndCharged(t *testing.T) {
+	l := newLibOS(t, sgx.ModeHardware)
+	pipe := &sgxlkl.Pipe{}
+	l.AttachNetwork(pipe)
+	pipe.HostWrite([]byte("request!"))
+	buf := make([]byte, 8)
+	if _, err := l.Read(sgxlkl.NetFD, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Write(sgxlkl.NetFD, []byte("response")); err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.HostRead(); string(got) != "response" {
+		t.Errorf("host read %q", got)
+	}
+	netIn, netOut, _, _, cycles := l.IOStats()
+	if netIn != 8 || netOut != 8 {
+		t.Errorf("net accounting: in=%d out=%d", netIn, netOut)
+	}
+	if cycles == 0 {
+		t.Error("hardware-mode network I/O charged no transition cycles")
+	}
+}
+
+func TestBlockDeviceEncryption(t *testing.T) {
+	l := newLibOS(t, sgx.ModeHardware)
+	if err := l.AttachBlockDevice(4096, []byte("disk key")); err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("confidential block payload")
+	if err := l.WriteBlock(128, plain); err != nil {
+		t.Fatal(err)
+	}
+	// The host's raw view must be ciphertext.
+	raw := l.RawImage()
+	if bytes.Contains(raw, plain) {
+		t.Error("plaintext visible to the untrusted host")
+	}
+	// The enclave's view decrypts transparently.
+	got := make([]byte, len(plain))
+	if err := l.ReadBlock(128, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Errorf("decrypted read = %q", got)
+	}
+	_, _, diskIn, diskOut, _ := l.IOStats()
+	if diskIn != uint64(len(plain)) || diskOut != uint64(len(plain)) {
+		t.Errorf("disk accounting: in=%d out=%d", diskIn, diskOut)
+	}
+}
+
+func TestBlockDevicePlaintextWhenUnkeyed(t *testing.T) {
+	l := newLibOS(t, sgx.ModeSimulation)
+	if err := l.AttachBlockDevice(1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("visible")
+	if err := l.WriteBlock(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(l.RawImage(), data) {
+		t.Error("unencrypted device should store plaintext")
+	}
+}
+
+func TestBlockBoundsChecked(t *testing.T) {
+	l := newLibOS(t, sgx.ModeSimulation)
+	if err := l.AttachBlockDevice(256, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBlock(250, make([]byte, 10)); err == nil {
+		t.Error("out-of-bounds block write accepted")
+	}
+	if err := l.ReadBlock(-1, make([]byte, 1)); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestBadFD(t *testing.T) {
+	l := newLibOS(t, sgx.ModeSimulation)
+	if _, err := l.Read(99, make([]byte, 1)); err == nil {
+		t.Error("read from bad fd accepted")
+	}
+	if _, err := l.Write(sgxlkl.NetFD, []byte("x")); err == nil {
+		t.Error("write to unattached network accepted")
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	l := newLibOS(t, sgx.ModeSimulation)
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		now := l.Clock()
+		if now <= prev {
+			t.Fatalf("clock went backwards: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestEncryptionIsSeekable(t *testing.T) {
+	l := newLibOS(t, sgx.ModeSimulation)
+	if err := l.AttachBlockDevice(8192, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	// Write two non-adjacent extents, read them back independently and in
+	// one span crossing both.
+	if err := l.WriteBlock(100, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBlock(104, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := l.ReadBlock(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaabbbb" {
+		t.Errorf("spanning read = %q", got)
+	}
+}

@@ -1,0 +1,126 @@
+package binary_test
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"acctee/internal/wasm"
+	"acctee/internal/wasm/binary"
+)
+
+func demoModule() *wasm.Module {
+	b := wasm.NewModule("")
+	emit := b.ImportFunc("env", "emit", []wasm.ValueType{wasm.I32}, nil)
+	b.Memory(1, 8)
+	g := b.Global("", wasm.I64, true, wasm.ConstI64(-7))
+	b.Data(8, []byte{0, 1, 2, 255})
+	f := b.Func("", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	l := f.Local(wasm.F64)
+	f.GlobalGet(g).I64ConstV(1).Op(wasm.OpI64Add).GlobalSet(g)
+	f.F64ConstV(2.5).LocalSet(l)
+	f.LocalGet(0).Call(emit)
+	f.LocalGet(0).I32Const(-123456).Op(wasm.OpI32Add)
+	fIdx := f.End()
+	b.ExportFunc("run", fIdx)
+	b.Table(fIdx)
+	return b.MustBuild()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := demoModule()
+	bin, err := binary.Encode(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := binary.Decode(bin)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// Binary format drops names; blank them on the source for comparison.
+	c := m.Clone()
+	c.Name = ""
+	for i := range c.Funcs {
+		c.Funcs[i].Name = ""
+	}
+	for i := range c.Globals {
+		c.Globals[i].Name = ""
+	}
+	if !reflect.DeepEqual(c, back) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back, c)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := binary.Decode([]byte("not wasm at all")); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	bin, _ := binary.Encode(demoModule())
+	if _, err := binary.Decode(bin[:len(bin)-3]); err == nil {
+		t.Error("expected error for truncated module")
+	}
+}
+
+func TestHeaderStable(t *testing.T) {
+	bin, err := binary.Encode(&wasm.Module{})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	want := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+	if len(bin) != 8 || !reflect.DeepEqual(bin, want) {
+		t.Errorf("empty module encoding = % x", bin)
+	}
+}
+
+// TestLEBConstRoundTrip property-checks signed constant encoding through a
+// module round trip.
+func TestLEBConstRoundTrip(t *testing.T) {
+	f := func(v32 int32, v64 int64) bool {
+		b := wasm.NewModule("")
+		fb := b.Func("", nil, []wasm.ValueType{wasm.I64})
+		fb.I32Const(v32).Op(wasm.OpDrop)
+		fb.I64ConstV(v64)
+		b.ExportFunc("c", fb.End())
+		bin, err := binary.Encode(b.MustBuild())
+		if err != nil {
+			return false
+		}
+		back, err := binary.Decode(bin)
+		if err != nil {
+			return false
+		}
+		body := back.Funcs[0].Body
+		return body[0].I32Val() == v32 && body[2].I64Val() == v64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFloatConstRoundTrip property-checks float bit patterns.
+func TestFloatConstRoundTrip(t *testing.T) {
+	f := func(f32 float32, f64 float64) bool {
+		b := wasm.NewModule("")
+		fb := b.Func("", nil, []wasm.ValueType{wasm.F64})
+		fb.F32ConstV(f32).Op(wasm.OpDrop)
+		fb.F64ConstV(f64)
+		b.ExportFunc("c", fb.End())
+		bin, err := binary.Encode(b.MustBuild())
+		if err != nil {
+			return false
+		}
+		back, err := binary.Decode(bin)
+		if err != nil {
+			return false
+		}
+		body := back.Funcs[0].Body
+		// compare bit patterns (NaN-safe)
+		return body[0].U64 == uint64(mathFloat32bits(f32)) && body[2].U64 == mathFloat64bits(f64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mathFloat32bits(f float32) uint32 { return uint32(wasm.ConstF32(f).U64) }
+func mathFloat64bits(f float64) uint64 { return wasm.ConstF64(f).U64 }

@@ -1,0 +1,180 @@
+package wasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// BlockType describes the result type of a block/loop/if. The MVP permits
+// either no result or a single value type. The encoding matches the binary
+// format (0x40 = empty); the zero value is treated as empty too so that
+// instructions without block semantics need not set the field.
+type BlockType byte
+
+// BlockEmpty is the block type of a block producing no value.
+const BlockEmpty BlockType = 0x40
+
+// BlockOf returns the block type producing a single value of type v.
+func BlockOf(v ValueType) BlockType { return BlockType(v) }
+
+// Value returns the single result type and whether one exists.
+func (b BlockType) Value() (ValueType, bool) {
+	if b == BlockEmpty || b == 0 {
+		return 0, false
+	}
+	return ValueType(b), true
+}
+
+// Instr is a single flat instruction. Structured instructions (block, loop,
+// if/else) appear inline and are delimited by OpEnd, exactly as in the
+// binary format. The immediate fields used depend on Op:
+//
+//	Idx    — local/global/function/type index, or br/br_if label depth
+//	U64    — constant bits (i32/i64/f32/f64 const)
+//	Off    — memarg offset (loads/stores)
+//	Align  — memarg alignment exponent (loads/stores)
+//	BT     — block result type (block/loop/if)
+//	Table  — br_table targets; the final entry is the default label
+type Instr struct {
+	Op    Opcode
+	Idx   uint32
+	Align uint32
+	Off   uint32
+	U64   uint64
+	BT    BlockType
+	Table []uint32
+}
+
+// Convenience constructors for common instructions.
+
+// ConstI32 builds an i32.const instruction.
+func ConstI32(v int32) Instr { return Instr{Op: OpI32Const, U64: uint64(uint32(v))} }
+
+// ConstI64 builds an i64.const instruction.
+func ConstI64(v int64) Instr { return Instr{Op: OpI64Const, U64: uint64(v)} }
+
+// ConstF32 builds an f32.const instruction.
+func ConstF32(v float32) Instr { return Instr{Op: OpF32Const, U64: uint64(math.Float32bits(v))} }
+
+// ConstF64 builds an f64.const instruction.
+func ConstF64(v float64) Instr { return Instr{Op: OpF64Const, U64: math.Float64bits(v)} }
+
+// Op1 builds an instruction with no immediates.
+func Op1(op Opcode) Instr { return Instr{Op: op} }
+
+// WithIdx builds an instruction with a single index immediate.
+func WithIdx(op Opcode, idx uint32) Instr { return Instr{Op: op, Idx: idx} }
+
+// I32Val returns the i32 constant carried by the instruction.
+func (in Instr) I32Val() int32 { return int32(uint32(in.U64)) }
+
+// I64Val returns the i64 constant carried by the instruction.
+func (in Instr) I64Val() int64 { return int64(in.U64) }
+
+// F32Val returns the f32 constant carried by the instruction.
+func (in Instr) F32Val() float32 { return math.Float32frombits(uint32(in.U64)) }
+
+// F64Val returns the f64 constant carried by the instruction.
+func (in Instr) F64Val() float64 { return math.Float64frombits(in.U64) }
+
+// HasMemarg reports whether the instruction carries a memarg immediate.
+func (in Instr) HasMemarg() bool { return in.Op.IsMemAccess() }
+
+// String renders the instruction in text-format style (without nesting).
+func (in Instr) String() string {
+	switch in.Op {
+	case OpI32Const:
+		return "i32.const " + strconv.FormatInt(int64(in.I32Val()), 10)
+	case OpI64Const:
+		return "i64.const " + strconv.FormatInt(in.I64Val(), 10)
+	case OpF32Const:
+		return "f32.const " + formatFloat(float64(in.F32Val()), 32)
+	case OpF64Const:
+		return "f64.const " + formatFloat(in.F64Val(), 64)
+	case OpLocalGet, OpLocalSet, OpLocalTee, OpGlobalGet, OpGlobalSet,
+		OpCall, OpBr, OpBrIf:
+		return in.Op.String() + " " + strconv.FormatUint(uint64(in.Idx), 10)
+	case OpCallIndirect:
+		return "call_indirect (type " + strconv.FormatUint(uint64(in.Idx), 10) + ")"
+	case OpBrTable:
+		s := "br_table"
+		for _, t := range in.Table {
+			s += " " + strconv.FormatUint(uint64(t), 10)
+		}
+		return s
+	case OpBlock, OpLoop, OpIf:
+		s := in.Op.String()
+		if v, ok := in.BT.Value(); ok {
+			s += " (result " + v.String() + ")"
+		}
+		return s
+	default:
+		if in.HasMemarg() {
+			s := in.Op.String()
+			if in.Off != 0 {
+				s += " offset=" + strconv.FormatUint(uint64(in.Off), 10)
+			}
+			return s
+		}
+		return in.Op.String()
+	}
+}
+
+func formatFloat(f float64, bits int) string {
+	if math.IsNaN(f) {
+		return "nan"
+	}
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, bits)
+}
+
+// CountBodyInstrs counts the executable instructions in a body, excluding
+// the structural delimiters end/else that carry no runtime cost in the
+// paper's counting model (§3.5: increments are based on the instructions
+// contained in a basic block).
+func CountBodyInstrs(body []Instr) int {
+	n := 0
+	for _, in := range body {
+		if in.Op == OpEnd || in.Op == OpElse {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ValidateStructure performs a cheap structural check: every block/loop/if
+// has a matching end and the body ends exactly once at depth zero.
+func ValidateStructure(body []Instr) error {
+	depth := 0
+	for i, in := range body {
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf:
+			depth++
+		case OpElse:
+			if depth == 0 {
+				return fmt.Errorf("instr %d: else outside if", i)
+			}
+		case OpEnd:
+			depth--
+			if depth < 0 {
+				if i != len(body)-1 {
+					return fmt.Errorf("instr %d: end below depth zero before body end", i)
+				}
+			}
+		}
+	}
+	if depth != -1 {
+		return fmt.Errorf("unbalanced blocks: depth %d at body end", depth)
+	}
+	if len(body) == 0 || body[len(body)-1].Op != OpEnd {
+		return fmt.Errorf("body must terminate with end")
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package wat_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"acctee/internal/interp"
+	"acctee/internal/wasm"
+	"acctee/internal/wasm/wat"
+	"acctee/internal/weights"
+)
+
+// TestRandomModulesRoundTripExecution is the text-format equivalence
+// property: for randomly generated structured programs, printing to WAT and
+// parsing back yields a module with identical execution behaviour —
+// results AND weighted instruction counts (the quantity AccTEE bills).
+func TestRandomModulesRoundTripExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x57A7))
+	for trial := 0; trial < 40; trial++ {
+		m := randomWatModule(rng)
+		text := wat.Print(m)
+		back, err := wat.Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, text)
+		}
+		arg := uint64(rng.Intn(30))
+		r1, c1, err1 := runCounted(m, arg)
+		r2, c2, err2 := runCounted(back, arg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: trap divergence: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if r1 != r2 || c1 != c2 {
+			t.Errorf("trial %d: behaviour diverged: result %d/%d, count %d/%d",
+				trial, r1, r2, c1, c2)
+		}
+	}
+}
+
+func runCounted(m *wasm.Module, arg uint64) (uint64, uint64, error) {
+	vm, err := interp.Instantiate(m, interp.Config{CostModel: weights.Unit(), Fuel: 1 << 20})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := vm.InvokeExport("main", arg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res[0], vm.Cost(), nil
+}
+
+// randomWatModule generates random structured programs over i32/i64 locals
+// with memory traffic, mirroring the generator used by the instrumentation
+// property tests.
+func randomWatModule(rng *rand.Rand) *wasm.Module {
+	b := wasm.NewModule("rand")
+	b.Memory(1, 2)
+	g := b.Global("acc64", wasm.I64, true, wasm.ConstI64(1))
+	f := b.Func("main", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	x := f.Local(wasm.I32)
+	f.LocalGet(0).LocalSet(x)
+
+	var gen func(depth int)
+	stmt := func() {
+		switch rng.Intn(6) {
+		case 0:
+			f.LocalGet(x).I32Const(int32(rng.Intn(9) + 1)).Op(wasm.OpI32Add).LocalSet(x)
+		case 1:
+			f.LocalGet(x).I32Const(int32(rng.Intn(13) + 1)).Op(wasm.OpI32RemU).LocalSet(x)
+		case 2:
+			// memory round trip at a bounded address
+			f.LocalGet(x).I32Const(1023).Op(wasm.OpI32And)
+			f.LocalGet(x)
+			f.Store(wasm.OpI32Store, 64)
+			f.LocalGet(x).I32Const(1023).Op(wasm.OpI32And)
+			f.Load(wasm.OpI32Load, 64)
+			f.LocalGet(x).Op(wasm.OpI32Xor).LocalSet(x)
+		case 3:
+			f.GlobalGet(g).I64ConstV(int64(rng.Intn(5) + 1)).Op(wasm.OpI64Mul).GlobalSet(g)
+		case 4:
+			f.LocalGet(x).Op(wasm.OpI32Popcnt).LocalSet(x)
+		case 5:
+			f.LocalGet(x).I64ConstV(3).Op(wasm.OpI64ExtendI32U).Op(wasm.OpI64Add).Op(wasm.OpI32WrapI64).LocalSet(x)
+		}
+	}
+	gen = func(depth int) {
+		for k := rng.Intn(3) + 1; k > 0; k-- {
+			switch c := rng.Intn(8); {
+			case c < 4 || depth >= 3:
+				stmt()
+			case c < 6:
+				f.LocalGet(x).I32Const(1).Op(wasm.OpI32And)
+				f.If(wasm.BlockEmpty, func() { gen(depth + 1) }, func() { gen(depth + 1) })
+			default:
+				i := f.Local(wasm.I32)
+				f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(int32(rng.Intn(5)))}, 1, func() {
+					gen(depth + 1)
+				})
+			}
+		}
+	}
+	gen(0)
+	f.GlobalGet(g).Op(wasm.OpI32WrapI64).LocalGet(x).Op(wasm.OpI32Add)
+	b.ExportFunc("main", f.End())
+	return b.MustBuild()
+}

@@ -1,0 +1,342 @@
+package weights
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"acctee/internal/interp"
+	"acctee/internal/wasm"
+)
+
+// This file is the paper's §5.2 measurement harness. Fig. 7 measures the
+// cost of every non-memory instruction by executing it n times inside a
+// loop and subtracting the loop baseline (the paper's TSC readings around
+// n = 10,000 executions, here wall-clock ns on this engine). Fig. 8
+// measures load/store cost against memory size and access pattern — the
+// cache effects are real, the accesses hit real host memory.
+
+// MeasureResult is one instruction's measured cost.
+type MeasureResult struct {
+	Op wasm.Opcode
+	// NsPerInstr is the baseline-subtracted wall-clock cost.
+	NsPerInstr float64
+}
+
+// Measurable reports whether Fig. 7 measures this opcode: numeric,
+// comparison and conversion instructions (the paper's 127 instructions;
+// loads/stores are measured separately in Fig. 8).
+func Measurable(op wasm.Opcode) bool {
+	if op.IsMemAccess() {
+		return false
+	}
+	switch op {
+	case wasm.OpUnreachable, wasm.OpNop, wasm.OpBlock, wasm.OpLoop, wasm.OpIf,
+		wasm.OpElse, wasm.OpEnd, wasm.OpBr, wasm.OpBrIf, wasm.OpBrTable,
+		wasm.OpReturn, wasm.OpCall, wasm.OpCallIndirect, wasm.OpDrop,
+		wasm.OpSelect, wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee,
+		wasm.OpGlobalGet, wasm.OpGlobalSet, wasm.OpMemorySize, wasm.OpMemoryGrow:
+		return false
+	}
+	return true
+}
+
+// opOperands returns the operand types an opcode pops, derived from the
+// same classification the validator uses.
+func opOperands(op wasm.Opcode) ([]wasm.ValueType, bool) {
+	type span struct {
+		lo, hi wasm.Opcode
+		in     []wasm.ValueType
+	}
+	spans := []span{
+		{wasm.OpI32Eqz, wasm.OpI32Eqz, []wasm.ValueType{wasm.I32}},
+		{wasm.OpI32Eq, wasm.OpI32GeU, []wasm.ValueType{wasm.I32, wasm.I32}},
+		{wasm.OpI64Eqz, wasm.OpI64Eqz, []wasm.ValueType{wasm.I64}},
+		{wasm.OpI64Eq, wasm.OpI64GeU, []wasm.ValueType{wasm.I64, wasm.I64}},
+		{wasm.OpF32Eq, wasm.OpF32Ge, []wasm.ValueType{wasm.F32, wasm.F32}},
+		{wasm.OpF64Eq, wasm.OpF64Ge, []wasm.ValueType{wasm.F64, wasm.F64}},
+		{wasm.OpI32Clz, wasm.OpI32Popcnt, []wasm.ValueType{wasm.I32}},
+		{wasm.OpI32Add, wasm.OpI32Rotr, []wasm.ValueType{wasm.I32, wasm.I32}},
+		{wasm.OpI64Clz, wasm.OpI64Popcnt, []wasm.ValueType{wasm.I64}},
+		{wasm.OpI64Add, wasm.OpI64Rotr, []wasm.ValueType{wasm.I64, wasm.I64}},
+		{wasm.OpF32Abs, wasm.OpF32Sqrt, []wasm.ValueType{wasm.F32}},
+		{wasm.OpF32Add, wasm.OpF32Copysign, []wasm.ValueType{wasm.F32, wasm.F32}},
+		{wasm.OpF64Abs, wasm.OpF64Sqrt, []wasm.ValueType{wasm.F64}},
+		{wasm.OpF64Add, wasm.OpF64Copysign, []wasm.ValueType{wasm.F64, wasm.F64}},
+		{wasm.OpI32WrapI64, wasm.OpI32WrapI64, []wasm.ValueType{wasm.I64}},
+		{wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, []wasm.ValueType{wasm.F32}},
+		{wasm.OpI32TruncF64S, wasm.OpI32TruncF64U, []wasm.ValueType{wasm.F64}},
+		{wasm.OpI64ExtendI32S, wasm.OpI64ExtendI32U, []wasm.ValueType{wasm.I32}},
+		{wasm.OpI64TruncF32S, wasm.OpI64TruncF32U, []wasm.ValueType{wasm.F32}},
+		{wasm.OpI64TruncF64S, wasm.OpI64TruncF64U, []wasm.ValueType{wasm.F64}},
+		{wasm.OpF32ConvertI32S, wasm.OpF32ConvertI32U, []wasm.ValueType{wasm.I32}},
+		{wasm.OpF32ConvertI64S, wasm.OpF32ConvertI64U, []wasm.ValueType{wasm.I64}},
+		{wasm.OpF32DemoteF64, wasm.OpF32DemoteF64, []wasm.ValueType{wasm.F64}},
+		{wasm.OpF64ConvertI32S, wasm.OpF64ConvertI32U, []wasm.ValueType{wasm.I32}},
+		{wasm.OpF64ConvertI64S, wasm.OpF64ConvertI64U, []wasm.ValueType{wasm.I64}},
+		{wasm.OpF64PromoteF32, wasm.OpF64PromoteF32, []wasm.ValueType{wasm.F32}},
+		{wasm.OpI32ReinterpretF, wasm.OpI32ReinterpretF, []wasm.ValueType{wasm.F32}},
+		{wasm.OpI64ReinterpretF, wasm.OpI64ReinterpretF, []wasm.ValueType{wasm.F64}},
+		{wasm.OpF32ReinterpretI, wasm.OpF32ReinterpretI, []wasm.ValueType{wasm.I32}},
+		{wasm.OpF64ReinterpretI, wasm.OpF64ReinterpretI, []wasm.ValueType{wasm.I64}},
+	}
+	for _, s := range spans {
+		if op >= s.lo && op <= s.hi {
+			return s.in, true
+		}
+	}
+	// const instructions pop nothing
+	switch op {
+	case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+		return []wasm.ValueType{}, true
+	}
+	return nil, false
+}
+
+func constFor(t wasm.ValueType) wasm.Instr {
+	switch t {
+	case wasm.I32:
+		return wasm.ConstI32(37) // safe divisor, valid shift
+	case wasm.I64:
+		return wasm.ConstI64(41)
+	case wasm.F32:
+		return wasm.ConstF32(1.25)
+	default:
+		return wasm.ConstF64(2.5)
+	}
+}
+
+// buildOpModule builds a module whose run(n) executes `op` n times.
+func buildOpModule(op wasm.Opcode, unrolled int) (*wasm.Module, error) {
+	in, ok := opOperands(op)
+	if !ok {
+		return nil, fmt.Errorf("weights: opcode %s has no operand spec", op)
+	}
+	b := wasm.NewModule("measure")
+	f := b.Func("run", []wasm.ValueType{wasm.I32}, nil)
+	i := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		for u := 0; u < unrolled; u++ {
+			for _, t := range in {
+				f.Emit(constFor(t))
+			}
+			f.Op(op)
+			f.Op(wasm.OpDrop)
+		}
+	})
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// buildBaselineModule builds the same loop with operand pushes and drops
+// but no measured instruction.
+func buildBaselineModule(in []wasm.ValueType, unrolled int) (*wasm.Module, error) {
+	b := wasm.NewModule("baseline")
+	f := b.Func("run", []wasm.ValueType{wasm.I32}, nil)
+	i := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		for u := 0; u < unrolled; u++ {
+			for _, t := range in {
+				f.Emit(constFor(t))
+				f.Op(wasm.OpDrop)
+			}
+		}
+	})
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+func timeRun(m *wasm.Module, n uint64) (time.Duration, error) {
+	vm, err := interp.Instantiate(m, interp.Config{})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := vm.InvokeExport("run", n); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// MeasureInstr measures one instruction's cost over n executions
+// (paper: n = 10,000).
+func MeasureInstr(op wasm.Opcode, n uint64) (MeasureResult, error) {
+	const unroll = 8
+	in, ok := opOperands(op)
+	if !ok {
+		return MeasureResult{}, fmt.Errorf("weights: cannot measure %s", op)
+	}
+	iters := n / unroll
+	mod, err := buildOpModule(op, unroll)
+	if err != nil {
+		return MeasureResult{}, err
+	}
+	base, err := buildBaselineModule(in, unroll)
+	if err != nil {
+		return MeasureResult{}, err
+	}
+	// best-of-3 to shed scheduler noise
+	var dOp, dBase time.Duration
+	for trial := 0; trial < 3; trial++ {
+		t1, err := timeRun(mod, iters)
+		if err != nil {
+			return MeasureResult{}, err
+		}
+		t2, err := timeRun(base, iters)
+		if err != nil {
+			return MeasureResult{}, err
+		}
+		if trial == 0 || t1 < dOp {
+			dOp = t1
+		}
+		if trial == 0 || t2 < dBase {
+			dBase = t2
+		}
+	}
+	ns := float64(dOp-dBase) / float64(iters*unroll)
+	if ns < 0 {
+		ns = 0
+	}
+	return MeasureResult{Op: op, NsPerInstr: ns}, nil
+}
+
+// MeasureAll measures every Fig. 7 instruction and returns results sorted
+// by cost ascending (the figure's x-axis ordering).
+func MeasureAll(n uint64) ([]MeasureResult, error) {
+	var out []MeasureResult
+	for _, op := range wasm.AllOpcodes() {
+		if !Measurable(op) {
+			continue
+		}
+		r, err := MeasureInstr(op, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NsPerInstr < out[j].NsPerInstr })
+	return out, nil
+}
+
+// Derive converts measurements into a weight table normalised so the
+// cheapest instruction weighs 1 — the runtime weight adjustment the paper
+// supports (§3.7).
+func Derive(results []MeasureResult) *Table {
+	t := Unit()
+	if len(results) == 0 {
+		return t
+	}
+	minNs := results[0].NsPerInstr
+	for _, r := range results {
+		if r.NsPerInstr < minNs && r.NsPerInstr > 0 {
+			minNs = r.NsPerInstr
+		}
+	}
+	if minNs <= 0 {
+		minNs = 1
+	}
+	for _, r := range results {
+		w := uint64(r.NsPerInstr/minNs + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		t.Set(r.Op, w)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8: memory access costs
+
+// MemPattern is the access pattern of a Fig. 8 run.
+type MemPattern int
+
+// Access patterns.
+const (
+	Linear MemPattern = iota + 1
+	Random
+)
+
+// String names the pattern.
+func (p MemPattern) String() string {
+	if p == Linear {
+		return "linear"
+	}
+	return "random"
+}
+
+// MemMeasure is one Fig. 8 data point.
+type MemMeasure struct {
+	Type     wasm.ValueType
+	Store    bool
+	Pattern  MemPattern
+	MemBytes int
+	NsPerOp  float64
+}
+
+// buildMemModule builds run(n) performing n loads or stores of the given
+// type with the given pattern across memBytes of linear memory.
+func buildMemModule(t wasm.ValueType, store bool, pattern MemPattern, memBytes int) (*wasm.Module, error) {
+	pages := uint32((memBytes + wasm.PageSize - 1) / wasm.PageSize)
+	b := wasm.NewModule("mem-measure")
+	b.Memory(pages, pages)
+	f := b.Func("run", []wasm.ValueType{wasm.I32}, nil)
+	i := f.Local(wasm.I32)
+	addr := f.Local(wasm.I32)
+	var loadOp, storeOp wasm.Opcode
+	var width int32
+	switch t {
+	case wasm.I32:
+		loadOp, storeOp, width = wasm.OpI32Load, wasm.OpI32Store, 4
+	case wasm.I64:
+		loadOp, storeOp, width = wasm.OpI64Load, wasm.OpI64Store, 8
+	case wasm.F32:
+		loadOp, storeOp, width = wasm.OpF32Load, wasm.OpF32Store, 4
+	default:
+		loadOp, storeOp, width = wasm.OpF64Load, wasm.OpF64Store, 8
+	}
+	slots := int32(memBytes) / width
+	mask := int32(1)
+	for mask*2 <= slots {
+		mask *= 2
+	}
+	mask-- // power-of-two slot mask
+	f.I32Const(0).LocalSet(addr)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		// next address
+		if pattern == Linear {
+			f.LocalGet(addr).I32Const(1).Op(wasm.OpI32Add)
+		} else {
+			// LCG hop: addr = addr*1664525 + 1013904223
+			f.LocalGet(addr).I32Const(1664525).Op(wasm.OpI32Mul)
+			f.I32Const(1013904223).Op(wasm.OpI32Add)
+		}
+		f.I32Const(mask).Op(wasm.OpI32And).LocalSet(addr)
+		f.LocalGet(addr).I32Const(width).Op(wasm.OpI32Mul)
+		if store {
+			f.Emit(constFor(t))
+			f.Store(storeOp, 0)
+		} else {
+			f.Load(loadOp, 0)
+			f.Op(wasm.OpDrop)
+		}
+	})
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// MeasureMem measures one Fig. 8 configuration over n accesses.
+func MeasureMem(t wasm.ValueType, store bool, pattern MemPattern, memBytes int, n uint64) (MemMeasure, error) {
+	mod, err := buildMemModule(t, store, pattern, memBytes)
+	if err != nil {
+		return MemMeasure{}, err
+	}
+	d, err := timeRun(mod, n)
+	if err != nil {
+		return MemMeasure{}, err
+	}
+	return MemMeasure{
+		Type: t, Store: store, Pattern: pattern, MemBytes: memBytes,
+		NsPerOp: float64(d) / float64(n),
+	}, nil
+}

@@ -1,0 +1,130 @@
+// Package weights defines WebAssembly instruction weight tables (paper
+// §3.7) and the micro-benchmark harness that derives them (paper §5.2,
+// Fig. 7 and Fig. 8). A weight table assigns every opcode a relative cost;
+// the instrumentation enclave uses it to maintain the weighted instruction
+// counter, and the interpreter uses it as its ground-truth cost model.
+package weights
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"acctee/internal/wasm"
+)
+
+// Table maps opcodes to weights. Structural delimiters (end, else) always
+// weigh zero: they mark block boundaries and are free at runtime in the
+// paper's counting model.
+type Table struct {
+	w [256]uint64
+}
+
+// Weight returns the weight of op.
+func (t *Table) Weight(op wasm.Opcode) uint64 { return t.w[op] }
+
+// Set overrides the weight of op. AccTEE supports runtime weight
+// adjustments so providers can tune tables without releasing new enclaves
+// (paper §3.7).
+func (t *Table) Set(op wasm.Opcode, w uint64) {
+	if op == wasm.OpEnd || op == wasm.OpElse {
+		return
+	}
+	t.w[op] = w
+}
+
+// Clone returns a copy of the table.
+func (t *Table) Clone() *Table {
+	c := *t
+	return &c
+}
+
+// InstrCost implements interp.CostModel's instruction half.
+func (t *Table) InstrCost(op wasm.Opcode) uint64 { return t.w[op] }
+
+// MemCost implements interp.CostModel; the plain weight table charges
+// nothing extra for memory traffic (the SGX substrate layers EPC penalties
+// on top).
+func (t *Table) MemCost(addr, width uint32, store bool, memSize uint32) uint64 { return 0 }
+
+// Unit returns the unweighted table: every executable instruction costs 1.
+// This is the paper's plain "instruction counter" (§3.5).
+func Unit() *Table {
+	t := &Table{}
+	for _, op := range wasm.AllOpcodes() {
+		t.w[op] = 1
+	}
+	t.w[wasm.OpEnd] = 0
+	t.w[wasm.OpElse] = 0
+	return t
+}
+
+// Calibrated returns the weighted table modelled on the paper's Fig. 7
+// measurements: ~74% of instructions below 10 cycles, floor/ceil-class
+// instructions around 32, divisions and square roots above 50. Weights are
+// expressed in cycles. Hosts may re-derive the table with Measure (see
+// measure.go) — the paper expects minor per-CPU differences.
+func Calibrated() *Table {
+	t := Unit()
+	cheap := uint64(3)
+	for _, op := range wasm.AllOpcodes() {
+		t.w[op] = cheap
+	}
+	t.w[wasm.OpEnd] = 0
+	t.w[wasm.OpElse] = 0
+
+	// Mid-cost: multiplications, float arithmetic, conversions.
+	for _, op := range []wasm.Opcode{
+		wasm.OpI32Mul, wasm.OpI64Mul,
+		wasm.OpF32Add, wasm.OpF32Sub, wasm.OpF32Mul,
+		wasm.OpF64Add, wasm.OpF64Sub, wasm.OpF64Mul,
+		wasm.OpF32ConvertI32S, wasm.OpF32ConvertI32U, wasm.OpF32ConvertI64S,
+		wasm.OpF32ConvertI64U, wasm.OpF64ConvertI32S, wasm.OpF64ConvertI32U,
+		wasm.OpF64ConvertI64S, wasm.OpF64ConvertI64U,
+		wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI32TruncF64S,
+		wasm.OpI32TruncF64U, wasm.OpI64TruncF32S, wasm.OpI64TruncF32U,
+		wasm.OpI64TruncF64S, wasm.OpI64TruncF64U,
+	} {
+		t.w[op] = 8
+	}
+	// Rounding class (paper: f32.floor / f64.ceil need up to 32 cycles).
+	for _, op := range []wasm.Opcode{
+		wasm.OpF32Ceil, wasm.OpF32Floor, wasm.OpF32Trunc, wasm.OpF32Nearest,
+		wasm.OpF64Ceil, wasm.OpF64Floor, wasm.OpF64Trunc, wasm.OpF64Nearest,
+	} {
+		t.w[op] = 32
+	}
+	// Expensive class (paper: i64.div_s, f32.sqrt > 50 cycles).
+	for _, op := range []wasm.Opcode{
+		wasm.OpI32DivS, wasm.OpI32DivU, wasm.OpI32RemS, wasm.OpI32RemU,
+		wasm.OpI64DivS, wasm.OpI64DivU, wasm.OpI64RemS, wasm.OpI64RemU,
+		wasm.OpF32Div, wasm.OpF64Div, wasm.OpF32Sqrt, wasm.OpF64Sqrt,
+	} {
+		t.w[op] = 56
+	}
+	// Calls are charged at a fixed dispatch weight; callee bodies account
+	// for themselves.
+	t.w[wasm.OpCall] = 10
+	t.w[wasm.OpCallIndirect] = 14
+	t.w[wasm.OpMemoryGrow] = 64
+	return t
+}
+
+// Hash commits to the full weight table; instrumentation evidence carries
+// it so both parties agree on the weights in force (§3.7: "they are part of
+// the mutually trusted, attested execution environment").
+func (t *Table) Hash() [32]byte {
+	var b [256 * 8]byte
+	for i, w := range t.w {
+		binary.LittleEndian.PutUint64(b[i*8:], w)
+	}
+	return sha256.Sum256(b[:])
+}
+
+// BlockWeight sums the weights of body[start..term] inclusive.
+func (t *Table) BlockWeight(body []wasm.Instr, start, term int) uint64 {
+	var sum uint64
+	for pc := start; pc <= term; pc++ {
+		sum += t.w[body[pc].Op]
+	}
+	return sum
+}

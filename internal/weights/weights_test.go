@@ -1,0 +1,127 @@
+package weights_test
+
+import (
+	"testing"
+
+	"acctee/internal/wasm"
+	"acctee/internal/weights"
+)
+
+func TestUnitWeights(t *testing.T) {
+	u := weights.Unit()
+	if u.Weight(wasm.OpI32Add) != 1 || u.Weight(wasm.OpF64Sqrt) != 1 {
+		t.Error("unit table must weigh executable instructions 1")
+	}
+	if u.Weight(wasm.OpEnd) != 0 || u.Weight(wasm.OpElse) != 0 {
+		t.Error("structural delimiters must weigh 0")
+	}
+}
+
+func TestCalibratedShape(t *testing.T) {
+	c := weights.Calibrated()
+	// Paper Fig. 7: majority cheap, floor/ceil mid, div/sqrt expensive.
+	if !(c.Weight(wasm.OpI32Add) < c.Weight(wasm.OpF64Floor)) {
+		t.Error("add should be cheaper than floor")
+	}
+	if !(c.Weight(wasm.OpF64Floor) < c.Weight(wasm.OpI64DivS)) {
+		t.Error("floor should be cheaper than div")
+	}
+	if !(c.Weight(wasm.OpF32Sqrt) > 50) {
+		t.Error("sqrt should weigh > 50 cycles (paper)")
+	}
+	cheap := 0
+	total := 0
+	for _, op := range wasm.AllOpcodes() {
+		if !weights.Measurable(op) {
+			continue
+		}
+		total++
+		if c.Weight(op) < 10 {
+			cheap++
+		}
+	}
+	// Paper: 74% of instructions execute in <10 cycles.
+	if ratio := float64(cheap) / float64(total); ratio < 0.6 {
+		t.Errorf("cheap instruction ratio %.2f, want most instructions cheap", ratio)
+	}
+}
+
+func TestSetIgnoresStructural(t *testing.T) {
+	u := weights.Unit()
+	u.Set(wasm.OpEnd, 99)
+	if u.Weight(wasm.OpEnd) != 0 {
+		t.Error("Set must not assign weight to end")
+	}
+	u.Set(wasm.OpI32Mul, 7)
+	if u.Weight(wasm.OpI32Mul) != 7 {
+		t.Error("Set failed")
+	}
+}
+
+func TestHashDistinguishesTables(t *testing.T) {
+	a, b := weights.Unit(), weights.Unit()
+	if a.Hash() != b.Hash() {
+		t.Error("identical tables hash differently")
+	}
+	b.Set(wasm.OpI32Add, 2)
+	if a.Hash() == b.Hash() {
+		t.Error("different tables hash equally")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := weights.Unit()
+	c := a.Clone()
+	c.Set(wasm.OpI32Add, 5)
+	if a.Weight(wasm.OpI32Add) != 1 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestMeasurableCount(t *testing.T) {
+	n := 0
+	for _, op := range wasm.AllOpcodes() {
+		if weights.Measurable(op) {
+			n++
+		}
+	}
+	// The paper measures 127 non-memory instructions; our opcode set
+	// classifies 127 numeric/comparison/conversion instructions too.
+	if n != 127 {
+		t.Errorf("measurable instructions = %d, want 127", n)
+	}
+}
+
+func TestMeasureInstrRuns(t *testing.T) {
+	r, err := weights.MeasureInstr(wasm.OpI32Add, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NsPerInstr < 0 {
+		t.Errorf("negative cost %v", r.NsPerInstr)
+	}
+}
+
+func TestMeasureMemRuns(t *testing.T) {
+	m, err := weights.MeasureMem(wasm.I64, false, weights.Random, 1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NsPerOp <= 0 {
+		t.Errorf("nonsensical ns/op %v", m.NsPerOp)
+	}
+}
+
+func TestDeriveNormalises(t *testing.T) {
+	res := []weights.MeasureResult{
+		{Op: wasm.OpI32Add, NsPerInstr: 10},
+		{Op: wasm.OpF64Sqrt, NsPerInstr: 52},
+	}
+	tbl := weights.Derive(res)
+	if tbl.Weight(wasm.OpI32Add) != 1 {
+		t.Errorf("cheapest weight = %d, want 1", tbl.Weight(wasm.OpI32Add))
+	}
+	if tbl.Weight(wasm.OpF64Sqrt) != 5 {
+		t.Errorf("sqrt weight = %d, want 5", tbl.Weight(wasm.OpF64Sqrt))
+	}
+}

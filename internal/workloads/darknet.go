@@ -1,0 +1,270 @@
+package workloads
+
+import (
+	"acctee/internal/wasm"
+)
+
+// BuildDarknet builds the pay-by-computation workload (paper §5.3): image
+// classification with a small Darknet-style convolutional network —
+// conv 3×3 (nf filters) → ReLU → 2×2 max-pool → fully-connected layer —
+// over a deterministic synthetic image and weights. Exported:
+// run() -> f64 = Σ outputs + argmax, a value that pins down the whole
+// network evaluation. The profile is dense f64 multiply-accumulate, like
+// the reference model in the paper.
+func BuildDarknet(imgSize, filters int) (*wasm.Module, error) {
+	W := int32(imgSize)  // input width/height
+	NF := int32(filters) // conv filters
+	CW := W - 2          // conv output width
+	PW := CW / 2         // pooled width
+	classes := int32(10) // output classes
+	b := wasm.NewModule("darknet")
+
+	// memory layout (f64 slots)
+	imgOff := int32(64)
+	kernOff := imgOff + W*W*8
+	convOff := kernOff + NF*9*8
+	poolOff := convOff + NF*CW*CW*8
+	denseOff := poolOff + NF*PW*PW*8
+	outOff := denseOff + classes*NF*PW*PW*8
+	end := outOff + classes*8
+	pages := uint32((end + wasm.PageSize - 1) / wasm.PageSize)
+	b.Memory(pages, pages)
+
+	f := b.Func("run", nil, []wasm.ValueType{wasm.F64})
+	i := f.Local(wasm.I32)
+	j := f.Local(wasm.I32)
+	fi := f.Local(wasm.I32)
+	di := f.Local(wasm.I32)
+	dj := f.Local(wasm.I32)
+	c := f.Local(wasm.I32)
+	acc := f.Local(wasm.F64)
+	best := f.Local(wasm.F64)
+	bestIdx := f.Local(wasm.I32)
+
+	forTo := func(v uint32, hi int32, body func()) {
+		f.ForI32(v, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(hi)}, 1, body)
+	}
+	storeF := func(base int32, idx func(), val func()) {
+		idx()
+		f.I32Const(8).Op(wasm.OpI32Mul)
+		val()
+		f.Store(wasm.OpF64Store, uint32(base))
+	}
+	loadF := func(base int32, idx func()) {
+		idx()
+		f.I32Const(8).Op(wasm.OpI32Mul)
+		f.Load(wasm.OpF64Load, uint32(base))
+	}
+
+	// image: ((i*7 + j*13) % 29)/29
+	forTo(i, W, func() {
+		forTo(j, W, func() {
+			storeF(imgOff, func() {
+				f.LocalGet(i).I32Const(W).Op(wasm.OpI32Mul).LocalGet(j).Op(wasm.OpI32Add)
+			}, func() {
+				f.LocalGet(i).I32Const(7).Op(wasm.OpI32Mul)
+				f.LocalGet(j).I32Const(13).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+				f.I32Const(29).Op(wasm.OpI32RemS).Op(wasm.OpF64ConvertI32S)
+				f.F64ConstV(29).Op(wasm.OpF64Div)
+			})
+		})
+	})
+	// kernels: ((f*9 + t) % 7 - 3)/4
+	forTo(fi, NF, func() {
+		forTo(j, 9, func() {
+			storeF(kernOff, func() {
+				f.LocalGet(fi).I32Const(9).Op(wasm.OpI32Mul).LocalGet(j).Op(wasm.OpI32Add)
+			}, func() {
+				f.LocalGet(fi).I32Const(9).Op(wasm.OpI32Mul).LocalGet(j).Op(wasm.OpI32Add)
+				f.I32Const(7).Op(wasm.OpI32RemS).I32Const(3).Op(wasm.OpI32Sub)
+				f.Op(wasm.OpF64ConvertI32S).F64ConstV(4).Op(wasm.OpF64Div)
+			})
+		})
+	})
+	// conv + ReLU
+	forTo(fi, NF, func() {
+		forTo(i, CW, func() {
+			forTo(j, CW, func() {
+				f.F64ConstV(0).LocalSet(acc)
+				forTo(di, 3, func() {
+					forTo(dj, 3, func() {
+						f.LocalGet(acc)
+						loadF(imgOff, func() {
+							f.LocalGet(i).LocalGet(di).Op(wasm.OpI32Add).I32Const(W).Op(wasm.OpI32Mul)
+							f.LocalGet(j).LocalGet(dj).Op(wasm.OpI32Add).Op(wasm.OpI32Add)
+						})
+						loadF(kernOff, func() {
+							f.LocalGet(fi).I32Const(9).Op(wasm.OpI32Mul)
+							f.LocalGet(di).I32Const(3).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+							f.LocalGet(dj).Op(wasm.OpI32Add)
+						})
+						f.Op(wasm.OpF64Mul).Op(wasm.OpF64Add).LocalSet(acc)
+					})
+				})
+				// ReLU
+				f.LocalGet(acc).F64ConstV(0).Op(wasm.OpF64Max).LocalSet(acc)
+				storeF(convOff, func() {
+					f.LocalGet(fi).I32Const(CW * CW).Op(wasm.OpI32Mul)
+					f.LocalGet(i).I32Const(CW).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+				}, func() { f.LocalGet(acc) })
+			})
+		})
+	})
+	// 2x2 max pool
+	forTo(fi, NF, func() {
+		forTo(i, PW, func() {
+			forTo(j, PW, func() {
+				at := func(ddi, ddj int32) {
+					loadF(convOff, func() {
+						f.LocalGet(fi).I32Const(CW * CW).Op(wasm.OpI32Mul)
+						f.LocalGet(i).I32Const(2).Op(wasm.OpI32Mul).I32Const(ddi).Op(wasm.OpI32Add)
+						f.I32Const(CW).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+						f.LocalGet(j).I32Const(2).Op(wasm.OpI32Mul).I32Const(ddj).Op(wasm.OpI32Add)
+						f.Op(wasm.OpI32Add)
+					})
+				}
+				at(0, 0)
+				at(0, 1)
+				f.Op(wasm.OpF64Max)
+				at(1, 0)
+				f.Op(wasm.OpF64Max)
+				at(1, 1)
+				f.Op(wasm.OpF64Max)
+				f.LocalSet(acc)
+				storeF(poolOff, func() {
+					f.LocalGet(fi).I32Const(PW * PW).Op(wasm.OpI32Mul)
+					f.LocalGet(i).I32Const(PW).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+				}, func() { f.LocalGet(acc) })
+			})
+		})
+	})
+	// dense weights: ((c*31 + t*17) % 11 - 5)/8
+	featN := NF * PW * PW
+	forTo(c, classes, func() {
+		forTo(i, featN, func() {
+			storeF(denseOff, func() {
+				f.LocalGet(c).I32Const(featN).Op(wasm.OpI32Mul).LocalGet(i).Op(wasm.OpI32Add)
+			}, func() {
+				f.LocalGet(c).I32Const(31).Op(wasm.OpI32Mul)
+				f.LocalGet(i).I32Const(17).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+				f.I32Const(11).Op(wasm.OpI32RemS).I32Const(5).Op(wasm.OpI32Sub)
+				f.Op(wasm.OpF64ConvertI32S).F64ConstV(8).Op(wasm.OpF64Div)
+			})
+		})
+	})
+	// dense layer
+	forTo(c, classes, func() {
+		f.F64ConstV(0).LocalSet(acc)
+		forTo(i, featN, func() {
+			f.LocalGet(acc)
+			loadF(poolOff, func() { f.LocalGet(i) })
+			loadF(denseOff, func() {
+				f.LocalGet(c).I32Const(featN).Op(wasm.OpI32Mul).LocalGet(i).Op(wasm.OpI32Add)
+			})
+			f.Op(wasm.OpF64Mul).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		storeF(outOff, func() { f.LocalGet(c) }, func() { f.LocalGet(acc) })
+	})
+	// result = Σ outputs + argmax
+	f.F64ConstV(0).LocalSet(acc)
+	f.F64ConstV(-1e300).LocalSet(best)
+	f.I32Const(0).LocalSet(bestIdx)
+	forTo(c, classes, func() {
+		f.LocalGet(acc)
+		loadF(outOff, func() { f.LocalGet(c) })
+		f.Op(wasm.OpF64Add).LocalSet(acc)
+		loadF(outOff, func() { f.LocalGet(c) })
+		f.LocalGet(best).Op(wasm.OpF64Gt)
+		f.If(wasm.BlockEmpty, func() {
+			loadF(outOff, func() { f.LocalGet(c) })
+			f.LocalSet(best)
+			f.LocalGet(c).LocalSet(bestIdx)
+		}, nil)
+	})
+	f.LocalGet(acc).LocalGet(bestIdx).Op(wasm.OpF64ConvertI32S).Op(wasm.OpF64Add)
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// NativeDarknet mirrors BuildDarknet exactly.
+func NativeDarknet(imgSize, filters int) float64 {
+	W, NF := imgSize, filters
+	CW := W - 2
+	PW := CW / 2
+	classes := 10
+	img := make([]float64, W*W)
+	kern := make([]float64, NF*9)
+	conv := make([]float64, NF*CW*CW)
+	pool := make([]float64, NF*PW*PW)
+	featN := NF * PW * PW
+	dense := make([]float64, classes*featN)
+	out := make([]float64, classes)
+	for i := 0; i < W; i++ {
+		for j := 0; j < W; j++ {
+			img[i*W+j] = float64((i*7+j*13)%29) / 29
+		}
+	}
+	for fi := 0; fi < NF; fi++ {
+		for t := 0; t < 9; t++ {
+			kern[fi*9+t] = float64((fi*9+t)%7-3) / 4
+		}
+	}
+	for fi := 0; fi < NF; fi++ {
+		for i := 0; i < CW; i++ {
+			for j := 0; j < CW; j++ {
+				acc := 0.0
+				for di := 0; di < 3; di++ {
+					for dj := 0; dj < 3; dj++ {
+						acc = acc + img[(i+di)*W+(j+dj)]*kern[fi*9+di*3+dj]
+					}
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				conv[fi*CW*CW+i*CW+j] = acc
+			}
+		}
+	}
+	max := func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for fi := 0; fi < NF; fi++ {
+		for i := 0; i < PW; i++ {
+			for j := 0; j < PW; j++ {
+				v := conv[fi*CW*CW+(2*i)*CW+2*j]
+				v = max(v, conv[fi*CW*CW+(2*i)*CW+2*j+1])
+				v = max(v, conv[fi*CW*CW+(2*i+1)*CW+2*j])
+				v = max(v, conv[fi*CW*CW+(2*i+1)*CW+2*j+1])
+				pool[fi*PW*PW+i*PW+j] = v
+			}
+		}
+	}
+	for c := 0; c < classes; c++ {
+		for i := 0; i < featN; i++ {
+			dense[c*featN+i] = float64((c*31+i*17)%11-5) / 8
+		}
+	}
+	for c := 0; c < classes; c++ {
+		acc := 0.0
+		for i := 0; i < featN; i++ {
+			acc = acc + pool[i]*dense[c*featN+i]
+		}
+		out[c] = acc
+	}
+	accT := 0.0
+	best := -1e300
+	bestIdx := 0
+	for c := 0; c < classes; c++ {
+		accT = accT + out[c]
+		if out[c] > best {
+			best = out[c]
+			bestIdx = c
+		}
+	}
+	return accT + float64(bestIdx)
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"acctee/internal/wasm"
+)
+
+// FaaS functions (paper §5.3, Fig. 9). The gateway writes the request body
+// into linear memory at InBase before invoking the function and reads the
+// response from OutBase after it returns.
+
+// Fixed linear-memory layout for the FaaS calling convention.
+const (
+	// InBase is where the gateway places the request payload.
+	InBase = 1 << 16
+	// MaxPayload bounds the request size (1024×1024 RGBA pixels).
+	MaxPayload = 4 << 20
+	// OutBase is where the function places the response payload.
+	OutBase = InBase + MaxPayload
+	// OutMax bounds the response size (echo returns the full payload).
+	OutMax = MaxPayload
+)
+
+func faasPages() uint32 {
+	return uint32((OutBase + OutMax + wasm.PageSize - 1) / wasm.PageSize)
+}
+
+// BuildEcho builds the echo function: run(len: i32) -> i32 copies the
+// request payload to the response buffer unchanged. The paper uses it as
+// the worst case: no computation, all overhead in the software layers.
+func BuildEcho() (*wasm.Module, error) {
+	b := wasm.NewModule("echo")
+	b.Memory(faasPages(), faasPages())
+	f := b.Func("run", vi32, vi32)
+	i := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.LocalGet(i)
+		f.LocalGet(i).Load(wasm.OpI32Load8U, InBase)
+		f.Store(wasm.OpI32Store8, OutBase)
+	})
+	f.LocalGet(0)
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// NativeEcho mirrors BuildEcho over byte slices.
+func NativeEcho(in []byte) []byte {
+	out := make([]byte, len(in))
+	copy(out, in)
+	return out
+}
+
+// ResizeTarget is the output edge length of the resize function (§5.3:
+// "returns the input JPG image scaled to 64 × 64 pixels").
+const ResizeTarget = 64
+
+// BuildResize builds the image-resize function: run(w: i32, h: i32) -> i32
+// box-averages an RGBA image of w×h pixels at InBase down to 64×64 at
+// OutBase and returns the output byte length. Compute-heavy per request:
+// per output pixel it averages a w/64 × h/64 source window per channel.
+func BuildResize() (*wasm.Module, error) {
+	b := wasm.NewModule("resize")
+	b.Memory(faasPages(), faasPages())
+	f := b.Func("run", []wasm.ValueType{wasm.I32, wasm.I32}, vi32)
+	ox := f.Local(wasm.I32)
+	oy := f.Local(wasm.I32)
+	ch := f.Local(wasm.I32)
+	sx := f.Local(wasm.I32)
+	sy := f.Local(wasm.I32)
+	bw := f.Local(wasm.I32) // box width = w/64 (>=1)
+	bh := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	cnt := f.Local(wasm.I32)
+	// bw = max(w/64, 1); bh = max(h/64, 1)
+	f.LocalGet(0).I32Const(ResizeTarget).Op(wasm.OpI32DivU).LocalSet(bw)
+	f.LocalGet(bw).Op(wasm.OpI32Eqz)
+	f.If(wasm.BlockEmpty, func() { f.I32Const(1).LocalSet(bw) }, nil)
+	f.LocalGet(1).I32Const(ResizeTarget).Op(wasm.OpI32DivU).LocalSet(bh)
+	f.LocalGet(bh).Op(wasm.OpI32Eqz)
+	f.If(wasm.BlockEmpty, func() { f.I32Const(1).LocalSet(bh) }, nil)
+
+	f.ForI32(oy, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(ResizeTarget)}, 1, func() {
+		f.ForI32(ox, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(ResizeTarget)}, 1, func() {
+			f.ForI32(ch, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(4)}, 1, func() {
+				f.I32Const(0).LocalSet(acc)
+				f.I32Const(0).LocalSet(cnt)
+				f.ForI32(sy, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, bh)}, 1, func() {
+					f.ForI32(sx, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, bw)}, 1, func() {
+						// src pixel (oy*bh+sy, ox*bw+sx), clamped rows/cols
+						// are unnecessary: bw*64 <= w, bh*64 <= h.
+						f.LocalGet(oy).LocalGet(bh).Op(wasm.OpI32Mul).LocalGet(sy).Op(wasm.OpI32Add)
+						f.LocalGet(0).Op(wasm.OpI32Mul) // * w
+						f.LocalGet(ox).LocalGet(bw).Op(wasm.OpI32Mul).LocalGet(sx).Op(wasm.OpI32Add)
+						f.Op(wasm.OpI32Add)
+						f.I32Const(4).Op(wasm.OpI32Mul).LocalGet(ch).Op(wasm.OpI32Add)
+						f.Load(wasm.OpI32Load8U, InBase)
+						f.LocalGet(acc).Op(wasm.OpI32Add).LocalSet(acc)
+						f.LocalGet(cnt).I32Const(1).Op(wasm.OpI32Add).LocalSet(cnt)
+					})
+				})
+				// out[(oy*64+ox)*4+ch] = acc/cnt
+				f.LocalGet(oy).I32Const(ResizeTarget).Op(wasm.OpI32Mul).LocalGet(ox).Op(wasm.OpI32Add)
+				f.I32Const(4).Op(wasm.OpI32Mul).LocalGet(ch).Op(wasm.OpI32Add)
+				f.LocalGet(acc).LocalGet(cnt).Op(wasm.OpI32DivU)
+				f.Store(wasm.OpI32Store8, OutBase)
+			})
+		})
+	})
+	f.I32Const(ResizeTarget * ResizeTarget * 4)
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// NativeResize mirrors BuildResize over an RGBA byte slice.
+func NativeResize(img []byte, w, h int) []byte {
+	bw := w / ResizeTarget
+	if bw == 0 {
+		bw = 1
+	}
+	bh := h / ResizeTarget
+	if bh == 0 {
+		bh = 1
+	}
+	out := make([]byte, ResizeTarget*ResizeTarget*4)
+	for oy := 0; oy < ResizeTarget; oy++ {
+		for ox := 0; ox < ResizeTarget; ox++ {
+			for ch := 0; ch < 4; ch++ {
+				acc, cnt := 0, 0
+				for sy := 0; sy < bh; sy++ {
+					for sx := 0; sx < bw; sx++ {
+						acc += int(img[((oy*bh+sy)*w+(ox*bw+sx))*4+ch])
+						cnt++
+					}
+				}
+				out[(oy*ResizeTarget+ox)*4+ch] = byte(acc / cnt)
+			}
+		}
+	}
+	return out
+}
+
+// TestImage generates the deterministic RGBA test image used by the FaaS
+// evaluation (paper: "random input images with sizes between 64 and 1024
+// pixels").
+func TestImage(w, h int) []byte {
+	img := make([]byte, w*h*4)
+	s := uint32(0x1234567)
+	for i := range img {
+		s = s*1664525 + 1013904223
+		img[i] = byte(s >> 24)
+	}
+	return img
+}

@@ -1,0 +1,235 @@
+package workloads
+
+// This file implements the "pure JavaScript" FaaS baseline (paper §5.3,
+// Fig. 9: JIMP on Node.js inside an OpenFaaS Docker container) as a small
+// tree-walking interpreter over boxed dynamic values with scope-chain
+// variable lookup — the execution model of an unoptimised dynamic-language
+// engine. The echo and resize functions are expressed as ASTs in this
+// language and evaluated per request, so the baseline pays interpretation
+// overhead comparable in kind to what the paper's JS baseline pays
+// relative to JIT-compiled WebAssembly.
+
+// jsVal is a boxed dynamic value (numbers are int, arrays []jsVal).
+type jsVal interface{}
+
+// jsEnv is a scope-chain environment.
+type jsEnv struct {
+	vars   map[string]jsVal
+	parent *jsEnv
+}
+
+func newEnv(parent *jsEnv) *jsEnv {
+	return &jsEnv{vars: make(map[string]jsVal, 8), parent: parent}
+}
+
+func (e *jsEnv) lookup(name string) jsVal {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (e *jsEnv) assign(name string, v jsVal) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// jsExpr is an expression node.
+type jsExpr interface {
+	eval(env *jsEnv) jsVal
+}
+
+// jsStmt is a statement node.
+type jsStmt interface {
+	exec(env *jsEnv)
+}
+
+type jsNum int
+
+func (n jsNum) eval(*jsEnv) jsVal { return int(n) }
+
+type jsVar string
+
+func (v jsVar) eval(env *jsEnv) jsVal { return env.lookup(string(v)) }
+
+type jsBin struct {
+	op   byte // + - * / % <
+	l, r jsExpr
+}
+
+func (b jsBin) eval(env *jsEnv) jsVal {
+	l, _ := b.l.eval(env).(int)
+	r, _ := b.r.eval(env).(int)
+	switch b.op {
+	case '+':
+		return l + r
+	case '-':
+		return l - r
+	case '*':
+		return l * r
+	case '/':
+		return l / r
+	case '%':
+		return l % r
+	case '<':
+		if l < r {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+type jsIndex struct {
+	arr jsExpr
+	idx jsExpr
+}
+
+func (ix jsIndex) eval(env *jsEnv) jsVal {
+	arr, _ := ix.arr.eval(env).([]jsVal)
+	i, _ := ix.idx.eval(env).(int)
+	return arr[i]
+}
+
+type jsAssign struct {
+	name string
+	val  jsExpr
+}
+
+func (a jsAssign) exec(env *jsEnv) { env.assign(a.name, a.val.eval(env)) }
+
+type jsStore struct {
+	arr jsExpr
+	idx jsExpr
+	val jsExpr
+}
+
+func (s jsStore) exec(env *jsEnv) {
+	arr, _ := s.arr.eval(env).([]jsVal)
+	i, _ := s.idx.eval(env).(int)
+	arr[i] = s.val.eval(env)
+}
+
+// jsFor is `for (var = lo; var < hi; var++) body` with a fresh scope.
+type jsFor struct {
+	v      string
+	lo, hi jsExpr
+	body   []jsStmt
+}
+
+func (f jsFor) exec(env *jsEnv) {
+	scope := newEnv(env)
+	scope.vars[f.v] = f.lo.eval(env)
+	for {
+		v, _ := scope.vars[f.v].(int)
+		hi, _ := f.hi.eval(scope).(int)
+		if v >= hi {
+			return
+		}
+		for _, st := range f.body {
+			st.exec(scope)
+		}
+		v, _ = scope.vars[f.v].(int)
+		scope.vars[f.v] = v + 1
+	}
+}
+
+func box(img []byte) []jsVal {
+	arr := make([]jsVal, len(img))
+	for i, p := range img {
+		arr[i] = int(p)
+	}
+	return arr
+}
+
+func unbox(arr []jsVal) []byte {
+	out := make([]byte, len(arr))
+	for i, v := range arr {
+		n, _ := v.(int)
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// jsResizeProgram is the resize function's AST — built once, evaluated per
+// request, mirroring NativeResize's arithmetic exactly.
+var jsResizeProgram = []jsStmt{
+	jsFor{v: "oy", lo: jsNum(0), hi: jsVar("T"), body: []jsStmt{
+		jsFor{v: "ox", lo: jsNum(0), hi: jsVar("T"), body: []jsStmt{
+			jsFor{v: "ch", lo: jsNum(0), hi: jsNum(4), body: []jsStmt{
+				jsAssign{"acc", jsNum(0)},
+				jsAssign{"cnt", jsNum(0)},
+				jsFor{v: "sy", lo: jsNum(0), hi: jsVar("bh"), body: []jsStmt{
+					jsFor{v: "sx", lo: jsNum(0), hi: jsVar("bw"), body: []jsStmt{
+						// idx = ((oy*bh+sy)*w + (ox*bw+sx))*4 + ch
+						jsAssign{"idx", jsBin{'+',
+							jsBin{'*',
+								jsBin{'+',
+									jsBin{'*',
+										jsBin{'+', jsBin{'*', jsVar("oy"), jsVar("bh")}, jsVar("sy")},
+										jsVar("w")},
+									jsBin{'+', jsBin{'*', jsVar("ox"), jsVar("bw")}, jsVar("sx")}},
+								jsNum(4)},
+							jsVar("ch")}},
+						jsAssign{"acc", jsBin{'+', jsVar("acc"), jsIndex{jsVar("img"), jsVar("idx")}}},
+						jsAssign{"cnt", jsBin{'+', jsVar("cnt"), jsNum(1)}},
+					}},
+				}},
+				jsStore{jsVar("out"),
+					jsBin{'+', jsBin{'*', jsBin{'+', jsBin{'*', jsVar("oy"), jsVar("T")}, jsVar("ox")}, jsNum(4)}, jsVar("ch")},
+					jsBin{'/', jsVar("acc"), jsVar("cnt")}},
+			}},
+		}},
+	}},
+}
+
+// jsEchoProgram copies the input array to the output array.
+var jsEchoProgram = []jsStmt{
+	jsFor{v: "i", lo: jsNum(0), hi: jsVar("n"), body: []jsStmt{
+		jsStore{jsVar("out"), jsVar("i"), jsIndex{jsVar("img"), jsVar("i")}},
+	}},
+}
+
+// JSResize runs the resize program through the JS-style interpreter.
+func JSResize(img []byte, w, h int) []byte {
+	bw := w / ResizeTarget
+	if bw == 0 {
+		bw = 1
+	}
+	bh := h / ResizeTarget
+	if bh == 0 {
+		bh = 1
+	}
+	env := newEnv(nil)
+	env.vars["img"] = box(img)
+	out := make([]jsVal, ResizeTarget*ResizeTarget*4)
+	env.vars["out"] = out
+	env.vars["w"] = w
+	env.vars["bw"] = bw
+	env.vars["bh"] = bh
+	env.vars["T"] = ResizeTarget
+	for _, st := range jsResizeProgram {
+		st.exec(env)
+	}
+	return unbox(out)
+}
+
+// JSEcho runs the echo program through the JS-style interpreter.
+func JSEcho(in []byte) []byte {
+	env := newEnv(nil)
+	env.vars["img"] = box(in)
+	out := make([]jsVal, len(in))
+	env.vars["out"] = out
+	env.vars["n"] = len(in)
+	for _, st := range jsEchoProgram {
+		st.exec(env)
+	}
+	return unbox(out)
+}

@@ -1,0 +1,288 @@
+package workloads
+
+import (
+	"math"
+
+	"acctee/internal/wasm"
+)
+
+// BuildPC builds the PC-algorithm workload (gene@home / pc-boinc): starting
+// from a complete undirected graph over `vars` variables observed in
+// `samples` synthetic expression samples, remove edges whose (partial)
+// correlation is insignificant — order-0 tests on the correlation matrix,
+// then order-1 tests conditioning on every other variable:
+//
+//	r_ij·k = (r_ij − r_ik·r_jk) / sqrt((1 − r_ik²)(1 − r_jk²))
+//
+// Exported: run() -> i64 = number of surviving edges * 2^32 + a hash of the
+// adjacency matrix. Dominated by f64 arithmetic and data-dependent
+// branching — a very different profile from the factorisation workload.
+func BuildPC(vars, samples int) (*wasm.Module, error) {
+	V, S := int32(vars), int32(samples)
+	b := wasm.NewModule("pc")
+	const (
+		thr = 0.18 // significance threshold on |r|
+	)
+	// layout: data [S][V] f64, mean [V], sd [V], corr [V][V], adj [V][V] f64
+	dataOff := int32(64)
+	meanOff := dataOff + S*V*8
+	sdOff := meanOff + V*8
+	corrOff := sdOff + V*8
+	adjOff := corrOff + V*V*8
+	end := adjOff + V*V*8
+	pages := uint32((end + wasm.PageSize - 1) / wasm.PageSize)
+	b.Memory(pages, pages)
+
+	f := b.Func("run", nil, vi64)
+	i := f.Local(wasm.I32)
+	j := f.Local(wasm.I32)
+	l := f.Local(wasm.I32)
+	acc := f.Local(wasm.F64)
+	edges := f.Local(wasm.I64)
+	hash := f.Local(wasm.I64)
+
+	loadF := func(base int32, idx func()) {
+		idx()
+		f.I32Const(8).Op(wasm.OpI32Mul)
+		f.Load(wasm.OpF64Load, uint32(base))
+	}
+	idx2 := func(a uint32, cols int32, bb uint32) func() {
+		return func() {
+			f.LocalGet(a).I32Const(cols).Op(wasm.OpI32Mul).LocalGet(bb).Op(wasm.OpI32Add)
+		}
+	}
+	forTo := func(v uint32, hi int32, body func()) {
+		f.ForI32(v, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(hi)}, 1, body)
+	}
+
+	// Synthetic expression data: data[s][v] = sin-free deterministic mix
+	// ((s*v + s + 3v) % 17)/17 + ((s+v) % 5)/10.
+	forTo(i, S, func() {
+		forTo(j, V, func() {
+			idx2(i, V, j)()
+			f.I32Const(8).Op(wasm.OpI32Mul)
+			// term1
+			f.LocalGet(i).LocalGet(j).Op(wasm.OpI32Mul).LocalGet(i).Op(wasm.OpI32Add)
+			f.LocalGet(j).I32Const(3).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+			f.I32Const(17).Op(wasm.OpI32RemS).Op(wasm.OpF64ConvertI32S)
+			f.F64ConstV(17).Op(wasm.OpF64Div)
+			// term2
+			f.LocalGet(i).LocalGet(j).Op(wasm.OpI32Add).I32Const(5).Op(wasm.OpI32RemS)
+			f.Op(wasm.OpF64ConvertI32S).F64ConstV(10).Op(wasm.OpF64Div)
+			f.Op(wasm.OpF64Add)
+			f.Store(wasm.OpF64Store, uint32(dataOff))
+		})
+	})
+	// mean[v]
+	forTo(j, V, func() {
+		f.F64ConstV(0).LocalSet(acc)
+		forTo(i, S, func() {
+			f.LocalGet(acc)
+			loadF(dataOff, idx2(i, V, j))
+			f.Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		f.LocalGet(j).I32Const(8).Op(wasm.OpI32Mul)
+		f.LocalGet(acc).F64ConstV(float64(samples)).Op(wasm.OpF64Div)
+		f.Store(wasm.OpF64Store, uint32(meanOff))
+	})
+	// sd[v] (population)
+	forTo(j, V, func() {
+		f.F64ConstV(0).LocalSet(acc)
+		forTo(i, S, func() {
+			f.LocalGet(acc)
+			loadF(dataOff, idx2(i, V, j))
+			loadF(meanOff, func() { f.LocalGet(j) })
+			f.Op(wasm.OpF64Sub)
+			loadF(dataOff, idx2(i, V, j))
+			loadF(meanOff, func() { f.LocalGet(j) })
+			f.Op(wasm.OpF64Sub)
+			f.Op(wasm.OpF64Mul).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		f.LocalGet(j).I32Const(8).Op(wasm.OpI32Mul)
+		f.LocalGet(acc).F64ConstV(float64(samples)).Op(wasm.OpF64Div).Op(wasm.OpF64Sqrt)
+		f.Store(wasm.OpF64Store, uint32(sdOff))
+	})
+	// corr[i][j]
+	forTo(i, V, func() {
+		forTo(j, V, func() {
+			f.F64ConstV(0).LocalSet(acc)
+			forTo(l, S, func() {
+				f.LocalGet(acc)
+				loadF(dataOff, idx2(l, V, i))
+				loadF(meanOff, func() { f.LocalGet(i) })
+				f.Op(wasm.OpF64Sub)
+				loadF(dataOff, idx2(l, V, j))
+				loadF(meanOff, func() { f.LocalGet(j) })
+				f.Op(wasm.OpF64Sub)
+				f.Op(wasm.OpF64Mul).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			idx2(i, V, j)()
+			f.I32Const(8).Op(wasm.OpI32Mul)
+			f.LocalGet(acc).F64ConstV(float64(samples)).Op(wasm.OpF64Div)
+			loadF(sdOff, func() { f.LocalGet(i) })
+			loadF(sdOff, func() { f.LocalGet(j) })
+			f.Op(wasm.OpF64Mul).Op(wasm.OpF64Div)
+			f.Store(wasm.OpF64Store, uint32(corrOff))
+		})
+	})
+	// adj[i][j] = 1 for i != j
+	forTo(i, V, func() {
+		forTo(j, V, func() {
+			idx2(i, V, j)()
+			f.I32Const(8).Op(wasm.OpI32Mul)
+			f.LocalGet(i).LocalGet(j).Op(wasm.OpI32Ne).Op(wasm.OpF64ConvertI32S)
+			f.Store(wasm.OpF64Store, uint32(adjOff))
+		})
+	})
+	// order-0: remove |corr| < thr
+	forTo(i, V, func() {
+		forTo(j, V, func() {
+			loadF(corrOff, idx2(i, V, j))
+			f.Op(wasm.OpF64Abs).F64ConstV(thr).Op(wasm.OpF64Lt)
+			f.If(wasm.BlockEmpty, func() {
+				idx2(i, V, j)()
+				f.I32Const(8).Op(wasm.OpI32Mul)
+				f.F64ConstV(0)
+				f.Store(wasm.OpF64Store, uint32(adjOff))
+			}, nil)
+		})
+	})
+	// order-1: for each edge (i,j) and each k != i,j: if adj[i][j] != 0 and
+	// |r_ij.k| < thr remove edge.
+	rik := f.Local(wasm.F64)
+	rjk := f.Local(wasm.F64)
+	rij := f.Local(wasm.F64)
+	forTo(i, V, func() {
+		forTo(j, V, func() {
+			forTo(l, V, func() {
+				// skip k == i or k == j or removed edge
+				f.LocalGet(l).LocalGet(i).Op(wasm.OpI32Ne)
+				f.LocalGet(l).LocalGet(j).Op(wasm.OpI32Ne)
+				f.Op(wasm.OpI32And)
+				f.If(wasm.BlockEmpty, func() {
+					loadF(adjOff, idx2(i, V, j))
+					f.F64ConstV(0).Op(wasm.OpF64Ne)
+					f.If(wasm.BlockEmpty, func() {
+						loadF(corrOff, idx2(i, V, j))
+						f.LocalSet(rij)
+						loadF(corrOff, idx2(i, V, l))
+						f.LocalSet(rik)
+						loadF(corrOff, idx2(j, V, l))
+						f.LocalSet(rjk)
+						// partial = (rij - rik*rjk)/sqrt((1-rik^2)(1-rjk^2))
+						f.LocalGet(rij)
+						f.LocalGet(rik).LocalGet(rjk).Op(wasm.OpF64Mul)
+						f.Op(wasm.OpF64Sub)
+						f.F64ConstV(1).LocalGet(rik).LocalGet(rik).Op(wasm.OpF64Mul).Op(wasm.OpF64Sub)
+						f.F64ConstV(1).LocalGet(rjk).LocalGet(rjk).Op(wasm.OpF64Mul).Op(wasm.OpF64Sub)
+						f.Op(wasm.OpF64Mul).Op(wasm.OpF64Sqrt)
+						f.Op(wasm.OpF64Div)
+						f.Op(wasm.OpF64Abs).F64ConstV(thr).Op(wasm.OpF64Lt)
+						f.If(wasm.BlockEmpty, func() {
+							idx2(i, V, j)()
+							f.I32Const(8).Op(wasm.OpI32Mul)
+							f.F64ConstV(0)
+							f.Store(wasm.OpF64Store, uint32(adjOff))
+						}, nil)
+					}, nil)
+				}, nil)
+			})
+		})
+	})
+	// fold: edges = sum adj; hash = Σ (i*V+j)*adj
+	f.I64ConstV(0).LocalSet(edges)
+	f.I64ConstV(0).LocalSet(hash)
+	forTo(i, V, func() {
+		forTo(j, V, func() {
+			loadF(adjOff, idx2(i, V, j))
+			f.F64ConstV(0).Op(wasm.OpF64Ne)
+			f.If(wasm.BlockEmpty, func() {
+				f.LocalGet(edges).I64ConstV(1).Op(wasm.OpI64Add).LocalSet(edges)
+				idx2(i, V, j)()
+				f.Op(wasm.OpI64ExtendI32U)
+				f.LocalGet(hash).Op(wasm.OpI64Add).LocalSet(hash)
+			}, nil)
+		})
+	})
+	f.LocalGet(edges).I64ConstV(32).Op(wasm.OpI64Shl).LocalGet(hash).Op(wasm.OpI64Add)
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// NativePC mirrors BuildPC exactly.
+func NativePC(vars, samples int) uint64 {
+	const thr = 0.18
+	V, S := vars, samples
+	data := make([]float64, S*V)
+	mean := make([]float64, V)
+	sd := make([]float64, V)
+	corr := make([]float64, V*V)
+	adj := make([]float64, V*V)
+	for s := 0; s < S; s++ {
+		for v := 0; v < V; v++ {
+			data[s*V+v] = float64((s*v+s+3*v)%17)/17 + float64((s+v)%5)/10
+		}
+	}
+	for v := 0; v < V; v++ {
+		acc := 0.0
+		for s := 0; s < S; s++ {
+			acc = acc + data[s*V+v]
+		}
+		mean[v] = acc / float64(S)
+	}
+	for v := 0; v < V; v++ {
+		acc := 0.0
+		for s := 0; s < S; s++ {
+			acc = acc + (data[s*V+v]-mean[v])*(data[s*V+v]-mean[v])
+		}
+		sd[v] = math.Sqrt(acc / float64(S))
+	}
+	for i := 0; i < V; i++ {
+		for j := 0; j < V; j++ {
+			acc := 0.0
+			for l := 0; l < S; l++ {
+				acc = acc + (data[l*V+i]-mean[i])*(data[l*V+j]-mean[j])
+			}
+			corr[i*V+j] = acc / float64(S) / (sd[i] * sd[j])
+		}
+	}
+	for i := 0; i < V; i++ {
+		for j := 0; j < V; j++ {
+			if i != j {
+				adj[i*V+j] = 1
+			}
+		}
+	}
+	for i := 0; i < V; i++ {
+		for j := 0; j < V; j++ {
+			if math.Abs(corr[i*V+j]) < thr {
+				adj[i*V+j] = 0
+			}
+		}
+	}
+	for i := 0; i < V; i++ {
+		for j := 0; j < V; j++ {
+			for l := 0; l < V; l++ {
+				if l != i && l != j && adj[i*V+j] != 0 {
+					rij := corr[i*V+j]
+					rik := corr[i*V+l]
+					rjk := corr[j*V+l]
+					partial := (rij - rik*rjk) / math.Sqrt((1-rik*rik)*(1-rjk*rjk))
+					if math.Abs(partial) < thr {
+						adj[i*V+j] = 0
+					}
+				}
+			}
+		}
+	}
+	var edges, hash uint64
+	for i := 0; i < V; i++ {
+		for j := 0; j < V; j++ {
+			if adj[i*V+j] != 0 {
+				edges++
+				hash += uint64(uint32(i*V + j))
+			}
+		}
+	}
+	return edges<<32 + hash
+}

@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"math/bits"
+
+	"acctee/internal/wasm"
+)
+
+// BuildSubsetSum builds the SubsetSum@Home workload: a bitset dynamic
+// program over 64-bit words that computes the set of achievable subset sums
+// of a deterministic pseudo-random multiset, as used to probe the
+// empirical density threshold of the subset-sum decision problem.
+// Exported: run(nItems: i32, target: i32) -> i64, returning
+// reachable(target) * 2^32 + popcount-checksum of the DP bitset.
+// Dominated by i64 shifts, ors and loads/stores.
+func BuildSubsetSum() (*wasm.Module, error) {
+	b := wasm.NewModule("subsetsum")
+	const dpOff = 64
+	b.Memory(4, 4) // up to ~2M sums
+
+	f := b.Func("run", []wasm.ValueType{wasm.I32, wasm.I32}, vi64)
+	item := f.Local(wasm.I32)
+	k := f.Local(wasm.I32)
+	w := f.Local(wasm.I32) // number of 64-bit words
+	val := f.Local(wasm.I32)
+	wordSh := f.Local(wasm.I32)
+	bitSh := f.Local(wasm.I32)
+	carry := f.Local(wasm.I64)
+	cur := f.Local(wasm.I64)
+	acc := f.Local(wasm.I64)
+	kk := f.Local(wasm.I32) // descending surrogate
+	seed := f.Local(wasm.I32)
+
+	// w = target/64 + 1
+	f.LocalGet(1).I32Const(64).Op(wasm.OpI32DivU).I32Const(1).Op(wasm.OpI32Add).LocalSet(w)
+	// zero dp words, set bit 0
+	f.ForI32(k, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, w)}, 1, func() {
+		f.LocalGet(k).I32Const(8).Op(wasm.OpI32Mul)
+		f.I64ConstV(0)
+		f.Store(wasm.OpI64Store, dpOff)
+	})
+	f.I32Const(0).I64ConstV(1).Store(wasm.OpI64Store, dpOff)
+
+	// for each item: value = (seed update) % (target/2) + 1 ; dp |= dp << value
+	f.I32Const(12345).LocalSet(seed)
+	f.ForI32(item, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		// xorshift-ish: seed = seed*1103515245 + 12345 (mod 2^31)
+		f.LocalGet(seed).I32Const(1103515245).Op(wasm.OpI32Mul).I32Const(12345).Op(wasm.OpI32Add)
+		f.I32Const(0x7FFFFFFF).Op(wasm.OpI32And).LocalSet(seed)
+		f.LocalGet(seed)
+		f.LocalGet(1).I32Const(2).Op(wasm.OpI32DivU).Op(wasm.OpI32RemU)
+		f.I32Const(1).Op(wasm.OpI32Add).LocalSet(val)
+		// wordShift = val/64, bitShift = val%64
+		f.LocalGet(val).I32Const(64).Op(wasm.OpI32DivU).LocalSet(wordSh)
+		f.LocalGet(val).I32Const(63).Op(wasm.OpI32And).LocalSet(bitSh)
+		// dp |= dp << val, processed from the top word down so source words
+		// are read before being overwritten.
+		f.ForI32(kk, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, w)}, 1, func() {
+			// k = w-1-kk
+			f.LocalGet(w).I32Const(1).Op(wasm.OpI32Sub).LocalGet(kk).Op(wasm.OpI32Sub).LocalSet(k)
+			// cur = k >= wordSh ? dp[k-wordSh] : 0
+			f.LocalGet(k).LocalGet(wordSh).Op(wasm.OpI32GeU)
+			f.If(wasm.BlockOf(wasm.I64), func() {
+				f.LocalGet(k).LocalGet(wordSh).Op(wasm.OpI32Sub).I32Const(8).Op(wasm.OpI32Mul)
+				f.Load(wasm.OpI64Load, dpOff)
+			}, func() {
+				f.I64ConstV(0)
+			})
+			f.LocalSet(cur)
+			// carry = k >= wordSh+1 && bitSh != 0 ? dp[k-wordSh-1] >> (64-bitSh) : 0
+			f.LocalGet(k).LocalGet(wordSh).I32Const(1).Op(wasm.OpI32Add).Op(wasm.OpI32GeU)
+			f.LocalGet(bitSh).I32Const(0).Op(wasm.OpI32Ne)
+			f.Op(wasm.OpI32And)
+			f.If(wasm.BlockOf(wasm.I64), func() {
+				f.LocalGet(k).LocalGet(wordSh).Op(wasm.OpI32Sub).I32Const(1).Op(wasm.OpI32Sub)
+				f.I32Const(8).Op(wasm.OpI32Mul)
+				f.Load(wasm.OpI64Load, dpOff)
+				f.I32Const(64).LocalGet(bitSh).Op(wasm.OpI32Sub).Op(wasm.OpI64ExtendI32U)
+				f.Op(wasm.OpI64ShrU)
+			}, func() {
+				f.I64ConstV(0)
+			})
+			f.LocalSet(carry)
+			// dp[k] |= (cur << bitSh) | carry
+			f.LocalGet(k).I32Const(8).Op(wasm.OpI32Mul)
+			f.LocalGet(k).I32Const(8).Op(wasm.OpI32Mul)
+			f.Load(wasm.OpI64Load, dpOff)
+			f.LocalGet(cur).LocalGet(bitSh).Op(wasm.OpI64ExtendI32U).Op(wasm.OpI64Shl)
+			f.LocalGet(carry).Op(wasm.OpI64Or)
+			f.Op(wasm.OpI64Or)
+			f.Store(wasm.OpI64Store, dpOff)
+		})
+	})
+	// result: reachable(target) << 32 + popcount checksum
+	f.I64ConstV(0).LocalSet(acc)
+	f.ForI32(k, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, w)}, 1, func() {
+		f.LocalGet(acc)
+		f.LocalGet(k).I32Const(8).Op(wasm.OpI32Mul)
+		f.Load(wasm.OpI64Load, dpOff)
+		f.Op(wasm.OpI64Popcnt)
+		f.Op(wasm.OpI64Add).LocalSet(acc)
+	})
+	// bit test dp[target/64] >> (target%64) & 1
+	f.LocalGet(1).I32Const(64).Op(wasm.OpI32DivU).I32Const(8).Op(wasm.OpI32Mul)
+	f.Load(wasm.OpI64Load, dpOff)
+	f.LocalGet(1).I32Const(63).Op(wasm.OpI32And).Op(wasm.OpI64ExtendI32U)
+	f.Op(wasm.OpI64ShrU).I64ConstV(1).Op(wasm.OpI64And)
+	f.I64ConstV(32).Op(wasm.OpI64Shl)
+	f.LocalGet(acc).Op(wasm.OpI64Add)
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// NativeSubsetSum mirrors BuildSubsetSum exactly.
+func NativeSubsetSum(nItems, target uint32) uint64 {
+	w := int(target/64 + 1)
+	dp := make([]uint64, w)
+	dp[0] = 1
+	seed := uint32(12345)
+	for item := uint32(0); item < nItems; item++ {
+		seed = (seed*1103515245 + 12345) & 0x7FFFFFFF
+		val := seed%(target/2) + 1
+		wordSh := int(val / 64)
+		bitSh := uint(val % 64)
+		for kk := 0; kk < w; kk++ {
+			k := w - 1 - kk
+			var cur, carry uint64
+			if k >= wordSh {
+				cur = dp[k-wordSh]
+			}
+			if k >= wordSh+1 && bitSh != 0 {
+				carry = dp[k-wordSh-1] >> (64 - bitSh)
+			}
+			dp[k] |= (cur << bitSh) | carry
+		}
+	}
+	var acc uint64
+	for _, word := range dp {
+		acc += uint64(bits.OnesCount64(word))
+	}
+	reach := dp[target/64] >> (target % 64) & 1
+	return reach<<32 + acc
+}
