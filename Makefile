@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench runs the PolyBench interpreter dispatch comparison (structured
+# reference engine vs flat engine) and records the perf trajectory in
+# BENCH_interp.json.
+bench:
+	$(GO) run ./cmd/acctee-bench -fig dispatch -trials 3 -json BENCH_interp.json
+
+clean:
+	$(GO) clean ./...

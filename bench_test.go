@@ -227,6 +227,44 @@ func BenchmarkTableSize(b *testing.B) {
 	})
 }
 
+// BenchmarkDispatch compares interpreter dispatch on PolyBench kernels:
+// the structured reference engine (label stack, per-instruction accounting)
+// against the flat engine (precompiled branch sidetable, block-batched
+// accounting). `make bench` runs the same comparison via acctee-bench and
+// records it in BENCH_interp.json.
+func BenchmarkDispatch(b *testing.B) {
+	for _, name := range bench.DispatchKernels {
+		k, err := polybench.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := k.DefaultN * 2 / 3
+		if n < 8 {
+			n = 8
+		}
+		m, err := k.Build(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []struct {
+			name   string
+			engine interp.Engine
+		}{{"structured", interp.EngineStructured}, {"flat", interp.EngineFlat}} {
+			b.Run(name+"/"+eng.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					vm, err := interp.Instantiate(m, interp.Config{Engine: eng.engine})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := vm.InvokeExport("run"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkInterpreter is the engine microbenchmark: raw instructions per
 // second on a tight arithmetic loop (context for all absolute numbers).
 func BenchmarkInterpreter(b *testing.B) {

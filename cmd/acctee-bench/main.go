@@ -10,6 +10,8 @@
 //	acctee-bench -fig 9 -requests 20
 //	acctee-bench -fig 10
 //	acctee-bench -fig size         # §5.4 binary sizes
+//	acctee-bench -fig dispatch -json BENCH_interp.json
+//	                               # interpreter engine comparison
 package main
 
 import (
@@ -36,6 +38,7 @@ func run() error {
 	requests := flag.Int("requests", 20, "fig 9: requests per configuration")
 	clients := flag.Int("clients", 10, "fig 9: concurrent clients")
 	quick := flag.Bool("quick", false, "shrink fig 8/9 parameter ranges")
+	jsonOut := flag.String("json", "", "dispatch: also write the report to this path (BENCH_interp.json)")
 	flag.Parse()
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
@@ -112,6 +115,22 @@ func run() error {
 		bench.PrintSizeTable(os.Stdout, rows)
 		fmt.Println()
 	}
+	if want("dispatch") {
+		matched = true
+		fmt.Println("== Interpreter dispatch: structured (reference) vs flat engine ==")
+		rows, err := bench.RunDispatch(nil, *trials)
+		if err != nil {
+			return err
+		}
+		bench.PrintDispatch(os.Stdout, rows)
+		if *jsonOut != "" {
+			if err := bench.WriteDispatchJSON(*jsonOut, rows); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *jsonOut)
+		}
+		fmt.Println()
+	}
 	if want("ablation") {
 		matched = true
 		fmt.Println("== Ablation: counter updates eliminated per optimisation ==")
@@ -123,7 +142,7 @@ func run() error {
 		fmt.Println()
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, all)", strings.TrimSpace(*fig))
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, all)", strings.TrimSpace(*fig))
 	}
 	return nil
 }

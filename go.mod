@@ -1,0 +1,3 @@
+module acctee
+
+go 1.24

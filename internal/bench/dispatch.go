@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"acctee/internal/interp"
+	"acctee/internal/polybench"
+)
+
+// DispatchKernels is the PolyBench subset used for the interpreter
+// before/after dispatch comparison (the Fig. 6 per-commit subset).
+var DispatchKernels = []string{"gemm", "2mm", "atax", "jacobi-2d", "cholesky", "nussinov", "doitgen", "durbin"}
+
+// DispatchRow is one kernel's structured-vs-flat engine measurement.
+type DispatchRow struct {
+	Kernel       string  `json:"kernel"`
+	N            int     `json:"n"`
+	Instructions uint64  `json:"instructions"`
+	StructuredNs int64   `json:"structured_ns"`
+	FlatNs       int64   `json:"flat_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// DispatchReport is the BENCH_interp.json payload tracking the interpreter
+// performance trajectory across commits.
+type DispatchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	Baseline    string        `json:"baseline"`
+	Candidate   string        `json:"candidate"`
+	Rows        []DispatchRow `json:"rows"`
+}
+
+// RunDispatch measures each kernel under the structured reference engine
+// and the flat engine (best of trials), at 2/3 of the kernel's default
+// problem size like the Fig. 6 per-commit harness.
+func RunDispatch(kernels []string, trials int) ([]DispatchRow, error) {
+	if len(kernels) == 0 {
+		kernels = DispatchKernels
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	rows := make([]DispatchRow, 0, len(kernels))
+	for _, name := range kernels {
+		k, err := polybench.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		n := k.DefaultN * 2 / 3
+		if n < 8 {
+			n = 8
+		}
+		m, err := k.Build(n)
+		if err != nil {
+			return nil, err
+		}
+		var instr uint64
+		measure := func(engine interp.Engine) (int64, error) {
+			best := int64(0)
+			for t := 0; t < trials; t++ {
+				d, vm, err := timeWasm(m, interp.Config{Engine: engine}, "run")
+				if err != nil {
+					return 0, err
+				}
+				if t == 0 || d.Nanoseconds() < best {
+					best = d.Nanoseconds()
+				}
+				instr = vm.InstrCount()
+			}
+			return best, nil
+		}
+		structured, err := measure(interp.EngineStructured)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s structured: %w", name, err)
+		}
+		flat, err := measure(interp.EngineFlat)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s flat: %w", name, err)
+		}
+		row := DispatchRow{
+			Kernel:       name,
+			N:            n,
+			Instructions: instr,
+			StructuredNs: structured,
+			FlatNs:       flat,
+		}
+		if flat > 0 {
+			row.Speedup = float64(structured) / float64(flat)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteDispatchJSON writes the report consumed by the perf-trajectory
+// tracking (BENCH_interp.json).
+func WriteDispatchJSON(path string, rows []DispatchRow) error {
+	rep := DispatchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Baseline:    "structured (label-stack, per-instruction accounting)",
+		Candidate:   "flat (precompiled sidetable, block-batched accounting)",
+		Rows:        rows,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// PrintDispatch renders the comparison as a table.
+func PrintDispatch(w io.Writer, rows []DispatchRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "kernel\tN\tinstr\tstructured\tflat\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\n",
+			r.Kernel, r.N, r.Instructions,
+			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), fmtRatio(r.Speedup))
+	}
+	tw.Flush()
+}

@@ -32,16 +32,13 @@ type Block struct {
 type Graph struct {
 	Body   []wasm.Instr
 	Blocks []*Block
+	// Match pairs structured-control instructions: for block/loop/if the
+	// matching end (and else); for else/end the header. The function-final
+	// end has no entry. Consumers (the interpreter's lowering pass) reuse
+	// it instead of re-scanning the body.
+	Match map[int]MatchInfo
 	// byStart maps an instruction index to the block starting there.
 	byStart map[int]int
-}
-
-// ctrlEntry tracks an open structured frame while scanning.
-type ctrlEntry struct {
-	op     wasm.Opcode
-	hdrPC  int
-	endPC  int
-	elsePC int
 }
 
 // Build scans a function body and produces its CFG.
@@ -72,7 +69,7 @@ func Build(body []wasm.Instr) (*Graph, error) {
 		}
 	}
 
-	g := &Graph{Body: body, byStart: make(map[int]int)}
+	g := &Graph{Body: body, Match: matching, byStart: make(map[int]int)}
 	// Pass 2: materialise blocks in order.
 	order := make([]int, 0, len(starts))
 	for pc := range starts {
@@ -102,7 +99,11 @@ func Build(body []wasm.Instr) (*Graph, error) {
 	}
 	var labels []openLabel
 	targetPC := func(depth uint32) (int, error) {
-		if int(depth) >= len(labels) {
+		if int(depth) == len(labels) {
+			// The implicit function label: branching to it returns.
+			return len(body), nil
+		}
+		if int(depth) > len(labels) {
 			return 0, fmt.Errorf("cfg: branch depth %d out of range", depth)
 		}
 		l := labels[len(labels)-1-int(depth)]
@@ -130,23 +131,23 @@ func Build(body []wasm.Instr) (*Graph, error) {
 		switch in.Op {
 		case wasm.OpBlock, wasm.OpLoop:
 			m := matching[pc]
-			labels = append(labels, openLabel{isLoop: in.Op == wasm.OpLoop, hdrPC: pc, endPC: m.endPC})
+			labels = append(labels, openLabel{isLoop: in.Op == wasm.OpLoop, hdrPC: pc, endPC: m.EndPC})
 			if pc == blk.Term {
 				addEdge(blk.ID, pc+1) // fallthrough into the structure
 			}
 		case wasm.OpIf:
 			m := matching[pc]
-			labels = append(labels, openLabel{hdrPC: pc, endPC: m.endPC})
+			labels = append(labels, openLabel{hdrPC: pc, endPC: m.EndPC})
 			addEdge(blk.ID, pc+1) // then branch
-			if m.elsePC >= 0 {
-				addEdge(blk.ID, m.elsePC+1)
+			if m.ElsePC >= 0 {
+				addEdge(blk.ID, m.ElsePC+1)
 			} else {
-				addEdge(blk.ID, m.endPC+1) // false with no else skips body
+				addEdge(blk.ID, m.EndPC+1) // false with no else skips body
 			}
 		case wasm.OpElse:
 			// fallthrough from the then-arm jumps to after the if's end
 			m := matching[pc]
-			addEdge(blk.ID, m.endPC+1)
+			addEdge(blk.ID, m.EndPC+1)
 		case wasm.OpEnd:
 			if len(labels) > 0 {
 				labels = labels[:len(labels)-1]
@@ -189,6 +190,29 @@ func Build(body []wasm.Instr) (*Graph, error) {
 	return g, nil
 }
 
+// RangeCost sums costFn over the instruction range body[start..term]
+// inclusive. It is the single definition of a code range's weight, shared
+// by the instrumentation enclave (counter increments) and the interpreter's
+// lowering pass (block-batched accounting), so the two can never disagree.
+func RangeCost(body []wasm.Instr, start, term int, costFn func(wasm.Opcode) uint64) uint64 {
+	var sum uint64
+	for pc := start; pc <= term; pc++ {
+		sum += costFn(body[pc].Op)
+	}
+	return sum
+}
+
+// BlockCosts returns, for every block of the graph, the summed costFn
+// weight of its instructions (the per-block increment a naive counter
+// placement would charge).
+func (g *Graph) BlockCosts(costFn func(wasm.Opcode) uint64) []uint64 {
+	costs := make([]uint64, len(g.Blocks))
+	for i, b := range g.Blocks {
+		costs[i] = RangeCost(g.Body, b.Start, b.Term, costFn)
+	}
+	return costs
+}
+
 // blockAt returns the block containing instruction pc.
 func (g *Graph) blockAt(pc int) *Block {
 	// binary search over Starts
@@ -207,22 +231,24 @@ func (g *Graph) blockAt(pc int) *Block {
 // BlockAt exposes blockAt for analyses in other packages.
 func (g *Graph) BlockAt(pc int) *Block { return g.blockAt(pc) }
 
-type matchInfo struct {
-	endPC   int
-	elsePC  int
-	hdrPC   int
-	forElse int
+// MatchInfo pre-resolves one structured-control instruction: for
+// block/loop/if EndPC (and ElsePC, -1 without an else); for else/end the
+// header, with the else's EndPC pointing at its if's end.
+type MatchInfo struct {
+	EndPC  int
+	ElsePC int
+	HdrPC  int
 }
 
 // matchControl pairs every block/loop/if with its end (and else), and every
 // else/end with its header.
-func matchControl(body []wasm.Instr) (map[int]matchInfo, error) {
-	m := make(map[int]matchInfo)
+func matchControl(body []wasm.Instr) (map[int]MatchInfo, error) {
+	m := make(map[int]MatchInfo)
 	var stack []int
 	for pc, in := range body {
 		switch in.Op {
 		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
-			m[pc] = matchInfo{elsePC: -1}
+			m[pc] = MatchInfo{ElsePC: -1}
 			stack = append(stack, pc)
 		case wasm.OpElse:
 			if len(stack) == 0 {
@@ -230,9 +256,9 @@ func matchControl(body []wasm.Instr) (map[int]matchInfo, error) {
 			}
 			hdr := stack[len(stack)-1]
 			mi := m[hdr]
-			mi.elsePC = pc
+			mi.ElsePC = pc
 			m[hdr] = mi
-			m[pc] = matchInfo{hdrPC: hdr, elsePC: -1}
+			m[pc] = MatchInfo{HdrPC: hdr, ElsePC: -1}
 		case wasm.OpEnd:
 			if len(stack) == 0 {
 				continue // function-final end
@@ -240,23 +266,23 @@ func matchControl(body []wasm.Instr) (map[int]matchInfo, error) {
 			hdr := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			mi := m[hdr]
-			mi.endPC = pc
+			mi.EndPC = pc
 			m[hdr] = mi
 			// point the else (if any) at the end too
-			if mi.elsePC >= 0 {
-				e := m[mi.elsePC]
-				e.endPC = pc
-				m[mi.elsePC] = e
+			if mi.ElsePC >= 0 {
+				e := m[mi.ElsePC]
+				e.EndPC = pc
+				m[mi.ElsePC] = e
 			}
-			m[pc] = matchInfo{hdrPC: hdr, elsePC: -1}
+			m[pc] = MatchInfo{HdrPC: hdr, ElsePC: -1}
 		}
 	}
 	// fix else entries: their endPC set above via header
 	for pc, in := range body {
 		if in.Op == wasm.OpElse {
 			mi := m[pc]
-			hdr := mi.hdrPC
-			mi.endPC = m[hdr].endPC
+			hdr := mi.HdrPC
+			mi.EndPC = m[hdr].EndPC
 			m[pc] = mi
 		}
 	}

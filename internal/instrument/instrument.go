@@ -150,11 +150,8 @@ func instrumentFunc(m *wasm.Module, f *wasm.Func, counter uint32, opts Options, 
 	}
 	stats.BlocksTotal += len(g.Blocks)
 
-	// Per-block increments (naive placement).
-	incr := make([]uint64, len(g.Blocks))
-	for i, b := range g.Blocks {
-		incr[i] = opts.Weights.BlockWeight(f.Body, b.Start, b.Term)
-	}
+	// Per-block increments (naive placement), from the shared CFG analysis.
+	incr := g.BlockCosts(opts.Weights.Weight)
 	for _, w := range incr {
 		if w > 0 {
 			stats.IncrementsNaive++

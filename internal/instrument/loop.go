@@ -178,12 +178,12 @@ func applyLoopOpt(f *wasm.Func, nparams int, g *cfg.Graph, lp countedLoop, count
 	hdrBlk := g.BlockAt(lp.loopPC + 1)
 	bodyBlk := g.BlockAt(lp.brIfPC + 1)
 
-	wHeader := tbl.BlockWeight(body, hdrBlk.Start, hdrBlk.Term)
-	wBody := tbl.BlockWeight(body, bodyBlk.Start, bodyBlk.Term)
+	wHeader := cfg.RangeCost(body, hdrBlk.Start, hdrBlk.Term, tbl.Weight)
+	wBody := cfg.RangeCost(body, bodyBlk.Start, bodyBlk.Term, tbl.Weight)
 	// The loop opener executes once per region entry; its segment
 	// [blockPC+1, loopPC] is inside the protected region, so fold its weight
 	// into the epilogue constant.
-	wOnce := tbl.BlockWeight(body, lp.blockPC+1, lp.loopPC)
+	wOnce := cfg.RangeCost(body, lp.blockPC+1, lp.loopPC, tbl.Weight)
 
 	// Zero the per-iteration increments and protect the whole region
 	// (every block whose instructions lie within [blockPC, blockEnd]).

@@ -1,0 +1,124 @@
+package interp
+
+import (
+	"testing"
+
+	"acctee/internal/wasm"
+)
+
+// TestLoweredSidetable pins the lowering pass output on a hand-checked
+// body: branch targets, truncation heights, copy arities, segment leaders
+// and the stack high-water mark.
+func TestLoweredSidetable(t *testing.T) {
+	b := wasm.NewModule("st")
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.Block(wasm.BlockOf(wasm.I32), func() {
+		f.I32Const(1000)
+		f.Block(wasm.BlockEmpty, func() {
+			f.LocalGet(0)
+			f.BrIf(0)
+			f.I32Const(7)
+			f.Br(1)
+		})
+		f.Op(wasm.OpDrop)
+		f.I32Const(3)
+	})
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+
+	// Expected body layout (pc: instruction):
+	//  0: block (result i32)   1: i32.const 1000   2: block
+	//  3: local.get 0          4: br_if 0          5: i32.const 7
+	//  6: br 1                 7: end              8: drop
+	//  9: i32.const 3         10: end             11: end (function)
+	wantOps := []wasm.Opcode{
+		wasm.OpBlock, wasm.OpI32Const, wasm.OpBlock, wasm.OpLocalGet,
+		wasm.OpBrIf, wasm.OpI32Const, wasm.OpBr, wasm.OpEnd,
+		wasm.OpDrop, wasm.OpI32Const, wasm.OpEnd, wasm.OpEnd,
+	}
+	body := m.Funcs[0].Body
+	if len(body) != len(wantOps) {
+		t.Fatalf("body length %d, want %d", len(body), len(wantOps))
+	}
+	for pc, op := range wantOps {
+		if body[pc].Op != op {
+			t.Fatalf("pc %d: opcode %s, want %s", pc, body[pc].Op, op)
+		}
+	}
+
+	vm, err := Instantiate(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &vm.funcs[0]
+
+	// br_if 0 (pc 4) targets past the inner block's end, truncating to the
+	// operand height at inner-block entry (1: the const 1000), copying
+	// nothing.
+	if fl := cf.flat[4]; fl.target != 8 || fl.height != 1 || fl.arity != 0 {
+		t.Errorf("br_if sidetable = {target %d, height %d, arity %d}, want {8, 1, 0}", fl.target, fl.height, fl.arity)
+	}
+	// br 1 (pc 6) targets past the outer block's end, truncating to the
+	// function-entry height and carrying the block's single result.
+	if fl := cf.flat[6]; fl.target != 11 || fl.height != 0 || fl.arity != 1 {
+		t.Errorf("br sidetable = {target %d, height %d, arity %d}, want {11, 0, 1}", fl.target, fl.height, fl.arity)
+	}
+
+	// Segment leaders partition the body at control boundaries.
+	wantSeg := map[int]int32{0: 1, 1: 2, 3: 2, 5: 2, 7: 1, 8: 3, 11: 1}
+	for pc := range body {
+		want := wantSeg[pc] // zero for non-leaders
+		if got := cf.flat[pc].segCnt; got != want {
+			t.Errorf("pc %d: segCnt = %d, want %d", pc, got, want)
+		}
+	}
+	// Peak operand height is 2 (const 1000 + local.get / const 7), plus one
+	// slot of host-result headroom.
+	if cf.maxStack != 3 {
+		t.Errorf("maxStack = %d, want 3", cf.maxStack)
+	}
+}
+
+// TestLoweredIfElseTargets pins the if false-edge and else continuation.
+func TestLoweredIfElseTargets(t *testing.T) {
+	b := wasm.NewModule("ie")
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.LocalGet(0)
+	f.If(wasm.BlockOf(wasm.I32), func() {
+		f.I32Const(1)
+	}, func() {
+		f.I32Const(2)
+	})
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+	// 0: local.get  1: if  2: i32.const 1  3: else  4: i32.const 2
+	// 5: end  6: end(function)
+	vm, err := Instantiate(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &vm.funcs[0]
+	if got := cf.flat[1].target; got != 4 {
+		t.Errorf("if false-edge target = %d, want 4 (after else)", got)
+	}
+	if got := cf.flat[3].target; got != 6 {
+		t.Errorf("else continuation target = %d, want 6 (after end)", got)
+	}
+
+	// Without an else the false edge jumps past the end.
+	b2 := wasm.NewModule("ie2")
+	g := b2.Func("f", []wasm.ValueType{wasm.I32}, nil)
+	g.LocalGet(0)
+	g.If(wasm.BlockEmpty, func() {
+		g.Op(wasm.OpNop)
+	}, nil)
+	b2.ExportFunc("f", g.End())
+	// 0: local.get  1: if  2: nop  3: end  4: end(function)
+	vm2, err := Instantiate(b2.MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm2.funcs[0].flat[1].target; got != 4 {
+		t.Errorf("if-without-else false-edge target = %d, want 4", got)
+	}
+}

@@ -1,870 +1,883 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 
 	"acctee/internal/wasm"
 )
 
-// labelRT is a runtime control label.
-type labelRT struct {
-	headerPC int
-	endPC    int
-	height   int // operand stack height at label entry
-	arity    int
-	isLoop   bool
+// This file is the flat engine (EngineFlat), the default execution path. It
+// interprets the flat IR produced by the lowering pass in compile.go:
+//
+//   - branches jump through the precompiled sidetable (no label stack, no
+//     label walk);
+//   - the operand stack is a fixed-size slab indexed by an integer stack
+//     pointer, allocated together with the locals in one frame;
+//   - fuel, CostModel cycles and the ground-truth instruction counter are
+//     charged once per straight-line segment at its leader; traps roll the
+//     not-executed suffix back, and a fuel shortfall inside a segment falls
+//     back to the per-instruction tail, so all accounting stays
+//     bit-identical to the structured reference engine.
+
+// b2u converts a comparison result to a wasm i32 boolean.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
-// exec runs a compiled function body to completion and returns its results.
-func (vm *VM) exec(f *compiledFunc, locals []uint64, stack []uint64) ([]uint64, error) {
+func uf32(u uint64) float32 { return math.Float32frombits(uint32(u)) }
+func f32u(f float32) uint64 { return uint64(math.Float32bits(f)) }
+func uf64(u uint64) float64 { return math.Float64frombits(u) }
+func f64u(f float64) uint64 { return math.Float64bits(f) }
+func i32u(v int32) uint64   { return uint64(uint32(v)) }
+
+// exec runs a compiled function body on the flat engine. frame is the
+// function's single allocation: numLoc locals followed by maxStack operand
+// slots. The single result (if any) is the first return value.
+func (vm *VM) exec(f *compiledFunc, frame []uint64) (uint64, error) {
 	vm.depth++
 	defer func() { vm.depth-- }()
 	if vm.depth > vm.maxDepth {
-		return nil, ErrCallStackExhausted
+		return 0, ErrCallStackExhausted
 	}
 
-	labels := make([]labelRT, 0, 16)
+	locals := frame[:f.numLoc]
+	st := frame[f.numLoc:]
+	sp := 0
 	body := f.body
+	flat := f.flat
+	costed := vm.cost != nil
 	pc := 0
-
-	push := func(v uint64) { stack = append(stack, v) }
-	pop := func() uint64 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
+	var trapErr error
 
 	for pc < len(body) {
+		fl := &flat[pc]
+		if n := fl.segCnt; n != 0 {
+			// Segment leader: charge the whole straight-line run at once.
+			if vm.fuelLimited && vm.fuel < uint64(n) {
+				return 0, vm.execFuelTail(f, locals, st, sp, pc)
+			}
+			vm.instrCount += uint64(n)
+			if vm.fuelLimited {
+				vm.fuel -= uint64(n)
+			}
+			if costed {
+				vm.costAcc += fl.segCost
+			}
+		}
 		in := &body[pc]
-		op := in.Op
 
-		vm.instrCount++
-		if vm.fuelLimited {
-			if vm.fuel == 0 {
-				return nil, ErrFuelExhausted
-			}
-			vm.fuel--
-		}
-		if vm.cost != nil {
-			vm.costAcc += vm.cost.InstrCost(op)
-		}
-
-		switch op {
+		switch in.Op {
+		// --- control
 		case wasm.OpUnreachable:
-			return nil, ErrUnreachable
-		case wasm.OpNop:
-			// nothing
-		case wasm.OpBlock, wasm.OpIf, wasm.OpLoop:
-			meta := f.ctrl[pc]
-			l := labelRT{
-				headerPC: pc,
-				endPC:    meta.end,
-				height:   len(stack),
-				arity:    meta.arity,
-				isLoop:   op == wasm.OpLoop,
+			trapErr = ErrUnreachable
+			goto trap
+		case wasm.OpNop, wasm.OpBlock, wasm.OpLoop, wasm.OpEnd:
+			// structure is precompiled; nothing to do at runtime
+		case wasm.OpIf:
+			sp--
+			if st[sp] == 0 {
+				pc = int(fl.target)
+				continue
 			}
-			if op == wasm.OpIf {
-				cond := pop()
-				l.height = len(stack)
-				if cond == 0 {
-					if meta.els >= 0 {
-						labels = append(labels, l)
-						pc = meta.els + 1
-						continue
-					}
-					// no else: skip past end entirely
-					pc = meta.end + 1
-					continue
-				}
-			}
-			labels = append(labels, l)
 		case wasm.OpElse:
-			// Reached by falling off the then-branch: jump to matching end,
-			// which pops the label.
-			pc = f.ctrl[pc].end
+			// Fallthrough from the then-arm. The reference engine executes
+			// the matching end too; charge it inline, then continue after it.
+			vm.instrCount++
+			if vm.fuelLimited {
+				if vm.fuel == 0 {
+					trapErr = ErrFuelExhausted
+					goto trap
+				}
+				vm.fuel--
+			}
+			if costed {
+				vm.costAcc += vm.endCost
+			}
+			pc = int(fl.target)
 			continue
-		case wasm.OpEnd:
-			if f.ctrl[pc].end == -1 && len(labels) == 0 {
-				// function-final end
-				break
-			}
-			labels = labels[:len(labels)-1]
 		case wasm.OpBr:
-			var err error
-			pc, labels, stack, err = vm.branch(int(in.Idx), labels, stack)
-			if err != nil {
-				return nil, err
+			if a := int(fl.arity); a > 0 {
+				copy(st[fl.height:int(fl.height)+a], st[sp-a:sp])
 			}
+			sp = int(fl.height) + int(fl.arity)
+			pc = int(fl.target)
 			continue
 		case wasm.OpBrIf:
-			if pop() != 0 {
-				var err error
-				pc, labels, stack, err = vm.branch(int(in.Idx), labels, stack)
-				if err != nil {
-					return nil, err
+			sp--
+			if st[sp] != 0 {
+				if a := int(fl.arity); a > 0 {
+					copy(st[fl.height:int(fl.height)+a], st[sp-a:sp])
 				}
+				sp = int(fl.height) + int(fl.arity)
+				pc = int(fl.target)
 				continue
 			}
 		case wasm.OpBrTable:
-			i := uint32(pop())
-			var d uint32
-			if int(i) < len(in.Table)-1 {
-				d = in.Table[i]
-			} else {
-				d = in.Table[len(in.Table)-1]
+			sp--
+			tbl := fl.table
+			j := int(uint32(st[sp]))
+			if j >= len(tbl)-1 {
+				j = len(tbl) - 1
 			}
-			var err error
-			pc, labels, stack, err = vm.branch(int(d), labels, stack)
-			if err != nil {
-				return nil, err
+			t := &tbl[j]
+			if a := int(t.arity); a > 0 {
+				copy(st[t.height:int(t.height)+a], st[sp-a:sp])
 			}
+			sp = int(t.height) + int(t.arity)
+			pc = int(t.pc)
 			continue
 		case wasm.OpReturn:
-			if f.nresults > 0 {
-				return []uint64{stack[len(stack)-1]}, nil
-			}
-			return nil, nil
+			goto done
 		case wasm.OpCall:
-			var err error
-			stack, err = vm.callFunc(in.Idx, stack)
+			nsp, err := vm.invokeAt(in.Idx, st, sp)
 			if err != nil {
-				return nil, err
+				trapErr = err
+				goto trap
 			}
+			sp = nsp
 		case wasm.OpCallIndirect:
-			elem := uint32(pop())
+			sp--
+			elem := uint32(st[sp])
 			if int(elem) >= len(vm.table) {
-				return nil, ErrUndefinedElement
+				trapErr = ErrUndefinedElement
+				goto trap
 			}
 			fi := vm.table[elem]
 			if fi < 0 {
-				return nil, ErrUndefinedElement
+				trapErr = ErrUndefinedElement
+				goto trap
 			}
 			want := vm.module.Types[in.Idx]
 			got, err := vm.module.FuncTypeAt(uint32(fi))
 			if err != nil || !got.Equal(want) {
-				return nil, ErrIndirectTypeBad
+				trapErr = ErrIndirectTypeBad
+				goto trap
 			}
-			stack, err = vm.callFunc(uint32(fi), stack)
+			nsp, err := vm.invokeAt(uint32(fi), st, sp)
 			if err != nil {
-				return nil, err
+				trapErr = err
+				goto trap
 			}
+			sp = nsp
+
+		// --- parametric / variables
 		case wasm.OpDrop:
-			pop()
+			sp--
 		case wasm.OpSelect:
-			c := pop()
-			b := pop()
-			a := pop()
-			if c != 0 {
-				push(a)
-			} else {
-				push(b)
+			sp -= 2
+			if st[sp+1] == 0 {
+				st[sp-1] = st[sp]
 			}
 		case wasm.OpLocalGet:
-			push(locals[in.Idx])
+			st[sp] = locals[in.Idx]
+			sp++
 		case wasm.OpLocalSet:
-			locals[in.Idx] = pop()
+			sp--
+			locals[in.Idx] = st[sp]
 		case wasm.OpLocalTee:
-			locals[in.Idx] = stack[len(stack)-1]
+			locals[in.Idx] = st[sp-1]
 		case wasm.OpGlobalGet:
-			push(vm.globals[in.Idx])
+			st[sp] = vm.globals[in.Idx]
+			sp++
 		case wasm.OpGlobalSet:
-			vm.globals[in.Idx] = pop()
+			sp--
+			vm.globals[in.Idx] = st[sp]
+
+		// --- memory
 		case wasm.OpMemorySize:
-			push(uint64(uint32(len(vm.memory) / wasm.PageSize)))
+			st[sp] = uint64(uint32(len(vm.memory) / wasm.PageSize))
+			sp++
 		case wasm.OpMemoryGrow:
-			delta := uint32(pop())
+			delta := uint32(st[sp-1])
 			old := uint32(len(vm.memory) / wasm.PageSize)
 			if delta > vm.maxPages || old+delta > vm.maxPages {
-				push(uint64(uint32(0xFFFFFFFF)))
+				st[sp-1] = uint64(uint32(0xFFFFFFFF))
 				break
 			}
 			grown := make([]byte, int(old+delta)*wasm.PageSize)
 			copy(grown, vm.memory)
 			vm.memory = grown
-			push(uint64(old))
+			st[sp-1] = uint64(old)
 			if vm.growHook != nil {
 				vm.growHook(vm, old, old+delta)
 			}
+
 		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
-			push(in.U64)
+			st[sp] = in.U64
+			sp++
+
+		// --- loads
+		case wasm.OpI32Load, wasm.OpF32Load:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 4, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+		case wasm.OpI64Load, wasm.OpF64Load:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 8, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+		case wasm.OpI32Load8U, wasm.OpI64Load8U:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 1, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+		case wasm.OpI32Load8S:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 1, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(uint32(int32(int8(v))))
+		case wasm.OpI64Load8S:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 1, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(int64(int8(v)))
+		case wasm.OpI32Load16U, wasm.OpI64Load16U:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 2, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+		case wasm.OpI32Load16S:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 2, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(uint32(int32(int16(v))))
+		case wasm.OpI64Load16S:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 2, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(int64(int16(v)))
+		case wasm.OpI64Load32U:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 4, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+		case wasm.OpI64Load32S:
+			v, err := vm.loadBits(uint32(st[sp-1]), in.Off, 4, false)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(int64(int32(uint32(v))))
+
+		// --- stores
+		case wasm.OpI32Store8, wasm.OpI64Store8:
+			sp -= 2
+			if err := vm.storeBits(uint32(st[sp]), in.Off, 1, st[sp+1]); err != nil {
+				trapErr = err
+				goto trap
+			}
+		case wasm.OpI32Store16, wasm.OpI64Store16:
+			sp -= 2
+			if err := vm.storeBits(uint32(st[sp]), in.Off, 2, st[sp+1]); err != nil {
+				trapErr = err
+				goto trap
+			}
+		case wasm.OpI32Store, wasm.OpF32Store, wasm.OpI64Store32:
+			sp -= 2
+			if err := vm.storeBits(uint32(st[sp]), in.Off, 4, st[sp+1]); err != nil {
+				trapErr = err
+				goto trap
+			}
+		case wasm.OpI64Store, wasm.OpF64Store:
+			sp -= 2
+			if err := vm.storeBits(uint32(st[sp]), in.Off, 8, st[sp+1]); err != nil {
+				trapErr = err
+				goto trap
+			}
+
+		// --- i32 comparison
+		case wasm.OpI32Eqz:
+			st[sp-1] = b2u(uint32(st[sp-1]) == 0)
+		case wasm.OpI32Eq:
+			sp--
+			st[sp-1] = b2u(uint32(st[sp-1]) == uint32(st[sp]))
+		case wasm.OpI32Ne:
+			sp--
+			st[sp-1] = b2u(uint32(st[sp-1]) != uint32(st[sp]))
+		case wasm.OpI32LtS:
+			sp--
+			st[sp-1] = b2u(int32(uint32(st[sp-1])) < int32(uint32(st[sp])))
+		case wasm.OpI32LtU:
+			sp--
+			st[sp-1] = b2u(uint32(st[sp-1]) < uint32(st[sp]))
+		case wasm.OpI32GtS:
+			sp--
+			st[sp-1] = b2u(int32(uint32(st[sp-1])) > int32(uint32(st[sp])))
+		case wasm.OpI32GtU:
+			sp--
+			st[sp-1] = b2u(uint32(st[sp-1]) > uint32(st[sp]))
+		case wasm.OpI32LeS:
+			sp--
+			st[sp-1] = b2u(int32(uint32(st[sp-1])) <= int32(uint32(st[sp])))
+		case wasm.OpI32LeU:
+			sp--
+			st[sp-1] = b2u(uint32(st[sp-1]) <= uint32(st[sp]))
+		case wasm.OpI32GeS:
+			sp--
+			st[sp-1] = b2u(int32(uint32(st[sp-1])) >= int32(uint32(st[sp])))
+		case wasm.OpI32GeU:
+			sp--
+			st[sp-1] = b2u(uint32(st[sp-1]) >= uint32(st[sp]))
+
+		// --- i64 comparison
+		case wasm.OpI64Eqz:
+			st[sp-1] = b2u(st[sp-1] == 0)
+		case wasm.OpI64Eq:
+			sp--
+			st[sp-1] = b2u(st[sp-1] == st[sp])
+		case wasm.OpI64Ne:
+			sp--
+			st[sp-1] = b2u(st[sp-1] != st[sp])
+		case wasm.OpI64LtS:
+			sp--
+			st[sp-1] = b2u(int64(st[sp-1]) < int64(st[sp]))
+		case wasm.OpI64LtU:
+			sp--
+			st[sp-1] = b2u(st[sp-1] < st[sp])
+		case wasm.OpI64GtS:
+			sp--
+			st[sp-1] = b2u(int64(st[sp-1]) > int64(st[sp]))
+		case wasm.OpI64GtU:
+			sp--
+			st[sp-1] = b2u(st[sp-1] > st[sp])
+		case wasm.OpI64LeS:
+			sp--
+			st[sp-1] = b2u(int64(st[sp-1]) <= int64(st[sp]))
+		case wasm.OpI64LeU:
+			sp--
+			st[sp-1] = b2u(st[sp-1] <= st[sp])
+		case wasm.OpI64GeS:
+			sp--
+			st[sp-1] = b2u(int64(st[sp-1]) >= int64(st[sp]))
+		case wasm.OpI64GeU:
+			sp--
+			st[sp-1] = b2u(st[sp-1] >= st[sp])
+
+		// --- f32 comparison
+		case wasm.OpF32Eq:
+			sp--
+			st[sp-1] = b2u(uf32(st[sp-1]) == uf32(st[sp]))
+		case wasm.OpF32Ne:
+			sp--
+			st[sp-1] = b2u(uf32(st[sp-1]) != uf32(st[sp]))
+		case wasm.OpF32Lt:
+			sp--
+			st[sp-1] = b2u(uf32(st[sp-1]) < uf32(st[sp]))
+		case wasm.OpF32Gt:
+			sp--
+			st[sp-1] = b2u(uf32(st[sp-1]) > uf32(st[sp]))
+		case wasm.OpF32Le:
+			sp--
+			st[sp-1] = b2u(uf32(st[sp-1]) <= uf32(st[sp]))
+		case wasm.OpF32Ge:
+			sp--
+			st[sp-1] = b2u(uf32(st[sp-1]) >= uf32(st[sp]))
+
+		// --- f64 comparison
+		case wasm.OpF64Eq:
+			sp--
+			st[sp-1] = b2u(uf64(st[sp-1]) == uf64(st[sp]))
+		case wasm.OpF64Ne:
+			sp--
+			st[sp-1] = b2u(uf64(st[sp-1]) != uf64(st[sp]))
+		case wasm.OpF64Lt:
+			sp--
+			st[sp-1] = b2u(uf64(st[sp-1]) < uf64(st[sp]))
+		case wasm.OpF64Gt:
+			sp--
+			st[sp-1] = b2u(uf64(st[sp-1]) > uf64(st[sp]))
+		case wasm.OpF64Le:
+			sp--
+			st[sp-1] = b2u(uf64(st[sp-1]) <= uf64(st[sp]))
+		case wasm.OpF64Ge:
+			sp--
+			st[sp-1] = b2u(uf64(st[sp-1]) >= uf64(st[sp]))
+
+		// --- i32 numeric
+		case wasm.OpI32Clz:
+			st[sp-1] = uint64(uint32(bits.LeadingZeros32(uint32(st[sp-1]))))
+		case wasm.OpI32Ctz:
+			st[sp-1] = uint64(uint32(bits.TrailingZeros32(uint32(st[sp-1]))))
+		case wasm.OpI32Popcnt:
+			st[sp-1] = uint64(uint32(bits.OnesCount32(uint32(st[sp-1]))))
+		case wasm.OpI32Add:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) + uint32(st[sp]))
+		case wasm.OpI32Sub:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) - uint32(st[sp]))
+		case wasm.OpI32Mul:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) * uint32(st[sp]))
+		case wasm.OpI32DivS:
+			sp--
+			b, a := int32(uint32(st[sp])), int32(uint32(st[sp-1]))
+			if b == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			if a == math.MinInt32 && b == -1 {
+				trapErr = ErrIntOverflow
+				goto trap
+			}
+			st[sp-1] = i32u(a / b)
+		case wasm.OpI32DivU:
+			sp--
+			b, a := uint32(st[sp]), uint32(st[sp-1])
+			if b == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			st[sp-1] = uint64(a / b)
+		case wasm.OpI32RemS:
+			sp--
+			b, a := int32(uint32(st[sp])), int32(uint32(st[sp-1]))
+			if b == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			if a == math.MinInt32 && b == -1 {
+				st[sp-1] = 0
+			} else {
+				st[sp-1] = i32u(a % b)
+			}
+		case wasm.OpI32RemU:
+			sp--
+			b, a := uint32(st[sp]), uint32(st[sp-1])
+			if b == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			st[sp-1] = uint64(a % b)
+		case wasm.OpI32And:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) & uint32(st[sp]))
+		case wasm.OpI32Or:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) | uint32(st[sp]))
+		case wasm.OpI32Xor:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) ^ uint32(st[sp]))
+		case wasm.OpI32Shl:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) << (uint32(st[sp]) & 31))
+		case wasm.OpI32ShrS:
+			sp--
+			st[sp-1] = i32u(int32(uint32(st[sp-1])) >> (uint32(st[sp]) & 31))
+		case wasm.OpI32ShrU:
+			sp--
+			st[sp-1] = uint64(uint32(st[sp-1]) >> (uint32(st[sp]) & 31))
+		case wasm.OpI32Rotl:
+			sp--
+			st[sp-1] = uint64(bits.RotateLeft32(uint32(st[sp-1]), int(uint32(st[sp])&31)))
+		case wasm.OpI32Rotr:
+			sp--
+			st[sp-1] = uint64(bits.RotateLeft32(uint32(st[sp-1]), -int(uint32(st[sp])&31)))
+
+		// --- i64 numeric
+		case wasm.OpI64Clz:
+			st[sp-1] = uint64(bits.LeadingZeros64(st[sp-1]))
+		case wasm.OpI64Ctz:
+			st[sp-1] = uint64(bits.TrailingZeros64(st[sp-1]))
+		case wasm.OpI64Popcnt:
+			st[sp-1] = uint64(bits.OnesCount64(st[sp-1]))
+		case wasm.OpI64Add:
+			sp--
+			st[sp-1] = st[sp-1] + st[sp]
+		case wasm.OpI64Sub:
+			sp--
+			st[sp-1] = st[sp-1] - st[sp]
+		case wasm.OpI64Mul:
+			sp--
+			st[sp-1] = st[sp-1] * st[sp]
+		case wasm.OpI64DivS:
+			sp--
+			b, a := int64(st[sp]), int64(st[sp-1])
+			if b == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			if a == math.MinInt64 && b == -1 {
+				trapErr = ErrIntOverflow
+				goto trap
+			}
+			st[sp-1] = uint64(a / b)
+		case wasm.OpI64DivU:
+			sp--
+			if st[sp] == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			st[sp-1] = st[sp-1] / st[sp]
+		case wasm.OpI64RemS:
+			sp--
+			b, a := int64(st[sp]), int64(st[sp-1])
+			if b == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			if a == math.MinInt64 && b == -1 {
+				st[sp-1] = 0
+			} else {
+				st[sp-1] = uint64(a % b)
+			}
+		case wasm.OpI64RemU:
+			sp--
+			if st[sp] == 0 {
+				trapErr = ErrDivByZero
+				goto trap
+			}
+			st[sp-1] = st[sp-1] % st[sp]
+		case wasm.OpI64And:
+			sp--
+			st[sp-1] = st[sp-1] & st[sp]
+		case wasm.OpI64Or:
+			sp--
+			st[sp-1] = st[sp-1] | st[sp]
+		case wasm.OpI64Xor:
+			sp--
+			st[sp-1] = st[sp-1] ^ st[sp]
+		case wasm.OpI64Shl:
+			sp--
+			st[sp-1] = st[sp-1] << (st[sp] & 63)
+		case wasm.OpI64ShrS:
+			sp--
+			st[sp-1] = uint64(int64(st[sp-1]) >> (st[sp] & 63))
+		case wasm.OpI64ShrU:
+			sp--
+			st[sp-1] = st[sp-1] >> (st[sp] & 63)
+		case wasm.OpI64Rotl:
+			sp--
+			st[sp-1] = bits.RotateLeft64(st[sp-1], int(st[sp]&63))
+		case wasm.OpI64Rotr:
+			sp--
+			st[sp-1] = bits.RotateLeft64(st[sp-1], -int(st[sp]&63))
+
+		// --- f32 numeric
+		case wasm.OpF32Abs:
+			st[sp-1] = f32u(float32(math.Abs(float64(uf32(st[sp-1])))))
+		case wasm.OpF32Neg:
+			st[sp-1] = f32u(-uf32(st[sp-1]))
+		case wasm.OpF32Ceil:
+			st[sp-1] = f32u(float32(math.Ceil(float64(uf32(st[sp-1])))))
+		case wasm.OpF32Floor:
+			st[sp-1] = f32u(float32(math.Floor(float64(uf32(st[sp-1])))))
+		case wasm.OpF32Trunc:
+			st[sp-1] = f32u(float32(math.Trunc(float64(uf32(st[sp-1])))))
+		case wasm.OpF32Nearest:
+			st[sp-1] = f32u(float32(math.RoundToEven(float64(uf32(st[sp-1])))))
+		case wasm.OpF32Sqrt:
+			st[sp-1] = f32u(float32(math.Sqrt(float64(uf32(st[sp-1])))))
+		case wasm.OpF32Add:
+			sp--
+			st[sp-1] = f32u(uf32(st[sp-1]) + uf32(st[sp]))
+		case wasm.OpF32Sub:
+			sp--
+			st[sp-1] = f32u(uf32(st[sp-1]) - uf32(st[sp]))
+		case wasm.OpF32Mul:
+			sp--
+			st[sp-1] = f32u(uf32(st[sp-1]) * uf32(st[sp]))
+		case wasm.OpF32Div:
+			sp--
+			st[sp-1] = f32u(uf32(st[sp-1]) / uf32(st[sp]))
+		case wasm.OpF32Min:
+			sp--
+			st[sp-1] = f32u(float32(fmin(float64(uf32(st[sp-1])), float64(uf32(st[sp])))))
+		case wasm.OpF32Max:
+			sp--
+			st[sp-1] = f32u(float32(fmax(float64(uf32(st[sp-1])), float64(uf32(st[sp])))))
+		case wasm.OpF32Copysign:
+			sp--
+			st[sp-1] = f32u(float32(math.Copysign(float64(uf32(st[sp-1])), float64(uf32(st[sp])))))
+
+		// --- f64 numeric
+		case wasm.OpF64Abs:
+			st[sp-1] = f64u(math.Abs(uf64(st[sp-1])))
+		case wasm.OpF64Neg:
+			st[sp-1] = f64u(-uf64(st[sp-1]))
+		case wasm.OpF64Ceil:
+			st[sp-1] = f64u(math.Ceil(uf64(st[sp-1])))
+		case wasm.OpF64Floor:
+			st[sp-1] = f64u(math.Floor(uf64(st[sp-1])))
+		case wasm.OpF64Trunc:
+			st[sp-1] = f64u(math.Trunc(uf64(st[sp-1])))
+		case wasm.OpF64Nearest:
+			st[sp-1] = f64u(math.RoundToEven(uf64(st[sp-1])))
+		case wasm.OpF64Sqrt:
+			st[sp-1] = f64u(math.Sqrt(uf64(st[sp-1])))
+		case wasm.OpF64Add:
+			sp--
+			st[sp-1] = f64u(uf64(st[sp-1]) + uf64(st[sp]))
+		case wasm.OpF64Sub:
+			sp--
+			st[sp-1] = f64u(uf64(st[sp-1]) - uf64(st[sp]))
+		case wasm.OpF64Mul:
+			sp--
+			st[sp-1] = f64u(uf64(st[sp-1]) * uf64(st[sp]))
+		case wasm.OpF64Div:
+			sp--
+			st[sp-1] = f64u(uf64(st[sp-1]) / uf64(st[sp]))
+		case wasm.OpF64Min:
+			sp--
+			st[sp-1] = f64u(fmin(uf64(st[sp-1]), uf64(st[sp])))
+		case wasm.OpF64Max:
+			sp--
+			st[sp-1] = f64u(fmax(uf64(st[sp-1]), uf64(st[sp])))
+		case wasm.OpF64Copysign:
+			sp--
+			st[sp-1] = f64u(math.Copysign(uf64(st[sp-1]), uf64(st[sp])))
+
+		// --- conversions
+		case wasm.OpI32WrapI64:
+			st[sp-1] = uint64(uint32(st[sp-1]))
+		case wasm.OpI32TruncF32S:
+			v, err := truncS(float64(uf32(st[sp-1])), i32Lo, i32Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = i32u(int32(v))
+		case wasm.OpI32TruncF32U:
+			v, err := truncU(float64(uf32(st[sp-1])), u32Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(uint32(v))
+		case wasm.OpI32TruncF64S:
+			v, err := truncS(uf64(st[sp-1]), i32Lo, i32Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = i32u(int32(v))
+		case wasm.OpI32TruncF64U:
+			v, err := truncU(uf64(st[sp-1]), u32Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(uint32(v))
+		case wasm.OpI64ExtendI32S:
+			st[sp-1] = uint64(int64(int32(uint32(st[sp-1]))))
+		case wasm.OpI64ExtendI32U:
+			st[sp-1] = uint64(uint32(st[sp-1]))
+		case wasm.OpI64TruncF32S:
+			v, err := truncS(float64(uf32(st[sp-1])), i64Lo, i64Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(v)
+		case wasm.OpI64TruncF32U:
+			v, err := truncU(float64(uf32(st[sp-1])), u64Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+		case wasm.OpI64TruncF64S:
+			v, err := truncS(uf64(st[sp-1]), i64Lo, i64Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = uint64(v)
+		case wasm.OpI64TruncF64U:
+			v, err := truncU(uf64(st[sp-1]), u64Hi)
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+		case wasm.OpF32ConvertI32S:
+			st[sp-1] = f32u(float32(int32(uint32(st[sp-1]))))
+		case wasm.OpF32ConvertI32U:
+			st[sp-1] = f32u(float32(uint32(st[sp-1])))
+		case wasm.OpF32ConvertI64S:
+			st[sp-1] = f32u(float32(int64(st[sp-1])))
+		case wasm.OpF32ConvertI64U:
+			st[sp-1] = f32u(float32(st[sp-1]))
+		case wasm.OpF32DemoteF64:
+			st[sp-1] = f32u(float32(uf64(st[sp-1])))
+		case wasm.OpF64ConvertI32S:
+			st[sp-1] = f64u(float64(int32(uint32(st[sp-1]))))
+		case wasm.OpF64ConvertI32U:
+			st[sp-1] = f64u(float64(uint32(st[sp-1])))
+		case wasm.OpF64ConvertI64S:
+			st[sp-1] = f64u(float64(int64(st[sp-1])))
+		case wasm.OpF64ConvertI64U:
+			st[sp-1] = f64u(float64(st[sp-1]))
+		case wasm.OpF64PromoteF32:
+			st[sp-1] = f64u(float64(uf32(st[sp-1])))
+		case wasm.OpI32ReinterpretF, wasm.OpI64ReinterpretF,
+			wasm.OpF32ReinterpretI, wasm.OpF64ReinterpretI:
+			// bit pattern unchanged
 
 		default:
-			var err error
-			stack, err = vm.numeric(in, stack)
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		if op == wasm.OpEnd && f.ctrl[pc].end == -1 && len(labels) == 0 {
-			break
+			trapErr = &UnknownOpcodeError{Op: in.Op}
+			goto trap
 		}
 		pc++
 	}
 
+done:
 	if f.nresults > 0 {
-		if len(stack) == 0 {
-			return nil, ErrUnreachable
+		if sp == 0 {
+			return 0, ErrUnreachable
 		}
-		return []uint64{stack[len(stack)-1]}, nil
+		return st[sp-1], nil
 	}
-	return nil, nil
+	return 0, nil
+
+trap:
+	vm.rollback(f, pc)
+	return 0, trapErr
 }
 
-// branch performs `br depth` and returns the new pc/labels/stack.
-func (vm *VM) branch(depth int, labels []labelRT, stack []uint64) (int, []labelRT, []uint64, error) {
-	l := labels[len(labels)-1-depth]
-	if l.isLoop {
-		// jump back to the first instruction after the loop header; the
-		// loop's own label stays.
-		labels = labels[:len(labels)-depth]
-		stack = stack[:l.height]
-		return l.headerPC + 1, labels, stack, nil
+// rollback undoes the batched charge for the not-executed suffix (pc,
+// segEnd] of the trapping instruction's segment, restoring the exact
+// per-instruction totals (the trapping instruction itself stays charged,
+// matching the reference engine).
+func (vm *VM) rollback(f *compiledFunc, pc int) {
+	end := int(f.flat[pc].segEnd)
+	n := uint64(end - pc)
+	if n == 0 {
+		return
 	}
-	// keep the label's result values
-	keep := l.arity
-	if keep > 0 {
-		copy(stack[l.height:], stack[len(stack)-keep:])
+	vm.instrCount -= n
+	if vm.fuelLimited {
+		vm.fuel += n
 	}
-	stack = stack[:l.height+keep]
-	labels = labels[:len(labels)-1-depth]
-	return l.endPC + 1, labels, stack, nil
+	if f.costPfx != nil {
+		vm.costAcc -= f.costPfx[end+1] - f.costPfx[pc+1]
+	}
 }
 
-// callFunc invokes function idx, popping args from and pushing results onto
-// the operand stack.
-func (vm *VM) callFunc(idx uint32, stack []uint64) ([]uint64, error) {
+// invokeAt calls function idx (combined index space) from the flat engine,
+// popping arguments from and pushing results onto st; it returns the new
+// stack pointer.
+func (vm *VM) invokeAt(idx uint32, st []uint64, sp int) (int, error) {
 	nimp := len(vm.hostFns)
 	if int(idx) < nimp {
 		sig := vm.hostSigs[idx]
 		n := len(sig.Params)
 		args := make([]uint64, n)
-		copy(args, stack[len(stack)-n:])
-		stack = stack[:len(stack)-n]
+		copy(args, st[sp-n:sp])
+		sp -= n
 		res, err := vm.hostFns[idx](vm, args)
 		if err != nil {
-			return stack, err
+			return sp, err
 		}
-		return append(stack, res...), nil
-	}
-	f := &vm.funcs[int(idx)-nimp]
-	locals := make([]uint64, f.numLoc)
-	n := f.nparams
-	copy(locals, stack[len(stack)-n:])
-	stack = stack[:len(stack)-n]
-	res, err := vm.exec(f, locals, make([]uint64, 0, 32))
-	if err != nil {
-		return stack, err
-	}
-	return append(stack, res...), nil
-}
-
-// ---------------------------------------------------------------------------
-// memory access helpers
-
-func (vm *VM) effAddr(base uint32, off uint32, width uint32) (int, error) {
-	addr := uint64(base) + uint64(off)
-	if addr+uint64(width) > uint64(len(vm.memory)) {
-		return 0, ErrOutOfBounds
-	}
-	return int(addr), nil
-}
-
-func (vm *VM) loadBits(base, off, width uint32, store bool) (uint64, error) {
-	a, err := vm.effAddr(base, off, width)
-	if err != nil {
-		return 0, err
-	}
-	if vm.cost != nil {
-		vm.costAcc += vm.cost.MemCost(uint32(a), width, store, uint32(len(vm.memory)))
-	}
-	var v uint64
-	for i := int(width) - 1; i >= 0; i-- {
-		v = v<<8 | uint64(vm.memory[a+i])
-	}
-	return v, nil
-}
-
-func (vm *VM) storeBits(base, off, width uint32, v uint64) error {
-	a, err := vm.effAddr(base, off, width)
-	if err != nil {
-		return err
-	}
-	if vm.cost != nil {
-		vm.costAcc += vm.cost.MemCost(uint32(a), width, true, uint32(len(vm.memory)))
-	}
-	for i := 0; i < int(width); i++ {
-		vm.memory[a+i] = byte(v)
-		v >>= 8
-	}
-	return nil
-}
-
-// ---------------------------------------------------------------------------
-// numeric / memory instruction execution
-
-func (vm *VM) numeric(in *wasm.Instr, stack []uint64) ([]uint64, error) {
-	push := func(v uint64) { stack = append(stack, v) }
-	pop := func() uint64 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-	pushI32 := func(v int32) { push(uint64(uint32(v))) }
-	pushBool := func(b bool) {
-		if b {
-			push(1)
-		} else {
-			push(0)
+		if len(res) != len(sig.Results) {
+			return sp, fmt.Errorf("interp: host import %d returned %d results, want %d", idx, len(res), len(sig.Results))
 		}
-	}
-	popI32 := func() int32 { return int32(uint32(pop())) }
-	popU32 := func() uint32 { return uint32(pop()) }
-	popI64 := func() int64 { return int64(pop()) }
-	popF32 := func() float32 { return math.Float32frombits(uint32(pop())) }
-	popF64 := func() float64 { return math.Float64frombits(pop()) }
-	pushF32 := func(f float32) { push(uint64(math.Float32bits(f))) }
-	pushF64 := func(f float64) { push(math.Float64bits(f)) }
-
-	op := in.Op
-	if op.IsMemAccess() {
-		if op.IsStore() {
-			val := pop()
-			base := popU32()
-			var width uint32
-			switch op {
-			case wasm.OpI32Store8, wasm.OpI64Store8:
-				width = 1
-			case wasm.OpI32Store16, wasm.OpI64Store16:
-				width = 2
-			case wasm.OpI32Store, wasm.OpF32Store, wasm.OpI64Store32:
-				width = 4
-			default:
-				width = 8
-			}
-			if err := vm.storeBits(base, in.Off, width, val); err != nil {
-				return stack, err
-			}
-			return stack, nil
+		for _, v := range res {
+			st[sp] = v
+			sp++
 		}
-		base := popU32()
-		var v uint64
-		var err error
+		return sp, nil
+	}
+	cf := &vm.funcs[int(idx)-nimp]
+	frame := make([]uint64, cf.numLoc+cf.maxStack)
+	copy(frame, st[sp-cf.nparams:sp])
+	sp -= cf.nparams
+	res, err := vm.exec(cf, frame)
+	if err != nil {
+		return sp, err
+	}
+	if cf.nresults > 0 {
+		st[sp] = res
+		sp++
+	}
+	return sp, nil
+}
+
+// execFuelTail finishes a segment whose batched fuel charge would overdraw:
+// it executes instruction by instruction with the reference engine's exact
+// per-instruction accounting. It is entered only when the remaining fuel is
+// smaller than the segment's instruction count, so it always terminates —
+// with ErrFuelExhausted at the precise instruction the reference engine
+// would trap on, or with an earlier trap from the instruction itself.
+func (vm *VM) execFuelTail(f *compiledFunc, locals, st []uint64, sp, pc int) error {
+	body := f.body
+	for {
+		in := &body[pc]
+		op := in.Op
+		vm.instrCount++
+		if vm.fuel == 0 {
+			return ErrFuelExhausted
+		}
+		vm.fuel--
+		if vm.cost != nil {
+			vm.costAcc += vm.cost.InstrCost(op)
+		}
 		switch op {
-		case wasm.OpI32Load, wasm.OpF32Load:
-			v, err = vm.loadBits(base, in.Off, 4, false)
-		case wasm.OpI64Load, wasm.OpF64Load:
-			v, err = vm.loadBits(base, in.Off, 8, false)
-		case wasm.OpI32Load8U, wasm.OpI64Load8U:
-			v, err = vm.loadBits(base, in.Off, 1, false)
-		case wasm.OpI32Load8S:
-			v, err = vm.loadBits(base, in.Off, 1, false)
-			v = uint64(uint32(int32(int8(v))))
-		case wasm.OpI64Load8S:
-			v, err = vm.loadBits(base, in.Off, 1, false)
-			v = uint64(int64(int8(v)))
-		case wasm.OpI32Load16U, wasm.OpI64Load16U:
-			v, err = vm.loadBits(base, in.Off, 2, false)
-		case wasm.OpI32Load16S:
-			v, err = vm.loadBits(base, in.Off, 2, false)
-			v = uint64(uint32(int32(int16(v))))
-		case wasm.OpI64Load16S:
-			v, err = vm.loadBits(base, in.Off, 2, false)
-			v = uint64(int64(int16(v)))
-		case wasm.OpI64Load32U:
-			v, err = vm.loadBits(base, in.Off, 4, false)
-		case wasm.OpI64Load32S:
-			v, err = vm.loadBits(base, in.Off, 4, false)
-			v = uint64(int64(int32(uint32(v))))
+		case wasm.OpNop:
+			// nothing
+		case wasm.OpDrop:
+			sp--
+		case wasm.OpSelect:
+			sp -= 2
+			if st[sp+1] == 0 {
+				st[sp-1] = st[sp]
+			}
+		case wasm.OpLocalGet:
+			st[sp] = locals[in.Idx]
+			sp++
+		case wasm.OpLocalSet:
+			sp--
+			locals[in.Idx] = st[sp]
+		case wasm.OpLocalTee:
+			locals[in.Idx] = st[sp-1]
+		case wasm.OpGlobalGet:
+			st[sp] = vm.globals[in.Idx]
+			sp++
+		case wasm.OpGlobalSet:
+			sp--
+			vm.globals[in.Idx] = st[sp]
+		case wasm.OpMemorySize:
+			st[sp] = uint64(uint32(len(vm.memory) / wasm.PageSize))
+			sp++
+		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+			st[sp] = in.U64
+			sp++
+		default:
+			if op.IsControl() || op == wasm.OpMemoryGrow {
+				// Segments end at control transfers, calls and grows; fuel
+				// must have run out before reaching one.
+				return fmt.Errorf("interp: internal: fuel tail reached %s", op)
+			}
+			stack, err := vm.numeric(in, st[:sp])
+			if err != nil {
+				return err
+			}
+			sp = len(stack)
 		}
-		if err != nil {
-			return stack, err
-		}
-		push(v)
-		return stack, nil
+		pc++
 	}
-
-	switch op {
-	// --- i32 comparison
-	case wasm.OpI32Eqz:
-		pushBool(popU32() == 0)
-	case wasm.OpI32Eq:
-		b, a := popU32(), popU32()
-		pushBool(a == b)
-	case wasm.OpI32Ne:
-		b, a := popU32(), popU32()
-		pushBool(a != b)
-	case wasm.OpI32LtS:
-		b, a := popI32(), popI32()
-		pushBool(a < b)
-	case wasm.OpI32LtU:
-		b, a := popU32(), popU32()
-		pushBool(a < b)
-	case wasm.OpI32GtS:
-		b, a := popI32(), popI32()
-		pushBool(a > b)
-	case wasm.OpI32GtU:
-		b, a := popU32(), popU32()
-		pushBool(a > b)
-	case wasm.OpI32LeS:
-		b, a := popI32(), popI32()
-		pushBool(a <= b)
-	case wasm.OpI32LeU:
-		b, a := popU32(), popU32()
-		pushBool(a <= b)
-	case wasm.OpI32GeS:
-		b, a := popI32(), popI32()
-		pushBool(a >= b)
-	case wasm.OpI32GeU:
-		b, a := popU32(), popU32()
-		pushBool(a >= b)
-
-	// --- i64 comparison
-	case wasm.OpI64Eqz:
-		pushBool(pop() == 0)
-	case wasm.OpI64Eq:
-		b, a := pop(), pop()
-		pushBool(a == b)
-	case wasm.OpI64Ne:
-		b, a := pop(), pop()
-		pushBool(a != b)
-	case wasm.OpI64LtS:
-		b, a := popI64(), popI64()
-		pushBool(a < b)
-	case wasm.OpI64LtU:
-		b, a := pop(), pop()
-		pushBool(a < b)
-	case wasm.OpI64GtS:
-		b, a := popI64(), popI64()
-		pushBool(a > b)
-	case wasm.OpI64GtU:
-		b, a := pop(), pop()
-		pushBool(a > b)
-	case wasm.OpI64LeS:
-		b, a := popI64(), popI64()
-		pushBool(a <= b)
-	case wasm.OpI64LeU:
-		b, a := pop(), pop()
-		pushBool(a <= b)
-	case wasm.OpI64GeS:
-		b, a := popI64(), popI64()
-		pushBool(a >= b)
-	case wasm.OpI64GeU:
-		b, a := pop(), pop()
-		pushBool(a >= b)
-
-	// --- f32 comparison
-	case wasm.OpF32Eq:
-		b, a := popF32(), popF32()
-		pushBool(a == b)
-	case wasm.OpF32Ne:
-		b, a := popF32(), popF32()
-		pushBool(a != b)
-	case wasm.OpF32Lt:
-		b, a := popF32(), popF32()
-		pushBool(a < b)
-	case wasm.OpF32Gt:
-		b, a := popF32(), popF32()
-		pushBool(a > b)
-	case wasm.OpF32Le:
-		b, a := popF32(), popF32()
-		pushBool(a <= b)
-	case wasm.OpF32Ge:
-		b, a := popF32(), popF32()
-		pushBool(a >= b)
-
-	// --- f64 comparison
-	case wasm.OpF64Eq:
-		b, a := popF64(), popF64()
-		pushBool(a == b)
-	case wasm.OpF64Ne:
-		b, a := popF64(), popF64()
-		pushBool(a != b)
-	case wasm.OpF64Lt:
-		b, a := popF64(), popF64()
-		pushBool(a < b)
-	case wasm.OpF64Gt:
-		b, a := popF64(), popF64()
-		pushBool(a > b)
-	case wasm.OpF64Le:
-		b, a := popF64(), popF64()
-		pushBool(a <= b)
-	case wasm.OpF64Ge:
-		b, a := popF64(), popF64()
-		pushBool(a >= b)
-
-	// --- i32 numeric
-	case wasm.OpI32Clz:
-		pushI32(int32(bits.LeadingZeros32(popU32())))
-	case wasm.OpI32Ctz:
-		pushI32(int32(bits.TrailingZeros32(popU32())))
-	case wasm.OpI32Popcnt:
-		pushI32(int32(bits.OnesCount32(popU32())))
-	case wasm.OpI32Add:
-		b, a := popU32(), popU32()
-		push(uint64(a + b))
-	case wasm.OpI32Sub:
-		b, a := popU32(), popU32()
-		push(uint64(a - b))
-	case wasm.OpI32Mul:
-		b, a := popU32(), popU32()
-		push(uint64(a * b))
-	case wasm.OpI32DivS:
-		b, a := popI32(), popI32()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		if a == math.MinInt32 && b == -1 {
-			return stack, ErrIntOverflow
-		}
-		pushI32(a / b)
-	case wasm.OpI32DivU:
-		b, a := popU32(), popU32()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		push(uint64(a / b))
-	case wasm.OpI32RemS:
-		b, a := popI32(), popI32()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		if a == math.MinInt32 && b == -1 {
-			pushI32(0)
-		} else {
-			pushI32(a % b)
-		}
-	case wasm.OpI32RemU:
-		b, a := popU32(), popU32()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		push(uint64(a % b))
-	case wasm.OpI32And:
-		b, a := popU32(), popU32()
-		push(uint64(a & b))
-	case wasm.OpI32Or:
-		b, a := popU32(), popU32()
-		push(uint64(a | b))
-	case wasm.OpI32Xor:
-		b, a := popU32(), popU32()
-		push(uint64(a ^ b))
-	case wasm.OpI32Shl:
-		b, a := popU32(), popU32()
-		push(uint64(a << (b & 31)))
-	case wasm.OpI32ShrS:
-		b, a := popU32(), popI32()
-		pushI32(a >> (b & 31))
-	case wasm.OpI32ShrU:
-		b, a := popU32(), popU32()
-		push(uint64(a >> (b & 31)))
-	case wasm.OpI32Rotl:
-		b, a := popU32(), popU32()
-		push(uint64(bits.RotateLeft32(a, int(b&31))))
-	case wasm.OpI32Rotr:
-		b, a := popU32(), popU32()
-		push(uint64(bits.RotateLeft32(a, -int(b&31))))
-
-	// --- i64 numeric
-	case wasm.OpI64Clz:
-		push(uint64(bits.LeadingZeros64(pop())))
-	case wasm.OpI64Ctz:
-		push(uint64(bits.TrailingZeros64(pop())))
-	case wasm.OpI64Popcnt:
-		push(uint64(bits.OnesCount64(pop())))
-	case wasm.OpI64Add:
-		b, a := pop(), pop()
-		push(a + b)
-	case wasm.OpI64Sub:
-		b, a := pop(), pop()
-		push(a - b)
-	case wasm.OpI64Mul:
-		b, a := pop(), pop()
-		push(a * b)
-	case wasm.OpI64DivS:
-		b, a := popI64(), popI64()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		if a == math.MinInt64 && b == -1 {
-			return stack, ErrIntOverflow
-		}
-		push(uint64(a / b))
-	case wasm.OpI64DivU:
-		b, a := pop(), pop()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		push(a / b)
-	case wasm.OpI64RemS:
-		b, a := popI64(), popI64()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		if a == math.MinInt64 && b == -1 {
-			push(0)
-		} else {
-			push(uint64(a % b))
-		}
-	case wasm.OpI64RemU:
-		b, a := pop(), pop()
-		if b == 0 {
-			return stack, ErrDivByZero
-		}
-		push(a % b)
-	case wasm.OpI64And:
-		b, a := pop(), pop()
-		push(a & b)
-	case wasm.OpI64Or:
-		b, a := pop(), pop()
-		push(a | b)
-	case wasm.OpI64Xor:
-		b, a := pop(), pop()
-		push(a ^ b)
-	case wasm.OpI64Shl:
-		b, a := pop(), pop()
-		push(a << (b & 63))
-	case wasm.OpI64ShrS:
-		b, a := pop(), popI64()
-		push(uint64(a >> (b & 63)))
-	case wasm.OpI64ShrU:
-		b, a := pop(), pop()
-		push(a >> (b & 63))
-	case wasm.OpI64Rotl:
-		b, a := pop(), pop()
-		push(bits.RotateLeft64(a, int(b&63)))
-	case wasm.OpI64Rotr:
-		b, a := pop(), pop()
-		push(bits.RotateLeft64(a, -int(b&63)))
-
-	// --- f32 numeric
-	case wasm.OpF32Abs:
-		pushF32(float32(math.Abs(float64(popF32()))))
-	case wasm.OpF32Neg:
-		pushF32(-popF32())
-	case wasm.OpF32Ceil:
-		pushF32(float32(math.Ceil(float64(popF32()))))
-	case wasm.OpF32Floor:
-		pushF32(float32(math.Floor(float64(popF32()))))
-	case wasm.OpF32Trunc:
-		pushF32(float32(math.Trunc(float64(popF32()))))
-	case wasm.OpF32Nearest:
-		pushF32(float32(math.RoundToEven(float64(popF32()))))
-	case wasm.OpF32Sqrt:
-		pushF32(float32(math.Sqrt(float64(popF32()))))
-	case wasm.OpF32Add:
-		b, a := popF32(), popF32()
-		pushF32(a + b)
-	case wasm.OpF32Sub:
-		b, a := popF32(), popF32()
-		pushF32(a - b)
-	case wasm.OpF32Mul:
-		b, a := popF32(), popF32()
-		pushF32(a * b)
-	case wasm.OpF32Div:
-		b, a := popF32(), popF32()
-		pushF32(a / b)
-	case wasm.OpF32Min:
-		b, a := popF32(), popF32()
-		pushF32(float32(fmin(float64(a), float64(b))))
-	case wasm.OpF32Max:
-		b, a := popF32(), popF32()
-		pushF32(float32(fmax(float64(a), float64(b))))
-	case wasm.OpF32Copysign:
-		b, a := popF32(), popF32()
-		pushF32(float32(math.Copysign(float64(a), float64(b))))
-
-	// --- f64 numeric
-	case wasm.OpF64Abs:
-		pushF64(math.Abs(popF64()))
-	case wasm.OpF64Neg:
-		pushF64(-popF64())
-	case wasm.OpF64Ceil:
-		pushF64(math.Ceil(popF64()))
-	case wasm.OpF64Floor:
-		pushF64(math.Floor(popF64()))
-	case wasm.OpF64Trunc:
-		pushF64(math.Trunc(popF64()))
-	case wasm.OpF64Nearest:
-		pushF64(math.RoundToEven(popF64()))
-	case wasm.OpF64Sqrt:
-		pushF64(math.Sqrt(popF64()))
-	case wasm.OpF64Add:
-		b, a := popF64(), popF64()
-		pushF64(a + b)
-	case wasm.OpF64Sub:
-		b, a := popF64(), popF64()
-		pushF64(a - b)
-	case wasm.OpF64Mul:
-		b, a := popF64(), popF64()
-		pushF64(a * b)
-	case wasm.OpF64Div:
-		b, a := popF64(), popF64()
-		pushF64(a / b)
-	case wasm.OpF64Min:
-		b, a := popF64(), popF64()
-		pushF64(fmin(a, b))
-	case wasm.OpF64Max:
-		b, a := popF64(), popF64()
-		pushF64(fmax(a, b))
-	case wasm.OpF64Copysign:
-		b, a := popF64(), popF64()
-		pushF64(math.Copysign(a, b))
-
-	// --- conversions
-	case wasm.OpI32WrapI64:
-		push(uint64(uint32(pop())))
-	case wasm.OpI32TruncF32S:
-		f := float64(popF32())
-		v, err := truncS(f, i32Lo, i32Hi)
-		if err != nil {
-			return stack, err
-		}
-		pushI32(int32(v))
-	case wasm.OpI32TruncF32U:
-		f := float64(popF32())
-		v, err := truncU(f, u32Hi)
-		if err != nil {
-			return stack, err
-		}
-		push(uint64(uint32(v)))
-	case wasm.OpI32TruncF64S:
-		v, err := truncS(popF64(), i32Lo, i32Hi)
-		if err != nil {
-			return stack, err
-		}
-		pushI32(int32(v))
-	case wasm.OpI32TruncF64U:
-		v, err := truncU(popF64(), u32Hi)
-		if err != nil {
-			return stack, err
-		}
-		push(uint64(uint32(v)))
-	case wasm.OpI64ExtendI32S:
-		push(uint64(int64(popI32())))
-	case wasm.OpI64ExtendI32U:
-		push(uint64(popU32()))
-	case wasm.OpI64TruncF32S:
-		v, err := truncS(float64(popF32()), i64Lo, i64Hi)
-		if err != nil {
-			return stack, err
-		}
-		push(uint64(v))
-	case wasm.OpI64TruncF32U:
-		v, err := truncU(float64(popF32()), u64Hi)
-		if err != nil {
-			return stack, err
-		}
-		push(v)
-	case wasm.OpI64TruncF64S:
-		v, err := truncS(popF64(), i64Lo, i64Hi)
-		if err != nil {
-			return stack, err
-		}
-		push(uint64(v))
-	case wasm.OpI64TruncF64U:
-		v, err := truncU(popF64(), u64Hi)
-		if err != nil {
-			return stack, err
-		}
-		push(v)
-	case wasm.OpF32ConvertI32S:
-		pushF32(float32(popI32()))
-	case wasm.OpF32ConvertI32U:
-		pushF32(float32(popU32()))
-	case wasm.OpF32ConvertI64S:
-		pushF32(float32(popI64()))
-	case wasm.OpF32ConvertI64U:
-		pushF32(float32(pop()))
-	case wasm.OpF32DemoteF64:
-		pushF32(float32(popF64()))
-	case wasm.OpF64ConvertI32S:
-		pushF64(float64(popI32()))
-	case wasm.OpF64ConvertI32U:
-		pushF64(float64(popU32()))
-	case wasm.OpF64ConvertI64S:
-		pushF64(float64(popI64()))
-	case wasm.OpF64ConvertI64U:
-		pushF64(float64(pop()))
-	case wasm.OpF64PromoteF32:
-		pushF64(float64(popF32()))
-	case wasm.OpI32ReinterpretF, wasm.OpI64ReinterpretF,
-		wasm.OpF32ReinterpretI, wasm.OpF64ReinterpretI:
-		// bit pattern unchanged
-	default:
-		return stack, &UnknownOpcodeError{Op: op}
-	}
-	return stack, nil
 }
-
-// UnknownOpcodeError reports execution of an opcode outside the MVP set.
-type UnknownOpcodeError struct{ Op wasm.Opcode }
-
-func (e *UnknownOpcodeError) Error() string {
-	return "interp: unknown opcode " + e.Op.String()
-}
-
-func fmin(a, b float64) float64 {
-	if math.IsNaN(a) || math.IsNaN(b) {
-		return math.NaN()
-	}
-	if a == 0 && b == 0 {
-		if math.Signbit(a) || math.Signbit(b) {
-			return math.Copysign(0, -1)
-		}
-		return 0
-	}
-	return math.Min(a, b)
-}
-
-func fmax(a, b float64) float64 {
-	if math.IsNaN(a) || math.IsNaN(b) {
-		return math.NaN()
-	}
-	if a == 0 && b == 0 {
-		if !math.Signbit(a) || !math.Signbit(b) {
-			return 0
-		}
-		return math.Copysign(0, -1)
-	}
-	return math.Max(a, b)
-}
-
-// truncS truncates f toward zero and traps unless lo <= trunc(f) < hi,
-// where lo/hi are the exact float bounds of the target integer type.
-func truncS(f, lo, hi float64) (int64, error) {
-	if math.IsNaN(f) {
-		return 0, ErrInvalidConversion
-	}
-	t := math.Trunc(f)
-	if t < lo || t >= hi {
-		return 0, ErrIntOverflow
-	}
-	return int64(t), nil
-}
-
-// truncU truncates f toward zero and traps unless 0 <= trunc(f) < hi.
-func truncU(f, hi float64) (uint64, error) {
-	if math.IsNaN(f) {
-		return 0, ErrInvalidConversion
-	}
-	t := math.Trunc(f)
-	if t <= -1 || t >= hi {
-		return 0, ErrIntOverflow
-	}
-	if t < 0 {
-		t = 0
-	}
-	return uint64(t), nil
-}
-
-// Exact float bounds for trapping truncations.
-const (
-	i32Lo = -2147483648.0
-	i32Hi = 2147483648.0
-	i64Lo = -9223372036854775808.0
-	i64Hi = 9223372036854775808.0
-	u32Hi = 4294967296.0
-	u64Hi = 18446744073709551616.0
-)

@@ -32,10 +32,29 @@ var (
 // Args and results are raw 64-bit values matching the import signature.
 type HostFunc func(vm *VM, args []uint64) ([]uint64, error)
 
+// Engine selects the execution strategy of an instantiation.
+type Engine int
+
+// Engines.
+const (
+	// EngineFlat (the default) executes the flat IR produced by the
+	// lowering pass: precompiled branch sidetable, fixed-size value stack,
+	// and block-batched fuel/cost/instruction accounting. It is the fast
+	// path; its accounting is bit-identical to EngineStructured.
+	EngineFlat Engine = iota
+	// EngineStructured is the original structured-control-flow interpreter
+	// (runtime label stack, per-instruction accounting). It is retained as
+	// the reference oracle for differential testing and before/after
+	// dispatch benchmarks.
+	EngineStructured
+)
+
 // Config parameterises instantiation.
 type Config struct {
 	// Imports maps "module.name" to host implementations.
 	Imports map[string]HostFunc
+	// Engine selects the execution strategy (default EngineFlat).
+	Engine Engine
 	// MaxPages caps linear memory growth regardless of the module's limit.
 	MaxPages uint32
 	// Fuel, when >0, bounds the number of executed instructions; execution
@@ -58,6 +77,9 @@ type Config struct {
 // weighted instruction counting is implemented.
 type CostModel interface {
 	// InstrCost returns the cycles charged for one dynamic execution of op.
+	// It must be pure (a fixed function of the opcode): the flat engine
+	// precomputes per-segment sums at instantiation. Stateful charging
+	// belongs in MemCost, which is always invoked per access.
 	InstrCost(op wasm.Opcode) uint64
 	// MemCost returns extra cycles for a memory access at addr of the given
 	// byte width (store=true for stores), given current memory size.
@@ -79,9 +101,11 @@ type VM struct {
 	fuelLimited bool
 	cost        CostModel
 	costAcc     uint64
+	endCost     uint64 // InstrCost(end), charged inline on else fallthrough
 	instrCount  uint64 // ground-truth executed instructions (all opcodes)
 	ioBytes     uint64 // accounted by host shims via AddIOBytes
 
+	engine   Engine
 	maxDepth int
 	depth    int
 	growHook func(vm *VM, oldPages, newPages uint32)
@@ -92,17 +116,12 @@ type compiledFunc struct {
 	numLoc   int // params + locals
 	nparams  int
 	nresults int
+	maxStack int // operand-stack high-water mark (flat engine frame size)
 	body     []wasm.Instr
-	ctrl     []ctrlMeta // per-pc control metadata (targets)
+	ctrl     []ctrlMeta // structured-engine control metadata
+	flat     []flatOp   // flat-engine branch sidetable + segment accounting
+	costPfx  []uint64   // InstrCost prefix sums (trap rollback), nil if uncosted
 	name     string
-}
-
-// ctrlMeta holds the pre-resolved structure for a pc: for block/loop/if the
-// matching end (and else); interpreted branches use it to jump directly.
-type ctrlMeta struct {
-	end   int // pc of matching end (for block/loop/if); for end/else: start pc
-	els   int // pc of else for if, or -1
-	arity int // number of values the label yields
 }
 
 // Instantiate compiles and instantiates a module.
@@ -111,6 +130,7 @@ func Instantiate(m *wasm.Module, cfg Config) (*VM, error) {
 		module:   m,
 		cost:     cfg.CostModel,
 		fuel:     cfg.Fuel,
+		engine:   cfg.Engine,
 		maxDepth: cfg.MaxCallDepth,
 		growHook: cfg.GrowHook,
 	}
@@ -118,6 +138,9 @@ func Instantiate(m *wasm.Module, cfg Config) (*VM, error) {
 		vm.maxDepth = 1024
 	}
 	vm.fuelLimited = cfg.Fuel > 0
+	if vm.cost != nil {
+		vm.endCost = vm.cost.InstrCost(wasm.OpEnd)
+	}
 
 	// Resolve imports.
 	for _, im := range m.Imports {
@@ -178,11 +201,15 @@ func Instantiate(m *wasm.Module, cfg Config) (*VM, error) {
 		}
 	}
 
-	// Compile functions.
+	// Compile functions: control matching plus the flat-IR lowering pass.
+	var costFn func(wasm.Opcode) uint64
+	if vm.cost != nil {
+		costFn = vm.cost.InstrCost
+	}
 	nimp := m.NumImportedFuncs()
 	vm.funcs = make([]compiledFunc, len(m.Funcs))
 	for i := range m.Funcs {
-		cf, err := compile(m, &m.Funcs[i])
+		cf, err := compile(m, &m.Funcs[i], costFn)
 		if err != nil {
 			return nil, fmt.Errorf("interp: func %d: %w", nimp+i, err)
 		}
@@ -196,59 +223,6 @@ func Instantiate(m *wasm.Module, cfg Config) (*VM, error) {
 		}
 	}
 	return vm, nil
-}
-
-func compile(m *wasm.Module, f *wasm.Func) (compiledFunc, error) {
-	t := m.Types[f.TypeIdx]
-	cf := compiledFunc{
-		typeIdx:  f.TypeIdx,
-		nparams:  len(t.Params),
-		nresults: len(t.Results),
-		numLoc:   len(t.Params) + len(f.Locals),
-		body:     f.Body,
-		ctrl:     make([]ctrlMeta, len(f.Body)),
-		name:     f.Name,
-	}
-	type open struct {
-		pc int
-	}
-	var stack []open
-	for pc, in := range f.Body {
-		switch in.Op {
-		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
-			cf.ctrl[pc] = ctrlMeta{els: -1}
-			stack = append(stack, open{pc: pc})
-		case wasm.OpElse:
-			if len(stack) == 0 {
-				return cf, fmt.Errorf("else outside if")
-			}
-			hdr := stack[len(stack)-1].pc
-			cf.ctrl[hdr].els = pc
-			cf.ctrl[pc] = ctrlMeta{end: hdr}
-		case wasm.OpEnd:
-			if len(stack) == 0 {
-				// function-closing end
-				cf.ctrl[pc] = ctrlMeta{end: -1}
-				continue
-			}
-			hdr := stack[len(stack)-1].pc
-			stack = stack[:len(stack)-1]
-			cf.ctrl[hdr].end = pc
-			arity := 0
-			if _, ok := f.Body[hdr].BT.Value(); ok {
-				arity = 1
-			}
-			cf.ctrl[hdr].arity = arity
-			cf.ctrl[pc] = ctrlMeta{end: hdr}
-			if e := cf.ctrl[hdr].els; e >= 0 {
-				cf.ctrl[e].end = pc // else jumps to end
-			}
-		}
-	}
-	if len(stack) != 0 {
-		return cf, fmt.Errorf("unbalanced control structure")
-	}
-	return cf, nil
 }
 
 // InstrCount returns the ground-truth number of instructions executed so far
@@ -321,12 +295,19 @@ func (vm *VM) Invoke(idx uint32, args ...uint64) ([]uint64, error) {
 	if len(args) != f.nparams {
 		return nil, fmt.Errorf("interp: func %d expects %d args, got %d", idx, f.nparams, len(args))
 	}
-	locals := make([]uint64, f.numLoc)
-	copy(locals, args)
-	stack := make([]uint64, 0, 64)
-	res, err := vm.exec(f, locals, stack)
+	if vm.engine == EngineStructured {
+		locals := make([]uint64, f.numLoc)
+		copy(locals, args)
+		return vm.execStructured(f, locals, make([]uint64, 0, 64))
+	}
+	frame := make([]uint64, f.numLoc+f.maxStack)
+	copy(frame, args)
+	res, err := vm.exec(f, frame)
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	if f.nresults > 0 {
+		return []uint64{res}, nil
+	}
+	return nil, nil
 }

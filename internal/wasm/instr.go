@@ -149,6 +149,50 @@ func CountBodyInstrs(body []Instr) int {
 	return n
 }
 
+// StackEffect returns the operand-stack pops and pushes of one dynamic
+// execution of op. It covers every opcode whose effect is independent of
+// module context; for call/call_indirect (which need the callee signature)
+// and for the structured control opcodes (whose effect depends on block
+// types and branch arities) it returns ok == false. The interpreter's
+// lowering pass uses it to precompute static stack heights.
+func (op Opcode) StackEffect() (pop, push int, ok bool) {
+	switch op {
+	case OpNop:
+		return 0, 0, true
+	case OpDrop:
+		return 1, 0, true
+	case OpSelect:
+		return 3, 1, true
+	case OpLocalGet, OpGlobalGet, OpMemorySize,
+		OpI32Const, OpI64Const, OpF32Const, OpF64Const:
+		return 0, 1, true
+	case OpLocalSet, OpGlobalSet:
+		return 1, 0, true
+	case OpLocalTee, OpMemoryGrow, OpI32Eqz, OpI64Eqz:
+		return 1, 1, true
+	}
+	switch {
+	case op.IsLoad():
+		return 1, 1, true
+	case op.IsStore():
+		return 2, 0, true
+	case op >= OpI32Eq && op <= OpF64Ge: // binary comparisons
+		return 2, 1, true
+	case op >= OpI32Clz && op <= OpI32Popcnt, // unary numerics
+		op >= OpI64Clz && op <= OpI64Popcnt,
+		op >= OpF32Abs && op <= OpF32Sqrt,
+		op >= OpF64Abs && op <= OpF64Sqrt,
+		op >= OpI32WrapI64 && op <= OpF64ReinterpretI: // conversions
+		return 1, 1, true
+	case op >= OpI32Add && op <= OpI32Rotr, // binary numerics
+		op >= OpI64Add && op <= OpI64Rotr,
+		op >= OpF32Add && op <= OpF32Copysign,
+		op >= OpF64Add && op <= OpF64Copysign:
+		return 2, 1, true
+	}
+	return 0, 0, false
+}
+
 // ValidateStructure performs a cheap structural check: every block/loop/if
 // has a matching end and the body ends exactly once at depth zero.
 func ValidateStructure(body []Instr) error {

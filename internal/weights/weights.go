@@ -24,7 +24,10 @@ func (t *Table) Weight(op wasm.Opcode) uint64 { return t.w[op] }
 
 // Set overrides the weight of op. AccTEE supports runtime weight
 // adjustments so providers can tune tables without releasing new enclaves
-// (paper §3.7).
+// (paper §3.7). The interpreter snapshots instruction weights at
+// instantiation (interp.CostModel requires InstrCost to be pure), so an
+// adjustment takes effect for VMs instantiated after the call, never for
+// executions already in flight.
 func (t *Table) Set(op wasm.Opcode, w uint64) {
 	if op == wasm.OpEnd || op == wasm.OpElse {
 		return
@@ -118,13 +121,4 @@ func (t *Table) Hash() [32]byte {
 		binary.LittleEndian.PutUint64(b[i*8:], w)
 	}
 	return sha256.Sum256(b[:])
-}
-
-// BlockWeight sums the weights of body[start..term] inclusive.
-func (t *Table) BlockWeight(body []wasm.Instr, start, term int) uint64 {
-	var sum uint64
-	for pc := start; pc <= term; pc++ {
-		sum += t.w[body[pc].Op]
-	}
-	return sum
 }
