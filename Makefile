@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench clean
+.PHONY: all build test race vet fmt-check bench clean
 
 all: build test
 
@@ -10,6 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs the concurrency-sensitive packages (pooled sandbox instances,
+# concurrent accounting-enclave runs, the FaaS gateway) under the race
+# detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/faas/... ./internal/interp/...
+
 vet:
 	$(GO) vet ./...
 
@@ -17,11 +23,14 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# bench runs the PolyBench interpreter dispatch comparison (structured
-# reference engine vs flat engine) and records the perf trajectory in
-# BENCH_interp.json.
+# bench records the perf trajectory: the PolyBench interpreter dispatch
+# comparison (structured reference engine vs flat engine) in
+# BENCH_interp.json, and the compile-once/run-many FaaS gateway comparison
+# (per-request compile vs cached CompiledModule + instance pool) in
+# BENCH_faas.json.
 bench:
 	$(GO) run ./cmd/acctee-bench -fig dispatch -trials 3 -json BENCH_interp.json
+	$(GO) run ./cmd/acctee-bench -fig faas -requests 60 -json BENCH_faas.json
 
 clean:
 	$(GO) clean ./...

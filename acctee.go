@@ -80,6 +80,44 @@ func (m *Module) Hash() ([32]byte, error) { return core.ModuleHash(m.m) }
 // Raw exposes the underlying module for advanced use.
 func (m *Module) Raw() *wasm.Module { return m.m }
 
+// CompiledModule is a compile-once execution artifact: the module lowered
+// through the interpreter's compilation pass exactly once, with a pool of
+// reusable sandbox instances behind it. Compile it once and Execute many
+// times ("instrument once, execute many times", paper §3.3).
+type CompiledModule struct {
+	src  *Module
+	cm   *interp.CompiledModule
+	pool *interp.InstancePool
+}
+
+// Compile lowers the module once into a reusable execution artifact.
+func (m *Module) Compile() (*CompiledModule, error) {
+	cm, err := interp.Compile(m.m, interp.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := cm.NewPool(interp.Config{}, interp.PoolConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledModule{src: m, cm: cm, pool: pool}, nil
+}
+
+// Module returns the source module.
+func (c *CompiledModule) Module() *Module { return c.src }
+
+// Execute invokes an exported function on a pooled sandbox instance (no
+// enclaves, no accounting) — the compile-once counterpart of Execute. It is
+// safe to call concurrently.
+func (c *CompiledModule) Execute(entry string, args ...uint64) ([]uint64, error) {
+	vm, err := c.pool.Get(interp.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer c.pool.Put(vm)
+	return vm.InvokeExport(entry, args...)
+}
+
 // OptLevel selects the instrumentation optimisation level (paper §3.6).
 type OptLevel = instrument.Level
 
@@ -185,6 +223,9 @@ type Sandbox struct {
 	ae *core.AccountingEnclave
 }
 
+// PoolConfig tunes the sandbox instance pool (compile-once, run-many).
+type PoolConfig = interp.PoolConfig
+
 // SandboxConfig configures sandbox creation.
 type SandboxConfig struct {
 	// Mode selects hardware or simulation (default Hardware).
@@ -195,10 +236,16 @@ type SandboxConfig struct {
 	// Weights must match the table the evidence was produced with
 	// (nil = unit).
 	Weights *Weights
+	// Pool tunes sandbox instance reuse across runs: Disabled forces a
+	// fresh instantiation per Run, Prewarm pre-creates instances. The zero
+	// value pools lazily.
+	Pool PoolConfig
 }
 
 // NewSandbox verifies the instrumented module against the evidence (signed
 // by iePub, which the caller must have attested) and prepares execution.
+// The module is compiled once here; Run reuses pooled instances and is safe
+// to call concurrently.
 func NewSandbox(cfg SandboxConfig, m *Module, ev Evidence, iePub *ecdsa.PublicKey) (*Sandbox, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = Hardware
@@ -209,6 +256,11 @@ func NewSandbox(cfg SandboxConfig, m *Module, ev Evidence, iePub *ecdsa.PublicKe
 	ae, err := core.NewAccountingEnclave(cfg.Mode, cfg.Costs, cfg.Weights, m.m, ev, iePub)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Pool != (PoolConfig{}) {
+		if err := ae.SetPoolConfig(cfg.Pool); err != nil {
+			return nil, err
+		}
 	}
 	return &Sandbox{ae: ae}, nil
 }

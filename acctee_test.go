@@ -1,7 +1,9 @@
 package acctee_test
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"acctee"
@@ -112,5 +114,81 @@ func TestFacadeExecute(t *testing.T) {
 func TestFacadeRejectsInvalidWAT(t *testing.T) {
 	if _, err := acctee.ParseWAT(`(module (func $f (result i32)))`); err == nil {
 		t.Error("expected validation error for missing result")
+	}
+}
+
+// TestFacadeCompiledModule exercises the compile-once public API: one
+// Compile, many (concurrent) pooled Executes, all agreeing with the
+// one-shot Execute.
+func TestFacadeCompiledModule(t *testing.T) {
+	m, err := acctee.ParseWAT(doubleWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := acctee.Execute(m, "double", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				res, err := cm.Execute("double", 21)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res[0] != want[0] {
+					errs <- fmt.Errorf("pooled Execute = %d, want %d", res[0], want[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestFacadeSandboxPoolConfig drives a sandbox with explicit pool knobs.
+func TestFacadeSandboxPoolConfig(t *testing.T) {
+	m, err := acctee.ParseWAT(doubleWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie, err := acctee.NewInstrumenter(acctee.LoopBased, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, ev, err := ie.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range []acctee.PoolConfig{{Prewarm: 2}, {Disabled: true}} {
+		sb, err := acctee.NewSandbox(acctee.SandboxConfig{Pool: pool}, inst, ev, ie.PublicKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			res, err := sb.Run(acctee.RunOptions{Entry: "double", Args: []uint64{21}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Results[0] != 42 {
+				t.Errorf("pool %+v run %d: double(21) = %d", pool, i, res.Results[0])
+			}
+			if res.SignedLog.Log.Sequence != uint64(i) {
+				t.Errorf("pool %+v run %d: sequence %d", pool, i, res.SignedLog.Log.Sequence)
+			}
+		}
 	}
 }

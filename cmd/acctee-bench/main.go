@@ -12,6 +12,8 @@
 //	acctee-bench -fig size         # §5.4 binary sizes
 //	acctee-bench -fig dispatch -json BENCH_interp.json
 //	                               # interpreter engine comparison
+//	acctee-bench -fig faas -json BENCH_faas.json
+//	                               # compile-once/run-many gateway benchmark
 package main
 
 import (
@@ -131,6 +133,26 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	if want("faas") {
+		matched = true
+		fmt.Println("== FaaS gateway: per-request compile vs cached CompiledModule + pool ==")
+		samples := 200
+		if *quick {
+			samples = 30
+		}
+		rep, err := bench.RunFaaSBench(samples, *requests, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintFaaSBench(os.Stdout, rep)
+		if *jsonOut != "" {
+			if err := bench.WriteFaaSJSON(*jsonOut, rep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *jsonOut)
+		}
+		fmt.Println()
+	}
 	if want("ablation") {
 		matched = true
 		fmt.Println("== Ablation: counter updates eliminated per optimisation ==")
@@ -142,7 +164,7 @@ func run() error {
 		fmt.Println()
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, all)", strings.TrimSpace(*fig))
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, faas, all)", strings.TrimSpace(*fig))
 	}
 	return nil
 }

@@ -30,6 +30,8 @@ func run() error {
 	listen := flag.String("listen", ":8080", "listen address")
 	fnName := flag.String("function", "echo", "function: echo or resize")
 	setupName := flag.String("setup", "hw-instr", "setup: wasm, sim, hw, hw-instr, hw-io, js")
+	noPool := flag.Bool("no-pool", false, "disable sandbox instance reuse (fresh instantiation per request)")
+	prewarm := flag.Int("pool-prewarm", 0, "sandbox instances to pre-instantiate at startup")
 	flag.Parse()
 
 	var fn faas.Function
@@ -58,10 +60,14 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown setup %q", *setupName)
 	}
-	srv, err := faas.NewServer(fn, setup)
+	srv, err := faas.NewServerWithOptions(fn, setup, faas.ServerOptions{
+		PoolDisabled: *noPool,
+		PoolPrewarm:  *prewarm,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("acctee-faas: serving %s (%s) on %s\n", fn, setup, *listen)
+	fmt.Printf("acctee-faas: serving %s (%s) on %s (pool disabled=%v prewarm=%d)\n",
+		fn, setup, *listen, *noPool, *prewarm)
 	return http.ListenAndServe(*listen, srv)
 }

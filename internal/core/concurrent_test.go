@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"acctee/internal/accounting"
+	"acctee/internal/core"
+	"acctee/internal/instrument"
+	"acctee/internal/interp"
+	"acctee/internal/sgx"
+)
+
+// newTestAE instruments sumModule and builds an AE around it.
+func newTestAE(t *testing.T, mode sgx.Mode) (*core.AccountingEnclave, *core.InstrumentationEnclave) {
+	t.Helper()
+	ie, err := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, ev, err := ie.Instrument(sumModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, err := core.NewAccountingEnclave(mode, sgx.DefaultCostParams(), nil, inst, ev, ie.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ae, ie
+}
+
+// TestConcurrentRunsSequenceAndTotals drives N goroutines × M runs through
+// one accounting enclave: every run must yield a verifiable signed log, the
+// N×M sequence numbers must be strictly increasing and gap-free, and the
+// cumulative snapshot totals must equal the sum of the per-run logs.
+func TestConcurrentRunsSequenceAndTotals(t *testing.T) {
+	const goroutines, runsEach = 8, 10
+	ae, _ := newTestAE(t, sgx.ModeSimulation)
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		logs []accounting.SignedLog
+	)
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < runsEach; r++ {
+				res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{uint64(10 + g)}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				logs = append(logs, res.SignedLog)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if len(logs) != goroutines*runsEach {
+		t.Fatalf("got %d signed logs, want %d", len(logs), goroutines*runsEach)
+	}
+	seqs := make([]uint64, 0, len(logs))
+	var sumWeighted uint64
+	for _, sl := range logs {
+		if err := accounting.Verify(sl, ae.PublicKey(), ae.Measurement()); err != nil {
+			t.Fatalf("log %d: %v", sl.Log.Sequence, err)
+		}
+		seqs = append(seqs, sl.Log.Sequence)
+		sumWeighted += sl.Log.WeightedInstructions
+		if sl.Log.WeightedInstructions == 0 {
+			t.Errorf("log %d: zero weighted instructions", sl.Log.Sequence)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("sequence numbers not gap-free: position %d holds %d (all: %v)", i, s, seqs)
+		}
+	}
+
+	snap, err := ae.Snapshot(accounting.PeakMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Log.Sequence != uint64(goroutines*runsEach) {
+		t.Errorf("snapshot sequence = %d, want %d", snap.Log.Sequence, goroutines*runsEach)
+	}
+	if snap.Log.WeightedInstructions != sumWeighted {
+		t.Errorf("snapshot totals = %d, want sum of per-run logs %d",
+			snap.Log.WeightedInstructions, sumWeighted)
+	}
+}
+
+// TestConcurrentRunsDeterministicPerInput: concurrent runs on pooled
+// instances must count exactly like isolated ones — same input, same
+// weighted instruction count, regardless of which recycled instance served
+// it.
+func TestConcurrentRunsDeterministicPerInput(t *testing.T) {
+	ae, _ := newTestAE(t, sgx.ModeSimulation)
+	ref, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.SignedLog.Log.WeightedInstructions
+
+	const goroutines, runsEach = 6, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*runsEach)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < runsEach; r++ {
+				res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{25}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := res.SignedLog.Log.WeightedInstructions; got != want {
+					t.Errorf("weighted instructions = %d, want %d", got, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolConfigDisabledRunsFresh: an AE with pooling disabled still serves
+// correct, sequence-ordered runs (every Run instantiates fresh).
+func TestPoolConfigDisabledRunsFresh(t *testing.T) {
+	ae, _ := newTestAE(t, sgx.ModeSimulation)
+	if err := ae.SetPoolConfig(interp.PoolConfig{Disabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.SignedLog.Log.Sequence != prev+1 {
+			t.Errorf("sequence %d after %d", res.SignedLog.Log.Sequence, prev)
+		}
+		prev = res.SignedLog.Log.Sequence
+	}
+}

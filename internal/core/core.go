@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"acctee/internal/accounting"
 	"acctee/internal/instrument"
@@ -194,7 +195,10 @@ type RunResult struct {
 
 // AccountingEnclave (AE) hosts the execution sandbox under SGX protection.
 // One AE instance executes one workload module (possibly many invocations,
-// e.g. FaaS requests), emitting a signed usage log per invocation.
+// e.g. FaaS requests), emitting a signed usage log per invocation. The
+// module is compiled once at construction (paper §3.3, "instrument once,
+// execute many times"); each Run borrows a pooled sandbox instance. Run and
+// Snapshot are safe to call concurrently.
 type AccountingEnclave struct {
 	enclave  *sgx.Enclave
 	libos    *sgxlkl.LibOS
@@ -202,13 +206,18 @@ type AccountingEnclave struct {
 	costs    sgx.CostParams
 	weights  *weights.Table
 	module   *wasm.Module
+	compiled *interp.CompiledModule
+	pool     *interp.InstancePool
 	modHash  [32]byte
 	counter  uint32
+
+	// mu guards the log sequence and the cumulative totals, so concurrent
+	// runs get strictly increasing, gap-free sequence numbers and exact
+	// totals for on-request logs (paper §3.3: "either periodically or upon
+	// request produces a resource accounting log").
+	mu       sync.Mutex
 	sequence uint64
-	// cumulative totals across invocations, for on-request logs
-	// (paper §3.3: "either periodically or upon request produces a
-	// resource accounting log").
-	totals accounting.UsageLog
+	totals   accounting.UsageLog
 }
 
 // NewAccountingEnclave verifies the instrumented module against the
@@ -239,16 +248,42 @@ func NewAccountingEnclave(mode sgx.Mode, costs sgx.CostParams, tbl *weights.Tabl
 	if err != nil {
 		return nil, err
 	}
-	return &AccountingEnclave{
-		enclave: encl,
-		libos:   sgxlkl.New(encl),
-		mode:    mode,
-		costs:   costs,
-		weights: tbl,
-		module:  m,
-		modHash: h,
-		counter: ev.CounterGlobal,
-	}, nil
+	// Compile once; every Run instantiates from the artifact. Pre-warming
+	// with this AE's cost-model fingerprint makes the first Run as cheap as
+	// the rest.
+	compiled, err := interp.Compile(m, interp.CompileOptions{
+		CostModels: []interp.CostModel{sgx.NewEPCModel(mode, costs, tbl)},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: compile workload: %w", err)
+	}
+	ae := &AccountingEnclave{
+		enclave:  encl,
+		libos:    sgxlkl.New(encl),
+		mode:     mode,
+		costs:    costs,
+		weights:  tbl,
+		module:   m,
+		compiled: compiled,
+		modHash:  h,
+		counter:  ev.CounterGlobal,
+	}
+	if err := ae.SetPoolConfig(interp.PoolConfig{}); err != nil {
+		return nil, err
+	}
+	return ae, nil
+}
+
+// SetPoolConfig replaces the AE's sandbox instance pool (e.g. to disable
+// reuse or pre-warm instances). Call it before serving concurrent runs;
+// instances already handed out to in-flight runs drain to the old pool.
+func (ae *AccountingEnclave) SetPoolConfig(pc interp.PoolConfig) error {
+	pool, err := ae.compiled.NewPool(interp.Config{Imports: DefaultImports(ae.libos)}, pc)
+	if err != nil {
+		return fmt.Errorf("core: sandbox pool: %w", err)
+	}
+	ae.pool = pool
+	return nil
 }
 
 // PublicKey returns the AE key that signs usage logs.
@@ -267,8 +302,11 @@ func (ae *AccountingEnclave) Quote(qe *sgx.QuotingEnclave) (sgx.Quote, error) {
 func (ae *AccountingEnclave) LibOS() *sgxlkl.LibOS { return ae.libos }
 
 // Run executes the workload once and returns results plus the signed log.
-// Each invocation instantiates a fresh sandbox, as the FaaS gateway does
-// per request (§5.3).
+// Each invocation serves from a pooled sandbox instance deterministically
+// reset to fresh-instantiation state, as the FaaS gateway does per request
+// (§5.3) — without re-running the lowering pass. Run is safe to call from
+// concurrent goroutines: each run gets its own instance, and the signed
+// logs carry strictly increasing, gap-free sequence numbers.
 func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 	if opts.Policy == 0 {
 		opts.Policy = accounting.PeakMemory
@@ -283,7 +321,8 @@ func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 	// fine-grained memory policy).
 	var meter accounting.Meter
 	counterIdx := ae.counter
-	vm, err := interp.Instantiate(ae.module, interp.Config{
+	pool := ae.pool
+	vm, err := pool.Get(interp.Config{
 		Imports:   imports,
 		Fuel:      opts.Fuel,
 		CostModel: model,
@@ -298,6 +337,7 @@ func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, fmt.Errorf("core: instantiate workload: %w", err)
 	}
+	defer pool.Put(vm)
 	// Entering the enclave for the call is one transition.
 	vm.AddCost(ae.enclave.Transition())
 
@@ -321,14 +361,16 @@ func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 		IOBytesOut:           netOut + diskOut,
 		SimulatedCycles:      vm.Cost() + extra,
 		Policy:               opts.Policy,
-		Sequence:             ae.sequence,
 	}
+	ae.mu.Lock()
+	log.Sequence = ae.sequence
 	ae.sequence++
 	ae.totals.WeightedInstructions += log.WeightedInstructions
 	if log.PeakMemoryBytes > ae.totals.PeakMemoryBytes {
 		ae.totals.PeakMemoryBytes = log.PeakMemoryBytes
 	}
 	ae.totals.MemoryIntegral += log.MemoryIntegral
+	ae.mu.Unlock()
 	signed, err := accounting.Sign(ae.enclave, log)
 	if err != nil {
 		return RunResult{}, err
@@ -348,20 +390,23 @@ func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 
 // Snapshot produces a signed cumulative usage log on request: totals over
 // all invocations so far (the paper's on-demand log, §3.3). It can be
-// called between invocations, e.g. once per billing period.
+// called between invocations, e.g. once per billing period, including
+// concurrently with Run.
 func (ae *AccountingEnclave) Snapshot(policy accounting.MemoryPolicy) (accounting.SignedLog, error) {
 	if policy == 0 {
 		policy = accounting.PeakMemory
 	}
 	netIn, netOut, diskIn, diskOut, extra := ae.libos.IOStats()
+	ae.mu.Lock()
 	log := ae.totals
+	log.Sequence = ae.sequence
+	ae.sequence++
+	ae.mu.Unlock()
 	log.WorkloadHash = ae.modHash
 	log.IOBytesIn = netIn + diskIn
 	log.IOBytesOut = netOut + diskOut
 	log.SimulatedCycles = extra
 	log.Policy = policy
-	log.Sequence = ae.sequence
-	ae.sequence++
 	return accounting.Sign(ae.enclave, log)
 }
 
@@ -374,11 +419,11 @@ func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
 	return map[string]interp.HostFunc{
 		"env.read": func(vm *interp.VM, args []uint64) ([]uint64, error) {
 			fd, ptr, n := int32(uint32(args[0])), uint32(args[1]), uint32(args[2])
-			mem := vm.Memory()
-			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+			buf, err := vm.MemoryDirty(ptr, n)
+			if err != nil {
 				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
 			}
-			got, err := l.Read(fd, mem[ptr:ptr+n])
+			got, err := l.Read(fd, buf)
 			if err != nil {
 				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
 			}
@@ -387,11 +432,11 @@ func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
 		},
 		"env.write": func(vm *interp.VM, args []uint64) ([]uint64, error) {
 			fd, ptr, n := int32(uint32(args[0])), uint32(args[1]), uint32(args[2])
-			mem := vm.Memory()
-			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+			data, err := vm.MemoryView(ptr, n)
+			if err != nil {
 				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
 			}
-			put, err := l.Write(fd, mem[ptr:ptr+n])
+			put, err := l.Write(fd, data)
 			if err != nil {
 				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
 			}
@@ -403,22 +448,22 @@ func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
 		},
 		"env.block_read": func(vm *interp.VM, args []uint64) ([]uint64, error) {
 			off, ptr, n := uint32(args[0]), uint32(args[1]), uint32(args[2])
-			mem := vm.Memory()
-			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+			buf, err := vm.MemoryDirty(ptr, n)
+			if err != nil {
 				return []uint64{1}, nil
 			}
-			if err := l.ReadBlock(int(off), mem[ptr:ptr+n]); err != nil {
+			if err := l.ReadBlock(int(off), buf); err != nil {
 				return []uint64{1}, nil
 			}
 			return []uint64{0}, nil
 		},
 		"env.block_write": func(vm *interp.VM, args []uint64) ([]uint64, error) {
 			off, ptr, n := uint32(args[0]), uint32(args[1]), uint32(args[2])
-			mem := vm.Memory()
-			if uint64(ptr)+uint64(n) > uint64(len(mem)) {
+			data, err := vm.MemoryView(ptr, n)
+			if err != nil {
 				return []uint64{1}, nil
 			}
-			if err := l.WriteBlock(int(off), mem[ptr:ptr+n]); err != nil {
+			if err := l.WriteBlock(int(off), data); err != nil {
 				return []uint64{1}, nil
 			}
 			return []uint64{0}, nil

@@ -78,24 +78,51 @@ func (s Setup) String() string {
 // slept, because the watchdog burns CPU on fork+exec.
 var JSDispatchCost = 12 * time.Millisecond
 
-// Server is the FaaS gateway for one function in one setup.
+// Server is the FaaS gateway for one function in one setup. The function
+// module is compiled once at construction; requests are served from a pool
+// of sandbox instances deterministically reset between requests ("To
+// maintain isolation between the functions, the HTTP Server instantiates a
+// new WebAssembly module for every incoming request" — the reset gives the
+// same isolation without repeating the lowering pass).
 type Server struct {
 	fn       Function
 	setup    Setup
-	module   *wasm.Module // nil for SetupJS
-	counter  uint32       // instrumented counter global (instr setups)
-	enclave  *sgx.Enclave // nil for non-SGX setups
+	opts     ServerOptions
+	module   *wasm.Module           // nil for SetupJS
+	compiled *interp.CompiledModule // nil for SetupJS
+	pool     *interp.InstancePool   // nil for SetupJS
+	counter  uint32                 // instrumented counter global (instr setups)
+	enclave  *sgx.Enclave           // nil for non-SGX setups
 	costs    sgx.CostParams
 	mu       sync.Mutex
 	requests uint64
 	ioBytes  uint64
 }
 
-// NewServer builds (and, where applicable, instruments) the function module
-// once — the paper's cached-instrumentation deployment — and returns the
-// gateway.
+// ServerOptions tune the gateway's compile/instantiate strategy.
+type ServerOptions struct {
+	// PoolDisabled instantiates a fresh VM per request from the cached
+	// compiled artifact instead of reusing pooled instances.
+	PoolDisabled bool
+	// PoolPrewarm pre-instantiates this many sandbox instances at startup.
+	PoolPrewarm int
+	// RecompilePerRequest re-runs the full lowering pass on every request
+	// (the pre-artifact behaviour). It exists as the before/after baseline
+	// for the FaaS benchmark.
+	RecompilePerRequest bool
+}
+
+// NewServer builds the gateway with default options (pooled instances over
+// a cached compiled artifact).
 func NewServer(fn Function, setup Setup) (*Server, error) {
-	s := &Server{fn: fn, setup: setup, costs: sgx.DefaultCostParams()}
+	return NewServerWithOptions(fn, setup, ServerOptions{})
+}
+
+// NewServerWithOptions builds (and, where applicable, instruments) the
+// function module once — the paper's cached-instrumentation deployment —
+// compiles it into the shared execution artifact, and returns the gateway.
+func NewServerWithOptions(fn Function, setup Setup, opts ServerOptions) (*Server, error) {
+	s := &Server{fn: fn, setup: setup, opts: opts, costs: sgx.DefaultCostParams()}
 	if setup == SetupJS {
 		return s, nil
 	}
@@ -131,7 +158,32 @@ func NewServer(fn Function, setup Setup) (*Server, error) {
 		}
 		s.enclave = encl
 	}
+	var warm []interp.CostModel
+	if model := s.requestModel(); model != nil {
+		warm = append(warm, model)
+	}
+	s.compiled, err = interp.Compile(m, interp.CompileOptions{CostModels: warm})
+	if err != nil {
+		return nil, fmt.Errorf("faas: compile function: %w", err)
+	}
+	if !opts.RecompilePerRequest {
+		s.pool, err = s.compiled.NewPool(interp.Config{CostModel: s.requestModel()},
+			interp.PoolConfig{Disabled: opts.PoolDisabled, Prewarm: opts.PoolPrewarm})
+		if err != nil {
+			return nil, fmt.Errorf("faas: instance pool: %w", err)
+		}
+	}
 	return s, nil
+}
+
+// requestModel returns a fresh per-request cost model, or nil when the
+// setup charges none. Models are stateful (EPC residency), so each request
+// gets its own; all share one cost fingerprint, so segment sums are cached.
+func (s *Server) requestModel() interp.CostModel {
+	if s.enclave != nil && s.enclave.Mode() == sgx.ModeHardware {
+		return sgx.NewEPCModel(sgx.ModeHardware, s.costs, nil)
+	}
+	return nil
 }
 
 // Requests returns the number of requests served.
@@ -185,20 +237,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, error) {
-	var model interp.CostModel
-	if s.enclave != nil && s.enclave.Mode() == sgx.ModeHardware {
-		model = sgx.NewEPCModel(sgx.ModeHardware, s.costs, nil)
+	cfg := interp.Config{CostModel: s.requestModel()}
+	var (
+		vm  *interp.VM
+		err error
+	)
+	if s.opts.RecompilePerRequest {
+		vm, err = interp.Instantiate(s.module, cfg)
+	} else {
+		vm, err = s.pool.Get(cfg)
 	}
-	vm, err := interp.Instantiate(s.module, interp.Config{CostModel: model})
 	if err != nil {
 		return nil, 0, fmt.Errorf("faas: instantiate: %w", err)
+	}
+	if !s.opts.RecompilePerRequest {
+		defer s.pool.Put(vm)
 	}
 	if s.enclave != nil {
 		// request enters the enclave, response leaves it
 		burn(s.enclave.Transition())
 		defer burn(s.enclave.Transition())
 	}
-	copy(vm.Memory()[workloads.InBase:], body)
+	in, err := vm.MemoryDirty(workloads.InBase, uint32(len(body)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("faas: payload: %w", err)
+	}
+	copy(in, body)
 	var res []uint64
 	if s.fn == Echo {
 		res, err = vm.InvokeExport("run", uint64(len(body)))
@@ -208,9 +272,13 @@ func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, erro
 	if err != nil {
 		return nil, 0, fmt.Errorf("faas: run: %w", err)
 	}
-	n := int(uint32(res[0]))
+	n := uint32(res[0])
+	view, err := vm.MemoryView(workloads.OutBase, n)
+	if err != nil {
+		return nil, 0, fmt.Errorf("faas: response: %w", err)
+	}
 	out := make([]byte, n)
-	copy(out, vm.Memory()[workloads.OutBase:])
+	copy(out, view)
 	var counter uint64
 	if s.setup == SetupSGXHWInstr || s.setup == SetupSGXHWIO {
 		counter, _ = vm.Global(s.counter)
@@ -250,11 +318,24 @@ func spin(d time.Duration) {
 // ---------------------------------------------------------------------------
 // load generator (h2load stand-in)
 
-// LoadResult is one load-generation run's outcome.
+// LoadResult is one load-generation run's outcome. Failed requests are
+// never silently absorbed into the throughput figure: Requests and
+// ReqPerSec count successful (2xx) responses only, and ByStatus breaks the
+// rest down so a run full of 500s is visible in the bench numbers.
 type LoadResult struct {
-	Requests  int
-	Duration  time.Duration
-	Errors    int
+	// Requests counts successfully completed (2xx) requests.
+	Requests int
+	Duration time.Duration
+	// Errors counts transport failures plus non-2xx responses.
+	Errors int
+	// ByStatus counts responses per HTTP status code; transport errors
+	// (no response at all) are recorded under status 0.
+	ByStatus map[int]int
+	// WeightedInstructions sums the X-Weighted-Instructions header over
+	// successful responses. Non-2xx responses never contribute, whether or
+	// not the server attached the header before failing.
+	WeightedInstructions uint64
+	// ReqPerSec is successful-request throughput.
 	ReqPerSec float64
 }
 
@@ -264,11 +345,21 @@ type LoadResult struct {
 func GenerateLoad(url string, clients, total int, payload []byte, width, height int) LoadResult {
 	var (
 		mu     sync.Mutex
-		done   int
-		errs   int
+		res    = LoadResult{ByStatus: make(map[int]int)}
 		wg     sync.WaitGroup
 		client = &http.Client{}
 	)
+	record := func(status int, weighted uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.ByStatus[status]++
+		if status >= 200 && status < 300 {
+			res.Requests++
+			res.WeightedInstructions += weighted
+		} else {
+			res.Errors++
+		}
+	}
 	start := time.Now()
 	next := make(chan struct{}, total)
 	for i := 0; i < total; i++ {
@@ -282,42 +373,34 @@ func GenerateLoad(url string, clients, total int, payload []byte, width, height 
 			for range next {
 				req, err := http.NewRequest(http.MethodPost, url, bytesReader(payload))
 				if err != nil {
-					recordErr(&mu, &errs)
+					record(0, 0)
 					continue
 				}
 				req.Header.Set("X-Width", strconv.Itoa(width))
 				req.Header.Set("X-Height", strconv.Itoa(height))
 				resp, err := client.Do(req)
 				if err != nil {
-					recordErr(&mu, &errs)
+					record(0, 0)
 					continue
 				}
+				// Drain for connection reuse, but only count the body of a
+				// successful response; the accounting header is parsed only
+				// on success, so a 500 with or without it lands identically
+				// in ByStatus/Errors.
 				_, _ = io.Copy(io.Discard, resp.Body)
 				_ = resp.Body.Close()
-				mu.Lock()
-				if resp.StatusCode != http.StatusOK {
-					errs++
-				} else {
-					done++
+				var weighted uint64
+				if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+					weighted, _ = strconv.ParseUint(resp.Header.Get("X-Weighted-Instructions"), 10, 64)
 				}
-				mu.Unlock()
+				record(resp.StatusCode, weighted)
 			}
 		}()
 	}
 	wg.Wait()
-	dur := time.Since(start)
-	return LoadResult{
-		Requests:  done,
-		Duration:  dur,
-		Errors:    errs,
-		ReqPerSec: float64(done) / dur.Seconds(),
-	}
-}
-
-func recordErr(mu *sync.Mutex, errs *int) {
-	mu.Lock()
-	*errs++
-	mu.Unlock()
+	res.Duration = time.Since(start)
+	res.ReqPerSec = float64(res.Requests) / res.Duration.Seconds()
+	return res
 }
 
 func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -118,5 +119,91 @@ func TestGenerateLoad(t *testing.T) {
 	}
 	if res.ReqPerSec <= 0 {
 		t.Errorf("nonsensical throughput %v", res.ReqPerSec)
+	}
+}
+
+// TestGenerateLoadSurfacesFailures pins the satellite fix: failed-but-
+// responded requests must not be silently absorbed — they are excluded from
+// Requests/ReqPerSec, counted in Errors, broken down in ByStatus, and their
+// X-Weighted-Instructions header (present or missing) never contributes.
+func TestGenerateLoadSurfacesFailures(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		i := n.Add(1)
+		switch {
+		case i%3 == 0:
+			// failure that still attaches the accounting header: it must
+			// be treated exactly like one that does not.
+			w.Header().Set("X-Weighted-Instructions", "12345")
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case i%5 == 0:
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+		default:
+			w.Header().Set("X-Weighted-Instructions", "7")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok"))
+		}
+	}))
+	defer ts.Close()
+
+	const total = 30
+	res := faas.GenerateLoad(ts.URL, 3, total, []byte("x"), 0, 0)
+
+	want500 := total / 3          // every 3rd
+	want503 := total/5 - total/15 // every 5th, minus overlaps with 3rd
+	wantOK := total - want500 - want503
+	if res.Requests != wantOK {
+		t.Errorf("Requests = %d, want %d", res.Requests, wantOK)
+	}
+	if res.Errors != want500+want503 {
+		t.Errorf("Errors = %d, want %d", res.Errors, want500+want503)
+	}
+	if res.ByStatus[http.StatusOK] != wantOK ||
+		res.ByStatus[http.StatusInternalServerError] != want500 ||
+		res.ByStatus[http.StatusServiceUnavailable] != want503 {
+		t.Errorf("ByStatus = %v, want 200:%d 500:%d 503:%d", res.ByStatus, wantOK, want500, want503)
+	}
+	if res.Requests+res.Errors != total {
+		t.Errorf("accounted %d requests, want %d", res.Requests+res.Errors, total)
+	}
+	// Only successful responses contribute accounting: 7 each, never the
+	// 12345 attached to the 500s.
+	if want := uint64(wantOK * 7); res.WeightedInstructions != want {
+		t.Errorf("WeightedInstructions = %d, want %d", res.WeightedInstructions, want)
+	}
+}
+
+// TestPooledServingMatchesRecompile: the pooled gateway must produce
+// byte-identical responses and counters to the recompile-per-request
+// baseline, across repeated requests on recycled instances.
+func TestPooledServingMatchesRecompile(t *testing.T) {
+	const size = 32
+	img := workloads.TestImage(size, size)
+	serve := func(opts faas.ServerOptions) ([]byte, string) {
+		srv, err := faas.NewServerWithOptions(faas.Resize, faas.SetupSGXHWInstr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		var body []byte
+		var counter string
+		for i := 0; i < 3; i++ { // repeat so the pooled path reuses instances
+			resp, b := post(t, ts.URL, img, size, size)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			body, counter = b, resp.Header.Get("X-Weighted-Instructions")
+		}
+		return body, counter
+	}
+	baseBody, baseCounter := serve(faas.ServerOptions{RecompilePerRequest: true})
+	poolBody, poolCounter := serve(faas.ServerOptions{PoolPrewarm: 1})
+	if !bytes.Equal(baseBody, poolBody) {
+		t.Error("pooled response body differs from recompile baseline")
+	}
+	if baseCounter == "" || baseCounter != poolCounter {
+		t.Errorf("pooled counter %q differs from baseline %q", poolCounter, baseCounter)
 	}
 }

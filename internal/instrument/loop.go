@@ -184,6 +184,15 @@ func applyLoopOpt(f *wasm.Func, nparams int, g *cfg.Graph, lp countedLoop, count
 	// [blockPC+1, loopPC] is inside the protected region, so fold its weight
 	// into the epilogue constant.
 	wOnce := cfg.RangeCost(body, lp.blockPC+1, lp.loopPC, tbl.Weight)
+	// The block opener itself usually sits at the end of the predecessor
+	// basic block (after the loop-variable initialisation), whose increment
+	// charges it. With an empty prologue — `block` starting its own basic
+	// block, as hand-written WAT does — that block is [blockPC, blockPC],
+	// lies wholly inside the protected region and is zeroed below, so the
+	// opener's once-per-entry weight must be recovered here too.
+	if g.BlockAt(lp.blockPC).Start == lp.blockPC {
+		wOnce += tbl.Weight(body[lp.blockPC].Op)
+	}
 
 	// Zero the per-iteration increments and protect the whole region
 	// (every block whose instructions lie within [blockPC, blockEnd]).

@@ -23,6 +23,10 @@ import (
 //     fuel, CostModel cycles and the ground-truth instruction counter are
 //     charged once per segment, with per-pc rollback metadata keeping trap
 //     paths bit-identical to per-instruction accounting.
+//
+// The pass is cost-model-independent: per-segment cost sums live in the
+// CompiledModule's per-fingerprint cache (module.go), not in the flat IR,
+// so one artifact serves instantiations under any cost model.
 
 // ctrlMeta holds the pre-resolved structure for a pc: for block/loop/if the
 // matching end (and else); for end/else the header. The structured reference
@@ -46,23 +50,22 @@ type flatTarget struct {
 // false edge of if, and the end-continuation of else. segEnd is the pc of
 // the enclosing segment's last instruction (trap rollback bound). segCnt is
 // non-zero exactly at segment leaders and holds the segment's instruction
-// count; segCost its precomputed InstrCost sum.
+// count; the segment's InstrCost sum is looked up in the artifact's
+// per-cost-model tables.
 type flatOp struct {
-	segCost uint64
-	table   []flatTarget // br_table edges; last entry is the default
-	target  int32
-	height  int32
-	segCnt  int32
-	segEnd  int32
-	arity   int32
+	table  []flatTarget // br_table edges; last entry is the default
+	target int32
+	height int32
+	segCnt int32
+	segEnd int32
+	arity  int32
 }
 
 // compile builds both engine representations for one function: the ctrl
 // sidetable (structured reference engine) and the flat IR (default engine).
-// costFn is the instantiation's CostModel.InstrCost, or nil. One cfg.Build
-// provides the control matching, the segment boundaries and the structural
-// validation for both.
-func compile(m *wasm.Module, f *wasm.Func, costFn func(wasm.Opcode) uint64) (compiledFunc, error) {
+// One cfg.Build provides the control matching, the segment boundaries and
+// the structural validation for both.
+func compile(m *wasm.Module, f *wasm.Func) (compiledFunc, error) {
 	t := m.Types[f.TypeIdx]
 	cf := compiledFunc{
 		typeIdx:  f.TypeIdx,
@@ -77,7 +80,7 @@ func compile(m *wasm.Module, f *wasm.Func, costFn func(wasm.Opcode) uint64) (com
 		return cf, err
 	}
 	buildCtrl(&cf, g)
-	if err := lower(m, &cf, g, costFn); err != nil {
+	if err := lower(m, &cf, g); err != nil {
 		return cf, err
 	}
 	return cf, nil
@@ -121,7 +124,7 @@ type lframe struct {
 
 // lower builds the flat IR: branch sidetable, segment accounting tables and
 // the stack high-water mark.
-func lower(m *wasm.Module, cf *compiledFunc, g *cfg.Graph, costFn func(wasm.Opcode) uint64) error {
+func lower(m *wasm.Module, cf *compiledFunc, g *cfg.Graph) error {
 	body := cf.body
 	flat := make([]flatOp, len(body))
 	cf.flat = flat
@@ -142,22 +145,13 @@ func lower(m *wasm.Module, cf *compiledFunc, g *cfg.Graph, costFn func(wasm.Opco
 		}
 	}
 
-	// Accounting tables: cost prefix sums for trap rollback, per-segment
-	// instruction counts and cost totals charged at leaders.
-	if costFn != nil {
-		cf.costPfx = make([]uint64, len(body)+1)
-		for pc, in := range body {
-			cf.costPfx[pc+1] = cf.costPfx[pc] + costFn(in.Op)
-		}
-	}
+	// Accounting tables: per-segment instruction counts charged at leaders
+	// (cost sums are derived per cost-model fingerprint in module.go).
 	end := int32(len(body) - 1)
 	for pc := len(body) - 1; pc >= 0; pc-- {
 		flat[pc].segEnd = end
 		if leader[pc] {
 			flat[pc].segCnt = end - int32(pc) + 1
-			if costFn != nil {
-				flat[pc].segCost = cf.costPfx[end+1] - cf.costPfx[pc]
-			}
 			end = int32(pc) - 1
 		}
 	}

@@ -35,10 +35,11 @@ func uf64(u uint64) float64 { return math.Float64frombits(u) }
 func f64u(f float64) uint64 { return math.Float64bits(f) }
 func i32u(v int32) uint64   { return uint64(uint32(v)) }
 
-// exec runs a compiled function body on the flat engine. frame is the
-// function's single allocation: numLoc locals followed by maxStack operand
-// slots. The single result (if any) is the first return value.
-func (vm *VM) exec(f *compiledFunc, frame []uint64) (uint64, error) {
+// exec runs a compiled function body on the flat engine. fi is the
+// function's defined-function index (for the cost-table lookup); frame is
+// the function's single allocation: numLoc locals followed by maxStack
+// operand slots. The single result (if any) is the first return value.
+func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 	vm.depth++
 	defer func() { vm.depth-- }()
 	if vm.depth > vm.maxDepth {
@@ -51,6 +52,10 @@ func (vm *VM) exec(f *compiledFunc, frame []uint64) (uint64, error) {
 	body := f.body
 	flat := f.flat
 	costed := vm.cost != nil
+	var fc *funcCosts
+	if costed {
+		fc = &vm.costs[fi]
+	}
 	pc := 0
 	var trapErr error
 
@@ -66,7 +71,7 @@ func (vm *VM) exec(f *compiledFunc, frame []uint64) (uint64, error) {
 				vm.fuel -= uint64(n)
 			}
 			if costed {
-				vm.costAcc += fl.segCost
+				vm.costAcc += fc.segCost[pc]
 			}
 		}
 		in := &body[pc]
@@ -202,6 +207,7 @@ func (vm *VM) exec(f *compiledFunc, frame []uint64) (uint64, error) {
 			grown := make([]byte, int(old+delta)*wasm.PageSize)
 			copy(grown, vm.memory)
 			vm.memory = grown
+			vm.sizeDirtyMap(len(grown))
 			st[sp-1] = uint64(old)
 			if vm.growHook != nil {
 				vm.growHook(vm, old, old+delta)
@@ -755,7 +761,7 @@ done:
 	return 0, nil
 
 trap:
-	vm.rollback(f, pc)
+	vm.rollback(f, fc, pc)
 	return 0, trapErr
 }
 
@@ -763,7 +769,7 @@ trap:
 // segEnd] of the trapping instruction's segment, restoring the exact
 // per-instruction totals (the trapping instruction itself stays charged,
 // matching the reference engine).
-func (vm *VM) rollback(f *compiledFunc, pc int) {
+func (vm *VM) rollback(f *compiledFunc, fc *funcCosts, pc int) {
 	end := int(f.flat[pc].segEnd)
 	n := uint64(end - pc)
 	if n == 0 {
@@ -773,8 +779,8 @@ func (vm *VM) rollback(f *compiledFunc, pc int) {
 	if vm.fuelLimited {
 		vm.fuel += n
 	}
-	if f.costPfx != nil {
-		vm.costAcc -= f.costPfx[end+1] - f.costPfx[pc+1]
+	if fc != nil {
+		vm.costAcc -= fc.costPfx[end+1] - fc.costPfx[pc+1]
 	}
 }
 
@@ -802,11 +808,12 @@ func (vm *VM) invokeAt(idx uint32, st []uint64, sp int) (int, error) {
 		}
 		return sp, nil
 	}
-	cf := &vm.funcs[int(idx)-nimp]
-	frame := make([]uint64, cf.numLoc+cf.maxStack)
+	di := int(idx) - nimp
+	cf := &vm.funcs[di]
+	frame := vm.getFrame(cf.numLoc + cf.maxStack)
 	copy(frame, st[sp-cf.nparams:sp])
 	sp -= cf.nparams
-	res, err := vm.exec(cf, frame)
+	res, err := vm.exec(cf, di, frame)
 	if err != nil {
 		return sp, err
 	}

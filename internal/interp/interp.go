@@ -5,6 +5,12 @@
 // accounting counts executed WebAssembly instructions, any conforming engine
 // yields identical counts (§3.5), which this interpreter's ground-truth
 // counter is used to verify.
+//
+// Compilation and instantiation are split (paper §3.3, "instrument once,
+// execute many times"): Compile lowers a module once into an immutable
+// CompiledModule, from which any number of VMs are instantiated cheaply —
+// directly, or recycled through an InstancePool with a deterministic Reset.
+// Instantiate below composes the two for one-shot use.
 package interp
 
 import (
@@ -77,19 +83,25 @@ type Config struct {
 // weighted instruction counting is implemented.
 type CostModel interface {
 	// InstrCost returns the cycles charged for one dynamic execution of op.
-	// It must be pure (a fixed function of the opcode): the flat engine
-	// precomputes per-segment sums at instantiation. Stateful charging
-	// belongs in MemCost, which is always invoked per access.
+	// It must be pure (a fixed function of the opcode): the compiled
+	// artifact precomputes per-segment sums and caches them per cost
+	// fingerprint. Stateful charging belongs in MemCost, which is always
+	// invoked per access.
 	InstrCost(op wasm.Opcode) uint64
 	// MemCost returns extra cycles for a memory access at addr of the given
 	// byte width (store=true for stores), given current memory size.
 	MemCost(addr uint32, width uint32, store bool, memSize uint32) uint64
 }
 
-// VM is an instantiated module ready for invocation.
+// VM is an instantiated module ready for invocation. It borrows the
+// immutable compiled artifact from its CompiledModule and owns only the
+// mutable instance state (memory, globals, table, counters, call frames),
+// which Reset restores to fresh-instantiation state for reuse.
 type VM struct {
+	cm       *CompiledModule
 	module   *wasm.Module
-	funcs    []compiledFunc // defined functions, compiled
+	funcs    []compiledFunc // shared, read-only: the compiled artifact
+	costs    []funcCosts    // shared, read-only: cost tables for this config
 	hostFns  []HostFunc     // imported functions
 	hostSigs []wasm.FuncType
 	globals  []uint64
@@ -109,6 +121,21 @@ type VM struct {
 	maxDepth int
 	depth    int
 	growHook func(vm *VM, oldPages, newPages uint32)
+
+	// frames holds one reusable call-frame slab per call depth, so repeated
+	// invocations on a (pooled) instance allocate no frames at all.
+	frames [][]uint64
+
+	// dirtyPages is a bitmap over linear-memory pages (wasm.PageSize
+	// granularity) written since the last reset; Reset re-zeroes only those
+	// pages instead of the whole memory. Tracking is enabled only for
+	// pool-managed instances (trackDirty), so one-shot instantiations pay
+	// nothing per store; untracked VMs fall back to a full clear on Reset.
+	// dirtyAll records an escape hatch: the caller took an unscoped
+	// Memory() alias, so everything may have been written.
+	dirtyPages []uint64
+	trackDirty bool
+	dirtyAll   bool
 }
 
 type compiledFunc struct {
@@ -120,110 +147,22 @@ type compiledFunc struct {
 	body     []wasm.Instr
 	ctrl     []ctrlMeta // structured-engine control metadata
 	flat     []flatOp   // flat-engine branch sidetable + segment accounting
-	costPfx  []uint64   // InstrCost prefix sums (trap rollback), nil if uncosted
 	name     string
 }
 
-// Instantiate compiles and instantiates a module.
+// Instantiate compiles and instantiates a module in one step. Callers that
+// instantiate the same module repeatedly should Compile once and reuse the
+// artifact (optionally through a pool) instead.
 func Instantiate(m *wasm.Module, cfg Config) (*VM, error) {
-	vm := &VM{
-		module:   m,
-		cost:     cfg.CostModel,
-		fuel:     cfg.Fuel,
-		engine:   cfg.Engine,
-		maxDepth: cfg.MaxCallDepth,
-		growHook: cfg.GrowHook,
+	cm, err := Compile(m, CompileOptions{})
+	if err != nil {
+		return nil, err
 	}
-	if vm.maxDepth == 0 {
-		vm.maxDepth = 1024
-	}
-	vm.fuelLimited = cfg.Fuel > 0
-	if vm.cost != nil {
-		vm.endCost = vm.cost.InstrCost(wasm.OpEnd)
-	}
-
-	// Resolve imports.
-	for _, im := range m.Imports {
-		switch im.Kind {
-		case wasm.ExternalFunc:
-			key := im.Module + "." + im.Name
-			fn, ok := cfg.Imports[key]
-			if !ok {
-				return nil, fmt.Errorf("interp: unresolved import %q", key)
-			}
-			vm.hostFns = append(vm.hostFns, fn)
-			vm.hostSigs = append(vm.hostSigs, m.Types[im.TypeIdx])
-		case wasm.ExternalMemory:
-			return nil, fmt.Errorf("interp: memory imports must be linked via host.Link")
-		}
-	}
-
-	// Globals.
-	vm.globals = make([]uint64, len(m.Globals))
-	for i, g := range m.Globals {
-		vm.globals[i] = g.Init.U64
-	}
-
-	// Memory.
-	if len(m.Memories) > 0 {
-		minPages := m.Memories[0].Limits.Min
-		vm.maxPages = uint32(65536)
-		if m.Memories[0].Limits.HasMax {
-			vm.maxPages = m.Memories[0].Limits.Max
-		}
-		if cfg.MaxPages > 0 && cfg.MaxPages < vm.maxPages {
-			vm.maxPages = cfg.MaxPages
-		}
-		vm.memory = make([]byte, int(minPages)*wasm.PageSize)
-	}
-	for _, d := range m.Data {
-		off := int(d.Offset.I32Val())
-		if off < 0 || off+len(d.Bytes) > len(vm.memory) {
-			return nil, fmt.Errorf("interp: data segment out of bounds")
-		}
-		copy(vm.memory[off:], d.Bytes)
-	}
-
-	// Table.
-	if len(m.Tables) > 0 {
-		vm.table = make([]int32, m.Tables[0].Limits.Min)
-		for i := range vm.table {
-			vm.table[i] = -1
-		}
-		for _, e := range m.Elements {
-			off := int(e.Offset.I32Val())
-			if off < 0 || off+len(e.Funcs) > len(vm.table) {
-				return nil, fmt.Errorf("interp: element segment out of bounds")
-			}
-			for j, f := range e.Funcs {
-				vm.table[off+j] = int32(f)
-			}
-		}
-	}
-
-	// Compile functions: control matching plus the flat-IR lowering pass.
-	var costFn func(wasm.Opcode) uint64
-	if vm.cost != nil {
-		costFn = vm.cost.InstrCost
-	}
-	nimp := m.NumImportedFuncs()
-	vm.funcs = make([]compiledFunc, len(m.Funcs))
-	for i := range m.Funcs {
-		cf, err := compile(m, &m.Funcs[i], costFn)
-		if err != nil {
-			return nil, fmt.Errorf("interp: func %d: %w", nimp+i, err)
-		}
-		vm.funcs[i] = cf
-	}
-
-	// Start function runs at instantiation.
-	if m.Start != nil {
-		if _, err := vm.Invoke(*m.Start); err != nil {
-			return nil, fmt.Errorf("interp: start: %w", err)
-		}
-	}
-	return vm, nil
+	return cm.Instantiate(cfg)
 }
+
+// Compiled returns the compiled artifact this VM was instantiated from.
+func (vm *VM) Compiled() *CompiledModule { return vm.cm }
 
 // InstrCount returns the ground-truth number of instructions executed so far
 // (every opcode, including structural ones, costed per the weight model).
@@ -248,9 +187,100 @@ func (vm *VM) FuelRemaining() uint64 { return vm.fuel }
 // MemorySize returns the current linear memory size in bytes.
 func (vm *VM) MemorySize() uint32 { return uint32(len(vm.memory)) }
 
-// Memory exposes the linear memory for host functions. The returned slice
-// aliases the VM's memory; it is invalidated by memory.grow.
-func (vm *VM) Memory() []byte { return vm.memory }
+// Memory exposes the whole linear memory for host functions. The returned
+// slice aliases the VM's memory; it is invalidated by memory.grow. Because
+// the caller may write through the alias, the entire memory is
+// conservatively treated as dirty for pooled reset — hot paths should
+// prefer MemoryView (reads) and MemoryDirty (writes).
+func (vm *VM) Memory() []byte {
+	vm.dirtyAll = true
+	return vm.memory
+}
+
+// MemoryView returns memory[off:off+n] for reading. Writing through the
+// view is not allowed: such writes are invisible to the dirty tracking that
+// pooled Reset relies on. The view is invalidated by memory.grow.
+func (vm *VM) MemoryView(off, n uint32) ([]byte, error) {
+	if uint64(off)+uint64(n) > uint64(len(vm.memory)) {
+		return nil, ErrOutOfBounds
+	}
+	return vm.memory[off : off+n : off+n], nil
+}
+
+// MemoryDirty returns memory[off:off+n] for host-side writes, recording the
+// range as dirty so pooled Reset re-zeroes it. The view is invalidated by
+// memory.grow.
+func (vm *VM) MemoryDirty(off, n uint32) ([]byte, error) {
+	if uint64(off)+uint64(n) > uint64(len(vm.memory)) {
+		return nil, ErrOutOfBounds
+	}
+	if n > 0 {
+		vm.markDirty(int(off), int(n))
+	}
+	return vm.memory[off : off+n : off+n], nil
+}
+
+// markDirty records that memory[a:a+n) is about to be written (n >= 1; the
+// caller has already bounds-checked the range). It is a no-op unless the
+// instance is pool-managed.
+func (vm *VM) markDirty(a, n int) {
+	if !vm.trackDirty {
+		return
+	}
+	p0 := a / wasm.PageSize
+	p1 := (a + n - 1) / wasm.PageSize
+	vm.dirtyPages[p0>>6] |= 1 << (p0 & 63)
+	vm.dirtyPages[p1>>6] |= 1 << (p1 & 63)
+	for p := p0 + 1; p < p1; p++ {
+		vm.dirtyPages[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// clearDirtyMemory re-zeroes the dirty pages of vm.memory (already resliced
+// to the target length) and resets the dirty tracking. Untracked instances
+// and instances with an unscoped Memory() alias outstanding fall back to
+// zeroing everything.
+func (vm *VM) clearDirtyMemory() {
+	n := len(vm.memory)
+	if !vm.trackDirty || vm.dirtyAll {
+		clear(vm.memory)
+	} else {
+		pages := (n + wasm.PageSize - 1) / wasm.PageSize
+		for w, word := range vm.dirtyPages {
+			if word == 0 || w*64 >= pages {
+				continue
+			}
+			for b := 0; b < 64; b++ {
+				if word&(1<<b) == 0 {
+					continue
+				}
+				p := w*64 + b
+				if p >= pages {
+					break
+				}
+				lo := p * wasm.PageSize
+				hi := lo + wasm.PageSize
+				if hi > n {
+					hi = n
+				}
+				clear(vm.memory[lo:hi])
+			}
+		}
+	}
+	vm.dirtyAll = false
+	clear(vm.dirtyPages)
+}
+
+// sizeDirtyMap (re)sizes the dirty bitmap to cover n bytes of memory,
+// preserving existing bits (memory.grow keeps old offsets valid and the
+// freshly allocated tail starts zeroed, i.e. clean).
+func (vm *VM) sizeDirtyMap(n int) {
+	pages := (n + wasm.PageSize - 1) / wasm.PageSize
+	words := (pages + 63) / 64
+	for len(vm.dirtyPages) < words {
+		vm.dirtyPages = append(vm.dirtyPages, 0)
+	}
+}
 
 // Global reads a global by index.
 func (vm *VM) Global(i uint32) (uint64, error) {
@@ -271,6 +301,25 @@ func (vm *VM) SetGlobal(i uint32, v uint64) error {
 
 // Module returns the instantiated module.
 func (vm *VM) Module() *wasm.Module { return vm.module }
+
+// getFrame returns a zeroed frame of n slots for the next call, reusing the
+// per-depth slab when it is large enough. Depth uniquely identifies the live
+// frame at each level, so reuse never aliases an active frame.
+func (vm *VM) getFrame(n int) []uint64 {
+	d := vm.depth
+	for len(vm.frames) <= d {
+		vm.frames = append(vm.frames, nil)
+	}
+	f := vm.frames[d]
+	if cap(f) < n {
+		f = make([]uint64, n)
+		vm.frames[d] = f
+		return f
+	}
+	f = f[:n]
+	clear(f)
+	return f
+}
 
 // InvokeExport calls an exported function by name.
 func (vm *VM) InvokeExport(name string, args ...uint64) ([]uint64, error) {
@@ -300,9 +349,9 @@ func (vm *VM) Invoke(idx uint32, args ...uint64) ([]uint64, error) {
 		copy(locals, args)
 		return vm.execStructured(f, locals, make([]uint64, 0, 64))
 	}
-	frame := make([]uint64, f.numLoc+f.maxStack)
+	frame := vm.getFrame(f.numLoc + f.maxStack)
 	copy(frame, args)
-	res, err := vm.exec(f, frame)
+	res, err := vm.exec(f, di, frame)
 	if err != nil {
 		return nil, err
 	}

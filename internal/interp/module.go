@@ -1,0 +1,410 @@
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"acctee/internal/wasm"
+)
+
+// This file implements the compile-once/run-many split (paper §3.3:
+// "instrument once, execute many times", and the FaaS gateway of §5.3 that
+// spins up a fresh sandbox per request). Compile produces an immutable
+// CompiledModule — the lowered flat IR, branch/segment sidetables and
+// initialiser templates — that any number of VMs instantiate from without
+// repeating the lowering pass. Per-CostModel segment cost sums are cached on
+// the artifact keyed by the model's per-opcode cost fingerprint, so a fresh
+// stateful model per run (e.g. a new EPC paging model per request) still
+// hits the cache. InstancePool recycles VM slabs (memory, globals, table,
+// call frames) across runs with a deterministic Reset that is observationally
+// identical to a fresh instantiation.
+
+// CompileOptions parameterise Compile.
+type CompileOptions struct {
+	// CostModels pre-computes the per-segment cost tables for these models'
+	// fingerprints at compile time. Models with other fingerprints are
+	// computed lazily (and cached) on first instantiation.
+	CostModels []CostModel
+}
+
+// CompiledModule is the immutable compile artifact shared by all VMs
+// instantiated from it. It is safe for concurrent use.
+type CompiledModule struct {
+	m     *wasm.Module
+	funcs []compiledFunc
+
+	importKeys []string
+	importSigs []wasm.FuncType
+
+	hasMemory   bool
+	minMemBytes int
+	memMaxPages uint32
+	globalInit  []uint64
+	tableInit   []int32
+
+	// opsUsed is the sorted set of opcodes appearing in any function body
+	// (plus OpEnd, charged inline on else fallthrough); evaluating a
+	// CostModel over it fingerprints the model for the cost-table cache.
+	opsUsed []wasm.Opcode
+
+	costMu    sync.Mutex
+	costCache map[string]*costTables
+}
+
+// funcCosts are one function's cost tables under one CostModel fingerprint:
+// the per-segment InstrCost sums charged at segment leaders, and the prefix
+// sums used for exact trap rollback.
+type funcCosts struct {
+	segCost []uint64 // per-pc; the segment's InstrCost sum at leaders, else 0
+	costPfx []uint64 // InstrCost prefix sums over the body
+}
+
+// costTables hold the cost tables for every function under one fingerprint.
+type costTables struct {
+	endCost uint64
+	funcs   []funcCosts
+}
+
+// Compile runs the lowering pass once over every function and returns the
+// shared artifact. The module must already be validated; structural errors
+// (unmatched control, bad branch depths, out-of-bounds data or element
+// segments) are still reported here.
+func Compile(m *wasm.Module, opts CompileOptions) (*CompiledModule, error) {
+	cm := &CompiledModule{m: m, costCache: make(map[string]*costTables)}
+
+	// Imports: record resolution keys; host functions bind per instantiation.
+	for _, im := range m.Imports {
+		switch im.Kind {
+		case wasm.ExternalFunc:
+			cm.importKeys = append(cm.importKeys, im.Module+"."+im.Name)
+			cm.importSigs = append(cm.importSigs, m.Types[im.TypeIdx])
+		case wasm.ExternalMemory:
+			return nil, fmt.Errorf("interp: memory imports must be linked via host.Link")
+		}
+	}
+
+	// Memory template.
+	if len(m.Memories) > 0 {
+		cm.hasMemory = true
+		cm.minMemBytes = int(m.Memories[0].Limits.Min) * wasm.PageSize
+		cm.memMaxPages = uint32(65536)
+		if m.Memories[0].Limits.HasMax {
+			cm.memMaxPages = m.Memories[0].Limits.Max
+		}
+	}
+	for _, d := range m.Data {
+		off := int(d.Offset.I32Val())
+		if off < 0 || off+len(d.Bytes) > cm.minMemBytes {
+			return nil, fmt.Errorf("interp: data segment out of bounds")
+		}
+	}
+
+	// Global initialiser template.
+	cm.globalInit = make([]uint64, len(m.Globals))
+	for i, g := range m.Globals {
+		cm.globalInit[i] = g.Init.U64
+	}
+
+	// Table template.
+	if len(m.Tables) > 0 {
+		cm.tableInit = make([]int32, m.Tables[0].Limits.Min)
+		for i := range cm.tableInit {
+			cm.tableInit[i] = -1
+		}
+		for _, e := range m.Elements {
+			off := int(e.Offset.I32Val())
+			if off < 0 || off+len(e.Funcs) > len(cm.tableInit) {
+				return nil, fmt.Errorf("interp: element segment out of bounds")
+			}
+			for j, f := range e.Funcs {
+				cm.tableInit[off+j] = int32(f)
+			}
+		}
+	}
+
+	// Lower every function and collect the opcode set for fingerprinting.
+	nimp := m.NumImportedFuncs()
+	cm.funcs = make([]compiledFunc, len(m.Funcs))
+	seen := map[wasm.Opcode]bool{wasm.OpEnd: true}
+	for i := range m.Funcs {
+		cf, err := compile(m, &m.Funcs[i])
+		if err != nil {
+			return nil, fmt.Errorf("interp: func %d: %w", nimp+i, err)
+		}
+		cm.funcs[i] = cf
+		for _, in := range cf.body {
+			seen[in.Op] = true
+		}
+	}
+	cm.opsUsed = make([]wasm.Opcode, 0, len(seen))
+	for op := range seen {
+		cm.opsUsed = append(cm.opsUsed, op)
+	}
+	sort.Slice(cm.opsUsed, func(i, j int) bool { return cm.opsUsed[i] < cm.opsUsed[j] })
+
+	for _, model := range opts.CostModels {
+		if model != nil {
+			cm.costTablesFor(model)
+		}
+	}
+	return cm, nil
+}
+
+// Module returns the underlying module.
+func (cm *CompiledModule) Module() *wasm.Module { return cm.m }
+
+// costKey fingerprints a CostModel by evaluating InstrCost over the
+// module's opcode set. InstrCost is required to be pure (a fixed function of
+// the opcode), so two models with equal fingerprints yield identical segment
+// sums — a fresh stateful model per run maps to the same cached tables.
+func (cm *CompiledModule) costKey(model CostModel) string {
+	b := make([]byte, 8*len(cm.opsUsed))
+	for i, op := range cm.opsUsed {
+		binary.LittleEndian.PutUint64(b[i*8:], model.InstrCost(op))
+	}
+	return string(b)
+}
+
+// costTablesFor returns (computing and caching if needed) the cost tables
+// for the model's fingerprint.
+func (cm *CompiledModule) costTablesFor(model CostModel) *costTables {
+	key := cm.costKey(model)
+	cm.costMu.Lock()
+	defer cm.costMu.Unlock()
+	if t, ok := cm.costCache[key]; ok {
+		return t
+	}
+	t := &costTables{
+		endCost: model.InstrCost(wasm.OpEnd),
+		funcs:   make([]funcCosts, len(cm.funcs)),
+	}
+	for i := range cm.funcs {
+		cf := &cm.funcs[i]
+		pfx := make([]uint64, len(cf.body)+1)
+		for pc, in := range cf.body {
+			pfx[pc+1] = pfx[pc] + model.InstrCost(in.Op)
+		}
+		seg := make([]uint64, len(cf.body))
+		for pc := range cf.body {
+			if fl := &cf.flat[pc]; fl.segCnt != 0 {
+				seg[pc] = pfx[fl.segEnd+1] - pfx[pc]
+			}
+		}
+		t.funcs[i] = funcCosts{segCost: seg, costPfx: pfx}
+	}
+	cm.costCache[key] = t
+	return t
+}
+
+// Instantiate creates a fresh VM from the artifact. It performs no
+// compilation: it binds the config, allocates the instance state and applies
+// the initialiser templates (and runs the start function, if any).
+func (cm *CompiledModule) Instantiate(cfg Config) (*VM, error) {
+	return cm.instantiate(cfg, false)
+}
+
+// instantiate creates a VM, optionally with dirty-page tracking enabled
+// from the very first Reset — pool-managed instances need the initial data
+// segments and any start-function stores marked, or a later page-granular
+// reset would skip them.
+func (cm *CompiledModule) instantiate(cfg Config, track bool) (*VM, error) {
+	vm := &VM{cm: cm, module: cm.m, funcs: cm.funcs, trackDirty: track}
+	if err := vm.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// Reset restores the VM to the state of a fresh instantiation under cfg:
+// counters and fuel are reset, linear memory is re-zeroed to its initial
+// size with data segments re-applied, globals and the table are
+// re-initialised from the module, imports and the cost model are re-bound,
+// and the start function (if any) re-runs. A Reset VM is observationally
+// identical to a newly instantiated one.
+func (vm *VM) Reset(cfg Config) error {
+	cm := vm.cm
+
+	// Bind the configuration.
+	vm.engine = cfg.Engine
+	vm.maxDepth = cfg.MaxCallDepth
+	if vm.maxDepth == 0 {
+		vm.maxDepth = 1024
+	}
+	vm.growHook = cfg.GrowHook
+	vm.fuel = cfg.Fuel
+	vm.fuelLimited = cfg.Fuel > 0
+	vm.cost = cfg.CostModel
+	vm.costs = nil
+	vm.endCost = 0
+	if cfg.CostModel != nil {
+		t := cm.costTablesFor(cfg.CostModel)
+		vm.costs = t.funcs
+		vm.endCost = t.endCost
+	}
+	vm.depth = 0
+	vm.instrCount = 0
+	vm.costAcc = 0
+	vm.ioBytes = 0
+
+	// Imports.
+	if n := len(cm.importKeys); n > 0 {
+		if vm.hostFns == nil {
+			vm.hostFns = make([]HostFunc, n)
+		}
+		for i, key := range cm.importKeys {
+			fn, ok := cfg.Imports[key]
+			if !ok {
+				return fmt.Errorf("interp: unresolved import %q", key)
+			}
+			vm.hostFns[i] = fn
+		}
+		vm.hostSigs = cm.importSigs
+	}
+
+	// Globals.
+	if cap(vm.globals) < len(cm.globalInit) {
+		vm.globals = make([]uint64, len(cm.globalInit))
+	}
+	vm.globals = vm.globals[:len(cm.globalInit)]
+	copy(vm.globals, cm.globalInit)
+
+	// Memory: reuse the retained slab when large enough, re-zeroing only
+	// the pages the previous run dirtied, then re-apply the data segments.
+	if cm.hasMemory {
+		vm.maxPages = cm.memMaxPages
+		if cfg.MaxPages > 0 && cfg.MaxPages < vm.maxPages {
+			vm.maxPages = cfg.MaxPages
+		}
+		n := cm.minMemBytes
+		if cap(vm.memory) >= n {
+			vm.memory = vm.memory[:n]
+			vm.clearDirtyMemory()
+		} else {
+			vm.memory = make([]byte, n)
+			vm.dirtyPages = vm.dirtyPages[:0]
+			vm.dirtyAll = false
+		}
+		vm.sizeDirtyMap(n)
+		for _, d := range cm.m.Data {
+			if len(d.Bytes) == 0 {
+				continue
+			}
+			off := int(d.Offset.I32Val())
+			vm.markDirty(off, len(d.Bytes))
+			copy(vm.memory[off:], d.Bytes)
+		}
+	} else {
+		vm.memory = nil
+		vm.maxPages = 0
+	}
+
+	// Table.
+	if cm.tableInit != nil {
+		if cap(vm.table) < len(cm.tableInit) {
+			vm.table = make([]int32, len(cm.tableInit))
+		}
+		vm.table = vm.table[:len(cm.tableInit)]
+		copy(vm.table, cm.tableInit)
+	}
+
+	// Start function runs at instantiation.
+	if cm.m.Start != nil {
+		if _, err := vm.Invoke(*cm.m.Start); err != nil {
+			return fmt.Errorf("interp: start: %w", err)
+		}
+	}
+	return nil
+}
+
+// PoolConfig tunes an InstancePool.
+type PoolConfig struct {
+	// Disabled bypasses reuse: Get always instantiates a fresh VM from the
+	// compiled artifact and Put drops the instance.
+	Disabled bool
+	// Prewarm instantiates this many instances at pool construction so the
+	// first requests do not pay the cold allocation.
+	Prewarm int
+}
+
+// InstancePool recycles VM instances of one CompiledModule across runs. Get
+// hands out an instance deterministically Reset to fresh-instantiation
+// state; Put returns it for reuse. The pool is safe for concurrent use; an
+// instance handed out by Get is owned by the caller until Put.
+//
+// Prewarmed instances live on an owned free-list the garbage collector
+// never evicts, so the Prewarm knob delivers deterministically; instances
+// beyond that capacity overflow into a sync.Pool and may be collected
+// under memory pressure.
+type InstancePool struct {
+	cm       *CompiledModule
+	disabled bool
+	mu       sync.Mutex
+	warm     []*VM // owned free-list, capacity fixed at Prewarm
+	warmCap  int
+	pool     sync.Pool
+}
+
+// NewPool creates an instance pool over the artifact. base is the
+// configuration used for prewarmed instances; Get rebinds each instance to
+// its own per-run configuration, so base only matters for prewarming (it
+// must resolve the module's imports).
+func (cm *CompiledModule) NewPool(base Config, pc PoolConfig) (*InstancePool, error) {
+	p := &InstancePool{cm: cm, disabled: pc.Disabled, warmCap: pc.Prewarm}
+	if !pc.Disabled {
+		for i := 0; i < pc.Prewarm; i++ {
+			vm, err := cm.instantiate(base, true)
+			if err != nil {
+				return nil, fmt.Errorf("interp: prewarm instance %d: %w", i, err)
+			}
+			p.warm = append(p.warm, vm)
+		}
+	}
+	return p, nil
+}
+
+// Get returns a VM bound to cfg: a recycled instance after a deterministic
+// Reset, or a fresh instantiation when the pool is empty or disabled.
+// Pool-managed instances carry dirty-page tracking from their very first
+// instantiation, so every Reset re-zeroes exactly the written pages —
+// including data segments and start-function stores.
+func (p *InstancePool) Get(cfg Config) (*VM, error) {
+	if !p.disabled {
+		var vm *VM
+		p.mu.Lock()
+		if n := len(p.warm); n > 0 {
+			vm = p.warm[n-1]
+			p.warm = p.warm[:n-1]
+		}
+		p.mu.Unlock()
+		if vm == nil {
+			if v := p.pool.Get(); v != nil {
+				vm = v.(*VM)
+			}
+		}
+		if vm != nil {
+			if err := vm.Reset(cfg); err != nil {
+				return nil, err
+			}
+			return vm, nil
+		}
+	}
+	return p.cm.instantiate(cfg, !p.disabled)
+}
+
+// Put returns an instance to the pool for reuse. Instances from other
+// modules are rejected; with pooling disabled the instance is dropped.
+func (p *InstancePool) Put(vm *VM) {
+	if p.disabled || vm == nil || vm.cm != p.cm {
+		return
+	}
+	p.mu.Lock()
+	if len(p.warm) < p.warmCap {
+		p.warm = append(p.warm, vm)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.pool.Put(vm)
+}

@@ -45,6 +45,7 @@ func (vm *VM) storeBits(base, off, width uint32, v uint64) error {
 	if vm.cost != nil {
 		vm.costAcc += vm.cost.MemCost(uint32(a), width, true, uint32(len(vm.memory)))
 	}
+	vm.markDirty(a, int(width))
 	for i := 0; i < int(width); i++ {
 		vm.memory[a+i] = byte(v)
 		v >>= 8

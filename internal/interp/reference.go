@@ -188,6 +188,7 @@ func (vm *VM) execStructured(f *compiledFunc, locals []uint64, stack []uint64) (
 			grown := make([]byte, int(old+delta)*wasm.PageSize)
 			copy(grown, vm.memory)
 			vm.memory = grown
+			vm.sizeDirtyMap(len(grown))
 			push(uint64(old))
 			if vm.growHook != nil {
 				vm.growHook(vm, old, old+delta)

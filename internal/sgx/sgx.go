@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"acctee/internal/wasm"
 	"acctee/internal/weights"
@@ -82,7 +83,9 @@ type Enclave struct {
 	mode        Mode
 	costs       CostParams
 	key         *ecdsa.PrivateKey
-	transitions uint64
+	// transitions is atomic: concurrent sandbox runs cross the boundary
+	// from multiple goroutines.
+	transitions atomic.Uint64
 }
 
 // NewEnclave creates an enclave over the given code.
@@ -124,9 +127,10 @@ func VerifyBy(pub *ecdsa.PublicKey, data, sig []byte) bool {
 }
 
 // Transition records one enclave boundary crossing and returns its cycle
-// cost (zero in simulation mode, like the paper's SIM runs).
+// cost (zero in simulation mode, like the paper's SIM runs). It is safe to
+// call from concurrent sandbox runs.
 func (e *Enclave) Transition() uint64 {
-	e.transitions++
+	e.transitions.Add(1)
 	if e.mode != ModeHardware {
 		return 0
 	}
@@ -134,7 +138,7 @@ func (e *Enclave) Transition() uint64 {
 }
 
 // Transitions returns the number of recorded boundary crossings.
-func (e *Enclave) Transitions() uint64 { return e.transitions }
+func (e *Enclave) Transitions() uint64 { return e.transitions.Load() }
 
 // Report is a local attestation report (analogue of the SGX REPORT
 // structure): the enclave's measurement plus caller-chosen user data, e.g.
