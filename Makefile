@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench clean
+.PHONY: all build test race vet fmt-check bench verify-ledger clean
 
 all: build test
 
@@ -11,10 +11,18 @@ test:
 	$(GO) test ./...
 
 # race runs the concurrency-sensitive packages (pooled sandbox instances,
-# concurrent accounting-enclave runs, the FaaS gateway) under the race
-# detector.
+# concurrent accounting-enclave runs on sharded ledger lanes, the FaaS
+# gateway) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/faas/... ./internal/interp/...
+	$(GO) test -race ./internal/accounting/... ./internal/core/... ./internal/faas/... ./internal/interp/...
+
+# verify-ledger is the tier-2 smoke path for the verifiable ledger: the
+# faas example serves instrumented requests and writes the serialised
+# ledger; acctee-verify replays it offline (chain continuity, gap-free
+# shard sequences, checkpoint signatures, totals reconstruction).
+verify-ledger:
+	$(GO) run ./examples/faas -dump ledger.json
+	$(GO) run ./cmd/acctee-verify -dump ledger.json
 
 vet:
 	$(GO) vet ./...
@@ -25,12 +33,15 @@ fmt-check:
 
 # bench records the perf trajectory: the PolyBench interpreter dispatch
 # comparison (structured reference engine vs flat engine) in
-# BENCH_interp.json, and the compile-once/run-many FaaS gateway comparison
+# BENCH_interp.json, the compile-once/run-many FaaS gateway comparison
 # (per-request compile vs cached CompiledModule + instance pool) in
-# BENCH_faas.json.
+# BENCH_faas.json, and the eager vs checkpoint-batched ledger signing
+# comparison (plus 10k-record offline-verification cost) in
+# BENCH_ledger.json.
 bench:
 	$(GO) run ./cmd/acctee-bench -fig dispatch -trials 3 -json BENCH_interp.json
 	$(GO) run ./cmd/acctee-bench -fig faas -requests 60 -json BENCH_faas.json
+	$(GO) run ./cmd/acctee-bench -fig ledger -requests 400 -json BENCH_ledger.json
 
 clean:
 	$(GO) clean ./...

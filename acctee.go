@@ -14,8 +14,10 @@
 //     their public measurements on a Platform (quoting enclave +
 //     attestation service).
 //  4. A Sandbox — the AE — verifies the evidence, executes the workload
-//     inside the two-way sandbox, and emits signed usage logs both
-//     parties trust.
+//     inside the two-way sandbox, and chains one usage record per run onto
+//     a sharded, hash-chained ledger. Checkpoints (signed periodically or
+//     on request) cover the whole ledger with one signature; acctee-verify
+//     replays a serialised ledger offline.
 //
 // See examples/quickstart for the complete chain in ~60 lines.
 package acctee
@@ -144,8 +146,25 @@ type Evidence = core.Evidence
 // UsageLog is one execution's resource record (paper §3.5).
 type UsageLog = accounting.UsageLog
 
-// SignedLog is a usage log signed by the accounting enclave.
-type SignedLog = accounting.SignedLog
+// Record is one hash-chained ledger entry: a usage log bound to its shard
+// and to the previous record of that shard.
+type Record = accounting.Record
+
+// Receipt locates a run's record in the sandbox ledger (shard, lane-local
+// sequence, chain head).
+type Receipt = accounting.Receipt
+
+// SignedCheckpoint is a batch-signed ledger checkpoint: one enclave
+// signature covering a contiguous prefix of every sequence lane plus the
+// aggregate totals (the paper's "periodically or upon request" log).
+type SignedCheckpoint = accounting.SignedCheckpoint
+
+// LedgerOptions tune the sandbox ledger: shard (sequence-lane) count,
+// per-record eager signing, periodic checkpointing.
+type LedgerOptions = accounting.LedgerOptions
+
+// LedgerDump is a serialised ledger for offline verification (acctee-verify).
+type LedgerDump = accounting.Dump
 
 // Weights is an instruction weight table (paper §3.7).
 type Weights = weights.Table
@@ -240,6 +259,10 @@ type SandboxConfig struct {
 	// fresh instantiation per Run, Prewarm pre-creates instances. The zero
 	// value pools lazily.
 	Pool PoolConfig
+	// Ledger tunes the hash-chained usage ledger: shard count (default one
+	// lane per CPU), EagerSign for per-record signatures, and
+	// CheckpointInterval for periodic batch signing.
+	Ledger LedgerOptions
 }
 
 // NewSandbox verifies the instrumented module against the evidence (signed
@@ -262,6 +285,9 @@ func NewSandbox(cfg SandboxConfig, m *Module, ev Evidence, iePub *ecdsa.PublicKe
 			return nil, err
 		}
 	}
+	if cfg.Ledger != (LedgerOptions{}) {
+		ae.SetLedgerOptions(cfg.Ledger)
+	}
 	return &Sandbox{ae: ae}, nil
 }
 
@@ -277,13 +303,40 @@ func (s *Sandbox) Attest(p *Platform) error {
 // PublicKey returns the AE's log-signing key.
 func (s *Sandbox) PublicKey() *ecdsa.PublicKey { return s.ae.PublicKey() }
 
-// Run executes an exported function and returns results plus the signed
-// usage log.
+// Run executes an exported function and returns results plus the receipt
+// and hash-chained record in the sandbox ledger.
 func (s *Sandbox) Run(opts RunOptions) (RunResult, error) { return s.ae.Run(opts) }
 
-// VerifyLog checks a signed usage log against the attested AE key.
-func VerifyLog(sl SignedLog, aePub *ecdsa.PublicKey) error {
-	return accounting.Verify(sl, aePub, core.AEMeasurement())
+// Snapshot signs a checkpoint on request: one signature covering every
+// record chained so far, with cumulative totals.
+func (s *Sandbox) Snapshot() (SignedCheckpoint, error) { return s.ae.Snapshot() }
+
+// Dump serialises the sandbox ledger for offline verification.
+func (s *Sandbox) Dump() (*LedgerDump, error) { return s.ae.Ledger().Dump() }
+
+// Close stops the ledger's periodic checkpoint goroutine, if configured.
+func (s *Sandbox) Close() { s.ae.Close() }
+
+// VerifyRecord checks an eager-mode record: hash consistency plus its
+// per-record enclave signature against the attested AE key. Records from
+// the default batched mode carry no individual signature and return
+// accounting.ErrNoRecordSignature — verify them through a covering
+// checkpoint (VerifyCheckpoint / VerifyLedger) instead.
+func VerifyRecord(r Record, aePub *ecdsa.PublicKey) error {
+	return accounting.VerifyRecordSig(r, aePub)
+}
+
+// VerifyCheckpoint checks a batch-signed checkpoint against the attested AE
+// key and the public AE measurement.
+func VerifyCheckpoint(sc SignedCheckpoint, aePub *ecdsa.PublicKey) error {
+	return accounting.VerifyCheckpointSig(sc, aePub, core.AEMeasurement())
+}
+
+// VerifyLedger replays a serialised ledger offline against the attested AE
+// key: chain continuity, per-shard gap-freedom, checkpoint signatures, and
+// totals reconstruction (the acctee-verify command wraps this).
+func VerifyLedger(d *LedgerDump, aePub *ecdsa.PublicKey) (*accounting.VerifyResult, error) {
+	return accounting.VerifyDump(d, accounting.VerifyOptions{Key: aePub, Measurement: core.AEMeasurement()})
 }
 
 // Execute is a convenience for untrusted-free local runs (no enclaves, no

@@ -45,10 +45,13 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := acctee.NewSandbox(acctee.SandboxConfig{}, inst, ev, ie.PublicKey())
+	sb, err := acctee.NewSandbox(acctee.SandboxConfig{
+		Ledger: acctee.LedgerOptions{Shards: 1, EagerSign: true},
+	}, inst, ev, ie.PublicKey())
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sb.Close()
 	if err := sb.Attest(platform); err != nil {
 		t.Fatalf("AE attestation: %v", err)
 	}
@@ -59,12 +62,33 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if res.Results[0] != 42 {
 		t.Errorf("double(21) = %d", res.Results[0])
 	}
-	if res.SignedLog.Log.WeightedInstructions != 3 {
+	if res.Record.Log.WeightedInstructions != 3 {
 		t.Errorf("weighted instructions = %d, want 3 (local.get, i32.const, i32.mul)",
-			res.SignedLog.Log.WeightedInstructions)
+			res.Record.Log.WeightedInstructions)
 	}
-	if err := acctee.VerifyLog(res.SignedLog, sb.PublicKey()); err != nil {
-		t.Errorf("log verification: %v", err)
+	// Eager mode: the record carries its own verifiable signature.
+	if err := acctee.VerifyRecord(res.Record, sb.PublicKey()); err != nil {
+		t.Errorf("record verification: %v", err)
+	}
+	// The on-request checkpoint covers it with one batch signature, and
+	// the serialised ledger replays offline.
+	sc, err := sb.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acctee.VerifyCheckpoint(sc, sb.PublicKey()); err != nil {
+		t.Errorf("checkpoint verification: %v", err)
+	}
+	dump, err := sb.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := acctee.VerifyLedger(dump, sb.PublicKey())
+	if err != nil {
+		t.Fatalf("ledger verification: %v", err)
+	}
+	if vr.Records != 1 || vr.CoveredRecords != 1 || vr.EagerSignatures != 1 {
+		t.Errorf("ledger verification result %+v", vr)
 	}
 }
 
@@ -174,7 +198,10 @@ func TestFacadeSandboxPoolConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pool := range []acctee.PoolConfig{{Prewarm: 2}, {Disabled: true}} {
-		sb, err := acctee.NewSandbox(acctee.SandboxConfig{Pool: pool}, inst, ev, ie.PublicKey())
+		sb, err := acctee.NewSandbox(acctee.SandboxConfig{
+			Pool:   pool,
+			Ledger: acctee.LedgerOptions{Shards: 1},
+		}, inst, ev, ie.PublicKey())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,9 +213,10 @@ func TestFacadeSandboxPoolConfig(t *testing.T) {
 			if res.Results[0] != 42 {
 				t.Errorf("pool %+v run %d: double(21) = %d", pool, i, res.Results[0])
 			}
-			if res.SignedLog.Log.Sequence != uint64(i) {
-				t.Errorf("pool %+v run %d: sequence %d", pool, i, res.SignedLog.Log.Sequence)
+			if res.Receipt.Shard != 0 || res.Receipt.Sequence != uint64(i) {
+				t.Errorf("pool %+v run %d: receipt %d/%d", pool, i, res.Receipt.Shard, res.Receipt.Sequence)
 			}
 		}
+		sb.Close()
 	}
 }

@@ -14,6 +14,8 @@
 //	                               # interpreter engine comparison
 //	acctee-bench -fig faas -json BENCH_faas.json
 //	                               # compile-once/run-many gateway benchmark
+//	acctee-bench -fig ledger -json BENCH_ledger.json
+//	                               # eager vs checkpoint-batched ledger signing
 package main
 
 import (
@@ -153,6 +155,26 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	if want("ledger") {
+		matched = true
+		fmt.Println("== Ledger: per-request eager signing vs checkpoint-batched ==")
+		verifyRecords := 10_000
+		if *quick {
+			verifyRecords = 1_000
+		}
+		rep, err := bench.RunLedgerBench(*requests, verifyRecords, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintLedgerBench(os.Stdout, rep)
+		if *jsonOut != "" {
+			if err := bench.WriteLedgerJSON(*jsonOut, rep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *jsonOut)
+		}
+		fmt.Println()
+	}
 	if want("ablation") {
 		matched = true
 		fmt.Println("== Ablation: counter updates eliminated per optimisation ==")
@@ -164,7 +186,7 @@ func run() error {
 		fmt.Println()
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, faas, all)", strings.TrimSpace(*fig))
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, faas, ledger, all)", strings.TrimSpace(*fig))
 	}
 	return nil
 }

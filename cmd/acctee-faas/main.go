@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
+	"acctee/internal/accounting"
 	"acctee/internal/faas"
 )
 
@@ -32,6 +34,9 @@ func run() error {
 	setupName := flag.String("setup", "hw-instr", "setup: wasm, sim, hw, hw-instr, hw-io, js")
 	noPool := flag.Bool("no-pool", false, "disable sandbox instance reuse (fresh instantiation per request)")
 	prewarm := flag.Int("pool-prewarm", 0, "sandbox instances to pre-instantiate at startup")
+	shards := flag.Int("ledger-shards", 0, "ledger sequence lanes (0 = one per CPU)")
+	eager := flag.Bool("ledger-eager", false, "sign every ledger record at append time (per-request signature baseline)")
+	cpEvery := flag.Duration("checkpoint-every", 10*time.Second, "periodic ledger checkpoint interval (0 = on request only)")
 	flag.Parse()
 
 	var fn faas.Function
@@ -63,11 +68,21 @@ func run() error {
 	srv, err := faas.NewServerWithOptions(fn, setup, faas.ServerOptions{
 		PoolDisabled: *noPool,
 		PoolPrewarm:  *prewarm,
+		Ledger: accounting.LedgerOptions{
+			Shards:             *shards,
+			EagerSign:          *eager,
+			CheckpointInterval: *cpEvery,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	fmt.Printf("acctee-faas: serving %s (%s) on %s (pool disabled=%v prewarm=%d)\n",
 		fn, setup, *listen, *noPool, *prewarm)
+	if srv.Ledger() != nil {
+		fmt.Printf("acctee-faas: verifiable ledger on GET /receipt, /checkpoint, /ledger (eager=%v, checkpoint every %v)\n",
+			*eager, *cpEvery)
+	}
 	return http.ListenAndServe(*listen, srv)
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -84,10 +85,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sb, err := acctee.NewSandbox(acctee.SandboxConfig{Mode: enclMode}, inst, ev, ie.PublicKey())
+	// A one-shot run wants its record signed immediately (eager mode); the
+	// checkpointed batch path is for long-running gateways.
+	sb, err := acctee.NewSandbox(acctee.SandboxConfig{
+		Mode:   enclMode,
+		Ledger: acctee.LedgerOptions{EagerSign: true},
+	}, inst, ev, ie.PublicKey())
 	if err != nil {
 		return err
 	}
+	defer sb.Close()
 	if err := sb.Attest(platform); err != nil {
 		return fmt.Errorf("AE attestation: %w", err)
 	}
@@ -95,14 +102,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := acctee.VerifyLog(res.SignedLog, sb.PublicKey()); err != nil {
-		return fmt.Errorf("log verification: %w", err)
+	if err := acctee.VerifyRecord(res.Record, sb.PublicKey()); err != nil {
+		return fmt.Errorf("record verification: %w", err)
 	}
 	fmt.Printf("results: %v\n", res.Results)
-	logJSON, err := res.SignedLog.JSON()
+	recJSON, err := json.Marshal(res.Record)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("signed usage log (verified): %s\n", logJSON)
+	fmt.Printf("signed ledger record (verified): %s\n", recJSON)
 	return nil
 }

@@ -1,18 +1,24 @@
 // Serverless example (paper §2.1, §5.3): deploy the image-resize function
 // behind the FaaS gateway in the instrumented SGX setup, fire requests at
-// it, and read back per-request resource accounting that both the customer
-// and the provider trust.
+// it, read back per-request receipts into the gateway's hash-chained
+// ledger, fetch a batch-signed checkpoint covering all of them, and verify
+// the whole ledger offline. With -dump the serialised ledger is written for
+// cmd/acctee-verify (the `make verify-ledger` smoke path).
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 
+	"acctee/internal/accounting"
 	"acctee/internal/faas"
 	"acctee/internal/workloads"
 )
@@ -24,10 +30,14 @@ func main() {
 }
 
 func run() error {
+	dumpPath := flag.String("dump", "", "write the serialised ledger here for acctee-verify")
+	flag.Parse()
+
 	srv, err := faas.NewServer(faas.Resize, faas.SetupSGXHWInstr)
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	gateway := httptest.NewServer(srv)
 	defer gateway.Close()
 	fmt.Printf("resize function deployed at %s (setup: %s)\n", gateway.URL, faas.SetupSGXHWInstr)
@@ -49,10 +59,51 @@ func run() error {
 			return err
 		}
 		_ = resp.Body.Close()
-		fmt.Printf("resize %4dx%-4d -> %d bytes | billed: %s weighted instructions\n",
-			size, size, len(body), resp.Header.Get("X-Weighted-Instructions"))
+		fmt.Printf("resize %4dx%-4d -> %d bytes | billed: %s weighted instructions | receipt %s/%s head %.8s…\n",
+			size, size, len(body), resp.Header.Get("X-Weighted-Instructions"),
+			resp.Header.Get("X-Acct-Shard"), resp.Header.Get("X-Acct-Sequence"),
+			resp.Header.Get("X-Acct-Chain"))
 	}
 	fmt.Printf("gateway served %d requests\n", srv.Requests())
+
+	// One checkpoint signature covers every request served so far.
+	cr, err := http.Get(gateway.URL + faas.CheckpointPath)
+	if err != nil {
+		return err
+	}
+	var sc accounting.SignedCheckpoint
+	if err := json.NewDecoder(cr.Body).Decode(&sc); err != nil {
+		return err
+	}
+	_ = cr.Body.Close()
+	if err := accounting.VerifyCheckpointSig(sc, srv.Enclave().PublicKey(), srv.Enclave().Measurement()); err != nil {
+		return fmt.Errorf("checkpoint verification: %w", err)
+	}
+	fmt.Printf("checkpoint verified: %d records, %d weighted instructions — one signature\n",
+		sc.Checkpoint.Covered(), sc.Checkpoint.Totals.WeightedInstructions)
+
+	// Replay the whole ledger offline, exactly as acctee-verify does.
+	dump, err := srv.Ledger().Dump()
+	if err != nil {
+		return err
+	}
+	vr, err := accounting.VerifyDump(dump, accounting.VerifyOptions{Key: srv.Enclave().PublicKey()})
+	if err != nil {
+		return fmt.Errorf("offline ledger verification: %w", err)
+	}
+	fmt.Printf("offline replay OK: %d records across %d shards, chain intact, totals reconstruct\n",
+		vr.Records, vr.Shards)
+
+	if *dumpPath != "" {
+		j, err := dump.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dumpPath, j, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("ledger written to %s (verify with: acctee-verify -dump %s)\n", *dumpPath, *dumpPath)
+	}
 	fmt.Println("identical inputs are billed identically on every provider — the")
 	fmt.Println("per-instruction price is comparable across clouds (paper §3.2).")
 	return nil

@@ -44,8 +44,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sandbox, err := acctee.NewSandbox(acctee.SandboxConfig{Mode: acctee.Hardware},
-		instrumented, evidence, ie.PublicKey())
+	// Eager signing: the site wants a verifiable record per task, not per
+	// billing period, so each record carries its own enclave signature.
+	sandbox, err := acctee.NewSandbox(acctee.SandboxConfig{
+		Mode:   acctee.Hardware,
+		Ledger: acctee.LedgerOptions{EagerSign: true},
+	}, instrumented, evidence, ie.PublicKey())
 	if err != nil {
 		return err
 	}
@@ -61,12 +65,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := acctee.VerifyLog(res.SignedLog, sandbox.PublicKey()); err != nil {
+		if err := acctee.VerifyRecord(res.Record, sandbox.PublicKey()); err != nil {
 			return err
 		}
-		paid += res.SignedLog.Log.WeightedInstructions
+		paid += res.Record.Log.WeightedInstructions
 		fmt.Printf("classification task %d done | +%d weighted instructions (total %d)\n",
-			task+1, res.SignedLog.Log.WeightedInstructions, paid)
+			task+1, res.Record.Log.WeightedInstructions, paid)
 	}
 	fmt.Printf("payment complete: %d weighted instructions — article unlocked\n", paid)
 

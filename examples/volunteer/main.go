@@ -45,8 +45,12 @@ func run() error {
 	if err := ie.Attest(platform); err != nil {
 		return err
 	}
-	sandbox, err := acctee.NewSandbox(acctee.SandboxConfig{Mode: acctee.Hardware},
-		instrumented, evidence, ie.PublicKey())
+	// Eager signing: the server credits each work unit on its own signed
+	// ledger record.
+	sandbox, err := acctee.NewSandbox(acctee.SandboxConfig{
+		Mode:   acctee.Hardware,
+		Ledger: acctee.LedgerOptions{EagerSign: true},
+	}, instrumented, evidence, ie.PublicKey())
 	if err != nil {
 		return err
 	}
@@ -60,8 +64,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := acctee.VerifyLog(res.SignedLog, sandbox.PublicKey()); err != nil {
-		return fmt.Errorf("volunteer's log failed verification: %w", err)
+	if err := acctee.VerifyRecord(res.Record, sandbox.PublicKey()); err != nil {
+		return fmt.Errorf("volunteer's record failed verification: %w", err)
 	}
 
 	// Server-side checks: the result matches the reference (no need to
@@ -69,15 +73,17 @@ func run() error {
 	// credited work is the signed weighted instruction count.
 	want := workloads.NativeMSieve(lo, count)
 	fmt.Printf("work unit result: %d (reference: %d, match: %v)\n", res.Results[0], want, res.Results[0] == want)
-	fmt.Printf("credit granted: %d weighted instructions\n", res.SignedLog.Log.WeightedInstructions)
+	fmt.Printf("credit granted: %d weighted instructions\n", res.Record.Log.WeightedInstructions)
 
-	// A cheater inflating the counter for leader-board credit:
-	forged := res.SignedLog
+	// A cheater inflating the counter for leader-board credit — even
+	// re-hashing the forged record cannot fake the enclave signature:
+	forged := res.Record
 	forged.Log.WeightedInstructions *= 10
-	if err := acctee.VerifyLog(forged, sandbox.PublicKey()); err != nil {
-		fmt.Printf("forged log rejected: %v\n", err)
+	forged.Hash = forged.ComputeHash()
+	if err := acctee.VerifyRecord(forged, sandbox.PublicKey()); err != nil {
+		fmt.Printf("forged record rejected: %v\n", err)
 	} else {
-		return fmt.Errorf("forged log was accepted — accounting broken")
+		return fmt.Errorf("forged record was accepted — accounting broken")
 	}
 	return nil
 }

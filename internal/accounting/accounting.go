@@ -1,17 +1,14 @@
 // Package accounting defines AccTEE's resource usage log (paper §3.5): the
 // weighted instruction counter, memory accounting under the peak and
-// integral policies, I/O byte counts, and the signed log record both
-// parties trust after attesting the accounting enclave.
+// integral policies, I/O byte counts, and the sharded, hash-chained,
+// batch-signed ledger (ledger.go) both parties trust after attesting the
+// accounting enclave, with offline replay verification (verify.go).
 package accounting
 
 import (
-	"crypto/ecdsa"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
-
-	"acctee/internal/sgx"
 )
 
 // MemoryPolicy selects how memory usage is billed (§3.5 "two policies").
@@ -61,65 +58,60 @@ type UsageLog struct {
 	Sequence uint64 `json:"sequence"`
 }
 
-// Marshal serialises the log deterministically for signing.
+// MarshalSize is the exact byte length of a marshalled UsageLog. The
+// chained-hash ledger format (ledger.go) builds on this layout; it must
+// never drift silently — see TestMarshalPinned.
+const MarshalSize = 32 + 8*8
+
+// Marshal serialises the log deterministically for signing and chaining:
+// the workload hash followed by eight little-endian uint64 fields.
 func (u *UsageLog) Marshal() []byte {
-	buf := make([]byte, 0, 32+8*8)
+	return u.AppendMarshal(make([]byte, 0, MarshalSize))
+}
+
+// AppendMarshal appends the marshalled log to buf in place (chain hashing
+// composes several marshalled structures without intermediate buffers).
+func (u *UsageLog) AppendMarshal(buf []byte) []byte {
 	buf = append(buf, u.WorkloadHash[:]...)
-	for _, v := range []uint64{
+	var b [8]byte
+	for _, v := range [8]uint64{
 		u.WeightedInstructions, u.PeakMemoryBytes, u.MemoryIntegral,
 		u.IOBytesIn, u.IOBytesOut, u.SimulatedCycles, uint64(u.Policy), u.Sequence,
 	} {
-		var b [8]byte
 		binary.LittleEndian.PutUint64(b[:], v)
 		buf = append(buf, b[:]...)
 	}
 	return buf
 }
 
-// SignedLog is a usage log signed by the accounting enclave. After remote
-// attestation binds the enclave's public key to the audited measurement,
-// both the workload provider and the infrastructure provider trust it.
-type SignedLog struct {
-	Log         UsageLog        `json:"log"`
-	Measurement sgx.Measurement `json:"measurement"`
-	Signature   []byte          `json:"signature"`
+// UnmarshalUsageLog is Marshal's inverse.
+func UnmarshalUsageLog(b []byte) (UsageLog, error) {
+	if len(b) != MarshalSize {
+		return UsageLog{}, fmt.Errorf("accounting: usage log is %d bytes, want %d", len(b), MarshalSize)
+	}
+	var u UsageLog
+	copy(u.WorkloadHash[:], b[:32])
+	fields := [8]*uint64{
+		&u.WeightedInstructions, &u.PeakMemoryBytes, &u.MemoryIntegral,
+		&u.IOBytesIn, &u.IOBytesOut, &u.SimulatedCycles, nil, &u.Sequence,
+	}
+	for i, p := range fields {
+		v := binary.LittleEndian.Uint64(b[32+8*i:])
+		if p != nil {
+			*p = v
+		} else {
+			u.Policy = MemoryPolicy(v)
+		}
+	}
+	return u, nil
 }
 
-// ErrBadLogSignature indicates a forged or corrupted usage log.
+// ErrBadLogSignature indicates a forged or corrupted usage record
+// signature (see VerifyRecordSig in ledger.go — records and checkpoints
+// are the only signed accounting artefacts; the pre-ledger per-log
+// signing API was removed with PR 3 so there is exactly one trust-critical
+// signing surface to audit).
 var ErrBadLogSignature = errors.New("accounting: usage log signature invalid")
-
-// Sign produces a signed log with the enclave's key.
-func Sign(e *sgx.Enclave, log UsageLog) (SignedLog, error) {
-	sig, err := e.Sign(log.Marshal())
-	if err != nil {
-		return SignedLog{}, fmt.Errorf("accounting: sign log: %w", err)
-	}
-	return SignedLog{Log: log, Measurement: e.Measurement(), Signature: sig}, nil
-}
-
-// Verify checks a signed log against the accounting enclave's attested
-// public key and expected measurement.
-func Verify(sl SignedLog, pub *ecdsa.PublicKey, expected sgx.Measurement) error {
-	if sl.Measurement != expected {
-		return sgx.ErrWrongMeasurement
-	}
-	if !sgx.VerifyBy(pub, sl.Log.Marshal(), sl.Signature) {
-		return ErrBadLogSignature
-	}
-	return nil
-}
-
-// JSON renders a signed log for transport.
-func (sl SignedLog) JSON() ([]byte, error) { return json.Marshal(sl) }
-
-// ParseJSON parses a transported signed log.
-func ParseJSON(data []byte) (SignedLog, error) {
-	var sl SignedLog
-	if err := json.Unmarshal(data, &sl); err != nil {
-		return SignedLog{}, fmt.Errorf("accounting: parse log: %w", err)
-	}
-	return sl, nil
-}
 
 // Meter tracks the memory integral during execution: Update is called with
 // the current counter and memory size whenever either may have changed

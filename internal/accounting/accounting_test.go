@@ -1,6 +1,8 @@
 package accounting_test
 
 import (
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -32,49 +34,114 @@ func sampleLog() accounting.UsageLog {
 	}
 }
 
-func TestSignVerifyRoundTrip(t *testing.T) {
+func TestRecordSignVerifyRoundTrip(t *testing.T) {
 	e := newEnclave(t)
-	sl, err := accounting.Sign(e, sampleLog())
+	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
+	defer l.Close()
+	_, rec, err := l.Append(sampleLog())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := accounting.Verify(sl, e.PublicKey(), e.Measurement()); err != nil {
+	if err := accounting.VerifyRecordSig(rec, e.PublicKey()); err != nil {
 		t.Errorf("verify: %v", err)
+	}
+	// A batched-mode record has no per-record signature to verify.
+	lb := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1})
+	defer lb.Close()
+	_, unsigned, err := lb.Append(sampleLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := accounting.VerifyRecordSig(unsigned, e.PublicKey()); !errors.Is(err, accounting.ErrNoRecordSignature) {
+		t.Errorf("unsigned record: %v", err)
 	}
 }
 
-func TestVerifyRejectsTampering(t *testing.T) {
+// TestRecordSigRejectsTampering sweeps every usage-log field: each is
+// covered by the eager record signature, and re-hashing a forged record
+// never saves the forgery.
+func TestRecordSigRejectsTampering(t *testing.T) {
 	e := newEnclave(t)
-	sl, err := accounting.Sign(e, sampleLog())
+	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
+	defer l.Close()
+	_, rec, err := l.Append(sampleLog())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every field of the log is covered by the signature.
-	mutations := []func(*accounting.UsageLog){
-		func(u *accounting.UsageLog) { u.WeightedInstructions++ },
-		func(u *accounting.UsageLog) { u.PeakMemoryBytes-- },
-		func(u *accounting.UsageLog) { u.MemoryIntegral++ },
-		func(u *accounting.UsageLog) { u.IOBytesIn++ },
-		func(u *accounting.UsageLog) { u.IOBytesOut++ },
-		func(u *accounting.UsageLog) { u.SimulatedCycles++ },
-		func(u *accounting.UsageLog) { u.Sequence++ },
-		func(u *accounting.UsageLog) { u.Policy = accounting.MemoryIntegral },
-		func(u *accounting.UsageLog) { u.WorkloadHash[0] ^= 1 },
+	mutations := []func(*accounting.Record){
+		func(r *accounting.Record) { r.Log.WeightedInstructions++ },
+		func(r *accounting.Record) { r.Log.PeakMemoryBytes-- },
+		func(r *accounting.Record) { r.Log.MemoryIntegral++ },
+		func(r *accounting.Record) { r.Log.IOBytesIn++ },
+		func(r *accounting.Record) { r.Log.IOBytesOut++ },
+		func(r *accounting.Record) { r.Log.SimulatedCycles++ },
+		func(r *accounting.Record) { r.Log.Sequence++ },
+		func(r *accounting.Record) { r.Log.Policy = accounting.MemoryIntegral },
+		func(r *accounting.Record) { r.Log.WorkloadHash[0] ^= 1 },
+		func(r *accounting.Record) { r.PrevHash[0] ^= 1 },
+		func(r *accounting.Record) { r.Shard++ },
 	}
 	for i, mutate := range mutations {
-		forged := sl
-		mutate(&forged.Log)
-		if err := accounting.Verify(forged, e.PublicKey(), e.Measurement()); !errors.Is(err, accounting.ErrBadLogSignature) {
+		forged := rec
+		mutate(&forged)
+		forged.Hash = forged.ComputeHash()
+		if err := accounting.VerifyRecordSig(forged, e.PublicKey()); !errors.Is(err, accounting.ErrBadLogSignature) {
 			t.Errorf("mutation %d accepted: %v", i, err)
 		}
 	}
-	// Wrong measurement must also fail.
+	// A wrong key must fail too.
 	other := newEnclave(t)
-	_ = other
-	wrong := sl
-	wrong.Measurement[0] ^= 1
-	if err := accounting.Verify(wrong, e.PublicKey(), e.Measurement()); !errors.Is(err, sgx.ErrWrongMeasurement) {
-		t.Errorf("wrong measurement: %v", err)
+	if err := accounting.VerifyRecordSig(rec, other.PublicKey()); !errors.Is(err, accounting.ErrBadLogSignature) {
+		t.Errorf("wrong key: %v", err)
+	}
+}
+
+// TestMarshalPinned pins the exact serialisation the hash-chained ledger
+// builds on: size, field order, and endianness. If this test breaks, every
+// existing ledger dump becomes unverifiable — bump DumpFormat instead of
+// changing the layout silently.
+func TestMarshalPinned(t *testing.T) {
+	u := sampleLog()
+	b := u.Marshal()
+	if len(b) != accounting.MarshalSize {
+		t.Fatalf("marshal size %d, want %d", len(b), accounting.MarshalSize)
+	}
+	want := hex.EncodeToString(u.WorkloadHash[:]) +
+		"40e2010000000000" + // WeightedInstructions 123456 LE
+		"0000100000000000" + // PeakMemoryBytes 1<<20
+		"6300000000000000" + // MemoryIntegral 99
+		"0a00000000000000" + // IOBytesIn 10
+		"1400000000000000" + // IOBytesOut 20
+		"0903000000000000" + // SimulatedCycles 777
+		"0100000000000000" + // Policy PeakMemory
+		"0300000000000000" // Sequence 3
+	if got := hex.EncodeToString(b); got != want {
+		t.Fatalf("marshal layout drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMarshalRoundTrip property-checks Marshal/UnmarshalUsageLog inversion.
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(hash [32]byte, wi, pk, mi, in, out, cyc, seq uint64, pol uint8) bool {
+		u := accounting.UsageLog{
+			WorkloadHash:         hash,
+			WeightedInstructions: wi,
+			PeakMemoryBytes:      pk,
+			MemoryIntegral:       mi,
+			IOBytesIn:            in,
+			IOBytesOut:           out,
+			SimulatedCycles:      cyc,
+			Policy:               accounting.MemoryPolicy(pol),
+			Sequence:             seq,
+		}
+		back, err := accounting.UnmarshalUsageLog(u.Marshal())
+		return err == nil && back == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := accounting.UnmarshalUsageLog([]byte("short")); err == nil {
+		t.Error("short buffer accepted")
 	}
 }
 
@@ -90,28 +157,30 @@ func TestMarshalDeterministic(t *testing.T) {
 	}
 }
 
-func TestJSONRoundTrip(t *testing.T) {
+func TestRecordJSONRoundTrip(t *testing.T) {
 	e := newEnclave(t)
-	sl, err := accounting.Sign(e, sampleLog())
+	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
+	defer l.Close()
+	_, rec, err := l.Append(sampleLog())
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := sl.JSON()
+	j, err := json.Marshal(rec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := accounting.ParseJSON(j)
-	if err != nil {
+	var back accounting.Record
+	if err := json.Unmarshal(j, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Log != sl.Log {
-		t.Error("JSON round trip changed the log")
+	if back.Log != rec.Log || back.Hash != rec.Hash || back.PrevHash != rec.PrevHash {
+		t.Error("JSON round trip changed the record")
 	}
-	if err := accounting.Verify(back, e.PublicKey(), e.Measurement()); err != nil {
-		t.Errorf("round-tripped log rejected: %v", err)
+	if err := accounting.VerifyRecordSig(back, e.PublicKey()); err != nil {
+		t.Errorf("round-tripped record rejected: %v", err)
 	}
-	if _, err := accounting.ParseJSON([]byte("not json")); err == nil {
-		t.Error("garbage JSON accepted")
+	if _, err := accounting.ParseDump([]byte("not json")); err == nil {
+		t.Error("garbage JSON accepted as a dump")
 	}
 }
 

@@ -1,0 +1,275 @@
+package accounting_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"acctee/internal/accounting"
+)
+
+// logFor builds a distinct usage log per worker/iteration.
+func logFor(g, i int) accounting.UsageLog {
+	return accounting.UsageLog{
+		WorkloadHash:         [32]byte{9, 9, 9},
+		WeightedInstructions: uint64(1000 + 13*g + i),
+		PeakMemoryBytes:      uint64(1<<16 + g),
+		MemoryIntegral:       uint64(7 * i),
+		IOBytesIn:            uint64(g),
+		IOBytesOut:           uint64(i),
+		SimulatedCycles:      uint64(3 * g * i),
+		Policy:               accounting.PeakMemory,
+	}
+}
+
+func TestLedgerChainsPerShard(t *testing.T) {
+	e := newEnclave(t)
+	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 3})
+	defer l.Close()
+
+	var prev [3][32]byte
+	for i := 0; i < 12; i++ {
+		rcpt, rec, err := l.Append(logFor(0, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rcpt.Shard != rec.Shard || rcpt.Sequence != rec.Log.Sequence || rcpt.ChainHead != rec.Hash {
+			t.Fatalf("receipt %+v does not match record", rcpt)
+		}
+		if rec.PrevHash != prev[rec.Shard] {
+			t.Fatalf("record %d/%d not chained to previous head", rec.Shard, rec.Log.Sequence)
+		}
+		if rec.Hash != rec.ComputeHash() {
+			t.Fatal("record hash does not recompute")
+		}
+		prev[rec.Shard] = rec.Hash
+		// Round-robin: sequence = i/3 on shard i%3.
+		if rec.Shard != uint32(i%3) || rec.Log.Sequence != uint64(i/3) {
+			t.Fatalf("record %d landed on %d/%d, want %d/%d", i, rec.Shard, rec.Log.Sequence, i%3, i/3)
+		}
+	}
+	// Retained records are retrievable by receipt coordinates.
+	if r, ok := l.Record(1, 2); !ok || r.Log.Sequence != 2 || r.Shard != 1 {
+		t.Fatalf("Record(1,2) = %+v, %v", r, ok)
+	}
+	if _, ok := l.Record(1, 99); ok {
+		t.Fatal("out-of-range record found")
+	}
+}
+
+// TestLedgerEagerVsBatchedDifferential pins the acceptance criterion:
+// checkpoint-batched totals are bit-identical to per-record eager signing
+// across concurrent appends of the same workload set.
+func TestLedgerEagerVsBatchedDifferential(t *testing.T) {
+	const goroutines, each = 8, 25
+	run := func(opts accounting.LedgerOptions) (accounting.UsageLog, *accounting.Ledger) {
+		e := newEnclave(t)
+		l := accounting.NewLedger(e, opts)
+		defer l.Close()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					if _, _, err := l.Append(logFor(g, i)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		sc, err := l.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sc.Checkpoint.Covered(); got != goroutines*each {
+			t.Fatalf("checkpoint covers %d records, want %d", got, goroutines*each)
+		}
+		return sc.Checkpoint.Totals, l
+	}
+	eager, el := run(accounting.LedgerOptions{Shards: 4, EagerSign: true})
+	batched, bl := run(accounting.LedgerOptions{Shards: 4})
+	if eager != batched {
+		t.Fatalf("eager totals %+v != batched totals %+v", eager, batched)
+	}
+	if lt := bl.Totals(); lt != batched {
+		t.Fatalf("live totals %+v != checkpoint totals %+v", lt, batched)
+	}
+	// Eager mode attaches verifiable per-record signatures.
+	d, err := el.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := accounting.ParsePublicKey(d.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Records[:3] {
+		if err := accounting.VerifyRecordSig(r, pub); err != nil {
+			t.Fatalf("eager record %d/%d: %v", r.Shard, r.Log.Sequence, err)
+		}
+	}
+}
+
+func TestCheckpointSignAndChain(t *testing.T) {
+	e := newEnclave(t)
+	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 2})
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, _, err := l.Append(logFor(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp1, err := l.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 9; i++ {
+		if _, _, err := l.Append(logFor(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp2, err := l.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := accounting.VerifyCheckpointSig(cp1, e.PublicKey(), e.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	if err := accounting.VerifyCheckpointSig(cp2, e.PublicKey(), e.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Checkpoint.PrevHash != cp1.Checkpoint.Hash() {
+		t.Fatal("checkpoint chain broken")
+	}
+	if cp1.Checkpoint.Covered() != 5 || cp2.Checkpoint.Covered() != 9 {
+		t.Fatalf("covered = %d, %d; want 5, 9", cp1.Checkpoint.Covered(), cp2.Checkpoint.Covered())
+	}
+	// Tampering with any covered field must invalidate the signature.
+	forged := cp2
+	forged.Checkpoint.Totals.WeightedInstructions /= 2
+	if err := accounting.VerifyCheckpointSig(forged, e.PublicKey(), e.Measurement()); err == nil {
+		t.Fatal("forged checkpoint totals accepted")
+	}
+	forged = cp2
+	forged.Checkpoint.Heads[0].Count--
+	if err := accounting.VerifyCheckpointSig(forged, e.PublicKey(), e.Measurement()); err == nil {
+		t.Fatal("forged checkpoint head accepted")
+	}
+	if latest, ok := l.LatestCheckpoint(); !ok || latest.Checkpoint.Sequence != 1 {
+		t.Fatalf("latest checkpoint = %+v, %v", latest, ok)
+	}
+	// An idle checkpoint request returns the existing one instead of
+	// signing a zero-information duplicate.
+	cp3, err := l.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp3.Checkpoint.Sequence != cp2.Checkpoint.Sequence {
+		t.Fatalf("idle checkpoint signed a duplicate (sequence %d)", cp3.Checkpoint.Sequence)
+	}
+	if _, _, err := l.Append(logFor(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	cp4, err := l.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp4.Checkpoint.Sequence != cp2.Checkpoint.Sequence+1 {
+		t.Fatalf("advancing lane did not produce a new checkpoint (sequence %d)", cp4.Checkpoint.Sequence)
+	}
+}
+
+func TestPeriodicCheckpointGoroutine(t *testing.T) {
+	e := newEnclave(t)
+	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, CheckpointInterval: 2 * time.Millisecond})
+	if _, _, err := l.Append(logFor(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if sc, ok := l.LatestCheckpoint(); ok && sc.Checkpoint.Covered() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never covered the appended record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+	// After Close no further checkpoints appear.
+	sc1, _ := l.LatestCheckpoint()
+	time.Sleep(10 * time.Millisecond)
+	sc2, _ := l.LatestCheckpoint()
+	if sc1.Checkpoint.Sequence != sc2.Checkpoint.Sequence {
+		t.Fatal("checkpoint goroutine survived Close")
+	}
+}
+
+// TestDumpConsistentUnderConcurrentCheckpointing: a dump taken while
+// appends and checkpoint signing race must always verify — checkpoints are
+// snapshotted before lane records, so every captured checkpoint covers a
+// prefix of the captured records.
+func TestDumpConsistentUnderConcurrentCheckpointing(t *testing.T) {
+	e := newEnclave(t)
+	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 4})
+	defer l.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := l.Append(logFor(g, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := l.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	for i := 0; i < 15; i++ {
+		d, err := l.Dump()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := accounting.VerifyDump(d, accounting.VerifyOptions{}); err != nil {
+			t.Fatalf("dump %d taken mid-flight does not verify: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAppendShardOutOfRange(t *testing.T) {
+	l := accounting.NewLedger(newEnclave(t), accounting.LedgerOptions{Shards: 2})
+	defer l.Close()
+	if _, _, err := l.AppendShard(7, logFor(0, 0)); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

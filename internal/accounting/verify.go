@@ -1,0 +1,255 @@
+// Offline ledger verification (paper §3.3/§3.5: after attestation, "both
+// parties" can check the accounting log without trusting the provider).
+// A Dump is the serialised ledger; VerifyDump replays it, checking
+//
+//   - per-shard hash-chain continuity (every record's PrevHash equals the
+//     previous record's recomputed hash — a single flipped byte anywhere
+//     breaks the chain at that point),
+//   - per-shard gap-free sequence numbers starting at 0,
+//   - checkpoint signatures against the attested enclave key and
+//     measurement, checkpoint chaining, and that every checkpoint head
+//     matches the replayed chain state at its covered count,
+//   - totals reconstruction: each checkpoint's aggregate equals the
+//     deterministic re-aggregation of exactly the records it covers,
+//   - eager per-record signatures where present.
+package accounting
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"acctee/internal/sgx"
+)
+
+// DumpFormat identifies the serialised ledger layout.
+const DumpFormat = "acctee-ledger/v1"
+
+// MaxDumpShards bounds the shard count a dump may declare, far above any
+// real configuration (the ledger defaults to one lane per CPU).
+const MaxDumpShards = 1 << 16
+
+// Dump is a serialised ledger: every record in deterministic merge order
+// (ascending shard, then lane-local sequence), every signed checkpoint, and
+// the identity to verify against. The embedded public key is a convenience
+// transport — a suspicious verifier substitutes the key it attested itself.
+type Dump struct {
+	Format      string             `json:"format"`
+	Shards      int                `json:"shards"`
+	Measurement sgx.Measurement    `json:"measurement"`
+	PublicKey   []byte             `json:"publicKey"` // PKIX DER
+	Records     []Record           `json:"records"`
+	Checkpoints []SignedCheckpoint `json:"checkpoints"`
+}
+
+// MarshalPublicKey encodes an ECDSA public key as PKIX DER for a dump.
+func MarshalPublicKey(pub *ecdsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("accounting: marshal public key: %w", err)
+	}
+	return der, nil
+}
+
+// ParsePublicKey decodes a dump's PKIX DER public key.
+func ParsePublicKey(der []byte) (*ecdsa.PublicKey, error) {
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("accounting: parse public key: %w", err)
+	}
+	pub, ok := k.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("accounting: dump key is %T, want *ecdsa.PublicKey", k)
+	}
+	return pub, nil
+}
+
+// JSON serialises the dump.
+func (d *Dump) JSON() ([]byte, error) { return json.MarshalIndent(d, "", " ") }
+
+// ParseDump parses a serialised dump.
+func ParseDump(data []byte) (*Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+	}
+	if d.Format != DumpFormat {
+		return nil, fmt.Errorf("accounting: dump format %q, want %q", d.Format, DumpFormat)
+	}
+	return &d, nil
+}
+
+// VerifyResult summarises a successful offline verification.
+type VerifyResult struct {
+	Shards      int
+	Records     int
+	Checkpoints int
+	// EagerSignatures counts records that carried (verified) per-record
+	// signatures.
+	EagerSignatures int
+	// Totals is the replayed aggregate over every record in the dump.
+	Totals UsageLog
+	// CoveredRecords is how many records the latest checkpoint vouches
+	// for; records beyond it chain correctly but are not yet signed.
+	CoveredRecords uint64
+}
+
+// VerifyOptions tune offline verification.
+type VerifyOptions struct {
+	// Key overrides the dump-embedded public key (the attested key a
+	// verifier obtained out of band).
+	Key *ecdsa.PublicKey
+	// Measurement, when non-zero, must match the dump's measurement (the
+	// audited accounting-enclave identity).
+	Measurement sgx.Measurement
+}
+
+// VerifyDump replays a ledger dump offline. It returns the first integrity
+// violation found, localised to shard/sequence where possible.
+func VerifyDump(d *Dump, opts VerifyOptions) (*VerifyResult, error) {
+	pub := opts.Key
+	if pub == nil {
+		var err error
+		if pub, err = ParsePublicKey(d.PublicKey); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Measurement != (sgx.Measurement{}) && d.Measurement != opts.Measurement {
+		return nil, fmt.Errorf("accounting: dump measurement %s does not match expected %s: %w",
+			d.Measurement, opts.Measurement, sgx.ErrWrongMeasurement)
+	}
+	if d.Shards <= 0 || d.Shards > MaxDumpShards {
+		// The bound keeps a hand-crafted hostile dump from sizing the
+		// verifier's lane state arbitrarily (the verifier is explicitly
+		// meant for adversarial inputs).
+		return nil, fmt.Errorf("accounting: dump declares %d shards (want 1..%d)", d.Shards, MaxDumpShards)
+	}
+
+	res := &VerifyResult{Shards: d.Shards, Records: len(d.Records), Checkpoints: len(d.Checkpoints)}
+
+	// Replay every shard chain: gap-free sequences, linked hashes.
+	type laneState struct {
+		next  uint64
+		head  [32]byte
+		chain []Record // records in replay order
+	}
+	lanes := make([]laneState, d.Shards)
+	prevShard := -1
+	for i := range d.Records {
+		r := &d.Records[i]
+		if int(r.Shard) >= d.Shards {
+			return nil, fmt.Errorf("accounting: record %d names shard %d of %d", i, r.Shard, d.Shards)
+		}
+		if int(r.Shard) < prevShard {
+			return nil, fmt.Errorf("accounting: records not in merge order at index %d (shard %d after %d)",
+				i, r.Shard, prevShard)
+		}
+		prevShard = int(r.Shard)
+		ln := &lanes[r.Shard]
+		if r.Log.Sequence != ln.next {
+			return nil, fmt.Errorf("accounting: shard %d sequence gap: record %d, want %d",
+				r.Shard, r.Log.Sequence, ln.next)
+		}
+		if r.PrevHash != ln.head {
+			return nil, fmt.Errorf("accounting: shard %d record %d breaks the hash chain (prev hash mismatch)",
+				r.Shard, r.Log.Sequence)
+		}
+		h := r.ComputeHash()
+		if h != r.Hash {
+			return nil, fmt.Errorf("accounting: shard %d record %d content does not match its hash",
+				r.Shard, r.Log.Sequence)
+		}
+		if len(r.Signature) > 0 {
+			if err := VerifyRecordSig(*r, pub); err != nil {
+				return nil, fmt.Errorf("accounting: shard %d record %d: %w", r.Shard, r.Log.Sequence, err)
+			}
+			res.EagerSignatures++
+		}
+		ln.head = h
+		ln.next++
+		ln.chain = append(ln.chain, *r)
+		aggregate(&res.Totals, &r.Log)
+	}
+
+	// Replay checkpoints: signature, chaining, head/count consistency, and
+	// bit-identical totals reconstruction over exactly the covered prefix.
+	// Covered counts only ever grow (the enclave extends, never rewinds),
+	// so each lane keeps a cursor and running prefix totals, making the
+	// whole pass O(records + checkpoints·shards) rather than re-replaying
+	// every prefix per checkpoint.
+	type laneCursor struct {
+		covered uint64
+		totals  UsageLog
+	}
+	cursors := make([]laneCursor, d.Shards)
+	var prevCp [32]byte
+	for i := range d.Checkpoints {
+		sc := &d.Checkpoints[i]
+		cp := &sc.Checkpoint
+		if err := VerifyCheckpointSig(*sc, pub, d.Measurement); err != nil {
+			return nil, fmt.Errorf("accounting: checkpoint %d: %w", cp.Sequence, err)
+		}
+		if cp.Sequence != uint64(i) {
+			return nil, fmt.Errorf("accounting: checkpoint at index %d carries sequence %d", i, cp.Sequence)
+		}
+		if cp.PrevHash != prevCp {
+			return nil, fmt.Errorf("accounting: checkpoint %d breaks the checkpoint chain", cp.Sequence)
+		}
+		prevCp = cp.Hash()
+		if len(cp.Heads) != d.Shards {
+			return nil, fmt.Errorf("accounting: checkpoint %d covers %d shards, dump has %d",
+				cp.Sequence, len(cp.Heads), d.Shards)
+		}
+		var totals UsageLog
+		for j := range cp.Heads {
+			h := &cp.Heads[j]
+			if h.Shard != uint32(j) {
+				return nil, fmt.Errorf("accounting: checkpoint %d heads out of shard order at %d", cp.Sequence, j)
+			}
+			ln, cur := &lanes[j], &cursors[j]
+			if h.Count > uint64(len(ln.chain)) {
+				return nil, fmt.Errorf("accounting: checkpoint %d covers %d records of shard %d, dump has %d",
+					cp.Sequence, h.Count, j, len(ln.chain))
+			}
+			if h.Count < cur.covered {
+				return nil, fmt.Errorf("accounting: checkpoint %d rewinds shard %d from %d to %d records",
+					cp.Sequence, j, cur.covered, h.Count)
+			}
+			for ; cur.covered < h.Count; cur.covered++ {
+				aggregate(&cur.totals, &ln.chain[cur.covered].Log)
+			}
+			var want [32]byte
+			if h.Count > 0 {
+				want = ln.chain[h.Count-1].Hash
+			}
+			if h.Head != want {
+				return nil, fmt.Errorf("accounting: checkpoint %d head of shard %d does not match the replayed chain",
+					cp.Sequence, j)
+			}
+			merge(&totals, &cur.totals)
+		}
+		if totals != cp.Totals {
+			return nil, fmt.Errorf("accounting: checkpoint %d totals do not reconstruct from the covered records",
+				cp.Sequence)
+		}
+		if i == len(d.Checkpoints)-1 {
+			res.CoveredRecords = cp.Covered()
+		}
+	}
+	return res, nil
+}
+
+// VerifyReader parses and verifies a serialised dump from r.
+func VerifyReader(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("accounting: read ledger dump: %w", err)
+	}
+	d, err := ParseDump(data)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyDump(d, opts)
+}

@@ -92,6 +92,34 @@ func TestRunFig9Small(t *testing.T) {
 	}
 }
 
+func TestRunLedgerBenchSmall(t *testing.T) {
+	old := bench.LedgerBenchTrials
+	bench.LedgerBenchTrials = 1
+	defer func() { bench.LedgerBenchTrials = old }()
+	rep, err := bench.RunLedgerBench(8, 200, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Clients != 2 {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+	r := rep.Rows[0]
+	if r.EagerRPS <= 0 || r.BatchedRPS <= 0 {
+		t.Errorf("nonsensical throughput %+v", r)
+	}
+	if r.EagerP99Ns < r.EagerP50Ns || r.BatchedP99Ns < r.BatchedP50Ns {
+		t.Errorf("latency percentiles not ordered: %+v", r)
+	}
+	if rep.VerifyRecords != 200 || rep.VerifyNs <= 0 || rep.VerifyNsPerRecord <= 0 {
+		t.Errorf("verification stats %+v", rep)
+	}
+	var sb strings.Builder
+	bench.PrintLedgerBench(&sb, rep)
+	if !strings.Contains(sb.String(), "offline verification") {
+		t.Error("print output missing verification summary")
+	}
+}
+
 func TestRunSizeTable(t *testing.T) {
 	rows, err := bench.RunSizeTable()
 	if err != nil {

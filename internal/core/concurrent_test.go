@@ -30,18 +30,13 @@ func newTestAE(t *testing.T, mode sgx.Mode) (*core.AccountingEnclave, *core.Inst
 	return ae, ie
 }
 
-// TestConcurrentRunsSequenceAndTotals drives N goroutines × M runs through
-// one accounting enclave: every run must yield a verifiable signed log, the
-// N×M sequence numbers must be strictly increasing and gap-free, and the
-// cumulative snapshot totals must equal the sum of the per-run logs.
-func TestConcurrentRunsSequenceAndTotals(t *testing.T) {
-	const goroutines, runsEach = 8, 10
-	ae, _ := newTestAE(t, sgx.ModeSimulation)
-
+// driveConcurrent fires goroutines×runsEach runs and returns all receipts.
+func driveConcurrent(t *testing.T, ae *core.AccountingEnclave, goroutines, runsEach int) []accounting.Receipt {
+	t.Helper()
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		logs []accounting.SignedLog
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		receipts []accounting.Receipt
 	)
 	errs := make(chan error, goroutines)
 	for g := 0; g < goroutines; g++ {
@@ -55,7 +50,7 @@ func TestConcurrentRunsSequenceAndTotals(t *testing.T) {
 					return
 				}
 				mu.Lock()
-				logs = append(logs, res.SignedLog)
+				receipts = append(receipts, res.Receipt)
 				mu.Unlock()
 			}
 		}(g)
@@ -65,53 +60,113 @@ func TestConcurrentRunsSequenceAndTotals(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+	return receipts
+}
 
-	if len(logs) != goroutines*runsEach {
-		t.Fatalf("got %d signed logs, want %d", len(logs), goroutines*runsEach)
-	}
-	seqs := make([]uint64, 0, len(logs))
-	var sumWeighted uint64
-	for _, sl := range logs {
-		if err := accounting.Verify(sl, ae.PublicKey(), ae.Measurement()); err != nil {
-			t.Fatalf("log %d: %v", sl.Log.Sequence, err)
-		}
-		seqs = append(seqs, sl.Log.Sequence)
-		sumWeighted += sl.Log.WeightedInstructions
-		if sl.Log.WeightedInstructions == 0 {
-			t.Errorf("log %d: zero weighted instructions", sl.Log.Sequence)
-		}
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for i, s := range seqs {
-		if s != uint64(i) {
-			t.Fatalf("sequence numbers not gap-free: position %d holds %d (all: %v)", i, s, seqs)
-		}
+// TestConcurrentRunsShardedSequences drives N goroutines × M runs through
+// one accounting enclave: every run gets a receipt, per-shard sequence
+// numbers are gap-free starting at 0 (the sharded replacement for the old
+// single global sequence), the on-request checkpoint covers every record
+// with one verifiable signature, and the full ledger replays offline.
+func TestConcurrentRunsShardedSequences(t *testing.T) {
+	const goroutines, runsEach = 8, 10
+	ae, _ := newTestAE(t, sgx.ModeSimulation)
+	defer ae.Close()
+
+	receipts := driveConcurrent(t, ae, goroutines, runsEach)
+	if len(receipts) != goroutines*runsEach {
+		t.Fatalf("got %d receipts, want %d", len(receipts), goroutines*runsEach)
 	}
 
-	snap, err := ae.Snapshot(accounting.PeakMemory)
+	// Per-shard gap-freedom: each lane's sequences are exactly 0..n-1.
+	byShard := map[uint32][]uint64{}
+	for _, r := range receipts {
+		byShard[r.Shard] = append(byShard[r.Shard], r.Sequence)
+	}
+	var total int
+	for shard, seqs := range byShard {
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for i, s := range seqs {
+			if s != uint64(i) {
+				t.Fatalf("shard %d sequences not gap-free: position %d holds %d (all: %v)", shard, i, s, seqs)
+			}
+		}
+		total += len(seqs)
+	}
+	if total != goroutines*runsEach {
+		t.Fatalf("shards account for %d records, want %d", total, goroutines*runsEach)
+	}
+
+	// One checkpoint signature covers everything; totals match the live
+	// aggregate; the dump replays offline with zero violations.
+	sc, err := ae.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Log.Sequence != uint64(goroutines*runsEach) {
-		t.Errorf("snapshot sequence = %d, want %d", snap.Log.Sequence, goroutines*runsEach)
+	if got := sc.Checkpoint.Covered(); got != goroutines*runsEach {
+		t.Errorf("checkpoint covers %d, want %d", got, goroutines*runsEach)
 	}
-	if snap.Log.WeightedInstructions != sumWeighted {
-		t.Errorf("snapshot totals = %d, want sum of per-run logs %d",
-			snap.Log.WeightedInstructions, sumWeighted)
+	if err := accounting.VerifyCheckpointSig(sc, ae.PublicKey(), ae.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	if lt := ae.Ledger().Totals(); lt != sc.Checkpoint.Totals {
+		t.Errorf("live totals %+v != checkpoint totals %+v", lt, sc.Checkpoint.Totals)
+	}
+	dump, err := ae.Ledger().Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := accounting.VerifyDump(dump, accounting.VerifyOptions{Key: ae.PublicKey(), Measurement: core.AEMeasurement()})
+	if err != nil {
+		t.Fatalf("offline verification after concurrent runs: %v", err)
+	}
+	if vr.Records != goroutines*runsEach || vr.CoveredRecords != goroutines*runsEach {
+		t.Errorf("offline verification result %+v", vr)
+	}
+}
+
+// TestEagerVsBatchedDifferential pins the acceptance criterion at the AE
+// level: the checkpoint-batched ledger's totals are bit-identical to the
+// per-record eager-signing baseline across concurrent runs of the same
+// workload set — batching changes where signatures happen, never what is
+// accounted.
+func TestEagerVsBatchedDifferential(t *testing.T) {
+	const goroutines, runsEach = 6, 8
+	run := func(opts accounting.LedgerOptions) accounting.UsageLog {
+		ae, _ := newTestAE(t, sgx.ModeSimulation)
+		defer ae.Close()
+		ae.SetLedgerOptions(opts)
+		driveConcurrent(t, ae, goroutines, runsEach)
+		sc, err := ae.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc.Checkpoint.Totals
+	}
+	eager := run(accounting.LedgerOptions{Shards: 4, EagerSign: true})
+	batched := run(accounting.LedgerOptions{Shards: 4})
+	if eager != batched {
+		t.Fatalf("eager totals %+v != batched totals %+v", eager, batched)
+	}
+	// Shard count must not change what is accounted either.
+	single := run(accounting.LedgerOptions{Shards: 1})
+	if single != batched {
+		t.Fatalf("1-shard totals %+v != 4-shard totals %+v", single, batched)
 	}
 }
 
 // TestConcurrentRunsDeterministicPerInput: concurrent runs on pooled
 // instances must count exactly like isolated ones — same input, same
 // weighted instruction count, regardless of which recycled instance served
-// it.
+// it or which sequence lane recorded it.
 func TestConcurrentRunsDeterministicPerInput(t *testing.T) {
 	ae, _ := newTestAE(t, sgx.ModeSimulation)
+	defer ae.Close()
 	ref, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{25}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := ref.SignedLog.Log.WeightedInstructions
+	want := ref.Record.Log.WeightedInstructions
 
 	const goroutines, runsEach = 6, 8
 	var wg sync.WaitGroup
@@ -126,7 +181,7 @@ func TestConcurrentRunsDeterministicPerInput(t *testing.T) {
 					errs <- err
 					return
 				}
-				if got := res.SignedLog.Log.WeightedInstructions; got != want {
+				if got := res.Record.Log.WeightedInstructions; got != want {
 					t.Errorf("weighted instructions = %d, want %d", got, want)
 				}
 			}
@@ -143,18 +198,18 @@ func TestConcurrentRunsDeterministicPerInput(t *testing.T) {
 // correct, sequence-ordered runs (every Run instantiates fresh).
 func TestPoolConfigDisabledRunsFresh(t *testing.T) {
 	ae, _ := newTestAE(t, sgx.ModeSimulation)
+	defer ae.Close()
 	if err := ae.SetPoolConfig(interp.PoolConfig{Disabled: true}); err != nil {
 		t.Fatal(err)
 	}
-	var prev uint64
+	ae.SetLedgerOptions(accounting.LedgerOptions{Shards: 1})
 	for i := 0; i < 3; i++ {
 		res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{7}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if i > 0 && res.SignedLog.Log.Sequence != prev+1 {
-			t.Errorf("sequence %d after %d", res.SignedLog.Log.Sequence, prev)
+		if res.Receipt.Shard != 0 || res.Receipt.Sequence != uint64(i) {
+			t.Errorf("run %d landed at %d/%d", i, res.Receipt.Shard, res.Receipt.Sequence)
 		}
-		prev = res.SignedLog.Log.Sequence
 	}
 }

@@ -13,7 +13,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"acctee/internal/accounting"
 	"acctee/internal/instrument"
@@ -184,10 +183,19 @@ type RunOptions struct {
 	MaxPages uint32
 }
 
-// RunResult is one execution's outcome plus its signed usage log.
+// RunResult is one execution's outcome plus its ledger evidence.
 type RunResult struct {
-	Results   []uint64
-	SignedLog accounting.SignedLog
+	Results []uint64
+	// Receipt locates the run's record in the AE's hash-chained ledger:
+	// shard, lane-local sequence, and the shard's chain head after the
+	// append. A later signed checkpoint covering (shard, sequence) vouches
+	// for the record with one signature.
+	Receipt accounting.Receipt
+	// Record is the appended hash-chained ledger record. Its Signature is
+	// set only under LedgerOptions.EagerSign (the per-record signing
+	// baseline); in the default batched mode records are vouched for by
+	// checkpoints instead.
+	Record accounting.Record
 	// PageFaults and Transitions expose cost-model detail for evaluation.
 	PageFaults  uint64
 	Transitions uint64
@@ -195,10 +203,14 @@ type RunResult struct {
 
 // AccountingEnclave (AE) hosts the execution sandbox under SGX protection.
 // One AE instance executes one workload module (possibly many invocations,
-// e.g. FaaS requests), emitting a signed usage log per invocation. The
-// module is compiled once at construction (paper §3.3, "instrument once,
-// execute many times"); each Run borrows a pooled sandbox instance. Run and
-// Snapshot are safe to call concurrently.
+// e.g. FaaS requests), appending one record per invocation to a sharded,
+// hash-chained ledger. The module is compiled once at construction (paper
+// §3.3, "instrument once, execute many times"); each Run borrows a pooled
+// sandbox instance. Run and Snapshot are safe to call concurrently:
+// concurrent runs land on independent sequence lanes (per-shard locks,
+// lane-local gap-free sequences), and signing happens at checkpoints
+// (periodic or on Snapshot — the paper's "either periodically or upon
+// request"), not per record, unless eager signing is configured.
 type AccountingEnclave struct {
 	enclave  *sgx.Enclave
 	libos    *sgxlkl.LibOS
@@ -210,14 +222,7 @@ type AccountingEnclave struct {
 	pool     *interp.InstancePool
 	modHash  [32]byte
 	counter  uint32
-
-	// mu guards the log sequence and the cumulative totals, so concurrent
-	// runs get strictly increasing, gap-free sequence numbers and exact
-	// totals for on-request logs (paper §3.3: "either periodically or upon
-	// request produces a resource accounting log").
-	mu       sync.Mutex
-	sequence uint64
-	totals   accounting.UsageLog
+	ledger   *accounting.Ledger
 }
 
 // NewAccountingEnclave verifies the instrumented module against the
@@ -267,12 +272,30 @@ func NewAccountingEnclave(mode sgx.Mode, costs sgx.CostParams, tbl *weights.Tabl
 		compiled: compiled,
 		modHash:  h,
 		counter:  ev.CounterGlobal,
+		ledger:   accounting.NewLedger(encl, accounting.LedgerOptions{}),
 	}
 	if err := ae.SetPoolConfig(interp.PoolConfig{}); err != nil {
 		return nil, err
 	}
 	return ae, nil
 }
+
+// SetLedgerOptions replaces the AE's ledger (e.g. to change the shard
+// count, enable eager per-record signing, or start periodic checkpointing).
+// It starts a FRESH ledger: records and checkpoints already chained are
+// discarded with the old one, and receipts issued against it no longer
+// resolve — call it once at setup, before the first Run.
+func (ae *AccountingEnclave) SetLedgerOptions(opts accounting.LedgerOptions) {
+	ae.ledger.Close()
+	ae.ledger = accounting.NewLedger(ae.enclave, opts)
+}
+
+// Ledger exposes the AE's hash-chained ledger (receipt lookup, checkpoints,
+// offline-verification dumps).
+func (ae *AccountingEnclave) Ledger() *accounting.Ledger { return ae.ledger }
+
+// Close stops the ledger's periodic checkpoint goroutine, if one runs.
+func (ae *AccountingEnclave) Close() { ae.ledger.Close() }
 
 // SetPoolConfig replaces the AE's sandbox instance pool (e.g. to disable
 // reuse or pre-warm instances). Call it before serving concurrent runs;
@@ -301,18 +324,24 @@ func (ae *AccountingEnclave) Quote(qe *sgx.QuotingEnclave) (sgx.Quote, error) {
 // LibOS exposes the in-enclave library OS (network pipe, block device).
 func (ae *AccountingEnclave) LibOS() *sgxlkl.LibOS { return ae.libos }
 
-// Run executes the workload once and returns results plus the signed log.
-// Each invocation serves from a pooled sandbox instance deterministically
-// reset to fresh-instantiation state, as the FaaS gateway does per request
-// (§5.3) — without re-running the lowering pass. Run is safe to call from
-// concurrent goroutines: each run gets its own instance, and the signed
-// logs carry strictly increasing, gap-free sequence numbers.
+// Run executes the workload once, chains its usage record onto the ledger,
+// and returns results plus the receipt. Each invocation serves from a
+// pooled sandbox instance deterministically reset to fresh-instantiation
+// state, as the FaaS gateway does per request (§5.3) — without re-running
+// the lowering pass. Run is safe to call from concurrent goroutines: each
+// run gets its own instance and its record lands on a round-robin-chosen
+// sequence lane, so runs never contend on a shared lock; per-shard
+// sequences are gap-free and strictly increasing.
 func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 	if opts.Policy == 0 {
 		opts.Policy = accounting.PeakMemory
 	}
 	model := sgx.NewEPCModel(ae.mode, ae.costs, ae.weights)
-	imports := DefaultImports(ae.libos)
+	// Per-run I/O tally: the ledger sums per-record values into signed
+	// checkpoint totals, so every record must carry only this run's bytes,
+	// never the library OS's cumulative counters.
+	var tally ioTally
+	imports := talliedImports(ae.libos, &tally)
 	for k, v := range opts.Imports {
 		imports[k] = v
 	}
@@ -351,64 +380,60 @@ func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 	}
 	meter.Update(counter, uint64(vm.MemorySize()))
 
-	netIn, netOut, diskIn, diskOut, extra := ae.libos.IOStats()
+	// vm.IOBytes() holds only custom-import traffic here (the tallied
+	// library-OS shims account into the tally instead), so nothing is
+	// counted twice and the record is a pure per-run delta: summing
+	// records across a checkpoint yields exact cumulative totals.
 	log := accounting.UsageLog{
 		WorkloadHash:         ae.modHash,
 		WeightedInstructions: counter,
 		PeakMemoryBytes:      uint64(vm.MemorySize()),
 		MemoryIntegral:       meter.Integral(),
-		IOBytesIn:            netIn + diskIn + vm.IOBytes(),
-		IOBytesOut:           netOut + diskOut,
-		SimulatedCycles:      vm.Cost() + extra,
+		IOBytesIn:            tally.in + vm.IOBytes(),
+		IOBytesOut:           tally.out,
+		SimulatedCycles:      vm.Cost(),
 		Policy:               opts.Policy,
 	}
-	ae.mu.Lock()
-	log.Sequence = ae.sequence
-	ae.sequence++
-	ae.totals.WeightedInstructions += log.WeightedInstructions
-	if log.PeakMemoryBytes > ae.totals.PeakMemoryBytes {
-		ae.totals.PeakMemoryBytes = log.PeakMemoryBytes
-	}
-	ae.totals.MemoryIntegral += log.MemoryIntegral
-	ae.mu.Unlock()
-	signed, err := accounting.Sign(ae.enclave, log)
+	receipt, record, err := ae.ledger.Append(log)
 	if err != nil {
 		return RunResult{}, err
 	}
 	res := RunResult{
 		Results:     results,
-		SignedLog:   signed,
+		Receipt:     receipt,
+		Record:      record,
 		PageFaults:  model.PageFaults(),
 		Transitions: ae.enclave.Transitions(),
 	}
 	if runErr != nil {
-		// The log is still valid — resources were spent up to the trap.
+		// The record is still valid — resources were spent up to the trap.
 		return res, fmt.Errorf("core: workload: %w", runErr)
 	}
 	return res, nil
 }
 
-// Snapshot produces a signed cumulative usage log on request: totals over
-// all invocations so far (the paper's on-demand log, §3.3). It can be
-// called between invocations, e.g. once per billing period, including
-// concurrently with Run.
-func (ae *AccountingEnclave) Snapshot(policy accounting.MemoryPolicy) (accounting.SignedLog, error) {
-	if policy == 0 {
-		policy = accounting.PeakMemory
-	}
-	netIn, netOut, diskIn, diskOut, extra := ae.libos.IOStats()
-	ae.mu.Lock()
-	log := ae.totals
-	log.Sequence = ae.sequence
-	ae.sequence++
-	ae.mu.Unlock()
-	log.WorkloadHash = ae.modHash
-	log.IOBytesIn = netIn + diskIn
-	log.IOBytesOut = netOut + diskOut
-	log.SimulatedCycles = extra
-	log.Policy = policy
-	return accounting.Sign(ae.enclave, log)
+// Snapshot produces a signed checkpoint on request (the paper's on-demand
+// log, §3.3): one signature covering the contiguous prefix of every
+// sequence lane, with totals over all invocations so far. It can be called
+// between invocations, e.g. once per billing period, including concurrently
+// with Run.
+func (ae *AccountingEnclave) Snapshot() (accounting.SignedCheckpoint, error) {
+	return ae.ledger.Checkpoint()
 }
+
+// QuoteCheckpoint produces a remote-attestation quote whose report binds
+// the AE's key AND the given checkpoint — verifiable with
+// sgx.AttestationService.AttestCheckpoint. It lets a party prove to a third
+// one that the attested enclave stood behind exactly this ledger state.
+func (ae *AccountingEnclave) QuoteCheckpoint(qe *sgx.QuotingEnclave, sc accounting.SignedCheckpoint) (sgx.Quote, error) {
+	h := sc.Checkpoint.Hash()
+	rep := ae.enclave.CreateReport(sgx.CheckpointUserData(ae.enclave.PublicKey(), h))
+	return qe.QuoteReport(rep)
+}
+
+// ioTally accumulates one run's sandbox-boundary I/O by direction. Host
+// functions execute on the run's own goroutine, so no locking is needed.
+type ioTally struct{ in, out uint64 }
 
 // DefaultImports exposes the library OS to workloads as host functions:
 //
@@ -416,6 +441,38 @@ func (ae *AccountingEnclave) Snapshot(policy accounting.MemoryPolicy) (accountin
 //	env.clock() -> i64               env.block_read(off, ptr, len) -> errno
 //	env.block_write(off, ptr, len) -> errno
 func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
+	return talliedImports(l, nil)
+}
+
+// talliedImports is DefaultImports with per-run attribution: with a tally,
+// the shims account their bytes there (leaving vm.AddIOBytes to custom
+// imports, so nothing is counted twice) and charge the enclave-transition
+// cycles the library OS records for net/block syscalls into the run's VM —
+// mirroring the LibOS's own accounting, so per-record SimulatedCycles
+// include I/O crossings. Without a tally they fall back to the plain VM
+// byte counter.
+func talliedImports(l *sgxlkl.LibOS, t *ioTally) map[string]interp.HostFunc {
+	tallyIn := func(vm *interp.VM, n uint64) {
+		if t != nil {
+			t.in += n
+		} else {
+			vm.AddIOBytes(n)
+		}
+	}
+	tallyOut := func(vm *interp.VM, n uint64) {
+		if t != nil {
+			t.out += n
+		} else {
+			vm.AddIOBytes(n)
+		}
+	}
+	// The LibOS records one enclave crossing per net or block syscall
+	// (mem-file I/O stays inside); attribute its cycle cost to this run.
+	crossing := func(vm *interp.VM) {
+		if t != nil {
+			vm.AddCost(l.TransitionCost())
+		}
+	}
 	return map[string]interp.HostFunc{
 		"env.read": func(vm *interp.VM, args []uint64) ([]uint64, error) {
 			fd, ptr, n := int32(uint32(args[0])), uint32(args[1]), uint32(args[2])
@@ -427,7 +484,10 @@ func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
 			if err != nil {
 				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
 			}
-			vm.AddIOBytes(uint64(got))
+			if fd == sgxlkl.NetFD {
+				crossing(vm)
+			}
+			tallyIn(vm, uint64(got))
 			return []uint64{uint64(uint32(got))}, nil
 		},
 		"env.write": func(vm *interp.VM, args []uint64) ([]uint64, error) {
@@ -440,7 +500,10 @@ func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
 			if err != nil {
 				return []uint64{uint64(uint32(0xFFFFFFFF))}, nil
 			}
-			vm.AddIOBytes(uint64(put))
+			if fd == sgxlkl.NetFD {
+				crossing(vm)
+			}
+			tallyOut(vm, uint64(put))
 			return []uint64{uint64(uint32(put))}, nil
 		},
 		"env.clock": func(vm *interp.VM, args []uint64) ([]uint64, error) {
@@ -455,6 +518,10 @@ func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
 			if err := l.ReadBlock(int(off), buf); err != nil {
 				return []uint64{1}, nil
 			}
+			crossing(vm)
+			if t != nil {
+				t.in += uint64(n)
+			}
 			return []uint64{0}, nil
 		},
 		"env.block_write": func(vm *interp.VM, args []uint64) ([]uint64, error) {
@@ -465,6 +532,10 @@ func DefaultImports(l *sgxlkl.LibOS) map[string]interp.HostFunc {
 			}
 			if err := l.WriteBlock(int(off), data); err != nil {
 				return []uint64{1}, nil
+			}
+			crossing(vm)
+			if t != nil {
+				t.out += uint64(len(data))
 			}
 			return []uint64{0}, nil
 		},

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -73,7 +74,7 @@ func TestEndToEndWorkflow(t *testing.T) {
 		t.Fatalf("AE attestation: %v", err)
 	}
 
-	// Execute and check results + log.
+	// Execute and check results + ledger record.
 	res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{100}})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -81,14 +82,14 @@ func TestEndToEndWorkflow(t *testing.T) {
 	if res.Results[0] != 4950 {
 		t.Errorf("sum(100) = %d, want 4950", res.Results[0])
 	}
-	if err := accounting.Verify(res.SignedLog, ae.PublicKey(), core.AEMeasurement()); err != nil {
-		t.Errorf("log verification: %v", err)
-	}
-	if res.SignedLog.Log.WeightedInstructions == 0 {
+	if res.Record.Log.WeightedInstructions == 0 {
 		t.Error("weighted instruction counter is zero")
 	}
-	if res.SignedLog.Log.PeakMemoryBytes != 64*1024 {
-		t.Errorf("peak memory = %d, want one page", res.SignedLog.Log.PeakMemoryBytes)
+	if res.Record.Log.PeakMemoryBytes != 64*1024 {
+		t.Errorf("peak memory = %d, want one page", res.Record.Log.PeakMemoryBytes)
+	}
+	if res.Receipt.ChainHead != res.Record.Hash || res.Receipt.ChainHead == ([32]byte{}) {
+		t.Error("receipt does not carry the record's chain head")
 	}
 
 	// Counter equals the uninstrumented ground truth.
@@ -99,17 +100,52 @@ func TestEndToEndWorkflow(t *testing.T) {
 	if _, err := ref.InvokeExport("sum", 100); err != nil {
 		t.Fatal(err)
 	}
-	if res.SignedLog.Log.WeightedInstructions != ref.Cost() {
-		t.Errorf("counter %d != ground truth %d", res.SignedLog.Log.WeightedInstructions, ref.Cost())
+	if res.Record.Log.WeightedInstructions != ref.Cost() {
+		t.Errorf("counter %d != ground truth %d", res.Record.Log.WeightedInstructions, ref.Cost())
 	}
 
-	// Sequence numbers advance per invocation.
-	res2, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{10}})
+	// A second run chains onto the ledger; the on-request checkpoint
+	// covers both with one signature that both parties can verify.
+	if _, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{10}}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ae.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.SignedLog.Log.Sequence != 1 {
-		t.Errorf("second log sequence = %d, want 1", res2.SignedLog.Log.Sequence)
+	if got := sc.Checkpoint.Covered(); got != 2 {
+		t.Errorf("checkpoint covers %d records, want 2", got)
+	}
+	if err := accounting.VerifyCheckpointSig(sc, ae.PublicKey(), core.AEMeasurement()); err != nil {
+		t.Errorf("checkpoint verification: %v", err)
+	}
+
+	// The checkpoint can be bound into a fresh attestation quote: proof
+	// that the attested enclave stood behind exactly this ledger state.
+	cpQuote, err := ae.QuoteCheckpoint(qe, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AttestCheckpoint(cpQuote, core.AEMeasurement(), ae.PublicKey(), sc.Checkpoint.Hash()); err != nil {
+		t.Errorf("checkpoint attestation: %v", err)
+	}
+	other := sc
+	other.Checkpoint.Totals.WeightedInstructions++
+	if err := svc.AttestCheckpoint(cpQuote, core.AEMeasurement(), ae.PublicKey(), other.Checkpoint.Hash()); err == nil {
+		t.Error("quote attested a checkpoint it does not bind")
+	}
+
+	// And the full ledger replays offline.
+	dump, err := ae.Ledger().Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := accounting.VerifyDump(dump, accounting.VerifyOptions{Key: ae.PublicKey(), Measurement: core.AEMeasurement()})
+	if err != nil {
+		t.Fatalf("offline verification: %v", err)
+	}
+	if vr.Records != 2 || vr.CoveredRecords != 2 {
+		t.Errorf("offline verification result %+v", vr)
 	}
 }
 
@@ -159,14 +195,21 @@ func TestLogTamperDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Eager mode: every record carries its own signature (the per-record
+	// baseline kept for differential testing).
+	ae.SetLedgerOptions(accounting.LedgerOptions{EagerSign: true})
 	res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	forged := res.SignedLog
+	if err := accounting.VerifyRecordSig(res.Record, ae.PublicKey()); err != nil {
+		t.Fatalf("honest record rejected: %v", err)
+	}
+	forged := res.Record
 	forged.Log.WeightedInstructions /= 2 // provider tries to undercharge
-	if err := accounting.Verify(forged, ae.PublicKey(), core.AEMeasurement()); !errors.Is(err, accounting.ErrBadLogSignature) {
-		t.Errorf("forged log: %v", err)
+	forged.Hash = forged.ComputeHash()   // even re-hashing cannot save the forgery
+	if err := accounting.VerifyRecordSig(forged, ae.PublicKey()); !errors.Is(err, accounting.ErrBadLogSignature) {
+		t.Errorf("forged record: %v", err)
 	}
 }
 
@@ -198,7 +241,7 @@ func TestHardwareModeCostsMore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.SignedLog.Log.SimulatedCycles
+		return res.Record.Log.SimulatedCycles
 	}
 	sim := runMode(sgx.ModeSimulation)
 	hw := runMode(sgx.ModeHardware)
@@ -207,26 +250,37 @@ func TestHardwareModeCostsMore(t *testing.T) {
 	}
 }
 
-func TestUsageLogJSONRoundTrip(t *testing.T) {
+func TestLedgerDumpJSONRoundTrip(t *testing.T) {
 	ie, _ := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
 	inst, ev, _ := ie.Instrument(sumModule())
 	ae, _ := core.NewAccountingEnclave(sgx.ModeSimulation, sgx.DefaultCostParams(), nil, inst, ev, ie.PublicKey())
-	res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{7}})
+	for i := 0; i < 3; i++ {
+		if _, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{7}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ae.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := ae.Ledger().Dump()
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := res.SignedLog.JSON()
+	j, err := dump.JSON()
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := accounting.ParseJSON(j)
+	// The serialised ledger verifies offline with the embedded identity
+	// and with the independently attested one.
+	if _, err := accounting.VerifyReader(bytes.NewReader(j), accounting.VerifyOptions{}); err != nil {
+		t.Errorf("embedded-identity verification: %v", err)
+	}
+	vr, err := accounting.VerifyReader(bytes.NewReader(j),
+		accounting.VerifyOptions{Key: ae.PublicKey(), Measurement: core.AEMeasurement()})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("attested-identity verification: %v", err)
 	}
-	if back.Log != res.SignedLog.Log {
-		t.Error("JSON round trip changed the log")
-	}
-	if err := accounting.Verify(back, ae.PublicKey(), core.AEMeasurement()); err != nil {
-		t.Errorf("round-tripped log fails verification: %v", err)
+	if vr.Records != 3 || vr.CoveredRecords != 3 || vr.Checkpoints != 1 {
+		t.Errorf("verification result %+v", vr)
 	}
 }

@@ -56,7 +56,7 @@ func TestMemoryIntegralPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	log := res.SignedLog.Log
+	log := res.Record.Log
 	if log.Policy != accounting.MemoryIntegral {
 		t.Errorf("policy = %v", log.Policy)
 	}
@@ -85,7 +85,7 @@ func TestIntegralScalesWithWork(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.SignedLog.Log.MemoryIntegral, res.SignedLog.Log.WeightedInstructions
+		return res.Record.Log.MemoryIntegral, res.Record.Log.WeightedInstructions
 	}
 	i2, c2 := run(2)
 	i8, c8 := run(8)
@@ -100,7 +100,85 @@ func TestIntegralScalesWithWork(t *testing.T) {
 	}
 }
 
-// TestSnapshotAccumulates checks the on-request cumulative log.
+// ioModule writes its argument's worth of bytes from memory offset 0 to
+// the block device and returns the errno.
+func ioModule() *wasm.Module {
+	b := wasm.NewModule("io")
+	bw := b.ImportFunc("env", "block_write",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	b.Memory(1, 2)
+	f := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.I32Const(0).I32Const(0).LocalGet(0).Call(bw)
+	b.ExportFunc("run", f.End())
+	return b.MustBuild()
+}
+
+// TestPerRunIODeltas pins that ledger records carry per-run I/O, not the
+// library OS's cumulative counters: summing records must reconstruct the
+// true total (the checkpoint aggregation depends on it).
+func TestPerRunIODeltas(t *testing.T) {
+	ae := newAE(t, ioModule())
+	defer ae.Close()
+	if err := ae.LibOS().AttachBlockDevice(1<<16, nil); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, n := range []uint64{100, 100, 50} {
+		res, err := ae.Run(core.RunOptions{Entry: "run", Args: []uint64{n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Results[0] != 0 {
+			t.Fatalf("block_write errno %d", res.Results[0])
+		}
+		// Cumulative counters would report 100, 200, 250 here.
+		if got := res.Record.Log.IOBytesOut; got != n {
+			t.Fatalf("record IOBytesOut = %d, want per-run %d", got, n)
+		}
+		want += n
+	}
+	sc, err := ae.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Checkpoint.Totals.IOBytesOut; got != want {
+		t.Errorf("checkpoint IOBytesOut = %d, want %d", got, want)
+	}
+}
+
+// TestIOTransitionCyclesAttributed: in hardware mode the enclave crossing
+// the library OS records for a block syscall lands in that run's
+// SimulatedCycles (call entry + exit + one I/O crossing = 3 transitions
+// minimum).
+func TestIOTransitionCyclesAttributed(t *testing.T) {
+	ie, err := core.NewInstrumentationEnclave(instrument.LoopBased, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, ev, err := ie.Instrument(ioModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sgx.DefaultCostParams()
+	ae, err := core.NewAccountingEnclave(sgx.ModeHardware, params, nil, inst, ev, ie.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ae.Close()
+	if err := ae.LibOS().AttachBlockDevice(1<<16, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ae.Run(core.RunOptions{Entry: "run", Args: []uint64{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min := 3 * params.TransitionCycles; res.Record.Log.SimulatedCycles < min {
+		t.Errorf("SimulatedCycles = %d, want at least %d (3 enclave crossings)",
+			res.Record.Log.SimulatedCycles, min)
+	}
+}
+
+// TestSnapshotAccumulates checks the on-request cumulative checkpoint.
 func TestSnapshotAccumulates(t *testing.T) {
 	ae := newAE(t, growingModule())
 	var perRun uint64
@@ -109,19 +187,19 @@ func TestSnapshotAccumulates(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		perRun = res.SignedLog.Log.WeightedInstructions
+		perRun = res.Record.Log.WeightedInstructions
 	}
-	snap, err := ae.Snapshot(accounting.PeakMemory)
+	snap, err := ae.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Log.WeightedInstructions != 3*perRun {
-		t.Errorf("cumulative = %d, want %d", snap.Log.WeightedInstructions, 3*perRun)
+	if snap.Checkpoint.Totals.WeightedInstructions != 3*perRun {
+		t.Errorf("cumulative = %d, want %d", snap.Checkpoint.Totals.WeightedInstructions, 3*perRun)
 	}
-	if snap.Log.Sequence != 3 {
-		t.Errorf("snapshot sequence = %d, want 3", snap.Log.Sequence)
+	if snap.Checkpoint.Covered() != 3 {
+		t.Errorf("checkpoint covers %d records, want 3", snap.Checkpoint.Covered())
 	}
-	if err := accounting.Verify(snap, ae.PublicKey(), core.AEMeasurement()); err != nil {
+	if err := accounting.VerifyCheckpointSig(snap, ae.PublicKey(), core.AEMeasurement()); err != nil {
 		t.Errorf("snapshot verification: %v", err)
 	}
 }

@@ -8,13 +8,16 @@
 package faas
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"acctee/internal/accounting"
 	"acctee/internal/core"
 	"acctee/internal/instrument"
 	"acctee/internal/interp"
@@ -84,6 +87,12 @@ var JSDispatchCost = 12 * time.Millisecond
 // maintain isolation between the functions, the HTTP Server instantiates a
 // new WebAssembly module for every incoming request" — the reset gives the
 // same isolation without repeating the lowering pass).
+//
+// In the instrumented setups every response additionally chains a usage
+// record onto a sharded hash-chained ledger and returns a receipt in the
+// X-Acct-Shard / X-Acct-Sequence / X-Acct-Chain headers; GET /receipt,
+// GET /checkpoint and GET /ledger expose the record, a freshly batch-signed
+// checkpoint, and the offline-verifiable dump (cmd/acctee-verify).
 type Server struct {
 	fn       Function
 	setup    Setup
@@ -93,13 +102,16 @@ type Server struct {
 	pool     *interp.InstancePool   // nil for SetupJS
 	counter  uint32                 // instrumented counter global (instr setups)
 	enclave  *sgx.Enclave           // nil for non-SGX setups
+	ledger   *accounting.Ledger     // instrumented setups only
+	modHash  [32]byte
 	costs    sgx.CostParams
 	mu       sync.Mutex
 	requests uint64
 	ioBytes  uint64
 }
 
-// ServerOptions tune the gateway's compile/instantiate strategy.
+// ServerOptions tune the gateway's compile/instantiate strategy and its
+// accounting ledger.
 type ServerOptions struct {
 	// PoolDisabled instantiates a fresh VM per request from the cached
 	// compiled artifact instead of reusing pooled instances.
@@ -110,6 +122,10 @@ type ServerOptions struct {
 	// (the pre-artifact behaviour). It exists as the before/after baseline
 	// for the FaaS benchmark.
 	RecompilePerRequest bool
+	// Ledger tunes the instrumented setups' usage ledger: shard count,
+	// per-record eager signing (the per-request-signature baseline), and
+	// periodic checkpointing. Ignored by uninstrumented setups.
+	Ledger accounting.LedgerOptions
 }
 
 // NewServer builds the gateway with default options (pooled instances over
@@ -147,6 +163,9 @@ func NewServerWithOptions(fn Function, setup Setup, opts ServerOptions) (*Server
 		s.counter = res.CounterGlobal
 	}
 	s.module = m
+	if s.modHash, err = core.ModuleHash(m); err != nil {
+		return nil, fmt.Errorf("faas: hash function module: %w", err)
+	}
 	if setup != SetupWASM {
 		mode := sgx.ModeSimulation
 		if setup >= SetupSGXHW {
@@ -157,6 +176,11 @@ func NewServerWithOptions(fn Function, setup Setup, opts ServerOptions) (*Server
 			return nil, err
 		}
 		s.enclave = encl
+	}
+	if setup == SetupSGXHWInstr || setup == SetupSGXHWIO {
+		// The instrumented gateways keep the verifiable usage ledger: one
+		// chained record per request, batch-signed at checkpoints.
+		s.ledger = accounting.NewLedger(s.enclave, opts.Ledger)
 	}
 	var warm []interp.CostModel
 	if model := s.requestModel(); model != nil {
@@ -186,6 +210,21 @@ func (s *Server) requestModel() interp.CostModel {
 	return nil
 }
 
+// Ledger exposes the gateway's usage ledger (nil for uninstrumented
+// setups).
+func (s *Server) Ledger() *accounting.Ledger { return s.ledger }
+
+// Enclave exposes the gateway's accounting enclave (nil for SetupWASM and
+// SetupJS) — its public key verifies ledger records and checkpoints.
+func (s *Server) Enclave() *sgx.Enclave { return s.enclave }
+
+// Close stops the ledger's periodic checkpoint goroutine, if configured.
+func (s *Server) Close() {
+	if s.ledger != nil {
+		s.ledger.Close()
+	}
+}
+
 // Requests returns the number of requests served.
 func (s *Server) Requests() uint64 {
 	s.mu.Lock()
@@ -200,9 +239,31 @@ func (s *Server) IOBytes() uint64 {
 	return s.ioBytes
 }
 
+// Ledger endpoint paths on the gateway.
+const (
+	ReceiptPath    = "/receipt"
+	CheckpointPath = "/checkpoint"
+	LedgerPath     = "/ledger"
+)
+
 // ServeHTTP handles one function invocation. The request body is the
 // payload; for resize the image dimensions travel in X-Width/X-Height.
+// GET requests on /receipt, /checkpoint and /ledger serve the accounting
+// endpoints instead of invoking the function.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		switch r.URL.Path {
+		case ReceiptPath:
+			s.serveReceipt(w, r)
+			return
+		case CheckpointPath:
+			s.serveCheckpoint(w)
+			return
+		case LedgerPath:
+			s.serveLedger(w)
+			return
+		}
+	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil || len(body) > workloads.MaxPayload {
 		http.Error(w, "bad payload", http.StatusBadRequest)
@@ -213,11 +274,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	var out []byte
 	var counter uint64
+	var rcpt *accounting.Receipt
 	switch s.setup {
 	case SetupJS:
 		out = s.serveJS(body, width, height)
 	default:
-		out, counter, err = s.serveWasm(body, width, height)
+		out, counter, rcpt, err = s.serveWasm(body, width, height)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -232,11 +294,77 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if counter > 0 {
 		w.Header().Set("X-Weighted-Instructions", strconv.FormatUint(counter, 10))
 	}
+	if rcpt != nil {
+		// The response's ledger receipt: where the request's usage record
+		// landed and the shard chain head it produced.
+		w.Header().Set("X-Acct-Shard", strconv.FormatUint(uint64(rcpt.Shard), 10))
+		w.Header().Set("X-Acct-Sequence", strconv.FormatUint(rcpt.Sequence, 10))
+		w.Header().Set("X-Acct-Chain", fmt.Sprintf("%x", rcpt.ChainHead))
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)
 }
 
-func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, error) {
+// serveReceipt returns the ledger record named by ?shard=S&seq=N.
+func (s *Server) serveReceipt(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		http.Error(w, "no ledger in this setup", http.StatusNotFound)
+		return
+	}
+	shard, err1 := strconv.ParseUint(r.URL.Query().Get("shard"), 10, 32)
+	seq, err2 := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "want ?shard=S&seq=N", http.StatusBadRequest)
+		return
+	}
+	rec, ok := s.ledger.Record(uint32(shard), seq)
+	if !ok {
+		http.Error(w, "no such record", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+// serveCheckpoint batch-signs the ledger's current state on request (the
+// paper's "upon request" log) and returns the signed checkpoint.
+func (s *Server) serveCheckpoint(w http.ResponseWriter) {
+	if s.ledger == nil {
+		http.Error(w, "no ledger in this setup", http.StatusNotFound)
+		return
+	}
+	sc, err := s.ledger.Checkpoint()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, sc)
+}
+
+// serveLedger returns the offline-verifiable dump (acctee-verify input).
+func (s *Server) serveLedger(w http.ResponseWriter) {
+	if s.ledger == nil {
+		http.Error(w, "no ledger in this setup", http.StatusNotFound)
+		return
+	}
+	dump, err := s.ledger.Dump()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, dump)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, *accounting.Receipt, error) {
 	cfg := interp.Config{CostModel: s.requestModel()}
 	var (
 		vm  *interp.VM
@@ -248,7 +376,7 @@ func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, erro
 		vm, err = s.pool.Get(cfg)
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("faas: instantiate: %w", err)
+		return nil, 0, nil, fmt.Errorf("faas: instantiate: %w", err)
 	}
 	if !s.opts.RecompilePerRequest {
 		defer s.pool.Put(vm)
@@ -260,7 +388,7 @@ func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, erro
 	}
 	in, err := vm.MemoryDirty(workloads.InBase, uint32(len(body)))
 	if err != nil {
-		return nil, 0, fmt.Errorf("faas: payload: %w", err)
+		return nil, 0, nil, fmt.Errorf("faas: payload: %w", err)
 	}
 	copy(in, body)
 	var res []uint64
@@ -270,24 +398,44 @@ func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, erro
 		res, err = vm.InvokeExport("run", uint64(width), uint64(height))
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("faas: run: %w", err)
+		return nil, 0, nil, fmt.Errorf("faas: run: %w", err)
 	}
 	n := uint32(res[0])
 	view, err := vm.MemoryView(workloads.OutBase, n)
 	if err != nil {
-		return nil, 0, fmt.Errorf("faas: response: %w", err)
+		return nil, 0, nil, fmt.Errorf("faas: response: %w", err)
 	}
 	out := make([]byte, n)
 	copy(out, view)
 	var counter uint64
+	var rcpt *accounting.Receipt
 	if s.setup == SetupSGXHWInstr || s.setup == SetupSGXHWIO {
 		counter, _ = vm.Global(s.counter)
+		// Chain the request's usage record onto the ledger. No signature
+		// is paid here unless eager signing is configured — checkpoints
+		// vouch for the record in batch.
+		log := accounting.UsageLog{
+			WorkloadHash:         s.modHash,
+			WeightedInstructions: counter,
+			PeakMemoryBytes:      uint64(vm.MemorySize()),
+			SimulatedCycles:      vm.Cost(),
+			Policy:               accounting.PeakMemory,
+		}
+		if s.setup == SetupSGXHWIO {
+			log.IOBytesIn = uint64(len(body))
+			log.IOBytesOut = uint64(len(out))
+		}
+		receipt, _, err := s.ledger.Append(log)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("faas: ledger: %w", err)
+		}
+		rcpt = &receipt
 	}
 	// EPC paging cycles burn wall-clock on real hardware.
 	if s.enclave != nil && s.enclave.Mode() == sgx.ModeHardware {
 		burn(vm.Cost())
 	}
-	return out, counter, nil
+	return out, counter, rcpt, nil
 }
 
 func (s *Server) serveJS(body []byte, width, height int) []byte {
@@ -337,6 +485,22 @@ type LoadResult struct {
 	WeightedInstructions uint64
 	// ReqPerSec is successful-request throughput.
 	ReqPerSec float64
+	// LatencyP50/P95/P99 are per-request latency percentiles over every
+	// completed request (including failures — a tail regression that only
+	// shows on errors must not hide), measured from request creation to
+	// body drain.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+}
+
+// percentile returns the p-quantile of a sorted latency sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
 }
 
 // GenerateLoad drives the URL with `clients` concurrent connections until
@@ -344,15 +508,17 @@ type LoadResult struct {
 // (10 concurrent clients).
 func GenerateLoad(url string, clients, total int, payload []byte, width, height int) LoadResult {
 	var (
-		mu     sync.Mutex
-		res    = LoadResult{ByStatus: make(map[int]int)}
-		wg     sync.WaitGroup
-		client = &http.Client{}
+		mu        sync.Mutex
+		res       = LoadResult{ByStatus: make(map[int]int)}
+		latencies = make([]time.Duration, 0, total)
+		wg        sync.WaitGroup
+		client    = &http.Client{}
 	)
-	record := func(status int, weighted uint64) {
+	record := func(status int, weighted uint64, took time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		res.ByStatus[status]++
+		latencies = append(latencies, took)
 		if status >= 200 && status < 300 {
 			res.Requests++
 			res.WeightedInstructions += weighted
@@ -371,16 +537,17 @@ func GenerateLoad(url string, clients, total int, payload []byte, width, height 
 		go func() {
 			defer wg.Done()
 			for range next {
+				t0 := time.Now()
 				req, err := http.NewRequest(http.MethodPost, url, bytesReader(payload))
 				if err != nil {
-					record(0, 0)
+					record(0, 0, time.Since(t0))
 					continue
 				}
 				req.Header.Set("X-Width", strconv.Itoa(width))
 				req.Header.Set("X-Height", strconv.Itoa(height))
 				resp, err := client.Do(req)
 				if err != nil {
-					record(0, 0)
+					record(0, 0, time.Since(t0))
 					continue
 				}
 				// Drain for connection reuse, but only count the body of a
@@ -393,13 +560,17 @@ func GenerateLoad(url string, clients, total int, payload []byte, width, height 
 				if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 					weighted, _ = strconv.ParseUint(resp.Header.Get("X-Weighted-Instructions"), 10, 64)
 				}
-				record(resp.StatusCode, weighted)
+				record(resp.StatusCode, weighted, time.Since(t0))
 			}
 		}()
 	}
 	wg.Wait()
 	res.Duration = time.Since(start)
 	res.ReqPerSec = float64(res.Requests) / res.Duration.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.LatencyP50 = percentile(latencies, 0.50)
+	res.LatencyP95 = percentile(latencies, 0.95)
+	res.LatencyP99 = percentile(latencies, 0.99)
 	return res
 }
 

@@ -2,6 +2,8 @@ package faas_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"acctee/internal/accounting"
 	"acctee/internal/faas"
 	"acctee/internal/workloads"
 )
@@ -171,6 +174,178 @@ func TestGenerateLoadSurfacesFailures(t *testing.T) {
 	// 12345 attached to the 500s.
 	if want := uint64(wantOK * 7); res.WeightedInstructions != want {
 		t.Errorf("WeightedInstructions = %d, want %d", res.WeightedInstructions, want)
+	}
+}
+
+// TestReceiptsAndLedgerEndpoints: every instrumented response carries a
+// ledger receipt; /receipt serves the named record, /checkpoint a freshly
+// batch-signed checkpoint covering all served requests, /ledger an
+// offline-verifiable dump.
+func TestReceiptsAndLedgerEndpoints(t *testing.T) {
+	srv, err := faas.NewServer(faas.Echo, faas.SetupSGXHWInstr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	payload := []byte("hello ledger")
+	const requests = 5
+	type rcpt struct{ shard, seq uint64 }
+	seen := map[rcpt]bool{}
+	for i := 0; i < requests; i++ {
+		resp, _ := post(t, ts.URL, payload, 0, 0)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		shard, err1 := strconv.ParseUint(resp.Header.Get("X-Acct-Shard"), 10, 32)
+		seq, err2 := strconv.ParseUint(resp.Header.Get("X-Acct-Sequence"), 10, 64)
+		head := resp.Header.Get("X-Acct-Chain")
+		if err1 != nil || err2 != nil || len(head) != 64 {
+			t.Fatalf("bad receipt headers: shard=%q seq=%q chain=%q",
+				resp.Header.Get("X-Acct-Shard"), resp.Header.Get("X-Acct-Sequence"), head)
+		}
+		if seen[rcpt{shard, seq}] {
+			t.Fatalf("duplicate receipt %d/%d", shard, seq)
+		}
+		seen[rcpt{shard, seq}] = true
+
+		// The receipt resolves to a record whose chain head matches.
+		rr, err := http.Get(fmt.Sprintf("%s%s?shard=%d&seq=%d", ts.URL, faas.ReceiptPath, shard, seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec accounting.Record
+		if err := json.NewDecoder(rr.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		_ = rr.Body.Close()
+		if got := fmt.Sprintf("%x", rec.Hash); got != head {
+			t.Fatalf("record hash %s != receipt chain head %s", got, head)
+		}
+		if rec.Log.WeightedInstructions == 0 {
+			t.Error("record carries no weighted instructions")
+		}
+	}
+
+	// /checkpoint covers every request with one verifiable signature.
+	cr, err := http.Get(ts.URL + faas.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc accounting.SignedCheckpoint
+	if err := json.NewDecoder(cr.Body).Decode(&sc); err != nil {
+		t.Fatal(err)
+	}
+	_ = cr.Body.Close()
+	if got := sc.Checkpoint.Covered(); got != requests {
+		t.Errorf("checkpoint covers %d records, want %d", got, requests)
+	}
+	if err := accounting.VerifyCheckpointSig(sc, srv.Enclave().PublicKey(), srv.Enclave().Measurement()); err != nil {
+		t.Errorf("checkpoint signature: %v", err)
+	}
+
+	// /ledger replays offline (the acctee-verify flow over HTTP).
+	lr, err := http.Get(ts.URL + faas.LedgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(lr.Body)
+	_ = lr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := accounting.VerifyReader(bytes.NewReader(body),
+		accounting.VerifyOptions{Key: srv.Enclave().PublicKey()})
+	if err != nil {
+		t.Fatalf("offline verification of /ledger dump: %v", err)
+	}
+	if vr.Records != requests || vr.CoveredRecords != requests {
+		t.Errorf("verification result %+v", vr)
+	}
+
+	// Missing records and bad params are 404/400.
+	if r, _ := http.Get(ts.URL + faas.ReceiptPath + "?shard=0&seq=999999"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("missing record: status %d", r.StatusCode)
+	}
+	if r, _ := http.Get(ts.URL + faas.ReceiptPath + "?shard=x"); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad params: status %d", r.StatusCode)
+	}
+}
+
+// TestLedgerEndpointsAbsentWithoutInstrumentation: uninstrumented setups
+// serve no ledger.
+func TestLedgerEndpointsAbsentWithoutInstrumentation(t *testing.T) {
+	srv, err := faas.NewServer(faas.Echo, faas.SetupWASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{faas.ReceiptPath + "?shard=0&seq=0", faas.CheckpointPath, faas.LedgerPath} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, r.StatusCode)
+		}
+	}
+	if srv.Ledger() != nil {
+		t.Error("uninstrumented setup grew a ledger")
+	}
+}
+
+// TestEagerGatewayRecordsSigned: with eager signing every served record
+// carries its own verifiable signature.
+func TestEagerGatewayRecordsSigned(t *testing.T) {
+	srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr,
+		faas.ServerOptions{Ledger: accounting.LedgerOptions{EagerSign: true, Shards: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for i := 0; i < 4; i++ {
+		if resp, _ := post(t, ts.URL, []byte("x"), 0, 0); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	dump, err := srv.Ledger().Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := accounting.VerifyDump(dump, accounting.VerifyOptions{Key: srv.Enclave().PublicKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.EagerSignatures != 4 {
+		t.Errorf("verified %d eager signatures, want 4", vr.EagerSignatures)
+	}
+}
+
+// TestGenerateLoadLatencyPercentiles pins the satellite: per-request
+// latency percentiles are reported and ordered.
+func TestGenerateLoadLatencyPercentiles(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		time.Sleep(200 * time.Microsecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	res := faas.GenerateLoad(ts.URL, 2, 20, []byte("x"), 0, 0)
+	if res.LatencyP50 <= 0 {
+		t.Fatalf("p50 = %v", res.LatencyP50)
+	}
+	if res.LatencyP95 < res.LatencyP50 || res.LatencyP99 < res.LatencyP95 {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v",
+			res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	}
+	if res.LatencyP50 < 200*time.Microsecond {
+		t.Errorf("p50 %v below the handler's sleep", res.LatencyP50)
 	}
 }
 

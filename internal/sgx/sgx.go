@@ -140,6 +140,16 @@ func (e *Enclave) Transition() uint64 {
 // Transitions returns the number of recorded boundary crossings.
 func (e *Enclave) Transitions() uint64 { return e.transitions.Load() }
 
+// TransitionCost returns the per-crossing cycle charge (zero in simulation
+// mode) WITHOUT recording a crossing — for callers attributing a crossing
+// someone else already recorded (e.g. the library OS) to a specific run.
+func (e *Enclave) TransitionCost() uint64 {
+	if e.mode != ModeHardware {
+		return 0
+	}
+	return e.costs.TransitionCycles
+}
+
 // Report is a local attestation report (analogue of the SGX REPORT
 // structure): the enclave's measurement plus caller-chosen user data, e.g.
 // the hash of the enclave's public key.
@@ -161,6 +171,19 @@ func PubKeyUserData(pub *ecdsa.PublicKey) []byte {
 	b := elliptic.Marshal(elliptic.P256(), pub.X, pub.Y)
 	h := sha256.Sum256(b)
 	return h[:]
+}
+
+// CheckpointUserData derives report user data binding both the enclave's
+// public key and a ledger checkpoint hash. A quote over such a report
+// attests not just which code is running but the exact accounting-ledger
+// state (chain heads, totals) it vouched for — the paper's signed usage log
+// lifted to a whole checkpointed history.
+func CheckpointUserData(pub *ecdsa.PublicKey, checkpointHash [32]byte) []byte {
+	b := elliptic.Marshal(elliptic.P256(), pub.X, pub.Y)
+	h := sha256.New()
+	h.Write(b)
+	h.Write(checkpointHash[:])
+	return h.Sum(nil)
 }
 
 // marshalReport serialises a report for signing.
@@ -249,16 +272,28 @@ func (s *AttestationService) VerifyQuote(q Quote) error {
 // quote must verify, the measurement must match the expected (audited)
 // enclave code, and the report must bind the enclave's public key.
 func (s *AttestationService) Attest(q Quote, expected Measurement, pub *ecdsa.PublicKey) error {
+	return s.attestUserData(q, expected, PubKeyUserData(pub),
+		"sgx: report does not bind the presented public key")
+}
+
+// AttestCheckpoint verifies a quote whose report binds the enclave key AND
+// a specific ledger checkpoint (see CheckpointUserData): proof that the
+// attested accounting enclave stood behind exactly that ledger state.
+func (s *AttestationService) AttestCheckpoint(q Quote, expected Measurement, pub *ecdsa.PublicKey, checkpointHash [32]byte) error {
+	return s.attestUserData(q, expected, CheckpointUserData(pub, checkpointHash),
+		"sgx: report does not bind the presented checkpoint")
+}
+
+func (s *AttestationService) attestUserData(q Quote, expected Measurement, want []byte, mismatch string) error {
 	if err := s.VerifyQuote(q); err != nil {
 		return err
 	}
 	if q.Report.Measurement != expected {
 		return ErrWrongMeasurement
 	}
-	want := PubKeyUserData(pub)
 	for i, b := range want {
 		if q.Report.UserData[i] != b {
-			return errors.New("sgx: report does not bind the presented public key")
+			return errors.New(mismatch)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package sgx_test
 
 import (
+	"crypto/sha256"
 	"errors"
 	"testing"
 
@@ -86,6 +87,105 @@ func TestAttestationChain(t *testing.T) {
 	bad.Signature[4] ^= 0xFF
 	if err := svc.VerifyQuote(bad); err == nil {
 		t.Error("tampered quote accepted")
+	}
+}
+
+// TestVerifyQuoteNegativePaths pins every rejection path of
+// AttestationService.VerifyQuote individually (satellite: previously only
+// the happy path was covered directly).
+func TestVerifyQuoteNegativePaths(t *testing.T) {
+	qe, err := sgx.NewQuotingEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sgx.NewAttestationService()
+	svc.RegisterPlatform("machine-1", qe)
+
+	e, _ := sgx.NewEnclave([]byte("audited"), sgx.ModeHardware, sgx.DefaultCostParams())
+	rep := e.CreateReport(sgx.PubKeyUserData(e.PublicKey()))
+	q, err := qe.QuoteReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.VerifyQuote(q); err != nil {
+		t.Fatalf("honest quote rejected: %v", err)
+	}
+
+	// Tampered report measurement: the quote signature no longer covers it.
+	bad := q
+	bad.Report.Measurement[3] ^= 0x40
+	if err := svc.VerifyQuote(bad); !errors.Is(err, sgx.ErrBadQuoteSignature) {
+		t.Errorf("tampered measurement: %v", err)
+	}
+
+	// Tampered report user data.
+	bad = q
+	bad.Report.UserData[17] ^= 1
+	if err := svc.VerifyQuote(bad); !errors.Is(err, sgx.ErrBadQuoteSignature) {
+		t.Errorf("tampered user data: %v", err)
+	}
+
+	// Quote signed by a quoting enclave of an unregistered platform.
+	rogueQE, _ := sgx.NewQuotingEnclave()
+	rogue, _ := rogueQE.QuoteReport(rep)
+	if err := svc.VerifyQuote(rogue); !errors.Is(err, sgx.ErrBadQuoteSignature) {
+		t.Errorf("wrong platform key: %v", err)
+	}
+
+	// Truncated signature.
+	bad = q
+	bad.Signature = append([]byte(nil), q.Signature[:len(q.Signature)-2]...)
+	if err := svc.VerifyQuote(bad); !errors.Is(err, sgx.ErrBadQuoteSignature) {
+		t.Errorf("truncated signature: %v", err)
+	}
+
+	// Empty signature.
+	bad = q
+	bad.Signature = nil
+	if err := svc.VerifyQuote(bad); !errors.Is(err, sgx.ErrBadQuoteSignature) {
+		t.Errorf("empty signature: %v", err)
+	}
+
+	// A service with no registered platforms reports the distinct error.
+	empty := sgx.NewAttestationService()
+	if err := empty.VerifyQuote(q); !errors.Is(err, sgx.ErrUnknownPlatform) {
+		t.Errorf("empty platform registry: %v", err)
+	}
+}
+
+// TestAttestCheckpointBinding: a checkpoint-bound report attests exactly
+// one (key, checkpoint) pair.
+func TestAttestCheckpointBinding(t *testing.T) {
+	qe, _ := sgx.NewQuotingEnclave()
+	svc := sgx.NewAttestationService()
+	svc.RegisterPlatform("machine-1", qe)
+
+	e, _ := sgx.NewEnclave([]byte("accounting enclave"), sgx.ModeHardware, sgx.DefaultCostParams())
+	expected := sgx.MeasureCode([]byte("accounting enclave"))
+	cpHash := sha256.Sum256([]byte("checkpoint 7"))
+
+	rep := e.CreateReport(sgx.CheckpointUserData(e.PublicKey(), cpHash))
+	q, err := qe.QuoteReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AttestCheckpoint(q, expected, e.PublicKey(), cpHash); err != nil {
+		t.Fatalf("honest checkpoint attestation failed: %v", err)
+	}
+	// A different checkpoint hash must not attest under the same quote.
+	other := sha256.Sum256([]byte("checkpoint 8"))
+	if err := svc.AttestCheckpoint(q, expected, e.PublicKey(), other); err == nil {
+		t.Error("quote attested a checkpoint it does not bind")
+	}
+	// Nor a different key.
+	imposter, _ := sgx.NewEnclave([]byte("accounting enclave"), sgx.ModeHardware, sgx.DefaultCostParams())
+	if err := svc.AttestCheckpoint(q, expected, imposter.PublicKey(), cpHash); err == nil {
+		t.Error("quote attested a key it does not bind")
+	}
+	// The plain-key attestation path must not accept a checkpoint-bound
+	// report (different user-data derivation).
+	if err := svc.Attest(q, expected, e.PublicKey()); err == nil {
+		t.Error("checkpoint-bound report attested as a plain key binding")
 	}
 }
 

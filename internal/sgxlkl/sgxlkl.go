@@ -261,3 +261,9 @@ func (l *LibOS) IOStats() (netIn, netOut, diskIn, diskOut, transitionCycles uint
 	defer l.mu.Unlock()
 	return l.netIn, l.netOut, l.diskIn, l.diskOut, l.extra
 }
+
+// TransitionCost returns the cycle charge of one enclave boundary crossing
+// on this library OS's enclave (zero in simulation mode), without
+// recording one — used by per-run accounting to attribute the crossings
+// the I/O syscalls above already recorded.
+func (l *LibOS) TransitionCost() uint64 { return l.enclave.TransitionCost() }
