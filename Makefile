@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench verify-ledger clean
+.PHONY: all build test race vet fmt-check bench bench-smoke verify-ledger clean
 
 all: build test
 
@@ -18,11 +18,13 @@ race:
 
 # verify-ledger is the tier-2 smoke path for the verifiable ledger: the
 # faas example serves instrumented requests and writes the serialised
-# ledger; acctee-verify replays it offline (chain continuity, gap-free
-# shard sequences, checkpoint signatures, totals reconstruction).
+# ledger into build/ (never the repo root); acctee-verify replays it
+# offline (chain continuity, gap-free shard sequences, checkpoint
+# signatures, totals reconstruction).
 verify-ledger:
-	$(GO) run ./examples/faas -dump ledger.json
-	$(GO) run ./cmd/acctee-verify -dump ledger.json
+	@mkdir -p build
+	$(GO) run ./examples/faas -dump build/ledger.json
+	$(GO) run ./cmd/acctee-verify -dump build/ledger.json
 
 vet:
 	$(GO) vet ./...
@@ -32,16 +34,22 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # bench records the perf trajectory: the PolyBench interpreter dispatch
-# comparison (structured reference engine vs flat engine) in
-# BENCH_interp.json, the compile-once/run-many FaaS gateway comparison
-# (per-request compile vs cached CompiledModule + instance pool) in
-# BENCH_faas.json, and the eager vs checkpoint-batched ledger signing
-# comparison (plus 10k-record offline-verification cost) in
-# BENCH_ledger.json.
+# comparison (structured reference vs flat vs fused engine, plus the ALU
+# and memory-traffic microbenchmarks) in BENCH_interp.json, the
+# compile-once/run-many FaaS gateway comparison (per-request compile vs
+# cached CompiledModule + instance pool) in BENCH_faas.json, and the eager
+# vs checkpoint-batched ledger signing comparison (plus 10k-record
+# offline-verification cost) in BENCH_ledger.json.
 bench:
 	$(GO) run ./cmd/acctee-bench -fig dispatch -trials 3 -json BENCH_interp.json
 	$(GO) run ./cmd/acctee-bench -fig faas -requests 60 -json BENCH_faas.json
 	$(GO) run ./cmd/acctee-bench -fig ledger -requests 400 -json BENCH_ledger.json
+
+# bench-smoke is the CI perf gate: the fused engine must not fall below
+# the flat engine on the dispatch/memory microbenchmarks (generous noise
+# tolerance; the gate exits non-zero on regression).
+bench-smoke:
+	$(GO) run ./cmd/acctee-bench -fig smoke -trials 5
 
 clean:
 	$(GO) clean ./...

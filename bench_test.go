@@ -230,8 +230,9 @@ func BenchmarkTableSize(b *testing.B) {
 // BenchmarkDispatch compares interpreter dispatch on PolyBench kernels:
 // the structured reference engine (label stack, per-instruction accounting)
 // against the flat engine (precompiled branch sidetable, block-batched
-// accounting). `make bench` runs the same comparison via acctee-bench and
-// records it in BENCH_interp.json.
+// accounting) and the fused engine (superinstructions, folded addressing).
+// `make bench` runs the same comparison via acctee-bench and records it in
+// BENCH_interp.json.
 func BenchmarkDispatch(b *testing.B) {
 	for _, name := range bench.DispatchKernels {
 		k, err := polybench.Get(name)
@@ -249,7 +250,7 @@ func BenchmarkDispatch(b *testing.B) {
 		for _, eng := range []struct {
 			name   string
 			engine interp.Engine
-		}{{"structured", interp.EngineStructured}, {"flat", interp.EngineFlat}} {
+		}{{"structured", interp.EngineStructured}, {"flat", interp.EngineFlat}, {"fused", interp.EngineFused}} {
 			b.Run(name+"/"+eng.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					vm, err := interp.Instantiate(m, interp.Config{Engine: eng.engine})

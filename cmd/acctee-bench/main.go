@@ -11,7 +11,9 @@
 //	acctee-bench -fig 10
 //	acctee-bench -fig size         # §5.4 binary sizes
 //	acctee-bench -fig dispatch -json BENCH_interp.json
-//	                               # interpreter engine comparison
+//	                               # three-way engine comparison + microbenchmarks
+//	acctee-bench -fig smoke        # CI gate: fused must not regress below flat
+//	                               # (standalone; not included in -fig all)
 //	acctee-bench -fig faas -json BENCH_faas.json
 //	                               # compile-once/run-many gateway benchmark
 //	acctee-bench -fig ledger -json BENCH_ledger.json
@@ -121,18 +123,39 @@ func run() error {
 	}
 	if want("dispatch") {
 		matched = true
-		fmt.Println("== Interpreter dispatch: structured (reference) vs flat engine ==")
+		fmt.Println("== Interpreter dispatch: structured (reference) vs flat vs fused ==")
 		rows, err := bench.RunDispatch(nil, *trials)
 		if err != nil {
 			return err
 		}
-		bench.PrintDispatch(os.Stdout, rows)
+		micro, err := bench.RunMicro(*trials)
+		if err != nil {
+			return err
+		}
+		bench.PrintDispatch(os.Stdout, rows, micro)
 		if *jsonOut != "" {
-			if err := bench.WriteDispatchJSON(*jsonOut, rows); err != nil {
+			if err := bench.WriteDispatchJSON(*jsonOut, rows, micro); err != nil {
 				return err
 			}
 			fmt.Println("wrote", *jsonOut)
 		}
+		fmt.Println()
+	}
+	// The smoke gate is standalone (never part of -fig all): it exits
+	// non-zero on regression, which would turn every full bench run on a
+	// noisy machine into a failure.
+	if *fig == "smoke" {
+		matched = true
+		fmt.Println("== Bench smoke gate: fused must not regress below flat ==")
+		micro, err := bench.RunMicro(*trials)
+		if err != nil {
+			return err
+		}
+		bench.PrintDispatch(os.Stdout, nil, micro)
+		if err := bench.CheckMicroGate(micro, 0.85); err != nil {
+			return err
+		}
+		fmt.Println("gate passed")
 		fmt.Println()
 	}
 	if want("faas") {
@@ -186,7 +209,7 @@ func run() error {
 		fmt.Println()
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, faas, ledger, all)", strings.TrimSpace(*fig))
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, smoke, faas, ledger, all)", strings.TrimSpace(*fig))
 	}
 	return nil
 }

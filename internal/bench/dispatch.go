@@ -4,39 +4,96 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
 	"acctee/internal/interp"
 	"acctee/internal/polybench"
+	"acctee/internal/wasm"
 )
 
 // DispatchKernels is the PolyBench subset used for the interpreter
-// before/after dispatch comparison (the Fig. 6 per-commit subset).
+// three-way dispatch comparison (the Fig. 6 per-commit subset).
 var DispatchKernels = []string{"gemm", "2mm", "atax", "jacobi-2d", "cholesky", "nussinov", "doitgen", "durbin"}
 
-// DispatchRow is one kernel's structured-vs-flat engine measurement.
+// DispatchRow is one kernel's structured / flat / fused engine measurement.
 type DispatchRow struct {
-	Kernel       string  `json:"kernel"`
-	N            int     `json:"n"`
+	Kernel       string `json:"kernel"`
+	N            int    `json:"n"`
+	Instructions uint64 `json:"instructions"`
+	StructuredNs int64  `json:"structured_ns"`
+	FlatNs       int64  `json:"flat_ns"`
+	FusedNs      int64  `json:"fused_ns"`
+	// FlatSpeedup is structured/flat (the PR 1 gain); FusedSpeedup is
+	// flat/fused (this PR's gain, gated at >=1.25x geomean).
+	FlatSpeedup  float64 `json:"flat_speedup"`
+	FusedSpeedup float64 `json:"fused_speedup"`
+}
+
+// MicroRow is one microbenchmark's three-way measurement. The ALU row
+// isolates raw dispatch on a tight arithmetic loop; the memory-traffic row
+// isolates the fused effective-address fast path on a load/store-dominated
+// kernel. The CI smoke gate fails when FusedVsFlat drops below the noise
+// tolerance.
+type MicroRow struct {
+	Name         string  `json:"name"`
 	Instructions uint64  `json:"instructions"`
 	StructuredNs int64   `json:"structured_ns"`
 	FlatNs       int64   `json:"flat_ns"`
-	Speedup      float64 `json:"speedup"`
+	FusedNs      int64   `json:"fused_ns"`
+	FusedVsFlat  float64 `json:"fused_vs_flat"`
 }
 
 // DispatchReport is the BENCH_interp.json payload tracking the interpreter
 // performance trajectory across commits.
 type DispatchReport struct {
-	GeneratedAt string        `json:"generated_at"`
-	Baseline    string        `json:"baseline"`
-	Candidate   string        `json:"candidate"`
-	Rows        []DispatchRow `json:"rows"`
+	GeneratedAt string `json:"generated_at"`
+	Baseline    string `json:"baseline"`
+	Candidate   string `json:"candidate"`
+	// FusedGeomean is the geometric-mean fused-over-flat speedup across the
+	// PolyBench rows.
+	FusedGeomean float64       `json:"fused_geomean"`
+	Rows         []DispatchRow `json:"rows"`
+	Micro        []MicroRow    `json:"micro"`
 }
 
-// RunDispatch measures each kernel under the structured reference engine
-// and the flat engine (best of trials), at 2/3 of the kernel's default
-// problem size like the Fig. 6 per-commit harness.
+// engines, in measurement order.
+var dispatchEngines = []interp.Engine{interp.EngineStructured, interp.EngineFlat, interp.EngineFused}
+
+// measure3 runs the export once per trial per engine on a shared compiled
+// artifact and returns the best wall time for each engine plus the
+// instruction count (identical across engines by construction).
+func measure3(m *wasm.Module, export string, trials int, args ...uint64) (ns [3]int64, instr uint64, err error) {
+	cm, err := interp.Compile(m, interp.CompileOptions{})
+	if err != nil {
+		return ns, 0, err
+	}
+	for ei, engine := range dispatchEngines {
+		best := int64(0)
+		for t := 0; t < trials; t++ {
+			vm, err := cm.Instantiate(interp.Config{Engine: engine})
+			if err != nil {
+				return ns, 0, err
+			}
+			start := time.Now()
+			if _, err := vm.InvokeExport(export, args...); err != nil {
+				return ns, 0, err
+			}
+			d := time.Since(start).Nanoseconds()
+			if t == 0 || d < best {
+				best = d
+			}
+			instr = vm.InstrCount()
+		}
+		ns[ei] = best
+	}
+	return ns, instr, nil
+}
+
+// RunDispatch measures each kernel under all three engines (best of
+// trials), at 2/3 of the kernel's default problem size like the Fig. 6
+// per-commit harness.
 func RunDispatch(kernels []string, trials int) ([]DispatchRow, error) {
 	if len(kernels) == 0 {
 		kernels = DispatchKernels
@@ -58,52 +115,164 @@ func RunDispatch(kernels []string, trials int) ([]DispatchRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		var instr uint64
-		measure := func(engine interp.Engine) (int64, error) {
-			best := int64(0)
-			for t := 0; t < trials; t++ {
-				d, vm, err := timeWasm(m, interp.Config{Engine: engine}, "run")
-				if err != nil {
-					return 0, err
-				}
-				if t == 0 || d.Nanoseconds() < best {
-					best = d.Nanoseconds()
-				}
-				instr = vm.InstrCount()
-			}
-			return best, nil
-		}
-		structured, err := measure(interp.EngineStructured)
+		ns, instr, err := measure3(m, "run", trials)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s structured: %w", name, err)
-		}
-		flat, err := measure(interp.EngineFlat)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s flat: %w", name, err)
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
 		}
 		row := DispatchRow{
 			Kernel:       name,
 			N:            n,
 			Instructions: instr,
-			StructuredNs: structured,
-			FlatNs:       flat,
+			StructuredNs: ns[0],
+			FlatNs:       ns[1],
+			FusedNs:      ns[2],
 		}
-		if flat > 0 {
-			row.Speedup = float64(structured) / float64(flat)
+		if ns[1] > 0 {
+			row.FlatSpeedup = float64(ns[0]) / float64(ns[1])
+		}
+		if ns[2] > 0 {
+			row.FusedSpeedup = float64(ns[1]) / float64(ns[2])
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
+// FusedGeomean returns the geometric mean of the fused-over-flat speedups.
+func FusedGeomean(rows []DispatchRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		if r.FusedSpeedup <= 0 {
+			return 0
+		}
+		sum += math.Log(r.FusedSpeedup)
+	}
+	return math.Exp(sum / float64(len(rows)))
+}
+
+// buildALUMicro is the dispatch microbenchmark: a tight arithmetic loop
+// with no memory traffic, so the measurement isolates opcode dispatch and
+// ALU fusion.
+func buildALUMicro() (*wasm.Module, error) {
+	b := wasm.NewModule("alu-micro")
+	f := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.LocalGet(acc).LocalGet(i).Op(wasm.OpI32Xor).LocalSet(acc)
+		f.LocalGet(acc).I32Const(3).Op(wasm.OpI32Mul).LocalSet(acc)
+		f.LocalGet(acc).I32Const(0x7FFFFF).Op(wasm.OpI32And).LocalSet(acc)
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// buildMemMicro is the memory-traffic microbenchmark: a load/store-
+// dominated stream kernel (b[i] = a[i]*s + b[i] over f64 arrays, plus a
+// byte-wide histogram touch), so the fused effective-address fast path and
+// the word-at-a-time access dominate the measurement, separately from ALU
+// fusion.
+func buildMemMicro() (*wasm.Module, error) {
+	const elems = 1024
+	const baseA, baseB = 64, 64 + elems*8
+	b := wasm.NewModule("mem-micro")
+	b.Memory(1, 1)
+	f := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.F64})
+	rep := f.Local(wasm.I32)
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.F64)
+	f.ForI32(rep, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.ConstI32(elems)}, 1, func() {
+			// b[i] = a[i]*1.0009765625 + b[i]
+			f.LocalGet(i).I32Const(8).Op(wasm.OpI32Mul)
+			f.LocalGet(i).I32Const(8).Op(wasm.OpI32Mul).Load(wasm.OpF64Load, baseA)
+			f.F64ConstV(1.0009765625).Op(wasm.OpF64Mul)
+			f.LocalGet(i).I32Const(8).Op(wasm.OpI32Mul).Load(wasm.OpF64Load, baseB)
+			f.Op(wasm.OpF64Add).Store(wasm.OpF64Store, baseB)
+			// histogram touch: h[i&255]++ (byte loads/stores past the arrays)
+			const baseH = baseB + elems*8
+			f.LocalGet(i).I32Const(255).Op(wasm.OpI32And)
+			f.LocalGet(i).I32Const(255).Op(wasm.OpI32And).Load(wasm.OpI32Load8U, baseH)
+			f.I32Const(1).Op(wasm.OpI32Add).Store(wasm.OpI32Store8, baseH)
+		})
+		// acc += b[rep & 1023]
+		f.LocalGet(acc)
+		f.LocalGet(rep).I32Const(1023).Op(wasm.OpI32And).I32Const(8).Op(wasm.OpI32Mul).Load(wasm.OpF64Load, baseB)
+		f.Op(wasm.OpF64Add).LocalSet(acc)
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("run", f.End())
+	return b.Build()
+}
+
+// RunMicro measures the ALU-dispatch and memory-traffic microbenchmarks
+// under all three engines (best of trials).
+func RunMicro(trials int) ([]MicroRow, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	micro := []struct {
+		name  string
+		build func() (*wasm.Module, error)
+		arg   uint64
+	}{
+		{"alu-dispatch", buildALUMicro, 60_000},
+		{"mem-traffic", buildMemMicro, 60},
+	}
+	rows := make([]MicroRow, 0, len(micro))
+	for _, mb := range micro {
+		m, err := mb.build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", mb.name, err)
+		}
+		ns, instr, err := measure3(m, "run", trials, mb.arg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", mb.name, err)
+		}
+		row := MicroRow{
+			Name:         mb.name,
+			Instructions: instr,
+			StructuredNs: ns[0],
+			FlatNs:       ns[1],
+			FusedNs:      ns[2],
+		}
+		if ns[2] > 0 {
+			row.FusedVsFlat = float64(ns[1]) / float64(ns[2])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CheckMicroGate is the CI bench smoke gate: the fused engine must not be
+// slower than the flat engine on any microbenchmark beyond the given noise
+// tolerance (e.g. 0.85 allows fused to be up to ~18% slower before
+// failing, generous enough for shared CI runners).
+func CheckMicroGate(rows []MicroRow, tolerance float64) error {
+	for _, r := range rows {
+		if r.FusedVsFlat < tolerance {
+			return fmt.Errorf("bench gate: %s: fused %.2fx vs flat (tolerance %.2fx): fused=%s flat=%s",
+				r.Name, r.FusedVsFlat, tolerance,
+				time.Duration(r.FusedNs), time.Duration(r.FlatNs))
+		}
+	}
+	return nil
+}
+
 // WriteDispatchJSON writes the report consumed by the perf-trajectory
 // tracking (BENCH_interp.json).
-func WriteDispatchJSON(path string, rows []DispatchRow) error {
+func WriteDispatchJSON(path string, rows []DispatchRow, micro []MicroRow) error {
 	rep := DispatchReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Baseline:    "structured (label-stack, per-instruction accounting)",
-		Candidate:   "flat (precompiled sidetable, block-batched accounting)",
-		Rows:        rows,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Baseline:     "structured (label-stack, per-instruction accounting)",
+		Candidate:    "fused (superinstructions, folded addressing, zero-dispatch accounting); flat retained as mid-tier",
+		FusedGeomean: FusedGeomean(rows),
+		Rows:         rows,
+		Micro:        micro,
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -112,14 +281,24 @@ func WriteDispatchJSON(path string, rows []DispatchRow) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// PrintDispatch renders the comparison as a table.
-func PrintDispatch(w io.Writer, rows []DispatchRow) {
+// PrintDispatch renders the three-way comparison as a table.
+func PrintDispatch(w io.Writer, rows []DispatchRow, micro []MicroRow) {
 	tw := newTab(w)
-	fmt.Fprintln(tw, "kernel\tN\tinstr\tstructured\tflat\tspeedup")
+	fmt.Fprintln(tw, "kernel\tN\tinstr\tstructured\tflat\tfused\tflat/structured\tfused/flat")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
 			r.Kernel, r.N, r.Instructions,
-			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), fmtRatio(r.Speedup))
+			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), time.Duration(r.FusedNs),
+			fmtRatio(r.FlatSpeedup), fmtRatio(r.FusedSpeedup))
+	}
+	for _, r := range micro {
+		fmt.Fprintf(tw, "%s\t\t%d\t%s\t%s\t%s\t\t%s\n",
+			r.Name, r.Instructions,
+			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), time.Duration(r.FusedNs),
+			fmtRatio(r.FusedVsFlat))
 	}
 	tw.Flush()
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "fused geomean over flat (polybench): %s\n", fmtRatio(FusedGeomean(rows)))
+	}
 }

@@ -190,6 +190,27 @@ func Build(body []wasm.Instr) (*Graph, error) {
 	return g, nil
 }
 
+// Leaders returns the segment-leader bitmap of the body: true at every
+// basic-block start, and at the instruction following any occurrence of the
+// given opcodes. Accounting consumers (the interpreter's lowering pass, the
+// fusion pass) split segments after host-visible points — call,
+// call_indirect, memory.grow — so counters are settled whenever host code
+// can observe the VM; superinstruction fusion must never span a leader.
+func (g *Graph) Leaders(splitAfter ...wasm.Opcode) []bool {
+	leader := make([]bool, len(g.Body))
+	for _, b := range g.Blocks {
+		leader[b.Start] = true
+	}
+	for pc, in := range g.Body {
+		for _, op := range splitAfter {
+			if in.Op == op && pc+1 < len(g.Body) {
+				leader[pc+1] = true
+			}
+		}
+	}
+	return leader
+}
+
 // RangeCost sums costFn over the instruction range body[start..term]
 // inclusive. It is the single definition of a code range's weight, shared
 // by the instrumentation enclave (counter increments) and the interpreter's

@@ -22,7 +22,10 @@ import (
 //     memory.grow so counters are settled at every host-visible point) and
 //     fuel, CostModel cycles and the ground-truth instruction counter are
 //     charged once per segment, with per-pc rollback metadata keeping trap
-//     paths bit-identical to per-instruction accounting.
+//     paths bit-identical to per-instruction accounting;
+//   - a final fusion pass (fuse.go) rewrites the stream into
+//     superinstructions for the default fused engine, strictly within
+//     segment boundaries so the accounting above is untouched.
 //
 // The pass is cost-model-independent: per-segment cost sums live in the
 // CompiledModule's per-fingerprint cache (module.go), not in the flat IR,
@@ -83,6 +86,7 @@ func compile(m *wasm.Module, f *wasm.Func) (compiledFunc, error) {
 	if err := lower(m, &cf, g); err != nil {
 		return cf, err
 	}
+	fuse(&cf)
 	return cf, nil
 }
 
@@ -132,18 +136,7 @@ func lower(m *wasm.Module, cf *compiledFunc, g *cfg.Graph) error {
 	// Segment leaders: every basic-block start, plus the instruction after
 	// each call/call_indirect/memory.grow so accounting is settled whenever
 	// host code (imports, grow hooks) can observe the VM.
-	leader := make([]bool, len(body))
-	for _, b := range g.Blocks {
-		leader[b.Start] = true
-	}
-	for pc, in := range body {
-		switch in.Op {
-		case wasm.OpCall, wasm.OpCallIndirect, wasm.OpMemoryGrow:
-			if pc+1 < len(body) {
-				leader[pc+1] = true
-			}
-		}
-	}
+	leader := g.Leaders(wasm.OpCall, wasm.OpCallIndirect, wasm.OpMemoryGrow)
 
 	// Accounting tables: per-segment instruction counts charged at leaders
 	// (cost sums are derived per cost-model fingerprint in module.go).

@@ -8,18 +8,26 @@ import (
 	"acctee/internal/wasm"
 )
 
-// This file is the flat engine (EngineFlat), the default execution path. It
-// interprets the flat IR produced by the lowering pass in compile.go:
+// This file is the flat/fused execution loop, shared by EngineFlat and the
+// default EngineFused. It interprets the per-pc IR produced by the lowering
+// pass in compile.go — EngineFlat dispatches the original body, EngineFused
+// the fused stream built by fuse.go (same pc space, superinstructions at
+// span leaders, constituents jumped over):
 //
 //   - branches jump through the precompiled sidetable (no label stack, no
-//     label walk);
+//     label walk); fused conditional branches read the br_if constituent's
+//     sidetable entry directly;
 //   - the operand stack is a fixed-size slab indexed by an integer stack
-//     pointer, allocated together with the locals in one frame;
+//     pointer, allocated together with the locals in one frame; fused ops
+//     read locals and constants without round-tripping through it;
 //   - fuel, CostModel cycles and the ground-truth instruction counter are
-//     charged once per straight-line segment at its leader; traps roll the
-//     not-executed suffix back, and a fuel shortfall inside a segment falls
-//     back to the per-instruction tail, so all accounting stays
-//     bit-identical to the structured reference engine.
+//     charged once per straight-line segment at its leader (fused spans
+//     never cross a segment, so the charge rides on an existing dispatch);
+//     traps roll the not-executed suffix back — for a trap inside a
+//     superinstruction, from the trapping constituent's own pc — and a fuel
+//     shortfall deoptimizes to the per-instruction tail over the original
+//     body, so all accounting stays bit-identical to the structured
+//     reference engine.
 
 // b2u converts a comparison result to a wasm i32 boolean.
 func b2u(b bool) uint64 {
@@ -49,7 +57,10 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 	locals := frame[:f.numLoc]
 	st := frame[f.numLoc:]
 	sp := 0
-	body := f.body
+	code := f.fused
+	if vm.engine == EngineFlat {
+		code = f.body
+	}
 	flat := f.flat
 	costed := vm.cost != nil
 	var fc *funcCosts
@@ -59,7 +70,7 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 	pc := 0
 	var trapErr error
 
-	for pc < len(body) {
+	for pc < len(code) {
 		fl := &flat[pc]
 		if n := fl.segCnt; n != 0 {
 			// Segment leader: charge the whole straight-line run at once.
@@ -74,7 +85,7 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 				vm.costAcc += fc.segCost[pc]
 			}
 		}
-		in := &body[pc]
+		in := &code[pc]
 
 		switch in.Op {
 		// --- control
@@ -743,6 +754,272 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 		case wasm.OpI32ReinterpretF, wasm.OpI64ReinterpretF,
 			wasm.OpF32ReinterpretI, wasm.OpF64ReinterpretI:
 			// bit pattern unchanged
+
+		// --- superinstructions (fused stream only; see fuse.go for the
+		// payload layout). Every case advances pc past its constituents; a
+		// trap adjusts pc to the trapping constituent first so rollback
+		// reproduces the reference engine's per-instruction totals.
+
+		// ALU fusion: operands straight from locals/constants, result to the
+		// stack or straight back into a local.
+		case opFGetGetBin:
+			v, err := applyBin(wasm.Opcode(in.Align), locals[in.Idx], locals[in.Off])
+			if err != nil {
+				pc += 2
+				trapErr = err
+				goto trap
+			}
+			st[sp] = v
+			sp++
+			pc += 3
+			continue
+		case opFGetConstBin:
+			v, err := applyBin(wasm.Opcode(in.Align), locals[in.Idx], in.U64)
+			if err != nil {
+				pc += 2
+				trapErr = err
+				goto trap
+			}
+			st[sp] = v
+			sp++
+			pc += 3
+			continue
+		case opFGetBin:
+			v, err := applyBin(wasm.Opcode(in.Align), st[sp-1], locals[in.Idx])
+			if err != nil {
+				pc++
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+			pc += 2
+			continue
+		case opFConstBin:
+			v, err := applyBin(wasm.Opcode(in.Align), st[sp-1], in.U64)
+			if err != nil {
+				pc++
+				trapErr = err
+				goto trap
+			}
+			st[sp-1] = v
+			pc += 2
+			continue
+		case opFBinSet:
+			sp -= 2
+			v, err := applyBin(wasm.Opcode(in.Align), st[sp], st[sp+1])
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			locals[in.Idx] = v
+			if in.Align&fTee != 0 {
+				st[sp] = v
+				sp++
+			}
+			pc += 2
+			continue
+		case opFGetGetBinSet:
+			v, err := applyBin(wasm.Opcode(in.Align), locals[in.Idx], locals[in.Off])
+			if err != nil {
+				pc += 2
+				trapErr = err
+				goto trap
+			}
+			locals[uint32(in.U64)] = v
+			if in.Align&fTee != 0 {
+				st[sp] = v
+				sp++
+			}
+			pc += 4
+			continue
+		case opFGetConstBinSet:
+			v, err := applyBin(wasm.Opcode(in.Align), locals[in.Idx], in.U64)
+			if err != nil {
+				pc += 2
+				trapErr = err
+				goto trap
+			}
+			locals[in.Off] = v
+			if in.Align&fTee != 0 {
+				st[sp] = v
+				sp++
+			}
+			pc += 4
+			continue
+		case opFConstSet:
+			locals[in.Idx] = in.U64
+			if in.Align&fTee != 0 {
+				st[sp] = in.U64
+				sp++
+			}
+			pc += 2
+			continue
+
+		// Fused conditional branches: the compare feeds the branch directly
+		// (comparisons cannot trap); the taken edge is the br_if
+		// constituent's own sidetable entry.
+		case opFCmpBr:
+			sp -= 2
+			v, _ := applyBin(wasm.Opcode(in.Align), st[sp], st[sp+1])
+			if v != 0 {
+				t := &flat[pc+1]
+				if n := int(t.arity); n > 0 {
+					copy(st[t.height:int(t.height)+n], st[sp-n:sp])
+				}
+				sp = int(t.height) + int(t.arity)
+				pc = int(t.target)
+				continue
+			}
+			pc += 2
+			continue
+		case opFGetGetCmpBr:
+			v, _ := applyBin(wasm.Opcode(in.Align), locals[in.Idx], locals[in.Off])
+			if v != 0 {
+				t := &flat[pc+3]
+				if n := int(t.arity); n > 0 {
+					copy(st[t.height:int(t.height)+n], st[sp-n:sp])
+				}
+				sp = int(t.height) + int(t.arity)
+				pc = int(t.target)
+				continue
+			}
+			pc += 4
+			continue
+		case opFGetConstCmpBr:
+			v, _ := applyBin(wasm.Opcode(in.Align), locals[in.Idx], in.U64)
+			if v != 0 {
+				t := &flat[pc+3]
+				if n := int(t.arity); n > 0 {
+					copy(st[t.height:int(t.height)+n], st[sp-n:sp])
+				}
+				sp = int(t.height) + int(t.arity)
+				pc = int(t.target)
+				continue
+			}
+			pc += 4
+			continue
+		case opFEqzBr:
+			sp--
+			var taken bool
+			if wasm.Opcode(in.Align) == wasm.OpI32Eqz {
+				taken = uint32(st[sp]) == 0
+			} else {
+				taken = st[sp] == 0
+			}
+			if taken {
+				t := &flat[pc+1]
+				if n := int(t.arity); n > 0 {
+					copy(st[t.height:int(t.height)+n], st[sp-n:sp])
+				}
+				sp = int(t.height) + int(t.arity)
+				pc = int(t.target)
+				continue
+			}
+			pc += 2
+			continue
+
+		// Memory fast paths: effective address folded (or scaled) at compile
+		// time, one bounds check, word-at-a-time little-endian access.
+		case opFConstLoad:
+			al := in.Align
+			width := al >> 16 & 0xFF
+			ea := in.U64 // const + memarg offset, folded at compile time
+			if ea+uint64(width) > uint64(len(vm.memory)) {
+				pc++
+				trapErr = ErrOutOfBounds
+				goto trap
+			}
+			if costed {
+				vm.costAcc += vm.cost.MemCost(uint32(ea), width, false, uint32(len(vm.memory)))
+			}
+			st[sp] = fastLoad(vm.memory, ea, width, al>>24)
+			sp++
+			pc += 2
+			continue
+		case opFGetLoad:
+			al := in.Align
+			width := al >> 16 & 0xFF
+			ea := uint64(uint32(locals[in.Idx])) + uint64(in.Off)
+			if ea+uint64(width) > uint64(len(vm.memory)) {
+				pc++
+				trapErr = ErrOutOfBounds
+				goto trap
+			}
+			if costed {
+				vm.costAcc += vm.cost.MemCost(uint32(ea), width, false, uint32(len(vm.memory)))
+			}
+			st[sp] = fastLoad(vm.memory, ea, width, al>>24)
+			sp++
+			pc += 2
+			continue
+		case opFScaleLoad:
+			al := in.Align
+			width := al >> 16 & 0xFF
+			ea := uint64(uint32(st[sp-1])*uint32(in.U64)) + uint64(in.Off)
+			if ea+uint64(width) > uint64(len(vm.memory)) {
+				pc += 2
+				trapErr = ErrOutOfBounds
+				goto trap
+			}
+			if costed {
+				vm.costAcc += vm.cost.MemCost(uint32(ea), width, false, uint32(len(vm.memory)))
+			}
+			st[sp-1] = fastLoad(vm.memory, ea, width, al>>24)
+			pc += 3
+			continue
+		case opFBinStore:
+			sp -= 3
+			v, err := applyBin(wasm.Opcode(in.Align), st[sp+1], st[sp+2])
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			width := in.Align >> 16 & 0xFF
+			ea := uint64(uint32(st[sp])) + uint64(in.Off)
+			if ea+uint64(width) > uint64(len(vm.memory)) {
+				pc++
+				trapErr = ErrOutOfBounds
+				goto trap
+			}
+			if costed {
+				vm.costAcc += vm.cost.MemCost(uint32(ea), width, true, uint32(len(vm.memory)))
+			}
+			vm.markDirty(int(ea), int(width))
+			fastStore(vm.memory, ea, width, v)
+			pc += 2
+			continue
+		case opFGetStore:
+			sp--
+			width := in.Align >> 16 & 0xFF
+			ea := uint64(uint32(st[sp])) + uint64(in.Off)
+			if ea+uint64(width) > uint64(len(vm.memory)) {
+				pc++
+				trapErr = ErrOutOfBounds
+				goto trap
+			}
+			if costed {
+				vm.costAcc += vm.cost.MemCost(uint32(ea), width, true, uint32(len(vm.memory)))
+			}
+			vm.markDirty(int(ea), int(width))
+			fastStore(vm.memory, ea, width, locals[in.Idx])
+			pc += 2
+			continue
+		case opFConstStore:
+			sp--
+			width := in.Align >> 16 & 0xFF
+			ea := uint64(uint32(st[sp])) + uint64(in.Off)
+			if ea+uint64(width) > uint64(len(vm.memory)) {
+				pc++
+				trapErr = ErrOutOfBounds
+				goto trap
+			}
+			if costed {
+				vm.costAcc += vm.cost.MemCost(uint32(ea), width, true, uint32(len(vm.memory)))
+			}
+			vm.markDirty(int(ea), int(width))
+			fastStore(vm.memory, ea, width, in.U64)
+			pc += 2
+			continue
 
 		default:
 			trapErr = &UnknownOpcodeError{Op: in.Op}

@@ -12,10 +12,11 @@ import (
 	"acctee/internal/weights"
 )
 
-// This file pins the flat engine to the structured reference engine: the
-// lowering pass (branch sidetable, stack heights, segment accounting) must
-// be observationally identical — results, traps, InstrCount, weighted Cost,
-// remaining fuel, and final memory/global state — on every program.
+// This file pins the flat and fused engines to the structured reference
+// engine: the lowering pass (branch sidetable, stack heights, segment
+// accounting) and the superinstruction fusion pass must be observationally
+// identical — results, traps, InstrCount, weighted Cost, remaining fuel,
+// and final memory/global state — on every program.
 
 // obs is everything observable about one execution.
 type obs struct {
@@ -50,45 +51,52 @@ func observe(t *testing.T, m *wasm.Module, cfg interp.Config, entry string, args
 	return o
 }
 
-// diffEngines runs entry under both engines and requires identical
-// observations; it returns the flat observation.
+// diffEngines runs entry under all three engines (structured reference,
+// flat, fused) and requires identical observations; it returns the fused
+// observation.
 func diffEngines(t *testing.T, m *wasm.Module, cfg interp.Config, entry string, args ...uint64) obs {
 	t.Helper()
-	cfg.Engine = interp.EngineFlat
-	flat := observe(t, m, cfg, entry, args...)
 	cfg.Engine = interp.EngineStructured
 	ref := observe(t, m, cfg, entry, args...)
+	var got obs
+	for _, eng := range []struct {
+		name   string
+		engine interp.Engine
+	}{{"flat", interp.EngineFlat}, {"fused", interp.EngineFused}} {
+		cfg.Engine = eng.engine
+		got = observe(t, m, cfg, entry, args...)
 
-	if (flat.err == nil) != (ref.err == nil) || (ref.err != nil && !errors.Is(flat.err, ref.err)) {
-		t.Errorf("error diverged: flat=%v structured=%v", flat.err, ref.err)
-	}
-	if len(flat.res) != len(ref.res) {
-		t.Errorf("result arity diverged: flat=%v structured=%v", flat.res, ref.res)
-	} else {
-		for i := range flat.res {
-			if flat.res[i] != ref.res[i] {
-				t.Errorf("result[%d] diverged: flat=%d structured=%d", i, flat.res[i], ref.res[i])
+		if (got.err == nil) != (ref.err == nil) || (ref.err != nil && !errors.Is(got.err, ref.err)) {
+			t.Errorf("error diverged: %s=%v structured=%v", eng.name, got.err, ref.err)
+		}
+		if len(got.res) != len(ref.res) {
+			t.Errorf("result arity diverged: %s=%v structured=%v", eng.name, got.res, ref.res)
+		} else {
+			for i := range got.res {
+				if got.res[i] != ref.res[i] {
+					t.Errorf("result[%d] diverged: %s=%d structured=%d", i, eng.name, got.res[i], ref.res[i])
+				}
+			}
+		}
+		if got.count != ref.count {
+			t.Errorf("InstrCount diverged: %s=%d structured=%d", eng.name, got.count, ref.count)
+		}
+		if got.cost != ref.cost {
+			t.Errorf("Cost diverged: %s=%d structured=%d", eng.name, got.cost, ref.cost)
+		}
+		if got.fuel != ref.fuel {
+			t.Errorf("FuelRemaining diverged: %s=%d structured=%d", eng.name, got.fuel, ref.fuel)
+		}
+		if !bytes.Equal(got.memory, ref.memory) {
+			t.Errorf("final memory diverged (%s vs structured)", eng.name)
+		}
+		for i := range ref.global {
+			if got.global[i] != ref.global[i] {
+				t.Errorf("global %d diverged: %s=%d structured=%d", i, eng.name, got.global[i], ref.global[i])
 			}
 		}
 	}
-	if flat.count != ref.count {
-		t.Errorf("InstrCount diverged: flat=%d structured=%d", flat.count, ref.count)
-	}
-	if flat.cost != ref.cost {
-		t.Errorf("Cost diverged: flat=%d structured=%d", flat.cost, ref.cost)
-	}
-	if flat.fuel != ref.fuel {
-		t.Errorf("FuelRemaining diverged: flat=%d structured=%d", flat.fuel, ref.fuel)
-	}
-	if !bytes.Equal(flat.memory, ref.memory) {
-		t.Errorf("final memory diverged")
-	}
-	for i := range ref.global {
-		if flat.global[i] != ref.global[i] {
-			t.Errorf("global %d diverged: flat=%d structured=%d", i, flat.global[i], ref.global[i])
-		}
-	}
-	return flat
+	return got
 }
 
 // TestBranchTargetPrecompilation drives every branch shape the lowering
@@ -519,14 +527,16 @@ func TestHostObservationExactness(t *testing.T) {
 		}
 		return snaps
 	}
-	flat := run(interp.EngineFlat)
 	ref := run(interp.EngineStructured)
-	if len(flat) != len(ref) {
-		t.Fatalf("snapshot count diverged: %d vs %d", len(flat), len(ref))
-	}
-	for i := range flat {
-		if flat[i] != ref[i] {
-			t.Errorf("observation %d diverged: flat=%v structured=%v", i, flat[i], ref[i])
+	for _, engine := range []interp.Engine{interp.EngineFlat, interp.EngineFused} {
+		got := run(engine)
+		if len(got) != len(ref) {
+			t.Fatalf("engine %d: snapshot count diverged: %d vs %d", engine, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Errorf("engine %d: observation %d diverged: got=%v structured=%v", engine, i, got[i], ref[i])
+			}
 		}
 	}
 }
@@ -541,7 +551,7 @@ func TestHostResultArityChecked(t *testing.T) {
 	f.Call(bad)
 	b.ExportFunc("f", f.End())
 	m := b.MustBuild()
-	for _, engine := range []interp.Engine{interp.EngineFlat, interp.EngineStructured} {
+	for _, engine := range []interp.Engine{interp.EngineFused, interp.EngineFlat, interp.EngineStructured} {
 		vm, err := interp.Instantiate(m, interp.Config{
 			Engine: engine,
 			Imports: map[string]interp.HostFunc{

@@ -1,0 +1,685 @@
+package interp
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"acctee/internal/wasm"
+)
+
+// This file is the superinstruction fusion pass and its runtime helpers.
+//
+// fuse rewrites a lowered function body into the fused stream the default
+// engine (EngineFused) dispatches: a copy of the body, indexed by the same
+// pc space, where each fusible idiom is collapsed into one superinstruction
+// at its first pc. Execution of a fused op jumps straight past its
+// constituents, so the interior pcs are never dispatched (they keep their
+// original instructions for debugging and for the per-instruction deopt
+// paths, which always run over the original body).
+//
+// Keeping the original pc space is what makes accounting exact for free:
+//
+//   - a span never crosses an accounting-segment boundary (no interior pc is
+//     a segment leader), so the block-batched fuel/cost/InstrCount charge at
+//     the leader covers every constituent exactly once — the fused branch and
+//     entry ops absorb the accrual without any extra dispatch;
+//   - a trap inside a superinstruction rolls back at the trapping
+//     constituent's original pc (each fused shape has at most one trapping
+//     constituent, at a fixed offset), reproducing the reference engine's
+//     per-instruction totals bit-for-bit;
+//   - a fuel shortfall deoptimizes before the segment executes: the
+//     per-instruction fuel tail walks the original body, never the fused
+//     stream.
+//
+// Superinstruction operands are packed into the unused immediate fields of
+// wasm.Instr (the fused stream is internal to this package and is never
+// decoded, printed, validated or costed):
+//
+//	Idx   — first local (a), or the destination/value local where noted
+//	Off   — second local (b), destination local for opFGetConstBinSet,
+//	        or the original memarg offset for memory fusions
+//	U64   — constant bits (c), destination local for opFGetGetBinSet,
+//	        or the folded effective address for opFConstLoad
+//	Align — packed: bits 0-7 the inner opcode (binop/compare/load/store),
+//	        bit 8 the tee flag, bits 16-23 the access width,
+//	        bits 24-26 the load extension code
+//
+// Fused opcodes live in the 0xC0+ range the MVP encoding leaves unused.
+const (
+	opFGetGetBin      wasm.Opcode = 0xC0 // local.get a; local.get b; binop
+	opFGetConstBin    wasm.Opcode = 0xC1 // local.get a; const c; binop
+	opFGetBin         wasm.Opcode = 0xC2 // local.get a; binop (stack operand first)
+	opFConstBin       wasm.Opcode = 0xC3 // const c; binop (stack operand first)
+	opFBinSet         wasm.Opcode = 0xC4 // binop; local.set/tee x
+	opFGetGetBinSet   wasm.Opcode = 0xC5 // local.get a; local.get b; binop; local.set/tee x
+	opFGetConstBinSet wasm.Opcode = 0xC6 // local.get a; const c; binop; local.set/tee x
+	opFConstSet       wasm.Opcode = 0xC7 // const c; local.set/tee x
+	opFCmpBr          wasm.Opcode = 0xC8 // compare; br_if
+	opFGetGetCmpBr    wasm.Opcode = 0xC9 // local.get a; local.get b; compare; br_if
+	opFGetConstCmpBr  wasm.Opcode = 0xCA // local.get a; const c; compare; br_if
+	opFEqzBr          wasm.Opcode = 0xCB // i32.eqz/i64.eqz; br_if (inverted branch)
+	opFConstLoad      wasm.Opcode = 0xCC // i32.const c; load (folded effective address)
+	opFGetLoad        wasm.Opcode = 0xCD // local.get a; load
+	opFScaleLoad      wasm.Opcode = 0xCE // i32.const c; i32.mul; load (scaled index)
+	opFBinStore       wasm.Opcode = 0xCF // binop; store
+	opFGetStore       wasm.Opcode = 0xD0 // local.get a; store (a is the value)
+	opFConstStore     wasm.Opcode = 0xD1 // const c; store (c is the value)
+)
+
+// fTee marks the set-flavoured fused ops as local.tee (result stays on the
+// operand stack).
+const fTee = 1 << 8
+
+// Load extension codes (Align bits 24-26), matching the flat engine's
+// per-opcode sign/zero extension of the raw little-endian bits.
+const (
+	extNone = iota
+	extI32S8
+	extI64S8
+	extI32S16
+	extI64S16
+	extI64S32
+)
+
+// fusedWidth returns the number of constituent instructions a fused opcode
+// covers (0 for non-fused opcodes).
+func fusedWidth(op wasm.Opcode) int {
+	switch op {
+	case opFGetBin, opFConstBin, opFBinSet, opFConstSet, opFCmpBr, opFEqzBr,
+		opFConstLoad, opFGetLoad, opFBinStore, opFGetStore, opFConstStore:
+		return 2
+	case opFGetGetBin, opFGetConstBin, opFScaleLoad:
+		return 3
+	case opFGetGetBinSet, opFGetConstBinSet, opFGetGetCmpBr, opFGetConstCmpBr:
+		return 4
+	}
+	return 0
+}
+
+// fusedTrapPC returns the offset (within the span) of the only constituent
+// that can trap, or -1 if the shape is trap-free. The fused engine rolls a
+// trap back at pc+offset, exactly where the reference engine would stop.
+func fusedTrapPC(op wasm.Opcode) int {
+	switch op {
+	case opFGetGetBin, opFGetConstBin, opFGetGetBinSet, opFGetConstBinSet:
+		return 2 // the binop
+	case opFGetBin, opFConstBin, opFConstLoad, opFGetLoad, opFGetStore, opFConstStore:
+		return 1 // the binop / memory access
+	case opFScaleLoad:
+		return 2 // the load
+	case opFBinSet, opFBinStore:
+		return 0 // the binop (the store at +1 reports its own offset inline)
+	}
+	return -1
+}
+
+// fusableBin reports whether op is a two-operand numeric or comparison
+// instruction applyBin implements. i64.eqz sits inside the comparison range
+// but is unary, so it is excluded.
+func fusableBin(op wasm.Opcode) bool {
+	if op == wasm.OpI64Eqz {
+		return false
+	}
+	switch {
+	case op >= wasm.OpI32Eq && op <= wasm.OpF64Ge,
+		op >= wasm.OpI32Add && op <= wasm.OpI32Rotr,
+		op >= wasm.OpI64Add && op <= wasm.OpI64Rotr,
+		op >= wasm.OpF32Add && op <= wasm.OpF32Copysign,
+		op >= wasm.OpF64Add && op <= wasm.OpF64Copysign:
+		return true
+	}
+	return false
+}
+
+// fusableCmp reports whether op is a binary comparison (always trap-free),
+// eligible for the fused conditional-branch shapes.
+func fusableCmp(op wasm.Opcode) bool {
+	return op != wasm.OpI64Eqz && op >= wasm.OpI32Eq && op <= wasm.OpF64Ge
+}
+
+// loadSpec returns the access width and extension code of a load opcode.
+func loadSpec(op wasm.Opcode) (width, ext uint32, ok bool) {
+	switch op {
+	case wasm.OpI32Load, wasm.OpF32Load:
+		return 4, extNone, true
+	case wasm.OpI64Load, wasm.OpF64Load:
+		return 8, extNone, true
+	case wasm.OpI32Load8U, wasm.OpI64Load8U:
+		return 1, extNone, true
+	case wasm.OpI32Load8S:
+		return 1, extI32S8, true
+	case wasm.OpI64Load8S:
+		return 1, extI64S8, true
+	case wasm.OpI32Load16U, wasm.OpI64Load16U:
+		return 2, extNone, true
+	case wasm.OpI32Load16S:
+		return 2, extI32S16, true
+	case wasm.OpI64Load16S:
+		return 2, extI64S16, true
+	case wasm.OpI64Load32U:
+		return 4, extNone, true
+	case wasm.OpI64Load32S:
+		return 4, extI64S32, true
+	}
+	return 0, 0, false
+}
+
+// storeSpec returns the access width of a store opcode.
+func storeSpec(op wasm.Opcode) (width uint32, ok bool) {
+	switch op {
+	case wasm.OpI32Store8, wasm.OpI64Store8:
+		return 1, true
+	case wasm.OpI32Store16, wasm.OpI64Store16:
+		return 2, true
+	case wasm.OpI32Store, wasm.OpF32Store, wasm.OpI64Store32:
+		return 4, true
+	case wasm.OpI64Store, wasm.OpF64Store:
+		return 8, true
+	}
+	return 0, false
+}
+
+// packMemAlign packs an inner memory opcode with its width/extension into
+// the Align payload field.
+func packMemAlign(inner wasm.Opcode, width, ext uint32) uint32 {
+	return uint32(inner) | width<<16 | ext<<24
+}
+
+// setAlign packs an inner opcode with the tee flag of the trailing
+// local.set/local.tee.
+func setAlign(inner, setOp wasm.Opcode) uint32 {
+	al := uint32(inner)
+	if setOp == wasm.OpLocalTee {
+		al |= fTee
+	}
+	return al
+}
+
+// fuse builds the fused stream for one lowered function. Spans are matched
+// greedily left to right, longest shape first, and are only placed when no
+// interior pc is a segment leader — branch targets and post-call/grow split
+// points are always leaders, so no control transfer can land inside a span
+// and every span is covered by exactly one segment charge.
+func fuse(cf *compiledFunc) {
+	body := cf.body
+	fused := make([]wasm.Instr, len(body))
+	copy(fused, body)
+	cf.fused = fused
+
+	// fits reports whether the span [pc, pc+w) stays inside one segment.
+	fits := func(pc, w int) bool {
+		if pc+w > len(body) {
+			return false
+		}
+		for q := pc + 1; q < pc+w; q++ {
+			if cf.flat[q].segCnt != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	isConst := func(op wasm.Opcode) bool {
+		return op == wasm.OpI32Const || op == wasm.OpI64Const ||
+			op == wasm.OpF32Const || op == wasm.OpF64Const
+	}
+	isSet := func(op wasm.Opcode) bool {
+		return op == wasm.OpLocalSet || op == wasm.OpLocalTee
+	}
+
+	for pc := 0; pc < len(body); {
+		w := 0
+		in := &body[pc]
+		switch {
+		case in.Op == wasm.OpLocalGet:
+			w = fuseAtGet(cf, fused, pc, fits, isConst, isSet)
+		case isConst(in.Op):
+			w = fuseAtConst(cf, fused, pc, fits, isSet)
+		case fusableBin(in.Op):
+			w = fuseAtBin(cf, fused, pc, fits, isSet)
+		case in.Op == wasm.OpI32Eqz || in.Op == wasm.OpI64Eqz:
+			if fits(pc, 2) && body[pc+1].Op == wasm.OpBrIf {
+				fused[pc] = wasm.Instr{Op: opFEqzBr, Align: uint32(in.Op)}
+				w = 2
+			}
+		}
+		if w == 0 {
+			w = 1
+		}
+		pc += w
+	}
+}
+
+// fuseAtGet matches the shapes led by local.get.
+func fuseAtGet(cf *compiledFunc, fused []wasm.Instr, pc int,
+	fits func(int, int) bool, isConst, isSet func(wasm.Opcode) bool) int {
+	body := cf.body
+	a := body[pc].Idx
+
+	// Four-wide: get get bin set/tee | get const bin set/tee |
+	// get get cmp br_if | get const cmp br_if.
+	if fits(pc, 4) {
+		n1, n2, n3 := &body[pc+1], &body[pc+2], &body[pc+3]
+		switch {
+		case n1.Op == wasm.OpLocalGet && fusableBin(n2.Op) && isSet(n3.Op):
+			fused[pc] = wasm.Instr{Op: opFGetGetBinSet, Idx: a, Off: n1.Idx,
+				U64: uint64(n3.Idx), Align: setAlign(n2.Op, n3.Op)}
+			return 4
+		case isConst(n1.Op) && fusableBin(n2.Op) && isSet(n3.Op):
+			fused[pc] = wasm.Instr{Op: opFGetConstBinSet, Idx: a, Off: n3.Idx,
+				U64: n1.U64, Align: setAlign(n2.Op, n3.Op)}
+			return 4
+		case n1.Op == wasm.OpLocalGet && fusableCmp(n2.Op) && n3.Op == wasm.OpBrIf:
+			fused[pc] = wasm.Instr{Op: opFGetGetCmpBr, Idx: a, Off: n1.Idx,
+				Align: uint32(n2.Op)}
+			return 4
+		case isConst(n1.Op) && fusableCmp(n2.Op) && n3.Op == wasm.OpBrIf:
+			fused[pc] = wasm.Instr{Op: opFGetConstCmpBr, Idx: a, U64: n1.U64,
+				Align: uint32(n2.Op)}
+			return 4
+		}
+	}
+	// Three-wide: get get bin | get const bin.
+	if fits(pc, 3) {
+		n1, n2 := &body[pc+1], &body[pc+2]
+		switch {
+		case n1.Op == wasm.OpLocalGet && fusableBin(n2.Op):
+			fused[pc] = wasm.Instr{Op: opFGetGetBin, Idx: a, Off: n1.Idx,
+				Align: uint32(n2.Op)}
+			return 3
+		case isConst(n1.Op) && fusableBin(n2.Op):
+			fused[pc] = wasm.Instr{Op: opFGetConstBin, Idx: a, U64: n1.U64,
+				Align: uint32(n2.Op)}
+			return 3
+		}
+	}
+	// Two-wide: get load | get store | get bin.
+	if fits(pc, 2) {
+		n1 := &body[pc+1]
+		if width, ext, ok := loadSpec(n1.Op); ok {
+			fused[pc] = wasm.Instr{Op: opFGetLoad, Idx: a, Off: n1.Off,
+				Align: packMemAlign(n1.Op, width, ext)}
+			return 2
+		}
+		if width, ok := storeSpec(n1.Op); ok {
+			fused[pc] = wasm.Instr{Op: opFGetStore, Idx: a, Off: n1.Off,
+				Align: packMemAlign(n1.Op, width, 0)}
+			return 2
+		}
+		if fusableBin(n1.Op) {
+			fused[pc] = wasm.Instr{Op: opFGetBin, Idx: a, Align: uint32(n1.Op)}
+			return 2
+		}
+	}
+	return 0
+}
+
+// fuseAtConst matches the shapes led by a constant.
+func fuseAtConst(cf *compiledFunc, fused []wasm.Instr, pc int,
+	fits func(int, int) bool, isSet func(wasm.Opcode) bool) int {
+	body := cf.body
+	in := &body[pc]
+
+	// Three-wide scaled-index addressing: i32.const c; i32.mul; load.
+	if in.Op == wasm.OpI32Const && fits(pc, 3) && body[pc+1].Op == wasm.OpI32Mul {
+		if width, ext, ok := loadSpec(body[pc+2].Op); ok {
+			fused[pc] = wasm.Instr{Op: opFScaleLoad, U64: in.U64, Off: body[pc+2].Off,
+				Align: packMemAlign(body[pc+2].Op, width, ext)}
+			return 3
+		}
+	}
+	if !fits(pc, 2) {
+		return 0
+	}
+	n1 := &body[pc+1]
+	// Folded effective address: the compile-time sum c+offset replaces the
+	// runtime add, leaving a single bounds check.
+	if in.Op == wasm.OpI32Const {
+		if width, ext, ok := loadSpec(n1.Op); ok {
+			ea := uint64(uint32(in.U64)) + uint64(n1.Off)
+			fused[pc] = wasm.Instr{Op: opFConstLoad, U64: ea, Off: n1.Off,
+				Align: packMemAlign(n1.Op, width, ext)}
+			return 2
+		}
+	}
+	if width, ok := storeSpec(n1.Op); ok {
+		fused[pc] = wasm.Instr{Op: opFConstStore, U64: in.U64, Off: n1.Off,
+			Align: packMemAlign(n1.Op, width, 0)}
+		return 2
+	}
+	if fusableBin(n1.Op) {
+		fused[pc] = wasm.Instr{Op: opFConstBin, U64: in.U64, Align: uint32(n1.Op)}
+		return 2
+	}
+	if isSet(n1.Op) {
+		fused[pc] = wasm.Instr{Op: opFConstSet, Idx: n1.Idx, U64: in.U64,
+			Align: setAlign(0, n1.Op)}
+		return 2
+	}
+	return 0
+}
+
+// fuseAtBin matches the shapes led by a binary op whose producers were not
+// themselves fusable.
+func fuseAtBin(cf *compiledFunc, fused []wasm.Instr, pc int,
+	fits func(int, int) bool, isSet func(wasm.Opcode) bool) int {
+	body := cf.body
+	in := &body[pc]
+	if !fits(pc, 2) {
+		return 0
+	}
+	n1 := &body[pc+1]
+	switch {
+	case fusableCmp(in.Op) && n1.Op == wasm.OpBrIf:
+		fused[pc] = wasm.Instr{Op: opFCmpBr, Align: uint32(in.Op)}
+		return 2
+	case isSet(n1.Op):
+		fused[pc] = wasm.Instr{Op: opFBinSet, Idx: n1.Idx, Align: setAlign(in.Op, n1.Op)}
+		return 2
+	default:
+		if width, ok := storeSpec(n1.Op); ok {
+			fused[pc] = wasm.Instr{Op: opFBinStore, Off: n1.Off,
+				Align: packMemAlign(in.Op, width, 0)}
+			return 2
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// runtime helpers
+
+// applyBin executes one two-operand numeric or comparison instruction on raw
+// 64-bit operands (a is the lower stack slot). Semantics replicate the flat
+// engine's switch cases exactly — wrap-around integer arithmetic, masked
+// shift counts, IEEE-754 single/double arithmetic on the boxed bit patterns
+// — so a fused execution is bit-identical to the unfused one. The two
+// trapping families (integer division and remainder) return the engine trap
+// errors; everything else returns a nil error.
+func applyBin(op wasm.Opcode, a, b uint64) (uint64, error) {
+	switch op {
+	// --- i32 numeric
+	case wasm.OpI32Add:
+		return uint64(uint32(a) + uint32(b)), nil
+	case wasm.OpI32Sub:
+		return uint64(uint32(a) - uint32(b)), nil
+	case wasm.OpI32Mul:
+		return uint64(uint32(a) * uint32(b)), nil
+	case wasm.OpI32DivS:
+		x, y := int32(uint32(a)), int32(uint32(b))
+		if y == 0 {
+			return 0, ErrDivByZero
+		}
+		if x == math.MinInt32 && y == -1 {
+			return 0, ErrIntOverflow
+		}
+		return i32u(x / y), nil
+	case wasm.OpI32DivU:
+		if uint32(b) == 0 {
+			return 0, ErrDivByZero
+		}
+		return uint64(uint32(a) / uint32(b)), nil
+	case wasm.OpI32RemS:
+		x, y := int32(uint32(a)), int32(uint32(b))
+		if y == 0 {
+			return 0, ErrDivByZero
+		}
+		if x == math.MinInt32 && y == -1 {
+			return 0, nil
+		}
+		return i32u(x % y), nil
+	case wasm.OpI32RemU:
+		if uint32(b) == 0 {
+			return 0, ErrDivByZero
+		}
+		return uint64(uint32(a) % uint32(b)), nil
+	case wasm.OpI32And:
+		return uint64(uint32(a) & uint32(b)), nil
+	case wasm.OpI32Or:
+		return uint64(uint32(a) | uint32(b)), nil
+	case wasm.OpI32Xor:
+		return uint64(uint32(a) ^ uint32(b)), nil
+	case wasm.OpI32Shl:
+		return uint64(uint32(a) << (uint32(b) & 31)), nil
+	case wasm.OpI32ShrS:
+		return i32u(int32(uint32(a)) >> (uint32(b) & 31)), nil
+	case wasm.OpI32ShrU:
+		return uint64(uint32(a) >> (uint32(b) & 31)), nil
+	case wasm.OpI32Rotl:
+		return uint64(bits.RotateLeft32(uint32(a), int(uint32(b)&31))), nil
+	case wasm.OpI32Rotr:
+		return uint64(bits.RotateLeft32(uint32(a), -int(uint32(b)&31))), nil
+
+	// --- i64 numeric
+	case wasm.OpI64Add:
+		return a + b, nil
+	case wasm.OpI64Sub:
+		return a - b, nil
+	case wasm.OpI64Mul:
+		return a * b, nil
+	case wasm.OpI64DivS:
+		x, y := int64(a), int64(b)
+		if y == 0 {
+			return 0, ErrDivByZero
+		}
+		if x == math.MinInt64 && y == -1 {
+			return 0, ErrIntOverflow
+		}
+		return uint64(x / y), nil
+	case wasm.OpI64DivU:
+		if b == 0 {
+			return 0, ErrDivByZero
+		}
+		return a / b, nil
+	case wasm.OpI64RemS:
+		x, y := int64(a), int64(b)
+		if y == 0 {
+			return 0, ErrDivByZero
+		}
+		if x == math.MinInt64 && y == -1 {
+			return 0, nil
+		}
+		return uint64(x % y), nil
+	case wasm.OpI64RemU:
+		if b == 0 {
+			return 0, ErrDivByZero
+		}
+		return a % b, nil
+	case wasm.OpI64And:
+		return a & b, nil
+	case wasm.OpI64Or:
+		return a | b, nil
+	case wasm.OpI64Xor:
+		return a ^ b, nil
+	case wasm.OpI64Shl:
+		return a << (b & 63), nil
+	case wasm.OpI64ShrS:
+		return uint64(int64(a) >> (b & 63)), nil
+	case wasm.OpI64ShrU:
+		return a >> (b & 63), nil
+	case wasm.OpI64Rotl:
+		return bits.RotateLeft64(a, int(b&63)), nil
+	case wasm.OpI64Rotr:
+		return bits.RotateLeft64(a, -int(b&63)), nil
+
+	// --- f32 numeric
+	case wasm.OpF32Add:
+		return f32u(uf32(a) + uf32(b)), nil
+	case wasm.OpF32Sub:
+		return f32u(uf32(a) - uf32(b)), nil
+	case wasm.OpF32Mul:
+		return f32u(uf32(a) * uf32(b)), nil
+	case wasm.OpF32Div:
+		return f32u(uf32(a) / uf32(b)), nil
+	case wasm.OpF32Min:
+		return f32u(float32(fmin(float64(uf32(a)), float64(uf32(b))))), nil
+	case wasm.OpF32Max:
+		return f32u(float32(fmax(float64(uf32(a)), float64(uf32(b))))), nil
+	case wasm.OpF32Copysign:
+		return f32u(float32(math.Copysign(float64(uf32(a)), float64(uf32(b))))), nil
+
+	// --- f64 numeric
+	case wasm.OpF64Add:
+		return f64u(uf64(a) + uf64(b)), nil
+	case wasm.OpF64Sub:
+		return f64u(uf64(a) - uf64(b)), nil
+	case wasm.OpF64Mul:
+		return f64u(uf64(a) * uf64(b)), nil
+	case wasm.OpF64Div:
+		return f64u(uf64(a) / uf64(b)), nil
+	case wasm.OpF64Min:
+		return f64u(fmin(uf64(a), uf64(b))), nil
+	case wasm.OpF64Max:
+		return f64u(fmax(uf64(a), uf64(b))), nil
+	case wasm.OpF64Copysign:
+		return f64u(math.Copysign(uf64(a), uf64(b))), nil
+
+	// --- i32 comparison
+	case wasm.OpI32Eq:
+		return b2u(uint32(a) == uint32(b)), nil
+	case wasm.OpI32Ne:
+		return b2u(uint32(a) != uint32(b)), nil
+	case wasm.OpI32LtS:
+		return b2u(int32(uint32(a)) < int32(uint32(b))), nil
+	case wasm.OpI32LtU:
+		return b2u(uint32(a) < uint32(b)), nil
+	case wasm.OpI32GtS:
+		return b2u(int32(uint32(a)) > int32(uint32(b))), nil
+	case wasm.OpI32GtU:
+		return b2u(uint32(a) > uint32(b)), nil
+	case wasm.OpI32LeS:
+		return b2u(int32(uint32(a)) <= int32(uint32(b))), nil
+	case wasm.OpI32LeU:
+		return b2u(uint32(a) <= uint32(b)), nil
+	case wasm.OpI32GeS:
+		return b2u(int32(uint32(a)) >= int32(uint32(b))), nil
+	case wasm.OpI32GeU:
+		return b2u(uint32(a) >= uint32(b)), nil
+
+	// --- i64 comparison
+	case wasm.OpI64Eq:
+		return b2u(a == b), nil
+	case wasm.OpI64Ne:
+		return b2u(a != b), nil
+	case wasm.OpI64LtS:
+		return b2u(int64(a) < int64(b)), nil
+	case wasm.OpI64LtU:
+		return b2u(a < b), nil
+	case wasm.OpI64GtS:
+		return b2u(int64(a) > int64(b)), nil
+	case wasm.OpI64GtU:
+		return b2u(a > b), nil
+	case wasm.OpI64LeS:
+		return b2u(int64(a) <= int64(b)), nil
+	case wasm.OpI64LeU:
+		return b2u(a <= b), nil
+	case wasm.OpI64GeS:
+		return b2u(int64(a) >= int64(b)), nil
+	case wasm.OpI64GeU:
+		return b2u(a >= b), nil
+
+	// --- f32 comparison
+	case wasm.OpF32Eq:
+		return b2u(uf32(a) == uf32(b)), nil
+	case wasm.OpF32Ne:
+		return b2u(uf32(a) != uf32(b)), nil
+	case wasm.OpF32Lt:
+		return b2u(uf32(a) < uf32(b)), nil
+	case wasm.OpF32Gt:
+		return b2u(uf32(a) > uf32(b)), nil
+	case wasm.OpF32Le:
+		return b2u(uf32(a) <= uf32(b)), nil
+	case wasm.OpF32Ge:
+		return b2u(uf32(a) >= uf32(b)), nil
+
+	// --- f64 comparison
+	case wasm.OpF64Eq:
+		return b2u(uf64(a) == uf64(b)), nil
+	case wasm.OpF64Ne:
+		return b2u(uf64(a) != uf64(b)), nil
+	case wasm.OpF64Lt:
+		return b2u(uf64(a) < uf64(b)), nil
+	case wasm.OpF64Gt:
+		return b2u(uf64(a) > uf64(b)), nil
+	case wasm.OpF64Le:
+		return b2u(uf64(a) <= uf64(b)), nil
+	case wasm.OpF64Ge:
+		return b2u(uf64(a) >= uf64(b)), nil
+	}
+	return 0, &UnknownOpcodeError{Op: op}
+}
+
+// fastLoad reads width bytes little-endian at a (the caller has already
+// bounds-checked [a, a+width)) and applies the load's extension. It is the
+// fused engine's memory fast path: one word access instead of loadBits's
+// byte loop, with identical results.
+func fastLoad(mem []byte, a uint64, width, ext uint32) uint64 {
+	var v uint64
+	switch width {
+	case 1:
+		v = uint64(mem[a])
+	case 2:
+		v = uint64(binary.LittleEndian.Uint16(mem[a:]))
+	case 4:
+		v = uint64(binary.LittleEndian.Uint32(mem[a:]))
+	default:
+		v = binary.LittleEndian.Uint64(mem[a:])
+	}
+	switch ext {
+	case extI32S8:
+		v = uint64(uint32(int32(int8(v))))
+	case extI64S8:
+		v = uint64(int64(int8(v)))
+	case extI32S16:
+		v = uint64(uint32(int32(int16(v))))
+	case extI64S16:
+		v = uint64(int64(int16(v)))
+	case extI64S32:
+		v = uint64(int64(int32(uint32(v))))
+	}
+	return v
+}
+
+// fastStore writes the low width bytes of v little-endian at a (the caller
+// has already bounds-checked the range and recorded it dirty).
+func fastStore(mem []byte, a uint64, width uint32, v uint64) {
+	switch width {
+	case 1:
+		mem[a] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(mem[a:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(mem[a:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(mem[a:], v)
+	}
+}
+
+// FuseStats summarises the fusion pass over a compiled artifact.
+type FuseStats struct {
+	// Instrs is the total original instruction count across all functions.
+	Instrs int
+	// Fused is how many of those instructions are covered by fused spans.
+	Fused int
+	// Spans is the number of superinstructions emitted.
+	Spans int
+}
+
+// FuseStats reports how much of the module the fusion pass covered.
+func (cm *CompiledModule) FuseStats() FuseStats {
+	var s FuseStats
+	for i := range cm.funcs {
+		cf := &cm.funcs[i]
+		s.Instrs += len(cf.body)
+		for pc := 0; pc < len(cf.fused); {
+			if w := fusedWidth(cf.fused[pc].Op); w > 0 {
+				s.Spans++
+				s.Fused += w
+				pc += w
+			} else {
+				pc++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,231 @@
+package interp
+
+import (
+	"testing"
+
+	"acctee/internal/cfg"
+	"acctee/internal/polybench"
+	"acctee/internal/wasm"
+)
+
+// White-box tests for the fusion pass: structural invariants of the fused
+// stream (the properties the accounting-exactness argument rests on) and
+// the expected shapes on hand-built idioms.
+
+// flatWeights is a simple pure cost model for the invariant checks.
+type flatWeights struct{}
+
+func (flatWeights) InstrCost(op wasm.Opcode) uint64 { return uint64(op)%7 + 1 }
+func (flatWeights) MemCost(addr, width uint32, store bool, memSize uint32) uint64 {
+	return 0
+}
+
+// checkFuseInvariants walks every function's fused stream and asserts, for
+// each superinstruction span [p, p+w):
+//
+//   - the width table matches the shape;
+//   - no interior pc is a segment leader (so no branch target, post-call or
+//     post-grow split point lands inside the span, and the whole span is
+//     covered by exactly one batched accounting charge);
+//   - the span stays within its leader's segment (segEnd bound);
+//   - no constituent is a control instruction other than a terminal br_if;
+//   - the span's per-instruction weight, summed independently through
+//     cfg.RangeCost, equals the cost-prefix difference the rollback path
+//     uses — the fused op "carries" exactly the summed CostModel weight and
+//     instruction count of its constituents.
+func checkFuseInvariants(t *testing.T, name string, cm *CompiledModule) {
+	t.Helper()
+	model := flatWeights{}
+	tables := cm.costTablesFor(model)
+	for fi := range cm.funcs {
+		cf := &cm.funcs[fi]
+		if len(cf.fused) != len(cf.body) {
+			t.Fatalf("%s func %d: fused stream length %d != body length %d", name, fi, len(cf.fused), len(cf.body))
+		}
+		fc := &tables.funcs[fi]
+		for pc := 0; pc < len(cf.fused); {
+			op := cf.fused[pc].Op
+			w := fusedWidth(op)
+			if w == 0 {
+				if op != cf.body[pc].Op {
+					t.Errorf("%s func %d pc %d: unfused op rewritten: %s -> %s", name, fi, pc, cf.body[pc].Op, op)
+				}
+				pc++
+				continue
+			}
+			if pc+w > len(cf.body) {
+				t.Fatalf("%s func %d pc %d: span overruns body (w=%d)", name, fi, pc, w)
+			}
+			for q := pc + 1; q < pc+w; q++ {
+				if cf.flat[q].segCnt != 0 {
+					t.Errorf("%s func %d pc %d: interior pc %d is a segment leader", name, fi, pc, q)
+				}
+			}
+			if end := int(cf.flat[pc].segEnd); pc+w-1 > end {
+				t.Errorf("%s func %d pc %d: span [%d,%d] crosses segment end %d", name, fi, pc, pc, pc+w-1, end)
+			}
+			for q := pc; q < pc+w; q++ {
+				cop := cf.body[q].Op
+				if cop.IsControl() && !(cop == wasm.OpBrIf && q == pc+w-1) {
+					t.Errorf("%s func %d pc %d: control constituent %s at %d", name, fi, pc, cop, q)
+				}
+			}
+			want := fc.costPfx[pc+w] - fc.costPfx[pc]
+			if got := cfg.RangeCost(cf.body, pc, pc+w-1, model.InstrCost); got != want {
+				t.Errorf("%s func %d pc %d: span weight %d != prefix-sum weight %d", name, fi, pc, got, want)
+			}
+			if off := fusedTrapPC(op); off >= w {
+				t.Errorf("%s func %d pc %d: trap offset %d outside span width %d", name, fi, pc, off, w)
+			}
+			pc += w
+		}
+	}
+}
+
+// TestFuseInvariantsPolybench checks the invariants on real kernels and
+// requires a substantial fraction of the stream to actually fuse (guarding
+// against the pass silently going dead).
+func TestFuseInvariantsPolybench(t *testing.T) {
+	for _, name := range []string{"gemm", "atax", "jacobi-2d", "cholesky", "durbin"} {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Build(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := Compile(m, CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFuseInvariants(t, name, cm)
+		s := cm.FuseStats()
+		if cov := float64(s.Fused) / float64(s.Instrs); cov < 0.5 {
+			t.Errorf("%s: fusion coverage %.0f%% below 50%% (%d/%d instrs in %d spans)",
+				name, 100*cov, s.Fused, s.Instrs, s.Spans)
+		}
+	}
+}
+
+// TestFuseExpectedShapes pins the opcode the pass emits for each canonical
+// idiom, at the expected pc.
+func TestFuseExpectedShapes(t *testing.T) {
+	build := func(f func(*wasm.FuncBuilder)) *CompiledModule {
+		b := wasm.NewModule("sh")
+		b.Memory(1, 1)
+		fb := b.Func("f", []wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+		f(fb)
+		b.ExportFunc("f", fb.End())
+		cm, err := Compile(b.MustBuild(), CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	cases := []struct {
+		name string
+		emit func(*wasm.FuncBuilder)
+		pc   int
+		want wasm.Opcode
+	}{
+		{"get_get_bin", func(f *wasm.FuncBuilder) {
+			f.LocalGet(0).LocalGet(1).Op(wasm.OpI32Add)
+		}, 0, opFGetGetBin},
+		{"get_const_bin", func(f *wasm.FuncBuilder) {
+			f.LocalGet(0).I32Const(3).Op(wasm.OpI32Mul)
+		}, 0, opFGetConstBin},
+		{"get_get_bin_set", func(f *wasm.FuncBuilder) {
+			r := f.Local(wasm.I32)
+			f.LocalGet(0).LocalGet(1).Op(wasm.OpI32Xor).LocalSet(r)
+			f.LocalGet(r)
+		}, 0, opFGetGetBinSet},
+		{"get_const_bin_tee", func(f *wasm.FuncBuilder) {
+			r := f.Local(wasm.I32)
+			f.LocalGet(0).I32Const(1).Op(wasm.OpI32Add).LocalTee(r)
+		}, 0, opFGetConstBinSet},
+		{"const_set", func(f *wasm.FuncBuilder) {
+			r := f.Local(wasm.I32)
+			f.I32Const(9).LocalSet(r)
+			f.LocalGet(r)
+		}, 0, opFConstSet},
+		{"const_load_folded", func(f *wasm.FuncBuilder) {
+			f.I32Const(16).Load(wasm.OpI32Load, 4)
+		}, 0, opFConstLoad},
+		{"get_load", func(f *wasm.FuncBuilder) {
+			f.LocalGet(0).Load(wasm.OpI32Load, 0)
+		}, 0, opFGetLoad},
+		{"scale_load", func(f *wasm.FuncBuilder) {
+			// get+get+add fuses first; const 8; i32.mul; load then fuses
+			// into the scaled-index fast path.
+			f.LocalGet(0).LocalGet(1).Op(wasm.OpI32Add)
+			f.I32Const(8).Op(wasm.OpI32Mul).Load(wasm.OpI32Load, 0)
+		}, 3, opFScaleLoad},
+		{"bin_store", func(f *wasm.FuncBuilder) {
+			f.I32Const(0)
+			f.I32Const(8).Load(wasm.OpI32Load, 0)
+			f.I32Const(12).Load(wasm.OpI32Load, 0)
+			f.Op(wasm.OpI32Add).Store(wasm.OpI32Store, 0)
+			f.I32Const(1)
+		}, 5, opFBinStore},
+		{"get_store", func(f *wasm.FuncBuilder) {
+			f.I32Const(0).LocalGet(1).Store(wasm.OpI32Store, 0)
+			f.I32Const(1)
+		}, 1, opFGetStore},
+		{"const_store", func(f *wasm.FuncBuilder) {
+			f.LocalGet(0).I32Const(7).Store(wasm.OpI32Store, 0)
+			f.I32Const(1)
+		}, 1, opFConstStore},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cm := build(tc.emit)
+			cf := &cm.funcs[0]
+			if got := cf.fused[tc.pc].Op; got != tc.want {
+				t.Errorf("pc %d fused op = 0x%02X, want 0x%02X", tc.pc, byte(got), byte(tc.want))
+			}
+			checkFuseInvariants(t, tc.name, cm)
+		})
+	}
+}
+
+// TestFuseBranchShapes pins the fused conditional-branch forms inside the
+// canonical counted-loop shape: the loop exit compare+br_if and the
+// increment both collapse to a single dispatch.
+func TestFuseBranchShapes(t *testing.T) {
+	b := wasm.NewModule("lp")
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	i := f.Local(wasm.I32)
+	acc := f.Local(wasm.I32)
+	f.ForI32(i, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		f.LocalGet(acc).LocalGet(i).Op(wasm.OpI32Add).LocalSet(acc)
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("f", f.End())
+	cm, err := Compile(b.MustBuild(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &cm.funcs[0]
+	var sawCmpBr, sawIncr bool
+	for pc := 0; pc < len(cf.fused); pc++ {
+		switch cf.fused[pc].Op {
+		case opFGetGetCmpBr:
+			sawCmpBr = true
+			// The br_if constituent's sidetable entry must be the one the
+			// fused branch reads.
+			if cf.body[pc+3].Op != wasm.OpBrIf {
+				t.Errorf("pc %d: fused cmp-branch not terminated by br_if", pc)
+			}
+		case opFGetConstBinSet:
+			sawIncr = true
+		}
+	}
+	if !sawCmpBr {
+		t.Error("loop exit compare+br_if did not fuse")
+	}
+	if !sawIncr {
+		t.Error("loop increment get/const/add/set did not fuse")
+	}
+	checkFuseInvariants(t, "loop", cm)
+}

@@ -8,8 +8,9 @@
 //
 // Compilation and instantiation are split (paper §3.3, "instrument once,
 // execute many times"): Compile lowers a module once into an immutable
-// CompiledModule, from which any number of VMs are instantiated cheaply —
-// directly, or recycled through an InstancePool with a deterministic Reset.
+// CompiledModule — including the fused superinstruction stream the default
+// engine dispatches — from which any number of VMs are instantiated cheaply,
+// directly or recycled through an InstancePool with a deterministic Reset.
 // Instantiate below composes the two for one-shot use.
 package interp
 
@@ -43,23 +44,31 @@ type Engine int
 
 // Engines.
 const (
-	// EngineFlat (the default) executes the flat IR produced by the
-	// lowering pass: precompiled branch sidetable, fixed-size value stack,
-	// and block-batched fuel/cost/instruction accounting. It is the fast
-	// path; its accounting is bit-identical to EngineStructured.
-	EngineFlat Engine = iota
+	// EngineFused (the default) executes the fused IR: the flat engine's
+	// precompiled branch sidetable and fixed-size value stack, plus a
+	// compile-time fusion pass that collapses the dominant instruction
+	// idioms (local.get/local.get/binop, binop/local.set, compare/br_if,
+	// const-folded and scaled-index memory accesses) into single
+	// superinstructions. Accounting is bit-identical to EngineStructured:
+	// fused spans never cross an accounting segment, and traps inside a
+	// superinstruction roll back at the trapping constituent's pc.
+	EngineFused Engine = iota
 	// EngineStructured is the original structured-control-flow interpreter
 	// (runtime label stack, per-instruction accounting). It is retained as
 	// the reference oracle for differential testing and before/after
 	// dispatch benchmarks.
 	EngineStructured
+	// EngineFlat executes the flat IR without the fusion pass: one
+	// dispatch per wasm instruction. It is kept as the mid-tier for
+	// three-way dispatch benchmarks (structured / flat / fused).
+	EngineFlat
 )
 
 // Config parameterises instantiation.
 type Config struct {
 	// Imports maps "module.name" to host implementations.
 	Imports map[string]HostFunc
-	// Engine selects the execution strategy (default EngineFlat).
+	// Engine selects the execution strategy (default EngineFused).
 	Engine Engine
 	// MaxPages caps linear memory growth regardless of the module's limit.
 	MaxPages uint32
@@ -145,8 +154,9 @@ type compiledFunc struct {
 	nresults int
 	maxStack int // operand-stack high-water mark (flat engine frame size)
 	body     []wasm.Instr
-	ctrl     []ctrlMeta // structured-engine control metadata
-	flat     []flatOp   // flat-engine branch sidetable + segment accounting
+	ctrl     []ctrlMeta   // structured-engine control metadata
+	flat     []flatOp     // flat-engine branch sidetable + segment accounting
+	fused    []wasm.Instr // fused stream: body with superinstructions at span leaders
 	name     string
 }
 

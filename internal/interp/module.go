@@ -12,9 +12,9 @@ import (
 // This file implements the compile-once/run-many split (paper §3.3:
 // "instrument once, execute many times", and the FaaS gateway of §5.3 that
 // spins up a fresh sandbox per request). Compile produces an immutable
-// CompiledModule — the lowered flat IR, branch/segment sidetables and
-// initialiser templates — that any number of VMs instantiate from without
-// repeating the lowering pass. Per-CostModel segment cost sums are cached on
+// CompiledModule — the lowered flat IR, the fused superinstruction stream,
+// branch/segment sidetables and initialiser templates — that any number of
+// VMs instantiate from without repeating the lowering or fusion passes. Per-CostModel segment cost sums are cached on
 // the artifact keyed by the model's per-opcode cost fingerprint, so a fresh
 // stateful model per run (e.g. a new EPC paging model per request) still
 // hits the cache. InstancePool recycles VM slabs (memory, globals, table,

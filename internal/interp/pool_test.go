@@ -268,14 +268,16 @@ func TestPoolReuseFuelSweep(t *testing.T) {
 }
 
 // TestPoolReuseRandomPrograms recycles instances across random structured
-// programs.
+// programs, under both the fused (default) and the unfused flat engine.
 func TestPoolReuseRandomPrograms(t *testing.T) {
 	rng := rand.New(rand.NewSource(0x9007))
 	for trial := 0; trial < 30; trial++ {
 		m := randomFlatProgram(rng)
 		arg := uint64(rng.Intn(30))
-		cfg := interp.Config{CostModel: weights.Calibrated(), Fuel: 1 << 20}
-		diffReuse(t, m, cfg, "main", arg)
+		for _, engine := range []interp.Engine{interp.EngineFused, interp.EngineFlat} {
+			cfg := interp.Config{Engine: engine, CostModel: weights.Calibrated(), Fuel: 1 << 20}
+			diffReuse(t, m, cfg, "main", arg)
+		}
 	}
 }
 
