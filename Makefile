@@ -17,14 +17,20 @@ race:
 	$(GO) test -race ./internal/accounting/... ./internal/core/... ./internal/faas/... ./internal/interp/...
 
 # verify-ledger is the tier-2 smoke path for the verifiable ledger: the
-# faas example serves instrumented requests and writes the serialised
-# ledger into build/ (never the repo root); acctee-verify replays it
-# offline (chain continuity, gap-free shard sequences, checkpoint
-# signatures, totals reconstruction).
+# faas example serves instrumented requests under bounded retention
+# (sealed segments spill into build/spill), compacts, proves a flipped
+# byte in a spilled segment is detected, and writes both the full and the
+# truncated (checkpoint-anchored, non-zero starting sequence) dumps into
+# build/ (never the repo root); acctee-verify then replays all three
+# offline — full dump, truncated dump, and the spill directory itself.
 verify-ledger:
 	@mkdir -p build
-	$(GO) run ./examples/faas -dump build/ledger.json
+	rm -rf build/spill
+	$(GO) run ./examples/faas -dump build/ledger.json -spill-dir build/spill \
+		-retention 8 -dump-truncated build/ledger-trunc.json -prove-tamper
 	$(GO) run ./cmd/acctee-verify -dump build/ledger.json
+	$(GO) run ./cmd/acctee-verify -dump build/ledger-trunc.json
+	$(GO) run ./cmd/acctee-verify -spill build/spill
 
 vet:
 	$(GO) vet ./...
@@ -37,13 +43,16 @@ fmt-check:
 # comparison (structured reference vs flat vs fused engine, plus the ALU
 # and memory-traffic microbenchmarks) in BENCH_interp.json, the
 # compile-once/run-many FaaS gateway comparison (per-request compile vs
-# cached CompiledModule + instance pool) in BENCH_faas.json, and the eager
-# vs checkpoint-batched ledger signing comparison (plus 10k-record
-# offline-verification cost) in BENCH_ledger.json.
+# cached CompiledModule + instance pool) in BENCH_faas.json, and — both in
+# BENCH_ledger.json — the eager vs checkpoint-batched ledger signing
+# comparison (plus 10k-record offline-verification cost) and the bounded
+# vs unbounded retention sweep (resident records + heap + append rate at
+# 10k/100k/1M records).
 bench:
 	$(GO) run ./cmd/acctee-bench -fig dispatch -trials 3 -json BENCH_interp.json
 	$(GO) run ./cmd/acctee-bench -fig faas -requests 60 -json BENCH_faas.json
 	$(GO) run ./cmd/acctee-bench -fig ledger -requests 400 -json BENCH_ledger.json
+	$(GO) run ./cmd/acctee-bench -fig retention -json BENCH_ledger.json
 
 # bench-smoke is the CI perf gate: the fused engine must not fall below
 # the flat engine on the dispatch/memory microbenchmarks (generous noise

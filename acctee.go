@@ -24,6 +24,7 @@ package acctee
 
 import (
 	"crypto/ecdsa"
+	"io"
 
 	"acctee/internal/accounting"
 	"acctee/internal/core"
@@ -160,8 +161,24 @@ type Receipt = accounting.Receipt
 type SignedCheckpoint = accounting.SignedCheckpoint
 
 // LedgerOptions tune the sandbox ledger: shard (sequence-lane) count,
-// per-record eager signing, periodic checkpointing.
+// per-record eager signing, periodic checkpointing, bounded retention.
 type LedgerOptions = accounting.LedgerOptions
+
+// RetentionPolicy bounds the ledger's resident memory: sealed segments are
+// dropped behind signed checkpoints or spilled to append-only segment
+// files (RetentionPolicy.SpillDir), with per-shard heads carried forward.
+type RetentionPolicy = accounting.RetentionPolicy
+
+// RecordStore is the retention layer behind a ledger (see
+// LedgerOptions.Store for injecting a custom one).
+type RecordStore = accounting.RecordStore
+
+// CompactResult summarises one ledger compaction: the anchoring
+// checkpoint, how many records left memory, what stayed resident.
+type CompactResult = accounting.CompactResult
+
+// DumpOptions select a full or checkpoint-anchored (truncated) dump.
+type DumpOptions = accounting.DumpOptions
 
 // LedgerDump is a serialised ledger for offline verification (acctee-verify).
 type LedgerDump = accounting.Dump
@@ -286,7 +303,9 @@ func NewSandbox(cfg SandboxConfig, m *Module, ev Evidence, iePub *ecdsa.PublicKe
 		}
 	}
 	if cfg.Ledger != (LedgerOptions{}) {
-		ae.SetLedgerOptions(cfg.Ledger)
+		if err := ae.SetLedgerOptions(cfg.Ledger); err != nil {
+			return nil, err
+		}
 	}
 	return &Sandbox{ae: ae}, nil
 }
@@ -314,7 +333,22 @@ func (s *Sandbox) Snapshot() (SignedCheckpoint, error) { return s.ae.Snapshot() 
 // Dump serialises the sandbox ledger for offline verification.
 func (s *Sandbox) Dump() (*LedgerDump, error) { return s.ae.Ledger().Dump() }
 
-// Close stops the ledger's periodic checkpoint goroutine, if configured.
+// WriteDump streams the serialised ledger to w in O(segment) memory;
+// DumpOptions{Truncated: true} anchors it at the last compaction
+// checkpoint (non-zero starting sequences, heads carried forward).
+func (s *Sandbox) WriteDump(w io.Writer, opts DumpOptions) error {
+	return s.ae.Ledger().WriteDump(w, opts)
+}
+
+// Compact bounds the ledger's resident footprint: signs a checkpoint
+// covering every record chained so far and seals (spills or drops) what it
+// covers, leaving chain heads carried forward. With
+// LedgerOptions.Retention.MaxResidentRecords set, the sandbox does this
+// automatically whenever the resident count exceeds the budget.
+func (s *Sandbox) Compact() (CompactResult, error) { return s.ae.Compact() }
+
+// Close stops the ledger's periodic checkpoint goroutine, if configured,
+// and closes its spill files.
 func (s *Sandbox) Close() { s.ae.Close() }
 
 // VerifyRecord checks an eager-mode record: hash consistency plus its
@@ -333,10 +367,19 @@ func VerifyCheckpoint(sc SignedCheckpoint, aePub *ecdsa.PublicKey) error {
 }
 
 // VerifyLedger replays a serialised ledger offline against the attested AE
-// key: chain continuity, per-shard gap-freedom, checkpoint signatures, and
-// totals reconstruction (the acctee-verify command wraps this).
+// key: chain continuity from the carried-forward heads, per-shard
+// gap-freedom, checkpoint signatures, and totals reconstruction (the
+// acctee-verify command wraps this). Anchored (truncated) dumps verify
+// from their non-zero starting sequences against the anchor's signature.
 func VerifyLedger(d *LedgerDump, aePub *ecdsa.PublicKey) (*accounting.VerifyResult, error) {
 	return accounting.VerifyDump(d, accounting.VerifyOptions{Key: aePub, Measurement: core.AEMeasurement()})
+}
+
+// VerifyLedgerStream verifies a serialised ledger straight off a reader in
+// O(segment) memory — the streaming counterpart of VerifyLedger for dumps
+// too large to materialise.
+func VerifyLedgerStream(r io.Reader, aePub *ecdsa.PublicKey) (*accounting.VerifyResult, error) {
+	return accounting.VerifyStream(r, accounting.VerifyOptions{Key: aePub, Measurement: core.AEMeasurement()})
 }
 
 // Execute is a convenience for untrusted-free local runs (no enclaves, no

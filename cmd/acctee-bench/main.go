@@ -18,6 +18,9 @@
 //	                               # compile-once/run-many gateway benchmark
 //	acctee-bench -fig ledger -json BENCH_ledger.json
 //	                               # eager vs checkpoint-batched ledger signing
+//	acctee-bench -fig retention -json BENCH_ledger.json
+//	                               # bounded vs unbounded ledger retention at
+//	                               # 10k/100k/1M records (standalone, like smoke)
 package main
 
 import (
@@ -191,7 +194,38 @@ func run() error {
 		}
 		bench.PrintLedgerBench(os.Stdout, rep)
 		if *jsonOut != "" {
+			// Preserve the retention section a previous -fig retention run
+			// left in the file.
+			if old := bench.LoadLedgerJSON(*jsonOut); old != nil {
+				rep.Retention = old.Retention
+			}
 			if err := bench.WriteLedgerJSON(*jsonOut, rep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *jsonOut)
+		}
+		fmt.Println()
+	}
+	if *fig == "retention" {
+		// Standalone (not part of -fig all): the 1M-record sweep is heavy.
+		matched = true
+		fmt.Println("== Ledger retention: resident memory + append rate, bounded vs unbounded ==")
+		sizes := bench.RetentionSizes
+		if *quick {
+			sizes = []int{10_000, 100_000}
+		}
+		rep, err := bench.RunRetentionBench(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintRetentionBench(os.Stdout, rep)
+		if *jsonOut != "" {
+			out := bench.LoadLedgerJSON(*jsonOut)
+			if out == nil {
+				out = &bench.LedgerReport{}
+			}
+			out.Retention = rep
+			if err := bench.WriteLedgerJSON(*jsonOut, out); err != nil {
 				return err
 			}
 			fmt.Println("wrote", *jsonOut)
@@ -209,7 +243,7 @@ func run() error {
 		fmt.Println()
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, smoke, faas, ledger, all)", strings.TrimSpace(*fig))
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, smoke, faas, ledger, retention, all)", strings.TrimSpace(*fig))
 	}
 	return nil
 }

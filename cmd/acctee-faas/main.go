@@ -37,6 +37,8 @@ func run() error {
 	shards := flag.Int("ledger-shards", 0, "ledger sequence lanes (0 = one per CPU)")
 	eager := flag.Bool("ledger-eager", false, "sign every ledger record at append time (per-request signature baseline)")
 	cpEvery := flag.Duration("checkpoint-every", 10*time.Second, "periodic ledger checkpoint interval (0 = on request only)")
+	retention := flag.Int("ledger-retention", 0, "max resident ledger records before auto-compaction (0 = unbounded)")
+	spillDir := flag.String("ledger-spill", "", "spill sealed ledger segments to this directory (empty = drop after checkpointing); reopening the same directory recovers a crashed ledger")
 	flag.Parse()
 
 	var fn faas.Function
@@ -72,6 +74,10 @@ func run() error {
 			Shards:             *shards,
 			EagerSign:          *eager,
 			CheckpointInterval: *cpEvery,
+			Retention: accounting.RetentionPolicy{
+				MaxResidentRecords: *retention,
+				SpillDir:           *spillDir,
+			},
 		},
 	})
 	if err != nil {
@@ -81,8 +87,11 @@ func run() error {
 	fmt.Printf("acctee-faas: serving %s (%s) on %s (pool disabled=%v prewarm=%d)\n",
 		fn, setup, *listen, *noPool, *prewarm)
 	if srv.Ledger() != nil {
-		fmt.Printf("acctee-faas: verifiable ledger on GET /receipt, /checkpoint, /ledger (eager=%v, checkpoint every %v)\n",
+		fmt.Printf("acctee-faas: verifiable ledger on GET /receipt, /checkpoint, /ledger[?truncated=1] and POST /compact (eager=%v, checkpoint every %v)\n",
 			*eager, *cpEvery)
+		if *retention > 0 || *spillDir != "" {
+			fmt.Printf("acctee-faas: bounded retention: max resident %d records, spill dir %q\n", *retention, *spillDir)
+		}
 	}
 	return http.ListenAndServe(*listen, srv)
 }

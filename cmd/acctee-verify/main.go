@@ -1,12 +1,24 @@
 // Command acctee-verify replays a serialised accounting ledger offline and
-// reports whether it is intact: per-shard hash-chain continuity, gap-free
-// lane sequences, checkpoint signatures against the attested enclave key,
-// checkpoint chaining, and bit-exact totals reconstruction. A single
-// flipped byte anywhere in the dump makes verification fail.
+// reports whether it is intact: per-shard hash-chain continuity (from the
+// carried-forward heads of an anchoring checkpoint, for truncated dumps),
+// gap-free lane sequences, checkpoint signatures against the attested
+// enclave key, checkpoint chaining, and bit-exact totals reconstruction.
+// A single flipped byte anywhere in the dump makes verification fail.
+//
+// Verification is streaming: records are consumed one at a time off the
+// file, so a million-record dump verifies in O(segment) memory. Dumps may
+// start at any checkpoint-anchored sequence (the gateway's
+// /ledger?truncated=1, or Ledger.DumpTruncated) — the anchor's signature
+// vouches for everything below the starting sequences.
 //
 // Usage:
 //
 //	acctee-verify -dump ledger.json [-measurement hex32] [-pubkey key.der]
+//	acctee-verify -spill spill-dir  [-measurement hex32] [-pubkey key.der]
+//
+// -spill replays a bounded-retention ledger's spill directory instead:
+// every spilled segment frame is re-hashed against the persisted
+// checkpoint chain, so a flipped byte in any segment file is detected.
 //
 // By default the dump-embedded public key and measurement are used (fine
 // when the dump travelled a trusted channel). A suspicious verifier passes
@@ -33,11 +45,12 @@ func main() {
 
 func run() error {
 	dumpPath := flag.String("dump", "", "serialised ledger (JSON, see /ledger endpoint or Ledger.Dump)")
+	spillDir := flag.String("spill", "", "bounded-retention spill directory to replay instead of a dump")
 	measHex := flag.String("measurement", "", "expected enclave measurement (64 hex chars; empty = trust the dump)")
 	keyPath := flag.String("pubkey", "", "attested enclave public key (PKIX DER file; empty = trust the dump)")
 	flag.Parse()
-	if *dumpPath == "" {
-		return fmt.Errorf("missing -dump")
+	if *dumpPath == "" && *spillDir == "" {
+		return fmt.Errorf("missing -dump or -spill")
 	}
 
 	var opts accounting.VerifyOptions
@@ -58,6 +71,14 @@ func run() error {
 		}
 	}
 
+	if *spillDir != "" {
+		res, err := accounting.VerifySpillDir(*spillDir, opts)
+		if err != nil {
+			return fmt.Errorf("SPILL INVALID: %w", err)
+		}
+		printResult(res, "spilled ledger")
+		return nil
+	}
 	f, err := os.Open(*dumpPath)
 	if err != nil {
 		return err
@@ -67,10 +88,22 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("LEDGER INVALID: %w", err)
 	}
-	fmt.Printf("ledger OK: %d records across %d shards, %d checkpoints (%d records checkpoint-covered, %d eager signatures)\n",
-		res.Records, res.Shards, res.Checkpoints, res.CoveredRecords, res.EagerSignatures)
+	printResult(res, "ledger")
+	return nil
+}
+
+func printResult(res *accounting.VerifyResult, what string) {
+	fmt.Printf("%s OK: %d records across %d shards, %d checkpoints (%d records checkpoint-covered, %d eager signatures)\n",
+		what, res.Records, res.Shards, res.Checkpoints, res.CoveredRecords, res.EagerSignatures)
+	if res.Anchored {
+		fmt.Printf("anchored at checkpoint %d: %d earlier records carried forward by its signature (dump starts mid-chain)\n",
+			res.AnchorSequence, res.StartRecords)
+	}
+	if res.BeyondHorizon > 0 {
+		fmt.Printf("%d checkpoints reach beyond the spilled horizon (signed after the last seal; signatures verified)\n",
+			res.BeyondHorizon)
+	}
 	fmt.Printf("totals: %d weighted instructions, peak memory %d B, memory integral %d, io %d/%d B, %d simulated cycles\n",
 		res.Totals.WeightedInstructions, res.Totals.PeakMemoryBytes, res.Totals.MemoryIntegral,
 		res.Totals.IOBytesIn, res.Totals.IOBytesOut, res.Totals.SimulatedCycles)
-	return nil
 }

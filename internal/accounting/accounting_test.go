@@ -20,6 +20,15 @@ func newEnclave(t *testing.T) *sgx.Enclave {
 	return e
 }
 
+func newTestLedger(t *testing.T, e *sgx.Enclave, opts accounting.LedgerOptions) *accounting.Ledger {
+	t.Helper()
+	l, err := accounting.NewLedger(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func sampleLog() accounting.UsageLog {
 	return accounting.UsageLog{
 		WorkloadHash:         [32]byte{1, 2, 3},
@@ -36,7 +45,7 @@ func sampleLog() accounting.UsageLog {
 
 func TestRecordSignVerifyRoundTrip(t *testing.T) {
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
 	defer l.Close()
 	_, rec, err := l.Append(sampleLog())
 	if err != nil {
@@ -46,7 +55,7 @@ func TestRecordSignVerifyRoundTrip(t *testing.T) {
 		t.Errorf("verify: %v", err)
 	}
 	// A batched-mode record has no per-record signature to verify.
-	lb := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1})
+	lb := newTestLedger(t, e, accounting.LedgerOptions{Shards: 1})
 	defer lb.Close()
 	_, unsigned, err := lb.Append(sampleLog())
 	if err != nil {
@@ -62,7 +71,7 @@ func TestRecordSignVerifyRoundTrip(t *testing.T) {
 // never saves the forgery.
 func TestRecordSigRejectsTampering(t *testing.T) {
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
 	defer l.Close()
 	_, rec, err := l.Append(sampleLog())
 	if err != nil {
@@ -159,7 +168,7 @@ func TestMarshalDeterministic(t *testing.T) {
 
 func TestRecordJSONRoundTrip(t *testing.T) {
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 1, EagerSign: true})
 	defer l.Close()
 	_, rec, err := l.Append(sampleLog())
 	if err != nil {

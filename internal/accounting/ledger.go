@@ -21,13 +21,16 @@
 package accounting
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -203,13 +206,48 @@ func VerifyRecordSig(r Record, pub *ecdsa.PublicKey) error {
 	return nil
 }
 
+// RetentionPolicy bounds how much of the ledger stays resident in memory.
+// The zero value is the unbounded PR 3 behaviour: everything resident,
+// nothing spilled, compaction only on explicit request.
+type RetentionPolicy struct {
+	// MaxResidentRecords, when positive, triggers a compaction (checkpoint
+	// + seal) whenever the resident record count exceeds it. Immediately
+	// after a compaction at most one partially covered segment per shard
+	// remains resident, so memory stays bounded by roughly
+	// MaxResidentRecords + Shards·SegmentRecords regardless of how many
+	// records the ledger has ever chained.
+	MaxResidentRecords int
+	// SegmentRecords is the fixed in-memory segment size. Zero picks
+	// MaxResidentRecords/(2·Shards) clamped to [64, 4096] (1024 when
+	// MaxResidentRecords is zero too).
+	SegmentRecords int
+	// SpillDir, when set, spills sealed segments to append-only per-shard
+	// segment files under this directory instead of dropping them: records
+	// stay receipt-addressable, full from-genesis dumps stream from disk,
+	// and a crashed ledger reopens from the directory with its chain state
+	// carried forward (see NewLedger).
+	SpillDir string
+}
+
+// segmentRecords resolves the effective segment size.
+func (r RetentionPolicy) segmentRecords(shards int) int {
+	if r.SegmentRecords > 0 {
+		return r.SegmentRecords
+	}
+	if r.MaxResidentRecords <= 0 {
+		return 1024
+	}
+	seg := r.MaxResidentRecords / (2 * shards)
+	if seg < 64 {
+		seg = 64
+	}
+	if seg > 4096 {
+		seg = 4096
+	}
+	return seg
+}
+
 // LedgerOptions configure a ledger.
-//
-// Retention: every appended record is kept in memory for receipt lookup
-// and Dump — a deliberate (unbounded) choice at this stage. Checkpoints
-// make covered prefixes independently verifiable, so bounded retention
-// (persist-and-drop with head carry-forward) is the designated follow-up
-// for long-lived gateways; see ROADMAP.
 type LedgerOptions struct {
 	// Shards is the number of independent sequence lanes (default: one per
 	// CPU, capped at 16). Concurrent appends to different lanes never
@@ -222,6 +260,14 @@ type LedgerOptions struct {
 	// checkpoint periodically (the paper's "periodically"; Checkpoint()
 	// remains the "upon request" path). Close() stops it.
 	CheckpointInterval time.Duration
+	// Retention bounds resident memory; see RetentionPolicy. Checkpoints
+	// make covered prefixes independently verifiable, so sealed records
+	// can leave memory without weakening the trust guarantee.
+	Retention RetentionPolicy
+	// Store overrides the record store entirely (nil picks a memory store,
+	// or a file store when Retention.SpillDir is set). A custom store is
+	// adopted as-is: no crash recovery is attempted and Close closes it.
+	Store RecordStore
 }
 
 // withDefaults fills zero values.
@@ -235,15 +281,16 @@ func (o LedgerOptions) withDefaults() LedgerOptions {
 	return o
 }
 
-// lane is one shard: its own lock, gap-free sequence, chain head, retained
-// records and running totals. Lanes are padded apart by their own mutexes;
-// appends to different lanes proceed fully in parallel.
+// lane is one shard's chain state: its own lock, gap-free sequence, chain
+// head and running totals. The records themselves live in the store; the
+// lane state carries forward when sealed records leave memory, so the live
+// chain never breaks. Lanes are padded apart by their own mutexes; appends
+// to different lanes proceed fully in parallel.
 type lane struct {
-	mu      sync.Mutex
-	records []Record
-	head    [32]byte
-	next    uint64
-	totals  UsageLog // aggregated as in Checkpoint.Totals
+	mu     sync.Mutex
+	head   [32]byte
+	next   uint64
+	totals UsageLog // aggregated as in Checkpoint.Totals
 }
 
 // Ledger is the sharded, hash-chained usage ledger.
@@ -251,12 +298,23 @@ type Ledger struct {
 	enclave *sgx.Enclave
 	opts    LedgerOptions
 	lanes   []*lane
+	store   RecordStore
 	rr      atomic.Uint64 // round-robin shard pick
 
 	cpMu        sync.Mutex
 	checkpoints []SignedCheckpoint
+	anchor      *SignedCheckpoint // last compaction (or recovery) anchor
 	cpFailures  uint64
 	cpLastErr   error
+
+	// compactMu serialises compactions against each other and against dump
+	// snapshots; the append-path trigger TryLocks it, making auto-
+	// compaction single-flight and non-blocking.
+	compactMu sync.Mutex
+	// recoveredDroppedCheckpoints counts persisted checkpoints a crash
+	// recovery had to discard (their covered tail was lost with the
+	// resident records).
+	recoveredDroppedCheckpoints int
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -264,7 +322,15 @@ type Ledger struct {
 }
 
 // NewLedger creates a ledger signing with the given enclave key.
-func NewLedger(e *sgx.Enclave, opts LedgerOptions) *Ledger {
+//
+// When Retention.SpillDir names a directory that already holds a spill
+// from a previous ledger with the same enclave identity, the ledger
+// *recovers*: per-shard heads, sequences and totals carry forward from
+// the spilled segments, the persisted checkpoint chain is reloaded, and
+// the last checkpoint the spill fully contains becomes the anchor —
+// records that were only resident at crash time are gone, but everything
+// the anchor's signature vouches for is intact and verifiable.
+func NewLedger(e *sgx.Enclave, opts LedgerOptions) (*Ledger, error) {
 	opts = opts.withDefaults()
 	l := &Ledger{
 		enclave: e,
@@ -276,12 +342,50 @@ func NewLedger(e *sgx.Enclave, opts LedgerOptions) *Ledger {
 	for i := range l.lanes {
 		l.lanes[i] = &lane{}
 	}
+	var recovered *recoveredState
+	switch {
+	case opts.Store != nil:
+		l.store = opts.Store
+	case opts.Retention.SpillDir != "":
+		pubDER, err := MarshalPublicKey(e.PublicKey())
+		if err != nil {
+			return nil, err
+		}
+		fs, rec, err := openFileStore(opts.Retention.SpillDir, opts.Shards,
+			opts.Retention.segmentRecords(opts.Shards), e.Measurement(), pubDER)
+		if err != nil {
+			return nil, err
+		}
+		l.store, recovered = fs, rec
+	default:
+		l.store = NewMemoryStore(opts.Shards, opts.Retention.segmentRecords(opts.Shards))
+	}
+	if recovered != nil {
+		for i, ln := range l.lanes {
+			ln.next = recovered.Heads[i].Count
+			ln.head = recovered.Heads[i].Head
+			ln.totals = recovered.Totals[i]
+		}
+		l.checkpoints = recovered.Checkpoints
+		if n := len(l.checkpoints); n > 0 {
+			a := l.checkpoints[n-1].clone()
+			l.anchor = &a
+		}
+		l.recoveredDroppedCheckpoints = recovered.DroppedCheckpoints
+	}
 	if opts.CheckpointInterval > 0 {
 		go l.checkpointLoop(opts.CheckpointInterval)
 	} else {
 		close(l.done)
 	}
-	return l
+	return l, nil
+}
+
+// Recovered reports post-recovery diagnostics: the number of persisted
+// checkpoints discarded because a crash lost the resident records they
+// covered. Zero for a fresh ledger.
+func (l *Ledger) Recovered() (droppedCheckpoints int) {
+	return l.recoveredDroppedCheckpoints
 }
 
 // checkpointLoop signs checkpoints periodically until Close. Failures are
@@ -316,10 +420,16 @@ func (l *Ledger) CheckpointFailures() (uint64, error) {
 	return l.cpFailures, l.cpLastErr
 }
 
-// Close stops the periodic checkpoint goroutine (if any). The ledger stays
-// readable; further appends are not prevented.
+// Close stops the periodic checkpoint goroutine (if any) and closes the
+// record store's spill files. The ledger stays readable for resident
+// records; further appends are not prevented but can no longer spill.
+// Close is idempotent.
 func (l *Ledger) Close() {
-	l.stopOnce.Do(func() { close(l.stop) })
+	l.stopOnce.Do(func() {
+		close(l.stop)
+		<-l.done
+		_ = l.store.Close()
+	})
 	<-l.done
 }
 
@@ -328,6 +438,22 @@ func (l *Ledger) Options() LedgerOptions { return l.opts }
 
 // Shards returns the number of sequence lanes.
 func (l *Ledger) Shards() int { return len(l.lanes) }
+
+// Store exposes the ledger's record store.
+func (l *Ledger) Store() RecordStore { return l.store }
+
+// Resident returns how many records are currently held in memory.
+func (l *Ledger) Resident() int { return l.store.Resident() }
+
+// SpilledRecords returns how many records have been durably spilled across
+// all shards (0 without a file store).
+func (l *Ledger) SpilledRecords() uint64 {
+	var n uint64
+	for i := range l.lanes {
+		n += l.store.Spilled(uint32(i))
+	}
+	return n
+}
 
 // aggregate folds one covered log into running totals using the
 // deterministic checkpoint aggregation rule.
@@ -363,6 +489,37 @@ func (l *Ledger) Append(log UsageLog) (Receipt, Record, error) {
 	return l.AppendShard(shard, log)
 }
 
+// maybeCompact runs one bounded-retention compaction if the resident
+// record count exceeds the configured budget. The TryLock makes triggers
+// single-flight AND non-blocking: concurrent appends that also observe
+// the budget exceeded return immediately while one compaction runs, and a
+// trigger that would have to wait behind a dump snapshot is skipped
+// entirely — the budget is still exceeded on the next append, so the
+// trigger re-fires once the lock frees. No signature is paid before the
+// lock is held. Failures are recorded like periodic-checkpoint failures
+// (CheckpointFailures) rather than failing the append that happened to
+// trip the threshold.
+func (l *Ledger) maybeCompact() {
+	max := l.opts.Retention.MaxResidentRecords
+	if max <= 0 || l.store.Resident() <= max {
+		return
+	}
+	if !l.compactMu.TryLock() {
+		return
+	}
+	defer l.compactMu.Unlock()
+	sc, err := l.Checkpoint()
+	if err == nil {
+		_, err = l.sealLocked(sc)
+	}
+	if err != nil {
+		l.cpMu.Lock()
+		l.cpFailures++
+		l.cpLastErr = err
+		l.cpMu.Unlock()
+	}
+}
+
 // AppendShard chains a usage log onto an explicit shard lane. Only the
 // lane's own lock is taken. Under EagerSign the ECDSA signature is computed
 // while holding it — that serialises the lane exactly like the PR 2
@@ -375,36 +532,39 @@ func (l *Ledger) AppendShard(shard uint32, log UsageLog) (Receipt, Record, error
 	}
 	ln := l.lanes[shard]
 	ln.mu.Lock()
-	defer ln.mu.Unlock()
 	log.Sequence = ln.next
 	rec := Record{Shard: shard, Log: log, PrevHash: ln.head}
 	rec.Hash = rec.ComputeHash()
 	if l.opts.EagerSign {
 		sig, err := l.enclave.Sign(rec.Marshal())
 		if err != nil {
+			ln.mu.Unlock()
 			return Receipt{}, Record{}, fmt.Errorf("accounting: eager sign: %w", err)
 		}
 		rec.Signature = sig
 	}
+	if err := l.store.Append(rec); err != nil {
+		// The lane state is only advanced after the store accepted the
+		// record, so a failed append leaves the chain untouched.
+		ln.mu.Unlock()
+		return Receipt{}, Record{}, err
+	}
 	ln.head = rec.Hash
 	ln.next++
 	aggregate(&ln.totals, &log)
-	ln.records = append(ln.records, rec)
+	ln.mu.Unlock()
+	l.maybeCompact()
 	return Receipt{Shard: shard, Sequence: rec.Log.Sequence, ChainHead: rec.Hash}, rec, nil
 }
 
-// Record returns a retained record by shard and lane-local sequence.
+// Record returns a reachable record by shard and lane-local sequence —
+// resident in memory, or read back from a spilled segment when the ledger
+// runs with a file store.
 func (l *Ledger) Record(shard uint32, seq uint64) (Record, bool) {
 	if int(shard) >= len(l.lanes) {
 		return Record{}, false
 	}
-	ln := l.lanes[shard]
-	ln.mu.Lock()
-	defer ln.mu.Unlock()
-	if seq >= uint64(len(ln.records)) {
-		return Record{}, false
-	}
-	return ln.records[seq], true
+	return l.store.Get(shard, seq)
 }
 
 // Totals returns the live (unsigned) aggregate over all appended records,
@@ -432,8 +592,7 @@ func (l *Ledger) Checkpoint() (SignedCheckpoint, error) {
 	defer l.cpMu.Unlock()
 
 	cp := Checkpoint{
-		Sequence: uint64(len(l.checkpoints)),
-		Heads:    make([]ShardHead, len(l.lanes)),
+		Heads: make([]ShardHead, len(l.lanes)),
 	}
 	for i, ln := range l.lanes {
 		ln.mu.Lock()
@@ -454,14 +613,85 @@ func (l *Ledger) Checkpoint() (SignedCheckpoint, error) {
 		if same {
 			return last.clone(), nil
 		}
+		// A recovered ledger continues the persisted chain, so the next
+		// sequence comes from the last checkpoint, not the in-memory count.
+		cp.Sequence = last.Checkpoint.Sequence + 1
 		cp.PrevHash = last.Checkpoint.Hash()
 	}
 	sc, err := SignCheckpoint(l.enclave, cp)
 	if err != nil {
 		return SignedCheckpoint{}, err
 	}
+	// Persist before publishing: recovery must never see spilled frames
+	// anchored by a checkpoint it cannot reload. A persistence failure
+	// fails the request — callers alarm exactly as on a signing failure.
+	if err := l.store.PersistCheckpoint(&sc); err != nil {
+		return SignedCheckpoint{}, fmt.Errorf("accounting: persist checkpoint: %w", err)
+	}
 	l.checkpoints = append(l.checkpoints, sc)
 	return sc.clone(), nil
+}
+
+// CompactResult summarises one compaction.
+type CompactResult struct {
+	// Checkpoint is the anchor the compaction sealed to: the signed state
+	// that now vouches for every released record.
+	Checkpoint SignedCheckpoint `json:"checkpoint"`
+	// Released is how many records left memory.
+	Released int `json:"released"`
+	// Resident is the post-compaction resident record count.
+	Resident int `json:"resident"`
+	// SpilledRecords is the cumulative durably spilled record count.
+	SpilledRecords uint64 `json:"spilledRecords"`
+}
+
+// Compact bounds retention: it signs a checkpoint covering the current
+// state of every lane (reusing the latest one when nothing advanced) and
+// seals everything the checkpoint covers — sealed segments are spilled to
+// the store's segment files or, for a memory store, dropped. The
+// checkpoint becomes the ledger's truncation anchor: truncated dumps start
+// at its per-shard counts and chain from its heads.
+func (l *Ledger) Compact() (CompactResult, error) {
+	sc, err := l.Checkpoint()
+	if err != nil {
+		return CompactResult{}, err
+	}
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	return l.sealLocked(sc)
+}
+
+// sealLocked seals everything sc covers and advances the anchor. The
+// caller holds compactMu.
+func (l *Ledger) sealLocked(sc SignedCheckpoint) (CompactResult, error) {
+	released, err := l.store.Seal(&sc)
+	if err != nil {
+		return CompactResult{}, fmt.Errorf("accounting: seal: %w", err)
+	}
+	l.cpMu.Lock()
+	if l.anchor == nil || sc.Checkpoint.Covered() >= l.anchor.Checkpoint.Covered() {
+		a := sc.clone()
+		l.anchor = &a
+	}
+	l.cpMu.Unlock()
+	return CompactResult{
+		Checkpoint:     sc,
+		Released:       released,
+		Resident:       l.store.Resident(),
+		SpilledRecords: l.SpilledRecords(),
+	}, nil
+}
+
+// Anchor returns the ledger's current truncation anchor: the checkpoint
+// the last compaction sealed to (records below it may no longer be
+// resident). ok is false while no compaction has happened.
+func (l *Ledger) Anchor() (SignedCheckpoint, bool) {
+	l.cpMu.Lock()
+	defer l.cpMu.Unlock()
+	if l.anchor == nil {
+		return SignedCheckpoint{}, false
+	}
+	return l.anchor.clone(), true
 }
 
 // LatestCheckpoint returns the most recent signed checkpoint.
@@ -474,18 +704,115 @@ func (l *Ledger) LatestCheckpoint() (SignedCheckpoint, bool) {
 	return l.checkpoints[len(l.checkpoints)-1].clone(), true
 }
 
-// Dump serialises the ledger for offline verification: every retained
-// record in deterministic merge order (ascending shard, then lane-local
-// sequence), every checkpoint, and the attested identity (public key and
-// measurement) verification runs against.
+// DumpOptions select what a dump contains.
+type DumpOptions struct {
+	// Truncated anchors the dump at the ledger's compaction anchor: the
+	// anchor checkpoint travels in the dump, records it covers are
+	// omitted, and each shard's chain starts at the anchor's counts,
+	// chaining from the anchor's carried-forward heads. Without an anchor
+	// (no compaction yet) the dump is the full from-genesis one.
+	Truncated bool
+}
+
+// dumpCapture is a consistent snapshot of what a dump will contain, taken
+// under compactMu so no compaction can move the anchor or release records
+// between the header and the record stream.
+type dumpCapture struct {
+	anchor *SignedCheckpoint
+	cps    []SignedCheckpoint
+	starts []uint64 // per-shard first dumped sequence
+	ends   []uint64 // per-shard exclusive end (lane next at capture)
+}
+
+// capture snapshots the dump contents. Checkpoints are snapshotted before
+// lane ends; records only ever append, so every captured checkpoint covers
+// a prefix of the captured range and the dump always verifies — appends
+// landing in between show up as not-yet-checkpointed tail records.
 //
-// Dump is safe during concurrent appends and checkpointing: checkpoints
-// are snapshotted FIRST, then lane records. Records only ever append, so
-// every captured checkpoint covers a prefix of the captured records and
-// the dump always verifies; appends that land in between simply show up as
-// not-yet-checkpointed tail records.
+// The caller holds compactMu across capture AND the store.Snapshot calls
+// that pin the captured range (a compaction would otherwise release
+// records between the two); once the snapshots exist the lock is no
+// longer needed — replay is lock-free.
+func (l *Ledger) capture(opts DumpOptions) dumpCapture {
+	c := dumpCapture{
+		starts: make([]uint64, len(l.lanes)),
+		ends:   make([]uint64, len(l.lanes)),
+	}
+	l.cpMu.Lock()
+	anchored := opts.Truncated && l.anchor != nil
+	if !anchored && l.anchor != nil && !l.store.Persistent() {
+		// A memory store already dropped sealed records: a from-genesis
+		// dump is no longer possible, so every dump is anchored.
+		anchored = true
+	}
+	if anchored {
+		a := l.anchor.clone()
+		c.anchor = &a
+		for i := range l.checkpoints {
+			if l.checkpoints[i].Checkpoint.Sequence > a.Checkpoint.Sequence {
+				c.cps = append(c.cps, l.checkpoints[i].clone())
+			}
+		}
+		for i := range c.starts {
+			c.starts[i] = a.Checkpoint.Heads[i].Count
+		}
+	} else {
+		for i := range l.checkpoints {
+			c.cps = append(c.cps, l.checkpoints[i].clone())
+		}
+	}
+	l.cpMu.Unlock()
+	for i, ln := range l.lanes {
+		ln.mu.Lock()
+		c.ends[i] = ln.next
+		ln.mu.Unlock()
+	}
+	return c
+}
+
+// Dump serialises the ledger for offline verification: the dumped records
+// in deterministic merge order (ascending shard, then lane-local
+// sequence), the checkpoints covering them, and the attested identity
+// (public key and measurement) verification runs against. With a file
+// store the dump is the full from-genesis ledger (spilled segments are
+// read back); a memory store that has compacted produces a truncated dump
+// anchored at the compaction checkpoint. Dump materialises every record —
+// use WriteDump to stream a large ledger in O(segment) memory.
 func (l *Ledger) Dump() (*Dump, error) {
+	return l.dump(DumpOptions{})
+}
+
+// DumpTruncated serialises the bounded live view: the tail above the
+// compaction anchor, with the anchor vouching for everything below it.
+func (l *Ledger) DumpTruncated() (*Dump, error) {
+	return l.dump(DumpOptions{Truncated: true})
+}
+
+// snapshotDump captures the dump header and pins the record range, all
+// under compactMu — the only phase that needs it. Replaying the returned
+// snapshots is lock-free, so a slow dump consumer can never stall
+// compaction (and with it, the retention bound).
+func (l *Ledger) snapshotDump(opts DumpOptions) (dumpCapture, []func(func(*Record) error) error, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	c := l.capture(opts)
+	snaps := make([]func(func(*Record) error) error, len(l.lanes))
+	for i := range l.lanes {
+		s, err := l.store.Snapshot(uint32(i), c.starts[i], c.ends[i])
+		if err != nil {
+			return dumpCapture{}, nil, err
+		}
+		snaps[i] = s
+	}
+	return c, snaps, nil
+}
+
+func (l *Ledger) dump(opts DumpOptions) (*Dump, error) {
 	pub, err := MarshalPublicKey(l.enclave.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	c, snaps, err := l.snapshotDump(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -494,29 +821,94 @@ func (l *Ledger) Dump() (*Dump, error) {
 		Shards:      len(l.lanes),
 		Measurement: l.enclave.Measurement(),
 		PublicKey:   pub,
+		Anchor:      c.anchor,
+		Checkpoints: c.cps,
 	}
-	l.cpMu.Lock()
-	for i := range l.checkpoints {
-		d.Checkpoints = append(d.Checkpoints, l.checkpoints[i].clone())
-	}
-	l.cpMu.Unlock()
-	for _, ln := range l.lanes {
-		ln.mu.Lock()
-		d.Records = append(d.Records, ln.records...)
-		ln.mu.Unlock()
-	}
-	for i := range d.Records {
-		// Detach eager signatures from ledger-internal storage.
-		if sig := d.Records[i].Signature; sig != nil {
-			d.Records[i].Signature = append([]byte(nil), sig...)
+	for i := range snaps {
+		err := snaps[i](func(r *Record) error {
+			rec := *r
+			if rec.Signature != nil {
+				// Detach eager signatures from store-internal storage.
+				rec.Signature = append([]byte(nil), rec.Signature...)
+			}
+			d.Records = append(d.Records, rec)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
-	sort.SliceStable(d.Records, func(i, j int) bool {
-		a, b := &d.Records[i], &d.Records[j]
-		if a.Shard != b.Shard {
-			return a.Shard < b.Shard
-		}
-		return a.Log.Sequence < b.Log.Sequence
-	})
 	return d, nil
+}
+
+// WriteDump streams the dump to w in O(segment + resident) memory: the
+// header, anchor and checkpoints first, then records shard by shard — the
+// resident suffix from a point-in-time copy, sealed segments straight
+// from the spill files one frame at a time. The snapshot phase is the
+// only part that takes ledger locks: a consumer draining the stream
+// slowly (a curl of GET /ledger over a bad link) never blocks appends or
+// compaction. The emitted layout always keeps "records" last, which is
+// what lets VerifyStream verify it without materialising the record
+// array.
+func (l *Ledger) WriteDump(w io.Writer, opts DumpOptions) error {
+	pub, err := MarshalPublicKey(l.enclave.PublicKey())
+	if err != nil {
+		return err
+	}
+	c, snaps, err := l.snapshotDump(opts)
+	if err != nil {
+		return err
+	}
+
+	// The header serialises through the Dump struct itself — one field
+	// set, one set of tags, shared with Dump()/ParseDump — with an empty
+	// (non-nil) Records slice as the last field. Stripping the closing
+	// "]}" leaves the stream positioned inside the records array, which
+	// is then filled one record at a time.
+	head := &Dump{
+		Format:      DumpFormat,
+		Shards:      len(l.lanes),
+		Measurement: l.enclave.Measurement(),
+		PublicKey:   pub,
+		Anchor:      c.anchor,
+		Checkpoints: c.cps,
+		Records:     []Record{},
+	}
+	hj, err := json.Marshal(head)
+	if err != nil {
+		return err
+	}
+	if !bytes.HasSuffix(hj, []byte(`"records":[]}`)) {
+		// Records must stay the last Dump field — VerifyStream depends on
+		// the streaming layout.
+		return fmt.Errorf("accounting: dump header no longer ends with the records array")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(hj[:len(hj)-2]); err != nil {
+		return err
+	}
+	first := true
+	for i := range snaps {
+		err := snaps[i](func(r *Record) error {
+			if !first {
+				if _, err := bw.WriteString(","); err != nil {
+					return err
+				}
+			}
+			first = false
+			j, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			_, err = bw.Write(j)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

@@ -24,7 +24,7 @@ func logFor(g, i int) accounting.UsageLog {
 
 func TestLedgerChainsPerShard(t *testing.T) {
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 3})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 3})
 	defer l.Close()
 
 	var prev [3][32]byte
@@ -64,7 +64,7 @@ func TestLedgerEagerVsBatchedDifferential(t *testing.T) {
 	const goroutines, each = 8, 25
 	run := func(opts accounting.LedgerOptions) (accounting.UsageLog, *accounting.Ledger) {
 		e := newEnclave(t)
-		l := accounting.NewLedger(e, opts)
+		l := newTestLedger(t, e, opts)
 		defer l.Close()
 		var wg sync.WaitGroup
 		for g := 0; g < goroutines; g++ {
@@ -115,7 +115,7 @@ func TestLedgerEagerVsBatchedDifferential(t *testing.T) {
 
 func TestCheckpointSignAndChain(t *testing.T) {
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 2})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 2})
 	defer l.Close()
 	for i := 0; i < 5; i++ {
 		if _, _, err := l.Append(logFor(1, i)); err != nil {
@@ -184,7 +184,7 @@ func TestCheckpointSignAndChain(t *testing.T) {
 
 func TestPeriodicCheckpointGoroutine(t *testing.T) {
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 1, CheckpointInterval: 2 * time.Millisecond})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 1, CheckpointInterval: 2 * time.Millisecond})
 	if _, _, err := l.Append(logFor(0, 0)); err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestPeriodicCheckpointGoroutine(t *testing.T) {
 // prefix of the captured records.
 func TestDumpConsistentUnderConcurrentCheckpointing(t *testing.T) {
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 4})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 4})
 	defer l.Close()
 
 	stop := make(chan struct{})
@@ -267,7 +267,7 @@ func TestDumpConsistentUnderConcurrentCheckpointing(t *testing.T) {
 }
 
 func TestAppendShardOutOfRange(t *testing.T) {
-	l := accounting.NewLedger(newEnclave(t), accounting.LedgerOptions{Shards: 2})
+	l := newTestLedger(t, newEnclave(t), accounting.LedgerOptions{Shards: 2})
 	defer l.Close()
 	if _, _, err := l.AppendShard(7, logFor(0, 0)); err == nil {
 		t.Fatal("out-of-range shard accepted")

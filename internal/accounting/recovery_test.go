@@ -1,0 +1,339 @@
+package accounting_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acctee/internal/accounting"
+)
+
+// TestCrashRecoveryDifferential pins the crash path: write records with
+// spill enabled, checkpoint and compact mid-stream, keep appending, then
+// DROP the ledger without Close — simulating a crash with a resident tail
+// in flight. Reopening the spill directory must rebuild per-shard heads,
+// sequences and totals to exactly the state the last compaction anchor's
+// signature vouches for; a post-anchor checkpoint that covered the lost
+// tail must be discarded; and the recovered ledger must keep chaining —
+// new records, new checkpoints, and a full from-genesis dump that
+// verifies across the crash boundary.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	dir := t.TempDir()
+	e := newEnclave(t)
+	opts := accounting.LedgerOptions{
+		Shards: 2,
+		Retention: accounting.RetentionPolicy{
+			MaxResidentRecords: 1 << 20, // no auto-trigger: compaction points are explicit
+			SegmentRecords:     8,
+			SpillDir:           dir,
+		},
+	}
+	l1, err := accounting.NewLedger(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sealed = 100
+	for i := 0; i < sealed; i++ {
+		if _, _, err := l1.Append(logFor(1, i)); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%25 == 0 {
+			if _, err := l1.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	comp, err := l1.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := comp.Checkpoint
+	if got := anchor.Checkpoint.Covered(); got != sealed {
+		t.Fatalf("compaction anchor covers %d, want %d", got, sealed)
+	}
+	// The doomed tail: appended after the seal, resident only. One more
+	// checkpoint covers it — persisted, but its records never spill, so
+	// recovery must discard it.
+	for i := 0; i < 30; i++ {
+		if _, _, err := l1.Append(logFor(7, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doomed, err := l1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doomed.Checkpoint.Sequence <= anchor.Checkpoint.Sequence {
+		t.Fatalf("post-anchor checkpoint sequence %d not past anchor %d",
+			doomed.Checkpoint.Sequence, anchor.Checkpoint.Sequence)
+	}
+	// CRASH: no Close, no flush of the resident tail. (The spill files
+	// were written synchronously at Compact; the old handles stay open,
+	// which is fine — a real crash severs them too.)
+	l1 = nil //nolint:ineffassign // the point: nothing orderly happens to l1
+
+	l2, err := accounting.NewLedger(e, opts)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer l2.Close()
+
+	// The discarded checkpoint is surfaced, and the recovered chain state
+	// is exactly the anchor's: an idle checkpoint request returns the
+	// anchor itself (same heads), rather than signing anything new.
+	if dropped := l2.Recovered(); dropped != 1 {
+		t.Fatalf("recovery discarded %d checkpoints, want 1 (the post-anchor one)", dropped)
+	}
+	sc, err := l2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Checkpoint.Sequence != anchor.Checkpoint.Sequence {
+		t.Fatalf("recovered checkpoint sequence %d, want anchor %d", sc.Checkpoint.Sequence, anchor.Checkpoint.Sequence)
+	}
+	for i := range sc.Checkpoint.Heads {
+		if sc.Checkpoint.Heads[i] != anchor.Checkpoint.Heads[i] {
+			t.Fatalf("recovered head of shard %d %+v != anchor %+v", i, sc.Checkpoint.Heads[i], anchor.Checkpoint.Heads[i])
+		}
+	}
+	if sc.Checkpoint.Totals != anchor.Checkpoint.Totals {
+		t.Fatalf("recovered totals %+v != anchor totals %+v", sc.Checkpoint.Totals, anchor.Checkpoint.Totals)
+	}
+	if lt := l2.Totals(); lt != anchor.Checkpoint.Totals {
+		t.Fatalf("recovered live totals %+v != anchor totals %+v", lt, anchor.Checkpoint.Totals)
+	}
+	if res := l2.Resident(); res != 0 {
+		t.Fatalf("recovered ledger has %d resident records, want 0 (tail was lost)", res)
+	}
+	// Spilled records are reachable; the lost tail is not.
+	if _, ok := l2.Record(0, 0); !ok {
+		t.Fatal("spilled record 0/0 unreachable after recovery")
+	}
+	lost := anchor.Checkpoint.Heads[0].Count
+	if _, ok := l2.Record(0, lost); ok {
+		t.Fatalf("record 0/%d survived the crash but was never spilled", lost)
+	}
+
+	// The recovered ledger keeps chaining: sequences continue at the
+	// carried-forward counts, new checkpoints extend the persisted chain,
+	// and the full dump verifies from genesis across the crash.
+	rcpt, rec, err := l2.AppendShard(0, logFor(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.Sequence != anchor.Checkpoint.Heads[0].Count {
+		t.Fatalf("post-recovery sequence %d, want carry-forward %d", rcpt.Sequence, anchor.Checkpoint.Heads[0].Count)
+	}
+	if rec.PrevHash != anchor.Checkpoint.Heads[0].Head {
+		t.Fatal("post-recovery record does not chain to the anchor's carried-forward head")
+	}
+	for i := 1; i < 20; i++ {
+		if _, _, err := l2.Append(logFor(3, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next, err := l2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Checkpoint.Sequence != anchor.Checkpoint.Sequence+1 {
+		t.Fatalf("post-recovery checkpoint sequence %d, want %d", next.Checkpoint.Sequence, anchor.Checkpoint.Sequence+1)
+	}
+	if next.Checkpoint.PrevHash != anchor.Checkpoint.Hash() {
+		t.Fatal("post-recovery checkpoint does not chain from the anchor")
+	}
+
+	var full bytes.Buffer
+	if err := l2.WriteDump(&full, accounting.DumpOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := accounting.VerifyStream(bytes.NewReader(full.Bytes()), accounting.VerifyOptions{Key: e.PublicKey()})
+	if err != nil {
+		t.Fatalf("post-recovery full dump: %v", err)
+	}
+	if res.Records != sealed+20 {
+		t.Fatalf("post-recovery dump replayed %d records, want %d", res.Records, sealed+20)
+	}
+	if res.CoveredRecords != uint64(sealed+20) {
+		t.Fatalf("post-recovery checkpoint covers %d, want %d", res.CoveredRecords, sealed+20)
+	}
+	// And the spill directory itself verifies after another compaction.
+	if _, err := l2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	sres, err := accounting.VerifySpillDir(dir, accounting.VerifyOptions{Key: e.PublicKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Records != sealed+20 {
+		t.Fatalf("spill verification replayed %d records, want %d", sres.Records, sealed+20)
+	}
+}
+
+// TestRecoveryRejectsForeignIdentity: a spill directory belongs to one
+// enclave identity; reopening it with a different key must fail rather
+// than silently forking the chain.
+func TestRecoveryRejectsForeignIdentity(t *testing.T) {
+	dir := t.TempDir()
+	opts := accounting.LedgerOptions{
+		Shards:    1,
+		Retention: accounting.RetentionPolicy{SegmentRecords: 4, SpillDir: dir},
+	}
+	l1, err := accounting.NewLedger(newEnclave(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l1.Append(logFor(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	l1.Close()
+	if _, err := accounting.NewLedger(newEnclave(t), opts); err == nil {
+		t.Fatal("spill directory of a different enclave identity reopened without error")
+	}
+}
+
+// TestRecoveryRefusesCorruptCheckpointLog: a corrupted checkpoint log must
+// fail recovery loudly — never silently truncate intact, signature-covered
+// segment files down to the (empty) parseable checkpoint prefix.
+func TestRecoveryRefusesCorruptCheckpointLog(t *testing.T) {
+	dir := t.TempDir()
+	e := newEnclave(t)
+	opts := accounting.LedgerOptions{
+		Shards:    2,
+		Retention: accounting.RetentionPolicy{SegmentRecords: 4, SpillDir: dir},
+	}
+	l1, err := accounting.NewLedger(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := l1.Append(logFor(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	l1.Close()
+
+	segSizes := map[string]int64{}
+	for _, name := range []string{"shard-0000.seg", "shard-0001.seg"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s empty before corruption — test setup broken", name)
+		}
+		segSizes[name] = fi.Size()
+	}
+	cpPath := filepath.Join(dir, "checkpoints.jsonl")
+	raw, err := os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 'X' // first checkpoint line no longer parses
+	if err := os.WriteFile(cpPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := accounting.NewLedger(e, opts); err == nil {
+		t.Fatal("recovery accepted a spill dir whose checkpoint log is corrupt")
+	}
+	// The refusal must leave the segment files untouched.
+	for name, want := range segSizes {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != want {
+			t.Fatalf("%s truncated from %d to %d bytes by a REFUSED recovery", name, want, fi.Size())
+		}
+	}
+}
+
+// TestRecoveryFallsBackToFrameAlignedAnchor: a torn multi-shard seal can
+// leave the newest contained checkpoint mid-frame on some shard (periodic
+// checkpoints sign between seals, so their counts need not be frame
+// boundaries). Recovery must fall back to the newest checkpoint that is
+// both contained AND frame-aligned instead of failing forever.
+func TestRecoveryFallsBackToFrameAlignedAnchor(t *testing.T) {
+	dir := t.TempDir()
+	e := newEnclave(t)
+	opts := accounting.LedgerOptions{
+		Shards:    2,
+		Retention: accounting.RetentionPolicy{SegmentRecords: 2, SpillDir: dir},
+	}
+	l1, err := accounting.NewLedger(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN := func(shard uint32, n int) {
+		for i := 0; i < n; i++ {
+			if _, _, err := l1.AppendShard(shard, logFor(int(shard), i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	appendN(0, 2)
+	appendN(1, 2)
+	compB, err := l1.Compact() // seal B at (2,2): frames s0:[0,2) s1:[0,2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(0, 2)
+	if _, err := l1.Checkpoint(); err != nil { // periodic C at (4,2): persisted, never sealed
+		t.Fatal(err)
+	}
+	appendN(0, 2)
+	appendN(1, 2)
+	if _, err := l1.Compact(); err != nil { // seal D at (6,4): frames s0:[2,6) s1:[2,4)
+		t.Fatal(err)
+	}
+	l1.Close()
+
+	// Tear shard 1's D frame off, as a crash between Seal's per-shard
+	// writes would: shard 0 now ends at 6 (frame ends {2,6}), shard 1 at 2.
+	// D (6,4) is uncontained; C (4,2) is contained but 4 is mid-frame on
+	// shard 0; B (2,2) is the newest frame-aligned anchor.
+	segPath := filepath.Join(dir, "shard-0001.seg")
+	raw, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 || nl+1 >= len(raw) {
+		t.Fatalf("expected two frames in %s", segPath)
+	}
+	if err := os.WriteFile(segPath, raw[:nl+1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := accounting.NewLedger(e, opts)
+	if err != nil {
+		t.Fatalf("recovery failed instead of falling back to the aligned anchor: %v", err)
+	}
+	defer l2.Close()
+	if dropped := l2.Recovered(); dropped != 2 {
+		t.Fatalf("recovery discarded %d checkpoints, want 2 (C and D)", dropped)
+	}
+	sc, err := l2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sc.Checkpoint.Heads {
+		if sc.Checkpoint.Heads[i] != compB.Checkpoint.Checkpoint.Heads[i] {
+			t.Fatalf("recovered head of shard %d %+v != aligned anchor B %+v",
+				i, sc.Checkpoint.Heads[i], compB.Checkpoint.Checkpoint.Heads[i])
+		}
+	}
+	// And the surviving spill still verifies end to end.
+	if _, err := accounting.VerifySpillDir(dir, accounting.VerifyOptions{Key: e.PublicKey()}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,983 @@
+// Segmented record store: bounded retention for the hash-chained ledger.
+//
+// PR 3's ledger kept every record in memory forever — fine for evaluation,
+// fatal for a gateway serving millions of users. This file bounds it the
+// way shielded middleboxes keep long-lived secure state small: the enclave
+// retains only the unsigned tail, and signed checkpoints anchor everything
+// older.
+//
+// Records accumulate in fixed-size in-memory segments per shard. Once a
+// checkpoint covers a segment, the segment is *sealed*: its records are
+// either dropped outright (memory store) or spilled to an append-only
+// per-shard segment file (file store) before leaving memory. The shard's
+// chain head and next sequence number carry forward, so the live chain
+// never breaks — a record appended after a seal still chains to the hash
+// of a record that is no longer resident.
+//
+// Spill layout (file store, one directory per ledger):
+//
+//	MANIFEST.json    store identity: format, shards, measurement, PKIX key
+//	shard-NNNN.seg   append-only; one JSON frame per line, each frame a
+//	                 run of records [base, base+count) with the running
+//	                 chain head and shard totals after the frame
+//	checkpoints.jsonl every signed checkpoint, appended as it is signed
+//
+// Seals write frames up to exactly the sealing checkpoint's per-shard
+// covered counts, so at rest the spilled prefix of every shard ends on a
+// checkpoint boundary. Crash recovery (openFileStore on a non-empty
+// directory) replays the frames structurally — sequence continuity,
+// prev-hash linkage, head/totals consistency — and anchors the rebuilt
+// state at the last persisted checkpoint whose coverage the spill actually
+// contains, truncating any unanchored trailing frames or checkpoints a
+// crash left behind. Byte-level integrity (recomputing every record hash
+// against the checkpoint signature chain) is the verifier's job:
+// VerifySpillDir / `acctee-verify -spill`.
+package accounting
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"acctee/internal/sgx"
+)
+
+// RecordStore is the retention layer behind a Ledger: it owns the records
+// themselves, while the ledger's lanes own the chain state (head hash, next
+// sequence, running totals) that carries forward when records leave memory.
+//
+// Records of one shard arrive in strict sequence order (the lane lock
+// serialises appends); implementations are safe for concurrent use across
+// shards and for concurrent readers.
+type RecordStore interface {
+	// Append stores a freshly chained record on its shard's open segment.
+	Append(rec Record) error
+	// Get returns the record at (shard, seq) if it is still reachable —
+	// resident in memory, or spilled to disk for a file store.
+	Get(shard uint32, seq uint64) (Record, bool)
+	// Resident returns how many records are currently held in memory.
+	Resident() int
+	// Spilled returns how many records of the shard are durably spilled
+	// (always 0 for a memory store).
+	Spilled(shard uint32) uint64
+	// Seal releases every record the checkpoint covers: the file store
+	// first spills the not-yet-spilled covered prefix of each shard (and
+	// records the checkpoint as the new recovery anchor), then both stores
+	// drop fully covered — and, for file stores, fully spilled — segments
+	// from memory. It returns how many records left memory.
+	Seal(sc *SignedCheckpoint) (released int, err error)
+	// PersistCheckpoint makes a signed checkpoint durable (no-op for the
+	// memory store). The ledger calls it for every checkpoint it signs, so
+	// recovery never has to bridge a gap in the checkpoint hash chain.
+	PersistCheckpoint(sc *SignedCheckpoint) error
+	// Snapshot pins the shard's reachable records with sequence in
+	// [from, to) and returns a replay closure that streams them in order
+	// WITHOUT holding store locks: a concurrent Seal may release the
+	// records after the snapshot, and the closure must still replay the
+	// pinned range (spilled frames are immutable in the append-only file;
+	// the resident suffix is copied at snapshot time). Snapshot fails if
+	// [from, to) reaches below the earliest reachable sequence.
+	Snapshot(shard uint32, from, to uint64) (func(fn func(*Record) error) error, error)
+	// Persistent reports whether sealed records remain reachable (file
+	// store) or are gone for good (memory store).
+	Persistent() bool
+	// Close flushes and releases any spill files. The store stays
+	// readable for resident records.
+	Close() error
+}
+
+// segment is one fixed-size run of resident records.
+type segment struct {
+	base uint64 // sequence number of records[0]
+	recs []Record
+}
+
+// shardSegs is one shard's resident segment list plus its spill watermark.
+type shardSegs struct {
+	mu   sync.Mutex
+	segs []*segment
+	// next is the sequence the next appended record must carry.
+	next uint64
+	// dropped is the first still-resident sequence (records below it left
+	// memory); segs[0].base == dropped whenever segs is non-empty.
+	dropped uint64
+	// spilled is the number of durably spilled records (file store only).
+	spilled uint64
+	// spillTotals / spillHead mirror the running aggregate and chain head
+	// of the spilled prefix (stamped into frame headers).
+	spillTotals UsageLog
+	spillHead   [32]byte
+	// frames indexes the shard's spill file for O(frame) Get/Stream.
+	frames []frameIndex
+}
+
+// frameIndex locates one spilled frame inside a shard's segment file.
+type frameIndex struct {
+	base  uint64
+	count uint64
+	off   int64 // byte offset of the frame's line
+	size  int64 // line length including the trailing newline
+}
+
+// segStore is the shared segmented core of both stores.
+type segStore struct {
+	segRecords int
+	shards     []shardSegs
+	resident   atomic.Int64
+}
+
+func newSegStore(shards, segRecords int) *segStore {
+	if segRecords < 1 {
+		segRecords = 1
+	}
+	return &segStore{segRecords: segRecords, shards: make([]shardSegs, shards)}
+}
+
+func (s *segStore) Append(rec Record) error {
+	sh := &s.shards[rec.Shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec.Log.Sequence != sh.next {
+		return fmt.Errorf("accounting: store append out of order: shard %d got %d, want %d",
+			rec.Shard, rec.Log.Sequence, sh.next)
+	}
+	n := len(sh.segs)
+	if n == 0 || len(sh.segs[n-1].recs) >= s.segRecords {
+		sh.segs = append(sh.segs, &segment{
+			base: sh.next,
+			recs: make([]Record, 0, s.segRecords),
+		})
+		n++
+	}
+	seg := sh.segs[n-1]
+	seg.recs = append(seg.recs, rec)
+	sh.next++
+	s.resident.Add(1)
+	return nil
+}
+
+func (s *segStore) Get(shard uint32, seq uint64) (Record, bool) {
+	if int(shard) >= len(s.shards) {
+		return Record{}, false
+	}
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec, ok := sh.getResident(seq); ok {
+		return rec, true
+	}
+	return Record{}, false
+}
+
+// getResident looks seq up in the resident segments (caller holds sh.mu).
+func (sh *shardSegs) getResident(seq uint64) (Record, bool) {
+	if seq < sh.dropped || seq >= sh.next {
+		return Record{}, false
+	}
+	i := sort.Search(len(sh.segs), func(i int) bool {
+		seg := sh.segs[i]
+		return seq < seg.base+uint64(len(seg.recs))
+	})
+	if i >= len(sh.segs) {
+		return Record{}, false
+	}
+	seg := sh.segs[i]
+	if seq < seg.base {
+		return Record{}, false
+	}
+	return seg.recs[seq-seg.base], true
+}
+
+func (s *segStore) Resident() int { return int(s.resident.Load()) }
+
+// dropCovered drops every resident segment whose records all lie below
+// limit (caller holds sh.mu). Returns how many records left memory.
+func (s *segStore) dropCovered(sh *shardSegs, limit uint64) int {
+	released := 0
+	for len(sh.segs) > 0 {
+		seg := sh.segs[0]
+		end := seg.base + uint64(len(seg.recs))
+		if end > limit {
+			// Partially covered segments stay resident whole: sealing is
+			// segment-granular in memory (the uncovered suffix must remain
+			// reachable). A fully covered open segment is dropped — the
+			// next append simply starts a fresh one.
+			break
+		}
+		released += len(seg.recs)
+		sh.dropped = end
+		sh.segs = sh.segs[1:]
+	}
+	if len(sh.segs) == 0 {
+		sh.dropped = sh.next
+	} else {
+		sh.dropped = sh.segs[0].base
+	}
+	s.resident.Add(int64(-released))
+	return released
+}
+
+// collectResident copies the resident records in [from, to) out of the
+// segments (caller holds sh.mu).
+func (sh *shardSegs) collectResident(from, to uint64) ([]Record, error) {
+	if to > sh.next {
+		to = sh.next
+	}
+	if from >= to {
+		return nil, nil
+	}
+	if from < sh.dropped {
+		return nil, fmt.Errorf("accounting: store snapshot from %d below earliest resident %d", from, sh.dropped)
+	}
+	var out []Record
+	for _, seg := range sh.segs {
+		end := seg.base + uint64(len(seg.recs))
+		if end <= from || seg.base >= to {
+			continue
+		}
+		lo, hi := from, to
+		if lo < seg.base {
+			lo = seg.base
+		}
+		if hi > end {
+			hi = end
+		}
+		out = append(out, seg.recs[lo-seg.base:hi-seg.base]...)
+	}
+	return out, nil
+}
+
+// replaySlice wraps a copied record slice as a snapshot closure.
+func replaySlice(recs []Record) func(fn func(*Record) error) error {
+	return func(fn func(*Record) error) error {
+		for i := range recs {
+			if err := fn(&recs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// memory store
+
+// memStore keeps records in segments and drops sealed segments outright —
+// the bounded-retention mode for gateways that only ever need the signed
+// checkpoint chain plus the live tail.
+type memStore struct {
+	*segStore
+}
+
+// NewMemoryStore creates a segmented in-memory record store: sealed
+// segments are dropped, their effect surviving only in checkpoint
+// signatures and the lanes' carried-forward heads.
+func NewMemoryStore(shards, segRecords int) RecordStore {
+	return &memStore{segStore: newSegStore(shards, segRecords)}
+}
+
+func (m *memStore) Spilled(uint32) uint64                     { return 0 }
+func (m *memStore) PersistCheckpoint(*SignedCheckpoint) error { return nil }
+func (m *memStore) Persistent() bool                          { return false }
+func (m *memStore) Close() error                              { return nil }
+
+func (m *memStore) Seal(sc *SignedCheckpoint) (int, error) {
+	released := 0
+	for i := range sc.Checkpoint.Heads {
+		h := &sc.Checkpoint.Heads[i]
+		if int(h.Shard) >= len(m.shards) {
+			return released, fmt.Errorf("accounting: seal names shard %d of %d", h.Shard, len(m.shards))
+		}
+		sh := &m.shards[h.Shard]
+		sh.mu.Lock()
+		released += m.dropCovered(sh, h.Count)
+		sh.mu.Unlock()
+	}
+	return released, nil
+}
+
+func (m *memStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Record) error) error, error) {
+	if int(shard) >= len(m.shards) {
+		return nil, fmt.Errorf("accounting: snapshot names shard %d of %d", shard, len(m.shards))
+	}
+	sh := &m.shards[shard]
+	sh.mu.Lock()
+	recs, err := sh.collectResident(from, to)
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return replaySlice(recs), nil
+}
+
+// ---------------------------------------------------------------------------
+// file store
+
+// SpillFormat identifies the spill directory layout.
+const SpillFormat = "acctee-spill/v1"
+
+// spillManifest is the MANIFEST.json content binding a spill directory to
+// one ledger identity.
+type spillManifest struct {
+	Format      string          `json:"format"`
+	Shards      int             `json:"shards"`
+	SegRecords  int             `json:"segmentRecords"`
+	Measurement sgx.Measurement `json:"measurement"`
+	PublicKey   []byte          `json:"publicKey"` // PKIX DER
+}
+
+// spillFrame is one line of a shard's segment file: a contiguous run of
+// records plus the shard's chain head and running totals after the run.
+type spillFrame struct {
+	Shard   uint32   `json:"shard"`
+	Base    uint64   `json:"base"`
+	Head    [32]byte `json:"head"`
+	Totals  UsageLog `json:"totals"`
+	Records []Record `json:"records"`
+}
+
+const (
+	manifestName    = "MANIFEST.json"
+	checkpointsName = "checkpoints.jsonl"
+)
+
+func shardFileName(shard int) string { return fmt.Sprintf("shard-%04d.seg", shard) }
+
+// fileStore spills sealed records to append-only per-shard segment files.
+type fileStore struct {
+	*segStore
+	dir      string
+	manifest spillManifest
+
+	mu    sync.Mutex // guards files + checkpoint file appends
+	files []*os.File
+	cpF   *os.File
+}
+
+// recoveredState is what openFileStore rebuilt from a non-empty spill
+// directory: the per-shard carried-forward chain state and the persisted
+// checkpoint chain, anchored at the last checkpoint the spill contains.
+type recoveredState struct {
+	// Heads carries each shard's next sequence (Count) and chain head.
+	Heads []ShardHead
+	// Totals is each shard's running aggregate over the spilled prefix.
+	Totals []UsageLog
+	// Checkpoints is the persisted chain up to and including the anchor.
+	Checkpoints []SignedCheckpoint
+	// DroppedCheckpoints counts persisted checkpoints beyond the spill
+	// horizon that recovery had to discard (their covered tail records
+	// were resident at crash time and are gone).
+	DroppedCheckpoints int
+}
+
+// openFileStore creates or reopens a spill directory. On a fresh (or
+// empty) directory it writes the manifest and returns a nil recovery
+// state; on a populated one it replays the spill and returns the rebuilt
+// chain state.
+func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pubDER []byte) (*fileStore, *recoveredState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("accounting: spill dir: %w", err)
+	}
+	fs := &fileStore{
+		segStore: newSegStore(shards, segRecords),
+		dir:      dir,
+		manifest: spillManifest{
+			Format: SpillFormat, Shards: shards, SegRecords: segRecords,
+			Measurement: meas, PublicKey: pubDER,
+		},
+		files: make([]*os.File, shards),
+	}
+	manifestPath := filepath.Join(dir, manifestName)
+	var rec *recoveredState
+	if raw, err := os.ReadFile(manifestPath); err == nil {
+		var m spillManifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, nil, fmt.Errorf("accounting: spill manifest: %w", err)
+		}
+		if m.Format != SpillFormat {
+			return nil, nil, fmt.Errorf("accounting: spill format %q, want %q", m.Format, SpillFormat)
+		}
+		if m.Shards != shards {
+			return nil, nil, fmt.Errorf("accounting: spill dir has %d shards, ledger wants %d", m.Shards, shards)
+		}
+		if m.Measurement != meas || !bytes.Equal(m.PublicKey, pubDER) {
+			return nil, nil, fmt.Errorf("accounting: spill dir belongs to a different enclave identity")
+		}
+		fs.manifest = m
+		if rec, err = fs.recover(); err != nil {
+			return nil, nil, err
+		}
+	} else if os.IsNotExist(err) {
+		j, err := json.MarshalIndent(fs.manifest, "", " ")
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := os.WriteFile(manifestPath, j, 0o644); err != nil {
+			return nil, nil, fmt.Errorf("accounting: write spill manifest: %w", err)
+		}
+	} else {
+		return nil, nil, fmt.Errorf("accounting: spill manifest: %w", err)
+	}
+	for i := range fs.files {
+		f, err := os.OpenFile(filepath.Join(dir, shardFileName(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fs.Close()
+			return nil, nil, fmt.Errorf("accounting: open spill file: %w", err)
+		}
+		fs.files[i] = f
+	}
+	f, err := os.OpenFile(filepath.Join(dir, checkpointsName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fs.Close()
+		return nil, nil, fmt.Errorf("accounting: open checkpoint log: %w", err)
+	}
+	fs.cpF = f
+	return fs, rec, nil
+}
+
+// scanFrames structurally replays one shard's segment file: frames must be
+// contiguous runs with internally consistent sequences, prev-hash linkage
+// and head/totals stamps. It returns the frame index, final chain state,
+// and the byte offset just past the last good frame (a torn trailing line
+// from a crash mid-spill is cut there, not treated as corruption).
+func scanShardFile(path string, shard uint32) (frames []frameIndex, next uint64, head [32]byte, totals UsageLog, goodEnd int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, head, totals, 0, nil
+	}
+	if err != nil {
+		return nil, 0, head, totals, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<30)
+	var off int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		size := int64(len(line)) + 1
+		var fr spillFrame
+		if err := json.Unmarshal(line, &fr); err != nil {
+			if sc.Scan() {
+				// An unparsable line FOLLOWED by more data is corruption,
+				// not a torn tail — refuse rather than silently dropping
+				// the frames behind it.
+				return nil, 0, head, totals, 0, fmt.Errorf(
+					"accounting: spill shard %d: corrupt frame at offset %d (not a torn tail)", shard, off)
+			}
+			// Torn tail from a crash mid-append: everything before it is
+			// intact; the caller truncates here.
+			return frames, next, head, totals, off, nil
+		}
+		if fr.Shard != shard || fr.Base != next || len(fr.Records) == 0 {
+			return nil, 0, head, totals, 0, fmt.Errorf(
+				"accounting: spill shard %d frame at offset %d out of order (base %d, want %d)",
+				shard, off, fr.Base, next)
+		}
+		for i := range fr.Records {
+			r := &fr.Records[i]
+			if r.Shard != shard || r.Log.Sequence != next {
+				return nil, 0, head, totals, 0, fmt.Errorf(
+					"accounting: spill shard %d record %d out of sequence (want %d)", shard, r.Log.Sequence, next)
+			}
+			if r.PrevHash != head {
+				return nil, 0, head, totals, 0, fmt.Errorf(
+					"accounting: spill shard %d record %d breaks the hash chain", shard, next)
+			}
+			head = r.Hash
+			aggregate(&totals, &r.Log)
+			next++
+		}
+		if fr.Head != head || fr.Totals != totals {
+			return nil, 0, head, totals, 0, fmt.Errorf(
+				"accounting: spill shard %d frame at offset %d head/totals stamp mismatch", shard, off)
+		}
+		frames = append(frames, frameIndex{base: fr.Base, count: uint64(len(fr.Records)), off: off, size: size})
+		off += size
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, head, totals, 0, err
+	}
+	return frames, next, head, totals, off, nil
+}
+
+// recover rebuilds per-shard chain state from the spill directory,
+// truncating whatever a crash left unanchored (frames past the last
+// persisted checkpoint whose coverage the spill fully contains, and
+// checkpoints past the spill horizon).
+func (fs *fileStore) recover() (*recoveredState, error) {
+	type shardScan struct {
+		frames  []frameIndex
+		next    uint64
+		head    [32]byte
+		totals  UsageLog
+		goodEnd int64
+	}
+	scans := make([]shardScan, len(fs.shards))
+	for i := range fs.shards {
+		frames, next, head, totals, goodEnd, err := scanShardFile(
+			filepath.Join(fs.dir, shardFileName(i)), uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		scans[i] = shardScan{frames, next, head, totals, goodEnd}
+	}
+	cps, err := readSpillCheckpoints(fs.dir, len(fs.shards))
+	if err != nil {
+		return nil, err
+	}
+	// The anchor is the last persisted checkpoint the spill fully
+	// contains AND whose per-shard counts land on frame boundaries —
+	// periodic checkpoints signed between seals can be contained yet fall
+	// mid-frame, and the spill can only be cut between frames. Later
+	// checkpoints covered records that were resident at crash time; they
+	// are discarded along with any frames a mid-seal crash wrote past the
+	// anchor (at most the last seal can be torn).
+	ends := make([]map[uint64]bool, len(fs.shards))
+	for i := range scans {
+		ends[i] = map[uint64]bool{0: true}
+		for _, fr := range scans[i].frames {
+			ends[i][fr.base+fr.count] = true
+		}
+	}
+	anchor := -1
+	for i := range cps {
+		anchored := true
+		for _, h := range cps[i].Checkpoint.Heads {
+			if h.Count > scans[h.Shard].next || !ends[h.Shard][h.Count] {
+				anchored = false
+				break
+			}
+		}
+		if anchored {
+			anchor = i
+		}
+	}
+	// A spill with records but no anchoring checkpoint means the
+	// checkpoint log was lost or corrupted out from under the frames.
+	// Refuse: recovering "from genesis" here would truncate every segment
+	// file to zero, destroying intact signature-covered records.
+	if anchor < 0 {
+		for i := range scans {
+			if scans[i].next > 0 {
+				return nil, fmt.Errorf(
+					"accounting: spill dir holds %d records of shard %d but no persisted checkpoint anchors them — refusing to recover (checkpoint log lost or corrupt?)",
+					scans[i].next, i)
+			}
+		}
+	}
+	rec := &recoveredState{
+		Heads:              make([]ShardHead, len(fs.shards)),
+		Totals:             make([]UsageLog, len(fs.shards)),
+		DroppedCheckpoints: len(cps) - anchor - 1,
+	}
+	if anchor >= 0 {
+		rec.Checkpoints = cps[:anchor+1]
+	}
+	for i := range fs.shards {
+		s := &scans[i]
+		var limit uint64 // anchored spill horizon for this shard
+		if anchor >= 0 {
+			limit = cps[anchor].Checkpoint.Heads[i].Count
+		}
+		if s.next > limit {
+			// Truncate unanchored frames (and re-scan state) back to the
+			// anchor boundary. Frames end exactly on seal boundaries, so
+			// the cut always lands between frames.
+			cut := int64(0)
+			kept := s.frames[:0]
+			s.next, s.head, s.totals = 0, [32]byte{}, UsageLog{}
+			for _, fr := range s.frames {
+				if fr.base+fr.count > limit {
+					break
+				}
+				cut = fr.off + fr.size
+				kept = append(kept, fr)
+			}
+			if len(kept) > 0 {
+				last := kept[len(kept)-1]
+				if last.base+last.count != limit {
+					return nil, fmt.Errorf("accounting: spill shard %d cannot be cut at anchor boundary %d", i, limit)
+				}
+			} else if limit != 0 {
+				return nil, fmt.Errorf("accounting: spill shard %d misses anchored records below %d", i, limit)
+			}
+			// Recompute the carried-forward state over the kept prefix.
+			if err := fs.rescanPrefix(i, kept, &s.next, &s.head, &s.totals); err != nil {
+				return nil, err
+			}
+			s.frames, s.goodEnd = kept, cut
+		}
+		if err := os.Truncate(filepath.Join(fs.dir, shardFileName(i)), s.goodEnd); err != nil {
+			return nil, fmt.Errorf("accounting: truncate spill shard %d: %w", i, err)
+		}
+		sh := &fs.shards[i]
+		sh.next, sh.dropped = s.next, s.next
+		sh.spilled, sh.spillHead, sh.spillTotals = s.next, s.head, s.totals
+		sh.frames = s.frames
+		rec.Heads[i] = ShardHead{Shard: uint32(i), Count: s.next, Head: s.head}
+		rec.Totals[i] = s.totals
+	}
+	if rec.DroppedCheckpoints > 0 || anchor < len(cps)-1 {
+		if err := fs.rewriteCheckpoints(rec.Checkpoints); err != nil {
+			return nil, err
+		}
+	}
+	// Cross-check the rebuilt state against the anchor's signature-covered
+	// heads and totals: the carried-forward chain state IS what the last
+	// signed checkpoint vouches for.
+	if anchor >= 0 {
+		cp := &cps[anchor].Checkpoint
+		var merged UsageLog
+		for i := range rec.Heads {
+			if rec.Heads[i] != cp.Heads[i] {
+				return nil, fmt.Errorf("accounting: recovered head of shard %d does not match the anchoring checkpoint", i)
+			}
+			t := rec.Totals[i]
+			merge(&merged, &t)
+		}
+		if merged != cp.Totals {
+			return nil, fmt.Errorf("accounting: recovered totals do not match the anchoring checkpoint")
+		}
+	}
+	return rec, nil
+}
+
+// rescanPrefix recomputes chain state over a kept frame prefix after a
+// truncation decision (rare path: only after a crash mid-seal).
+func (fs *fileStore) rescanPrefix(shard int, frames []frameIndex, next *uint64, head *[32]byte, totals *UsageLog) error {
+	f, err := os.Open(filepath.Join(fs.dir, shardFileName(shard)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, fr := range frames {
+		frame, err := readFrameAt(f, fr)
+		if err != nil {
+			return err
+		}
+		for i := range frame.Records {
+			*head = frame.Records[i].Hash
+			aggregate(totals, &frame.Records[i].Log)
+			*next++
+		}
+	}
+	return nil
+}
+
+// readFrameAt decodes one frame at a known offset.
+func readFrameAt(f *os.File, fi frameIndex) (*spillFrame, error) {
+	buf := make([]byte, fi.size)
+	if _, err := f.ReadAt(buf, fi.off); err != nil {
+		return nil, fmt.Errorf("accounting: read spill frame: %w", err)
+	}
+	var fr spillFrame
+	if err := json.Unmarshal(bytes.TrimRight(buf, "\n"), &fr); err != nil {
+		return nil, fmt.Errorf("accounting: decode spill frame: %w", err)
+	}
+	return &fr, nil
+}
+
+// readSpillCheckpoints reads a spill directory's persisted checkpoint
+// chain (torn tail lines are cut, as with frames).
+func readSpillCheckpoints(dir string, shards int) ([]SignedCheckpoint, error) {
+	f, err := os.Open(filepath.Join(dir, checkpointsName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var cps []SignedCheckpoint
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<30)
+	for sc.Scan() {
+		var c SignedCheckpoint
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			if sc.Scan() {
+				// Corruption mid-log (a torn tail can only be the final
+				// line): refuse rather than silently forgetting the
+				// checkpoints behind it.
+				return nil, fmt.Errorf("accounting: corrupt checkpoint log entry before end of file")
+			}
+			break // torn tail
+		}
+		if len(c.Checkpoint.Heads) != shards {
+			return nil, fmt.Errorf("accounting: persisted checkpoint %d covers %d shards, store has %d",
+				c.Checkpoint.Sequence, len(c.Checkpoint.Heads), shards)
+		}
+		for j := range c.Checkpoint.Heads {
+			if c.Checkpoint.Heads[j].Shard != uint32(j) {
+				return nil, fmt.Errorf("accounting: persisted checkpoint %d heads out of shard order", c.Checkpoint.Sequence)
+			}
+		}
+		if n := len(cps); n > 0 {
+			prev := &cps[n-1].Checkpoint
+			if c.Checkpoint.Sequence != prev.Sequence+1 || c.Checkpoint.PrevHash != prev.Hash() {
+				return nil, fmt.Errorf("accounting: persisted checkpoint chain breaks at %d", c.Checkpoint.Sequence)
+			}
+		}
+		cps = append(cps, c)
+	}
+	return cps, sc.Err()
+}
+
+// rewriteCheckpoints atomically replaces the checkpoint log (recovery
+// discarding entries beyond the spill horizon).
+func (fs *fileStore) rewriteCheckpoints(cps []SignedCheckpoint) error {
+	tmp := filepath.Join(fs.dir, checkpointsName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for i := range cps {
+		j, err := json.Marshal(&cps[i])
+		if err != nil {
+			f.Close()
+			return err
+		}
+		w.Write(j)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(fs.dir, checkpointsName))
+}
+
+// Get serves resident records from memory and sealed ones from their
+// spill frame (O(frame) via the per-shard frame index) — receipts stay
+// resolvable after their records leave memory.
+func (fs *fileStore) Get(shard uint32, seq uint64) (Record, bool) {
+	if int(shard) >= len(fs.shards) {
+		return Record{}, false
+	}
+	sh := &fs.shards[shard]
+	sh.mu.Lock()
+	if rec, ok := sh.getResident(seq); ok {
+		sh.mu.Unlock()
+		return rec, true
+	}
+	if seq >= sh.spilled {
+		sh.mu.Unlock()
+		return Record{}, false
+	}
+	i := sort.Search(len(sh.frames), func(i int) bool {
+		fi := &sh.frames[i]
+		return seq < fi.base+fi.count
+	})
+	if i >= len(sh.frames) || seq < sh.frames[i].base {
+		sh.mu.Unlock()
+		return Record{}, false
+	}
+	fi := sh.frames[i]
+	sh.mu.Unlock()
+	f, err := os.Open(filepath.Join(fs.dir, shardFileName(int(shard))))
+	if err != nil {
+		return Record{}, false
+	}
+	defer f.Close()
+	frame, err := readFrameAt(f, fi)
+	if err != nil {
+		return Record{}, false
+	}
+	return frame.Records[seq-fi.base], true
+}
+
+func (fs *fileStore) Spilled(shard uint32) uint64 {
+	if int(shard) >= len(fs.shards) {
+		return 0
+	}
+	sh := &fs.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.spilled
+}
+
+func (fs *fileStore) Persistent() bool { return true }
+
+func (fs *fileStore) PersistCheckpoint(sc *SignedCheckpoint) error {
+	j, err := json.Marshal(sc)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.cpF == nil {
+		return fmt.Errorf("accounting: spill store closed")
+	}
+	_, err = fs.cpF.Write(append(j, '\n'))
+	return err
+}
+
+// Seal spills each shard's not-yet-spilled covered prefix as one frame,
+// then drops fully spilled segments from memory. Frames therefore always
+// end exactly on the sealing checkpoint's boundary — the property crash
+// recovery and truncated-dump anchoring rely on.
+func (fs *fileStore) Seal(sc *SignedCheckpoint) (int, error) {
+	released := 0
+	for i := range sc.Checkpoint.Heads {
+		h := &sc.Checkpoint.Heads[i]
+		if int(h.Shard) >= len(fs.shards) {
+			return released, fmt.Errorf("accounting: seal names shard %d of %d", h.Shard, len(fs.shards))
+		}
+		sh := &fs.shards[h.Shard]
+		sh.mu.Lock()
+		if h.Count > sh.spilled {
+			// Build the frame — and its running head/totals stamps — in
+			// locals; shard state commits only after the write succeeds, so
+			// a failed spill (ENOSPC, EIO) leaves the stamps consistent and
+			// the next Seal retries the same range instead of
+			// double-counting it.
+			frame := spillFrame{Shard: h.Shard, Base: sh.spilled,
+				Head: sh.spillHead, Totals: sh.spillTotals}
+			for seq := sh.spilled; seq < h.Count; seq++ {
+				rec, ok := sh.getResident(seq)
+				if !ok {
+					sh.mu.Unlock()
+					return released, fmt.Errorf("accounting: seal lost shard %d record %d before spilling", h.Shard, seq)
+				}
+				frame.Records = append(frame.Records, rec)
+				aggregate(&frame.Totals, &rec.Log)
+				frame.Head = rec.Hash
+			}
+			j, err := json.Marshal(&frame)
+			if err != nil {
+				sh.mu.Unlock()
+				return released, err
+			}
+			fs.mu.Lock()
+			f := fs.files[h.Shard]
+			var off int64
+			if f != nil {
+				if off, err = f.Seek(0, 2); err == nil {
+					var n int
+					if n, err = f.Write(append(j, '\n')); err != nil && n > 0 {
+						// A partial write leaves a torn line that the next
+						// successful append would bury mid-file (which
+						// recovery rejects as corruption, not a torn
+						// tail). Cut the file back to the frame start; if
+						// even that fails, retire the handle so no later
+						// Seal writes past known junk.
+						if terr := f.Truncate(off); terr != nil {
+							_ = f.Close()
+							fs.files[h.Shard] = nil
+						}
+					}
+				}
+			} else {
+				err = fmt.Errorf("accounting: spill store closed")
+			}
+			fs.mu.Unlock()
+			if err != nil {
+				sh.mu.Unlock()
+				return released, fmt.Errorf("accounting: spill shard %d: %w", h.Shard, err)
+			}
+			sh.frames = append(sh.frames, frameIndex{
+				base: frame.Base, count: uint64(len(frame.Records)),
+				off: off, size: int64(len(j)) + 1,
+			})
+			sh.spilled = h.Count
+			sh.spillHead, sh.spillTotals = frame.Head, frame.Totals
+		}
+		// Only fully spilled segments may leave memory.
+		limit := h.Count
+		if sh.spilled < limit {
+			limit = sh.spilled
+		}
+		released += fs.dropCovered(sh, limit)
+		sh.mu.Unlock()
+	}
+	return released, nil
+}
+
+// Snapshot pins [from, to): spilled frame locations (immutable in the
+// append-only file) plus a copy of the resident suffix. The returned
+// closure replays spilled frames straight off disk, one frame in memory
+// at a time, with no store locks held — a slow consumer never blocks
+// appends or compactions.
+func (fs *fileStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Record) error) error, error) {
+	if int(shard) >= len(fs.shards) {
+		return nil, fmt.Errorf("accounting: snapshot names shard %d of %d", shard, len(fs.shards))
+	}
+	sh := &fs.shards[shard]
+	sh.mu.Lock()
+	spilled := sh.spilled
+	frames := append([]frameIndex(nil), sh.frames...)
+	lo := from
+	if lo < spilled {
+		lo = spilled
+	}
+	resident, err := sh.collectResident(lo, to)
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(fs.dir, shardFileName(int(shard)))
+	return func(fn func(*Record) error) error {
+		if from < spilled {
+			f, err := os.Open(path)
+			if err != nil {
+				return fmt.Errorf("accounting: open spill shard %d: %w", shard, err)
+			}
+			defer f.Close()
+			for _, fi := range frames {
+				if fi.base+fi.count <= from {
+					continue
+				}
+				if fi.base >= to {
+					return nil
+				}
+				frame, err := readFrameAt(f, fi)
+				if err != nil {
+					return err
+				}
+				for i := range frame.Records {
+					seq := fi.base + uint64(i)
+					if seq < from {
+						continue
+					}
+					if seq >= to {
+						return nil
+					}
+					if err := fn(&frame.Records[i]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return replaySlice(resident)(fn)
+	}, nil
+}
+
+func (fs *fileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var first error
+	for i, f := range fs.files {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			fs.files[i] = nil
+		}
+	}
+	if fs.cpF != nil {
+		if err := fs.cpF.Close(); err != nil && first == nil {
+			first = err
+		}
+		fs.cpF = nil
+	}
+	return first
+}

@@ -1,47 +1,76 @@
 // Offline ledger verification (paper §3.3/§3.5: after attestation, "both
 // parties" can check the accounting log without trusting the provider).
-// A Dump is the serialised ledger; VerifyDump replays it, checking
 //
-//   - per-shard hash-chain continuity (every record's PrevHash equals the
-//     previous record's recomputed hash — a single flipped byte anywhere
-//     breaks the chain at that point),
-//   - per-shard gap-free sequence numbers starting at 0,
+// A Dump is the serialised ledger. Since the bounded-retention refactor it
+// may be *anchored*: records below a signed checkpoint are omitted and
+// each shard's chain starts at the anchor's per-shard counts, chaining
+// from the anchor's carried-forward heads — the anchor's signature stands
+// in for the truncated prefix. Verification replays whatever the dump
+// contains, checking
+//
+//   - per-shard hash-chain continuity from the carried-forward head (every
+//     record's PrevHash equals the previous record's recomputed hash — a
+//     single flipped byte anywhere breaks the chain at that point),
+//   - per-shard gap-free sequence numbers starting at the anchor counts
+//     (0 for a from-genesis dump),
 //   - checkpoint signatures against the attested enclave key and
-//     measurement, checkpoint chaining, and that every checkpoint head
-//     matches the replayed chain state at its covered count,
+//     measurement, checkpoint chaining from the anchor, and that every
+//     checkpoint head matches the replayed chain state at its covered
+//     count,
 //   - totals reconstruction: each checkpoint's aggregate equals the
-//     deterministic re-aggregation of exactly the records it covers,
+//     anchor's aggregate plus the deterministic re-aggregation of exactly
+//     the records between anchor and checkpoint,
 //   - eager per-record signatures where present.
+//
+// The engine is incremental (verifyCore): it consumes one record at a
+// time and keeps O(shards + checkpoints) state, never the records
+// themselves. VerifyStream drives it straight off an io.Reader — a
+// million-record dump verifies segment-by-segment in O(segment) memory —
+// while VerifyDump feeds it from an already-parsed Dump, and
+// VerifySpillDir replays a ledger's spill directory frame by frame.
 package accounting
 
 import (
+	"bufio"
 	"crypto/ecdsa"
 	"crypto/x509"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"acctee/internal/sgx"
 )
 
-// DumpFormat identifies the serialised ledger layout.
-const DumpFormat = "acctee-ledger/v1"
+// DumpFormat identifies the serialised ledger layout. v2 added the anchor
+// (checkpoint-anchored truncation) and fixed the field order so records
+// always come last — the property the streaming verifier relies on.
+const DumpFormat = "acctee-ledger/v2"
 
 // MaxDumpShards bounds the shard count a dump may declare, far above any
 // real configuration (the ledger defaults to one lane per CPU).
 const MaxDumpShards = 1 << 16
 
-// Dump is a serialised ledger: every record in deterministic merge order
-// (ascending shard, then lane-local sequence), every signed checkpoint, and
-// the identity to verify against. The embedded public key is a convenience
-// transport — a suspicious verifier substitutes the key it attested itself.
+// Dump is a serialised ledger: the dumped records in deterministic merge
+// order (ascending shard, then lane-local sequence), the checkpoints
+// covering them, and the identity to verify against. The embedded public
+// key is a convenience transport — a suspicious verifier substitutes the
+// key it attested itself. Anchor, when present, is the signed checkpoint
+// the dump is truncated at: records it covers are omitted and each
+// shard's chain carries forward from the anchor's heads.
+//
+// Field order matters: Records is declared (and always serialised) last,
+// so VerifyStream can verify the header and checkpoints before streaming
+// records one at a time.
 type Dump struct {
 	Format      string             `json:"format"`
 	Shards      int                `json:"shards"`
 	Measurement sgx.Measurement    `json:"measurement"`
 	PublicKey   []byte             `json:"publicKey"` // PKIX DER
-	Records     []Record           `json:"records"`
+	Anchor      *SignedCheckpoint  `json:"anchor,omitempty"`
 	Checkpoints []SignedCheckpoint `json:"checkpoints"`
+	Records     []Record           `json:"records"`
 }
 
 // MarshalPublicKey encodes an ECDSA public key as PKIX DER for a dump.
@@ -89,11 +118,24 @@ type VerifyResult struct {
 	// EagerSignatures counts records that carried (verified) per-record
 	// signatures.
 	EagerSignatures int
-	// Totals is the replayed aggregate over every record in the dump.
+	// Totals is the cumulative aggregate since genesis: the anchor's
+	// signed totals plus the replay over every record in the dump.
 	Totals UsageLog
-	// CoveredRecords is how many records the latest checkpoint vouches
-	// for; records beyond it chain correctly but are not yet signed.
+	// CoveredRecords is how many records (absolute, since genesis) the
+	// latest fully verified checkpoint vouches for; records beyond it
+	// chain correctly but are not yet signed.
 	CoveredRecords uint64
+	// Anchored reports a truncated dump; AnchorSequence is the anchoring
+	// checkpoint's sequence number and StartRecords how many records it
+	// carries forward (omitted from the dump, vouched for by signature).
+	Anchored       bool
+	AnchorSequence uint64
+	StartRecords   uint64
+	// BeyondHorizon counts checkpoints whose coverage exceeds the verified
+	// input. Only spill-directory verification tolerates these (signed
+	// after the last seal, covering records that were never spilled);
+	// their signatures and chaining are still checked.
+	BeyondHorizon int
 }
 
 // VerifyOptions tune offline verification.
@@ -106,150 +148,494 @@ type VerifyOptions struct {
 	Measurement sgx.Measurement
 }
 
-// VerifyDump replays a ledger dump offline. It returns the first integrity
-// violation found, localised to shard/sequence where possible.
-func VerifyDump(d *Dump, opts VerifyOptions) (*VerifyResult, error) {
-	pub := opts.Key
-	if pub == nil {
-		var err error
-		if pub, err = ParsePublicKey(d.PublicKey); err != nil {
-			return nil, err
-		}
-	}
-	if opts.Measurement != (sgx.Measurement{}) && d.Measurement != opts.Measurement {
-		return nil, fmt.Errorf("accounting: dump measurement %s does not match expected %s: %w",
-			d.Measurement, opts.Measurement, sgx.ErrWrongMeasurement)
-	}
-	if d.Shards <= 0 || d.Shards > MaxDumpShards {
+// verifyCore replays a dump incrementally: header and checkpoints first,
+// then one record at a time, in O(shards + checkpoints) state.
+type verifyCore struct {
+	pub         *ecdsa.PublicKey
+	meas        sgx.Measurement
+	anchor      *SignedCheckpoint
+	cps         []SignedCheckpoint
+	allowBeyond bool
+
+	next      []uint64
+	head      [][32]byte
+	cpPtr     []int
+	deltas    []UsageLog // per-checkpoint aggregate of newly covered records
+	tail      UsageLog   // records beyond every checkpoint
+	prevShard int
+
+	res *VerifyResult
+}
+
+// newVerifyCore validates the header, anchor and checkpoint chain and
+// prepares the per-shard replay state.
+func newVerifyCore(pub *ecdsa.PublicKey, meas sgx.Measurement, shards int,
+	anchor *SignedCheckpoint, cps []SignedCheckpoint, allowBeyond bool) (*verifyCore, error) {
+	if shards <= 0 || shards > MaxDumpShards {
 		// The bound keeps a hand-crafted hostile dump from sizing the
 		// verifier's lane state arbitrarily (the verifier is explicitly
 		// meant for adversarial inputs).
-		return nil, fmt.Errorf("accounting: dump declares %d shards (want 1..%d)", d.Shards, MaxDumpShards)
+		return nil, fmt.Errorf("accounting: dump declares %d shards (want 1..%d)", shards, MaxDumpShards)
 	}
-
-	res := &VerifyResult{Shards: d.Shards, Records: len(d.Records), Checkpoints: len(d.Checkpoints)}
-
-	// Replay every shard chain: gap-free sequences, linked hashes.
-	type laneState struct {
-		next  uint64
-		head  [32]byte
-		chain []Record // records in replay order
+	c := &verifyCore{
+		pub: pub, meas: meas, anchor: anchor, cps: cps, allowBeyond: allowBeyond,
+		next:      make([]uint64, shards),
+		head:      make([][32]byte, shards),
+		cpPtr:     make([]int, shards),
+		deltas:    make([]UsageLog, len(cps)),
+		res:       &VerifyResult{Shards: shards, Checkpoints: len(cps)},
+		prevShard: -1,
 	}
-	lanes := make([]laneState, d.Shards)
-	prevShard := -1
-	for i := range d.Records {
-		r := &d.Records[i]
-		if int(r.Shard) >= d.Shards {
-			return nil, fmt.Errorf("accounting: record %d names shard %d of %d", i, r.Shard, d.Shards)
+	checkHeads := func(cp *Checkpoint, what string) error {
+		if len(cp.Heads) != shards {
+			return fmt.Errorf("accounting: %s %d covers %d shards, dump has %d", what, cp.Sequence, len(cp.Heads), shards)
 		}
-		if int(r.Shard) < prevShard {
-			return nil, fmt.Errorf("accounting: records not in merge order at index %d (shard %d after %d)",
-				i, r.Shard, prevShard)
-		}
-		prevShard = int(r.Shard)
-		ln := &lanes[r.Shard]
-		if r.Log.Sequence != ln.next {
-			return nil, fmt.Errorf("accounting: shard %d sequence gap: record %d, want %d",
-				r.Shard, r.Log.Sequence, ln.next)
-		}
-		if r.PrevHash != ln.head {
-			return nil, fmt.Errorf("accounting: shard %d record %d breaks the hash chain (prev hash mismatch)",
-				r.Shard, r.Log.Sequence)
-		}
-		h := r.ComputeHash()
-		if h != r.Hash {
-			return nil, fmt.Errorf("accounting: shard %d record %d content does not match its hash",
-				r.Shard, r.Log.Sequence)
-		}
-		if len(r.Signature) > 0 {
-			if err := VerifyRecordSig(*r, pub); err != nil {
-				return nil, fmt.Errorf("accounting: shard %d record %d: %w", r.Shard, r.Log.Sequence, err)
+		for j := range cp.Heads {
+			if cp.Heads[j].Shard != uint32(j) {
+				return fmt.Errorf("accounting: %s %d heads out of shard order at %d", what, cp.Sequence, j)
 			}
-			res.EagerSignatures++
 		}
-		ln.head = h
-		ln.next++
-		ln.chain = append(ln.chain, *r)
-		aggregate(&res.Totals, &r.Log)
+		return nil
 	}
-
-	// Replay checkpoints: signature, chaining, head/count consistency, and
-	// bit-identical totals reconstruction over exactly the covered prefix.
-	// Covered counts only ever grow (the enclave extends, never rewinds),
-	// so each lane keeps a cursor and running prefix totals, making the
-	// whole pass O(records + checkpoints·shards) rather than re-replaying
-	// every prefix per checkpoint.
-	type laneCursor struct {
-		covered uint64
-		totals  UsageLog
+	var prevHash [32]byte
+	nextSeq := uint64(0)
+	prevCounts := make([]uint64, shards)
+	if anchor != nil {
+		if err := VerifyCheckpointSig(*anchor, pub, meas); err != nil {
+			return nil, fmt.Errorf("accounting: anchor checkpoint %d: %w", anchor.Checkpoint.Sequence, err)
+		}
+		if err := checkHeads(&anchor.Checkpoint, "anchor checkpoint"); err != nil {
+			return nil, err
+		}
+		for j := range anchor.Checkpoint.Heads {
+			h := &anchor.Checkpoint.Heads[j]
+			c.next[j] = h.Count
+			c.head[j] = h.Head
+			prevCounts[j] = h.Count
+		}
+		prevHash = anchor.Checkpoint.Hash()
+		nextSeq = anchor.Checkpoint.Sequence + 1
+		c.res.Anchored = true
+		c.res.AnchorSequence = anchor.Checkpoint.Sequence
+		c.res.StartRecords = anchor.Checkpoint.Covered()
 	}
-	cursors := make([]laneCursor, d.Shards)
-	var prevCp [32]byte
-	for i := range d.Checkpoints {
-		sc := &d.Checkpoints[i]
+	for i := range cps {
+		sc := &cps[i]
 		cp := &sc.Checkpoint
-		if err := VerifyCheckpointSig(*sc, pub, d.Measurement); err != nil {
+		if err := VerifyCheckpointSig(*sc, pub, meas); err != nil {
 			return nil, fmt.Errorf("accounting: checkpoint %d: %w", cp.Sequence, err)
 		}
-		if cp.Sequence != uint64(i) {
-			return nil, fmt.Errorf("accounting: checkpoint at index %d carries sequence %d", i, cp.Sequence)
+		if cp.Sequence != nextSeq+uint64(i) {
+			return nil, fmt.Errorf("accounting: checkpoint at index %d carries sequence %d, want %d", i, cp.Sequence, nextSeq+uint64(i))
 		}
-		if cp.PrevHash != prevCp {
+		if cp.PrevHash != prevHash {
 			return nil, fmt.Errorf("accounting: checkpoint %d breaks the checkpoint chain", cp.Sequence)
 		}
-		prevCp = cp.Hash()
-		if len(cp.Heads) != d.Shards {
-			return nil, fmt.Errorf("accounting: checkpoint %d covers %d shards, dump has %d",
-				cp.Sequence, len(cp.Heads), d.Shards)
+		prevHash = cp.Hash()
+		if err := checkHeads(cp, "checkpoint"); err != nil {
+			return nil, err
 		}
-		var totals UsageLog
 		for j := range cp.Heads {
-			h := &cp.Heads[j]
-			if h.Shard != uint32(j) {
-				return nil, fmt.Errorf("accounting: checkpoint %d heads out of shard order at %d", cp.Sequence, j)
-			}
-			ln, cur := &lanes[j], &cursors[j]
-			if h.Count > uint64(len(ln.chain)) {
-				return nil, fmt.Errorf("accounting: checkpoint %d covers %d records of shard %d, dump has %d",
-					cp.Sequence, h.Count, j, len(ln.chain))
-			}
-			if h.Count < cur.covered {
+			if cp.Heads[j].Count < prevCounts[j] {
 				return nil, fmt.Errorf("accounting: checkpoint %d rewinds shard %d from %d to %d records",
-					cp.Sequence, j, cur.covered, h.Count)
+					cp.Sequence, j, prevCounts[j], cp.Heads[j].Count)
 			}
-			for ; cur.covered < h.Count; cur.covered++ {
-				aggregate(&cur.totals, &ln.chain[cur.covered].Log)
-			}
-			var want [32]byte
-			if h.Count > 0 {
-				want = ln.chain[h.Count-1].Hash
-			}
-			if h.Head != want {
-				return nil, fmt.Errorf("accounting: checkpoint %d head of shard %d does not match the replayed chain",
-					cp.Sequence, j)
-			}
-			merge(&totals, &cur.totals)
-		}
-		if totals != cp.Totals {
-			return nil, fmt.Errorf("accounting: checkpoint %d totals do not reconstruct from the covered records",
-				cp.Sequence)
-		}
-		if i == len(d.Checkpoints)-1 {
-			res.CoveredRecords = cp.Covered()
+			prevCounts[j] = cp.Heads[j].Count
 		}
 	}
-	return res, nil
+	// Settle boundaries that coincide with the carried-forward start: a
+	// checkpoint covering exactly the anchor counts must carry the
+	// anchor's heads.
+	for s := 0; s < shards; s++ {
+		if err := c.advance(s); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
-// VerifyReader parses and verifies a serialised dump from r.
-func VerifyReader(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("accounting: read ledger dump: %w", err)
+// advance settles every checkpoint boundary the shard's replay cursor has
+// reached: at count == next the checkpoint's head must equal the replayed
+// chain head.
+func (c *verifyCore) advance(s int) error {
+	for c.cpPtr[s] < len(c.cps) {
+		cp := &c.cps[c.cpPtr[s]].Checkpoint
+		cnt := cp.Heads[s].Count
+		if cnt > c.next[s] {
+			break
+		}
+		if cnt < c.next[s] {
+			return fmt.Errorf("accounting: checkpoint %d covers %d records of shard %d behind the replay cursor %d",
+				cp.Sequence, cnt, s, c.next[s])
+		}
+		if cp.Heads[s].Head != c.head[s] {
+			return fmt.Errorf("accounting: checkpoint %d head of shard %d does not match the replayed chain",
+				cp.Sequence, s)
+		}
+		c.cpPtr[s]++
 	}
-	d, err := ParseDump(data)
+	return nil
+}
+
+// record consumes the next record in merge order.
+func (c *verifyCore) record(r *Record) error {
+	i := c.res.Records
+	c.res.Records++
+	if int(r.Shard) >= c.res.Shards {
+		return fmt.Errorf("accounting: record %d names shard %d of %d", i, r.Shard, c.res.Shards)
+	}
+	if int(r.Shard) < c.prevShard {
+		return fmt.Errorf("accounting: records not in merge order at index %d (shard %d after %d)",
+			i, r.Shard, c.prevShard)
+	}
+	c.prevShard = int(r.Shard)
+	s := int(r.Shard)
+	if r.Log.Sequence != c.next[s] {
+		return fmt.Errorf("accounting: shard %d sequence gap: record %d, want %d",
+			r.Shard, r.Log.Sequence, c.next[s])
+	}
+	if r.PrevHash != c.head[s] {
+		return fmt.Errorf("accounting: shard %d record %d breaks the hash chain (prev hash mismatch)",
+			r.Shard, r.Log.Sequence)
+	}
+	h := r.ComputeHash()
+	if h != r.Hash {
+		return fmt.Errorf("accounting: shard %d record %d content does not match its hash",
+			r.Shard, r.Log.Sequence)
+	}
+	if len(r.Signature) > 0 {
+		if err := VerifyRecordSig(*r, c.pub); err != nil {
+			return fmt.Errorf("accounting: shard %d record %d: %w", r.Shard, r.Log.Sequence, err)
+		}
+		c.res.EagerSignatures++
+	}
+	// Attribute the record to the first checkpoint that covers it (after
+	// advance, cpPtr is the first boundary strictly above the cursor).
+	if idx := c.cpPtr[s]; idx < len(c.cps) {
+		aggregate(&c.deltas[idx], &r.Log)
+	} else {
+		aggregate(&c.tail, &r.Log)
+	}
+	c.head[s] = h
+	c.next[s]++
+	return c.advance(s)
+}
+
+// finish checks that every checkpoint boundary was reached and that
+// totals reconstruct, then fills the result.
+func (c *verifyCore) finish() (*VerifyResult, error) {
+	settled := len(c.cps)
+	for s := 0; s < c.res.Shards; s++ {
+		if c.cpPtr[s] < settled {
+			settled = c.cpPtr[s]
+		}
+	}
+	if settled < len(c.cps) && !c.allowBeyond {
+		cp := &c.cps[settled].Checkpoint
+		for s := range c.next {
+			if cp.Heads[s].Count > c.next[s] {
+				return nil, fmt.Errorf("accounting: checkpoint %d covers %d records of shard %d, dump has %d",
+					cp.Sequence, cp.Heads[s].Count, s, c.next[s])
+			}
+		}
+	}
+	c.res.BeyondHorizon = len(c.cps) - settled
+	// Totals reconstruction: each fully reached checkpoint's aggregate
+	// must equal the anchor's aggregate plus the deltas of every
+	// checkpoint up to it. Aggregation is associative and commutative
+	// (sums, max, counts), so prefix-merging the per-checkpoint deltas
+	// reproduces the from-genesis fold exactly.
+	var running UsageLog
+	if c.anchor != nil {
+		running = c.anchor.Checkpoint.Totals
+	}
+	cumulative := running
+	for i := range c.cps {
+		d := c.deltas[i]
+		merge(&cumulative, &d)
+		if i < settled {
+			merge(&running, &d)
+			if running != c.cps[i].Checkpoint.Totals {
+				return nil, fmt.Errorf("accounting: checkpoint %d totals do not reconstruct from the covered records",
+					c.cps[i].Checkpoint.Sequence)
+			}
+		}
+	}
+	merge(&cumulative, &c.tail)
+	c.res.Totals = cumulative
+	if settled > 0 {
+		c.res.CoveredRecords = c.cps[settled-1].Checkpoint.Covered()
+	} else if c.anchor != nil {
+		c.res.CoveredRecords = c.anchor.Checkpoint.Covered()
+	}
+	return c.res, nil
+}
+
+// resolveKey picks the verification key: caller-supplied, else the
+// dump-embedded one.
+func resolveKey(opts VerifyOptions, der []byte) (*ecdsa.PublicKey, error) {
+	if opts.Key != nil {
+		return opts.Key, nil
+	}
+	return ParsePublicKey(der)
+}
+
+// checkMeasurement enforces the caller's expected enclave identity.
+func checkMeasurement(opts VerifyOptions, got sgx.Measurement) error {
+	if opts.Measurement != (sgx.Measurement{}) && got != opts.Measurement {
+		return fmt.Errorf("accounting: dump measurement %s does not match expected %s: %w",
+			got, opts.Measurement, sgx.ErrWrongMeasurement)
+	}
+	return nil
+}
+
+// VerifyDump replays a parsed ledger dump offline. It returns the first
+// integrity violation found, localised to shard/sequence where possible.
+func VerifyDump(d *Dump, opts VerifyOptions) (*VerifyResult, error) {
+	pub, err := resolveKey(opts, d.PublicKey)
 	if err != nil {
 		return nil, err
 	}
-	return VerifyDump(d, opts)
+	if err := checkMeasurement(opts, d.Measurement); err != nil {
+		return nil, err
+	}
+	core, err := newVerifyCore(pub, d.Measurement, d.Shards, d.Anchor, d.Checkpoints, false)
+	if err != nil {
+		return nil, err
+	}
+	for i := range d.Records {
+		if err := core.record(&d.Records[i]); err != nil {
+			return nil, err
+		}
+	}
+	return core.finish()
+}
+
+// VerifyStream verifies a serialised dump straight off the reader without
+// materialising the record array: the header and checkpoints are decoded
+// first (they precede the records in every dump this package writes), then
+// records are verified one at a time — O(segment) memory however large the
+// ledger grew.
+func VerifyStream(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
+	dec := json.NewDecoder(r)
+	expectDelim := func(d json.Delim) error {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("accounting: parse ledger dump: %w", err)
+		}
+		if got, ok := tok.(json.Delim); !ok || got != d {
+			return fmt.Errorf("accounting: parse ledger dump: expected %q, got %v", d, tok)
+		}
+		return nil
+	}
+	if err := expectDelim('{'); err != nil {
+		return nil, err
+	}
+	var (
+		format      string
+		shards      int
+		meas        sgx.Measurement
+		pubDER      []byte
+		anchor      *SignedCheckpoint
+		cps         []SignedCheckpoint
+		sawFormat   bool
+		sawShards   bool
+		core        *verifyCore
+		recordsDone bool
+	)
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, fmt.Errorf("accounting: parse ledger dump: unexpected token %v", tok)
+		}
+		if core != nil {
+			return nil, fmt.Errorf("accounting: dump field %q after records — not a streaming-layout dump", key)
+		}
+		switch key {
+		case "format":
+			if err := dec.Decode(&format); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
+			sawFormat = true
+		case "shards":
+			if err := dec.Decode(&shards); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
+			sawShards = true
+		case "measurement":
+			if err := dec.Decode(&meas); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
+		case "publicKey":
+			if err := dec.Decode(&pubDER); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
+		case "anchor":
+			anchor = new(SignedCheckpoint)
+			if err := dec.Decode(anchor); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
+		case "checkpoints":
+			if err := dec.Decode(&cps); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
+		case "records":
+			if !sawFormat || !sawShards {
+				return nil, fmt.Errorf("accounting: dump records precede the header — not a streaming-layout dump")
+			}
+			if format != DumpFormat {
+				return nil, fmt.Errorf("accounting: dump format %q, want %q", format, DumpFormat)
+			}
+			pub, err := resolveKey(opts, pubDER)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkMeasurement(opts, meas); err != nil {
+				return nil, err
+			}
+			if core, err = newVerifyCore(pub, meas, shards, anchor, cps, false); err != nil {
+				return nil, err
+			}
+			if err := expectDelim('['); err != nil {
+				return nil, err
+			}
+			for dec.More() {
+				var rec Record
+				if err := dec.Decode(&rec); err != nil {
+					return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+				}
+				if err := core.record(&rec); err != nil {
+					return nil, err
+				}
+			}
+			if err := expectDelim(']'); err != nil {
+				return nil, err
+			}
+			recordsDone = true
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
+		}
+	}
+	if err := expectDelim('}'); err != nil {
+		return nil, err
+	}
+	if !recordsDone {
+		// A dump with no records field at all: still verify header and
+		// checkpoints (an idle anchored ledger dumps exactly this).
+		if !sawFormat || !sawShards {
+			return nil, fmt.Errorf("accounting: dump misses format/shards")
+		}
+		if format != DumpFormat {
+			return nil, fmt.Errorf("accounting: dump format %q, want %q", format, DumpFormat)
+		}
+		pub, err := resolveKey(opts, pubDER)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkMeasurement(opts, meas); err != nil {
+			return nil, err
+		}
+		if core, err = newVerifyCore(pub, meas, shards, anchor, cps, false); err != nil {
+			return nil, err
+		}
+	}
+	return core.finish()
+}
+
+// VerifyReader verifies a serialised dump from r, streaming.
+func VerifyReader(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
+	return VerifyStream(r, opts)
+}
+
+// VerifySpillDir replays a ledger's spill directory offline, frame by
+// frame: the manifest supplies the identity, checkpoints.jsonl the signed
+// chain, and every spilled record is re-hashed against it — a single
+// flipped byte in any segment file fails verification. Checkpoints signed
+// after the last seal cover records that were never spilled; their
+// signatures and chaining are verified and they are reported in
+// BeyondHorizon rather than failing the replay.
+func VerifySpillDir(dir string, opts VerifyOptions) (*VerifyResult, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("accounting: spill manifest: %w", err)
+	}
+	var m spillManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("accounting: spill manifest: %w", err)
+	}
+	if m.Format != SpillFormat {
+		return nil, fmt.Errorf("accounting: spill format %q, want %q", m.Format, SpillFormat)
+	}
+	pub, err := resolveKey(opts, m.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkMeasurement(opts, m.Measurement); err != nil {
+		return nil, err
+	}
+	if m.Shards <= 0 || m.Shards > MaxDumpShards {
+		return nil, fmt.Errorf("accounting: spill declares %d shards (want 1..%d)", m.Shards, MaxDumpShards)
+	}
+	cps, err := readSpillCheckpoints(dir, m.Shards)
+	if err != nil {
+		return nil, err
+	}
+	core, err := newVerifyCore(pub, m.Measurement, m.Shards, nil, cps, true)
+	if err != nil {
+		return nil, err
+	}
+	for shard := 0; shard < m.Shards; shard++ {
+		path := filepath.Join(dir, shardFileName(shard))
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<30)
+		var totals UsageLog
+		var head [32]byte
+		for sc.Scan() {
+			var fr spillFrame
+			if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+				if !sc.Scan() {
+					// Torn final line from a crash mid-seal — the exact
+					// residue recovery truncates. The frames before it are
+					// intact; any checkpoint reaching into the torn part
+					// is reported via BeyondHorizon, not a false tamper
+					// alarm on an honest crashed ledger.
+					break
+				}
+				f.Close()
+				return nil, fmt.Errorf("accounting: spill shard %d: corrupt frame (not a torn tail): %w", shard, err)
+			}
+			for i := range fr.Records {
+				if err := core.record(&fr.Records[i]); err != nil {
+					f.Close()
+					return nil, err
+				}
+				aggregate(&totals, &fr.Records[i].Log)
+				head = fr.Records[i].Hash
+			}
+			if fr.Head != head || fr.Totals != totals {
+				f.Close()
+				return nil, fmt.Errorf("accounting: spill shard %d: frame head/totals stamp mismatch", shard)
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.finish()
 }

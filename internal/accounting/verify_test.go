@@ -17,7 +17,7 @@ import (
 func buildDump(t *testing.T, records, cpEvery int) (*accounting.Dump, []byte) {
 	t.Helper()
 	e := newEnclave(t)
-	l := accounting.NewLedger(e, accounting.LedgerOptions{Shards: 4})
+	l := newTestLedger(t, e, accounting.LedgerOptions{Shards: 4})
 	defer l.Close()
 	for i := 0; i < records; i++ {
 		if _, _, err := l.Append(logFor(i%7, i)); err != nil {

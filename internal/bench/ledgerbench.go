@@ -62,6 +62,25 @@ type LedgerReport struct {
 	VerifyNs          int64   `json:"verify_ns"`
 	VerifyNsPerRecord float64 `json:"verify_ns_per_record"`
 	DumpBytes         int     `json:"dump_bytes"`
+	// Retention holds the bounded-retention sweep (acctee-bench -fig
+	// retention); the two figures update their own sections of
+	// BENCH_ledger.json without clobbering each other.
+	Retention *RetentionReport `json:"retention,omitempty"`
+}
+
+// LoadLedgerJSON reads an existing BENCH_ledger.json, so one figure can
+// update its section while preserving the other's. A missing or
+// unparsable file yields nil.
+func LoadLedgerJSON(path string) *LedgerReport {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep LedgerReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil
+	}
+	return &rep
 }
 
 // LedgerBenchTrials is the best-of count per throughput cell (minimum
@@ -168,7 +187,10 @@ func RunLedgerBench(requests, verifyRecords int, clientCounts []int) (*LedgerRep
 	if err != nil {
 		return nil, err
 	}
-	ledger := accounting.NewLedger(encl, accounting.LedgerOptions{Shards: 4})
+	ledger, err := accounting.NewLedger(encl, accounting.LedgerOptions{Shards: 4})
+	if err != nil {
+		return nil, err
+	}
 	defer ledger.Close()
 	for i := 0; i < verifyRecords; i++ {
 		log := accounting.UsageLog{

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"acctee/internal/accounting"
+	"acctee/internal/sgx"
+)
+
+// This file measures bounded ledger retention (the segmented record store
+// with checkpoint-anchored truncation): resident record counts, heap
+// footprint and append throughput at 10k/100k/1M records, unbounded vs
+// bounded (drop) vs bounded with spill-to-disk. The rows land in
+// BENCH_ledger.json next to the eager-vs-batched signing comparison.
+
+// RetentionSizes is the default record-count sweep.
+var RetentionSizes = []int{10_000, 100_000, 1_000_000}
+
+// RetentionMaxResident is the bounded modes' resident budget (the
+// acceptance criterion's 4096).
+const RetentionMaxResident = 4096
+
+// retentionSpillCap bounds the sizes that run the spill variant: spilling
+// is JSON-framed, so a 1M-record spill writes hundreds of MB — more disk
+// traffic than a CI bench run should cause.
+const retentionSpillCap = 100_000
+
+// RetentionRow is one (records, mode) cell.
+type RetentionRow struct {
+	Records int `json:"records"`
+	// Mode is "unbounded" (the PR 3 behaviour), "bounded" (sealed
+	// segments dropped behind checkpoints) or "bounded+spill" (sealed
+	// segments spilled to segment files).
+	Mode        string `json:"mode"`
+	MaxResident int    `json:"max_resident,omitempty"`
+	// ResidentPeak / ResidentEnd are record counts held in memory.
+	ResidentPeak int `json:"resident_peak"`
+	ResidentEnd  int `json:"resident_end"`
+	// SpilledEnd counts durably spilled records (spill mode only).
+	SpilledEnd uint64 `json:"spilled_end,omitempty"`
+	// Checkpoints is how many checkpoints were signed (bounded modes sign
+	// one per compaction; the trigger amortises to records/MaxResident).
+	Checkpoints uint64 `json:"checkpoints"`
+	// HeapBytes is HeapAlloc after a forced GC with the ledger still
+	// live — the resident footprint the store architecture controls.
+	HeapBytes uint64 `json:"heap_bytes_after_gc"`
+	// AppendsPerSec is append throughput over the whole run (including
+	// compaction pauses — the cost of boundedness must be visible).
+	AppendsPerSec float64 `json:"appends_per_sec"`
+}
+
+// RetentionReport is the BENCH_ledger.json "retention" section.
+type RetentionReport struct {
+	GeneratedAt string         `json:"generated_at"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Shards      int            `json:"shards"`
+	Rows        []RetentionRow `json:"rows"`
+}
+
+// runRetentionCell appends `records` records to a fresh ledger in the
+// given mode and measures retention behaviour.
+func runRetentionCell(records int, mode string, spillDir string) (RetentionRow, error) {
+	encl, err := sgx.NewEnclave([]byte("retention-bench AE"), sgx.ModeSimulation, sgx.DefaultCostParams())
+	if err != nil {
+		return RetentionRow{}, err
+	}
+	opts := accounting.LedgerOptions{Shards: 4}
+	if mode != "unbounded" {
+		opts.Retention = accounting.RetentionPolicy{MaxResidentRecords: RetentionMaxResident}
+	}
+	if mode == "bounded+spill" {
+		opts.Retention.SpillDir = spillDir
+	}
+	l, err := accounting.NewLedger(encl, opts)
+	if err != nil {
+		return RetentionRow{}, err
+	}
+	defer l.Close()
+
+	log := accounting.UsageLog{
+		WorkloadHash:         [32]byte{42},
+		WeightedInstructions: 1_000_000,
+		PeakMemoryBytes:      1 << 20,
+		Policy:               accounting.PeakMemory,
+	}
+	row := RetentionRow{Records: records, Mode: mode}
+	if mode != "unbounded" {
+		row.MaxResident = RetentionMaxResident
+	}
+	t0 := time.Now()
+	for i := 0; i < records; i++ {
+		log.SimulatedCycles = uint64(i)
+		if _, _, err := l.Append(log); err != nil {
+			return RetentionRow{}, err
+		}
+		if i&127 == 0 {
+			if r := l.Resident(); r > row.ResidentPeak {
+				row.ResidentPeak = r
+			}
+		}
+	}
+	row.AppendsPerSec = float64(records) / time.Since(t0).Seconds()
+	if r := l.Resident(); r > row.ResidentPeak {
+		row.ResidentPeak = r
+	}
+	row.ResidentEnd = l.Resident()
+	row.SpilledEnd = l.SpilledRecords()
+	if sc, err := l.Checkpoint(); err == nil {
+		row.Checkpoints = sc.Checkpoint.Sequence + 1
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	row.HeapBytes = ms.HeapAlloc
+	return row, nil
+}
+
+// RunRetentionBench sweeps record counts across retention modes.
+func RunRetentionBench(sizes []int) (*RetentionReport, error) {
+	if len(sizes) == 0 {
+		sizes = RetentionSizes
+	}
+	rep := &RetentionReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Shards:      4,
+	}
+	for _, n := range sizes {
+		modes := []string{"unbounded", "bounded"}
+		if n <= retentionSpillCap {
+			modes = append(modes, "bounded+spill")
+		}
+		for _, mode := range modes {
+			var spill string
+			if mode == "bounded+spill" {
+				dir, err := os.MkdirTemp("", "acctee-retention-bench")
+				if err != nil {
+					return nil, err
+				}
+				defer os.RemoveAll(dir)
+				spill = dir
+			}
+			row, err := runRetentionCell(n, mode, spill)
+			if err != nil {
+				return nil, fmt.Errorf("bench: retention %s/%d: %w", mode, n, err)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// PrintRetentionBench renders the report as a table.
+func PrintRetentionBench(w io.Writer, rep *RetentionReport) {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "records\tmode\tresident peak\tresident end\tspilled\theap after GC\tappends/s\tcheckpoints\n")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%.1f MB\t%.0f\t%d\n",
+			r.Records, r.Mode, r.ResidentPeak, r.ResidentEnd, r.SpilledEnd,
+			float64(r.HeapBytes)/(1<<20), r.AppendsPerSec, r.Checkpoints)
+	}
+	tw.Flush()
+}

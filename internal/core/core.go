@@ -262,6 +262,10 @@ func NewAccountingEnclave(mode sgx.Mode, costs sgx.CostParams, tbl *weights.Tabl
 	if err != nil {
 		return nil, fmt.Errorf("core: compile workload: %w", err)
 	}
+	ledger, err := accounting.NewLedger(encl, accounting.LedgerOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: ledger: %w", err)
+	}
 	ae := &AccountingEnclave{
 		enclave:  encl,
 		libos:    sgxlkl.New(encl),
@@ -272,7 +276,7 @@ func NewAccountingEnclave(mode sgx.Mode, costs sgx.CostParams, tbl *weights.Tabl
 		compiled: compiled,
 		modHash:  h,
 		counter:  ev.CounterGlobal,
-		ledger:   accounting.NewLedger(encl, accounting.LedgerOptions{}),
+		ledger:   ledger,
 	}
 	if err := ae.SetPoolConfig(interp.PoolConfig{}); err != nil {
 		return nil, err
@@ -281,20 +285,37 @@ func NewAccountingEnclave(mode sgx.Mode, costs sgx.CostParams, tbl *weights.Tabl
 }
 
 // SetLedgerOptions replaces the AE's ledger (e.g. to change the shard
-// count, enable eager per-record signing, or start periodic checkpointing).
-// It starts a FRESH ledger: records and checkpoints already chained are
-// discarded with the old one, and receipts issued against it no longer
+// count, enable eager per-record signing, start periodic checkpointing, or
+// configure bounded retention/spill-to-disk). It starts a FRESH ledger —
+// unless the options name a spill directory holding a previous ledger of
+// this enclave identity, which is recovered with its chain state carried
+// forward. Records and checkpoints chained in the replaced in-memory
+// ledger are discarded with it, and receipts issued against it no longer
 // resolve — call it once at setup, before the first Run.
-func (ae *AccountingEnclave) SetLedgerOptions(opts accounting.LedgerOptions) {
+func (ae *AccountingEnclave) SetLedgerOptions(opts accounting.LedgerOptions) error {
+	ledger, err := accounting.NewLedger(ae.enclave, opts)
+	if err != nil {
+		return fmt.Errorf("core: ledger: %w", err)
+	}
 	ae.ledger.Close()
-	ae.ledger = accounting.NewLedger(ae.enclave, opts)
+	ae.ledger = ledger
+	return nil
 }
 
 // Ledger exposes the AE's hash-chained ledger (receipt lookup, checkpoints,
 // offline-verification dumps).
 func (ae *AccountingEnclave) Ledger() *accounting.Ledger { return ae.ledger }
 
-// Close stops the ledger's periodic checkpoint goroutine, if one runs.
+// Compact bounds the ledger's resident footprint on request: it signs a
+// checkpoint covering every lane and seals the covered records (spilling
+// or dropping them per the retention policy), leaving the chain heads
+// carried forward.
+func (ae *AccountingEnclave) Compact() (accounting.CompactResult, error) {
+	return ae.ledger.Compact()
+}
+
+// Close stops the ledger's periodic checkpoint goroutine, if one runs, and
+// closes its spill files.
 func (ae *AccountingEnclave) Close() { ae.ledger.Close() }
 
 // SetPoolConfig replaces the AE's sandbox instance pool (e.g. to disable

@@ -92,7 +92,11 @@ var JSDispatchCost = 12 * time.Millisecond
 // record onto a sharded hash-chained ledger and returns a receipt in the
 // X-Acct-Shard / X-Acct-Sequence / X-Acct-Chain headers; GET /receipt,
 // GET /checkpoint and GET /ledger expose the record, a freshly batch-signed
-// checkpoint, and the offline-verifiable dump (cmd/acctee-verify).
+// checkpoint, and the (streamed) offline-verifiable dump
+// (cmd/acctee-verify; ?truncated=1 anchors it at the last compaction
+// checkpoint), and /compact seals everything the current checkpoint covers
+// so a long-running gateway's resident ledger stays bounded
+// (ServerOptions.Ledger.Retention automates the trigger).
 type Server struct {
 	fn       Function
 	setup    Setup
@@ -137,15 +141,20 @@ func NewServer(fn Function, setup Setup) (*Server, error) {
 // NewServerWithOptions builds (and, where applicable, instruments) the
 // function module once — the paper's cached-instrumentation deployment —
 // compiles it into the shared execution artifact, and returns the gateway.
-func NewServerWithOptions(fn Function, setup Setup, opts ServerOptions) (*Server, error) {
+func NewServerWithOptions(fn Function, setup Setup, opts ServerOptions) (srv *Server, err error) {
 	s := &Server{fn: fn, setup: setup, opts: opts, costs: sgx.DefaultCostParams()}
 	if setup == SetupJS {
 		return s, nil
 	}
-	var (
-		m   *wasm.Module
-		err error
-	)
+	// A construction failure after the ledger exists must not leak its
+	// periodic-checkpoint goroutine or spill file handles (pinned by
+	// TestServerCreateCloseNoLeak).
+	defer func() {
+		if err != nil && s.ledger != nil {
+			s.ledger.Close()
+		}
+	}()
+	var m *wasm.Module
 	if fn == Echo {
 		m, err = workloads.BuildEcho()
 	} else {
@@ -179,8 +188,13 @@ func NewServerWithOptions(fn Function, setup Setup, opts ServerOptions) (*Server
 	}
 	if setup == SetupSGXHWInstr || setup == SetupSGXHWIO {
 		// The instrumented gateways keep the verifiable usage ledger: one
-		// chained record per request, batch-signed at checkpoints.
-		s.ledger = accounting.NewLedger(s.enclave, opts.Ledger)
+		// chained record per request, batch-signed at checkpoints and — with
+		// ServerOptions.Ledger.Retention configured — bounded in memory,
+		// sealed segments spilling to disk or being dropped behind signed
+		// checkpoints.
+		if s.ledger, err = accounting.NewLedger(s.enclave, opts.Ledger); err != nil {
+			return nil, fmt.Errorf("faas: ledger: %w", err)
+		}
 	}
 	var warm []interp.CostModel
 	if model := s.requestModel(); model != nil {
@@ -218,7 +232,8 @@ func (s *Server) Ledger() *accounting.Ledger { return s.ledger }
 // SetupJS) — its public key verifies ledger records and checkpoints.
 func (s *Server) Enclave() *sgx.Enclave { return s.enclave }
 
-// Close stops the ledger's periodic checkpoint goroutine, if configured.
+// Close stops the ledger's periodic checkpoint goroutine, if configured,
+// and closes its spill files. Close is idempotent.
 func (s *Server) Close() {
 	if s.ledger != nil {
 		s.ledger.Close()
@@ -244,6 +259,7 @@ const (
 	ReceiptPath    = "/receipt"
 	CheckpointPath = "/checkpoint"
 	LedgerPath     = "/ledger"
+	CompactPath    = "/compact"
 )
 
 // ServeHTTP handles one function invocation. The request body is the
@@ -251,18 +267,31 @@ const (
 // GET requests on /receipt, /checkpoint and /ledger serve the accounting
 // endpoints instead of invoking the function.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodGet {
-		switch r.URL.Path {
-		case ReceiptPath:
-			s.serveReceipt(w, r)
-			return
-		case CheckpointPath:
-			s.serveCheckpoint(w)
-			return
-		case LedgerPath:
-			s.serveLedger(w)
+	switch r.URL.Path {
+	case ReceiptPath, CheckpointPath, LedgerPath:
+		// Read endpoints are GET-only; a POST to these paths falls through
+		// to function invocation, as before.
+		if r.Method == http.MethodGet {
+			switch r.URL.Path {
+			case ReceiptPath:
+				s.serveReceipt(w, r)
+			case CheckpointPath:
+				s.serveCheckpoint(w)
+			case LedgerPath:
+				s.serveLedger(w, r)
+			}
 			return
 		}
+	case CompactPath:
+		// Compaction mutates ledger state (signs a checkpoint, seals and
+		// spills segments, advances the truncation anchor): POST only, so
+		// crawlers and monitoring probes issuing GETs can never trigger it.
+		if r.Method != http.MethodPost {
+			http.Error(w, "compaction is POST-only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.serveCompact(w)
+		return
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil || len(body) > workloads.MaxPayload {
@@ -340,18 +369,42 @@ func (s *Server) serveCheckpoint(w http.ResponseWriter) {
 	writeJSON(w, sc)
 }
 
-// serveLedger returns the offline-verifiable dump (acctee-verify input).
-func (s *Server) serveLedger(w http.ResponseWriter) {
+// serveLedger streams the offline-verifiable dump (acctee-verify input)
+// straight to the response in O(segment) memory — the gateway never
+// materialises the record array, however long it has been running.
+// ?truncated=1 anchors the dump at the last compaction checkpoint: a
+// non-zero starting sequence per shard, heads carried forward from the
+// anchor, verifiable against the anchor's signature alone.
+func (s *Server) serveLedger(w http.ResponseWriter, r *http.Request) {
 	if s.ledger == nil {
 		http.Error(w, "no ledger in this setup", http.StatusNotFound)
 		return
 	}
-	dump, err := s.ledger.Dump()
+	w.Header().Set("Content-Type", "application/json")
+	opts := accounting.DumpOptions{Truncated: r.URL.Query().Get("truncated") == "1"}
+	if err := s.ledger.WriteDump(w, opts); err != nil {
+		// Headers are gone; the truncated body will fail to parse, which
+		// is the correct failure mode for a verifier.
+		return
+	}
+}
+
+// serveCompact runs one bounded-retention compaction on request: sign a
+// checkpoint covering every lane, seal what it covers (spill or drop), and
+// report what was released. Operators hit it before scraping a truncated
+// dump, or to bound memory on gateways without an automatic retention
+// trigger.
+func (s *Server) serveCompact(w http.ResponseWriter) {
+	if s.ledger == nil {
+		http.Error(w, "no ledger in this setup", http.StatusNotFound)
+		return
+	}
+	res, err := s.ledger.Compact()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, dump)
+	writeJSON(w, res)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"testing"
@@ -380,5 +382,147 @@ func TestPooledServingMatchesRecompile(t *testing.T) {
 	}
 	if baseCounter == "" || baseCounter != poolCounter {
 		t.Errorf("pooled counter %q differs from baseline %q", poolCounter, baseCounter)
+	}
+}
+
+// TestServerCreateCloseNoLeak pins the gateway lifecycle: creating and
+// closing servers repeatedly — periodic checkpointing and spill files
+// configured — must leak neither the checkpoint goroutine nor its ticker
+// (a leaked ticker keeps the goroutine schedulable forever). The pin is a
+// goroutine-count settle: after the loop the process must return to its
+// baseline.
+func TestServerCreateCloseNoLeak(t *testing.T) {
+	settle := func() int {
+		n := runtime.NumGoroutine()
+		for i := 0; i < 100; i++ {
+			time.Sleep(2 * time.Millisecond)
+			if g := runtime.NumGoroutine(); g <= n {
+				n = g
+			}
+		}
+		return n
+	}
+	base := settle()
+	for i := 0; i < 15; i++ {
+		srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
+			Ledger: accounting.LedgerOptions{
+				Shards:             2,
+				CheckpointInterval: time.Millisecond,
+				Retention: accounting.RetentionPolicy{
+					MaxResidentRecords: 4,
+					SegmentRecords:     2,
+					SpillDir:           filepath.Join(t.TempDir(), "spill"),
+				},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader([]byte("ping")))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("iteration %d: status %d", i, w.Code)
+		}
+		srv.Close()
+		srv.Close() // Close is idempotent
+	}
+	after := settle()
+	if after > base+2 {
+		t.Fatalf("goroutines grew from %d to %d across create/close cycles — checkpoint goroutine or ticker leaked", base, after)
+	}
+}
+
+// TestGatewayBoundedRetention100k pins the headline acceptance criterion
+// at the gateway level: with Retention.MaxResidentRecords = 4096, a run of
+// 100k instrumented requests keeps the resident ledger bounded — the
+// chain, totals and truncated dump remain exactly verifiable at the end.
+func TestGatewayBoundedRetention100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k gateway requests")
+	}
+	const (
+		total       = 100_000
+		maxResident = 4096
+		shards      = 4
+	)
+	srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
+		PoolPrewarm: 1,
+		Ledger: accounting.LedgerOptions{
+			Shards:    shards,
+			Retention: accounting.RetentionPolicy{MaxResidentRecords: maxResident},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	segRecords := maxResident / (2 * shards)
+	bound := maxResident + shards*segRecords + 64
+
+	payload := []byte("bounded-retention-payload")
+	peak := 0
+	for i := 0; i < total; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(payload))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, w.Code)
+		}
+		if r := srv.Ledger().Resident(); r > peak {
+			peak = r
+		}
+	}
+	if peak > bound {
+		t.Fatalf("resident ledger records peaked at %d over %d requests, bound %d (budget %d)",
+			peak, total, bound, maxResident)
+	}
+	t.Logf("served %d requests; resident peak %d (budget %d, bound %d)", total, peak, maxResident, bound)
+	if got := srv.Ledger().Totals().Sequence; got != total {
+		t.Fatalf("ledger covers %d records, want %d", got, total)
+	}
+
+	// /compact seals everything behind a fresh checkpoint. It mutates
+	// state, so GET must be refused and POST do the work.
+	gw := httptest.NewRecorder()
+	srv.ServeHTTP(gw, httptest.NewRequest(http.MethodGet, faas.CompactPath, nil))
+	if gw.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /compact: status %d, want %d", gw.Code, http.StatusMethodNotAllowed)
+	}
+	cw := httptest.NewRecorder()
+	srv.ServeHTTP(cw, httptest.NewRequest(http.MethodPost, faas.CompactPath, nil))
+	if cw.Code != http.StatusOK {
+		t.Fatalf("POST /compact: status %d: %s", cw.Code, cw.Body.String())
+	}
+	var comp accounting.CompactResult
+	if err := json.Unmarshal(cw.Body.Bytes(), &comp); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Checkpoint.Checkpoint.Covered() != total {
+		t.Fatalf("/compact anchor covers %d, want %d", comp.Checkpoint.Checkpoint.Covered(), total)
+	}
+	if r := srv.Ledger().Resident(); r != 0 {
+		t.Fatalf("resident %d after /compact, want 0", r)
+	}
+
+	// ...and the truncated dump streamed by /ledger verifies against that
+	// anchor: a non-zero starting sequence on every shard, one signature
+	// vouching for all 100k truncated records.
+	lw := httptest.NewRecorder()
+	srv.ServeHTTP(lw, httptest.NewRequest(http.MethodGet, faas.LedgerPath+"?truncated=1", nil))
+	if lw.Code != http.StatusOK {
+		t.Fatalf("/ledger?truncated=1: status %d", lw.Code)
+	}
+	vr, err := accounting.VerifyStream(bytes.NewReader(lw.Body.Bytes()),
+		accounting.VerifyOptions{Key: srv.Enclave().PublicKey()})
+	if err != nil {
+		t.Fatalf("truncated dump verification: %v", err)
+	}
+	if !vr.Anchored || vr.StartRecords+uint64(vr.Records) != total {
+		t.Fatalf("truncated dump: anchored=%v start=%d records=%d, want anchored covering %d",
+			vr.Anchored, vr.StartRecords, vr.Records, total)
+	}
+	if vr.Totals.Sequence != total {
+		t.Fatalf("verified cumulative totals cover %d records, want %d", vr.Totals.Sequence, total)
 	}
 }

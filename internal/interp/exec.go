@@ -898,6 +898,27 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 			}
 			pc += 4
 			continue
+		case opFBinBr:
+			// Arithmetic feeding the branch directly. Unlike the compare
+			// shapes the binop can trap (div/rem by zero, overflow): the
+			// trap pc is the binop itself, so no adjustment before rollback.
+			sp -= 2
+			v, err := applyBin(wasm.Opcode(in.Align), st[sp], st[sp+1])
+			if err != nil {
+				trapErr = err
+				goto trap
+			}
+			if v != 0 {
+				t := &flat[pc+1]
+				if n := int(t.arity); n > 0 {
+					copy(st[t.height:int(t.height)+n], st[sp-n:sp])
+				}
+				sp = int(t.height) + int(t.arity)
+				pc = int(t.target)
+				continue
+			}
+			pc += 2
+			continue
 		case opFEqzBr:
 			sp--
 			var taken bool

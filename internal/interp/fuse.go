@@ -65,6 +65,7 @@ const (
 	opFBinStore       wasm.Opcode = 0xCF // binop; store
 	opFGetStore       wasm.Opcode = 0xD0 // local.get a; store (a is the value)
 	opFConstStore     wasm.Opcode = 0xD1 // const c; store (c is the value)
+	opFBinBr          wasm.Opcode = 0xD2 // binop; br_if (arith result drives the branch)
 )
 
 // fTee marks the set-flavoured fused ops as local.tee (result stays on the
@@ -87,7 +88,8 @@ const (
 func fusedWidth(op wasm.Opcode) int {
 	switch op {
 	case opFGetBin, opFConstBin, opFBinSet, opFConstSet, opFCmpBr, opFEqzBr,
-		opFConstLoad, opFGetLoad, opFBinStore, opFGetStore, opFConstStore:
+		opFConstLoad, opFGetLoad, opFBinStore, opFGetStore, opFConstStore,
+		opFBinBr:
 		return 2
 	case opFGetGetBin, opFGetConstBin, opFScaleLoad:
 		return 3
@@ -108,7 +110,7 @@ func fusedTrapPC(op wasm.Opcode) int {
 		return 1 // the binop / memory access
 	case opFScaleLoad:
 		return 2 // the load
-	case opFBinSet, opFBinStore:
+	case opFBinSet, opFBinStore, opFBinBr:
 		return 0 // the binop (the store at +1 reports its own offset inline)
 	}
 	return -1
@@ -372,6 +374,12 @@ func fuseAtBin(cf *compiledFunc, fused []wasm.Instr, pc int,
 	switch {
 	case fusableCmp(in.Op) && n1.Op == wasm.OpBrIf:
 		fused[pc] = wasm.Instr{Op: opFCmpBr, Align: uint32(in.Op)}
+		return 2
+	case fusableBin(in.Op) && n1.Op == wasm.OpBrIf:
+		// Arith result consumed directly by a conditional branch (e.g. the
+		// `x & mask` or `a - b` loop conditions): unlike the comparison
+		// shapes the binop can trap (div/rem), so the trap pc is offset 0.
+		fused[pc] = wasm.Instr{Op: opFBinBr, Align: uint32(in.Op)}
 		return 2
 	case isSet(n1.Op):
 		fused[pc] = wasm.Instr{Op: opFBinSet, Idx: n1.Idx, Align: setAlign(in.Op, n1.Op)}

@@ -229,3 +229,80 @@ func TestFuseBranchShapes(t *testing.T) {
 	}
 	checkFuseInvariants(t, "loop", cm)
 }
+
+// TestFuseBinBrShape pins the `binop; br_if` superinstruction: an
+// arithmetic result (not a comparison or eqz) consumed directly by a
+// conditional branch. The operands come from fused loads, so the binop's
+// producers are spans of their own and the binop itself leads the shape.
+func TestFuseBinBrShape(t *testing.T) {
+	b := wasm.NewModule("bb")
+	b.Memory(1, 1)
+	f := b.Func("f", []wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.Block(wasm.BlockEmpty, func() {
+		f.I32Const(0).Load(wasm.OpI32Load, 0)
+		f.I32Const(4).Load(wasm.OpI32Load, 0)
+		f.Op(wasm.OpI32Sub).BrIf(0)
+	})
+	f.I32Const(7)
+	b.ExportFunc("f", f.End())
+	cm, err := Compile(b.MustBuild(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &cm.funcs[0]
+	found := false
+	for pc := 0; pc < len(cf.fused); pc++ {
+		if cf.fused[pc].Op != opFBinBr {
+			continue
+		}
+		found = true
+		if cf.body[pc].Op != wasm.OpI32Sub {
+			t.Errorf("pc %d: fused bin-branch leads with %s, want i32.sub", pc, cf.body[pc].Op)
+		}
+		if cf.body[pc+1].Op != wasm.OpBrIf {
+			t.Errorf("pc %d: fused bin-branch not terminated by br_if", pc)
+		}
+		if wasm.Opcode(cf.fused[pc].Align) != wasm.OpI32Sub {
+			t.Errorf("pc %d: packed inner opcode 0x%02X, want i32.sub", pc, byte(cf.fused[pc].Align))
+		}
+	}
+	if !found {
+		t.Fatal("binop; br_if did not fuse to opFBinBr")
+	}
+	// The binop is the trapping constituent (div/rem shapes): offset 0.
+	if off := fusedTrapPC(opFBinBr); off != 0 {
+		t.Errorf("fusedTrapPC(opFBinBr) = %d, want 0", off)
+	}
+	checkFuseInvariants(t, "binbr", cm)
+
+	// The comparison shapes must still win over the generic binop branch:
+	// compares are trap-free and keep their dedicated opcode.
+	b2 := wasm.NewModule("bb2")
+	b2.Memory(1, 1)
+	f2 := b2.Func("f", []wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	f2.Block(wasm.BlockEmpty, func() {
+		f2.I32Const(0).Load(wasm.OpI32Load, 0)
+		f2.I32Const(4).Load(wasm.OpI32Load, 0)
+		f2.Op(wasm.OpI32LtU).BrIf(0)
+	})
+	f2.I32Const(7)
+	b2.ExportFunc("f", f2.End())
+	cm2, err := Compile(b2.MustBuild(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf2 := &cm2.funcs[0]
+	sawCmpBr := false
+	for pc := range cf2.fused {
+		switch cf2.fused[pc].Op {
+		case opFBinBr:
+			t.Errorf("pc %d: comparison fused as generic opFBinBr instead of the cmp-branch shape", pc)
+		case opFCmpBr:
+			sawCmpBr = true
+		}
+	}
+	if !sawCmpBr {
+		t.Error("compare; br_if no longer fuses to opFCmpBr")
+	}
+	checkFuseInvariants(t, "binbr-cmp-priority", cm2)
+}

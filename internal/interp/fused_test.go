@@ -2,6 +2,7 @@ package interp_test
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"acctee/internal/interp"
@@ -232,6 +233,47 @@ func TestFusedTrapMidSuperinstruction(t *testing.T) {
 			args: []uint64{0}, trap: interp.ErrDivByZero,
 		},
 		{
+			// bin br_if -> opFBinBr trapping in the binop (offset 0): both
+			// operands come from fused const-loads of zeroed memory, so the
+			// branch condition is 0/0.
+			name: "binbr_div_by_zero",
+			build: func() *wasm.Module {
+				b := wasm.NewModule("fbb")
+				b.Memory(1, 1)
+				f := b.Func("f", nil, []wasm.ValueType{wasm.I32})
+				f.Block(wasm.BlockEmpty, func() {
+					f.I32Const(0).Load(wasm.OpI32Load, 0)
+					f.I32Const(4).Load(wasm.OpI32Load, 0)
+					f.Op(wasm.OpI32DivU).BrIf(0)
+				})
+				f.I32Const(1)
+				b.ExportFunc("f", f.End())
+				return b.MustBuild()
+			},
+			trap: interp.ErrDivByZero,
+		},
+		{
+			// bin br_if -> opFBinBr trapping with the division-overflow
+			// flavour: MinInt32 / -1 assembled in memory by fused stores.
+			name: "binbr_div_overflow",
+			build: func() *wasm.Module {
+				b := wasm.NewModule("fbbov")
+				b.Memory(1, 1)
+				f := b.Func("f", nil, []wasm.ValueType{wasm.I32})
+				f.I32Const(0).I32Const(math.MinInt32).Store(wasm.OpI32Store, 0)
+				f.I32Const(4).I32Const(-1).Store(wasm.OpI32Store, 0)
+				f.Block(wasm.BlockEmpty, func() {
+					f.I32Const(0).Load(wasm.OpI32Load, 0)
+					f.I32Const(4).Load(wasm.OpI32Load, 0)
+					f.Op(wasm.OpI32DivS).BrIf(0)
+				})
+				f.I32Const(1)
+				b.ExportFunc("f", f.End())
+				return b.MustBuild()
+			},
+			trap: interp.ErrIntOverflow,
+		},
+		{
 			// const bin -> opFConstBin with a zero constant divisor.
 			name: "constbin_div_by_zero",
 			build: func() *wasm.Module {
@@ -340,5 +382,54 @@ func TestFusedEqzBranch(t *testing.T) {
 		if o.res[0] != 0 {
 			t.Errorf("f(%d) = %d, want 0", arg, o.res[0])
 		}
+	}
+}
+
+// TestFusedBinBrLoopDifferential drives a loop whose back-edge condition is
+// an arithmetic result (memory countdown times itself) consumed directly by
+// br_if — the opFBinBr shape — through all three engines, including a fuel
+// sweep across the fused branch: results, counters and deopt points must
+// be bit-identical to the structured reference.
+func TestFusedBinBrLoopDifferential(t *testing.T) {
+	b := wasm.NewModule("bbl")
+	b.Memory(1, 1)
+	f := b.Func("f", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	acc := f.Local(wasm.I32)
+	// mem[0] = n; do { acc += mem[0]; mem[0]--; } while (mem[0]*mem[0] != 0)
+	f.I32Const(0).LocalGet(0).Store(wasm.OpI32Store, 0)
+	f.Block(wasm.BlockEmpty, func() {
+		f.LocalGet(0).Op(wasm.OpI32Eqz).BrIf(0) // n == 0: skip the do-while
+		f.Loop(wasm.BlockEmpty, func() {
+			f.LocalGet(acc)
+			f.I32Const(0).Load(wasm.OpI32Load, 0)
+			f.Op(wasm.OpI32Add).LocalSet(acc)
+			f.I32Const(0)
+			f.I32Const(0).Load(wasm.OpI32Load, 0)
+			f.I32Const(1).Op(wasm.OpI32Sub)
+			f.Store(wasm.OpI32Store, 0)
+			// The back-edge: product of two fused loads drives br_if.
+			f.I32Const(0).Load(wasm.OpI32Load, 0)
+			f.I32Const(0).Load(wasm.OpI32Load, 0)
+			f.Op(wasm.OpI32Mul).BrIf(0)
+		})
+	})
+	f.LocalGet(acc)
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+
+	for _, n := range []uint64{0, 1, 2, 9} {
+		o := diffEngines(t, m, interp.Config{CostModel: weights.Calibrated()}, "f", n)
+		if o.err != nil {
+			t.Fatalf("f(%d): %v", n, o.err)
+		}
+		want := n * (n + 1) / 2
+		if o.res[0] != want {
+			t.Errorf("f(%d) = %d, want %d", n, o.res[0], want)
+		}
+	}
+	// Fuel sweep: every budget must deoptimize at the same instruction as
+	// the reference engine, with identical remaining fuel and counters.
+	for fuel := uint64(1); fuel < 120; fuel++ {
+		diffEngines(t, m, interp.Config{Fuel: fuel, CostModel: weights.Calibrated()}, "f", 4)
 	}
 }
