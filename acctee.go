@@ -109,6 +109,15 @@ func (m *Module) Compile() (*CompiledModule, error) {
 // Module returns the source module.
 func (c *CompiledModule) Module() *Module { return c.src }
 
+// FuseStats reports how much of the artifact the fused tier's
+// superinstruction pass covered.
+func (c *CompiledModule) FuseStats() interp.FuseStats { return c.cm.FuseStats() }
+
+// RegStats reports the register tier's allocation and specialisation
+// coverage: register-file size, instructions under dedicated handlers, and
+// spans wider than the fused tier's superinstructions.
+func (c *CompiledModule) RegStats() interp.RegStats { return c.cm.RegStats() }
+
 // Execute invokes an exported function on a pooled sandbox instance (no
 // enclaves, no accounting) — the compile-once counterpart of Execute. It is
 // safe to call concurrently.

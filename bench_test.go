@@ -230,7 +230,8 @@ func BenchmarkTableSize(b *testing.B) {
 // BenchmarkDispatch compares interpreter dispatch on PolyBench kernels:
 // the structured reference engine (label stack, per-instruction accounting)
 // against the flat engine (precompiled branch sidetable, block-batched
-// accounting) and the fused engine (superinstructions, folded addressing).
+// accounting), the fused engine (superinstructions, folded addressing) and
+// the register engine (register-form IR, direct-threaded closures).
 // `make bench` runs the same comparison via acctee-bench and records it in
 // BENCH_interp.json.
 func BenchmarkDispatch(b *testing.B) {
@@ -250,7 +251,7 @@ func BenchmarkDispatch(b *testing.B) {
 		for _, eng := range []struct {
 			name   string
 			engine interp.Engine
-		}{{"structured", interp.EngineStructured}, {"flat", interp.EngineFlat}, {"fused", interp.EngineFused}} {
+		}{{"structured", interp.EngineStructured}, {"flat", interp.EngineFlat}, {"fused", interp.EngineFused}, {"reg", interp.EngineReg}} {
 			b.Run(name+"/"+eng.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					vm, err := interp.Instantiate(m, interp.Config{Engine: eng.engine})

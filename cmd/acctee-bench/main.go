@@ -126,7 +126,7 @@ func run() error {
 	}
 	if want("dispatch") {
 		matched = true
-		fmt.Println("== Interpreter dispatch: structured (reference) vs flat vs fused ==")
+		fmt.Println("== Interpreter dispatch: structured (reference) vs flat vs fused vs reg ==")
 		rows, err := bench.RunDispatch(nil, *trials)
 		if err != nil {
 			return err
@@ -149,7 +149,7 @@ func run() error {
 	// noisy machine into a failure.
 	if *fig == "smoke" {
 		matched = true
-		fmt.Println("== Bench smoke gate: fused must not regress below flat ==")
+		fmt.Println("== Bench smoke gate: fused must not regress below flat, reg below fused ==")
 		micro, err := bench.RunMicro(*trials)
 		if err != nil {
 			return err

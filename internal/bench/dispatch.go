@@ -14,10 +14,11 @@ import (
 )
 
 // DispatchKernels is the PolyBench subset used for the interpreter
-// three-way dispatch comparison (the Fig. 6 per-commit subset).
+// four-way dispatch comparison (the Fig. 6 per-commit subset).
 var DispatchKernels = []string{"gemm", "2mm", "atax", "jacobi-2d", "cholesky", "nussinov", "doitgen", "durbin"}
 
-// DispatchRow is one kernel's structured / flat / fused engine measurement.
+// DispatchRow is one kernel's structured / flat / fused / register engine
+// measurement.
 type DispatchRow struct {
 	Kernel       string `json:"kernel"`
 	N            int    `json:"n"`
@@ -25,24 +26,29 @@ type DispatchRow struct {
 	StructuredNs int64  `json:"structured_ns"`
 	FlatNs       int64  `json:"flat_ns"`
 	FusedNs      int64  `json:"fused_ns"`
+	RegNs        int64  `json:"reg_ns"`
 	// FlatSpeedup is structured/flat (the PR 1 gain); FusedSpeedup is
-	// flat/fused (this PR's gain, gated at >=1.25x geomean).
+	// flat/fused (the PR 4 gain, gated at >=1.25x geomean); RegSpeedup is
+	// fused/reg (this PR's gain, gated at >=1.4x geomean).
 	FlatSpeedup  float64 `json:"flat_speedup"`
 	FusedSpeedup float64 `json:"fused_speedup"`
+	RegSpeedup   float64 `json:"reg_speedup"`
 }
 
-// MicroRow is one microbenchmark's three-way measurement. The ALU row
+// MicroRow is one microbenchmark's four-way measurement. The ALU row
 // isolates raw dispatch on a tight arithmetic loop; the memory-traffic row
-// isolates the fused effective-address fast path on a load/store-dominated
-// kernel. The CI smoke gate fails when FusedVsFlat drops below the noise
-// tolerance.
+// isolates the effective-address fast paths on a load/store-dominated
+// kernel. The CI smoke gate fails when FusedVsFlat or RegVsFused drops
+// below the noise tolerance.
 type MicroRow struct {
 	Name         string  `json:"name"`
 	Instructions uint64  `json:"instructions"`
 	StructuredNs int64   `json:"structured_ns"`
 	FlatNs       int64   `json:"flat_ns"`
 	FusedNs      int64   `json:"fused_ns"`
+	RegNs        int64   `json:"reg_ns"`
 	FusedVsFlat  float64 `json:"fused_vs_flat"`
+	RegVsFused   float64 `json:"reg_vs_fused"`
 }
 
 // DispatchReport is the BENCH_interp.json payload tracking the interpreter
@@ -51,20 +57,21 @@ type DispatchReport struct {
 	GeneratedAt string `json:"generated_at"`
 	Baseline    string `json:"baseline"`
 	Candidate   string `json:"candidate"`
-	// FusedGeomean is the geometric-mean fused-over-flat speedup across the
-	// PolyBench rows.
+	// FusedGeomean is the geometric-mean fused-over-flat speedup and
+	// RegGeomean the register-over-fused speedup across the PolyBench rows.
 	FusedGeomean float64       `json:"fused_geomean"`
+	RegGeomean   float64       `json:"reg_geomean"`
 	Rows         []DispatchRow `json:"rows"`
 	Micro        []MicroRow    `json:"micro"`
 }
 
 // engines, in measurement order.
-var dispatchEngines = []interp.Engine{interp.EngineStructured, interp.EngineFlat, interp.EngineFused}
+var dispatchEngines = []interp.Engine{interp.EngineStructured, interp.EngineFlat, interp.EngineFused, interp.EngineReg}
 
-// measure3 runs the export once per trial per engine on a shared compiled
+// measure4 runs the export once per trial per engine on a shared compiled
 // artifact and returns the best wall time for each engine plus the
 // instruction count (identical across engines by construction).
-func measure3(m *wasm.Module, export string, trials int, args ...uint64) (ns [3]int64, instr uint64, err error) {
+func measure4(m *wasm.Module, export string, trials int, args ...uint64) (ns [4]int64, instr uint64, err error) {
 	cm, err := interp.Compile(m, interp.CompileOptions{})
 	if err != nil {
 		return ns, 0, err
@@ -91,7 +98,7 @@ func measure3(m *wasm.Module, export string, trials int, args ...uint64) (ns [3]
 	return ns, instr, nil
 }
 
-// RunDispatch measures each kernel under all three engines (best of
+// RunDispatch measures each kernel under all four engines (best of
 // trials), at 2/3 of the kernel's default problem size like the Fig. 6
 // per-commit harness.
 func RunDispatch(kernels []string, trials int) ([]DispatchRow, error) {
@@ -115,7 +122,7 @@ func RunDispatch(kernels []string, trials int) ([]DispatchRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		ns, instr, err := measure3(m, "run", trials)
+		ns, instr, err := measure4(m, "run", trials)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", name, err)
 		}
@@ -126,12 +133,16 @@ func RunDispatch(kernels []string, trials int) ([]DispatchRow, error) {
 			StructuredNs: ns[0],
 			FlatNs:       ns[1],
 			FusedNs:      ns[2],
+			RegNs:        ns[3],
 		}
 		if ns[1] > 0 {
 			row.FlatSpeedup = float64(ns[0]) / float64(ns[1])
 		}
 		if ns[2] > 0 {
 			row.FusedSpeedup = float64(ns[1]) / float64(ns[2])
+		}
+		if ns[3] > 0 {
+			row.RegSpeedup = float64(ns[2]) / float64(ns[3])
 		}
 		rows = append(rows, row)
 	}
@@ -149,6 +160,22 @@ func FusedGeomean(rows []DispatchRow) float64 {
 			return 0
 		}
 		sum += math.Log(r.FusedSpeedup)
+	}
+	return math.Exp(sum / float64(len(rows)))
+}
+
+// RegGeomean returns the geometric mean of the register-over-fused
+// speedups (the tentpole gate: >=1.4x on the PolyBench rows).
+func RegGeomean(rows []DispatchRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		if r.RegSpeedup <= 0 {
+			return 0
+		}
+		sum += math.Log(r.RegSpeedup)
 	}
 	return math.Exp(sum / float64(len(rows)))
 }
@@ -173,8 +200,8 @@ func buildALUMicro() (*wasm.Module, error) {
 
 // buildMemMicro is the memory-traffic microbenchmark: a load/store-
 // dominated stream kernel (b[i] = a[i]*s + b[i] over f64 arrays, plus a
-// byte-wide histogram touch), so the fused effective-address fast path and
-// the word-at-a-time access dominate the measurement, separately from ALU
+// byte-wide histogram touch), so the effective-address fast paths and the
+// word-at-a-time access dominate the measurement, separately from ALU
 // fusion.
 func buildMemMicro() (*wasm.Module, error) {
 	const elems = 1024
@@ -210,7 +237,7 @@ func buildMemMicro() (*wasm.Module, error) {
 }
 
 // RunMicro measures the ALU-dispatch and memory-traffic microbenchmarks
-// under all three engines (best of trials).
+// under all four engines (best of trials).
 func RunMicro(trials int) ([]MicroRow, error) {
 	if trials < 1 {
 		trials = 1
@@ -229,7 +256,7 @@ func RunMicro(trials int) ([]MicroRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", mb.name, err)
 		}
-		ns, instr, err := measure3(m, "run", trials, mb.arg)
+		ns, instr, err := measure4(m, "run", trials, mb.arg)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", mb.name, err)
 		}
@@ -239,25 +266,34 @@ func RunMicro(trials int) ([]MicroRow, error) {
 			StructuredNs: ns[0],
 			FlatNs:       ns[1],
 			FusedNs:      ns[2],
+			RegNs:        ns[3],
 		}
 		if ns[2] > 0 {
 			row.FusedVsFlat = float64(ns[1]) / float64(ns[2])
+		}
+		if ns[3] > 0 {
+			row.RegVsFused = float64(ns[2]) / float64(ns[3])
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// CheckMicroGate is the CI bench smoke gate: the fused engine must not be
-// slower than the flat engine on any microbenchmark beyond the given noise
-// tolerance (e.g. 0.85 allows fused to be up to ~18% slower before
-// failing, generous enough for shared CI runners).
+// CheckMicroGate is the CI bench smoke gate: each engine tier must not be
+// slower than the tier below it on any microbenchmark beyond the given
+// noise tolerance (e.g. 0.85 allows the upper tier to be up to ~18% slower
+// before failing, generous enough for shared CI runners).
 func CheckMicroGate(rows []MicroRow, tolerance float64) error {
 	for _, r := range rows {
 		if r.FusedVsFlat < tolerance {
 			return fmt.Errorf("bench gate: %s: fused %.2fx vs flat (tolerance %.2fx): fused=%s flat=%s",
 				r.Name, r.FusedVsFlat, tolerance,
 				time.Duration(r.FusedNs), time.Duration(r.FlatNs))
+		}
+		if r.RegVsFused < tolerance {
+			return fmt.Errorf("bench gate: %s: reg %.2fx vs fused (tolerance %.2fx): reg=%s fused=%s",
+				r.Name, r.RegVsFused, tolerance,
+				time.Duration(r.RegNs), time.Duration(r.FusedNs))
 		}
 	}
 	return nil
@@ -269,8 +305,9 @@ func WriteDispatchJSON(path string, rows []DispatchRow, micro []MicroRow) error 
 	rep := DispatchReport{
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		Baseline:     "structured (label-stack, per-instruction accounting)",
-		Candidate:    "fused (superinstructions, folded addressing, zero-dispatch accounting); flat retained as mid-tier",
+		Candidate:    "reg (register-form IR, direct-threaded closures); fused and flat retained as mid-tiers",
 		FusedGeomean: FusedGeomean(rows),
+		RegGeomean:   RegGeomean(rows),
 		Rows:         rows,
 		Micro:        micro,
 	}
@@ -281,24 +318,25 @@ func WriteDispatchJSON(path string, rows []DispatchRow, micro []MicroRow) error 
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// PrintDispatch renders the three-way comparison as a table.
+// PrintDispatch renders the four-way comparison as a table.
 func PrintDispatch(w io.Writer, rows []DispatchRow, micro []MicroRow) {
 	tw := newTab(w)
-	fmt.Fprintln(tw, "kernel\tN\tinstr\tstructured\tflat\tfused\tflat/structured\tfused/flat")
+	fmt.Fprintln(tw, "kernel\tN\tinstr\tstructured\tflat\tfused\treg\tflat/structured\tfused/flat\treg/fused")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			r.Kernel, r.N, r.Instructions,
-			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), time.Duration(r.FusedNs),
-			fmtRatio(r.FlatSpeedup), fmtRatio(r.FusedSpeedup))
+			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), time.Duration(r.FusedNs), time.Duration(r.RegNs),
+			fmtRatio(r.FlatSpeedup), fmtRatio(r.FusedSpeedup), fmtRatio(r.RegSpeedup))
 	}
 	for _, r := range micro {
-		fmt.Fprintf(tw, "%s\t\t%d\t%s\t%s\t%s\t\t%s\n",
+		fmt.Fprintf(tw, "%s\t\t%d\t%s\t%s\t%s\t%s\t\t%s\t%s\n",
 			r.Name, r.Instructions,
-			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), time.Duration(r.FusedNs),
-			fmtRatio(r.FusedVsFlat))
+			time.Duration(r.StructuredNs), time.Duration(r.FlatNs), time.Duration(r.FusedNs), time.Duration(r.RegNs),
+			fmtRatio(r.FusedVsFlat), fmtRatio(r.RegVsFused))
 	}
 	tw.Flush()
 	if len(rows) > 0 {
 		fmt.Fprintf(w, "fused geomean over flat (polybench): %s\n", fmtRatio(FusedGeomean(rows)))
+		fmt.Fprintf(w, "reg geomean over fused (polybench): %s\n", fmtRatio(RegGeomean(rows)))
 	}
 }

@@ -157,6 +157,12 @@ func lower(m *wasm.Module, cf *compiledFunc, g *cfg.Graph) error {
 	h, maxH := int32(0), int32(0)
 	dead := false
 
+	// Record the static height and reachability before every pc: the
+	// register lowering (regalloc.go) replays the body against them without
+	// re-deriving the control-frame walk.
+	cf.preH = make([]int32, len(body))
+	cf.preDead = make([]bool, len(body))
+
 	resolve := func(depth uint32) (flatTarget, error) {
 		if int(depth) >= len(frames) {
 			return flatTarget{}, fmt.Errorf("branch depth %d out of range", depth)
@@ -173,6 +179,8 @@ func lower(m *wasm.Module, cf *compiledFunc, g *cfg.Graph) error {
 	}
 
 	for pc, in := range body {
+		cf.preH[pc] = h
+		cf.preDead[pc] = dead
 		switch in.Op {
 		case wasm.OpBlock, wasm.OpLoop:
 			frames = append(frames, lframe{

@@ -75,7 +75,7 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 		if n := fl.segCnt; n != 0 {
 			// Segment leader: charge the whole straight-line run at once.
 			if vm.fuelLimited && vm.fuel < uint64(n) {
-				return 0, vm.execFuelTail(f, locals, st, sp, pc)
+				return 0, vm.execFuelTail(f.body, locals, st, sp, pc)
 			}
 			vm.instrCount += uint64(n)
 			if vm.fuelLimited {
@@ -1088,23 +1088,7 @@ func (vm *VM) rollback(f *compiledFunc, fc *funcCosts, pc int) {
 func (vm *VM) invokeAt(idx uint32, st []uint64, sp int) (int, error) {
 	nimp := len(vm.hostFns)
 	if int(idx) < nimp {
-		sig := vm.hostSigs[idx]
-		n := len(sig.Params)
-		args := make([]uint64, n)
-		copy(args, st[sp-n:sp])
-		sp -= n
-		res, err := vm.hostFns[idx](vm, args)
-		if err != nil {
-			return sp, err
-		}
-		if len(res) != len(sig.Results) {
-			return sp, fmt.Errorf("interp: host import %d returned %d results, want %d", idx, len(res), len(sig.Results))
-		}
-		for _, v := range res {
-			st[sp] = v
-			sp++
-		}
-		return sp, nil
+		return vm.invokeHost(idx, st, sp)
 	}
 	di := int(idx) - nimp
 	cf := &vm.funcs[di]
@@ -1122,14 +1106,36 @@ func (vm *VM) invokeAt(idx uint32, st []uint64, sp int) (int, error) {
 	return sp, nil
 }
 
+// invokeHost calls imported function idx, popping arguments from and pushing
+// results onto st; it returns the new stack pointer. Shared by the flat and
+// register engines' call paths.
+func (vm *VM) invokeHost(idx uint32, st []uint64, sp int) (int, error) {
+	sig := vm.hostSigs[idx]
+	n := len(sig.Params)
+	args := make([]uint64, n)
+	copy(args, st[sp-n:sp])
+	sp -= n
+	res, err := vm.hostFns[idx](vm, args)
+	if err != nil {
+		return sp, err
+	}
+	if len(res) != len(sig.Results) {
+		return sp, fmt.Errorf("interp: host import %d returned %d results, want %d", idx, len(res), len(sig.Results))
+	}
+	for _, v := range res {
+		st[sp] = v
+		sp++
+	}
+	return sp, nil
+}
+
 // execFuelTail finishes a segment whose batched fuel charge would overdraw:
 // it executes instruction by instruction with the reference engine's exact
 // per-instruction accounting. It is entered only when the remaining fuel is
 // smaller than the segment's instruction count, so it always terminates —
 // with ErrFuelExhausted at the precise instruction the reference engine
 // would trap on, or with an earlier trap from the instruction itself.
-func (vm *VM) execFuelTail(f *compiledFunc, locals, st []uint64, sp, pc int) error {
-	body := f.body
+func (vm *VM) execFuelTail(body []wasm.Instr, locals, st []uint64, sp, pc int) error {
 	for {
 		in := &body[pc]
 		op := in.Op

@@ -51,9 +51,9 @@ func observe(t *testing.T, m *wasm.Module, cfg interp.Config, entry string, args
 	return o
 }
 
-// diffEngines runs entry under all three engines (structured reference,
-// flat, fused) and requires identical observations; it returns the fused
-// observation.
+// diffEngines runs entry under all four engines (structured reference,
+// flat, fused, register) and requires identical observations; it returns
+// the last engine's observation.
 func diffEngines(t *testing.T, m *wasm.Module, cfg interp.Config, entry string, args ...uint64) obs {
 	t.Helper()
 	cfg.Engine = interp.EngineStructured
@@ -62,7 +62,7 @@ func diffEngines(t *testing.T, m *wasm.Module, cfg interp.Config, entry string, 
 	for _, eng := range []struct {
 		name   string
 		engine interp.Engine
-	}{{"flat", interp.EngineFlat}, {"fused", interp.EngineFused}} {
+	}{{"flat", interp.EngineFlat}, {"fused", interp.EngineFused}, {"reg", interp.EngineReg}} {
 		cfg.Engine = eng.engine
 		got = observe(t, m, cfg, entry, args...)
 
@@ -528,7 +528,7 @@ func TestHostObservationExactness(t *testing.T) {
 		return snaps
 	}
 	ref := run(interp.EngineStructured)
-	for _, engine := range []interp.Engine{interp.EngineFlat, interp.EngineFused} {
+	for _, engine := range []interp.Engine{interp.EngineFlat, interp.EngineFused, interp.EngineReg} {
 		got := run(engine)
 		if len(got) != len(ref) {
 			t.Fatalf("engine %d: snapshot count diverged: %d vs %d", engine, len(got), len(ref))
@@ -551,7 +551,7 @@ func TestHostResultArityChecked(t *testing.T) {
 	f.Call(bad)
 	b.ExportFunc("f", f.End())
 	m := b.MustBuild()
-	for _, engine := range []interp.Engine{interp.EngineFused, interp.EngineFlat, interp.EngineStructured} {
+	for _, engine := range []interp.Engine{interp.EngineFused, interp.EngineFlat, interp.EngineStructured, interp.EngineReg} {
 		vm, err := interp.Instantiate(m, interp.Config{
 			Engine: engine,
 			Imports: map[string]interp.HostFunc{

@@ -140,3 +140,60 @@ func TestCopysign(t *testing.T) {
 		t.Errorf("copysign(3,-1) = %v", got)
 	}
 }
+
+// TestF32DifferentialAllEngines drives the f32 instruction family through
+// all four engines (structured oracle, flat, fused, register) and requires
+// bit-identical results and accounting. The register lowering specialises
+// f32.add/mul and routes the rest through its generic applyBin/applyUn
+// arms, so this exercises both paths.
+func TestF32DifferentialAllEngines(t *testing.T) {
+	binops := []wasm.Opcode{
+		wasm.OpF32Add, wasm.OpF32Sub, wasm.OpF32Mul, wasm.OpF32Div,
+		wasm.OpF32Min, wasm.OpF32Max, wasm.OpF32Copysign,
+		wasm.OpF32Eq, wasm.OpF32Ne, wasm.OpF32Lt, wasm.OpF32Gt,
+		wasm.OpF32Le, wasm.OpF32Ge,
+	}
+	unops := []wasm.Opcode{
+		wasm.OpF32Abs, wasm.OpF32Neg, wasm.OpF32Ceil, wasm.OpF32Floor,
+		wasm.OpF32Trunc, wasm.OpF32Nearest, wasm.OpF32Sqrt,
+	}
+	inputs := []float32{0, 1.5, -2.25, 0.1, float32(math.Inf(1)), float32(math.NaN()), 9, -0.5}
+	for _, op := range binops {
+		out := wasm.F32
+		switch op {
+		case wasm.OpF32Eq, wasm.OpF32Ne, wasm.OpF32Lt, wasm.OpF32Gt,
+			wasm.OpF32Le, wasm.OpF32Ge:
+			out = wasm.I32
+		}
+		b := wasm.NewModule("f32bin")
+		f := b.Func("f", []wasm.ValueType{wasm.F32, wasm.F32}, []wasm.ValueType{out})
+		f.LocalGet(0).LocalGet(1).Op(op)
+		b.ExportFunc("f", f.End())
+		m := b.MustBuild()
+		for _, x := range inputs {
+			for _, y := range inputs {
+				diffEngines(t, m, interp.Config{}, "f", f32bits(x), f32bits(y))
+			}
+		}
+	}
+	for _, op := range unops {
+		b := wasm.NewModule("f32un")
+		f := b.Func("f", []wasm.ValueType{wasm.F32}, []wasm.ValueType{wasm.F32})
+		f.LocalGet(0).Op(op)
+		b.ExportFunc("f", f.End())
+		m := b.MustBuild()
+		for _, x := range inputs {
+			diffEngines(t, m, interp.Config{}, "f", f32bits(x))
+		}
+	}
+	// Constant operands exercise the register lowering's compile-time
+	// folding and const-normalisation paths.
+	b := wasm.NewModule("f32c")
+	f := b.Func("f", []wasm.ValueType{wasm.F32}, []wasm.ValueType{wasm.F32})
+	f.F32ConstV(2.5).LocalGet(0).Op(wasm.OpF32Mul).F32ConstV(1.25).Op(wasm.OpF32Add)
+	b.ExportFunc("f", f.End())
+	m := b.MustBuild()
+	for _, x := range inputs {
+		diffEngines(t, m, interp.Config{}, "f", f32bits(x))
+	}
+}

@@ -62,6 +62,16 @@ const (
 	// dispatch per wasm instruction. It is kept as the mid-tier for
 	// three-way dispatch benchmarks (structured / flat / fused).
 	EngineFlat
+	// EngineReg executes the register-form IR: the flat IR lowered once
+	// more by a stack-to-register allocation pass (every operand-stack
+	// slot and local pinned to a slot of the frame's flat register file,
+	// explicit src/dst operands per instruction, no runtime stack
+	// pointer) and emitted as a direct-threaded closure stream, so
+	// execution is pc = ops[pc](vm, frame) with no big-switch dispatch.
+	// Accounting is bit-identical to EngineStructured by construction:
+	// the lowering reuses the flat engine's segment space, block-batched
+	// charging, per-original-pc trap rollback and fuel-shortfall deopt.
+	EngineReg
 )
 
 // Config parameterises instantiation.
@@ -135,6 +145,20 @@ type VM struct {
 	// invocations on a (pooled) instance allocate no frames at all.
 	frames [][]uint64
 
+	// Register-engine scratch: exit handlers deposit the function result
+	// in regRet; trapping handlers deposit the error and the original
+	// (body-pc-space) trap pc for rollback. Each field is written
+	// immediately before the driver reads it, so recursion is safe.
+	regRet    uint64
+	regErr    error
+	regTrapPC int32
+	// regFault is the register engine's in-statement fault latch: a
+	// trapping evaluator node (load, div/rem, trunc) sets it together with
+	// regErr/regTrapPC, later nodes in the same statement see it and skip
+	// their side effects (first fault wins), and the statement's commit
+	// point converts it into a regTrapRet. Always false between statements.
+	regFault bool
+
 	// dirtyPages is a bitmap over linear-memory pages (wasm.PageSize
 	// granularity) written since the last reset; Reset re-zeroes only those
 	// pages instead of the whole memory. Tracking is enabled only for
@@ -157,6 +181,9 @@ type compiledFunc struct {
 	ctrl     []ctrlMeta   // structured-engine control metadata
 	flat     []flatOp     // flat-engine branch sidetable + segment accounting
 	fused    []wasm.Instr // fused stream: body with superinstructions at span leaders
+	preH     []int32      // static operand-stack height before each pc
+	preDead  []bool       // pc statically unreachable (after unconditional transfer)
+	reg      *regCode     // register-form direct-threaded stream (EngineReg)
 	name     string
 }
 
@@ -361,7 +388,13 @@ func (vm *VM) Invoke(idx uint32, args ...uint64) ([]uint64, error) {
 	}
 	frame := vm.getFrame(f.numLoc + f.maxStack)
 	copy(frame, args)
-	res, err := vm.exec(f, di, frame)
+	var res uint64
+	var err error
+	if vm.engine == EngineReg {
+		res, err = vm.execReg(f, di, frame)
+	} else {
+		res, err = vm.exec(f, di, frame)
+	}
 	if err != nil {
 		return nil, err
 	}

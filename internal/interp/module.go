@@ -134,6 +134,7 @@ func Compile(m *wasm.Module, opts CompileOptions) (*CompiledModule, error) {
 			return nil, fmt.Errorf("interp: func %d: %w", nimp+i, err)
 		}
 		cm.funcs[i] = cf
+		regLower(&cm.funcs[i], i)
 		for _, in := range cf.body {
 			seen[in.Op] = true
 		}

@@ -274,7 +274,7 @@ func TestPoolReuseRandomPrograms(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		m := randomFlatProgram(rng)
 		arg := uint64(rng.Intn(30))
-		for _, engine := range []interp.Engine{interp.EngineFused, interp.EngineFlat} {
+		for _, engine := range []interp.Engine{interp.EngineFused, interp.EngineFlat, interp.EngineReg} {
 			cfg := interp.Config{Engine: engine, CostModel: weights.Calibrated(), Fuel: 1 << 20}
 			diffReuse(t, m, cfg, "main", arg)
 		}

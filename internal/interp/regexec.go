@@ -1,0 +1,256 @@
+package interp
+
+import (
+	"math"
+	"math/bits"
+
+	"acctee/internal/wasm"
+)
+
+// This file is the register engine's runtime: the direct-threaded driver and
+// the helpers its closures call. The compile-time half — the stack-to-
+// register lowering that builds the closure stream — lives in regalloc.go.
+//
+// Execution model: a compiled function body is an array of closures,
+// ops[i] = func(vm, frame) int, each returning the index of the next closure
+// to run. The driver is the two-line loop
+//
+//	for uint(pc) < uint(len(ops)) { pc = ops[pc](vm, frame) }
+//
+// so there is no big-switch dispatch, no decoded instruction stream and —
+// because every operand-stack slot has a fixed home register — no runtime
+// stack pointer. Negative returns (regTrapRet/regErrRet) convert to huge
+// uints and exit the loop; regDone is a large positive index past any real
+// stream, distinguishing normal completion from a trap.
+
+// regFn is one direct-threaded handler: execute, return the next index.
+type regFn func(vm *VM, fr []uint64) int
+
+const (
+	// regDone is returned by exit handlers (return / final end / br to the
+	// function label) after depositing the result in vm.regRet.
+	regDone = 1 << 30
+	// regTrapRet signals a trap: vm.regErr and vm.regTrapPC (original
+	// body-pc space) are set and the driver performs segment rollback.
+	regTrapRet = -1
+	// regErrRet signals an error with accounting already exact (the
+	// fuel-shortfall deopt tail, which charges per instruction): no rollback.
+	regErrRet = -2
+)
+
+// regCode is one function's register-form artifact.
+type regCode struct {
+	ops []regFn
+	// spec flags each emitted closure as specialised (a dedicated handler
+	// with inline operation) vs generic (dispatching through applyBin/
+	// applyUn/fastLoad at runtime); wid records how many original body
+	// instructions the closure covers. Both feed RegStats only.
+	spec []bool
+	wid  []int32
+	// regs is the register-file size: numLoc locals + maxStack stack homes.
+	regs int
+}
+
+// execReg runs a compiled function on the register engine. fi is the
+// defined-function index (cost-table lookup); frame is the register file:
+// numLoc locals followed by one home register per operand-stack slot.
+func (vm *VM) execReg(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
+	vm.depth++
+	defer func() { vm.depth-- }()
+	if vm.depth > vm.maxDepth {
+		return 0, ErrCallStackExhausted
+	}
+
+	ops := f.reg.ops
+	pc := 0
+	for uint(pc) < uint(len(ops)) {
+		pc = ops[pc](vm, frame)
+	}
+	if pc >= 0 {
+		if f.nresults > 0 {
+			return vm.regRet, nil
+		}
+		return 0, nil
+	}
+	if pc == regTrapRet {
+		var fc *funcCosts
+		if vm.cost != nil {
+			fc = &vm.costs[fi]
+		}
+		vm.rollback(f, fc, int(vm.regTrapPC))
+		return 0, vm.regErr
+	}
+	// regErrRet: the per-instruction fuel tail already settled accounting.
+	return 0, vm.regErr
+}
+
+// invokeAtReg calls function idx (combined index space) from a register-
+// engine closure. st is the caller's stack-home window (frame[numLoc:]) with
+// the arguments materialised at [sp-nargs, sp); results land back at the
+// same position, mirroring invokeAt.
+func (vm *VM) invokeAtReg(idx uint32, st []uint64, sp int) (int, error) {
+	nimp := len(vm.hostFns)
+	if int(idx) < nimp {
+		return vm.invokeHost(idx, st, sp)
+	}
+	di := int(idx) - nimp
+	cf := &vm.funcs[di]
+	frame := vm.getFrame(cf.numLoc + cf.maxStack)
+	copy(frame, st[sp-cf.nparams:sp])
+	sp -= cf.nparams
+	res, err := vm.execReg(cf, di, frame)
+	if err != nil {
+		return sp, err
+	}
+	if cf.nresults > 0 {
+		st[sp] = res
+		sp++
+	}
+	return sp, nil
+}
+
+// applyUn executes one single-operand numeric or conversion instruction on a
+// raw 64-bit operand, replicating the flat engine's cases exactly. The
+// trapping family (float→int truncation) returns the engine trap errors.
+func applyUn(op wasm.Opcode, a uint64) (uint64, error) {
+	switch op {
+	case wasm.OpI32Eqz:
+		return b2u(uint32(a) == 0), nil
+	case wasm.OpI64Eqz:
+		return b2u(a == 0), nil
+	case wasm.OpI32Clz:
+		return uint64(uint32(bits.LeadingZeros32(uint32(a)))), nil
+	case wasm.OpI32Ctz:
+		return uint64(uint32(bits.TrailingZeros32(uint32(a)))), nil
+	case wasm.OpI32Popcnt:
+		return uint64(uint32(bits.OnesCount32(uint32(a)))), nil
+	case wasm.OpI64Clz:
+		return uint64(bits.LeadingZeros64(a)), nil
+	case wasm.OpI64Ctz:
+		return uint64(bits.TrailingZeros64(a)), nil
+	case wasm.OpI64Popcnt:
+		return uint64(bits.OnesCount64(a)), nil
+
+	case wasm.OpF32Abs:
+		return f32u(float32(math.Abs(float64(uf32(a))))), nil
+	case wasm.OpF32Neg:
+		return f32u(-uf32(a)), nil
+	case wasm.OpF32Ceil:
+		return f32u(float32(math.Ceil(float64(uf32(a))))), nil
+	case wasm.OpF32Floor:
+		return f32u(float32(math.Floor(float64(uf32(a))))), nil
+	case wasm.OpF32Trunc:
+		return f32u(float32(math.Trunc(float64(uf32(a))))), nil
+	case wasm.OpF32Nearest:
+		return f32u(float32(math.RoundToEven(float64(uf32(a))))), nil
+	case wasm.OpF32Sqrt:
+		return f32u(float32(math.Sqrt(float64(uf32(a))))), nil
+
+	case wasm.OpF64Abs:
+		return f64u(math.Abs(uf64(a))), nil
+	case wasm.OpF64Neg:
+		return f64u(-uf64(a)), nil
+	case wasm.OpF64Ceil:
+		return f64u(math.Ceil(uf64(a))), nil
+	case wasm.OpF64Floor:
+		return f64u(math.Floor(uf64(a))), nil
+	case wasm.OpF64Trunc:
+		return f64u(math.Trunc(uf64(a))), nil
+	case wasm.OpF64Nearest:
+		return f64u(math.RoundToEven(uf64(a))), nil
+	case wasm.OpF64Sqrt:
+		return f64u(math.Sqrt(uf64(a))), nil
+
+	case wasm.OpI32WrapI64:
+		return uint64(uint32(a)), nil
+	case wasm.OpI32TruncF32S:
+		v, err := truncS(float64(uf32(a)), i32Lo, i32Hi)
+		if err != nil {
+			return 0, err
+		}
+		return i32u(int32(v)), nil
+	case wasm.OpI32TruncF32U:
+		v, err := truncU(float64(uf32(a)), u32Hi)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(uint32(v)), nil
+	case wasm.OpI32TruncF64S:
+		v, err := truncS(uf64(a), i32Lo, i32Hi)
+		if err != nil {
+			return 0, err
+		}
+		return i32u(int32(v)), nil
+	case wasm.OpI32TruncF64U:
+		v, err := truncU(uf64(a), u32Hi)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(uint32(v)), nil
+	case wasm.OpI64ExtendI32S:
+		return uint64(int64(int32(uint32(a)))), nil
+	case wasm.OpI64ExtendI32U:
+		return uint64(uint32(a)), nil
+	case wasm.OpI64TruncF32S:
+		v, err := truncS(float64(uf32(a)), i64Lo, i64Hi)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(v), nil
+	case wasm.OpI64TruncF32U:
+		return truncU(float64(uf32(a)), u64Hi)
+	case wasm.OpI64TruncF64S:
+		v, err := truncS(uf64(a), i64Lo, i64Hi)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(v), nil
+	case wasm.OpI64TruncF64U:
+		return truncU(uf64(a), u64Hi)
+	case wasm.OpF32ConvertI32S:
+		return f32u(float32(int32(uint32(a)))), nil
+	case wasm.OpF32ConvertI32U:
+		return f32u(float32(uint32(a))), nil
+	case wasm.OpF32ConvertI64S:
+		return f32u(float32(int64(a))), nil
+	case wasm.OpF32ConvertI64U:
+		return f32u(float32(a)), nil
+	case wasm.OpF32DemoteF64:
+		return f32u(float32(uf64(a))), nil
+	case wasm.OpF64ConvertI32S:
+		return f64u(float64(int32(uint32(a)))), nil
+	case wasm.OpF64ConvertI32U:
+		return f64u(float64(uint32(a))), nil
+	case wasm.OpF64ConvertI64S:
+		return f64u(float64(int64(a))), nil
+	case wasm.OpF64ConvertI64U:
+		return f64u(float64(a)), nil
+	case wasm.OpF64PromoteF32:
+		return f64u(float64(uf32(a))), nil
+	case wasm.OpI32ReinterpretF, wasm.OpI64ReinterpretF,
+		wasm.OpF32ReinterpretI, wasm.OpF64ReinterpretI:
+		return a, nil
+	}
+	return 0, &UnknownOpcodeError{Op: op}
+}
+
+// unCanTrap reports whether a unary op can trap (float→int truncations).
+func unCanTrap(op wasm.Opcode) bool {
+	switch op {
+	case wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI32TruncF64S,
+		wasm.OpI32TruncF64U, wasm.OpI64TruncF32S, wasm.OpI64TruncF32U,
+		wasm.OpI64TruncF64S, wasm.OpI64TruncF64U:
+		return true
+	}
+	return false
+}
+
+// binCanTrap reports whether a binary op can trap (integer div/rem).
+func binCanTrap(op wasm.Opcode) bool {
+	switch op {
+	case wasm.OpI32DivS, wasm.OpI32DivU, wasm.OpI32RemS, wasm.OpI32RemU,
+		wasm.OpI64DivS, wasm.OpI64DivU, wasm.OpI64RemS, wasm.OpI64RemU:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package wasm
+
+import "testing"
+
+// TestStackEffectCompleteness pins the operand-stack effect of every
+// defined opcode. The interpreter's lowerings (the flat pass's static
+// height analysis and the register allocator's home-slot assignment) trust
+// StackEffect for every non-control, non-call opcode; a new opcode that
+// reaches the lowering without an entry here — or with the wrong arity —
+// would silently corrupt register assignment, so this test enumerates the
+// full opcode space and fails on any unclassified instruction.
+func TestStackEffectCompleteness(t *testing.T) {
+	// Opcodes whose stack effect depends on module context (callee
+	// signatures) or block structure (label arities). These are exactly the
+	// ones both lowerings special-case instead of consulting StackEffect.
+	contextual := map[Opcode]bool{
+		OpUnreachable: true, OpBlock: true, OpLoop: true, OpIf: true,
+		OpElse: true, OpEnd: true, OpBr: true, OpBrIf: true,
+		OpBrTable: true, OpReturn: true, OpCall: true, OpCallIndirect: true,
+	}
+
+	type effect struct{ pop, push int }
+	want := map[Opcode]effect{
+		OpNop:    {0, 0},
+		OpDrop:   {1, 0},
+		OpSelect: {3, 1},
+	}
+	add := func(e effect, ops ...Opcode) {
+		for _, op := range ops {
+			want[op] = e
+		}
+	}
+	// Earlier entries win: i64.eqz (0x50) sits numerically inside the
+	// comparison byte range but is a unary op, exactly as in StackEffect's
+	// own explicit-case-first structure.
+	addRange := func(e effect, lo, hi Opcode) {
+		for op := lo; op <= hi; op++ {
+			if _, defined := opNames[op]; !defined {
+				continue
+			}
+			if _, done := want[op]; !done {
+				want[op] = e
+			}
+		}
+	}
+
+	// Producers: push one value from locals/globals/immediates/memory size.
+	add(effect{0, 1}, OpLocalGet, OpGlobalGet, OpMemorySize,
+		OpI32Const, OpI64Const, OpF32Const, OpF64Const)
+	// Consumers: pop one value into locals/globals.
+	add(effect{1, 0}, OpLocalSet, OpGlobalSet)
+	// One-in-one-out value transforms.
+	add(effect{1, 1}, OpLocalTee, OpMemoryGrow, OpI32Eqz, OpI64Eqz)
+	// Memory: loads pop an address and push a value; stores pop both.
+	addRange(effect{1, 1}, OpI32Load, OpI64Load32U)
+	addRange(effect{2, 0}, OpI32Store, OpI64Store32)
+	// Binary comparisons.
+	addRange(effect{2, 1}, OpI32Eq, OpF64Ge)
+	// Unary numerics and conversions.
+	addRange(effect{1, 1}, OpI32Clz, OpI32Popcnt)
+	addRange(effect{1, 1}, OpI64Clz, OpI64Popcnt)
+	addRange(effect{1, 1}, OpF32Abs, OpF32Sqrt)
+	addRange(effect{1, 1}, OpF64Abs, OpF64Sqrt)
+	addRange(effect{1, 1}, OpI32WrapI64, OpF64ReinterpretI)
+	// Binary numerics.
+	addRange(effect{2, 1}, OpI32Add, OpI32Rotr)
+	addRange(effect{2, 1}, OpI64Add, OpI64Rotr)
+	addRange(effect{2, 1}, OpF32Add, OpF32Copysign)
+	addRange(effect{2, 1}, OpF64Add, OpF64Copysign)
+
+	for _, op := range AllOpcodes() {
+		pop, push, ok := op.StackEffect()
+		if contextual[op] {
+			if ok {
+				t.Errorf("%s: StackEffect ok for context-dependent opcode", op)
+			}
+			if _, claimed := want[op]; claimed {
+				t.Errorf("%s: test table classifies a contextual opcode", op)
+			}
+			continue
+		}
+		e, classified := want[op]
+		if !classified {
+			t.Errorf("%s: defined opcode missing from completeness table", op)
+			continue
+		}
+		if !ok {
+			t.Errorf("%s: StackEffect not ok for value opcode", op)
+			continue
+		}
+		if pop != e.pop || push != e.push {
+			t.Errorf("%s: StackEffect = (%d,%d), want (%d,%d)", op, pop, push, e.pop, e.push)
+		}
+	}
+
+	// The two partitions must tile the defined opcode space exactly.
+	if got, all := len(want)+len(contextual), len(AllOpcodes()); got != all {
+		t.Errorf("classification covers %d opcodes, %d defined", got, all)
+	}
+}
