@@ -18,18 +18,22 @@ race:
 
 # verify-ledger is the tier-2 smoke path for the verifiable ledger: the
 # faas example serves instrumented requests under bounded retention
-# (sealed segments spill into build/spill), compacts, proves a flipped
-# byte in a spilled segment is detected, and writes both the full and the
-# truncated (checkpoint-anchored, non-zero starting sequence) dumps into
-# build/ (never the repo root); acctee-verify then replays all three
-# offline — full dump, truncated dump, and the spill directory itself.
+# (sealed segments spill into build/spill as binary v2 frames) with the
+# persisted checkpoint chain pruned to every 2nd checkpoint, compacts,
+# proves a flipped byte inside a spilled binary frame is detected, and
+# writes the full, truncated (checkpoint-anchored, non-zero starting
+# sequence) and binary (v3 container) dumps into build/ (never the repo
+# root); acctee-verify then replays all four offline — full dump,
+# truncated dump, binary dump, and the spill directory itself.
 verify-ledger:
 	@mkdir -p build
 	rm -rf build/spill
 	$(GO) run ./examples/faas -dump build/ledger.json -spill-dir build/spill \
-		-retention 8 -dump-truncated build/ledger-trunc.json -prove-tamper
+		-retention 8 -keep-every 2 -dump-truncated build/ledger-trunc.json \
+		-dump-binary build/ledger.bin -prove-tamper
 	$(GO) run ./cmd/acctee-verify -dump build/ledger.json
 	$(GO) run ./cmd/acctee-verify -dump build/ledger-trunc.json
+	$(GO) run ./cmd/acctee-verify -dump build/ledger.bin
 	$(GO) run ./cmd/acctee-verify -spill build/spill
 
 vet:

@@ -12,15 +12,17 @@
 //	acctee-bench -fig size         # §5.4 binary sizes
 //	acctee-bench -fig dispatch -json BENCH_interp.json
 //	                               # three-way engine comparison + microbenchmarks
-//	acctee-bench -fig smoke        # CI gate: fused must not regress below flat
+//	acctee-bench -fig smoke        # CI gates: fused must not regress below flat,
+//	                               # spill-mode retention must hold ≥ 0.35x bounded
 //	                               # (standalone; not included in -fig all)
 //	acctee-bench -fig faas -json BENCH_faas.json
 //	                               # compile-once/run-many gateway benchmark
 //	acctee-bench -fig ledger -json BENCH_ledger.json
 //	                               # eager vs checkpoint-batched ledger signing
 //	acctee-bench -fig retention -json BENCH_ledger.json
-//	                               # bounded vs unbounded ledger retention at
-//	                               # 10k/100k/1M records (standalone, like smoke)
+//	                               # bounded vs unbounded vs spill ledger retention
+//	                               # at 10k/100k/1M records × GOMAXPROCS 1/4
+//	                               # (standalone, like smoke)
 package main
 
 import (
@@ -157,6 +159,19 @@ func run() error {
 		bench.PrintDispatch(os.Stdout, nil, micro)
 		if err := bench.CheckMicroGate(micro, 0.85); err != nil {
 			return err
+		}
+		fmt.Println("gate passed")
+		fmt.Println()
+		fmt.Println("== Bench smoke gate: spill-mode retention must keep up with bounded ==")
+		ratio, err := bench.RunRetentionSmoke()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bounded+spill runs at %.2fx bounded append throughput (floor %.2fx)\n",
+			ratio, bench.RetentionSmokeRatio)
+		if ratio < bench.RetentionSmokeRatio {
+			return fmt.Errorf("bench: retention smoke gate failed: bounded+spill at %.2fx bounded, floor %.2fx",
+				ratio, bench.RetentionSmokeRatio)
 		}
 		fmt.Println("gate passed")
 		fmt.Println()

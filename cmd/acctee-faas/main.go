@@ -39,6 +39,7 @@ func run() error {
 	cpEvery := flag.Duration("checkpoint-every", 10*time.Second, "periodic ledger checkpoint interval (0 = on request only)")
 	retention := flag.Int("ledger-retention", 0, "max resident ledger records before auto-compaction (0 = unbounded)")
 	spillDir := flag.String("ledger-spill", "", "spill sealed ledger segments to this directory (empty = drop after checkpointing); reopening the same directory recovers a crashed ledger")
+	keepEvery := flag.Int("ledger-keep-every", 0, "prune the persisted checkpoint chain to every Kth checkpoint plus the anchor tip (0 or 1 = keep all; needs -ledger-spill)")
 	flag.Parse()
 
 	var fn faas.Function
@@ -75,8 +76,9 @@ func run() error {
 			EagerSign:          *eager,
 			CheckpointInterval: *cpEvery,
 			Retention: accounting.RetentionPolicy{
-				MaxResidentRecords: *retention,
-				SpillDir:           *spillDir,
+				MaxResidentRecords:  *retention,
+				SpillDir:            *spillDir,
+				CheckpointKeepEvery: *keepEvery,
 			},
 		},
 	})
@@ -87,10 +89,11 @@ func run() error {
 	fmt.Printf("acctee-faas: serving %s (%s) on %s (pool disabled=%v prewarm=%d)\n",
 		fn, setup, *listen, *noPool, *prewarm)
 	if srv.Ledger() != nil {
-		fmt.Printf("acctee-faas: verifiable ledger on GET /receipt, /checkpoint, /ledger[?truncated=1] and POST /compact (eager=%v, checkpoint every %v)\n",
+		fmt.Printf("acctee-faas: verifiable ledger on GET /receipt, /checkpoint, /ledger[?truncated=1][&bin=1] and POST /compact (eager=%v, checkpoint every %v)\n",
 			*eager, *cpEvery)
 		if *retention > 0 || *spillDir != "" {
-			fmt.Printf("acctee-faas: bounded retention: max resident %d records, spill dir %q\n", *retention, *spillDir)
+			fmt.Printf("acctee-faas: bounded retention: max resident %d records, spill dir %q, checkpoint keep-every %d\n",
+				*retention, *spillDir, *keepEvery)
 		}
 	}
 	return http.ListenAndServe(*listen, srv)

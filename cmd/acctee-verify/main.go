@@ -6,10 +6,16 @@
 // A single flipped byte anywhere in the dump makes verification fail.
 //
 // Verification is streaming: records are consumed one at a time off the
-// file, so a million-record dump verifies in O(segment) memory. Dumps may
-// start at any checkpoint-anchored sequence (the gateway's
-// /ledger?truncated=1, or Ledger.DumpTruncated) — the anchor's signature
-// vouches for everything below the starting sequences.
+// file, so a million-record dump verifies in O(segment) memory. Both dump
+// containers are read with autodetection: the JSON v2 layout and the
+// binary v3 container (DumpOptions.Binary, or /ledger?bin=1 on the
+// gateway). Dumps may start at any checkpoint-anchored sequence (the
+// gateway's /ledger?truncated=1, or Ledger.DumpTruncated) — the anchor's
+// signature vouches for everything below the starting sequences. Dumps
+// and spill directories whose checkpoint chain was pruned
+// (RetentionPolicy.CheckpointKeepEvery) declare it, and the verifier
+// then tolerates — and reports — sequence gaps between retained
+// checkpoints; every retained checkpoint is still signature-checked.
 //
 // Usage:
 //
@@ -17,8 +23,9 @@
 //	acctee-verify -spill spill-dir  [-measurement hex32] [-pubkey key.der]
 //
 // -spill replays a bounded-retention ledger's spill directory instead:
-// every spilled segment frame is re-hashed against the persisted
-// checkpoint chain, so a flipped byte in any segment file is detected.
+// every spilled segment frame (binary v2 or legacy JSON v1, per the
+// manifest format stamp) is re-hashed against the persisted checkpoint
+// chain, so a flipped byte in any segment file is detected.
 //
 // By default the dump-embedded public key and measurement are used (fine
 // when the dump travelled a trusted channel). A suspicious verifier passes
@@ -102,6 +109,10 @@ func printResult(res *accounting.VerifyResult, what string) {
 	if res.BeyondHorizon > 0 {
 		fmt.Printf("%d checkpoints reach beyond the spilled horizon (signed after the last seal; signatures verified)\n",
 			res.BeyondHorizon)
+	}
+	if res.PrunedCheckpointGaps > 0 {
+		fmt.Printf("%d checkpoint-chain gaps accepted under declared pruning (every retained checkpoint signature-checked)\n",
+			res.PrunedCheckpointGaps)
 	}
 	fmt.Printf("totals: %d weighted instructions, peak memory %d B, memory integral %d, io %d/%d B, %d simulated cycles\n",
 		res.Totals.WeightedInstructions, res.Totals.PeakMemoryBytes, res.Totals.MemoryIntegral,

@@ -7,9 +7,10 @@
 // dump anchored at the compaction checkpoint — exactly what
 // cmd/acctee-verify does offline (the `make verify-ledger` smoke path).
 //
-// With -prove-tamper the example additionally flips one byte in a spilled
-// segment file and proves the spill verifier rejects it, then restores the
-// byte so later `acctee-verify -spill` runs see the pristine directory.
+// With -prove-tamper the example additionally flips one byte inside a
+// spilled binary frame and proves the spill verifier rejects it, then
+// restores the byte so later `acctee-verify -spill` runs see the pristine
+// directory.
 package main
 
 import (
@@ -39,18 +40,21 @@ func main() {
 func run() error {
 	dumpPath := flag.String("dump", "", "write the full serialised ledger here for acctee-verify")
 	truncPath := flag.String("dump-truncated", "", "write the truncated (checkpoint-anchored) ledger here")
+	binPath := flag.String("dump-binary", "", "write the binary (v3 container) ledger dump here")
 	spillDir := flag.String("spill-dir", "", "spill sealed ledger segments to this directory")
 	retention := flag.Int("retention", 8, "max resident ledger records before auto-compaction")
-	tamper := flag.Bool("prove-tamper", false, "flip a byte in a spilled segment and prove verification fails")
+	keepEvery := flag.Int("keep-every", 2, "prune the persisted checkpoint chain to every Kth checkpoint plus the anchor tip (0 or 1 = keep all)")
+	tamper := flag.Bool("prove-tamper", false, "flip a byte in a spilled binary frame and prove verification fails")
 	flag.Parse()
 
 	srv, err := faas.NewServerWithOptions(faas.Resize, faas.SetupSGXHWInstr, faas.ServerOptions{
 		Ledger: accounting.LedgerOptions{
 			Shards: 2,
 			Retention: accounting.RetentionPolicy{
-				MaxResidentRecords: *retention,
-				SegmentRecords:     4,
-				SpillDir:           *spillDir,
+				MaxResidentRecords:  *retention,
+				SegmentRecords:      4,
+				SpillDir:            *spillDir,
+				CheckpointKeepEvery: *keepEvery,
 			},
 		},
 	})
@@ -192,6 +196,32 @@ func run() error {
 	}
 	fmt.Printf("truncated replay OK: %d tail records, %d carried forward by anchor checkpoint %d's signature\n",
 		tv.Records, tv.StartRecords, tv.AnchorSequence)
+	// The binary v3 container carries the same proof in far fewer bytes;
+	// the verifier autodetects it by the leading magic.
+	resp, err := http.Get(gateway.URL + faas.LedgerPath + "?bin=1")
+	if err != nil {
+		return err
+	}
+	binRaw, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	bv, err := accounting.VerifyStream(bytes.NewReader(binRaw),
+		accounting.VerifyOptions{Key: srv.Enclave().PublicKey()})
+	if err != nil {
+		return fmt.Errorf("binary dump verification: %w", err)
+	}
+	if bv.Records != vr.Records {
+		return fmt.Errorf("binary dump replayed %d records, JSON replayed %d", bv.Records, vr.Records)
+	}
+	if *binPath != "" {
+		if err := os.WriteFile(*binPath, binRaw, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("binary dump replay OK: %d records in %d bytes (same proof, smaller container)\n",
+		bv.Records, len(binRaw))
 
 	if *tamper {
 		if *spillDir == "" {
@@ -206,7 +236,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		pos := len(raw) / 2
+		// Byte 10 sits inside the first binary frame's payload — past the
+		// length prefix, so the flip breaks the frame CRC and can never
+		// pass for an honestly torn tail.
+		pos := 10
 		raw[pos] ^= 0x01
 		if err := os.WriteFile(seg, raw, 0o644); err != nil {
 			return err

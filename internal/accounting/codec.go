@@ -1,0 +1,230 @@
+// Binary wire codecs for the spill store (format v2) and the ledger dump
+// (format v3).
+//
+// PR 5's spill frames were one JSON object per line — simple, greppable,
+// and the reason BENCH_ledger.json showed spill-mode retention collapsing
+// to ~0.18x of bounded-in-memory: every sealed record paid ~1.1 KB of JSON
+// marshalling on the compaction path. The binary frame reuses the pinned
+// serialisations the hash chain is already built on (Record.Marshal,
+// UsageLog.AppendMarshal — layouts guarded by TestMarshalPinned), so the
+// codec adds no second source of truth about byte layout.
+//
+// Spill frame (format "acctee-spill/v2", one frame per seal):
+//
+//	u32  payloadLen          little-endian, length of payload only
+//	payload:
+//	    u32  shard
+//	    u64  base            first sequence in the frame
+//	    u32  count           records in the frame (> 0)
+//	    count × record:
+//	        132 B  Record.Marshal()   (shard u32 | prevHash 32 | log 96)
+//	         32 B  hash               the record's chain head
+//	        u16    sigLen | sig       eager signature (0 for batched mode)
+//	     32 B  head             chain head after the frame
+//	     96 B  totals           running shard aggregate after the frame
+//	u32  crc                 CRC-32C (Castagnoli) over payload
+//
+// Torn-tail rule (what crash recovery and the offline verifier both
+// apply): a frame is *torn* if and only if the file ends before the
+// advertised frame end (length prefix itself cut short, or fewer than
+// payloadLen+4 bytes follow it) — the residue of a crash mid-append, cut
+// and forgotten. A frame that is fully present but fails its CRC or its
+// structural decode is *corruption* and always a hard error, even in tail
+// position: a flipped byte can never demote itself to an honest crash.
+//
+// Dump container (format "acctee-ledger/v3"):
+//
+//	8 B  magic "ACCTDMP3"
+//	u32  headerLen
+//	headerLen B of JSON: the Dump struct with an empty records array —
+//	     format, shards, measurement, publicKey, anchor, checkpoints,
+//	     prunedCheckpoints all travel exactly as in the v2 JSON dump
+//	repeated: u32 recLen | recLen B of binary record (layout above)
+//	u32  0                   terminator
+//
+// VerifyStream autodetects the container by its first byte ('{' = JSON v2,
+// 'A' of the magic = binary v3) and verifies both through the same
+// incremental core.
+package accounting
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// SpillFormatV1 is the PR 5 line-delimited JSON spill layout, still read
+// (and, on a reopened v1 directory, written — a spill file never mixes
+// codecs) but no longer created fresh.
+const SpillFormatV1 = "acctee-spill/v1"
+
+// SpillFormatV2 is the length-prefixed binary spill layout documented
+// above. Fresh spill directories always use it.
+const SpillFormatV2 = "acctee-spill/v2"
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// binRecordSize returns the encoded size of one record.
+func binRecordSize(r *Record) int {
+	return recordMarshalSize + 32 + 2 + len(r.Signature)
+}
+
+// appendRecordBin appends one record in the binary layout.
+func appendRecordBin(buf []byte, r *Record) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], r.Shard)
+	buf = append(buf, b[:]...)
+	buf = append(buf, r.PrevHash[:]...)
+	buf = r.Log.AppendMarshal(buf)
+	buf = append(buf, r.Hash[:]...)
+	if len(r.Signature) > 0xffff {
+		// Unreachable for ECDSA signatures; guarded so the u16 length can
+		// never silently truncate.
+		panic("accounting: record signature exceeds 65535 bytes")
+	}
+	binary.LittleEndian.PutUint16(b[:2], uint16(len(r.Signature)))
+	buf = append(buf, b[:2]...)
+	return append(buf, r.Signature...)
+}
+
+// decodeRecordBin decodes one record, returning the bytes consumed.
+func decodeRecordBin(b []byte) (Record, int, error) {
+	var r Record
+	if len(b) < recordMarshalSize+32+2 {
+		return r, 0, fmt.Errorf("accounting: binary record truncated (%d bytes)", len(b))
+	}
+	r.Shard = binary.LittleEndian.Uint32(b)
+	copy(r.PrevHash[:], b[4:36])
+	log, err := UnmarshalUsageLog(b[36 : 36+MarshalSize])
+	if err != nil {
+		return r, 0, err
+	}
+	r.Log = log
+	off := recordMarshalSize
+	copy(r.Hash[:], b[off:off+32])
+	off += 32
+	sigLen := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+sigLen {
+		return r, 0, fmt.Errorf("accounting: binary record signature truncated")
+	}
+	if sigLen > 0 {
+		r.Signature = append([]byte(nil), b[off:off+sigLen]...)
+	}
+	off += sigLen
+	return r, off, nil
+}
+
+// maxBinFramePayload bounds a frame's declared payload length so a
+// hostile length prefix cannot size a multi-gigabyte allocation.
+const maxBinFramePayload = 1 << 30
+
+// encodeBinFrame serialises a spill frame (length prefix + payload + CRC).
+func encodeBinFrame(fr *spillFrame) []byte {
+	size := 4 + 8 + 4 + 32 + MarshalSize
+	for i := range fr.Records {
+		size += binRecordSize(&fr.Records[i])
+	}
+	buf := make([]byte, 4, 4+size+4)
+	binary.LittleEndian.PutUint32(buf, uint32(size))
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], fr.Shard)
+	buf = append(buf, b[:4]...)
+	binary.LittleEndian.PutUint64(b[:], fr.Base)
+	buf = append(buf, b[:]...)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(fr.Records)))
+	buf = append(buf, b[:4]...)
+	for i := range fr.Records {
+		buf = appendRecordBin(buf, &fr.Records[i])
+	}
+	buf = append(buf, fr.Head[:]...)
+	buf = fr.Totals.AppendMarshal(buf)
+	binary.LittleEndian.PutUint32(b[:4], crc32.Checksum(buf[4:], castagnoli))
+	return append(buf, b[:4]...)
+}
+
+// decodeBinFramePayload decodes a frame payload (CRC already checked).
+func decodeBinFramePayload(payload []byte) (*spillFrame, error) {
+	if len(payload) < 4+8+4+32+MarshalSize {
+		return nil, fmt.Errorf("accounting: binary frame payload too short (%d bytes)", len(payload))
+	}
+	fr := &spillFrame{
+		Shard: binary.LittleEndian.Uint32(payload),
+		Base:  binary.LittleEndian.Uint64(payload[4:]),
+	}
+	count := binary.LittleEndian.Uint32(payload[12:])
+	if count == 0 {
+		return nil, fmt.Errorf("accounting: binary frame declares zero records")
+	}
+	rest := payload[16:]
+	if uint64(count) > uint64(len(rest))/uint64(recordMarshalSize+32+2) {
+		return nil, fmt.Errorf("accounting: binary frame declares %d records in %d bytes", count, len(rest))
+	}
+	fr.Records = make([]Record, 0, count)
+	for i := uint32(0); i < count; i++ {
+		rec, n, err := decodeRecordBin(rest)
+		if err != nil {
+			return nil, err
+		}
+		fr.Records = append(fr.Records, rec)
+		rest = rest[n:]
+	}
+	if len(rest) != 32+MarshalSize {
+		return nil, fmt.Errorf("accounting: binary frame has %d trailing bytes, want %d", len(rest), 32+MarshalSize)
+	}
+	copy(fr.Head[:], rest[:32])
+	totals, err := UnmarshalUsageLog(rest[32:])
+	if err != nil {
+		return nil, err
+	}
+	fr.Totals = totals
+	return fr, nil
+}
+
+// errTornFrame marks a frame cut short by the end of the file — the honest
+// residue of a crash mid-append, distinct from corruption.
+var errTornFrame = fmt.Errorf("accounting: torn binary frame at end of file")
+
+// readBinFrame reads the next frame off r. It returns io.EOF cleanly
+// between frames, errTornFrame when the file ends inside a frame, and a
+// hard error for a complete frame whose CRC or structure is wrong.
+func readBinFrame(r *bufio.Reader) (*spillFrame, int64, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, errTornFrame // length prefix itself cut short
+	}
+	payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if payloadLen == 0 || payloadLen > maxBinFramePayload {
+		return nil, 0, fmt.Errorf("accounting: binary frame declares %d-byte payload", payloadLen)
+	}
+	body := make([]byte, int(payloadLen)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, errTornFrame // file ends before the advertised frame end
+	}
+	payload := body[:payloadLen]
+	wantCRC := binary.LittleEndian.Uint32(body[payloadLen:])
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return nil, 0, fmt.Errorf("accounting: binary frame CRC mismatch (stored %08x, computed %08x)", wantCRC, got)
+	}
+	fr, err := decodeBinFramePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fr, int64(4 + payloadLen + 4), nil
+}
+
+// dumpMagicV3 opens every binary (format v3) dump container.
+var dumpMagicV3 = [8]byte{'A', 'C', 'C', 'T', 'D', 'M', 'P', '3'}
+
+// maxBinDumpHeader bounds the declared header length of a binary dump.
+const maxBinDumpHeader = 1 << 28
+
+// maxBinDumpRecord bounds one encoded dump record (a record is ~166 bytes
+// plus an optional ECDSA signature; anything near the bound is hostile).
+const maxBinDumpRecord = 1 << 20

@@ -1,0 +1,299 @@
+package accounting
+
+// White-box tests for the binary spill codec (format v2) and the legacy
+// JSON (format v1) compatibility path. These live inside the package to
+// exercise encodeBinFrame/readBinFrame directly and to rewrite a spill
+// directory down to the v1 layout byte-for-byte.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acctee/internal/sgx"
+)
+
+func codecEnclave(t *testing.T) *sgx.Enclave {
+	t.Helper()
+	e, err := sgx.NewEnclave([]byte("acctee codec test"), sgx.ModeSimulation, sgx.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func codecLog(i int) UsageLog {
+	return UsageLog{
+		WorkloadHash:         [32]byte{0xAB, byte(i)},
+		WeightedInstructions: uint64(1000 + i),
+		PeakMemoryBytes:      uint64(1<<16 + i),
+		MemoryIntegral:       uint64(3 * i),
+		IOBytesIn:            uint64(i),
+		IOBytesOut:           uint64(2 * i),
+		SimulatedCycles:      uint64(5 * i),
+		Policy:               PeakMemory,
+		Sequence:             uint64(i),
+	}
+}
+
+func codecFrame(n int, withSig bool) *spillFrame {
+	fr := &spillFrame{Shard: 3, Base: 40}
+	var prev [32]byte
+	var totals UsageLog
+	for i := 0; i < n; i++ {
+		r := Record{Shard: 3, Log: codecLog(40 + i), PrevHash: prev}
+		r.Hash = r.ComputeHash()
+		if withSig {
+			r.Signature = bytes.Repeat([]byte{byte(i + 1)}, 70+i)
+		}
+		prev = r.Hash
+		aggregate(&totals, &r.Log)
+		fr.Records = append(fr.Records, r)
+	}
+	fr.Head = prev
+	fr.Totals = totals
+	return fr
+}
+
+func framesEqual(a, b *spillFrame) bool {
+	if a.Shard != b.Shard || a.Base != b.Base || a.Head != b.Head ||
+		a.Totals != b.Totals || len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		x, y := &a.Records[i], &b.Records[i]
+		if x.Shard != y.Shard || x.Log != y.Log || x.PrevHash != y.PrevHash ||
+			x.Hash != y.Hash || !bytes.Equal(x.Signature, y.Signature) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinFrameRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		n       int
+		withSig bool
+	}{
+		{"single", 1, false},
+		{"batch", 8, false},
+		{"signed", 5, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fr := codecFrame(tc.n, tc.withSig)
+			enc := encodeBinFrame(fr)
+			got, consumed, err := readBinFrame(bufio.NewReader(bytes.NewReader(enc)))
+			if err != nil {
+				t.Fatalf("readBinFrame: %v", err)
+			}
+			if consumed != int64(len(enc)) {
+				t.Fatalf("consumed %d bytes, frame is %d", consumed, len(enc))
+			}
+			if !framesEqual(fr, got) {
+				t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", fr, got)
+			}
+		})
+	}
+}
+
+// TestBinFrameTornVsCorrupt pins the codec's central classification rule:
+// a frame cut short by the end of the file is errTornFrame (honest crash
+// residue, recoverable); a fully present frame with a flipped byte is a
+// hard error at EVERY byte position — length prefix, payload, or CRC.
+func TestBinFrameTornVsCorrupt(t *testing.T) {
+	fr := codecFrame(4, true)
+	enc := encodeBinFrame(fr)
+
+	// Every proper prefix that is not empty is torn (or clean EOF at 0).
+	for _, cut := range []int{1, 3, 4, 5, len(enc) / 2, len(enc) - 1} {
+		_, _, err := readBinFrame(bufio.NewReader(bytes.NewReader(enc[:cut])))
+		if err != errTornFrame {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want errTornFrame", cut, len(enc), err)
+		}
+	}
+	if _, _, err := readBinFrame(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Fatalf("empty input: got %v, want io.EOF", err)
+	}
+
+	// Any single flipped byte in a complete frame must be a hard error —
+	// never io.EOF, never errTornFrame, never a silent success.
+	for pos := 0; pos < len(enc); pos++ {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 0x01
+		got, _, err := readBinFrame(bufio.NewReader(bytes.NewReader(mut)))
+		if err == nil {
+			// A flip inside the length prefix can shrink the advertised
+			// frame so the decode sees a shorter-but-complete frame; the
+			// CRC (positioned by the same prefix) then fails. A flip may
+			// also grow the frame past the buffer: that reads as torn on
+			// a lone frame, which is exactly why recovery cross-checks
+			// the truncation point against the checkpoint chain. Here a
+			// nil error is only acceptable if the decode reproduced the
+			// original frame (impossible for a flipped payload).
+			if !framesEqual(fr, got) {
+				t.Fatalf("flip at byte %d decoded successfully to a different frame", pos)
+			}
+			t.Fatalf("flip at byte %d round-tripped to the identical frame", pos)
+		}
+		if pos >= 4 && pos < len(enc)-4 && err == errTornFrame {
+			// Payload flips never masquerade as torn: the length prefix
+			// is intact, so the full advertised frame is present.
+			t.Fatalf("flip at payload byte %d classified as torn tail", pos)
+		}
+	}
+}
+
+// TestBinFrameRejectsHostileHeader: a hostile length prefix or count must
+// fail fast and bounded, not allocate gigabytes.
+func TestBinFrameRejectsHostileHeader(t *testing.T) {
+	var huge [8]byte
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0xFF // ~4 GiB payload
+	if _, _, err := readBinFrame(bufio.NewReader(bytes.NewReader(huge[:]))); err == nil || err == errTornFrame {
+		t.Fatalf("4 GiB length prefix: got %v, want hard error", err)
+	}
+	// Valid CRC but count claims more records than the payload can hold.
+	fr := codecFrame(1, false)
+	enc := encodeBinFrame(fr)
+	payload := append([]byte(nil), enc[4:len(enc)-4]...)
+	payload[12] = 0xFF // count = 255 in a one-record payload
+	if _, err := decodeBinFramePayload(payload); err == nil {
+		t.Fatal("overflowing record count decoded without error")
+	}
+	if _, err := decodeBinFramePayload(payload[:8]); err == nil {
+		t.Fatal("short payload decoded without error")
+	}
+	payload[12] = 0 // count = 0
+	if _, err := decodeBinFramePayload(payload); err == nil {
+		t.Fatal("zero-record frame decoded without error")
+	}
+}
+
+// TestLegacyV1SpillReadWrite: a v1 (JSON-lines) spill directory must stay
+// fully usable — recovery reads it, the reopened ledger KEEPS WRITING the
+// JSON codec (a spill file never mixes codecs), and the offline verifier
+// replays it. The v1 directory is produced by transcoding a fresh v2
+// directory frame-for-frame, so both codecs cover identical chain state.
+func TestLegacyV1SpillReadWrite(t *testing.T) {
+	dir := t.TempDir()
+	e := codecEnclave(t)
+	opts := LedgerOptions{
+		Shards:    2,
+		Retention: RetentionPolicy{SegmentRecords: 4, SpillDir: dir},
+	}
+	l1, err := NewLedger(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, _, err := l1.Append(codecLog(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	l1.Close()
+
+	// Transcode the directory to the v1 layout: JSON frame lines and a
+	// downgraded manifest format stamp.
+	mPath := filepath.Join(dir, manifestName)
+	mRaw, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m spillManifest
+	if err := json.Unmarshal(mRaw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != SpillFormatV2 {
+		t.Fatalf("fresh spill dir stamped %q, want %q", m.Format, SpillFormatV2)
+	}
+	m.Format = SpillFormatV1
+	if err := writeSpillManifest(mPath, &m); err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < opts.Shards; shard++ {
+		path := filepath.Join(dir, shardFileName(shard))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jsonl bytes.Buffer
+		br := bufio.NewReader(bytes.NewReader(raw))
+		for {
+			fr, _, err := readBinFrame(br)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("shard %d: %v", shard, err)
+			}
+			line, err := json.Marshal(fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsonl.Write(line)
+			jsonl.WriteByte('\n')
+		}
+		if err := os.WriteFile(path, jsonl.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen: recovery must accept the v1 layout and carry on appending.
+	l2, err := NewLedger(e, opts)
+	if err != nil {
+		t.Fatalf("reopening v1 spill dir: %v", err)
+	}
+	for i := 16; i < 24; i++ {
+		if _, _, err := l2.Append(codecLog(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	// The directory must still be pure v1: manifest stamp unchanged and
+	// every shard file line-delimited JSON (first byte '{').
+	mRaw, err = os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mRaw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != SpillFormatV1 {
+		t.Fatalf("reopened v1 dir restamped to %q", m.Format)
+	}
+	for shard := 0; shard < opts.Shards; shard++ {
+		raw, err := os.ReadFile(filepath.Join(dir, shardFileName(shard)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) == 0 || raw[0] != '{' || raw[len(raw)-1] != '\n' {
+			t.Fatalf("shard %d of a v1 dir is not JSON lines after reopen", shard)
+		}
+		for _, line := range bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n")) {
+			var fr spillFrame
+			if err := json.Unmarshal(line, &fr); err != nil {
+				t.Fatalf("shard %d: v1 frame line does not parse: %v", shard, err)
+			}
+		}
+	}
+
+	// And the whole mixed-generation directory verifies offline.
+	res, err := VerifySpillDir(dir, VerifyOptions{Key: e.PublicKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 24 {
+		t.Fatalf("v1 spill verification replayed %d records, want 24", res.Records)
+	}
+}

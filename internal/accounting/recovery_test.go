@@ -2,6 +2,7 @@ package accounting_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,9 +70,15 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 		t.Fatalf("post-anchor checkpoint sequence %d not past anchor %d",
 			doomed.Checkpoint.Sequence, anchor.Checkpoint.Sequence)
 	}
-	// CRASH: no Close, no flush of the resident tail. (The spill files
-	// were written synchronously at Compact; the old handles stay open,
-	// which is fine — a real crash severs them too.)
+	// Spill writes are asynchronous since the group-commit writer; Anchor
+	// is the documented drain barrier, making the sealed prefix durable
+	// before the simulated crash (a real crash can of course also lose
+	// enqueued frames — that torn-tail path is pinned by
+	// TestRecoveryFallsBackToFrameAlignedAnchor and the mid-group-commit
+	// recovery test).
+	l1.Anchor()
+	// CRASH: no Close, no flush of the resident tail. (The old handles
+	// stay open, which is fine — a real crash severs them too.)
 	l1 = nil //nolint:ineffassign // the point: nothing orderly happens to l1
 
 	l2, err := accounting.NewLedger(e, opts)
@@ -159,10 +166,12 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 	if res.CoveredRecords != uint64(sealed+20) {
 		t.Fatalf("post-recovery checkpoint covers %d, want %d", res.CoveredRecords, sealed+20)
 	}
-	// And the spill directory itself verifies after another compaction.
+	// And the spill directory itself verifies after another compaction
+	// (Anchor drains the async writer so the seal is on disk).
 	if _, err := l2.Compact(); err != nil {
 		t.Fatal(err)
 	}
+	l2.Anchor()
 	sres, err := accounting.VerifySpillDir(dir, accounting.VerifyOptions{Key: e.PublicKey()})
 	if err != nil {
 		t.Fatal(err)
@@ -306,11 +315,15 @@ func TestRecoveryFallsBackToFrameAlignedAnchor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl := bytes.IndexByte(raw, '\n')
-	if nl < 0 || nl+1 >= len(raw) {
+	// First binary frame = u32 length prefix + payload + u32 CRC.
+	if len(raw) < 8 {
 		t.Fatalf("expected two frames in %s", segPath)
 	}
-	if err := os.WriteFile(segPath, raw[:nl+1], 0o644); err != nil {
+	end := 4 + int(binary.LittleEndian.Uint32(raw[:4])) + 4
+	if end >= len(raw) {
+		t.Fatalf("expected two frames in %s", segPath)
+	}
+	if err := os.WriteFile(segPath, raw[:end], 0o644); err != nil {
 		t.Fatal(err)
 	}
 

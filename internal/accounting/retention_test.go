@@ -227,6 +227,17 @@ func TestTruncatedDumpTamperDetection(t *testing.T) {
 	if _, err := l.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
+	// A second post-anchor checkpoint (kept below the auto-compaction
+	// trigger so the anchor does not advance past the first one) gives the
+	// pruning cases below a mid-chain checkpoint to drop.
+	for i := 10; i < 14; i++ {
+		if _, _, err := l.Append(logFor(3, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	base, err := l.DumpTruncated()
 	if err != nil {
 		t.Fatal(err)
@@ -274,6 +285,19 @@ func TestTruncatedDumpTamperDetection(t *testing.T) {
 		{"strip the anchor entirely", func(d *accounting.Dump) {
 			d.Anchor = nil
 		}},
+		{"smuggle a checkpoint gap without declaring pruning", func(d *accounting.Dump) {
+			// Dropping a mid-chain checkpoint breaks adjacency; only a
+			// chain that declares pruning may skip sequences.
+			d.Checkpoints = d.Checkpoints[1:]
+		}},
+		{"tamper a retained checkpoint in a pruned chain", func(d *accounting.Dump) {
+			// Declared pruning relaxes chain ADJACENCY only — every
+			// retained checkpoint is still signature-checked, so a
+			// flipped byte in its totals must still be caught.
+			d.Pruned = true
+			d.Checkpoints = d.Checkpoints[1:]
+			d.Checkpoints[0].Checkpoint.Totals.IOBytesIn++
+		}},
 	}
 	for _, tc := range cases {
 		d := reparse()
@@ -281,5 +305,19 @@ func TestTruncatedDumpTamperDetection(t *testing.T) {
 		if _, err := accounting.VerifyDump(d, accounting.VerifyOptions{}); err == nil {
 			t.Errorf("%s: tampered truncated dump verified", tc.name)
 		}
+	}
+
+	// The positive control for the pruned cases above: the same dropped
+	// checkpoint IS tolerated when the dump declares pruning — and the
+	// verifier reports exactly how many gaps it accepted on that basis.
+	d := reparse()
+	d.Pruned = true
+	d.Checkpoints = d.Checkpoints[1:]
+	res, err := accounting.VerifyDump(d, accounting.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("declared-pruned dump with a checkpoint gap: %v", err)
+	}
+	if res.PrunedCheckpointGaps != 1 {
+		t.Fatalf("pruned dump reported %d checkpoint gaps, want 1", res.PrunedCheckpointGaps)
 	}
 }

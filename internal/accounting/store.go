@@ -17,10 +17,30 @@
 // Spill layout (file store, one directory per ledger):
 //
 //	MANIFEST.json    store identity: format, shards, measurement, PKIX key
-//	shard-NNNN.seg   append-only; one JSON frame per line, each frame a
-//	                 run of records [base, base+count) with the running
-//	                 chain head and shard totals after the frame
-//	checkpoints.jsonl every signed checkpoint, appended as it is signed
+//	shard-NNNN.seg   append-only; one frame per seal, each frame a run of
+//	                 records [base, base+count) with the running chain head
+//	                 and shard totals after the frame. Format v2 frames are
+//	                 length-prefixed binary with a CRC-32C (codec.go);
+//	                 format v1 frames are one JSON object per line
+//	                 (legacy — still read and, on a reopened v1 directory,
+//	                 still written, so a file never mixes codecs).
+//	checkpoints.jsonl signed checkpoints, appended as they are signed; with
+//	                 pruning enabled the chain may skip sequences (the
+//	                 manifest's prunedCheckpoints flag says so)
+//
+// Spill I/O is asynchronous (PR 7): Seal builds and encodes the frame,
+// publishes it on the shard's pending queue, and hands it to a per-shard
+// writer goroutine through a bounded channel — backpressure blocks the
+// compaction path, never Append. The writer group-commits: it drains
+// whatever frames are queued (up to spillGroupCommitMax) and lands the
+// batch with one write. Durability is deferred to sync points — every
+// spillSyncBytes of frame data, and always on Drain — where the
+// checkpoint log fsyncs FIRST (so no durable frame can outrun the
+// checkpoint that anchors it) and then the shard files. Pending
+// (sealed-but-not-yet-durable) frames stay readable through Get/Snapshot;
+// Drain blocks until the pipeline is empty, which is how Ledger.Close,
+// WriteDump and Anchor guarantee dumps and verifier runs only ever observe
+// fully spilled seals.
 //
 // Seals write frames up to exactly the sealing checkpoint's per-shard
 // covered counts, so at rest the spilled prefix of every shard ends on a
@@ -29,16 +49,19 @@
 // prev-hash linkage, head/totals consistency — and anchors the rebuilt
 // state at the last persisted checkpoint whose coverage the spill actually
 // contains, truncating any unanchored trailing frames or checkpoints a
-// crash left behind. Byte-level integrity (recomputing every record hash
-// against the checkpoint signature chain) is the verifier's job:
-// VerifySpillDir / `acctee-verify -spill`.
+// crash (possibly mid-group-commit) left behind. Byte-level integrity
+// (recomputing every record hash against the checkpoint signature chain)
+// is the verifier's job: VerifySpillDir / `acctee-verify -spill`.
 package accounting
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -54,23 +77,26 @@ import (
 //
 // Records of one shard arrive in strict sequence order (the lane lock
 // serialises appends); implementations are safe for concurrent use across
-// shards and for concurrent readers.
+// shards and for concurrent readers. Seals are serialised by the ledger's
+// checkpoint lock.
 type RecordStore interface {
 	// Append stores a freshly chained record on its shard's open segment.
 	Append(rec Record) error
 	// Get returns the record at (shard, seq) if it is still reachable —
-	// resident in memory, or spilled to disk for a file store.
+	// resident in memory, pending in the spill pipeline, or spilled to
+	// disk for a file store.
 	Get(shard uint32, seq uint64) (Record, bool)
 	// Resident returns how many records are currently held in memory.
 	Resident() int
-	// Spilled returns how many records of the shard are durably spilled
-	// (always 0 for a memory store).
+	// Spilled returns how many records of the shard have been sealed out
+	// of the resident tail into the spill pipeline (always 0 for a memory
+	// store). Drain first if the count must also be durable.
 	Spilled(shard uint32) uint64
 	// Seal releases every record the checkpoint covers: the file store
-	// first spills the not-yet-spilled covered prefix of each shard (and
-	// records the checkpoint as the new recovery anchor), then both stores
-	// drop fully covered — and, for file stores, fully spilled — segments
-	// from memory. It returns how many records left memory.
+	// first hands the not-yet-sealed covered prefix of each shard to its
+	// async spill writer (the checkpoint becoming the new recovery anchor
+	// once the frame lands), then both stores drop fully covered segments
+	// from memory. It returns how many records left the resident tail.
 	Seal(sc *SignedCheckpoint) (released int, err error)
 	// PersistCheckpoint makes a signed checkpoint durable (no-op for the
 	// memory store). The ledger calls it for every checkpoint it signs, so
@@ -81,14 +107,19 @@ type RecordStore interface {
 	// WITHOUT holding store locks: a concurrent Seal may release the
 	// records after the snapshot, and the closure must still replay the
 	// pinned range (spilled frames are immutable in the append-only file;
-	// the resident suffix is copied at snapshot time). Snapshot fails if
-	// [from, to) reaches below the earliest reachable sequence.
+	// pending frames and the resident suffix are copied at snapshot time).
+	// Snapshot fails if [from, to) reaches below the earliest reachable
+	// sequence.
 	Snapshot(shard uint32, from, to uint64) (func(fn func(*Record) error) error, error)
+	// Drain blocks until every seal handed to the spill pipeline is
+	// durable, returning the first write error if the pipeline wedged
+	// (no-op for the memory store).
+	Drain() error
 	// Persistent reports whether sealed records remain reachable (file
 	// store) or are gone for good (memory store).
 	Persistent() bool
-	// Close flushes and releases any spill files. The store stays
-	// readable for resident records.
+	// Close drains the spill pipeline and releases any spill files. The
+	// store stays readable for resident records.
 	Close() error
 }
 
@@ -98,7 +129,16 @@ type segment struct {
 	recs []Record
 }
 
-// shardSegs is one shard's resident segment list plus its spill watermark.
+// pendingFrame is a sealed frame travelling through the async spill
+// pipeline: built and encoded under the shard lock at seal time, written
+// and committed by the shard's writer goroutine. Its record slice keeps
+// the sealed range readable until the frame index takes over.
+type pendingFrame struct {
+	fr  *spillFrame
+	enc []byte // wire encoding (binary v2 frame or JSON line)
+}
+
+// shardSegs is one shard's resident segment list plus its spill state.
 type shardSegs struct {
 	mu   sync.Mutex
 	segs []*segment
@@ -107,10 +147,18 @@ type shardSegs struct {
 	// dropped is the first still-resident sequence (records below it left
 	// memory); segs[0].base == dropped whenever segs is non-empty.
 	dropped uint64
-	// spilled is the number of durably spilled records (file store only).
+	// spilled is the number of durably spilled records (file store only);
+	// sealed is the number handed to the spill pipeline. Records in
+	// [spilled, sealed) live in pending frames awaiting their group
+	// commit; spilled == sealed whenever the pipeline is drained.
 	spilled uint64
+	sealed  uint64
+	// pending holds the in-flight frames for [spilled, sealed), oldest
+	// first (seals are serialised, writers commit in order).
+	pending []*pendingFrame
 	// spillTotals / spillHead mirror the running aggregate and chain head
-	// of the spilled prefix (stamped into frame headers).
+	// of the sealed prefix (stamped into frame headers; the next frame
+	// chains from them).
 	spillTotals UsageLog
 	spillHead   [32]byte
 	// frames indexes the shard's spill file for O(frame) Get/Stream.
@@ -121,8 +169,8 @@ type shardSegs struct {
 type frameIndex struct {
 	base  uint64
 	count uint64
-	off   int64 // byte offset of the frame's line
-	size  int64 // line length including the trailing newline
+	off   int64 // byte offset of the frame
+	size  int64 // full frame length on disk (line incl. newline for v1)
 }
 
 // segStore is the shared segmented core of both stores.
@@ -192,6 +240,18 @@ func (sh *shardSegs) getResident(seq uint64) (Record, bool) {
 		return Record{}, false
 	}
 	return seg.recs[seq-seg.base], true
+}
+
+// getPending looks seq up in the in-flight spill frames (caller holds
+// sh.mu; pending entries are immutable once published).
+func (sh *shardSegs) getPending(seq uint64) (Record, bool) {
+	for _, pf := range sh.pending {
+		end := pf.fr.Base + uint64(len(pf.fr.Records))
+		if seq >= pf.fr.Base && seq < end {
+			return pf.fr.Records[seq-pf.fr.Base], true
+		}
+	}
+	return Record{}, false
 }
 
 func (s *segStore) Resident() int { return int(s.resident.Load()) }
@@ -284,6 +344,7 @@ func NewMemoryStore(shards, segRecords int) RecordStore {
 
 func (m *memStore) Spilled(uint32) uint64                     { return 0 }
 func (m *memStore) PersistCheckpoint(*SignedCheckpoint) error { return nil }
+func (m *memStore) Drain() error                              { return nil }
 func (m *memStore) Persistent() bool                          { return false }
 func (m *memStore) Close() error                              { return nil }
 
@@ -319,9 +380,6 @@ func (m *memStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Record
 // ---------------------------------------------------------------------------
 // file store
 
-// SpillFormat identifies the spill directory layout.
-const SpillFormat = "acctee-spill/v1"
-
 // spillManifest is the MANIFEST.json content binding a spill directory to
 // one ledger identity.
 type spillManifest struct {
@@ -330,10 +388,16 @@ type spillManifest struct {
 	SegRecords  int             `json:"segmentRecords"`
 	Measurement sgx.Measurement `json:"measurement"`
 	PublicKey   []byte          `json:"publicKey"` // PKIX DER
+	// Pruned declares that the persisted checkpoint chain may skip
+	// sequences (checkpoint-chain pruning enabled). Once true it stays
+	// true — a pruned chain can never promise completeness again.
+	Pruned bool `json:"prunedCheckpoints,omitempty"`
 }
 
-// spillFrame is one line of a shard's segment file: a contiguous run of
+// spillFrame is one frame of a shard's segment file: a contiguous run of
 // records plus the shard's chain head and running totals after the run.
+// The JSON field tags are the v1 wire format; codec.go defines the binary
+// v2 encoding of the same struct.
 type spillFrame struct {
 	Shard   uint32   `json:"shard"`
 	Base    uint64   `json:"base"`
@@ -347,17 +411,83 @@ const (
 	checkpointsName = "checkpoints.jsonl"
 )
 
+// spillQueueDepth bounds each shard's writer channel: seals beyond it
+// block the compaction path until the writer catches up.
+const spillQueueDepth = 64
+
+// spillGroupCommitMax caps how many queued frames one write may cover.
+const spillGroupCommitMax = 64
+
+// spillSyncBytes is the deferred-durability backstop: batches land with
+// plain writes plus a non-blocking writeback hint (hintWriteback), and a
+// hard fsync happens only at Drain barriers (Close, WriteDump, Anchor,
+// checkpoint pruning all drain) — or once this many bytes accumulate
+// with no barrier in sight. A crash between sync points loses at most
+// the unsynced tail; recovery truncates back to the last anchored
+// checkpoint either way, so the window costs durability, never
+// consistency.
+const spillSyncBytes = 256 << 20
+
+// spillHintBytes is how much new frame data a shard file accumulates
+// before the writer nudges the kernel to start writing it back
+// (hintWriteback). Large enough to amortise the call, small enough that
+// a Drain barrier rarely finds more than a few megabytes still dirty.
+const spillHintBytes = 4 << 20
+
 func shardFileName(shard int) string { return fmt.Sprintf("shard-%04d.seg", shard) }
 
-// fileStore spills sealed records to append-only per-shard segment files.
+// fileStore spills sealed records to append-only per-shard segment files
+// through per-shard async group-commit writers.
 type fileStore struct {
 	*segStore
 	dir      string
 	manifest spillManifest
+	// binary selects the frame codec: v2 binary for fresh directories,
+	// legacy JSON lines when reopening a v1 directory.
+	binary bool
 
-	mu    sync.Mutex // guards files + checkpoint file appends
-	files []*os.File
-	cpF   *os.File
+	mu      sync.Mutex // guards files + checkpoint file appends
+	files   []*os.File
+	cpF     *os.File
+	cpLines int // lines in checkpoints.jsonl (for amortised prune rewrites)
+
+	// Deferred group durability (all under fs.mu): frames and checkpoint
+	// lines are written immediately but fsynced together at sync points —
+	// every spillSyncBytes of frame data, on Drain, and once before the
+	// first frame ever lands (so a spill directory can never hold frames
+	// without any durable checkpoint, the one state recovery refuses).
+	// The checkpoint log always syncs before the data files, preserving
+	// the no-frame-outruns-its-anchor recovery invariant at every sync
+	// point.
+	cpDirty   bool
+	cpSynced  bool // checkpoint log fsynced at least once since open
+	dataDirty []bool
+	unsynced  int
+	// unhinted/hintOff amortise the writeback hints: each shard file is
+	// nudged towards disk once spillHintBytes of new frames accumulate,
+	// not per batch (a hint can briefly block when the device queue is
+	// congested, so issuing fewer, larger ones keeps the writer fast).
+	unhinted []int64
+	hintOff  []int64
+
+	// Writer pipeline state. qmu guards inflight/wErr/closed; qcond
+	// signals inflight reaching zero (Drain/Close).
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	inflight int
+	wErr     error
+	closed   bool
+	chans    []chan *pendingFrame
+	wg       sync.WaitGroup
+	// wbufs holds one reusable batch-concatenation buffer per shard
+	// (only shard i's writer goroutine touches wbufs[i], under fs.mu).
+	wbufs [][]byte
+}
+
+// checkpointPruner is implemented by stores that persist the checkpoint
+// chain and can drop pruned entries from it.
+type checkpointPruner interface {
+	pruneCheckpoints(retained []SignedCheckpoint) error
 }
 
 // recoveredState is what openFileStore rebuilt from a non-empty spill
@@ -377,10 +507,11 @@ type recoveredState struct {
 }
 
 // openFileStore creates or reopens a spill directory. On a fresh (or
-// empty) directory it writes the manifest and returns a nil recovery
-// state; on a populated one it replays the spill and returns the rebuilt
-// chain state.
-func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pubDER []byte) (*fileStore, *recoveredState, error) {
+// empty) directory it writes a format-v2 manifest and returns a nil
+// recovery state; on a populated one it replays the spill (whichever
+// format the manifest declares) and returns the rebuilt chain state.
+// pruned declares that the ledger above will prune the checkpoint chain.
+func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pubDER []byte, pruned bool) (*fileStore, *recoveredState, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("accounting: spill dir: %w", err)
 	}
@@ -388,11 +519,17 @@ func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pub
 		segStore: newSegStore(shards, segRecords),
 		dir:      dir,
 		manifest: spillManifest{
-			Format: SpillFormat, Shards: shards, SegRecords: segRecords,
-			Measurement: meas, PublicKey: pubDER,
+			Format: SpillFormatV2, Shards: shards, SegRecords: segRecords,
+			Measurement: meas, PublicKey: pubDER, Pruned: pruned,
 		},
-		files: make([]*os.File, shards),
+		binary: true,
+		files:  make([]*os.File, shards),
+		wbufs:  make([][]byte, shards),
 	}
+	fs.dataDirty = make([]bool, shards)
+	fs.unhinted = make([]int64, shards)
+	fs.hintOff = make([]int64, shards)
+	fs.qcond = sync.NewCond(&fs.qmu)
 	manifestPath := filepath.Join(dir, manifestName)
 	var rec *recoveredState
 	if raw, err := os.ReadFile(manifestPath); err == nil {
@@ -400,8 +537,8 @@ func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pub
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return nil, nil, fmt.Errorf("accounting: spill manifest: %w", err)
 		}
-		if m.Format != SpillFormat {
-			return nil, nil, fmt.Errorf("accounting: spill format %q, want %q", m.Format, SpillFormat)
+		if m.Format != SpillFormatV1 && m.Format != SpillFormatV2 {
+			return nil, nil, fmt.Errorf("accounting: spill format %q, want %q or %q", m.Format, SpillFormatV1, SpillFormatV2)
 		}
 		if m.Shards != shards {
 			return nil, nil, fmt.Errorf("accounting: spill dir has %d shards, ledger wants %d", m.Shards, shards)
@@ -409,17 +546,24 @@ func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pub
 		if m.Measurement != meas || !bytes.Equal(m.PublicKey, pubDER) {
 			return nil, nil, fmt.Errorf("accounting: spill dir belongs to a different enclave identity")
 		}
+		// A reopened v1 directory keeps writing v1 JSON frames: one spill
+		// file never mixes codecs.
+		fs.binary = m.Format == SpillFormatV2
+		if pruned && !m.Pruned {
+			// Declare pruning before the first entry can go missing; the
+			// flag is sticky across reopenings.
+			m.Pruned = true
+			if err := writeSpillManifest(manifestPath, &m); err != nil {
+				return nil, nil, err
+			}
+		}
 		fs.manifest = m
 		if rec, err = fs.recover(); err != nil {
 			return nil, nil, err
 		}
 	} else if os.IsNotExist(err) {
-		j, err := json.MarshalIndent(fs.manifest, "", " ")
-		if err != nil {
+		if err := writeSpillManifest(manifestPath, &fs.manifest); err != nil {
 			return nil, nil, err
-		}
-		if err := os.WriteFile(manifestPath, j, 0o644); err != nil {
-			return nil, nil, fmt.Errorf("accounting: write spill manifest: %w", err)
 		}
 	} else {
 		return nil, nil, fmt.Errorf("accounting: spill manifest: %w", err)
@@ -438,15 +582,34 @@ func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pub
 		return nil, nil, fmt.Errorf("accounting: open checkpoint log: %w", err)
 	}
 	fs.cpF = f
+	fs.chans = make([]chan *pendingFrame, shards)
+	for i := range fs.chans {
+		fs.chans[i] = make(chan *pendingFrame, spillQueueDepth)
+		fs.wg.Add(1)
+		go fs.writeLoop(i, fs.chans[i])
+	}
 	return fs, rec, nil
 }
 
-// scanFrames structurally replays one shard's segment file: frames must be
-// contiguous runs with internally consistent sequences, prev-hash linkage
-// and head/totals stamps. It returns the frame index, final chain state,
-// and the byte offset just past the last good frame (a torn trailing line
-// from a crash mid-spill is cut there, not treated as corruption).
-func scanShardFile(path string, shard uint32) (frames []frameIndex, next uint64, head [32]byte, totals UsageLog, goodEnd int64, err error) {
+// writeSpillManifest writes MANIFEST.json.
+func writeSpillManifest(path string, m *spillManifest) error {
+	j, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, j, 0o644); err != nil {
+		return fmt.Errorf("accounting: write spill manifest: %w", err)
+	}
+	return nil
+}
+
+// scanShardFile structurally replays one shard's segment file: frames must
+// be contiguous runs with internally consistent sequences, prev-hash
+// linkage and head/totals stamps. It returns the frame index, final chain
+// state, and the byte offset just past the last good frame (a torn
+// trailing frame from a crash mid-group-commit is cut there, not treated
+// as corruption). bin selects the frame codec.
+func scanShardFile(path string, shard uint32, bin bool) (frames []frameIndex, next uint64, head [32]byte, totals UsageLog, goodEnd int64, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, 0, head, totals, 0, nil
@@ -455,6 +618,54 @@ func scanShardFile(path string, shard uint32) (frames []frameIndex, next uint64,
 		return nil, 0, head, totals, 0, err
 	}
 	defer f.Close()
+	// validate replays one decoded frame into the running chain state.
+	validate := func(fr *spillFrame, off int64) error {
+		if fr.Shard != shard || fr.Base != next || len(fr.Records) == 0 {
+			return fmt.Errorf(
+				"accounting: spill shard %d frame at offset %d out of order (base %d, want %d)",
+				shard, off, fr.Base, next)
+		}
+		for i := range fr.Records {
+			r := &fr.Records[i]
+			if r.Shard != shard || r.Log.Sequence != next {
+				return fmt.Errorf(
+					"accounting: spill shard %d record %d out of sequence (want %d)", shard, r.Log.Sequence, next)
+			}
+			if r.PrevHash != head {
+				return fmt.Errorf(
+					"accounting: spill shard %d record %d breaks the hash chain", shard, next)
+			}
+			head = r.Hash
+			aggregate(&totals, &r.Log)
+			next++
+		}
+		if fr.Head != head || fr.Totals != totals {
+			return fmt.Errorf(
+				"accounting: spill shard %d frame at offset %d head/totals stamp mismatch", shard, off)
+		}
+		return nil
+	}
+	if bin {
+		br := bufio.NewReaderSize(f, 1<<20)
+		var off int64
+		for {
+			fr, size, rerr := readBinFrame(br)
+			if rerr == io.EOF || rerr == errTornFrame {
+				// Clean end of file, or a frame cut short by a crash
+				// mid-group-commit: everything before off is intact; the
+				// caller truncates any torn residue.
+				return frames, next, head, totals, off, nil
+			}
+			if rerr != nil {
+				return nil, 0, head, totals, 0, fmt.Errorf("accounting: spill shard %d at offset %d: %w", shard, off, rerr)
+			}
+			if verr := validate(fr, off); verr != nil {
+				return nil, 0, head, totals, 0, verr
+			}
+			frames = append(frames, frameIndex{base: fr.Base, count: uint64(len(fr.Records)), off: off, size: size})
+			off += size
+		}
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<30)
 	var off int64
@@ -474,28 +685,8 @@ func scanShardFile(path string, shard uint32) (frames []frameIndex, next uint64,
 			// intact; the caller truncates here.
 			return frames, next, head, totals, off, nil
 		}
-		if fr.Shard != shard || fr.Base != next || len(fr.Records) == 0 {
-			return nil, 0, head, totals, 0, fmt.Errorf(
-				"accounting: spill shard %d frame at offset %d out of order (base %d, want %d)",
-				shard, off, fr.Base, next)
-		}
-		for i := range fr.Records {
-			r := &fr.Records[i]
-			if r.Shard != shard || r.Log.Sequence != next {
-				return nil, 0, head, totals, 0, fmt.Errorf(
-					"accounting: spill shard %d record %d out of sequence (want %d)", shard, r.Log.Sequence, next)
-			}
-			if r.PrevHash != head {
-				return nil, 0, head, totals, 0, fmt.Errorf(
-					"accounting: spill shard %d record %d breaks the hash chain", shard, next)
-			}
-			head = r.Hash
-			aggregate(&totals, &r.Log)
-			next++
-		}
-		if fr.Head != head || fr.Totals != totals {
-			return nil, 0, head, totals, 0, fmt.Errorf(
-				"accounting: spill shard %d frame at offset %d head/totals stamp mismatch", shard, off)
+		if verr := validate(&fr, off); verr != nil {
+			return nil, 0, head, totals, 0, verr
 		}
 		frames = append(frames, frameIndex{base: fr.Base, count: uint64(len(fr.Records)), off: off, size: size})
 		off += size
@@ -521,13 +712,13 @@ func (fs *fileStore) recover() (*recoveredState, error) {
 	scans := make([]shardScan, len(fs.shards))
 	for i := range fs.shards {
 		frames, next, head, totals, goodEnd, err := scanShardFile(
-			filepath.Join(fs.dir, shardFileName(i)), uint32(i))
+			filepath.Join(fs.dir, shardFileName(i)), uint32(i), fs.binary)
 		if err != nil {
 			return nil, err
 		}
 		scans[i] = shardScan{frames, next, head, totals, goodEnd}
 	}
-	cps, err := readSpillCheckpoints(fs.dir, len(fs.shards))
+	cps, err := readSpillCheckpoints(fs.dir, len(fs.shards), fs.manifest.Pruned)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +728,7 @@ func (fs *fileStore) recover() (*recoveredState, error) {
 	// mid-frame, and the spill can only be cut between frames. Later
 	// checkpoints covered records that were resident at crash time; they
 	// are discarded along with any frames a mid-seal crash wrote past the
-	// anchor (at most the last seal can be torn).
+	// anchor (at most the last group commit can be torn).
 	ends := make([]map[uint64]bool, len(fs.shards))
 	for i := range scans {
 		ends[i] = map[uint64]bool{0: true}
@@ -618,7 +809,8 @@ func (fs *fileStore) recover() (*recoveredState, error) {
 		}
 		sh := &fs.shards[i]
 		sh.next, sh.dropped = s.next, s.next
-		sh.spilled, sh.spillHead, sh.spillTotals = s.next, s.head, s.totals
+		sh.spilled, sh.sealed = s.next, s.next
+		sh.spillHead, sh.spillTotals = s.head, s.totals
 		sh.frames = s.frames
 		rec.Heads[i] = ShardHead{Shard: uint32(i), Count: s.next, Head: s.head}
 		rec.Totals[i] = s.totals
@@ -628,6 +820,7 @@ func (fs *fileStore) recover() (*recoveredState, error) {
 			return nil, err
 		}
 	}
+	fs.cpLines = len(rec.Checkpoints)
 	// Cross-check the rebuilt state against the anchor's signature-covered
 	// heads and totals: the carried-forward chain state IS what the last
 	// signed checkpoint vouches for.
@@ -657,7 +850,7 @@ func (fs *fileStore) rescanPrefix(shard int, frames []frameIndex, next *uint64, 
 	}
 	defer f.Close()
 	for _, fr := range frames {
-		frame, err := readFrameAt(f, fr)
+		frame, err := readFrameAt(f, fr, fs.binary)
 		if err != nil {
 			return err
 		}
@@ -670,11 +863,25 @@ func (fs *fileStore) rescanPrefix(shard int, frames []frameIndex, next *uint64, 
 	return nil
 }
 
-// readFrameAt decodes one frame at a known offset.
-func readFrameAt(f *os.File, fi frameIndex) (*spillFrame, error) {
+// readFrameAt decodes one frame at a known offset (bin selects the codec).
+func readFrameAt(f *os.File, fi frameIndex, bin bool) (*spillFrame, error) {
 	buf := make([]byte, fi.size)
 	if _, err := f.ReadAt(buf, fi.off); err != nil {
 		return nil, fmt.Errorf("accounting: read spill frame: %w", err)
+	}
+	if bin {
+		if fi.size < 8 {
+			return nil, fmt.Errorf("accounting: spill frame index names a %d-byte frame", fi.size)
+		}
+		payloadLen := binary.LittleEndian.Uint32(buf)
+		if int64(payloadLen)+8 != fi.size {
+			return nil, fmt.Errorf("accounting: spill frame length drifted (payload %d in a %d-byte frame)", payloadLen, fi.size)
+		}
+		payload := buf[4 : 4+payloadLen]
+		if got := crc32.Checksum(payload, castagnoli); got != binary.LittleEndian.Uint32(buf[4+payloadLen:]) {
+			return nil, fmt.Errorf("accounting: spill frame CRC mismatch")
+		}
+		return decodeBinFramePayload(payload)
 	}
 	var fr spillFrame
 	if err := json.Unmarshal(bytes.TrimRight(buf, "\n"), &fr); err != nil {
@@ -684,8 +891,10 @@ func readFrameAt(f *os.File, fi frameIndex) (*spillFrame, error) {
 }
 
 // readSpillCheckpoints reads a spill directory's persisted checkpoint
-// chain (torn tail lines are cut, as with frames).
-func readSpillCheckpoints(dir string, shards int) ([]SignedCheckpoint, error) {
+// chain (torn tail lines are cut, as with frames). With pruned set the
+// chain may skip sequences — prev-hash linkage is then enforced only
+// between adjacent survivors; sequences must still strictly increase.
+func readSpillCheckpoints(dir string, shards int, pruned bool) ([]SignedCheckpoint, error) {
 	f, err := os.Open(filepath.Join(dir, checkpointsName))
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -719,8 +928,17 @@ func readSpillCheckpoints(dir string, shards int) ([]SignedCheckpoint, error) {
 		}
 		if n := len(cps); n > 0 {
 			prev := &cps[n-1].Checkpoint
-			if c.Checkpoint.Sequence != prev.Sequence+1 || c.Checkpoint.PrevHash != prev.Hash() {
-				return nil, fmt.Errorf("accounting: persisted checkpoint chain breaks at %d", c.Checkpoint.Sequence)
+			switch {
+			case c.Checkpoint.Sequence <= prev.Sequence:
+				return nil, fmt.Errorf("accounting: persisted checkpoint chain runs backwards at %d", c.Checkpoint.Sequence)
+			case c.Checkpoint.Sequence == prev.Sequence+1:
+				if c.Checkpoint.PrevHash != prev.Hash() {
+					return nil, fmt.Errorf("accounting: persisted checkpoint chain breaks at %d", c.Checkpoint.Sequence)
+				}
+			default:
+				if !pruned {
+					return nil, fmt.Errorf("accounting: persisted checkpoint chain breaks at %d", c.Checkpoint.Sequence)
+				}
 			}
 		}
 		cps = append(cps, c)
@@ -729,7 +947,9 @@ func readSpillCheckpoints(dir string, shards int) ([]SignedCheckpoint, error) {
 }
 
 // rewriteCheckpoints atomically replaces the checkpoint log (recovery
-// discarding entries beyond the spill horizon).
+// discarding entries beyond the spill horizon, or pruning dropping
+// superseded anchors). When the append handle is open the caller must
+// hold fs.mu; the handle is reopened on the new inode after the rename.
 func (fs *fileStore) rewriteCheckpoints(cps []SignedCheckpoint) error {
 	tmp := filepath.Join(fs.dir, checkpointsName+".tmp")
 	f, err := os.Create(tmp)
@@ -750,15 +970,53 @@ func (fs *fileStore) rewriteCheckpoints(cps []SignedCheckpoint) error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(fs.dir, checkpointsName))
+	if err := os.Rename(tmp, filepath.Join(fs.dir, checkpointsName)); err != nil {
+		return err
+	}
+	if fs.cpF != nil {
+		// The old append FD points at the renamed-over inode; reopen so
+		// later appends land in the rewritten log.
+		_ = fs.cpF.Close()
+		nf, err := os.OpenFile(filepath.Join(fs.dir, checkpointsName), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fs.cpF = nil
+			return fmt.Errorf("accounting: reopen checkpoint log: %w", err)
+		}
+		fs.cpF = nf
+	}
+	fs.cpLines = len(cps)
+	// The rewritten log was fsynced before the rename took effect.
+	fs.cpDirty, fs.cpSynced = false, true
+	return nil
 }
 
-// Get serves resident records from memory and sealed ones from their
-// spill frame (O(frame) via the per-shard frame index) — receipts stay
-// resolvable after their records leave memory.
+// pruneCheckpoints rewrites the persisted checkpoint log down to the
+// retained set. Rewrites are amortised: the log is left alone until it
+// holds roughly twice as many lines as survivors, so a prune after every
+// checkpoint costs O(1) amortised I/O.
+func (fs *fileStore) pruneCheckpoints(retained []SignedCheckpoint) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.cpF == nil {
+		return fmt.Errorf("accounting: spill store closed")
+	}
+	if fs.cpLines <= 2*len(retained)+16 {
+		return nil
+	}
+	return fs.rewriteCheckpoints(retained)
+}
+
+// Get serves resident records from memory, in-flight seals from their
+// pending frames, and durable ones from their spill frame (O(frame) via
+// the per-shard frame index) — receipts stay resolvable after their
+// records leave memory.
 func (fs *fileStore) Get(shard uint32, seq uint64) (Record, bool) {
 	if int(shard) >= len(fs.shards) {
 		return Record{}, false
@@ -769,9 +1027,14 @@ func (fs *fileStore) Get(shard uint32, seq uint64) (Record, bool) {
 		sh.mu.Unlock()
 		return rec, true
 	}
-	if seq >= sh.spilled {
+	if seq >= sh.sealed {
 		sh.mu.Unlock()
 		return Record{}, false
+	}
+	if seq >= sh.spilled {
+		rec, ok := sh.getPending(seq)
+		sh.mu.Unlock()
+		return rec, ok
 	}
 	i := sort.Search(len(sh.frames), func(i int) bool {
 		fi := &sh.frames[i]
@@ -788,7 +1051,7 @@ func (fs *fileStore) Get(shard uint32, seq uint64) (Record, bool) {
 		return Record{}, false
 	}
 	defer f.Close()
-	frame, err := readFrameAt(f, fi)
+	frame, err := readFrameAt(f, fi, fs.binary)
 	if err != nil {
 		return Record{}, false
 	}
@@ -802,7 +1065,7 @@ func (fs *fileStore) Spilled(shard uint32) uint64 {
 	sh := &fs.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.spilled
+	return sh.sealed
 }
 
 func (fs *fileStore) Persistent() bool { return true }
@@ -817,14 +1080,49 @@ func (fs *fileStore) PersistCheckpoint(sc *SignedCheckpoint) error {
 	if fs.cpF == nil {
 		return fmt.Errorf("accounting: spill store closed")
 	}
-	_, err = fs.cpF.Write(append(j, '\n'))
-	return err
+	if _, err := fs.cpF.Write(append(j, '\n')); err != nil {
+		return err
+	}
+	fs.cpLines++
+	fs.cpDirty = true
+	return nil
 }
 
-// Seal spills each shard's not-yet-spilled covered prefix as one frame,
-// then drops fully spilled segments from memory. Frames therefore always
-// end exactly on the sealing checkpoint's boundary — the property crash
-// recovery and truncated-dump anchoring rely on.
+// encodeFrame serialises a frame in the store's codec.
+func (fs *fileStore) encodeFrame(fr *spillFrame) ([]byte, error) {
+	if fs.binary {
+		return encodeBinFrame(fr), nil
+	}
+	j, err := json.Marshal(fr)
+	if err != nil {
+		return nil, err
+	}
+	return append(j, '\n'), nil
+}
+
+// reserve claims a writer-pipeline slot (one per frame). It fails once
+// the store is closed or the writer wedged, so a seal can never advance
+// state it has no hope of making durable.
+func (fs *fileStore) reserve() error {
+	fs.qmu.Lock()
+	defer fs.qmu.Unlock()
+	if fs.closed {
+		return fmt.Errorf("accounting: spill store closed")
+	}
+	if fs.wErr != nil {
+		return fmt.Errorf("accounting: spill writer wedged: %w", fs.wErr)
+	}
+	fs.inflight++
+	return nil
+}
+
+// Seal builds each shard's not-yet-sealed covered prefix into one frame,
+// publishes it on the shard's pending queue, drops the covered segments
+// from the resident tail, and hands the frame to the shard's async writer.
+// Frames therefore always end exactly on the sealing checkpoint's boundary
+// — the property crash recovery and truncated-dump anchoring rely on. The
+// channel send blocks when the writer is more than spillQueueDepth seals
+// behind: backpressure lands on the compaction path, never on Append.
 func (fs *fileStore) Seal(sc *SignedCheckpoint) (int, error) {
 	released := 0
 	for i := range sc.Checkpoint.Heads {
@@ -834,79 +1132,259 @@ func (fs *fileStore) Seal(sc *SignedCheckpoint) (int, error) {
 		}
 		sh := &fs.shards[h.Shard]
 		sh.mu.Lock()
-		if h.Count > sh.spilled {
+		var pf *pendingFrame
+		if h.Count > sh.sealed {
 			// Build the frame — and its running head/totals stamps — in
-			// locals; shard state commits only after the write succeeds, so
-			// a failed spill (ENOSPC, EIO) leaves the stamps consistent and
-			// the next Seal retries the same range instead of
-			// double-counting it.
-			frame := spillFrame{Shard: h.Shard, Base: sh.spilled,
+			// locals; shard state commits only after the frame is encoded
+			// and a writer slot reserved, so a failed seal leaves the
+			// stamps consistent and the next Seal retries the same range
+			// instead of double-counting it.
+			frame := &spillFrame{Shard: h.Shard, Base: sh.sealed,
 				Head: sh.spillHead, Totals: sh.spillTotals}
-			for seq := sh.spilled; seq < h.Count; seq++ {
-				rec, ok := sh.getResident(seq)
-				if !ok {
+			// Bulk-copy whole segment ranges instead of a per-sequence
+			// lookup: the seal range is contiguous, so one binary search
+			// finds the first segment and the rest append slice-at-a-time
+			// (this path runs on the compaction caller — often the
+			// appender that tripped the retention trigger — so per-record
+			// overhead here is paid at wire speed).
+			frame.Records = make([]Record, 0, h.Count-sh.sealed)
+			for seq := sh.sealed; seq < h.Count; {
+				i := sort.Search(len(sh.segs), func(i int) bool {
+					seg := sh.segs[i]
+					return seq < seg.base+uint64(len(seg.recs))
+				})
+				if i >= len(sh.segs) || seq < sh.segs[i].base {
 					sh.mu.Unlock()
 					return released, fmt.Errorf("accounting: seal lost shard %d record %d before spilling", h.Shard, seq)
 				}
-				frame.Records = append(frame.Records, rec)
-				aggregate(&frame.Totals, &rec.Log)
-				frame.Head = rec.Hash
+				seg := sh.segs[i]
+				lo := seq - seg.base
+				hi := uint64(len(seg.recs))
+				if end := h.Count - seg.base; end < hi {
+					hi = end
+				}
+				frame.Records = append(frame.Records, seg.recs[lo:hi]...)
+				seq = seg.base + hi
 			}
-			j, err := json.Marshal(&frame)
+			for i := range frame.Records {
+				aggregate(&frame.Totals, &frame.Records[i].Log)
+			}
+			frame.Head = frame.Records[len(frame.Records)-1].Hash
+			enc, err := fs.encodeFrame(frame)
 			if err != nil {
 				sh.mu.Unlock()
 				return released, err
 			}
-			fs.mu.Lock()
-			f := fs.files[h.Shard]
-			var off int64
-			if f != nil {
-				if off, err = f.Seek(0, 2); err == nil {
-					var n int
-					if n, err = f.Write(append(j, '\n')); err != nil && n > 0 {
-						// A partial write leaves a torn line that the next
-						// successful append would bury mid-file (which
-						// recovery rejects as corruption, not a torn
-						// tail). Cut the file back to the frame start; if
-						// even that fails, retire the handle so no later
-						// Seal writes past known junk.
-						if terr := f.Truncate(off); terr != nil {
-							_ = f.Close()
-							fs.files[h.Shard] = nil
-						}
-					}
-				}
-			} else {
-				err = fmt.Errorf("accounting: spill store closed")
-			}
-			fs.mu.Unlock()
-			if err != nil {
+			if err := fs.reserve(); err != nil {
 				sh.mu.Unlock()
-				return released, fmt.Errorf("accounting: spill shard %d: %w", h.Shard, err)
+				return released, err
 			}
-			sh.frames = append(sh.frames, frameIndex{
-				base: frame.Base, count: uint64(len(frame.Records)),
-				off: off, size: int64(len(j)) + 1,
-			})
-			sh.spilled = h.Count
+			pf = &pendingFrame{fr: frame, enc: enc}
+			sh.pending = append(sh.pending, pf)
+			sh.sealed = h.Count
 			sh.spillHead, sh.spillTotals = frame.Head, frame.Totals
 		}
-		// Only fully spilled segments may leave memory.
-		limit := h.Count
-		if sh.spilled < limit {
-			limit = sh.spilled
-		}
-		released += fs.dropCovered(sh, limit)
+		released += fs.dropCovered(sh, h.Count)
 		sh.mu.Unlock()
+		if pf != nil {
+			// Blocking send outside sh.mu: the writer needs sh.mu to
+			// commit finished batches. Seals are serialised by the
+			// ledger's checkpoint lock, so send order matches the pending
+			// queue order the writer commits against.
+			fs.chans[h.Shard] <- pf
+		}
 	}
 	return released, nil
 }
 
+// writeLoop is one shard's spill writer: it group-commits whatever seals
+// are queued, amortising the fsync across them.
+func (fs *fileStore) writeLoop(shard int, ch chan *pendingFrame) {
+	defer fs.wg.Done()
+	for pf := range ch {
+		batch := []*pendingFrame{pf}
+	gather:
+		for len(batch) < spillGroupCommitMax {
+			select {
+			case next, ok := <-ch:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, next)
+			default:
+				break gather
+			}
+		}
+		fs.commitBatch(shard, batch)
+	}
+}
+
+// commitBatch lands one group commit and publishes the result. A write
+// error wedges the pipeline (recorded once, surfaced by Drain/Close and
+// every later seal); the loop keeps draining so blocked senders always
+// make progress, but a wedged store never writes again — the durable
+// prefix stays exactly where the failure left it.
+func (fs *fileStore) commitBatch(shard int, batch []*pendingFrame) {
+	fs.qmu.Lock()
+	wedged := fs.wErr != nil
+	fs.qmu.Unlock()
+	var err error
+	var idx []frameIndex
+	if !wedged {
+		idx, err = fs.writeBatch(shard, batch)
+	}
+	if !wedged && err == nil {
+		sh := &fs.shards[shard]
+		sh.mu.Lock()
+		sh.frames = append(sh.frames, idx...)
+		last := batch[len(batch)-1].fr
+		sh.spilled = last.Base + uint64(len(last.Records))
+		sh.pending = sh.pending[len(batch):]
+		sh.mu.Unlock()
+	}
+	fs.qmu.Lock()
+	if err != nil && fs.wErr == nil {
+		fs.wErr = err
+	}
+	fs.inflight -= len(batch)
+	fs.qcond.Broadcast()
+	fs.qmu.Unlock()
+}
+
+// writeBatch lands one batch of frames with a single concatenated write.
+// Durability is deferred: the files are fsynced together at sync points
+// (syncLocked), checkpoint log first, so no durable frame ever outruns
+// the checkpoint that anchors it. The one exception is the very first
+// batch after open, which syncs the checkpoint log up front — a crash
+// may then truncate frames back to an anchor, but can never leave frames
+// with no durable checkpoint at all (the state recovery refuses).
+func (fs *fileStore) writeBatch(shard int, batch []*pendingFrame) ([]frameIndex, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[shard]
+	if f == nil {
+		return nil, fmt.Errorf("accounting: spill store closed")
+	}
+	if !fs.cpSynced && fs.cpF != nil {
+		if err := fs.cpF.Sync(); err != nil {
+			return nil, fmt.Errorf("accounting: sync checkpoint log: %w", err)
+		}
+		fs.cpDirty, fs.cpSynced = false, true
+	}
+	off, err := f.Seek(0, 2)
+	if err != nil {
+		return nil, err
+	}
+	size := 0
+	for _, pf := range batch {
+		size += len(pf.enc)
+	}
+	if cap(fs.wbufs[shard]) < size {
+		fs.wbufs[shard] = make([]byte, 0, size)
+	}
+	buf := fs.wbufs[shard][:0]
+	idx := make([]frameIndex, len(batch))
+	for i, pf := range batch {
+		idx[i] = frameIndex{
+			base:  pf.fr.Base,
+			count: uint64(len(pf.fr.Records)),
+			off:   off + int64(len(buf)),
+			size:  int64(len(pf.enc)),
+		}
+		buf = append(buf, pf.enc...)
+	}
+	if n, werr := f.Write(buf); werr != nil {
+		if n > 0 {
+			// A partial write leaves a torn frame that the next successful
+			// append would bury mid-file (which recovery rejects as
+			// corruption, not a torn tail). Cut the file back to the batch
+			// start; if even that fails, retire the handle so no later
+			// batch writes past known junk.
+			if terr := f.Truncate(off); terr != nil {
+				_ = f.Close()
+				fs.files[shard] = nil
+			}
+		}
+		return nil, fmt.Errorf("accounting: spill shard %d: %w", shard, werr)
+	}
+	fs.dataDirty[shard] = true
+	fs.unsynced += len(buf)
+	// Start writeback of the accumulated range without waiting: the
+	// kernel flushes behind the appends and the next hard sync point
+	// (Drain) has little left to block on.
+	if fs.unhinted[shard] += int64(len(buf)); fs.unhinted[shard] >= spillHintBytes {
+		end := off + int64(len(buf))
+		hintWriteback(f, fs.hintOff[shard], end-fs.hintOff[shard])
+		fs.hintOff[shard] = end
+		fs.unhinted[shard] = 0
+	}
+	if fs.unsynced >= spillSyncBytes {
+		if err := fs.syncLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return idx, nil
+}
+
+// syncLocked is a deferred-durability sync point: checkpoint log first
+// (recovery anchors on it), then every shard file with unsynced frames.
+// Caller holds fs.mu.
+func (fs *fileStore) syncLocked() error {
+	if fs.cpDirty && fs.cpF != nil {
+		if err := fs.cpF.Sync(); err != nil {
+			return fmt.Errorf("accounting: sync checkpoint log: %w", err)
+		}
+		fs.cpDirty, fs.cpSynced = false, true
+	}
+	for shard, dirty := range fs.dataDirty {
+		if !dirty {
+			continue
+		}
+		if f := fs.files[shard]; f != nil {
+			if err := f.Sync(); err != nil {
+				return fmt.Errorf("accounting: sync spill shard %d: %w", shard, err)
+			}
+		}
+		fs.dataDirty[shard] = false
+	}
+	fs.unsynced = 0
+	return nil
+}
+
+// Drain blocks until every reserved frame has gone through its group
+// commit, forces the deferred sync point, and reports the pipeline's
+// health — after Drain returns nil, every seal handed to the pipeline
+// before the call is durable on disk.
+func (fs *fileStore) Drain() error {
+	fs.qmu.Lock()
+	for fs.inflight > 0 {
+		fs.qcond.Wait()
+	}
+	err := fs.wErr
+	fs.qmu.Unlock()
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	err = fs.syncLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		// A failed sync wedges the pipeline like a failed write: the
+		// durable prefix stays where the failure left it.
+		fs.qmu.Lock()
+		if fs.wErr == nil {
+			fs.wErr = err
+		}
+		fs.qmu.Unlock()
+	}
+	return err
+}
+
 // Snapshot pins [from, to): spilled frame locations (immutable in the
-// append-only file) plus a copy of the resident suffix. The returned
-// closure replays spilled frames straight off disk, one frame in memory
-// at a time, with no store locks held — a slow consumer never blocks
-// appends or compactions.
+// append-only file) plus copies of the pending frames' records and the
+// resident suffix. The returned closure replays spilled frames straight
+// off disk, one frame in memory at a time, with no store locks held — a
+// slow consumer never blocks appends or compactions.
 func (fs *fileStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Record) error) error, error) {
 	if int(shard) >= len(fs.shards) {
 		return nil, fmt.Errorf("accounting: snapshot names shard %d of %d", shard, len(fs.shards))
@@ -915,9 +1393,20 @@ func (fs *fileStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Reco
 	sh.mu.Lock()
 	spilled := sh.spilled
 	frames := append([]frameIndex(nil), sh.frames...)
+	// Pending frames cover [spilled, sealed); copy the overlap with the
+	// request so the snapshot survives the frames landing (and leaving
+	// the pending queue) mid-replay.
+	var pend []Record
+	for _, pf := range sh.pending {
+		for i := range pf.fr.Records {
+			if seq := pf.fr.Base + uint64(i); seq >= from && seq < to {
+				pend = append(pend, pf.fr.Records[i])
+			}
+		}
+	}
 	lo := from
-	if lo < spilled {
-		lo = spilled
+	if lo < sh.sealed {
+		lo = sh.sealed
 	}
 	resident, err := sh.collectResident(lo, to)
 	sh.mu.Unlock()
@@ -925,6 +1414,7 @@ func (fs *fileStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Reco
 		return nil, err
 	}
 	path := filepath.Join(fs.dir, shardFileName(int(shard)))
+	bin := fs.binary
 	return func(fn func(*Record) error) error {
 		if from < spilled {
 			f, err := os.Open(path)
@@ -939,7 +1429,7 @@ func (fs *fileStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Reco
 				if fi.base >= to {
 					return nil
 				}
-				frame, err := readFrameAt(f, fi)
+				frame, err := readFrameAt(f, fi, bin)
 				if err != nil {
 					return err
 				}
@@ -957,14 +1447,43 @@ func (fs *fileStore) Snapshot(shard uint32, from, to uint64) (func(fn func(*Reco
 				}
 			}
 		}
+		if err := replaySlice(pend)(fn); err != nil {
+			return err
+		}
 		return replaySlice(resident)(fn)
 	}, nil
 }
 
+// Close shuts the writer pipeline down (draining every in-flight seal),
+// then releases the spill files. Safe to call more than once.
 func (fs *fileStore) Close() error {
+	fs.qmu.Lock()
+	already := fs.closed
+	fs.closed = true
+	for fs.inflight > 0 {
+		fs.qcond.Wait()
+	}
+	wErr := fs.wErr
+	fs.qmu.Unlock()
+	if !already {
+		// closed is set and inflight hit zero: no seal holds a reserved
+		// slot, so no sender can be blocked on (or about to enter) a
+		// channel send — closing is safe.
+		for _, ch := range fs.chans {
+			if ch != nil {
+				close(ch)
+			}
+		}
+		fs.wg.Wait()
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	var first error
+	if !already && wErr == nil {
+		// Final sync point: nothing written after a drained, closed
+		// pipeline, so closing durable files afterwards is safe.
+		first = fs.syncLocked()
+	}
 	for i, f := range fs.files {
 		if f != nil {
 			if err := f.Close(); err != nil && first == nil {
@@ -978,6 +1497,9 @@ func (fs *fileStore) Close() error {
 			first = err
 		}
 		fs.cpF = nil
+	}
+	if first == nil {
+		first = wErr
 	}
 	return first
 }

@@ -34,6 +34,7 @@ import (
 	"bufio"
 	"crypto/ecdsa"
 	"crypto/x509"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,6 +48,12 @@ import (
 // (checkpoint-anchored truncation) and fixed the field order so records
 // always come last — the property the streaming verifier relies on.
 const DumpFormat = "acctee-ledger/v2"
+
+// DumpFormatV3 is the binary dump container (DumpOptions.Binary): the
+// same header JSON framed behind the ACCTDMP3 magic, records as
+// length-prefixed binary (codec.go). VerifyStream autodetects v2 vs v3
+// by the first byte.
+const DumpFormatV3 = "acctee-ledger/v3"
 
 // MaxDumpShards bounds the shard count a dump may declare, far above any
 // real configuration (the ledger defaults to one lane per CPU).
@@ -70,7 +77,14 @@ type Dump struct {
 	PublicKey   []byte             `json:"publicKey"` // PKIX DER
 	Anchor      *SignedCheckpoint  `json:"anchor,omitempty"`
 	Checkpoints []SignedCheckpoint `json:"checkpoints"`
-	Records     []Record           `json:"records"`
+	// Pruned declares that checkpoint-chain pruning may have removed
+	// entries: the verifier then tolerates sequence gaps between
+	// checkpoints (adjacent survivors still chain by hash, and every
+	// survivor's signature, heads and totals are fully checked). An
+	// undeclared gap remains a hard error — dropping a checkpoint from an
+	// unpruned dump is tampering.
+	Pruned  bool     `json:"prunedCheckpoints,omitempty"`
+	Records []Record `json:"records"`
 }
 
 // MarshalPublicKey encodes an ECDSA public key as PKIX DER for a dump.
@@ -136,6 +150,11 @@ type VerifyResult struct {
 	// after the last seal, covering records that were never spilled);
 	// their signatures and chaining are still checked.
 	BeyondHorizon int
+	// PrunedCheckpointGaps counts sequence gaps in the checkpoint chain
+	// that the input declared as pruning (Dump.Pruned / the spill
+	// manifest's prunedCheckpoints flag). Always 0 for unpruned inputs —
+	// there a gap fails verification outright.
+	PrunedCheckpointGaps int
 }
 
 // VerifyOptions tune offline verification.
@@ -156,6 +175,7 @@ type verifyCore struct {
 	anchor      *SignedCheckpoint
 	cps         []SignedCheckpoint
 	allowBeyond bool
+	allowGaps   bool
 
 	next      []uint64
 	head      [][32]byte
@@ -168,9 +188,11 @@ type verifyCore struct {
 }
 
 // newVerifyCore validates the header, anchor and checkpoint chain and
-// prepares the per-shard replay state.
+// prepares the per-shard replay state. allowGaps tolerates sequence gaps
+// between checkpoints — set only when the input declares checkpoint-chain
+// pruning; adjacent-sequence checkpoints must hash-chain regardless.
 func newVerifyCore(pub *ecdsa.PublicKey, meas sgx.Measurement, shards int,
-	anchor *SignedCheckpoint, cps []SignedCheckpoint, allowBeyond bool) (*verifyCore, error) {
+	anchor *SignedCheckpoint, cps []SignedCheckpoint, allowBeyond, allowGaps bool) (*verifyCore, error) {
 	if shards <= 0 || shards > MaxDumpShards {
 		// The bound keeps a hand-crafted hostile dump from sizing the
 		// verifier's lane state arbitrarily (the verifier is explicitly
@@ -178,7 +200,8 @@ func newVerifyCore(pub *ecdsa.PublicKey, meas sgx.Measurement, shards int,
 		return nil, fmt.Errorf("accounting: dump declares %d shards (want 1..%d)", shards, MaxDumpShards)
 	}
 	c := &verifyCore{
-		pub: pub, meas: meas, anchor: anchor, cps: cps, allowBeyond: allowBeyond,
+		pub: pub, meas: meas, anchor: anchor, cps: cps,
+		allowBeyond: allowBeyond, allowGaps: allowGaps,
 		next:      make([]uint64, shards),
 		head:      make([][32]byte, shards),
 		cpPtr:     make([]int, shards),
@@ -198,7 +221,8 @@ func newVerifyCore(pub *ecdsa.PublicKey, meas sgx.Measurement, shards int,
 		return nil
 	}
 	var prevHash [32]byte
-	nextSeq := uint64(0)
+	var prevSeq uint64
+	havePrev := false
 	prevCounts := make([]uint64, shards)
 	if anchor != nil {
 		if err := VerifyCheckpointSig(*anchor, pub, meas); err != nil {
@@ -214,7 +238,8 @@ func newVerifyCore(pub *ecdsa.PublicKey, meas sgx.Measurement, shards int,
 			prevCounts[j] = h.Count
 		}
 		prevHash = anchor.Checkpoint.Hash()
-		nextSeq = anchor.Checkpoint.Sequence + 1
+		prevSeq = anchor.Checkpoint.Sequence
+		havePrev = true
 		c.res.Anchored = true
 		c.res.AnchorSequence = anchor.Checkpoint.Sequence
 		c.res.StartRecords = anchor.Checkpoint.Covered()
@@ -225,13 +250,36 @@ func newVerifyCore(pub *ecdsa.PublicKey, meas sgx.Measurement, shards int,
 		if err := VerifyCheckpointSig(*sc, pub, meas); err != nil {
 			return nil, fmt.Errorf("accounting: checkpoint %d: %w", cp.Sequence, err)
 		}
-		if cp.Sequence != nextSeq+uint64(i) {
-			return nil, fmt.Errorf("accounting: checkpoint at index %d carries sequence %d, want %d", i, cp.Sequence, nextSeq+uint64(i))
-		}
-		if cp.PrevHash != prevHash {
-			return nil, fmt.Errorf("accounting: checkpoint %d breaks the checkpoint chain", cp.Sequence)
+		// Chain linkage. Adjacent sequences must hash-chain no matter
+		// what; a sequence gap is tolerated (and counted) only when the
+		// input declared pruning — an undeclared missing checkpoint is
+		// tampering, not history management.
+		switch {
+		case !havePrev:
+			if cp.Sequence == 0 {
+				if cp.PrevHash != prevHash {
+					return nil, fmt.Errorf("accounting: checkpoint 0 breaks the checkpoint chain")
+				}
+			} else if c.allowGaps {
+				c.res.PrunedCheckpointGaps++
+			} else {
+				return nil, fmt.Errorf("accounting: first checkpoint carries sequence %d, want 0", cp.Sequence)
+			}
+		case cp.Sequence <= prevSeq:
+			return nil, fmt.Errorf("accounting: checkpoint chain runs backwards at %d", cp.Sequence)
+		case cp.Sequence == prevSeq+1:
+			if cp.PrevHash != prevHash {
+				return nil, fmt.Errorf("accounting: checkpoint %d breaks the checkpoint chain", cp.Sequence)
+			}
+		default:
+			if !c.allowGaps {
+				return nil, fmt.Errorf("accounting: checkpoint %d breaks the checkpoint chain (gap after %d)", cp.Sequence, prevSeq)
+			}
+			c.res.PrunedCheckpointGaps++
 		}
 		prevHash = cp.Hash()
+		prevSeq = cp.Sequence
+		havePrev = true
 		if err := checkHeads(cp, "checkpoint"); err != nil {
 			return nil, err
 		}
@@ -399,7 +447,7 @@ func VerifyDump(d *Dump, opts VerifyOptions) (*VerifyResult, error) {
 	if err := checkMeasurement(opts, d.Measurement); err != nil {
 		return nil, err
 	}
-	core, err := newVerifyCore(pub, d.Measurement, d.Shards, d.Anchor, d.Checkpoints, false)
+	core, err := newVerifyCore(pub, d.Measurement, d.Shards, d.Anchor, d.Checkpoints, false, d.Pruned)
 	if err != nil {
 		return nil, err
 	}
@@ -415,9 +463,18 @@ func VerifyDump(d *Dump, opts VerifyOptions) (*VerifyResult, error) {
 // materialising the record array: the header and checkpoints are decoded
 // first (they precede the records in every dump this package writes), then
 // records are verified one at a time — O(segment) memory however large the
-// ledger grew.
+// ledger grew. Both dump formats are read: the first byte distinguishes a
+// JSON v2 dump ('{') from a binary v3 container (the ACCTDMP3 magic).
 func VerifyStream(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReaderSize(r, 1<<16)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+	}
+	if first[0] == dumpMagicV3[0] {
+		return verifyBinaryStream(br, opts)
+	}
+	dec := json.NewDecoder(br)
 	expectDelim := func(d json.Delim) error {
 		tok, err := dec.Token()
 		if err != nil {
@@ -438,6 +495,7 @@ func VerifyStream(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
 		pubDER      []byte
 		anchor      *SignedCheckpoint
 		cps         []SignedCheckpoint
+		pruned      bool
 		sawFormat   bool
 		sawShards   bool
 		core        *verifyCore
@@ -483,6 +541,10 @@ func VerifyStream(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
 			if err := dec.Decode(&cps); err != nil {
 				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
 			}
+		case "prunedCheckpoints":
+			if err := dec.Decode(&pruned); err != nil {
+				return nil, fmt.Errorf("accounting: parse ledger dump: %w", err)
+			}
 		case "records":
 			if !sawFormat || !sawShards {
 				return nil, fmt.Errorf("accounting: dump records precede the header — not a streaming-layout dump")
@@ -497,7 +559,7 @@ func VerifyStream(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
 			if err := checkMeasurement(opts, meas); err != nil {
 				return nil, err
 			}
-			if core, err = newVerifyCore(pub, meas, shards, anchor, cps, false); err != nil {
+			if core, err = newVerifyCore(pub, meas, shards, anchor, cps, false, pruned); err != nil {
 				return nil, err
 			}
 			if err := expectDelim('['); err != nil {
@@ -542,7 +604,79 @@ func VerifyStream(r io.Reader, opts VerifyOptions) (*VerifyResult, error) {
 		if err := checkMeasurement(opts, meas); err != nil {
 			return nil, err
 		}
-		if core, err = newVerifyCore(pub, meas, shards, anchor, cps, false); err != nil {
+		if core, err = newVerifyCore(pub, meas, shards, anchor, cps, false, pruned); err != nil {
+			return nil, err
+		}
+	}
+	return core.finish()
+}
+
+// verifyBinaryStream verifies a format-v3 binary dump container.
+func verifyBinaryStream(br *bufio.Reader, opts VerifyOptions) (*VerifyResult, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("accounting: parse binary dump: %w", err)
+	}
+	if magic != dumpMagicV3 {
+		return nil, fmt.Errorf("accounting: binary dump magic %q, want %q", magic[:], dumpMagicV3[:])
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return nil, fmt.Errorf("accounting: parse binary dump header: %w", err)
+	}
+	hlen := binary.LittleEndian.Uint32(b[:])
+	if hlen == 0 || hlen > maxBinDumpHeader {
+		return nil, fmt.Errorf("accounting: binary dump declares a %d-byte header", hlen)
+	}
+	hj := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hj); err != nil {
+		return nil, fmt.Errorf("accounting: parse binary dump header: %w", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(hj, &d); err != nil {
+		return nil, fmt.Errorf("accounting: parse binary dump header: %w", err)
+	}
+	if d.Format != DumpFormatV3 {
+		return nil, fmt.Errorf("accounting: dump format %q, want %q", d.Format, DumpFormatV3)
+	}
+	pub, err := resolveKey(opts, d.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkMeasurement(opts, d.Measurement); err != nil {
+		return nil, err
+	}
+	core, err := newVerifyCore(pub, d.Measurement, d.Shards, d.Anchor, d.Checkpoints, false, d.Pruned)
+	if err != nil {
+		return nil, err
+	}
+	var rbuf []byte
+	for {
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, fmt.Errorf("accounting: binary dump truncated: %w", err)
+		}
+		rlen := int(binary.LittleEndian.Uint32(b[:]))
+		if rlen == 0 {
+			break // terminator
+		}
+		if rlen > maxBinDumpRecord {
+			return nil, fmt.Errorf("accounting: binary dump record declares %d bytes", rlen)
+		}
+		if cap(rbuf) < rlen {
+			rbuf = make([]byte, rlen)
+		}
+		rbuf = rbuf[:rlen]
+		if _, err := io.ReadFull(br, rbuf); err != nil {
+			return nil, fmt.Errorf("accounting: binary dump truncated: %w", err)
+		}
+		rec, n, err := decodeRecordBin(rbuf)
+		if err != nil {
+			return nil, err
+		}
+		if n != rlen {
+			return nil, fmt.Errorf("accounting: binary dump record carries %d trailing bytes", rlen-n)
+		}
+		if err := core.record(&rec); err != nil {
 			return nil, err
 		}
 	}
@@ -570,9 +704,10 @@ func VerifySpillDir(dir string, opts VerifyOptions) (*VerifyResult, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("accounting: spill manifest: %w", err)
 	}
-	if m.Format != SpillFormat {
-		return nil, fmt.Errorf("accounting: spill format %q, want %q", m.Format, SpillFormat)
+	if m.Format != SpillFormatV1 && m.Format != SpillFormatV2 {
+		return nil, fmt.Errorf("accounting: spill format %q, want %q or %q", m.Format, SpillFormatV1, SpillFormatV2)
 	}
+	bin := m.Format == SpillFormatV2
 	pub, err := resolveKey(opts, m.PublicKey)
 	if err != nil {
 		return nil, err
@@ -583,11 +718,11 @@ func VerifySpillDir(dir string, opts VerifyOptions) (*VerifyResult, error) {
 	if m.Shards <= 0 || m.Shards > MaxDumpShards {
 		return nil, fmt.Errorf("accounting: spill declares %d shards (want 1..%d)", m.Shards, MaxDumpShards)
 	}
-	cps, err := readSpillCheckpoints(dir, m.Shards)
+	cps, err := readSpillCheckpoints(dir, m.Shards, m.Pruned)
 	if err != nil {
 		return nil, err
 	}
-	core, err := newVerifyCore(pub, m.Measurement, m.Shards, nil, cps, true)
+	core, err := newVerifyCore(pub, m.Measurement, m.Shards, nil, cps, true, m.Pruned)
 	if err != nil {
 		return nil, err
 	}
@@ -600,41 +735,68 @@ func VerifySpillDir(dir string, opts VerifyOptions) (*VerifyResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<30)
+		var verr error
 		var totals UsageLog
 		var head [32]byte
-		for sc.Scan() {
-			var fr spillFrame
-			if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
-				if !sc.Scan() {
-					// Torn final line from a crash mid-seal — the exact
-					// residue recovery truncates. The frames before it are
-					// intact; any checkpoint reaching into the torn part
-					// is reported via BeyondHorizon, not a false tamper
-					// alarm on an honest crashed ledger.
-					break
-				}
-				f.Close()
-				return nil, fmt.Errorf("accounting: spill shard %d: corrupt frame (not a torn tail): %w", shard, err)
-			}
+		replay := func(fr *spillFrame) error {
 			for i := range fr.Records {
 				if err := core.record(&fr.Records[i]); err != nil {
-					f.Close()
-					return nil, err
+					return err
 				}
 				aggregate(&totals, &fr.Records[i].Log)
 				head = fr.Records[i].Hash
 			}
 			if fr.Head != head || fr.Totals != totals {
-				f.Close()
-				return nil, fmt.Errorf("accounting: spill shard %d: frame head/totals stamp mismatch", shard)
+				return fmt.Errorf("accounting: spill shard %d: frame head/totals stamp mismatch", shard)
+			}
+			return nil
+		}
+		if bin {
+			br := bufio.NewReaderSize(f, 1<<20)
+			for {
+				fr, _, rerr := readBinFrame(br)
+				if rerr == io.EOF || rerr == errTornFrame {
+					// Clean end, or a frame cut short by a crash
+					// mid-group-commit — the exact residue recovery
+					// truncates. The frames before it are intact; any
+					// checkpoint reaching into the torn part is reported
+					// via BeyondHorizon, not a false tamper alarm on an
+					// honest crashed ledger. A complete frame with a bad
+					// CRC or structure is corruption and fails below.
+					break
+				}
+				if rerr != nil {
+					verr = fmt.Errorf("accounting: spill shard %d: %w", shard, rerr)
+					break
+				}
+				if verr = replay(fr); verr != nil {
+					break
+				}
+			}
+		} else {
+			sc := bufio.NewScanner(f)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<30)
+			for sc.Scan() {
+				var fr spillFrame
+				if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+					if !sc.Scan() {
+						// Torn final line from a crash mid-seal.
+						break
+					}
+					verr = fmt.Errorf("accounting: spill shard %d: corrupt frame (not a torn tail): %w", shard, err)
+					break
+				}
+				if verr = replay(&fr); verr != nil {
+					break
+				}
+			}
+			if verr == nil {
+				verr = sc.Err()
 			}
 		}
-		err = sc.Err()
 		f.Close()
-		if err != nil {
-			return nil, err
+		if verr != nil {
+			return nil, verr
 		}
 	}
 	return core.finish()
