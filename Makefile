@@ -10,9 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
-# race runs the concurrency-sensitive packages (pooled sandbox instances,
-# concurrent accounting-enclave runs on sharded ledger lanes, the FaaS
-# gateway) under the race detector.
+# race runs the concurrency-sensitive packages (striped sandbox instance
+# pools, concurrent accounting-enclave runs on affinity-picked ledger
+# lanes, the FaaS gateway) under the race detector — including the
+# GOMAXPROCS=4 saturation stress tests.
 race:
 	$(GO) test -race ./internal/accounting/... ./internal/core/... ./internal/faas/... ./internal/interp/...
 
@@ -51,16 +52,22 @@ fmt-check:
 # BENCH_ledger.json — the eager vs checkpoint-batched ledger signing
 # comparison (plus 10k-record offline-verification cost) and the bounded
 # vs unbounded retention sweep (resident records + heap + append rate at
-# 10k/100k/1M records).
+# 10k/100k/1M records × GOMAXPROCS 1/4/16), and the multi-core scaling
+# matrix (pooled gateway + bounded ledger at GOMAXPROCS 1/4/16, written
+# into the scaling sections of BENCH_faas.json / BENCH_ledger.json).
 bench:
 	$(GO) run ./cmd/acctee-bench -fig dispatch -trials 3 -json BENCH_interp.json
 	$(GO) run ./cmd/acctee-bench -fig faas -requests 60 -json BENCH_faas.json
 	$(GO) run ./cmd/acctee-bench -fig ledger -requests 400 -json BENCH_ledger.json
 	$(GO) run ./cmd/acctee-bench -fig retention -json BENCH_ledger.json
+	$(GO) run ./cmd/acctee-bench -fig scaling -json BENCH_faas.json -json-ledger BENCH_ledger.json
 
 # bench-smoke is the CI perf gate: the fused engine must not fall below
-# the flat engine on the dispatch/memory microbenchmarks (generous noise
-# tolerance; the gate exits non-zero on regression).
+# the flat engine on the dispatch/memory microbenchmarks, spill-mode
+# retention must keep up with bounded, and on hosts with >= 4 CPUs the
+# pooled gateway and bounded ledger must reach >= 1.8x their single-proc
+# throughput at GOMAXPROCS=4 (generous noise tolerance; the gate exits
+# non-zero on regression and skips the scaling check on smaller hosts).
 bench-smoke:
 	$(GO) run ./cmd/acctee-bench -fig smoke -trials 5
 

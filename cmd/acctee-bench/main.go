@@ -13,7 +13,9 @@
 //	acctee-bench -fig dispatch -json BENCH_interp.json
 //	                               # three-way engine comparison + microbenchmarks
 //	acctee-bench -fig smoke        # CI gates: fused must not regress below flat,
-//	                               # spill-mode retention must hold ≥ 0.35x bounded
+//	                               # spill-mode retention must hold ≥ 0.35x bounded,
+//	                               # GOMAXPROCS=4 must reach ≥ 1.8x GOMAXPROCS=1
+//	                               # on hosts with ≥ 4 CPUs
 //	                               # (standalone; not included in -fig all)
 //	acctee-bench -fig faas -json BENCH_faas.json
 //	                               # compile-once/run-many gateway benchmark
@@ -21,14 +23,25 @@
 //	                               # eager vs checkpoint-batched ledger signing
 //	acctee-bench -fig retention -json BENCH_ledger.json
 //	                               # bounded vs unbounded vs spill ledger retention
-//	                               # at 10k/100k/1M records × GOMAXPROCS 1/4
+//	                               # at 10k/100k/1M records × GOMAXPROCS 1/4/16
 //	                               # (standalone, like smoke)
+//	acctee-bench -fig scaling -json BENCH_faas.json -json-ledger BENCH_ledger.json
+//	                               # GOMAXPROCS 1/4/16 saturation matrix for the
+//	                               # pooled gateway and the bounded ledger
+//	                               # (standalone, like smoke)
+//
+// -mutexprofile / -blockprofile enable Go's contention profilers for the
+// run and write build/mutex.pprof / build/block.pprof on exit — point `go
+// tool pprof` at them to see which locks the measured figure waits on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"acctee/internal/bench"
@@ -49,8 +62,20 @@ func run() error {
 	requests := flag.Int("requests", 20, "fig 9: requests per configuration")
 	clients := flag.Int("clients", 10, "fig 9: concurrent clients")
 	quick := flag.Bool("quick", false, "shrink fig 8/9 parameter ranges")
-	jsonOut := flag.String("json", "", "dispatch: also write the report to this path (BENCH_interp.json)")
+	jsonOut := flag.String("json", "", "dispatch/faas/ledger/scaling: also write the report to this path")
+	jsonLedger := flag.String("json-ledger", "", "scaling: write the ledger matrix to this path (BENCH_ledger.json)")
+	mutexProf := flag.Bool("mutexprofile", false, "profile lock contention; writes build/mutex.pprof on exit")
+	blockProf := flag.Bool("blockprofile", false, "profile blocking; writes build/block.pprof on exit")
 	flag.Parse()
+
+	if *mutexProf {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", filepath.Join("build", "mutex.pprof"))
+	}
+	if *blockProf {
+		runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+		defer writeProfile("block", filepath.Join("build", "block.pprof"))
+	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	matched := false
@@ -175,6 +200,22 @@ func run() error {
 		}
 		fmt.Println("gate passed")
 		fmt.Println()
+		fmt.Println("== Bench smoke gate: GOMAXPROCS=4 must beat GOMAXPROCS=1 ==")
+		sres, err := bench.RunScalingSmoke()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gateway %.2fx, ledger %.2fx at 4 procs vs 1 (floor %.2fx, host CPUs %d)\n",
+			sres.FaaS, sres.Ledger, bench.ScalingSmokeFloor, sres.HostCPUs)
+		if !sres.Enforceable() {
+			fmt.Printf("gate skipped: host has %d CPUs; GOMAXPROCS=4 cannot exceed one core's throughput\n", sres.HostCPUs)
+		} else if !sres.Pass() {
+			return fmt.Errorf("bench: scaling smoke gate failed: gateway %.2fx, ledger %.2fx at 4 procs, floor %.2fx",
+				sres.FaaS, sres.Ledger, bench.ScalingSmokeFloor)
+		} else {
+			fmt.Println("gate passed")
+		}
+		fmt.Println()
 	}
 	if want("faas") {
 		matched = true
@@ -189,6 +230,11 @@ func run() error {
 		}
 		bench.PrintFaaSBench(os.Stdout, rep)
 		if *jsonOut != "" {
+			// Preserve the scaling section a previous -fig scaling run left
+			// in the file.
+			if old := bench.LoadFaaSJSON(*jsonOut); old != nil {
+				rep.Scaling = old.Scaling
+			}
 			if err := bench.WriteFaaSJSON(*jsonOut, rep); err != nil {
 				return err
 			}
@@ -209,10 +255,10 @@ func run() error {
 		}
 		bench.PrintLedgerBench(os.Stdout, rep)
 		if *jsonOut != "" {
-			// Preserve the retention section a previous -fig retention run
-			// left in the file.
+			// Preserve the sections other figures left in the file.
 			if old := bench.LoadLedgerJSON(*jsonOut); old != nil {
 				rep.Retention = old.Retention
+				rep.Scaling = old.Scaling
 			}
 			if err := bench.WriteLedgerJSON(*jsonOut, rep); err != nil {
 				return err
@@ -247,6 +293,50 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	if *fig == "scaling" {
+		// Standalone (not part of -fig all): the matrix overrides GOMAXPROCS
+		// per cell, which would perturb any figure sharing the process.
+		matched = true
+		fmt.Println("== Multi-core scaling: fixed load across GOMAXPROCS 1/4/16 ==")
+		faasRequests, ledgerRecords := 600, 400_000
+		if *quick {
+			faasRequests, ledgerRecords = 150, 80_000
+		}
+		faasRep, err := bench.RunFaaSScaling(faasRequests, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintScaling(os.Stdout, "pooled resize gateway", faasRep)
+		fmt.Println()
+		ledgerRep, err := bench.RunLedgerScaling(ledgerRecords, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintScaling(os.Stdout, "bounded 4-shard ledger", ledgerRep)
+		if *jsonOut != "" {
+			out := bench.LoadFaaSJSON(*jsonOut)
+			if out == nil {
+				out = &bench.FaaSReport{}
+			}
+			out.Scaling = faasRep
+			if err := bench.WriteFaaSJSON(*jsonOut, out); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *jsonOut)
+		}
+		if *jsonLedger != "" {
+			out := bench.LoadLedgerJSON(*jsonLedger)
+			if out == nil {
+				out = &bench.LedgerReport{}
+			}
+			out.Scaling = ledgerRep
+			if err := bench.WriteLedgerJSON(*jsonLedger, out); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *jsonLedger)
+		}
+		fmt.Println()
+	}
 	if want("ablation") {
 		matched = true
 		fmt.Println("== Ablation: counter updates eliminated per optimisation ==")
@@ -258,7 +348,28 @@ func run() error {
 		fmt.Println()
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, smoke, faas, ledger, retention, all)", strings.TrimSpace(*fig))
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, 10, size, dispatch, smoke, faas, ledger, retention, scaling, all)", strings.TrimSpace(*fig))
 	}
 	return nil
+}
+
+// writeProfile dumps one runtime profile, creating build/ if needed.
+// Profile writing is best-effort diagnostics: a failure warns, it never
+// fails the bench run.
+func writeProfile(name, path string) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "acctee-bench: %s profile: %v\n", name, err)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acctee-bench: %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "acctee-bench: %s profile: %v\n", name, err)
+		return
+	}
+	fmt.Println("wrote", path)
 }

@@ -8,12 +8,17 @@
 // Request payloads go in the POST body; resize reads image dimensions from
 // the X-Width / X-Height headers. Instrumented setups return the weighted
 // instruction count in X-Weighted-Instructions.
+//
+// -pprof <addr> serves net/http/pprof on a separate listener (e.g.
+// localhost:6060), so CPU, mutex and block profiles can be pulled from a
+// gateway under load without exposing the profiler on the serving address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -40,6 +45,7 @@ func run() error {
 	retention := flag.Int("ledger-retention", 0, "max resident ledger records before auto-compaction (0 = unbounded)")
 	spillDir := flag.String("ledger-spill", "", "spill sealed ledger segments to this directory (empty = drop after checkpointing); reopening the same directory recovers a crashed ledger")
 	keepEvery := flag.Int("ledger-keep-every", 0, "prune the persisted checkpoint chain to every Kth checkpoint plus the anchor tip (0 or 1 = keep all; needs -ledger-spill)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
 	var fn faas.Function
@@ -86,6 +92,17 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
+	if *pprofAddr != "" {
+		// The gateway serves an explicit handler, so the pprof routes the
+		// blank import registered on DefaultServeMux are only reachable
+		// through this dedicated listener.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "acctee-faas: pprof:", err)
+			}
+		}()
+		fmt.Printf("acctee-faas: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	fmt.Printf("acctee-faas: serving %s (%s) on %s (pool disabled=%v prewarm=%d)\n",
 		fn, setup, *listen, *noPool, *prewarm)
 	if srv.Ledger() != nil {

@@ -189,8 +189,10 @@ func TestLegacyV1SpillReadWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Explicit alternating shards: the test inspects both shard files, so
+	// the populate must not depend on the affinity pick's lane choice.
 	for i := 0; i < 16; i++ {
-		if _, _, err := l1.Append(codecLog(i)); err != nil {
+		if _, _, err := l1.AppendShard(uint32(i%2), codecLog(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -251,7 +253,7 @@ func TestLegacyV1SpillReadWrite(t *testing.T) {
 		t.Fatalf("reopening v1 spill dir: %v", err)
 	}
 	for i := 16; i < 24; i++ {
-		if _, _, err := l2.Append(codecLog(i)); err != nil {
+		if _, _, err := l2.AppendShard(uint32(i%2), codecLog(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

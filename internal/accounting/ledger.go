@@ -32,9 +32,9 @@ import (
 	"io"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"acctee/internal/affinity"
 	"acctee/internal/sgx"
 )
 
@@ -62,7 +62,12 @@ const recordMarshalSize = 4 + 32 + MarshalSize
 // Marshal serialises the signed/hashed portion of a record: shard id, the
 // previous chain hash, and the usage log.
 func (r *Record) Marshal() []byte {
-	buf := make([]byte, 0, recordMarshalSize)
+	return r.appendMarshal(make([]byte, 0, recordMarshalSize))
+}
+
+// appendMarshal appends the marshalled record to buf — the allocation-free
+// form the append hot path uses with a per-lane scratch buffer.
+func (r *Record) appendMarshal(buf []byte) []byte {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], r.Shard)
 	buf = append(buf, b[:]...)
@@ -293,22 +298,31 @@ func (o LedgerOptions) withDefaults() LedgerOptions {
 // lane is one shard's chain state: its own lock, gap-free sequence, chain
 // head and running totals. The records themselves live in the store; the
 // lane state carries forward when sealed records leave memory, so the live
-// chain never breaks. Lanes are padded apart by their own mutexes; appends
-// to different lanes proceed fully in parallel.
+// chain never breaks. Appends to different lanes proceed fully in
+// parallel; the trailing pad keeps neighbouring lanes (which live in one
+// contiguous slice for locality) off each other's cache lines, so one
+// lane's lock traffic never invalidates another's.
 type lane struct {
-	mu     sync.Mutex
-	head   [32]byte
-	next   uint64
-	totals UsageLog // aggregated as in Checkpoint.Totals
+	mu      sync.Mutex
+	head    [32]byte
+	next    uint64
+	totals  UsageLog // aggregated as in Checkpoint.Totals
+	scratch []byte   // marshal/hash scratch, reused across appends (guarded by mu)
+	_       [64]byte // cache-line pad against false sharing between lanes
 }
 
 // Ledger is the sharded, hash-chained usage ledger.
 type Ledger struct {
 	enclave *sgx.Enclave
 	opts    LedgerOptions
-	lanes   []*lane
+	lanes   []lane
 	store   RecordStore
-	rr      atomic.Uint64 // round-robin shard pick
+	// picker assigns appends to lanes with processor affinity: sticky
+	// assignments with periodic round-robin rebalance, instead of a shared
+	// per-append atomic counter (a cache-line ping-pong at high core
+	// counts that also sprayed each goroutine's appends across every
+	// lane's lock in turn).
+	picker *affinity.Picker
 
 	cpMu        sync.Mutex
 	checkpoints []SignedCheckpoint
@@ -344,12 +358,10 @@ func NewLedger(e *sgx.Enclave, opts LedgerOptions) (*Ledger, error) {
 	l := &Ledger{
 		enclave: e,
 		opts:    opts,
-		lanes:   make([]*lane, opts.Shards),
+		lanes:   make([]lane, opts.Shards),
+		picker:  affinity.NewPicker(opts.Shards, 0),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-	}
-	for i := range l.lanes {
-		l.lanes[i] = &lane{}
 	}
 	var recovered *recoveredState
 	switch {
@@ -371,10 +383,10 @@ func NewLedger(e *sgx.Enclave, opts LedgerOptions) (*Ledger, error) {
 		l.store = NewMemoryStore(opts.Shards, opts.Retention.segmentRecords(opts.Shards))
 	}
 	if recovered != nil {
-		for i, ln := range l.lanes {
-			ln.next = recovered.Heads[i].Count
-			ln.head = recovered.Heads[i].Head
-			ln.totals = recovered.Totals[i]
+		for i := range l.lanes {
+			l.lanes[i].next = recovered.Heads[i].Count
+			l.lanes[i].head = recovered.Heads[i].Head
+			l.lanes[i].totals = recovered.Totals[i]
 		}
 		l.checkpoints = recovered.Checkpoints
 		if n := len(l.checkpoints); n > 0 {
@@ -494,11 +506,15 @@ func merge(t *UsageLog, lt *UsageLog) {
 	t.Sequence += lt.Sequence
 }
 
-// Append chains a usage log onto a round-robin-chosen shard. The log's
+// Append chains a usage log onto an affinity-chosen shard: the calling
+// goroutine sticks to one lane for a window of appends (so its records
+// serialise on a lock that stays hot in its own core's cache) and
+// rebalances round-robin between windows, keeping lanes evenly loaded
+// over time. Lane choice never affects what is accounted — totals and
+// verification are shard-order deterministic regardless. The log's
 // Sequence field is overwritten with the lane-local sequence number.
 func (l *Ledger) Append(log UsageLog) (Receipt, Record, error) {
-	shard := uint32(l.rr.Add(1)-1) % uint32(len(l.lanes))
-	return l.AppendShard(shard, log)
+	return l.AppendShard(l.picker.Pick(), log)
 }
 
 // maybeCompact runs one bounded-retention compaction if the resident
@@ -542,13 +558,17 @@ func (l *Ledger) AppendShard(shard uint32, log UsageLog) (Receipt, Record, error
 	if int(shard) >= len(l.lanes) {
 		return Receipt{}, Record{}, fmt.Errorf("accounting: shard %d out of range (%d lanes)", shard, len(l.lanes))
 	}
-	ln := l.lanes[shard]
+	ln := &l.lanes[shard]
 	ln.mu.Lock()
 	log.Sequence = ln.next
 	rec := Record{Shard: shard, Log: log, PrevHash: ln.head}
-	rec.Hash = rec.ComputeHash()
+	// Marshal once into the lane's scratch buffer (guarded by ln.mu) and
+	// hash/sign from it — the eager path previously marshalled twice, and
+	// every append allocated a fresh buffer.
+	ln.scratch = rec.appendMarshal(ln.scratch[:0])
+	rec.Hash = sha256.Sum256(ln.scratch)
 	if l.opts.EagerSign {
-		sig, err := l.enclave.Sign(rec.Marshal())
+		sig, err := l.enclave.Sign(ln.scratch)
 		if err != nil {
 			ln.mu.Unlock()
 			return Receipt{}, Record{}, fmt.Errorf("accounting: eager sign: %w", err)
@@ -583,7 +603,8 @@ func (l *Ledger) Record(shard uint32, seq uint64) (Record, bool) {
 // merged across shards in ascending shard order.
 func (l *Ledger) Totals() UsageLog {
 	var t UsageLog
-	for _, ln := range l.lanes {
+	for i := range l.lanes {
+		ln := &l.lanes[i]
 		ln.mu.Lock()
 		lt := ln.totals
 		ln.mu.Unlock()
@@ -606,7 +627,8 @@ func (l *Ledger) Checkpoint() (SignedCheckpoint, error) {
 	cp := Checkpoint{
 		Heads: make([]ShardHead, len(l.lanes)),
 	}
-	for i, ln := range l.lanes {
+	for i := range l.lanes {
+		ln := &l.lanes[i]
 		ln.mu.Lock()
 		cp.Heads[i] = ShardHead{Shard: uint32(i), Count: ln.next, Head: ln.head}
 		lt := ln.totals
@@ -859,7 +881,8 @@ func (l *Ledger) capture(opts DumpOptions) dumpCapture {
 		}
 	}
 	l.cpMu.Unlock()
-	for i, ln := range l.lanes {
+	for i := range l.lanes {
+		ln := &l.lanes[i]
 		ln.mu.Lock()
 		c.ends[i] = ln.next
 		ln.mu.Unlock()

@@ -220,8 +220,10 @@ func TestRecoveryRefusesCorruptCheckpointLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Explicit alternating shards: the test stats both shard files, so the
+	// populate must not depend on the affinity pick's lane choice.
 	for i := 0; i < 10; i++ {
-		if _, _, err := l1.Append(logFor(0, i)); err != nil {
+		if _, _, err := l1.AppendShard(uint32(i%2), logFor(0, i)); err != nil {
 			t.Fatal(err)
 		}
 	}

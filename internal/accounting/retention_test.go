@@ -10,7 +10,7 @@ import (
 
 // TestRetentionBoundedResident100k pins the acceptance criterion at the
 // ledger level: with MaxResidentRecords = 4096, 100k appends (the gateway
-// usage pattern: round-robin shard pick, one record per request) keep the
+// usage pattern: affinity shard pick, one record per request) keep the
 // resident record count bounded — it never exceeds the budget plus one
 // in-flight partial segment per shard — while totals, checkpoints and the
 // anchored dump stay exactly verifiable.

@@ -163,6 +163,11 @@ type shardSegs struct {
 	spillHead   [32]byte
 	// frames indexes the shard's spill file for O(frame) Get/Stream.
 	frames []frameIndex
+	// Cache-line pad: shards live in one contiguous slice, and each append
+	// takes its shard's mutex while holding the ledger lane lock — without
+	// the pad, neighbouring shards' lock words share a line and concurrent
+	// appends to *different* shards still ping-pong it.
+	_ [64]byte
 }
 
 // frameIndex locates one spilled frame inside a shard's segment file.

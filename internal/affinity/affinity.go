@@ -1,0 +1,82 @@
+// Package affinity hands out processor-sticky lane assignments for
+// sharded data structures on the request hot path.
+//
+// The previous shard pick — a single shared atomic counter bumped on every
+// append — is a guaranteed cache-line ping-pong once more than a couple of
+// cores drive the path: every pick dirties the same line, and the
+// round-robin result sprays consecutive picks from one goroutine across
+// every lane, so a burst from one core touches every lane's lock line in
+// turn. A Picker inverts both properties: picks are *sticky* (a goroutine
+// keeps hitting the lane it was assigned, so its appends serialise on a
+// lane lock that is hot in its own cache and cold in everyone else's) and
+// the shared counter is only touched on *rebalance*, once every
+// rebalanceEvery picks, which keeps lanes evenly loaded over time without
+// per-pick cross-core traffic.
+//
+// Stickiness rides on sync.Pool's per-P caching: a token Put after a pick
+// lands in the current P's private slot and the next Get on that P returns
+// it without synchronisation. Tokens migrate or vanish under GC exactly
+// like pooled buffers do — that is the "occasional rebalance", and it is
+// harmless: lane choice is a performance hint, never a correctness input.
+package affinity
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// token is one sticky assignment: the lane and how many picks remain
+// before the next round-robin rebalance.
+type token struct {
+	lane uint32
+	left uint32
+}
+
+// Picker assigns lanes in [0, Lanes) with processor affinity.
+type Picker struct {
+	lanes uint32
+	every uint32
+	rr    atomic.Uint32 // advanced only on (re)assignment, not per pick
+	pool  sync.Pool     // *token; per-P private slot carries the stickiness
+}
+
+// DefaultRebalanceEvery is the pick budget per assignment: long enough to
+// amortise the shared counter to noise, short enough that a skewed
+// goroutine population redistributes within a few thousand operations.
+const DefaultRebalanceEvery = 64
+
+// NewPicker creates a picker over `lanes` lanes, rebalancing each sticky
+// assignment after `every` picks (0 selects DefaultRebalanceEvery).
+func NewPicker(lanes, every int) *Picker {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if every < 1 {
+		every = DefaultRebalanceEvery
+	}
+	return &Picker{lanes: uint32(lanes), every: uint32(every)}
+}
+
+// Lanes returns the lane count.
+func (p *Picker) Lanes() int { return int(p.lanes) }
+
+// Pick returns a lane in [0, Lanes). Steady state touches only the
+// current P's pool slot; the shared round-robin counter is hit once per
+// rebalance window (and on the rare token loss under GC).
+func (p *Picker) Pick() uint32 {
+	var t *token
+	if v := p.pool.Get(); v != nil {
+		t = v.(*token)
+	}
+	if t == nil || t.left == 0 {
+		if t == nil {
+			t = new(token)
+		}
+		t.lane = (p.rr.Add(1) - 1) % p.lanes
+		t.left = p.every
+	}
+	lane := t.lane
+	t.left--
+	p.pool.Put(t)
+	return lane
+}

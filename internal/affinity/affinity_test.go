@@ -1,0 +1,96 @@
+package affinity_test
+
+import (
+	"sync"
+	"testing"
+
+	"acctee/internal/affinity"
+)
+
+// TestPickRange: every pick lands inside [0, lanes), across odd lane
+// counts and a pick volume spanning many rebalance windows.
+func TestPickRange(t *testing.T) {
+	for _, lanes := range []int{1, 2, 3, 7, 16} {
+		p := affinity.NewPicker(lanes, 8)
+		for i := 0; i < 1000; i++ {
+			if v := p.Pick(); int(v) >= lanes {
+				t.Fatalf("lanes=%d: pick %d out of range", lanes, v)
+			}
+		}
+	}
+}
+
+// TestStickyWindow: a single goroutine's picks are sticky — no run on one
+// lane ever exceeds the rebalance budget, and the picker does rotate
+// across lanes. (A GC can end a window early by dropping the pooled
+// token; that only shortens runs, so the assertions stay stable.)
+func TestStickyWindow(t *testing.T) {
+	const lanes, every = 4, 16
+	p := affinity.NewPicker(lanes, every)
+	var transitions int
+	prev := p.Pick()
+	run := 1
+	for i := 1; i < lanes*every; i++ {
+		v := p.Pick()
+		if v != prev {
+			if run > every {
+				t.Fatalf("window of %d picks on lane %d exceeds budget %d", run, prev, every)
+			}
+			transitions++
+			prev, run = v, 1
+			continue
+		}
+		run++
+	}
+	if transitions == 0 {
+		t.Fatal("picker never rebalanced across lanes")
+	}
+}
+
+// TestZeroAndDefaultParams: degenerate constructor inputs fall back to
+// sane defaults instead of dividing by zero.
+func TestZeroAndDefaultParams(t *testing.T) {
+	p := affinity.NewPicker(0, 0)
+	if p.Lanes() != 1 {
+		t.Fatalf("lanes = %d, want 1", p.Lanes())
+	}
+	for i := 0; i < 100; i++ {
+		if v := p.Pick(); v != 0 {
+			t.Fatalf("single-lane pick = %d", v)
+		}
+	}
+}
+
+// TestConcurrentPicksCoverLanes: under concurrency every lane is
+// eventually assigned (the round-robin rebalance spreads load), and no
+// pick escapes the range. Run with -race in CI.
+func TestConcurrentPicksCoverLanes(t *testing.T) {
+	const lanes = 4
+	p := affinity.NewPicker(lanes, 8)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen [lanes]int
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := [lanes]int{}
+			for i := 0; i < 2000; i++ {
+				local[p.Pick()]++
+			}
+			mu.Lock()
+			for i, n := range local {
+				seen[i] += n
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for lane, n := range seen {
+		if n == 0 {
+			t.Fatalf("lane %d never picked: %v", lane, seen)
+		}
+	}
+}

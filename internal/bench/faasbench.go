@@ -68,6 +68,25 @@ type FaaSReport struct {
 	// single-client instantiate-latency improvement.
 	SpeedupP50 float64             `json:"instantiate_speedup_p50"`
 	Rows       []FaaSThroughputRow `json:"throughput"`
+	// Scaling holds the GOMAXPROCS matrix (acctee-bench -fig scaling); the
+	// two figures update their own sections of BENCH_faas.json without
+	// clobbering each other.
+	Scaling *ScalingReport `json:"scaling,omitempty"`
+}
+
+// LoadFaaSJSON reads an existing BENCH_faas.json, so one figure can update
+// its section while preserving the other's. A missing or unparsable file
+// yields nil.
+func LoadFaaSJSON(path string) *FaaSReport {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep FaaSReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil
+	}
+	return &rep
 }
 
 func summarise(ns []int64) LatencyStats {

@@ -68,9 +68,11 @@ type LedgerReport struct {
 	// JSON serialisation of 10k records.
 	DumpBytesBinary int `json:"dump_bytes_binary"`
 	// Retention holds the bounded-retention sweep (acctee-bench -fig
-	// retention); the two figures update their own sections of
-	// BENCH_ledger.json without clobbering each other.
+	// retention) and Scaling the GOMAXPROCS matrix (-fig scaling); the
+	// figures update their own sections of BENCH_ledger.json without
+	// clobbering each other.
 	Retention *RetentionReport `json:"retention,omitempty"`
+	Scaling   *ScalingReport   `json:"scaling,omitempty"`
 }
 
 // LoadLedgerJSON reads an existing BENCH_ledger.json, so one figure can

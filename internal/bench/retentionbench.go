@@ -25,8 +25,9 @@ import (
 // RetentionSizes is the default record-count sweep.
 var RetentionSizes = []int{10_000, 100_000, 1_000_000}
 
-// RetentionProcs is the GOMAXPROCS sweep applied to every size.
-var RetentionProcs = []int{1, 4}
+// RetentionProcs is the GOMAXPROCS sweep applied to every size (the same
+// matrix as the scaling figure, so the retention rows line up with it).
+var RetentionProcs = []int{1, 4, 16}
 
 // RetentionMaxResident is the bounded modes' resident budget (the
 // acceptance criterion's 4096).

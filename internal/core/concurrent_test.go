@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -190,6 +191,102 @@ func TestConcurrentRunsDeterministicPerInput(t *testing.T) {
 	wg.Wait()
 	close(errs)
 	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSaturatedRunsBitExactAccounting is the multi-core stress pin for the
+// contention work (run under -race in CI): with GOMAXPROCS forced to 4 —
+// lane affinity, striped instance pool and padded shard state all active —
+// every shard's sequence lane must stay strictly increasing and gap-free,
+// and the signed checkpoint totals must equal an independent field-by-field
+// re-aggregation of every record the runs returned. Affinity may place
+// records anywhere; it must never change what is accounted.
+func TestSaturatedRunsBitExactAccounting(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const goroutines, runsEach = 12, 25
+	ae, _ := newTestAE(t, sgx.ModeSimulation)
+	defer ae.Close()
+	ae.SetLedgerOptions(accounting.LedgerOptions{Shards: 4})
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		recs []accounting.Record
+	)
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < runsEach; r++ {
+				res, err := ae.Run(core.RunOptions{Entry: "sum", Args: []uint64{uint64(5 + g%4)}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				recs = append(recs, res.Record)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(recs) != goroutines*runsEach {
+		t.Fatalf("got %d records, want %d", len(recs), goroutines*runsEach)
+	}
+
+	// Per-shard lanes: sorted sequences must be exactly 0..n-1 — strictly
+	// increasing with no gap and no duplicate.
+	byShard := map[uint32][]uint64{}
+	for _, r := range recs {
+		byShard[r.Shard] = append(byShard[r.Shard], r.Log.Sequence)
+	}
+	for shard, seqs := range byShard {
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for i, s := range seqs {
+			if s != uint64(i) {
+				t.Fatalf("shard %d lane not gap-free at position %d: %v", shard, i, seqs)
+			}
+		}
+	}
+
+	// Independent re-aggregation (same commutative fold the ledger uses:
+	// sums plus max of peak memory) must hit the checkpoint totals exactly.
+	var want accounting.UsageLog
+	for _, r := range recs {
+		want.WeightedInstructions += r.Log.WeightedInstructions
+		if r.Log.PeakMemoryBytes > want.PeakMemoryBytes {
+			want.PeakMemoryBytes = r.Log.PeakMemoryBytes
+		}
+		want.MemoryIntegral += r.Log.MemoryIntegral
+		want.IOBytesIn += r.Log.IOBytesIn
+		want.IOBytesOut += r.Log.IOBytesOut
+		want.SimulatedCycles += r.Log.SimulatedCycles
+	}
+	sc, err := ae.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sc.Checkpoint.Totals
+	if got.WeightedInstructions != want.WeightedInstructions ||
+		got.PeakMemoryBytes != want.PeakMemoryBytes ||
+		got.MemoryIntegral != want.MemoryIntegral ||
+		got.IOBytesIn != want.IOBytesIn ||
+		got.IOBytesOut != want.IOBytesOut ||
+		got.SimulatedCycles != want.SimulatedCycles {
+		t.Fatalf("checkpoint totals %+v != independent re-aggregation %+v", got, want)
+	}
+	if sc.Checkpoint.Covered() != goroutines*runsEach {
+		t.Fatalf("checkpoint covers %d, want %d", sc.Checkpoint.Covered(), goroutines*runsEach)
+	}
+	if err := accounting.VerifyCheckpointSig(sc, ae.PublicKey(), ae.Measurement()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -350,9 +350,10 @@ func (ae *AccountingEnclave) LibOS() *sgxlkl.LibOS { return ae.libos }
 // pooled sandbox instance deterministically reset to fresh-instantiation
 // state, as the FaaS gateway does per request (§5.3) — without re-running
 // the lowering pass. Run is safe to call from concurrent goroutines: each
-// run gets its own instance and its record lands on a round-robin-chosen
-// sequence lane, so runs never contend on a shared lock; per-shard
-// sequences are gap-free and strictly increasing.
+// run gets its own instance and its record lands on a caller-affine
+// sequence lane (sticky per processor, rebalanced round-robin between
+// windows), so runs never contend on a shared lock; per-shard sequences
+// are gap-free and strictly increasing.
 func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 	if opts.Policy == 0 {
 		opts.Policy = accounting.PeakMemory

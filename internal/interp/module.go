@@ -3,9 +3,11 @@ package interp
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
+	"acctee/internal/affinity"
 	"acctee/internal/wasm"
 )
 
@@ -49,8 +51,13 @@ type CompiledModule struct {
 	// CostModel over it fingerprints the model for the cost-table cache.
 	opsUsed []wasm.Opcode
 
+	// costCache maps costKey fingerprints to *costTables. Reads vastly
+	// outnumber writes (every pooled Get with a cost model looks up, only
+	// the first request per fingerprint computes), so it is a sync.Map;
+	// costMu serializes misses only, so concurrent first requests compute
+	// the tables once instead of racing duplicate work.
 	costMu    sync.Mutex
-	costCache map[string]*costTables
+	costCache sync.Map
 }
 
 // funcCosts are one function's cost tables under one CostModel fingerprint:
@@ -72,7 +79,7 @@ type costTables struct {
 // (unmatched control, bad branch depths, out-of-bounds data or element
 // segments) are still reported here.
 func Compile(m *wasm.Module, opts CompileOptions) (*CompiledModule, error) {
-	cm := &CompiledModule{m: m, costCache: make(map[string]*costTables)}
+	cm := &CompiledModule{m: m}
 
 	// Imports: record resolution keys; host functions bind per instantiation.
 	for _, im := range m.Imports {
@@ -169,13 +176,18 @@ func (cm *CompiledModule) costKey(model CostModel) string {
 }
 
 // costTablesFor returns (computing and caching if needed) the cost tables
-// for the model's fingerprint.
+// for the model's fingerprint. The hit path — every pooled Get/Reset with a
+// cost model — is lock-free; only a miss takes costMu, with a double-check
+// so concurrent misses on the same fingerprint compute the tables once.
 func (cm *CompiledModule) costTablesFor(model CostModel) *costTables {
 	key := cm.costKey(model)
+	if t, ok := cm.costCache.Load(key); ok {
+		return t.(*costTables)
+	}
 	cm.costMu.Lock()
 	defer cm.costMu.Unlock()
-	if t, ok := cm.costCache[key]; ok {
-		return t
+	if t, ok := cm.costCache.Load(key); ok {
+		return t.(*costTables)
 	}
 	t := &costTables{
 		endCost: model.InstrCost(wasm.OpEnd),
@@ -195,7 +207,7 @@ func (cm *CompiledModule) costTablesFor(model CostModel) *costTables {
 		}
 		t.funcs[i] = funcCosts{segCost: seg, costPfx: pfx}
 	}
-	cm.costCache[key] = t
+	cm.costCache.Store(key, t)
 	return t
 }
 
@@ -329,22 +341,40 @@ type PoolConfig struct {
 	Prewarm int
 }
 
+// poolStripe is one striped free-list. Stripes live in a contiguous slice,
+// so the trailing pad keeps neighbouring stripes' lock words off a shared
+// cache line — without it, Get/Put on *different* stripes would still
+// ping-pong the line holding both mutexes.
+type poolStripe struct {
+	mu   sync.Mutex
+	warm []*VM
+	_    [64]byte
+}
+
 // InstancePool recycles VM instances of one CompiledModule across runs. Get
 // hands out an instance deterministically Reset to fresh-instantiation
 // state; Put returns it for reuse. The pool is safe for concurrent use; an
 // instance handed out by Get is owned by the caller until Put.
 //
-// Prewarmed instances live on an owned free-list the garbage collector
-// never evicts, so the Prewarm knob delivers deterministically; instances
-// beyond that capacity overflow into a sync.Pool and may be collected
-// under memory pressure.
+// The owned free-list is striped across min(GOMAXPROCS, 16) stripes, each
+// under its own mutex. A caller sticks to one stripe across Get/Put (lane
+// affinity with periodic rebalance), so the common cycle touches a mutex no
+// other processor is hammering; an empty stripe steals from siblings with
+// TryLock only, never serializing behind a busy stripe.
+//
+// Prewarmed instances live on the owned stripes, which the garbage
+// collector never evicts, so the Prewarm knob delivers deterministically;
+// instances beyond that capacity overflow into a sync.Pool and may be
+// collected under memory pressure.
 type InstancePool struct {
 	cm       *CompiledModule
 	disabled bool
-	mu       sync.Mutex
-	warm     []*VM // owned free-list, capacity fixed at Prewarm
-	warmCap  int
-	pool     sync.Pool
+	stripes  []poolStripe
+	// stripeCap bounds each stripe's owned list at ceil(Prewarm/stripes),
+	// so total owned capacity is at least Prewarm.
+	stripeCap int
+	picker    *affinity.Picker
+	pool      sync.Pool
 }
 
 // NewPool creates an instance pool over the artifact. base is the
@@ -352,14 +382,30 @@ type InstancePool struct {
 // its own per-run configuration, so base only matters for prewarming (it
 // must resolve the module's imports).
 func (cm *CompiledModule) NewPool(base Config, pc PoolConfig) (*InstancePool, error) {
-	p := &InstancePool{cm: cm, disabled: pc.Disabled, warmCap: pc.Prewarm}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	p := &InstancePool{
+		cm:       cm,
+		disabled: pc.Disabled,
+		stripes:  make([]poolStripe, n),
+		picker:   affinity.NewPicker(n, 0),
+	}
+	if pc.Prewarm > 0 {
+		p.stripeCap = (pc.Prewarm + n - 1) / n
+	}
 	if !pc.Disabled {
 		for i := 0; i < pc.Prewarm; i++ {
 			vm, err := cm.instantiate(base, true)
 			if err != nil {
 				return nil, fmt.Errorf("interp: prewarm instance %d: %w", i, err)
 			}
-			p.warm = append(p.warm, vm)
+			s := &p.stripes[i%n]
+			s.warm = append(s.warm, vm)
 		}
 	}
 	return p, nil
@@ -372,13 +418,7 @@ func (cm *CompiledModule) NewPool(base Config, pc PoolConfig) (*InstancePool, er
 // including data segments and start-function stores.
 func (p *InstancePool) Get(cfg Config) (*VM, error) {
 	if !p.disabled {
-		var vm *VM
-		p.mu.Lock()
-		if n := len(p.warm); n > 0 {
-			vm = p.warm[n-1]
-			p.warm = p.warm[:n-1]
-		}
-		p.mu.Unlock()
+		vm := p.take()
 		if vm == nil {
 			if v := p.pool.Get(); v != nil {
 				vm = v.(*VM)
@@ -394,18 +434,80 @@ func (p *InstancePool) Get(cfg Config) (*VM, error) {
 	return p.cm.instantiate(cfg, !p.disabled)
 }
 
+// take pops a warm instance: the caller's sticky stripe first (a blocking
+// lock — by construction it is rarely contended), then the sibling stripes
+// opportunistically. Stealing uses TryLock only: a stripe busy handing out
+// its own instances is skipped, not waited on.
+func (p *InstancePool) take() *VM {
+	home := int(p.picker.Pick())
+	s := &p.stripes[home]
+	s.mu.Lock()
+	vm := s.popLocked()
+	s.mu.Unlock()
+	if vm != nil {
+		return vm
+	}
+	for d := 1; d < len(p.stripes); d++ {
+		s := &p.stripes[(home+d)%len(p.stripes)]
+		if !s.mu.TryLock() {
+			continue
+		}
+		vm = s.popLocked()
+		s.mu.Unlock()
+		if vm != nil {
+			return vm
+		}
+	}
+	return nil
+}
+
+func (s *poolStripe) popLocked() *VM {
+	n := len(s.warm)
+	if n == 0 {
+		return nil
+	}
+	vm := s.warm[n-1]
+	s.warm[n-1] = nil
+	s.warm = s.warm[:n-1]
+	return vm
+}
+
 // Put returns an instance to the pool for reuse. Instances from other
-// modules are rejected; with pooling disabled the instance is dropped.
+// modules are rejected; with pooling disabled the instance is dropped. The
+// instance lands on the caller's sticky stripe when it has owned capacity,
+// spills to a sibling stripe otherwise (so the owned set keeps its full
+// Prewarm complement even when callers cluster on one stripe), and only
+// then overflows into the GC-managed sync.Pool.
 func (p *InstancePool) Put(vm *VM) {
 	if p.disabled || vm == nil || vm.cm != p.cm {
 		return
 	}
-	p.mu.Lock()
-	if len(p.warm) < p.warmCap {
-		p.warm = append(p.warm, vm)
-		p.mu.Unlock()
+	home := int(p.picker.Pick())
+	s := &p.stripes[home]
+	s.mu.Lock()
+	ok := s.pushLocked(vm, p.stripeCap)
+	s.mu.Unlock()
+	if ok {
 		return
 	}
-	p.mu.Unlock()
+	for d := 1; d < len(p.stripes); d++ {
+		s := &p.stripes[(home+d)%len(p.stripes)]
+		if !s.mu.TryLock() {
+			continue
+		}
+		ok = s.pushLocked(vm, p.stripeCap)
+		s.mu.Unlock()
+		if ok {
+			return
+		}
+	}
 	p.pool.Put(vm)
+}
+
+func (s *poolStripe) pushLocked(vm *VM, limit int) bool {
+	if len(s.warm) >= limit {
+		return false
+	}
+	s.warm = append(s.warm, vm)
+	return true
 }

@@ -1,0 +1,141 @@
+package interp_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"acctee/internal/interp"
+	"acctee/internal/weights"
+)
+
+// This file pins the striped free-list of InstancePool: under a multi-P
+// scheduler (GOMAXPROCS forced to 4, regardless of host core count) Get/Put
+// traffic spread across stripes must never hand the same instance to two
+// callers at once, must keep every run observationally identical to a fresh
+// instantiation, and must keep the full Prewarm complement on the owned
+// (GC-immune) lists even when one caller drains and refills the pool alone.
+
+// TestPoolStripedStress hammers a striped pool from more goroutines than
+// stripes (run under -race in CI). Every Get is checked for exclusive
+// ownership — a VM handed out twice before its Put is a pool bug even if
+// the runs happen to not race — and every run must match the fresh
+// observation bit-for-bit.
+func TestPoolStripedStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	m := buildFuelSweepModule()
+	cfg := interp.Config{CostModel: weights.Calibrated()}
+	fresh := observe(t, m, cfg, "f", 6)
+	cm, err := interp.Compile(m, interp.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := cm.NewPool(cfg, interp.PoolConfig{Prewarm: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ownMu sync.Mutex
+	inUse := make(map[*interp.VM]int)
+
+	const goroutines, runs = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*runs)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < runs; r++ {
+				vm, err := pool.Get(cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ownMu.Lock()
+				if holder, taken := inUse[vm]; taken {
+					ownMu.Unlock()
+					errs <- fmt.Errorf("goroutine %d: instance already held by goroutine %d", g, holder)
+					return
+				}
+				inUse[vm] = g
+				ownMu.Unlock()
+
+				res, err := vm.InvokeExport("f", 6)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res[0] != fresh.res[0] || vm.InstrCount() != fresh.count || vm.Cost() != fresh.cost {
+					errs <- fmt.Errorf("goroutine %d run %d diverged: res=%d count=%d cost=%d",
+						g, r, res[0], vm.InstrCount(), vm.Cost())
+					return
+				}
+
+				ownMu.Lock()
+				delete(inUse, vm)
+				ownMu.Unlock()
+				pool.Put(vm)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPoolStripedDrainRefill pins the cross-stripe paths a single caller
+// hits: with more prewarmed instances than any one stripe holds, sequential
+// Gets must steal from sibling stripes (5 distinct instances, no fresh
+// instantiation), and sequential Puts must spill past the full home stripe
+// back onto owned lists — so after a GC the same 5 instances come back.
+func TestPoolStripedDrainRefill(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	m := buildFuelSweepModule()
+	cfg := interp.Config{}
+	cm, err := interp.Compile(m, interp.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const prewarm = 5
+	pool, err := cm.NewPool(cfg, interp.PoolConfig{Prewarm: prewarm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	owned := make(map[*interp.VM]bool)
+	vms := make([]*interp.VM, 0, prewarm)
+	for i := 0; i < prewarm; i++ {
+		vm, err := pool.Get(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owned[vm] {
+			t.Fatalf("get %d returned an instance already handed out", i)
+		}
+		owned[vm] = true
+		vms = append(vms, vm)
+	}
+	for _, vm := range vms {
+		pool.Put(vm)
+	}
+	runtime.GC()
+	runtime.GC()
+	for i := 0; i < prewarm; i++ {
+		vm, err := pool.Get(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !owned[vm] {
+			t.Fatalf("get %d after refill+GC returned a non-prewarmed instance: "+
+				"Put overflowed the owned stripes", i)
+		}
+		delete(owned, vm)
+	}
+}
