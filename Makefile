@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke verify-ledger clean
+.PHONY: all build test race chaos vet fmt-check bench bench-smoke verify-ledger clean
 
 all: build test
 
@@ -16,6 +16,15 @@ test:
 # GOMAXPROCS=4 saturation stress tests.
 race:
 	$(GO) test -race ./internal/accounting/... ./internal/core/... ./internal/faas/... ./internal/interp/...
+
+# chaos runs the fault-injection and overload suite under the race
+# detector: injected disk faults (transient heal-via-retry, permanent
+# degrade-not-wedge, scripted mid-group-commit crash + recovery), deadline
+# interrupts with exact partial-work accounting, admission-control
+# shedding, and the create/close leak matrix across all of them.
+chaos:
+	$(GO) test -race -run 'Fault|Chaos|Crash|Interrupt|RunContext|Overload|Shed|Degrade|NoLeak|Admission|Health' \
+		./internal/fault/... ./internal/accounting/... ./internal/core/... ./internal/faas/... ./internal/interp/...
 
 # verify-ledger is the tier-2 smoke path for the verifiable ledger: the
 # faas example serves instrumented requests under bounded retention

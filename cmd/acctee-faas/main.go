@@ -45,6 +45,10 @@ func run() error {
 	retention := flag.Int("ledger-retention", 0, "max resident ledger records before auto-compaction (0 = unbounded)")
 	spillDir := flag.String("ledger-spill", "", "spill sealed ledger segments to this directory (empty = drop after checkpointing); reopening the same directory recovers a crashed ledger")
 	keepEvery := flag.Int("ledger-keep-every", 0, "prune the persisted checkpoint chain to every Kth checkpoint plus the anchor tip (0 or 1 = keep all; needs -ledger-spill)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-invocation deadline; an expired deadline interrupts the run at a segment boundary, charges the work done, and returns 504 with the partial run's receipt (0 = none)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing invocations; excess requests queue then shed with 429 (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "bounded waiting room for invocations when every slot is busy (0 = shed immediately; needs -max-inflight)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max wait for an execution slot before shedding a queued request (0 = 50ms default)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
@@ -75,8 +79,12 @@ func run() error {
 		return fmt.Errorf("unknown setup %q", *setupName)
 	}
 	srv, err := faas.NewServerWithOptions(fn, setup, faas.ServerOptions{
-		PoolDisabled: *noPool,
-		PoolPrewarm:  *prewarm,
+		PoolDisabled:   *noPool,
+		PoolPrewarm:    *prewarm,
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
 		Ledger: accounting.LedgerOptions{
 			Shards:             *shards,
 			EagerSign:          *eager,
@@ -105,6 +113,15 @@ func run() error {
 	}
 	fmt.Printf("acctee-faas: serving %s (%s) on %s (pool disabled=%v prewarm=%d)\n",
 		fn, setup, *listen, *noPool, *prewarm)
+	fmt.Printf("acctee-faas: health on GET %s (liveness), %s (readiness; 503 once the spill pipeline degrades)\n",
+		faas.HealthPath, faas.ReadyPath)
+	if *maxInflight > 0 {
+		fmt.Printf("acctee-faas: admission control: %d in flight, queue %d, queue timeout %v; overload sheds 429\n",
+			*maxInflight, *maxQueue, *queueTimeout)
+	}
+	if *reqTimeout > 0 {
+		fmt.Printf("acctee-faas: request deadline %v (expired runs charge executed work and return 504)\n", *reqTimeout)
+	}
 	if srv.Ledger() != nil {
 		fmt.Printf("acctee-faas: verifiable ledger on GET /receipt, /checkpoint, /ledger[?truncated=1][&bin=1] and POST /compact (eager=%v, checkpoint every %v)\n",
 			*eager, *cpEvery)

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"acctee/internal/affinity"
+	"acctee/internal/fault"
 	"acctee/internal/sgx"
 )
 
@@ -282,6 +283,11 @@ type LedgerOptions struct {
 	// or a file store when Retention.SpillDir is set). A custom store is
 	// adopted as-is: no crash recovery is attempted and Close closes it.
 	Store RecordStore
+	// Faults, when non-nil, interposes the fault-injection harness
+	// (internal/fault) on the file store's write/sync/truncate calls.
+	// Chaos tests only; leave nil in production. It has no effect unless
+	// Retention.SpillDir selects the file store.
+	Faults *fault.Injector
 }
 
 // withDefaults fills zero values.
@@ -374,7 +380,7 @@ func NewLedger(e *sgx.Enclave, opts LedgerOptions) (*Ledger, error) {
 		}
 		fs, rec, err := openFileStore(opts.Retention.SpillDir, opts.Shards,
 			opts.Retention.segmentRecords(opts.Shards), e.Measurement(), pubDER,
-			opts.Retention.CheckpointKeepEvery > 1)
+			opts.Retention.CheckpointKeepEvery > 1, opts.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -466,6 +472,12 @@ func (l *Ledger) Store() RecordStore { return l.store }
 
 // Resident returns how many records are currently held in memory.
 func (l *Ledger) Resident() int { return l.store.Resident() }
+
+// Degraded reports whether the record store has given up on durable
+// spilling after a permanent disk fault, together with the first error
+// that forced it. A degraded ledger keeps appending, chaining, and
+// checkpointing in memory; only durability is lost.
+func (l *Ledger) Degraded() (bool, error) { return l.store.Degraded() }
 
 // SpilledRecords returns how many records have been sealed out of the
 // resident tail into the spill pipeline across all shards (0 without a

@@ -8,12 +8,16 @@ import (
 	"testing"
 
 	"acctee/internal/accounting"
+	"acctee/internal/fault"
 )
 
 // TestCrashRecoveryDifferential pins the crash path: write records with
 // spill enabled, checkpoint and compact mid-stream, keep appending, then
-// DROP the ledger without Close — simulating a crash with a resident tail
-// in flight. Reopening the spill directory must rebuild per-shard heads,
+// fire the fault injector's crash point — every later injected write,
+// sync, or truncate fails without touching the files, so the directory
+// holds a faithful crash image with the resident tail lost even though
+// the process shuts down in an orderly way. Reopening the spill
+// directory must rebuild per-shard heads,
 // sequences and totals to exactly the state the last compaction anchor's
 // signature vouches for; a post-anchor checkpoint that covered the lost
 // tail must be discarded; and the recovered ledger must keep chaining —
@@ -30,7 +34,10 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 			SpillDir:           dir,
 		},
 	}
-	l1, err := accounting.NewLedger(e, opts)
+	inj := fault.New()
+	crashOpts := opts
+	crashOpts.Faults = inj
+	l1, err := accounting.NewLedger(e, crashOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,9 +84,13 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 	// TestRecoveryFallsBackToFrameAlignedAnchor and the mid-group-commit
 	// recovery test).
 	l1.Anchor()
-	// CRASH: no Close, no flush of the resident tail. (The old handles
-	// stay open, which is fine — a real crash severs them too.)
-	l1 = nil //nolint:ineffassign // the point: nothing orderly happens to l1
+	// CRASH: the injector enters the dead state, so nothing — not even the
+	// orderly Close below — can touch the spill files again. The resident
+	// tail is lost exactly as a power cut would lose it, while file
+	// handles and writer goroutines still wind down cleanly (the leak
+	// checks stay meaningful).
+	inj.Crash()
+	l1.Close()
 
 	l2, err := accounting.NewLedger(e, opts)
 	if err != nil {

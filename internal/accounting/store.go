@@ -62,12 +62,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"acctee/internal/fault"
 	"acctee/internal/sgx"
 )
 
@@ -111,13 +114,20 @@ type RecordStore interface {
 	// Snapshot fails if [from, to) reaches below the earliest reachable
 	// sequence.
 	Snapshot(shard uint32, from, to uint64) (func(fn func(*Record) error) error, error)
-	// Drain blocks until every seal handed to the spill pipeline is
-	// durable, returning the first write error if the pipeline wedged
-	// (no-op for the memory store).
+	// Drain blocks until every seal handed to the spill pipeline has gone
+	// through its group commit and forces the durability sync point (no-op
+	// for the memory store). A degraded store drains trivially: its
+	// pipeline is permanently idle.
 	Drain() error
 	// Persistent reports whether sealed records remain reachable (file
-	// store) or are gone for good (memory store).
+	// store) or are gone for good (memory store, degraded file store).
 	Persistent() bool
+	// Degraded reports whether the store gave up on durability after
+	// exhausting write retries (the cause comes along), and keeps serving
+	// from memory: appends, checkpoints and the hash chain stay live, but
+	// newly sealed records are dropped instead of spilled. Always false
+	// for the memory store.
+	Degraded() (bool, error)
 	// Close drains the spill pipeline and releases any spill files. The
 	// store stays readable for resident records.
 	Close() error
@@ -351,6 +361,7 @@ func (m *memStore) Spilled(uint32) uint64                     { return 0 }
 func (m *memStore) PersistCheckpoint(*SignedCheckpoint) error { return nil }
 func (m *memStore) Drain() error                              { return nil }
 func (m *memStore) Persistent() bool                          { return false }
+func (m *memStore) Degraded() (bool, error)                   { return false, nil }
 func (m *memStore) Close() error                              { return nil }
 
 func (m *memStore) Seal(sc *SignedCheckpoint) (int, error) {
@@ -439,6 +450,26 @@ const spillSyncBytes = 256 << 20
 // a Drain barrier rarely finds more than a few megabytes still dirty.
 const spillHintBytes = 4 << 20
 
+// Spill-writer retry schedule: a failing group commit is retried with
+// jittered exponential backoff before the store concludes the disk is gone
+// for good and degrades to bounded-in-memory retention. ~4 retries at
+// 1/2/4/8 ms (±50% jitter) ride out transient errors in well under the
+// checkpoint cadence, while a truly dead disk degrades in ~20 ms instead
+// of wedging every later barrier forever.
+const (
+	spillRetryMax  = 4
+	spillRetryBase = time.Millisecond
+	spillRetryCap  = 50 * time.Millisecond
+)
+
+// Fault-injection point names (see internal/fault): the head of a shard's
+// group commit, the durability sync point, and the checkpoint-log append.
+const (
+	FaultPointWriteBatch = "spill.write-batch"
+	FaultPointSync       = "spill.sync"
+	FaultPointCheckpoint = "spill.persist-checkpoint"
+)
+
 func shardFileName(shard int) string { return fmt.Sprintf("shard-%04d.seg", shard) }
 
 // fileStore spills sealed records to append-only per-shard segment files
@@ -475,12 +506,30 @@ type fileStore struct {
 	unhinted []int64
 	hintOff  []int64
 
-	// Writer pipeline state. qmu guards inflight/wErr/closed; qcond
+	// cpFails counts consecutive PersistCheckpoint write failures (under
+	// fs.mu); crossing spillRetryMax degrades the store instead of letting
+	// a dead checkpoint log stall compaction forever.
+	cpFails int
+
+	// faults, when non-nil, interposes on every spill write/sync/truncate
+	// (test harness; nil in production, one branch per call).
+	faults *fault.Injector
+
+	// Degradation ladder: after a group commit (or durability barrier)
+	// exhausts its retries, the store flips degraded instead of wedging —
+	// spilling stops, already-durable frames stay readable, pending frames
+	// stay resident, and Seal falls back to memStore semantics (drop
+	// covered segments) so retention stays bounded and the chain stays
+	// live. degraded is read lock-free on hot paths; degradedErr (the
+	// cause) is guarded by qmu.
+	degraded    atomic.Bool
+	degradedErr error
+
+	// Writer pipeline state. qmu guards inflight/degradedErr/closed; qcond
 	// signals inflight reaching zero (Drain/Close).
 	qmu      sync.Mutex
 	qcond    *sync.Cond
 	inflight int
-	wErr     error
 	closed   bool
 	chans    []chan *pendingFrame
 	wg       sync.WaitGroup
@@ -516,12 +565,15 @@ type recoveredState struct {
 // recovery state; on a populated one it replays the spill (whichever
 // format the manifest declares) and returns the rebuilt chain state.
 // pruned declares that the ledger above will prune the checkpoint chain.
-func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pubDER []byte, pruned bool) (*fileStore, *recoveredState, error) {
+// faults, when non-nil, interposes the fault-injection harness on the
+// store's write/sync/truncate calls (tests only).
+func openFileStore(dir string, shards, segRecords int, meas sgx.Measurement, pubDER []byte, pruned bool, faults *fault.Injector) (*fileStore, *recoveredState, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("accounting: spill dir: %w", err)
 	}
 	fs := &fileStore{
 		segStore: newSegStore(shards, segRecords),
+		faults:   faults,
 		dir:      dir,
 		manifest: spillManifest{
 			Format: SpillFormatV2, Shards: shards, SegRecords: segRecords,
@@ -1007,6 +1059,9 @@ func (fs *fileStore) rewriteCheckpoints(cps []SignedCheckpoint) error {
 // holds roughly twice as many lines as survivors, so a prune after every
 // checkpoint costs O(1) amortised I/O.
 func (fs *fileStore) pruneCheckpoints(retained []SignedCheckpoint) error {
+	if fs.degraded.Load() {
+		return nil // nothing persists any more; nothing to prune
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.cpF == nil {
@@ -1073,21 +1128,57 @@ func (fs *fileStore) Spilled(shard uint32) uint64 {
 	return sh.sealed
 }
 
-func (fs *fileStore) Persistent() bool { return true }
+// Persistent flips to false once the store degrades: sealed records are
+// dropped from then on, and the dump path must anchor captures exactly as
+// it does for the memory store.
+func (fs *fileStore) Persistent() bool { return !fs.degraded.Load() }
 
 func (fs *fileStore) PersistCheckpoint(sc *SignedCheckpoint) error {
+	if fs.degraded.Load() {
+		// The checkpoint stays live in the ledger's memory (and keeps
+		// vouching for the chain); only its persistence is gone.
+		return nil
+	}
 	j, err := json.Marshal(sc)
 	if err != nil {
 		return err
 	}
+	fs.faults.Hit(FaultPointCheckpoint)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.cpF == nil {
+		if fs.degraded.Load() {
+			return nil
+		}
 		return fmt.Errorf("accounting: spill store closed")
 	}
-	if _, err := fs.cpF.Write(append(j, '\n')); err != nil {
+	off, err := fs.cpF.Seek(0, 2)
+	if err != nil {
 		return err
 	}
+	if n, err := fs.faults.Write(fs.cpF, append(j, '\n')); err != nil {
+		if n > 0 {
+			// A torn checkpoint line is only recoverable as the FINAL line;
+			// a later successful append would bury it mid-log, which
+			// recovery refuses. Cut it back; if even that fails, retire the
+			// log and degrade — no checkpoint may ever be appended after
+			// known junk.
+			if terr := fs.faults.Truncate(fs.cpF, off); terr != nil {
+				_ = fs.cpF.Close()
+				fs.cpF = nil
+				fs.degrade(err)
+				return err
+			}
+		}
+		// A dying checkpoint log must not stall compaction forever: after
+		// spillRetryMax consecutive failures, degrade (the error still
+		// surfaces to the caller this once; later checkpoints no-op).
+		if fs.cpFails++; fs.cpFails > spillRetryMax {
+			fs.degrade(err)
+		}
+		return err
+	}
+	fs.cpFails = 0
 	fs.cpLines++
 	fs.cpDirty = true
 	return nil
@@ -1106,19 +1197,53 @@ func (fs *fileStore) encodeFrame(fr *spillFrame) ([]byte, error) {
 }
 
 // reserve claims a writer-pipeline slot (one per frame). It fails once
-// the store is closed or the writer wedged, so a seal can never advance
-// state it has no hope of making durable.
+// the store is closed, so a seal can never advance state the pipeline
+// will not process.
 func (fs *fileStore) reserve() error {
 	fs.qmu.Lock()
 	defer fs.qmu.Unlock()
 	if fs.closed {
 		return fmt.Errorf("accounting: spill store closed")
 	}
-	if fs.wErr != nil {
-		return fmt.Errorf("accounting: spill writer wedged: %w", fs.wErr)
-	}
 	fs.inflight++
 	return nil
+}
+
+// degrade flips the store into bounded-in-memory retention (recording the
+// cause once). Idempotent; safe from any goroutine.
+func (fs *fileStore) degrade(cause error) {
+	fs.qmu.Lock()
+	if fs.degradedErr == nil {
+		fs.degradedErr = cause
+	}
+	fs.qmu.Unlock()
+	fs.degraded.Store(true)
+}
+
+func (fs *fileStore) Degraded() (bool, error) {
+	if !fs.degraded.Load() {
+		return false, nil
+	}
+	fs.qmu.Lock()
+	defer fs.qmu.Unlock()
+	return true, fs.degradedErr
+}
+
+// retryWait sleeps out attempt's slot of the jittered exponential backoff
+// schedule, returning false (give up early) once the store is closing —
+// Close must never wait out a dead disk's full retry budget.
+func (fs *fileStore) retryWait(attempt int) bool {
+	d := spillRetryBase << attempt
+	if d > spillRetryCap {
+		d = spillRetryCap
+	}
+	// ±50% jitter so retries from different shards don't convoy onto a
+	// recovering device in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	time.Sleep(d)
+	fs.qmu.Lock()
+	defer fs.qmu.Unlock()
+	return !fs.closed
 }
 
 // Seal builds each shard's not-yet-sealed covered prefix into one frame,
@@ -1129,6 +1254,26 @@ func (fs *fileStore) reserve() error {
 // channel send blocks when the writer is more than spillQueueDepth seals
 // behind: backpressure lands on the compaction path, never on Append.
 func (fs *fileStore) Seal(sc *SignedCheckpoint) (int, error) {
+	if fs.degraded.Load() {
+		// Bounded-in-memory retention: the disk is gone, so covered
+		// segments are dropped outright (memStore semantics) instead of
+		// spilled — the chain heads and checkpoints stay live, retention
+		// stays bounded, and the durable prefix stays exactly where the
+		// failure left it. sealed/spillHead are not advanced: they describe
+		// the spill pipeline, which is permanently idle now.
+		released := 0
+		for i := range sc.Checkpoint.Heads {
+			h := &sc.Checkpoint.Heads[i]
+			if int(h.Shard) >= len(fs.shards) {
+				return released, fmt.Errorf("accounting: seal names shard %d of %d", h.Shard, len(fs.shards))
+			}
+			sh := &fs.shards[h.Shard]
+			sh.mu.Lock()
+			released += fs.dropCovered(sh, h.Count)
+			sh.mu.Unlock()
+		}
+		return released, nil
+	}
 	released := 0
 	for i := range sc.Checkpoint.Heads {
 		h := &sc.Checkpoint.Heads[i]
@@ -1225,32 +1370,39 @@ func (fs *fileStore) writeLoop(shard int, ch chan *pendingFrame) {
 }
 
 // commitBatch lands one group commit and publishes the result. A write
-// error wedges the pipeline (recorded once, surfaced by Drain/Close and
-// every later seal); the loop keeps draining so blocked senders always
-// make progress, but a wedged store never writes again — the durable
-// prefix stays exactly where the failure left it.
+// error is retried with jittered exponential backoff (transient faults —
+// a full device queue, a momentary EIO — heal without anyone noticing);
+// exhausting the retry budget degrades the store to bounded-in-memory
+// retention instead of wedging: the loop keeps draining so blocked senders
+// always make progress, the failed batch's frames stay readable on the
+// pending queue, and the durable prefix stays exactly where the failure
+// left it.
 func (fs *fileStore) commitBatch(shard int, batch []*pendingFrame) {
-	fs.qmu.Lock()
-	wedged := fs.wErr != nil
-	fs.qmu.Unlock()
 	var err error
 	var idx []frameIndex
-	if !wedged {
-		idx, err = fs.writeBatch(shard, batch)
-	}
-	if !wedged && err == nil {
-		sh := &fs.shards[shard]
-		sh.mu.Lock()
-		sh.frames = append(sh.frames, idx...)
-		last := batch[len(batch)-1].fr
-		sh.spilled = last.Base + uint64(len(last.Records))
-		sh.pending = sh.pending[len(batch):]
-		sh.mu.Unlock()
+	if !fs.degraded.Load() {
+		for attempt := 0; ; attempt++ {
+			idx, err = fs.writeBatch(shard, batch)
+			if err == nil || attempt >= spillRetryMax {
+				break
+			}
+			if !fs.retryWait(attempt) {
+				break // closing: don't wait out a dead disk's retry budget
+			}
+		}
+		if err == nil {
+			sh := &fs.shards[shard]
+			sh.mu.Lock()
+			sh.frames = append(sh.frames, idx...)
+			last := batch[len(batch)-1].fr
+			sh.spilled = last.Base + uint64(len(last.Records))
+			sh.pending = sh.pending[len(batch):]
+			sh.mu.Unlock()
+		} else {
+			fs.degrade(err)
+		}
 	}
 	fs.qmu.Lock()
-	if err != nil && fs.wErr == nil {
-		fs.wErr = err
-	}
 	fs.inflight -= len(batch)
 	fs.qcond.Broadcast()
 	fs.qmu.Unlock()
@@ -1264,6 +1416,7 @@ func (fs *fileStore) commitBatch(shard int, batch []*pendingFrame) {
 // may then truncate frames back to an anchor, but can never leave frames
 // with no durable checkpoint at all (the state recovery refuses).
 func (fs *fileStore) writeBatch(shard int, batch []*pendingFrame) ([]frameIndex, error) {
+	fs.faults.Hit(FaultPointWriteBatch)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	f := fs.files[shard]
@@ -1271,7 +1424,7 @@ func (fs *fileStore) writeBatch(shard int, batch []*pendingFrame) ([]frameIndex,
 		return nil, fmt.Errorf("accounting: spill store closed")
 	}
 	if !fs.cpSynced && fs.cpF != nil {
-		if err := fs.cpF.Sync(); err != nil {
+		if err := fs.faults.Sync(fs.cpF); err != nil {
 			return nil, fmt.Errorf("accounting: sync checkpoint log: %w", err)
 		}
 		fs.cpDirty, fs.cpSynced = false, true
@@ -1298,14 +1451,14 @@ func (fs *fileStore) writeBatch(shard int, batch []*pendingFrame) ([]frameIndex,
 		}
 		buf = append(buf, pf.enc...)
 	}
-	if n, werr := f.Write(buf); werr != nil {
+	if n, werr := fs.faults.Write(f, buf); werr != nil {
 		if n > 0 {
 			// A partial write leaves a torn frame that the next successful
 			// append would bury mid-file (which recovery rejects as
 			// corruption, not a torn tail). Cut the file back to the batch
 			// start; if even that fails, retire the handle so no later
 			// batch writes past known junk.
-			if terr := f.Truncate(off); terr != nil {
+			if terr := fs.faults.Truncate(f, off); terr != nil {
 				_ = f.Close()
 				fs.files[shard] = nil
 			}
@@ -1335,8 +1488,9 @@ func (fs *fileStore) writeBatch(shard int, batch []*pendingFrame) ([]frameIndex,
 // (recovery anchors on it), then every shard file with unsynced frames.
 // Caller holds fs.mu.
 func (fs *fileStore) syncLocked() error {
+	fs.faults.Hit(FaultPointSync)
 	if fs.cpDirty && fs.cpF != nil {
-		if err := fs.cpF.Sync(); err != nil {
+		if err := fs.faults.Sync(fs.cpF); err != nil {
 			return fmt.Errorf("accounting: sync checkpoint log: %w", err)
 		}
 		fs.cpDirty, fs.cpSynced = false, true
@@ -1346,7 +1500,7 @@ func (fs *fileStore) syncLocked() error {
 			continue
 		}
 		if f := fs.files[shard]; f != nil {
-			if err := f.Sync(); err != nil {
+			if err := fs.faults.Sync(f); err != nil {
 				return fmt.Errorf("accounting: sync spill shard %d: %w", shard, err)
 			}
 		}
@@ -1358,29 +1512,37 @@ func (fs *fileStore) syncLocked() error {
 
 // Drain blocks until every reserved frame has gone through its group
 // commit, forces the deferred sync point, and reports the pipeline's
-// health — after Drain returns nil, every seal handed to the pipeline
-// before the call is durable on disk.
+// health — after Drain returns nil on a healthy store, every seal handed
+// to the pipeline before the call is durable on disk. A degraded store
+// drains trivially (nil): its pipeline is permanently idle, and callers
+// must consult Degraded()/Persistent() for durability claims — the dump
+// path already anchors captures from non-persistent stores.
 func (fs *fileStore) Drain() error {
 	fs.qmu.Lock()
 	for fs.inflight > 0 {
 		fs.qcond.Wait()
 	}
-	err := fs.wErr
 	fs.qmu.Unlock()
-	if err != nil {
-		return err
+	if fs.degraded.Load() {
+		return nil
 	}
-	fs.mu.Lock()
-	err = fs.syncLocked()
-	fs.mu.Unlock()
-	if err != nil {
-		// A failed sync wedges the pipeline like a failed write: the
-		// durable prefix stays where the failure left it.
-		fs.qmu.Lock()
-		if fs.wErr == nil {
-			fs.wErr = err
+	var err error
+	for attempt := 0; ; attempt++ {
+		fs.mu.Lock()
+		err = fs.syncLocked()
+		fs.mu.Unlock()
+		if err == nil || attempt >= spillRetryMax {
+			break
 		}
-		fs.qmu.Unlock()
+		if !fs.retryWait(attempt) {
+			break
+		}
+	}
+	if err != nil {
+		// A barrier that cannot reach the disk even after the retry budget
+		// degrades the store just like a failed write: the durable prefix
+		// stays where the last successful sync left it.
+		fs.degrade(err)
 	}
 	return err
 }
@@ -1468,7 +1630,7 @@ func (fs *fileStore) Close() error {
 	for fs.inflight > 0 {
 		fs.qcond.Wait()
 	}
-	wErr := fs.wErr
+	degradedErr := fs.degradedErr
 	fs.qmu.Unlock()
 	if !already {
 		// closed is set and inflight hit zero: no seal holds a reserved
@@ -1484,7 +1646,7 @@ func (fs *fileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	var first error
-	if !already && wErr == nil {
+	if !already && !fs.degraded.Load() {
 		// Final sync point: nothing written after a drained, closed
 		// pipeline, so closing durable files afterwards is safe.
 		first = fs.syncLocked()
@@ -1504,7 +1666,9 @@ func (fs *fileStore) Close() error {
 		fs.cpF = nil
 	}
 	if first == nil {
-		first = wErr
+		// A degraded store closes cleanly but still reports why it gave up
+		// on durability, for callers that check.
+		first = degradedErr
 	}
 	return first
 }

@@ -8,11 +8,13 @@
 package core
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"acctee/internal/accounting"
 	"acctee/internal/instrument"
@@ -355,8 +357,40 @@ func (ae *AccountingEnclave) LibOS() *sgxlkl.LibOS { return ae.libos }
 // windows), so runs never contend on a shared lock; per-shard sequences
 // are gap-free and strictly increasing.
 func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
+	return ae.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with deadline propagation: when ctx carries a deadline
+// or cancellation, a watcher arms the sandbox's cooperative-interrupt flag
+// the moment ctx is done, and the workload aborts at its next segment-leader
+// charge point with interp.ErrInterrupted (check with errors.Is). The abort
+// is accounting-exact: the returned record and receipt charge precisely the
+// fuel/instructions retired before the interrupt — resources already spent
+// are still billed, bit-identical across engines — so cancellation never
+// produces an unaccounted partial execution.
+func (ae *AccountingEnclave) RunContext(ctx context.Context, opts RunOptions) (RunResult, error) {
 	if opts.Policy == 0 {
 		opts.Policy = accounting.PeakMemory
+	}
+	var intr *atomic.Bool
+	if done := ctx.Done(); done != nil {
+		intr = new(atomic.Bool)
+		if ctx.Err() != nil {
+			// Already expired: the run aborts at the entry leader, charging
+			// nothing, but still flows through the ledger for a zero-work
+			// record — callers see one uniform cancellation path.
+			intr.Store(true)
+		} else {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-done:
+					intr.Store(true)
+				case <-stop:
+				}
+			}()
+		}
 	}
 	model := sgx.NewEPCModel(ae.mode, ae.costs, ae.weights)
 	// Per-run I/O tally: the ledger sums per-record values into signed
@@ -384,6 +418,7 @@ func (ae *AccountingEnclave) Run(opts RunOptions) (RunResult, error) {
 				meter.Update(c, uint64(oldPages)*wasm.PageSize)
 			}
 		},
+		Interrupt: intr,
 	})
 	if err != nil {
 		return RunResult{}, fmt.Errorf("core: instantiate workload: %w", err)

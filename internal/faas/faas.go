@@ -8,10 +8,14 @@
 package faas
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -116,6 +120,14 @@ type Server struct {
 	// independent requests at the very end of the handler.
 	requests atomic.Uint64
 	ioBytes  atomic.Uint64
+	// Admission control: sem holds one slot per concurrently executing
+	// invocation (nil = unlimited), queued counts requests waiting for a
+	// slot, shed counts 429s issued, interrupted counts invocations the
+	// deadline cut short.
+	sem         chan struct{}
+	queued      atomic.Int64
+	shed        atomic.Uint64
+	interrupted atomic.Uint64
 }
 
 // ServerOptions tune the gateway's compile/instantiate strategy and its
@@ -134,7 +146,33 @@ type ServerOptions struct {
 	// per-record eager signing (the per-request-signature baseline), and
 	// periodic checkpointing. Ignored by uninstrumented setups.
 	Ledger accounting.LedgerOptions
+	// RequestTimeout bounds each function invocation end to end. The
+	// deadline (combined with the client disconnecting, via the request
+	// context) propagates into the interpreter as a cooperative interrupt:
+	// the run aborts at the next accounting segment boundary, the work
+	// actually executed is charged to the ledger, and the response is a
+	// 504 carrying the receipt of the partial run. Zero = no deadline.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing invocations; excess requests
+	// wait on the bounded queue (MaxQueue) and are shed with 429 beyond
+	// it. Zero = unlimited (no admission control). Ledger read endpoints
+	// and health probes are never gated — they must answer precisely when
+	// the gateway is saturated.
+	MaxInFlight int
+	// MaxQueue bounds how many admitted requests may wait for an execution
+	// slot. Zero = no waiting room: requests shed as soon as every slot is
+	// busy.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before being shed (default 50ms when MaxQueue > 0). Short on
+	// purpose: under sustained overload a long queue only converts
+	// rejections into slow rejections.
+	QueueTimeout time.Duration
 }
+
+// defaultQueueTimeout bounds a queued request's wait when the operator
+// configured a queue but no explicit timeout.
+const defaultQueueTimeout = 50 * time.Millisecond
 
 // NewServer builds the gateway with default options (pooled instances over
 // a cached compiled artifact).
@@ -147,6 +185,9 @@ func NewServer(fn Function, setup Setup) (*Server, error) {
 // compiles it into the shared execution artifact, and returns the gateway.
 func NewServerWithOptions(fn Function, setup Setup, opts ServerOptions) (srv *Server, err error) {
 	s := &Server{fn: fn, setup: setup, opts: opts, costs: sgx.DefaultCostParams()}
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
 	if setup == SetupJS {
 		return s, nil
 	}
@@ -258,12 +299,169 @@ const (
 	CompactPath    = "/compact"
 )
 
+// Health endpoint paths on the gateway.
+const (
+	// HealthPath is the liveness probe: 200 whenever the process can
+	// answer, with pool/queue/ledger state in the body.
+	HealthPath = "/healthz"
+	// ReadyPath is the readiness probe: 503 once the ledger's spill
+	// pipeline has degraded (durability lost), 200 otherwise, same body.
+	ReadyPath = "/readyz"
+)
+
+// Stable machine-readable error codes carried in 4xx/5xx JSON bodies
+// ({"error":{"code":...}}). Details are logged server-side, never echoed:
+// error strings are not an API, and internal paths do not belong on the
+// wire.
+const (
+	ErrCodeOverloaded       = "overloaded"
+	ErrCodeDeadlineExceeded = "deadline_exceeded"
+	ErrCodeInvokeFailed     = "invoke_failed"
+	ErrCodeCheckpointFailed = "checkpoint_failed"
+	ErrCodeCompactFailed    = "compact_failed"
+)
+
+// writeError responds with a stable machine-readable error code and logs
+// the underlying detail server-side.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	if err != nil {
+		log.Printf("faas: %s: %v", code, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":{\"code\":%q}}\n", code)
+}
+
+// admit claims an execution slot, waiting on the bounded queue when every
+// slot is busy. It returns a release func on success and false when the
+// request should be shed (queue full, queue-wait timed out, or the client
+// gave up while queued).
+func (s *Server) admit(r *http.Request) (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.opts.MaxQueue <= 0 {
+		return nil, false
+	}
+	if n := s.queued.Add(1); n > int64(s.opts.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, false
+	}
+	defer s.queued.Add(-1)
+	qt := s.opts.QueueTimeout
+	if qt <= 0 {
+		qt = defaultQueueTimeout
+	}
+	timer := time.NewTimer(qt)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-timer.C:
+		return nil, false
+	case <-r.Context().Done():
+		return nil, false
+	}
+}
+
+// HealthStatus is the /healthz and /readyz response body.
+type HealthStatus struct {
+	Setup       string        `json:"setup"`
+	Function    string        `json:"function"`
+	Requests    uint64        `json:"requests"`
+	InFlight    int           `json:"in_flight"`
+	MaxInFlight int           `json:"max_in_flight"`
+	Queued      int64         `json:"queued"`
+	MaxQueue    int           `json:"max_queue"`
+	Shed        uint64        `json:"shed"`
+	Interrupted uint64        `json:"interrupted"`
+	Ledger      *LedgerHealth `json:"ledger,omitempty"`
+}
+
+// LedgerHealth is the ledger-pipeline slice of HealthStatus (instrumented
+// setups only).
+type LedgerHealth struct {
+	Resident           int    `json:"resident"`
+	Spilled            uint64 `json:"spilled"`
+	CheckpointFailures uint64 `json:"checkpoint_failures"`
+	Degraded           bool   `json:"degraded"`
+	DegradedCause      string `json:"degraded_cause,omitempty"`
+}
+
+// Health snapshots the gateway's pool, queue, and ledger-pipeline state.
+func (s *Server) Health() HealthStatus {
+	h := HealthStatus{
+		Setup:       s.setup.String(),
+		Function:    s.fn.String(),
+		Requests:    s.requests.Load(),
+		InFlight:    len(s.sem),
+		MaxInFlight: s.opts.MaxInFlight,
+		Queued:      s.queued.Load(),
+		MaxQueue:    s.opts.MaxQueue,
+		Shed:        s.shed.Load(),
+		Interrupted: s.interrupted.Load(),
+	}
+	if s.ledger != nil {
+		lh := &LedgerHealth{
+			Resident: s.ledger.Resident(),
+			Spilled:  s.ledger.SpilledRecords(),
+		}
+		lh.CheckpointFailures, _ = s.ledger.CheckpointFailures()
+		if deg, cause := s.ledger.Degraded(); deg {
+			lh.Degraded = true
+			if cause != nil {
+				lh.DegradedCause = cause.Error()
+			}
+		}
+		h.Ledger = lh
+	}
+	return h
+}
+
+// serveHealth answers the liveness and readiness probes. Readiness fails
+// (503) once the spill pipeline has degraded: the gateway still accounts
+// correctly but has lost durability, so a balancer should rotate it out.
+func (s *Server) serveHealth(w http.ResponseWriter, ready bool) {
+	h := s.Health()
+	status := http.StatusOK
+	if ready && h.Ledger != nil && h.Ledger.Degraded {
+		status = http.StatusServiceUnavailable
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrCodeInvokeFailed, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(b)
+}
+
+// Shed returns how many requests were rejected with 429 by admission
+// control.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+// Interrupted returns how many invocations the deadline cut short.
+func (s *Server) Interrupted() uint64 { return s.interrupted.Load() }
+
 // ServeHTTP handles one function invocation. The request body is the
 // payload; for resize the image dimensions travel in X-Width/X-Height.
 // GET requests on /receipt, /checkpoint and /ledger serve the accounting
 // endpoints instead of invoking the function.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
+	case HealthPath, ReadyPath:
+		// Probes are never gated by admission control — they must answer
+		// precisely when the gateway is saturated or degraded.
+		if r.Method == http.MethodGet {
+			s.serveHealth(w, r.URL.Path == ReadyPath)
+			return
+		}
 	case ReceiptPath, CheckpointPath, LedgerPath:
 		// Read endpoints are GET-only; a POST to these paths falls through
 		// to function invocation, as before.
@@ -289,6 +487,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveCompact(w)
 		return
 	}
+	// Admission control gates only the invocation path, before the body is
+	// read — a shed request costs the gateway next to nothing.
+	release, ok := s.admit(r)
+	if !ok {
+		s.shed.Add(1)
+		// Retry-After steers well-behaved clients (and GenerateLoad's
+		// backoff) away while the pool is saturated.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, ErrCodeOverloaded, nil)
+		return
+	}
+	defer release()
+
 	body, err := io.ReadAll(r.Body)
 	if err != nil || len(body) > workloads.MaxPayload {
 		http.Error(w, "bad payload", http.StatusBadRequest)
@@ -297,6 +508,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	width, _ := strconv.Atoi(r.Header.Get("X-Width"))
 	height, _ := strconv.Atoi(r.Header.Get("X-Height"))
 
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+
 	var out []byte
 	var counter uint64
 	var rcpt *accounting.Receipt
@@ -304,15 +522,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case SetupJS:
 		out = s.serveJS(body, width, height)
 	default:
-		out, counter, rcpt, err = s.serveWasm(body, width, height)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-	}
-	s.requests.Add(1)
-	if s.setup == SetupSGXHWIO {
-		s.ioBytes.Add(uint64(len(body) + len(out)))
+		out, counter, rcpt, err = s.serveWasm(ctx, body, width, height)
 	}
 	if counter > 0 {
 		w.Header().Set("X-Weighted-Instructions", strconv.FormatUint(counter, 10))
@@ -326,6 +536,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// the array on every response, an allocation-heavy detour on the
 		// hot path for a fixed 32-byte value.
 		w.Header().Set("X-Acct-Chain", hex.EncodeToString(rcpt.ChainHead[:]))
+	}
+	if err != nil {
+		if errors.Is(err, interp.ErrInterrupted) {
+			// The deadline cut the run short at a segment boundary. The
+			// work actually executed is already charged — the receipt
+			// headers above point at the partial run's ledger record.
+			s.interrupted.Add(1)
+			writeError(w, http.StatusGatewayTimeout, ErrCodeDeadlineExceeded, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, ErrCodeInvokeFailed, err)
+		return
+	}
+	s.requests.Add(1)
+	if s.setup == SetupSGXHWIO {
+		s.ioBytes.Add(uint64(len(body) + len(out)))
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)
@@ -360,7 +586,7 @@ func (s *Server) serveCheckpoint(w http.ResponseWriter) {
 	}
 	sc, err := s.ledger.Checkpoint()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, ErrCodeCheckpointFailed, err)
 		return
 	}
 	writeJSON(w, sc)
@@ -407,7 +633,7 @@ func (s *Server) serveCompact(w http.ResponseWriter) {
 	}
 	res, err := s.ledger.Compact()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, ErrCodeCompactFailed, err)
 		return
 	}
 	writeJSON(w, res)
@@ -423,8 +649,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_, _ = w.Write(b)
 }
 
-func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, *accounting.Receipt, error) {
+func (s *Server) serveWasm(ctx context.Context, body []byte, width, height int) ([]byte, uint64, *accounting.Receipt, error) {
 	cfg := interp.Config{CostModel: s.requestModel()}
+	// Deadline propagation: a context that can expire arms a cooperative
+	// interrupt flag the engines poll at segment-leader charge points, so
+	// an expired deadline aborts the run with exactly the executed work
+	// accounted (and charged to the ledger below).
+	if done := ctx.Done(); done != nil {
+		intr := new(atomic.Bool)
+		if ctx.Err() != nil {
+			intr.Store(true)
+		} else {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-done:
+					intr.Store(true)
+				case <-stop:
+				}
+			}()
+		}
+		cfg.Interrupt = intr
+	}
 	var (
 		vm  *interp.VM
 		err error
@@ -456,16 +703,21 @@ func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, *acc
 	} else {
 		res, err = vm.InvokeExport("run", uint64(width), uint64(height))
 	}
-	if err != nil {
-		return nil, 0, nil, fmt.Errorf("faas: run: %w", err)
+	runErr := err
+	interruptedRun := errors.Is(runErr, interp.ErrInterrupted)
+	if runErr != nil && !interruptedRun {
+		return nil, 0, nil, fmt.Errorf("faas: run: %w", runErr)
 	}
-	n := uint32(res[0])
-	view, err := vm.MemoryView(workloads.OutBase, n)
-	if err != nil {
-		return nil, 0, nil, fmt.Errorf("faas: response: %w", err)
+	var out []byte
+	if runErr == nil {
+		n := uint32(res[0])
+		view, err := vm.MemoryView(workloads.OutBase, n)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("faas: response: %w", err)
+		}
+		out = make([]byte, n)
+		copy(out, view)
 	}
-	out := make([]byte, n)
-	copy(out, view)
 	var counter uint64
 	var rcpt *accounting.Receipt
 	if s.setup == SetupSGXHWInstr || s.setup == SetupSGXHWIO {
@@ -493,6 +745,12 @@ func (s *Server) serveWasm(body []byte, width, height int) ([]byte, uint64, *acc
 	// EPC paging cycles burn wall-clock on real hardware.
 	if s.enclave != nil && s.enclave.Mode() == sgx.ModeHardware {
 		burn(vm.Cost())
+	}
+	if interruptedRun {
+		// The partial run's record is appended above — the work done up to
+		// the interrupt is charged; the error (wrapping ErrInterrupted)
+		// travels up with the receipt so the 504 can carry it.
+		return nil, counter, rcpt, fmt.Errorf("faas: run: %w", runErr)
 	}
 	return out, counter, rcpt, nil
 }
@@ -542,6 +800,12 @@ type LoadResult struct {
 	// successful responses. Non-2xx responses never contribute, whether or
 	// not the server attached the header before failing.
 	WeightedInstructions uint64
+	// Shed counts 429/503 responses observed, including ones a retry
+	// later turned into a success — overload visible even when the
+	// backoff absorbs it.
+	Shed int
+	// Retried counts retry attempts issued after a shed response.
+	Retried int
 	// ReqPerSec is successful-request throughput.
 	ReqPerSec float64
 	// LatencyP50/P95/P99 are per-request latency percentiles over every
@@ -562,31 +826,78 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
+// LoadOptions tune GenerateLoadWithOptions beyond the classic
+// clients/total shape.
+type LoadOptions struct {
+	Clients int
+	Total   int
+	Payload []byte
+	Width   int
+	Height  int
+	// Timeout bounds each request attempt end to end (default 10s): a
+	// wedged gateway costs the client one timeout, not forever.
+	Timeout time.Duration
+	// Retries caps retry attempts per request after a 429/503 response
+	// (default 2; negative = no retries). Other statuses and transport
+	// errors are never retried — they are results, not backpressure.
+	Retries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between retries (default 2ms, doubled per attempt, ±50% jitter).
+	RetryBackoff time.Duration
+}
+
 // GenerateLoad drives the URL with `clients` concurrent connections until
 // `total` requests have completed, mirroring the paper's h2load usage
-// (10 concurrent clients).
+// (10 concurrent clients). It is GenerateLoadWithOptions with defaults.
+func GenerateLoad(url string, clients, total int, payload []byte, width, height int) LoadResult {
+	return GenerateLoadWithOptions(url, LoadOptions{
+		Clients: clients, Total: total, Payload: payload,
+		Width: width, Height: height,
+	})
+}
+
+// GenerateLoadWithOptions drives the URL with opts.Clients concurrent
+// connections until opts.Total requests have completed. Each request gets
+// a deadline, and 429/503 responses (the gateway shedding load) are
+// retried with jittered exponential backoff up to opts.Retries times — a
+// well-behaved client backs off when the server asks it to. Per-request
+// latency is measured from first attempt to final completion, backoff
+// included: that is the latency an end user of a retrying client sees.
 //
 // The clients share one Transport sized to keep an idle connection per
 // client: the default Transport caps idle connections per host at 2, so
 // with 10+ clients most requests would tear down and re-dial their
 // connection — measuring TCP setup, not the gateway.
-func GenerateLoad(url string, clients, total int, payload []byte, width, height int) LoadResult {
+func GenerateLoadWithOptions(url string, opts LoadOptions) LoadResult {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	} else if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 2 * time.Millisecond
+	}
 	transport := &http.Transport{
-		MaxIdleConns:        clients + 4,
-		MaxIdleConnsPerHost: clients + 4,
+		MaxIdleConns:        opts.Clients + 4,
+		MaxIdleConnsPerHost: opts.Clients + 4,
 	}
 	defer transport.CloseIdleConnections()
 	var (
 		mu        sync.Mutex
 		res       = LoadResult{ByStatus: make(map[int]int)}
-		latencies = make([]time.Duration, 0, total)
+		latencies = make([]time.Duration, 0, opts.Total)
 		wg        sync.WaitGroup
 		client    = &http.Client{Transport: transport}
 	)
-	record := func(status int, weighted uint64, took time.Duration) {
+	record := func(status int, weighted uint64, took time.Duration, shed, retried int) {
 		mu.Lock()
 		defer mu.Unlock()
 		res.ByStatus[status]++
+		res.Shed += shed
+		res.Retried += retried
 		latencies = append(latencies, took)
 		if status >= 200 && status < 300 {
 			res.Requests++
@@ -595,41 +906,60 @@ func GenerateLoad(url string, clients, total int, payload []byte, width, height 
 			res.Errors++
 		}
 	}
+	// attempt issues one HTTP request and reports its status (0 =
+	// transport error) plus the accounting header on success.
+	attempt := func() (status int, weighted uint64) {
+		ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytesReader(opts.Payload))
+		if err != nil {
+			return 0, 0
+		}
+		req.Header.Set("X-Width", strconv.Itoa(opts.Width))
+		req.Header.Set("X-Height", strconv.Itoa(opts.Height))
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, 0
+		}
+		// Drain for connection reuse, but only count the body of a
+		// successful response; the accounting header is parsed only
+		// on success, so a 500 with or without it lands identically
+		// in ByStatus/Errors.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			weighted, _ = strconv.ParseUint(resp.Header.Get("X-Weighted-Instructions"), 10, 64)
+		}
+		return resp.StatusCode, weighted
+	}
 	start := time.Now()
-	next := make(chan struct{}, total)
-	for i := 0; i < total; i++ {
+	next := make(chan struct{}, opts.Total)
+	for i := 0; i < opts.Total; i++ {
 		next <- struct{}{}
 	}
 	close(next)
-	for c := 0; c < clients; c++ {
+	for c := 0; c < opts.Clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for range next {
 				t0 := time.Now()
-				req, err := http.NewRequest(http.MethodPost, url, bytesReader(payload))
-				if err != nil {
-					record(0, 0, time.Since(t0))
-					continue
+				var shed, retried int
+				status, weighted := attempt()
+				for status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+					shed++
+					if retried >= opts.Retries {
+						break
+					}
+					retried++
+					// Jittered exponential backoff (±50%) so a shed burst
+					// does not come back as a synchronized retry burst.
+					d := opts.RetryBackoff << (retried - 1)
+					d = d/2 + time.Duration(rand.Int63n(int64(d)))
+					time.Sleep(d)
+					status, weighted = attempt()
 				}
-				req.Header.Set("X-Width", strconv.Itoa(width))
-				req.Header.Set("X-Height", strconv.Itoa(height))
-				resp, err := client.Do(req)
-				if err != nil {
-					record(0, 0, time.Since(t0))
-					continue
-				}
-				// Drain for connection reuse, but only count the body of a
-				// successful response; the accounting header is parsed only
-				// on success, so a 500 with or without it lands identically
-				// in ByStatus/Errors.
-				_, _ = io.Copy(io.Discard, resp.Body)
-				_ = resp.Body.Close()
-				var weighted uint64
-				if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-					weighted, _ = strconv.ParseUint(resp.Header.Get("X-Weighted-Instructions"), 10, 64)
-				}
-				record(resp.StatusCode, weighted, time.Since(t0))
+				record(status, weighted, time.Since(t0), shed, retried)
 			}
 		}()
 	}

@@ -10,12 +10,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"acctee/internal/accounting"
 	"acctee/internal/faas"
+	"acctee/internal/fault"
 	"acctee/internal/workloads"
 )
 
@@ -152,8 +154,13 @@ func TestGenerateLoadSurfacesFailures(t *testing.T) {
 	}))
 	defer ts.Close()
 
+	// Retries are disabled: this test pins the per-status breakdown, and a
+	// retried 503 would (correctly) turn into a 200 and blur it. The shed
+	// counter must still see every 503.
 	const total = 30
-	res := faas.GenerateLoad(ts.URL, 3, total, []byte("x"), 0, 0)
+	res := faas.GenerateLoadWithOptions(ts.URL, faas.LoadOptions{
+		Clients: 3, Total: total, Payload: []byte("x"), Retries: -1,
+	})
 
 	want500 := total / 3          // every 3rd
 	want503 := total/5 - total/15 // every 5th, minus overlaps with 3rd
@@ -176,6 +183,9 @@ func TestGenerateLoadSurfacesFailures(t *testing.T) {
 	// 12345 attached to the 500s.
 	if want := uint64(wantOK * 7); res.WeightedInstructions != want {
 		t.Errorf("WeightedInstructions = %d, want %d", res.WeightedInstructions, want)
+	}
+	if res.Shed != want503 || res.Retried != 0 {
+		t.Errorf("Shed/Retried = %d/%d, want %d/0 (retries disabled)", res.Shed, res.Retried, want503)
 	}
 }
 
@@ -385,12 +395,14 @@ func TestPooledServingMatchesRecompile(t *testing.T) {
 	}
 }
 
-// TestServerCreateCloseNoLeak pins the gateway lifecycle: creating and
-// closing servers repeatedly — periodic checkpointing and spill files
-// configured — must leak neither the checkpoint goroutine nor its ticker
-// (a leaked ticker keeps the goroutine schedulable forever). The pin is a
-// goroutine-count settle: after the loop the process must return to its
-// baseline.
+// TestServerCreateCloseNoLeak pins the gateway lifecycle: creating,
+// exercising, and closing servers repeatedly — periodic checkpointing and
+// spill files configured, plus the robustness paths (shedding under a
+// full pool, deadline interrupts, a disk fault that degrades the store,
+// and a transient fault the retry loop un-wedges) — must leak neither the
+// checkpoint goroutine, nor its ticker, nor interrupt watchers, nor
+// retrying spill writers. The pin is a goroutine-count settle: after the
+// loop the process must return to its baseline.
 func TestServerCreateCloseNoLeak(t *testing.T) {
 	settle := func() int {
 		n := runtime.NumGoroutine()
@@ -402,34 +414,137 @@ func TestServerCreateCloseNoLeak(t *testing.T) {
 		}
 		return n
 	}
-	base := settle()
-	for i := 0; i < 15; i++ {
-		srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
-			Ledger: accounting.LedgerOptions{
-				Shards:             2,
-				CheckpointInterval: time.Millisecond,
-				Retention: accounting.RetentionPolicy{
-					MaxResidentRecords: 4,
-					SegmentRecords:     2,
-					SpillDir:           filepath.Join(t.TempDir(), "spill"),
-				},
+	ledgerOpts := func(inj *fault.Injector) accounting.LedgerOptions {
+		return accounting.LedgerOptions{
+			Shards:             2,
+			CheckpointInterval: time.Millisecond,
+			Retention: accounting.RetentionPolicy{
+				MaxResidentRecords: 4,
+				SegmentRecords:     2,
+				SpillDir:           filepath.Join(t.TempDir(), "spill"),
 			},
-		})
-		if err != nil {
-			t.Fatal(err)
+			Faults: inj,
 		}
+	}
+	invoke := func(t *testing.T, srv *faas.Server, wantStatus int) int {
+		t.Helper()
 		req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader([]byte("ping")))
 		w := httptest.NewRecorder()
 		srv.ServeHTTP(w, req)
-		if w.Code != http.StatusOK {
-			t.Fatalf("iteration %d: status %d", i, w.Code)
+		if wantStatus != 0 && w.Code != wantStatus {
+			t.Fatalf("status %d, want %d", w.Code, wantStatus)
 		}
-		srv.Close()
-		srv.Close() // Close is idempotent
+		return w.Code
+	}
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"plain", func(t *testing.T) {
+			srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
+				Ledger: ledgerOpts(nil),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			invoke(t, srv, http.StatusOK)
+			srv.Close()
+			srv.Close() // Close is idempotent
+		}},
+		{"shed", func(t *testing.T) {
+			srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
+				MaxInFlight: 1,
+				Ledger:      ledgerOpts(nil),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Concurrent invocations against one slot: every response is a
+			// 200 or a clean 429, and whatever mix lands, nothing may leak.
+			var wg sync.WaitGroup
+			for j := 0; j < 8; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if code := invoke(t, srv, 0); code != http.StatusOK && code != http.StatusTooManyRequests {
+						t.Errorf("status %d, want 200 or 429", code)
+					}
+				}()
+			}
+			wg.Wait()
+			srv.Close()
+		}},
+		{"timeout", func(t *testing.T) {
+			srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
+				RequestTimeout: time.Nanosecond, // every run interrupts at entry
+				Ledger:         ledgerOpts(nil),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 4; j++ {
+				invoke(t, srv, http.StatusGatewayTimeout)
+			}
+			srv.Close()
+		}},
+		{"degrade", func(t *testing.T) {
+			inj := fault.New()
+			srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
+				Ledger: ledgerOpts(inj),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Permanent disk fault: retention-triggered compactions keep
+			// failing until the store degrades; requests keep succeeding
+			// and Close must still wind everything down.
+			inj.FailWrites(1, 1<<40, nil)
+			for j := 0; j < 24; j++ {
+				invoke(t, srv, http.StatusOK)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if deg, _ := srv.Ledger().Degraded(); deg {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("store never degraded")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			invoke(t, srv, http.StatusOK)
+			srv.Close()
+		}},
+		{"unwedge", func(t *testing.T) {
+			inj := fault.New()
+			srv, err := faas.NewServerWithOptions(faas.Echo, faas.SetupSGXHWInstr, faas.ServerOptions{
+				Ledger: ledgerOpts(inj),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Transient fault: the first two batch writes fail, the retry
+			// loop rides it out, and the store must NOT be degraded after.
+			inj.FailWrites(1, 2, nil)
+			for j := 0; j < 24; j++ {
+				invoke(t, srv, http.StatusOK)
+			}
+			srv.Ledger().Anchor()
+			if deg, derr := srv.Ledger().Degraded(); deg {
+				t.Fatalf("transient fault degraded the store: %v", derr)
+			}
+			srv.Close()
+		}},
+	}
+	base := settle()
+	for i := 0; i < 3; i++ {
+		for _, sc := range scenarios {
+			sc.run(t)
+		}
 	}
 	after := settle()
 	if after > base+2 {
-		t.Fatalf("goroutines grew from %d to %d across create/close cycles — checkpoint goroutine or ticker leaked", base, after)
+		t.Fatalf("goroutines grew from %d to %d across create/close cycles — a checkpoint goroutine, ticker, interrupt watcher, or spill writer leaked", base, after)
 	}
 }
 

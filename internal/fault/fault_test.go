@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tmpFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func size(t *testing.T, f *os.File) int64 {
+	t.Helper()
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func TestNilInjectorPassesThrough(t *testing.T) {
+	f := tmpFile(t)
+	var i *Injector
+	if n, err := i.Write(f, []byte("abc")); err != nil || n != 3 {
+		t.Fatalf("nil Write = (%d, %v)", n, err)
+	}
+	if err := i.Sync(f); err != nil {
+		t.Fatalf("nil Sync = %v", err)
+	}
+	if err := i.Truncate(f, 1); err != nil {
+		t.Fatalf("nil Truncate = %v", err)
+	}
+	if i.Crashed() || i.Writes() != 0 {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestFailNthWriteWithTornBytes(t *testing.T) {
+	f := tmpFile(t)
+	i := New()
+	i.FailWrites(2, 1, nil)
+	i.TornBytes(2)
+	if _, err := i.Write(f, []byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	n, err := i.Write(f, []byte("bbbb"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: err = %v, want ErrInjected", err)
+	}
+	if n != 2 {
+		t.Fatalf("write 2 tore %d bytes, want 2", n)
+	}
+	if _, err := i.Write(f, []byte("cccc")); err != nil {
+		t.Fatalf("write 3 (healed): %v", err)
+	}
+	if got := size(t, f); got != 10 {
+		t.Fatalf("file size = %d, want 10 (4 + torn 2 + 4)", got)
+	}
+}
+
+func TestFailSyncs(t *testing.T) {
+	f := tmpFile(t)
+	i := New()
+	i.FailSyncs(1, 2, nil)
+	if err := i.Sync(f); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := i.Sync(f); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if err := i.Sync(f); err != nil {
+		t.Fatalf("sync 3 (healed): %v", err)
+	}
+}
+
+func TestCrashOnWriteLeavesTornTailAndGoesDead(t *testing.T) {
+	f := tmpFile(t)
+	i := New()
+	i.CrashOnWrite(2, 3)
+	if _, err := i.Write(f, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := i.Write(f, []byte("bbbbbb"))
+	if !errors.Is(err, ErrCrashed) || n != 3 {
+		t.Fatalf("crash write = (%d, %v), want (3, ErrCrashed)", n, err)
+	}
+	if !i.Crashed() {
+		t.Fatal("not crashed")
+	}
+	select {
+	case <-i.CrashedChan():
+	default:
+		t.Fatal("CrashedChan not closed")
+	}
+	// Dead: nothing may touch the file again, including cleanup truncates.
+	if _, err := i.Write(f, []byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := i.Sync(f); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if err := i.Truncate(f, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate: %v", err)
+	}
+	if got := size(t, f); got != 7 {
+		t.Fatalf("crash image size = %d, want 7 (4 + torn 3)", got)
+	}
+}
+
+func TestCrashAtNamedPoint(t *testing.T) {
+	f := tmpFile(t)
+	i := New()
+	i.CrashAt("group-commit", 3)
+	i.Hit("group-commit")
+	i.Hit("other")
+	i.Hit("group-commit")
+	if i.Crashed() {
+		t.Fatal("crashed too early")
+	}
+	i.Hit("group-commit")
+	if !i.Crashed() {
+		t.Fatal("did not crash at 3rd hit")
+	}
+	if _, err := i.Write(f, []byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if i.Hits("group-commit") != 3 || i.Hits("other") != 1 {
+		t.Fatalf("hit counters wrong: %d/%d", i.Hits("group-commit"), i.Hits("other"))
+	}
+}

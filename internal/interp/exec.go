@@ -73,7 +73,13 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 	for pc < len(code) {
 		fl := &flat[pc]
 		if n := fl.segCnt; n != 0 {
-			// Segment leader: charge the whole straight-line run at once.
+			// Segment leader: poll cooperative cancellation before charging,
+			// so an interrupted run's counters hold exactly the instructions
+			// already retired (nothing of this segment ran yet — no rollback
+			// needed). Then charge the whole straight-line run at once.
+			if vm.intr != nil && vm.intr.Load() {
+				return 0, ErrInterrupted
+			}
 			if vm.fuelLimited && vm.fuel < uint64(n) {
 				return 0, vm.execFuelTail(f.body, locals, st, sp, pc)
 			}

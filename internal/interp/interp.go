@@ -17,6 +17,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"acctee/internal/wasm"
 )
@@ -33,6 +34,12 @@ var (
 	ErrIndirectTypeBad    = errors.New("wasm trap: indirect call type mismatch")
 	ErrCallStackExhausted = errors.New("wasm trap: call stack exhausted")
 	ErrFuelExhausted      = errors.New("wasm trap: fuel exhausted")
+	// ErrInterrupted is the cooperative-cancellation trap (TrapInterrupted):
+	// the embedder set Config.Interrupt and the engine observed it at a
+	// segment-leader charge point. The check runs before the segment is
+	// charged, so the accounting counters hold exactly the work executed up
+	// to the interrupt — bit-identical across all four engines.
+	ErrInterrupted = errors.New("wasm trap: execution interrupted")
 )
 
 // HostFunc is a function provided by the embedder (the runtime "glue code").
@@ -95,6 +102,13 @@ type Config struct {
 	// the old and new page counts. The accounting enclave uses it to track
 	// the memory-size integral (paper §3.5, fine-grained memory policy).
 	GrowHook func(vm *VM, oldPages, newPages uint32)
+	// Interrupt, when non-nil, is polled at segment-leader charge points
+	// (before the segment is charged) by every engine; once it reads true
+	// the invocation aborts with ErrInterrupted. Setting the flag from
+	// another goroutine is the cooperative-cancellation mechanism used for
+	// deadline propagation: the interrupted run's counters charge exactly
+	// the instructions retired before the flag was observed.
+	Interrupt *atomic.Bool
 }
 
 // CostModel charges simulated cycles for executed instructions. It is how
@@ -140,6 +154,7 @@ type VM struct {
 	maxDepth int
 	depth    int
 	growHook func(vm *VM, oldPages, newPages uint32)
+	intr     *atomic.Bool // cooperative-cancellation flag (nil = never)
 
 	// frames holds one reusable call-frame slab per call depth, so repeated
 	// invocations on a (pooled) instance allocate no frames at all.

@@ -246,6 +246,7 @@ func (vm *VM) Reset(cfg Config) error {
 		vm.maxDepth = 1024
 	}
 	vm.growHook = cfg.GrowHook
+	vm.intr = cfg.Interrupt
 	vm.fuel = cfg.Fuel
 	vm.fuelLimited = cfg.Fuel > 0
 	vm.cost = cfg.CostModel

@@ -45,6 +45,14 @@ func (vm *VM) execStructured(f *compiledFunc, locals []uint64, stack []uint64) (
 		in := &body[pc]
 		op := in.Op
 
+		// Poll cooperative cancellation at the same program points the
+		// batched engines do — segment leaders (flat sidetable segCnt != 0)
+		// — and before charging this instruction, so the abort pc and the
+		// counters are bit-identical across engines.
+		if vm.intr != nil && f.flat[pc].segCnt != 0 && vm.intr.Load() {
+			return nil, ErrInterrupted
+		}
+
 		vm.instrCount++
 		if vm.fuelLimited {
 			if vm.fuel == 0 {

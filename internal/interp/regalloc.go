@@ -157,6 +157,13 @@ func (rl *regLowering) wrapLeader(pc int, inner regFn, cnt int32) regFn {
 	body := rl.cf.body
 	fi := rl.fi
 	return func(vm *VM, fr []uint64) int {
+		// Cooperative cancellation, polled before the charge: nothing of
+		// this segment has run, so accounting is already exact and the
+		// driver must not roll back (regErrRet, not regTrapRet).
+		if vm.intr != nil && vm.intr.Load() {
+			vm.regErr = ErrInterrupted
+			return regErrRet
+		}
 		if vm.fuelLimited && vm.fuel < n {
 			vm.regErr = vm.execFuelTail(body, fr[:numLoc], fr[numLoc:], sp, pc)
 			return regErrRet
