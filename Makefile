@@ -72,11 +72,13 @@ bench:
 	$(GO) run ./cmd/acctee-bench -fig scaling -json BENCH_faas.json -json-ledger BENCH_ledger.json
 
 # bench-smoke is the CI perf gate: the fused engine must not fall below
-# the flat engine on the dispatch/memory microbenchmarks, spill-mode
-# retention must keep up with bounded, and on hosts with >= 4 CPUs the
-# pooled gateway and bounded ledger must reach >= 1.8x their single-proc
-# throughput at GOMAXPROCS=4 (generous noise tolerance; the gate exits
-# non-zero on regression and skips the scaling check on smaller hosts).
+# the flat engine on the dispatch/memory microbenchmarks, the call-heavy
+# suite must beat its no-inline (legacy call path) baseline by >= 1.15x
+# geomean on the reg engine, spill-mode retention must keep up with
+# bounded, and on hosts with >= 4 CPUs the pooled gateway and bounded
+# ledger must reach >= 1.8x their single-proc throughput at GOMAXPROCS=4
+# (generous noise tolerance; the gate exits non-zero on regression and
+# skips the scaling check on smaller hosts).
 bench-smoke:
 	$(GO) run ./cmd/acctee-bench -fig smoke -trials 5
 

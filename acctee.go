@@ -259,6 +259,14 @@ func (i *Instrumenter) Attest(p *Platform) error {
 // RunOptions configure one sandbox execution.
 type RunOptions = core.RunOptions
 
+// Engine selects the interpreter tier for a run. Accounting — instruction
+// counts, weighted cost, fuel, trap points — is bit-identical across tiers.
+type Engine = interp.Engine
+
+// ParseEngine maps the CLI spelling of an engine tier (structured, flat,
+// fused, reg) to its Engine value.
+func ParseEngine(s string) (Engine, error) { return interp.ParseEngine(s) }
+
 // RunResult is one execution's results plus its signed usage log.
 type RunResult = core.RunResult
 

@@ -13,6 +13,8 @@
 //	acctee-bench -fig dispatch -json BENCH_interp.json
 //	                               # three-way engine comparison + microbenchmarks
 //	acctee-bench -fig smoke        # CI gates: fused must not regress below flat,
+//	                               # call inlining must beat the no-inline
+//	                               # baseline by ≥ 1.15x geomean,
 //	                               # spill-mode retention must hold ≥ 0.35x bounded,
 //	                               # GOMAXPROCS=4 must reach ≥ 1.8x GOMAXPROCS=1
 //	                               # on hosts with ≥ 4 CPUs
@@ -30,6 +32,10 @@
 //	                               # pooled gateway and the bounded ledger
 //	                               # (standalone, like smoke)
 //
+// -engine {structured,flat,fused,reg} selects the interpreter tier for the
+// single-engine figures (6/9/10); the dispatch and call suites always sweep
+// all four tiers.
+//
 // -mutexprofile / -blockprofile enable Go's contention profilers for the
 // run and write build/mutex.pprof / build/block.pprof on exit — point `go
 // tool pprof` at them to see which locks the measured figure waits on.
@@ -46,6 +52,7 @@ import (
 
 	"acctee/internal/bench"
 	"acctee/internal/faas"
+	"acctee/internal/interp"
 )
 
 func main() {
@@ -66,7 +73,14 @@ func run() error {
 	jsonLedger := flag.String("json-ledger", "", "scaling: write the ledger matrix to this path (BENCH_ledger.json)")
 	mutexProf := flag.Bool("mutexprofile", false, "profile lock contention; writes build/mutex.pprof on exit")
 	blockProf := flag.Bool("blockprofile", false, "profile blocking; writes build/block.pprof on exit")
+	engineName := flag.String("engine", "fused", "interpreter tier for single-engine figures (6/9/10): structured, flat, fused, reg")
 	flag.Parse()
+
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	bench.DefaultEngine = engine
 
 	if *mutexProf {
 		runtime.SetMutexProfileFraction(5)
@@ -162,9 +176,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		calls, err := bench.RunCalls(*trials)
+		if err != nil {
+			return err
+		}
 		bench.PrintDispatch(os.Stdout, rows, micro)
+		bench.PrintCalls(os.Stdout, calls)
 		if *jsonOut != "" {
-			if err := bench.WriteDispatchJSON(*jsonOut, rows, micro); err != nil {
+			if err := bench.WriteDispatchJSON(*jsonOut, rows, micro, calls); err != nil {
 				return err
 			}
 			fmt.Println("wrote", *jsonOut)
@@ -183,6 +202,17 @@ func run() error {
 		}
 		bench.PrintDispatch(os.Stdout, nil, micro)
 		if err := bench.CheckMicroGate(micro, 0.85); err != nil {
+			return err
+		}
+		fmt.Println("gate passed")
+		fmt.Println()
+		fmt.Println("== Bench smoke gate: call inlining must beat the no-inline baseline ==")
+		calls, err := bench.RunCalls(*trials)
+		if err != nil {
+			return err
+		}
+		bench.PrintCalls(os.Stdout, calls)
+		if err := bench.CheckCallGate(calls, bench.CallSmokeFloor); err != nil {
 			return err
 		}
 		fmt.Println("gate passed")

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"acctee/internal/interp"
+	"acctee/internal/wasm"
+)
+
+// Call-heavy benchmark suite: the PolyBench kernels are loop-dominated and
+// barely exercise the call path, so this file adds four workloads where
+// call overhead is the workload — deep recursion, mutual recursion, an
+// indirect-dispatch loop and a leaf-call-saturated kernel — and measures
+// the inlining + residual-fast-path + inline-cache layer by comparing each
+// engine against a DisableInline compile of the same module. The
+// register-engine ratio feeds the call_geomean field of BENCH_interp.json
+// and the CI smoke gate.
+
+// CallRow is one call-heavy workload's measurement. The four engine
+// columns run the default (inlined) artifact; NoInlineRegNs runs the same
+// module compiled with LegacyCalls — no inlining, no residual-call fast
+// path, no indirect-call inline cache, i.e. the call path as it was before
+// this optimization layer — on the register engine, so InlineSpeedup
+// isolates what the whole layer buys on the top tier.
+type CallRow struct {
+	Name         string `json:"name"`
+	Instructions uint64 `json:"instructions"`
+	StructuredNs int64  `json:"structured_ns"`
+	FlatNs       int64  `json:"flat_ns"`
+	FusedNs      int64  `json:"fused_ns"`
+	RegNs        int64  `json:"reg_ns"`
+	// NoInlineRegNs is the register engine without the inlining pass (the
+	// pre-call-path baseline); InlineSpeedup = NoInlineRegNs / RegNs.
+	NoInlineRegNs int64   `json:"noinline_reg_ns"`
+	InlineSpeedup float64 `json:"inline_speedup"`
+}
+
+// buildFib is the recursion stressor: naive fib, every call residual
+// (self-recursive, so never inlined), exercising the defined-call fast
+// path and frame-slab reuse across deep call trees.
+func buildFib() (*wasm.Module, error) {
+	b := wasm.NewModule("call-fib")
+	f := b.Func("fib", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	f.LocalGet(0).I32Const(2).Op(wasm.OpI32LtU)
+	f.If(wasm.BlockOf(wasm.I32), func() {
+		f.LocalGet(0)
+	}, func() {
+		f.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).Call(f.Index)
+		f.LocalGet(0).I32Const(2).Op(wasm.OpI32Sub).Call(f.Index)
+		f.Op(wasm.OpI32Add)
+	})
+	f.End()
+	run := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	run.LocalGet(0).Call(f.Index)
+	b.ExportFunc("run", run.End())
+	return b.Build()
+}
+
+// buildMutual is the mutual-recursion stressor: even/odd bouncing between
+// two functions, driven from a loop so the recursion depth stays bounded
+// while the call volume stays high.
+func buildMutual() (*wasm.Module, error) {
+	b := wasm.NewModule("call-mutual")
+	even := b.Func("even", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	odd := b.Func("odd", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	even.LocalGet(0).Op(wasm.OpI32Eqz)
+	even.If(wasm.BlockOf(wasm.I32), func() {
+		even.I32Const(1)
+	}, func() {
+		even.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).Call(odd.Index)
+	})
+	even.End()
+	odd.LocalGet(0).Op(wasm.OpI32Eqz)
+	odd.If(wasm.BlockOf(wasm.I32), func() {
+		odd.I32Const(0)
+	}, func() {
+		odd.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).Call(even.Index)
+	})
+	odd.End()
+	run := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	k := run.Local(wasm.I32)
+	acc := run.Local(wasm.I32)
+	run.ForI32(k, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		run.LocalGet(acc)
+		run.LocalGet(k).I32Const(63).Op(wasm.OpI32And).Call(even.Index)
+		run.Op(wasm.OpI32Add).LocalSet(acc)
+	})
+	run.LocalGet(acc)
+	b.ExportFunc("run", run.End())
+	return b.Build()
+}
+
+// buildIndirect is the dispatch-loop stressor: a monomorphic-leaning
+// call_indirect in a hot loop (same table slot for long runs, periodic
+// retarget), exercising the per-site inline cache hit path and refills.
+func buildIndirect() (*wasm.Module, error) {
+	b := wasm.NewModule("call-indirect")
+	add := b.Func("add", []wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	add.LocalGet(0).LocalGet(1).Op(wasm.OpI32Add)
+	add.End()
+	sub := b.Func("sub", []wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	sub.LocalGet(0).LocalGet(1).Op(wasm.OpI32Sub)
+	sub.End()
+	b.Table(add.Index, sub.Index)
+	ti := b.TypeIndex([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	run := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	k := run.Local(wasm.I32)
+	acc := run.Local(wasm.I32)
+	run.ForI32(k, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		// elem = (k >> 10) & 1: 1024 consecutive hits per slot, then a miss.
+		run.LocalGet(acc).LocalGet(k)
+		run.LocalGet(k).I32Const(10).Op(wasm.OpI32ShrU).I32Const(1).Op(wasm.OpI32And)
+		run.Emit(wasm.Instr{Op: wasm.OpCallIndirect, Idx: ti})
+		run.LocalSet(acc)
+	})
+	run.LocalGet(acc)
+	b.ExportFunc("run", run.End())
+	return b.Build()
+}
+
+// buildLeaves is the many-small-leaf-functions kernel: every loop
+// iteration crosses four tiny callees, the shape the inliner erases
+// entirely (markers aside), leaving pure straight-line segments.
+func buildLeaves() (*wasm.Module, error) {
+	b := wasm.NewModule("call-leaves")
+	inc := b.Func("inc", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	inc.LocalGet(0).I32Const(1).Op(wasm.OpI32Add)
+	inc.End()
+	dbl := b.Func("dbl", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	dbl.LocalGet(0).I32Const(1).Op(wasm.OpI32Shl)
+	dbl.End()
+	mix := b.Func("mix", []wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	mix.LocalGet(0).LocalGet(1).Op(wasm.OpI32Xor).I32Const(3).Op(wasm.OpI32Mul)
+	mix.End()
+	mask := b.Func("mask", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	mask.LocalGet(0).I32Const(0x7FFFFF).Op(wasm.OpI32And)
+	mask.End()
+	run := b.Func("run", []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	k := run.Local(wasm.I32)
+	acc := run.Local(wasm.I32)
+	run.ForI32(k, []wasm.Instr{wasm.ConstI32(0)}, []wasm.Instr{wasm.WithIdx(wasm.OpLocalGet, 0)}, 1, func() {
+		run.LocalGet(acc).Call(inc.Index).Call(dbl.Index)
+		run.LocalGet(k).Call(mask.Index)
+		run.Call(mix.Index).Call(mask.Index).LocalSet(acc)
+	})
+	run.LocalGet(acc)
+	b.ExportFunc("run", run.End())
+	return b.Build()
+}
+
+// callWorkloads, in report order.
+var callWorkloads = []struct {
+	name  string
+	build func() (*wasm.Module, error)
+	arg   uint64
+}{
+	{"fib-recursive", buildFib, 21},
+	{"mutual-even-odd", buildMutual, 20_000},
+	{"indirect-dispatch", buildIndirect, 400_000},
+	{"leaf-kernel", buildLeaves, 200_000},
+}
+
+// RunCalls measures the call-heavy suite: all four engines on the default
+// (inlined) artifact, plus the register engine on a DisableInline compile
+// of the same module (best of trials each).
+func RunCalls(trials int) ([]CallRow, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	rows := make([]CallRow, 0, len(callWorkloads))
+	for _, w := range callWorkloads {
+		m, err := w.build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.name, err)
+		}
+		ns, instr, err := measure4(m, "run", trials, w.arg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.name, err)
+		}
+		cmOff, err := interp.Compile(m, interp.CompileOptions{LegacyCalls: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.name, err)
+		}
+		best := int64(0)
+		for t := 0; t < trials; t++ {
+			vm, err := cmOff.Instantiate(interp.Config{Engine: interp.EngineReg})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", w.name, err)
+			}
+			start := time.Now()
+			if _, err := vm.InvokeExport("run", w.arg); err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", w.name, err)
+			}
+			d := time.Since(start).Nanoseconds()
+			if t == 0 || d < best {
+				best = d
+			}
+		}
+		row := CallRow{
+			Name:          w.name,
+			Instructions:  instr,
+			StructuredNs:  ns[0],
+			FlatNs:        ns[1],
+			FusedNs:       ns[2],
+			RegNs:         ns[3],
+			NoInlineRegNs: best,
+		}
+		if ns[3] > 0 {
+			row.InlineSpeedup = float64(best) / float64(ns[3])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CallGeomean returns the geometric-mean inline speedup (register engine,
+// inlined over DisableInline) across the call-heavy workloads — the
+// call_geomean field of BENCH_interp.json.
+func CallGeomean(rows []CallRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		if r.InlineSpeedup <= 0 {
+			return 0
+		}
+		sum += math.Log(r.InlineSpeedup)
+	}
+	return math.Exp(sum / float64(len(rows)))
+}
+
+// CallSmokeFloor is the CI gate on the call-heavy suite: the inlined
+// register engine must hold at least this geomean speedup over the
+// DisableInline baseline (the acceptance target is 1.25x on a quiet
+// machine; the gate leaves headroom for shared CI runners).
+const CallSmokeFloor = 1.15
+
+// CheckCallGate fails when the call-suite geomean drops below floor.
+func CheckCallGate(rows []CallRow, floor float64) error {
+	g := CallGeomean(rows)
+	if g < floor {
+		return fmt.Errorf("bench gate: call suite inline geomean %.2fx below floor %.2fx", g, floor)
+	}
+	return nil
+}
+
+// PrintCalls renders the call-heavy suite as a table.
+func PrintCalls(w io.Writer, rows []CallRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "workload\tinstr\tstructured\tflat\tfused\treg\treg-noinline\tinline speedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Name, r.Instructions,
+			time.Duration(r.StructuredNs), time.Duration(r.FlatNs),
+			time.Duration(r.FusedNs), time.Duration(r.RegNs),
+			time.Duration(r.NoInlineRegNs), fmtRatio(r.InlineSpeedup))
+	}
+	tw.Flush()
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "call-suite inline geomean (reg, inlined over noinline): %s\n", fmtRatio(CallGeomean(rows)))
+	}
+}

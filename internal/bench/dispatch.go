@@ -59,10 +59,14 @@ type DispatchReport struct {
 	Candidate   string `json:"candidate"`
 	// FusedGeomean is the geometric-mean fused-over-flat speedup and
 	// RegGeomean the register-over-fused speedup across the PolyBench rows.
+	// CallGeomean is the call-heavy suite's inlined-over-DisableInline
+	// speedup on the register engine (callbench.go).
 	FusedGeomean float64       `json:"fused_geomean"`
 	RegGeomean   float64       `json:"reg_geomean"`
+	CallGeomean  float64       `json:"call_geomean"`
 	Rows         []DispatchRow `json:"rows"`
 	Micro        []MicroRow    `json:"micro"`
+	Calls        []CallRow     `json:"calls"`
 }
 
 // engines, in measurement order.
@@ -301,15 +305,17 @@ func CheckMicroGate(rows []MicroRow, tolerance float64) error {
 
 // WriteDispatchJSON writes the report consumed by the perf-trajectory
 // tracking (BENCH_interp.json).
-func WriteDispatchJSON(path string, rows []DispatchRow, micro []MicroRow) error {
+func WriteDispatchJSON(path string, rows []DispatchRow, micro []MicroRow, calls []CallRow) error {
 	rep := DispatchReport{
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		Baseline:     "structured (label-stack, per-instruction accounting)",
-		Candidate:    "reg (register-form IR, direct-threaded closures); fused and flat retained as mid-tiers",
+		Candidate:    "reg (register-form IR, direct-threaded closures) with call inlining + indirect-call inline cache",
 		FusedGeomean: FusedGeomean(rows),
 		RegGeomean:   RegGeomean(rows),
+		CallGeomean:  CallGeomean(calls),
 		Rows:         rows,
 		Micro:        micro,
+		Calls:        calls,
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

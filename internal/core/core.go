@@ -183,6 +183,11 @@ type RunOptions struct {
 	Imports map[string]interp.HostFunc
 	// MaxPages caps linear memory growth.
 	MaxPages uint32
+	// Engine selects the interpreter tier (default EngineFused; see
+	// interp.ParseEngine for the CLI spellings). Accounting is
+	// bit-identical across tiers, so this only trades execution speed
+	// against the reference engine's simplicity.
+	Engine interp.Engine
 }
 
 // RunResult is one execution's outcome plus its ledger evidence.
@@ -408,6 +413,7 @@ func (ae *AccountingEnclave) RunContext(ctx context.Context, opts RunOptions) (R
 	counterIdx := ae.counter
 	pool := ae.pool
 	vm, err := pool.Get(interp.Config{
+		Engine:    opts.Engine,
 		Imports:   imports,
 		Fuel:      opts.Fuel,
 		CostModel: model,

@@ -23,9 +23,11 @@ import (
 //     fuel, CostModel cycles and the ground-truth instruction counter are
 //     charged once per segment, with per-pc rollback metadata keeping trap
 //     paths bit-identical to per-instruction accounting;
-//   - a final fusion pass (fuse.go) rewrites the stream into
-//     superinstructions for the default fused engine, strictly within
-//     segment boundaries so the accounting above is untouched.
+//   - an inlining pass (inline.go) then splices small straight-line callees
+//     into their callers' flat IR, and a final fusion pass (fuse.go)
+//     rewrites the stream into superinstructions for the default fused
+//     engine, strictly within segment boundaries so the accounting above is
+//     untouched.
 //
 // The pass is cost-model-independent: per-segment cost sums live in the
 // CompiledModule's per-fingerprint cache (module.go), not in the flat IR,
@@ -62,7 +64,34 @@ type flatOp struct {
 	segCnt int32
 	segEnd int32
 	arity  int32
+	flags  uint8 // call-path metadata, see fInl*/fCall*/fICSite
 }
+
+// flatOp.flags bits. They are assigned after the inlining pass (inline.go):
+// the first two mark the boundaries of spliced callee bodies, the rest are
+// the residual-call fast-path descriptors resolved once at compile time.
+const (
+	// fInlEnter marks an OpCall that was inlined: the callee body follows
+	// immediately. The op stays OpCall so its accounting charge (fuel,
+	// InstrCount, InstrCost(call)) is unchanged; at runtime it only bumps
+	// the logical call depth and zeroes the callee's non-param locals
+	// (arity = number of slots to zero; height unused).
+	fInlEnter uint8 = 1 << iota
+	// fInlEnd marks the spliced copy of an inlined callee's function-final
+	// OpEnd: commit the results (arity = nresults) down to the caller's
+	// operand height (height = commit base) and drop the logical depth.
+	fInlEnd
+	// fCallDef marks a residual OpCall to a defined (non-import) function;
+	// target holds the defined-function index (body index, imports already
+	// subtracted) so the call site never re-derives it.
+	fCallDef
+	// fCallHost marks a residual OpCall to an imported host function;
+	// target holds the host-function index.
+	fCallHost
+	// fICSite marks an OpCallIndirect with an inline-cache slot; target
+	// holds the dense per-module site id indexing VM.icache.
+	fICSite
+)
 
 // compile builds both engine representations for one function: the ctrl
 // sidetable (structured reference engine) and the flat IR (default engine).
@@ -86,7 +115,9 @@ func compile(m *wasm.Module, f *wasm.Func) (compiledFunc, error) {
 	if err := lower(m, &cf, g); err != nil {
 		return cf, err
 	}
-	fuse(&cf)
+	// Fusion and register lowering run later, from Compile (module.go): the
+	// inlining pass (inline.go) must splice callee bodies into this flat IR
+	// first, and both back ends consume the post-inline view.
 	return cf, nil
 }
 

@@ -48,13 +48,19 @@ func i32u(v int32) uint64   { return uint64(uint32(v)) }
 // the function's single allocation: numLoc locals followed by maxStack
 // operand slots. The single result (if any) is the first return value.
 func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
+	// Inlined-call markers bump depth inside the body; restoring the entry
+	// depth (rather than decrementing) keeps it right when a trap unwinds
+	// past open inline regions.
+	d0 := vm.depth
 	vm.depth++
-	defer func() { vm.depth-- }()
+	defer func() { vm.depth = d0 }()
 	if vm.depth > vm.maxDepth {
 		return 0, ErrCallStackExhausted
 	}
 
-	locals := frame[:f.numLoc]
+	// The whole frame doubles as the locals array: inlined callee bodies
+	// address their locals at shifted indices >= numLoc (see inline.go).
+	locals := frame
 	st := frame[f.numLoc:]
 	sp := 0
 	code := f.fused
@@ -98,8 +104,18 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 		case wasm.OpUnreachable:
 			trapErr = ErrUnreachable
 			goto trap
-		case wasm.OpNop, wasm.OpBlock, wasm.OpLoop, wasm.OpEnd:
+		case wasm.OpNop, wasm.OpBlock, wasm.OpLoop:
 			// structure is precompiled; nothing to do at runtime
+		case wasm.OpEnd:
+			if fl.flags&fInlEnd != 0 {
+				// Exit of an inlined callee body: commit the results down to
+				// the caller's operand height, exactly like a frame return.
+				if fl.arity > 0 {
+					st[fl.height] = st[sp-1]
+				}
+				sp = int(fl.height) + int(fl.arity)
+				vm.depth--
+			}
 		case wasm.OpIf:
 			sp--
 			if st[sp] == 0 {
@@ -156,36 +172,115 @@ func (vm *VM) exec(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
 		case wasm.OpReturn:
 			goto done
 		case wasm.OpCall:
-			nsp, err := vm.invokeAt(in.Idx, st, sp)
-			if err != nil {
-				trapErr = err
-				goto trap
+			if fl.flags&fCallDef != 0 {
+				// Residual call to a defined function, pre-resolved at
+				// compile time: no import-count compare, no bounds check,
+				// and the frame slab clears only the non-param locals.
+				cf := &vm.funcs[fl.target]
+				nf := vm.getFrame(cf.numLoc+cf.maxStack, cf.nparams, cf.numLoc)
+				sp -= cf.nparams
+				copy(nf, st[sp:sp+cf.nparams])
+				res, err := vm.exec(cf, int(fl.target), nf)
+				if err != nil {
+					trapErr = err
+					goto trap
+				}
+				if cf.nresults > 0 {
+					st[sp] = res
+					sp++
+				}
+			} else if fl.flags&fInlEnter != 0 {
+				// Inlined call: the charge for the call op already rode on
+				// this segment; only the frame bookkeeping remains. Depth
+				// still counts so call-stack exhaustion traps exactly where
+				// a real call would.
+				vm.depth++
+				if vm.depth > vm.maxDepth {
+					trapErr = ErrCallStackExhausted
+					goto trap
+				}
+				if n := int(fl.arity); n > 0 {
+					z := st[sp : sp+n]
+					for j := range z {
+						z[j] = 0
+					}
+					sp += n
+				}
+			} else if fl.flags&fCallHost != 0 {
+				nsp, err := vm.invokeHost(uint32(fl.target), st, sp)
+				if err != nil {
+					trapErr = err
+					goto trap
+				}
+				sp = nsp
+			} else {
+				// LegacyCalls artifact (bench baseline): the generic
+				// pre-optimization path, re-deriving the host/defined split
+				// at runtime and clearing the whole callee frame.
+				nsp, err := vm.invokeAtSlow(in.Idx, st, sp)
+				if err != nil {
+					trapErr = err
+					goto trap
+				}
+				sp = nsp
 			}
-			sp = nsp
 		case wasm.OpCallIndirect:
 			sp--
 			elem := uint32(st[sp])
-			if int(elem) >= len(vm.table) {
-				trapErr = ErrUndefinedElement
-				goto trap
+			if fl.flags&fICSite != 0 {
+				var fi int32
+				if ic := &vm.icache[fl.target]; ic.elem == int32(elem) {
+					// Monomorphic hit: same table element as last time at this
+					// site, bounds and type check already vouched for.
+					fi = ic.fidx
+				} else {
+					if int(elem) >= len(vm.table) {
+						trapErr = ErrUndefinedElement
+						goto trap
+					}
+					fi = vm.table[elem]
+					if fi < 0 {
+						trapErr = ErrUndefinedElement
+						goto trap
+					}
+					want := vm.module.Types[in.Idx]
+					got, err := vm.module.FuncTypeAt(uint32(fi))
+					if err != nil || !got.Equal(want) {
+						trapErr = ErrIndirectTypeBad
+						goto trap
+					}
+					*ic = icEntry{elem: int32(elem), fidx: fi}
+				}
+				nsp, err := vm.invokeAt(uint32(fi), st, sp)
+				if err != nil {
+					trapErr = err
+					goto trap
+				}
+				sp = nsp
+			} else {
+				// LegacyCalls artifact: full checks on every dispatch.
+				if int(elem) >= len(vm.table) {
+					trapErr = ErrUndefinedElement
+					goto trap
+				}
+				fi := vm.table[elem]
+				if fi < 0 {
+					trapErr = ErrUndefinedElement
+					goto trap
+				}
+				want := vm.module.Types[in.Idx]
+				got, err := vm.module.FuncTypeAt(uint32(fi))
+				if err != nil || !got.Equal(want) {
+					trapErr = ErrIndirectTypeBad
+					goto trap
+				}
+				nsp, err := vm.invokeAtSlow(uint32(fi), st, sp)
+				if err != nil {
+					trapErr = err
+					goto trap
+				}
+				sp = nsp
 			}
-			fi := vm.table[elem]
-			if fi < 0 {
-				trapErr = ErrUndefinedElement
-				goto trap
-			}
-			want := vm.module.Types[in.Idx]
-			got, err := vm.module.FuncTypeAt(uint32(fi))
-			if err != nil || !got.Equal(want) {
-				trapErr = ErrIndirectTypeBad
-				goto trap
-			}
-			nsp, err := vm.invokeAt(uint32(fi), st, sp)
-			if err != nil {
-				trapErr = err
-				goto trap
-			}
-			sp = nsp
 
 		// --- parametric / variables
 		case wasm.OpDrop:
@@ -1098,7 +1193,33 @@ func (vm *VM) invokeAt(idx uint32, st []uint64, sp int) (int, error) {
 	}
 	di := int(idx) - nimp
 	cf := &vm.funcs[di]
-	frame := vm.getFrame(cf.numLoc + cf.maxStack)
+	frame := vm.getFrame(cf.numLoc+cf.maxStack, cf.nparams, cf.numLoc)
+	copy(frame, st[sp-cf.nparams:sp])
+	sp -= cf.nparams
+	res, err := vm.exec(cf, di, frame)
+	if err != nil {
+		return sp, err
+	}
+	if cf.nresults > 0 {
+		st[sp] = res
+		sp++
+	}
+	return sp, nil
+}
+
+// invokeAtSlow is invokeAt without the compile-time call descriptors: the
+// host/defined split happens at runtime and the callee frame is cleared in
+// full, as the engine did before the call fast path. Reached only from
+// LegacyCalls artifacts (the call-heavy benchmark baseline).
+func (vm *VM) invokeAtSlow(idx uint32, st []uint64, sp int) (int, error) {
+	nimp := len(vm.hostFns)
+	if int(idx) < nimp {
+		return vm.invokeHost(idx, st, sp)
+	}
+	di := int(idx) - nimp
+	cf := &vm.funcs[di]
+	n := cf.numLoc + cf.maxStack
+	frame := vm.getFrame(n, 0, n)
 	copy(frame, st[sp-cf.nparams:sp])
 	sp -= cf.nparams
 	res, err := vm.exec(cf, di, frame)

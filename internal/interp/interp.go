@@ -81,6 +81,36 @@ const (
 	EngineReg
 )
 
+// String names the engine as accepted by ParseEngine.
+func (e Engine) String() string {
+	switch e {
+	case EngineFused:
+		return "fused"
+	case EngineStructured:
+		return "structured"
+	case EngineFlat:
+		return "flat"
+	case EngineReg:
+		return "reg"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine maps the CLI spelling of an engine tier to its Engine value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "fused", "":
+		return EngineFused, nil
+	case "structured":
+		return EngineStructured, nil
+	case "flat":
+		return EngineFlat, nil
+	case "reg":
+		return EngineReg, nil
+	}
+	return 0, fmt.Errorf("interp: unknown engine %q (want structured, flat, fused or reg)", s)
+}
+
 // Config parameterises instantiation.
 type Config struct {
 	// Imports maps "module.name" to host implementations.
@@ -156,6 +186,16 @@ type VM struct {
 	growHook func(vm *VM, oldPages, newPages uint32)
 	intr     *atomic.Bool // cooperative-cancellation flag (nil = never)
 
+	// icache is the per-site monomorphic inline cache for call_indirect:
+	// one entry per static call_indirect site (dense ids assigned at
+	// compile time), caching the table element last dispatched through the
+	// site after it passed the bounds + signature checks. A hit replaces
+	// lookup + type walk with one compare. Entries are invalidated by
+	// SetTableEntry; tableMutated additionally tells Reset the table (and
+	// hence the cache) must be restored to the initial image.
+	icache       []icEntry
+	tableMutated bool
+
 	// frames holds one reusable call-frame slab per call depth, so repeated
 	// invocations on a (pooled) instance allocate no frames at all.
 	frames [][]uint64
@@ -200,6 +240,15 @@ type compiledFunc struct {
 	preDead  []bool       // pc statically unreachable (after unconditional transfer)
 	reg      *regCode     // register-form direct-threaded stream (EngineReg)
 	name     string
+
+	// Original (pre-inlining) views, used by the structured reference
+	// engine: the oracle must execute real call frames so differential
+	// tests compare inlined execution against the ground-truth call path.
+	// When the inlining pass leaves a function untouched these alias
+	// body/ctrl/flat.
+	sbody []wasm.Instr
+	sctrl []ctrlMeta
+	sflat []flatOp
 }
 
 // Instantiate compiles and instantiates a module in one step. Callers that
@@ -354,10 +403,58 @@ func (vm *VM) SetGlobal(i uint32, v uint64) error {
 // Module returns the instantiated module.
 func (vm *VM) Module() *wasm.Module { return vm.module }
 
-// getFrame returns a zeroed frame of n slots for the next call, reusing the
+// icEntry is one call_indirect inline-cache slot: the table element index
+// the site last dispatched (-1 = empty) and the resolved combined-space
+// function index it mapped to after passing the bounds and signature checks.
+// Elements are stored as int32, so indices >= 2^31 (which can only trap on
+// the full path) can never collide with a cached entry.
+type icEntry struct {
+	elem int32
+	fidx int32
+}
+
+// invalidateICache empties every inline-cache slot.
+func (vm *VM) invalidateICache() {
+	for i := range vm.icache {
+		vm.icache[i] = icEntry{elem: -1}
+	}
+}
+
+// TableEntry reads the function index stored at table slot i (-1 = empty).
+func (vm *VM) TableEntry(i uint32) (int32, error) {
+	if int(i) >= len(vm.table) {
+		return -1, fmt.Errorf("interp: table index %d out of range", i)
+	}
+	return vm.table[i], nil
+}
+
+// SetTableEntry stores function index fidx (-1 to clear) into table slot i.
+// It is the host-side table-mutation API; every call invalidates the
+// call_indirect inline caches, and Reset restores the module's initial
+// table image afterwards.
+func (vm *VM) SetTableEntry(i uint32, fidx int32) error {
+	if int(i) >= len(vm.table) {
+		return fmt.Errorf("interp: table index %d out of range", i)
+	}
+	if fidx >= 0 {
+		if _, err := vm.module.FuncTypeAt(uint32(fidx)); err != nil {
+			return fmt.Errorf("interp: table entry: %w", err)
+		}
+	}
+	vm.table[i] = fidx
+	vm.tableMutated = true
+	vm.invalidateICache()
+	return nil
+}
+
+// getFrame returns a frame of n slots for the next call, reusing the
 // per-depth slab when it is large enough. Depth uniquely identifies the live
-// frame at each level, so reuse never aliases an active frame.
-func (vm *VM) getFrame(n int) []uint64 {
+// frame at each level, so reuse never aliases an active frame. Only
+// [loClear:hiClear) — the callee's declared non-param locals, which the spec
+// requires zeroed — is cleared: params are overwritten by the caller, and
+// every operand-stack slot is written before it is read (wasm validation's
+// stack discipline), so stale values in the slab are unobservable.
+func (vm *VM) getFrame(n, loClear, hiClear int) []uint64 {
 	d := vm.depth
 	for len(vm.frames) <= d {
 		vm.frames = append(vm.frames, nil)
@@ -369,7 +466,7 @@ func (vm *VM) getFrame(n int) []uint64 {
 		return f
 	}
 	f = f[:n]
-	clear(f)
+	clear(f[loClear:hiClear])
 	return f
 }
 
@@ -401,7 +498,7 @@ func (vm *VM) Invoke(idx uint32, args ...uint64) ([]uint64, error) {
 		copy(locals, args)
 		return vm.execStructured(f, locals, make([]uint64, 0, 64))
 	}
-	frame := vm.getFrame(f.numLoc + f.maxStack)
+	frame := vm.getFrame(f.numLoc+f.maxStack, f.nparams, f.numLoc)
 	copy(frame, args)
 	var res uint64
 	var err error

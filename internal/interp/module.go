@@ -29,6 +29,18 @@ type CompileOptions struct {
 	// fingerprints at compile time. Models with other fingerprints are
 	// computed lazily (and cached) on first instantiation.
 	CostModels []CostModel
+	// DisableInline skips the cross-function inlining pass (inline.go).
+	// Used by benchmarks and tests to compare against the pre-inline call
+	// path; the residual-call fast path and call_indirect inline caches are
+	// unaffected.
+	DisableInline bool
+	// LegacyCalls additionally skips the residual-call finalization: no
+	// fast-path descriptors and no call_indirect inline caches, so every
+	// call takes the generic pre-optimization path (runtime host/defined
+	// split, full frame clear, full indirect checks). This reconstructs
+	// the call path as it was before the inlining PR and exists solely as
+	// the call-heavy benchmark baseline (implies DisableInline).
+	LegacyCalls bool
 }
 
 // CompiledModule is the immutable compile artifact shared by all VMs
@@ -49,7 +61,16 @@ type CompiledModule struct {
 	// opsUsed is the sorted set of opcodes appearing in any function body
 	// (plus OpEnd, charged inline on else fallthrough); evaluating a
 	// CostModel over it fingerprints the model for the cost-table cache.
+	// Inlining only duplicates existing instructions, so the set (and the
+	// fingerprint) is independent of the inlining decisions.
 	opsUsed []wasm.Opcode
+
+	// InlineStats summarises the inlining pass over this module.
+	InlineStats InlineStats
+
+	// numICSites is the number of static call_indirect sites across all
+	// (post-inline) bodies; it sizes each VM's inline-cache array.
+	numICSites int
 
 	// costCache maps costKey fingerprints to *costTables. Reads vastly
 	// outnumber writes (every pooled Get with a cost model looks up, only
@@ -141,7 +162,6 @@ func Compile(m *wasm.Module, opts CompileOptions) (*CompiledModule, error) {
 			return nil, fmt.Errorf("interp: func %d: %w", nimp+i, err)
 		}
 		cm.funcs[i] = cf
-		regLower(&cm.funcs[i], i)
 		for _, in := range cf.body {
 			seen[in.Op] = true
 		}
@@ -151,6 +171,29 @@ func Compile(m *wasm.Module, opts CompileOptions) (*CompiledModule, error) {
 		cm.opsUsed = append(cm.opsUsed, op)
 	}
 	sort.Slice(cm.opsUsed, func(i, j int) bool { return cm.opsUsed[i] < cm.opsUsed[j] })
+
+	// Freeze the original views for the structured reference engine before
+	// inlining rewrites the executable ones; for functions the inliner
+	// leaves alone these keep aliasing the same arrays.
+	for i := range cm.funcs {
+		cf := &cm.funcs[i]
+		cf.sbody, cf.sctrl, cf.sflat = cf.body, cf.ctrl, cf.flat
+	}
+
+	// Cross-function inlining, then residual-call finalization (fast-path
+	// descriptors and call_indirect inline-cache site ids — assigned after
+	// inlining so duplicated sites get distinct cache slots), then the
+	// per-function back ends over the post-inline view.
+	if !opts.DisableInline && !opts.LegacyCalls {
+		cm.InlineStats = inlinePass(cm)
+	}
+	if !opts.LegacyCalls {
+		finalizeCalls(cm)
+	}
+	for i := range cm.funcs {
+		fuse(&cm.funcs[i])
+		regLower(cm, i)
+	}
 
 	for _, model := range opts.CostModels {
 		if model != nil {
@@ -322,6 +365,19 @@ func (vm *VM) Reset(cfg Config) error {
 		vm.table = vm.table[:len(cm.tableInit)]
 		copy(vm.table, cm.tableInit)
 	}
+
+	// call_indirect inline caches. Cached entries were validated against the
+	// table image, which the copy above has just restored — so they survive
+	// Reset (the pooled hot path pays nothing here) unless the previous run
+	// mutated the table through SetTableEntry.
+	if cap(vm.icache) < cm.numICSites {
+		vm.icache = make([]icEntry, cm.numICSites)
+		vm.invalidateICache()
+	} else if vm.tableMutated {
+		vm.icache = vm.icache[:cm.numICSites]
+		vm.invalidateICache()
+	}
+	vm.tableMutated = false
 
 	// Start function runs at instantiation.
 	if cm.m.Start != nil {

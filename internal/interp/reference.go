@@ -30,8 +30,11 @@ func (vm *VM) execStructured(f *compiledFunc, locals []uint64, stack []uint64) (
 		return nil, ErrCallStackExhausted
 	}
 
+	// The oracle runs the frozen pre-inline views (sbody/sctrl/sflat): every
+	// call is a real frame, so the differential suite checks the inliner's
+	// accounting-exactness claim on every run.
 	labels := make([]labelRT, 0, 16)
-	body := f.body
+	body := f.sbody
 	pc := 0
 
 	push := func(v uint64) { stack = append(stack, v) }
@@ -49,7 +52,7 @@ func (vm *VM) execStructured(f *compiledFunc, locals []uint64, stack []uint64) (
 		// batched engines do — segment leaders (flat sidetable segCnt != 0)
 		// — and before charging this instruction, so the abort pc and the
 		// counters are bit-identical across engines.
-		if vm.intr != nil && f.flat[pc].segCnt != 0 && vm.intr.Load() {
+		if vm.intr != nil && f.sflat[pc].segCnt != 0 && vm.intr.Load() {
 			return nil, ErrInterrupted
 		}
 
@@ -70,7 +73,7 @@ func (vm *VM) execStructured(f *compiledFunc, locals []uint64, stack []uint64) (
 		case wasm.OpNop:
 			// nothing
 		case wasm.OpBlock, wasm.OpIf, wasm.OpLoop:
-			meta := f.ctrl[pc]
+			meta := f.sctrl[pc]
 			l := labelRT{
 				headerPC: pc,
 				endPC:    meta.end,
@@ -96,10 +99,10 @@ func (vm *VM) execStructured(f *compiledFunc, locals []uint64, stack []uint64) (
 		case wasm.OpElse:
 			// Reached by falling off the then-branch: jump to matching end,
 			// which pops the label.
-			pc = f.ctrl[pc].end
+			pc = f.sctrl[pc].end
 			continue
 		case wasm.OpEnd:
-			if f.ctrl[pc].end == -1 && len(labels) == 0 {
+			if f.sctrl[pc].end == -1 && len(labels) == 0 {
 				// function-final end
 				break
 			}
@@ -212,7 +215,7 @@ func (vm *VM) execStructured(f *compiledFunc, locals []uint64, stack []uint64) (
 			}
 		}
 
-		if op == wasm.OpEnd && f.ctrl[pc].end == -1 && len(labels) == 0 {
+		if op == wasm.OpEnd && f.sctrl[pc].end == -1 && len(labels) == 0 {
 			break
 		}
 		pc++
@@ -236,7 +239,7 @@ func (vm *VM) branch(f *compiledFunc, depth int, labels []labelRT, stack []uint6
 		if keep > 0 {
 			copy(stack[0:], stack[len(stack)-keep:])
 		}
-		return len(f.body), labels[:0], stack[:keep], nil
+		return len(f.sbody), labels[:0], stack[:keep], nil
 	}
 	l := labels[len(labels)-1-depth]
 	if l.isLoop {

@@ -110,6 +110,7 @@ func (e *regEdge) take(vm *VM, fr []uint64) int {
 
 // regLowering is the per-function code generation state.
 type regLowering struct {
+	cm     *CompiledModule // for pre-resolving residual-call descriptors
 	cf     *compiledFunc
 	fi     int // defined-function index (cost-table lookup in closures)
 	numLoc int
@@ -118,11 +119,14 @@ type regLowering struct {
 	wid    []int32
 }
 
-// regLower builds the register-form artifact for one compiled function.
-// It must run after lower() (preH/preDead, flat sidetable) and fuse()
-// (RegStats compares statement widths against the fused stream).
-func regLower(cf *compiledFunc, fi int) {
-	rl := &regLowering{cf: cf, fi: fi, numLoc: cf.numLoc}
+// regLower builds the register-form artifact for compiled function fi.
+// It must run after lower() (preH/preDead, flat sidetable), the inlining
+// pass and finalizeCalls (the call closures specialise on the fInl*/fCall*/
+// fICSite descriptors), and fuse() (RegStats compares statement widths
+// against the fused stream).
+func regLower(cm *CompiledModule, fi int) {
+	cf := &cm.funcs[fi]
+	rl := &regLowering{cm: cm, cf: cf, fi: fi, numLoc: cf.numLoc}
 	n := len(cf.body)
 	rl.ops = make([]regFn, n)
 	rl.spec = make([]bool, n)
@@ -165,7 +169,9 @@ func (rl *regLowering) wrapLeader(pc int, inner regFn, cnt int32) regFn {
 			return regErrRet
 		}
 		if vm.fuelLimited && vm.fuel < n {
-			vm.regErr = vm.execFuelTail(body, fr[:numLoc], fr[numLoc:], sp, pc)
+			// The full frame doubles as the locals array: inlined callee
+			// bodies address their locals at shifted indices >= numLoc.
+			vm.regErr = vm.execFuelTail(body, fr, fr[numLoc:], sp, pc)
 			return regErrRet
 		}
 		vm.instrCount += n
@@ -462,6 +468,45 @@ func (rl *regLowering) emitStmt(start int) int {
 			return pc + 1 - start
 		}
 		switch {
+		case op == wasm.OpCall && cf.flat[pc].flags&fInlEnter != 0:
+			// Inlined-call marker as a statement sink: the preceding
+			// argument expressions flush to their homes (the callee's
+			// param slots) and the marker's own work — depth bump, zero
+			// the callee's non-param locals — rides in the commit, saving
+			// a dispatch per inlined call. A marker that is itself a
+			// segment leader (possible branch target) never reaches here;
+			// the loop breaks at leaders and emitSingle covers it.
+			fl := &cf.flat[pc]
+			zbase := rl.home(s.h)
+			nz := int(fl.arity)
+			cpc := int32(pc)
+			next := pc + 1
+			rl.sealStmt(start, s, func(vm *VM, fr []uint64) int {
+				vm.depth++
+				if vm.depth > vm.maxDepth {
+					vm.regErr = ErrCallStackExhausted
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				clear(fr[zbase : zbase+nz])
+				return next
+			})
+			return pc + 1 - start
+		case op == wasm.OpEnd && cf.flat[pc].flags&fInlEnd != 0:
+			// Inlined-callee end as a statement sink: commit the result
+			// expression straight to the caller's receiving register
+			// (skipping the callee-top home entirely) and drop the
+			// logical depth.
+			fl := &cf.flat[pc]
+			next := pc + 1
+			var commit regFn
+			if fl.arity > 0 {
+				commit = rl.inlEndCommit(s.pop(), rl.home(fl.height), s, next)
+			} else {
+				commit = func(vm *VM, fr []uint64) int { vm.depth--; return next }
+			}
+			rl.sealStmt(start, s, commit)
+			return pc + 1 - start
 		case op.IsLoad():
 			a := s.pop()
 			s.push(rl.loadNode(in, a, pc, s))
@@ -577,6 +622,34 @@ func (rl *regLowering) setCommit(v vnode, l int, s *stmtState, next int) regFn {
 			return regTrapRet
 		}
 		fr[l] = x
+		return next
+	}
+}
+
+// inlEndCommit writes an inlined callee's result into the caller's
+// receiving register and drops the logical call depth (the fInlEnd
+// statement sink).
+func (rl *regLowering) inlEndCommit(v vnode, dst int, s *stmtState, next int) regFn {
+	switch v.kind {
+	case vConst:
+		c := v.c
+		return func(vm *VM, fr []uint64) int { fr[dst] = c; vm.depth--; return next }
+	case vReg:
+		r := v.reg
+		return func(vm *VM, fr []uint64) int { fr[dst] = fr[r]; vm.depth--; return next }
+	}
+	e := v.eval
+	if !s.fault {
+		return func(vm *VM, fr []uint64) int { fr[dst] = e(vm, fr); vm.depth--; return next }
+	}
+	return func(vm *VM, fr []uint64) int {
+		x := e(vm, fr)
+		if vm.regFault {
+			vm.regFault = false
+			return regTrapRet
+		}
+		fr[dst] = x
+		vm.depth--
 		return next
 	}
 }
@@ -1390,7 +1463,25 @@ func (rl *regLowering) emitSingle(pc int, h int32) int {
 		rl.ops[pc] = func(vm *VM, fr []uint64) int { return next }
 
 	case wasm.OpEnd:
-		if pc == len(body)-1 {
+		if fl := &cf.flat[pc]; fl.flags&fInlEnd != 0 {
+			// Exit of an inlined callee body: commit the result from its
+			// home down to the caller's operand height, drop the logical
+			// depth — a frame return without the frame.
+			if fl.arity > 0 {
+				dst := rl.home(fl.height)
+				src := rl.home(h - 1)
+				rl.ops[pc] = func(vm *VM, fr []uint64) int {
+					fr[dst] = fr[src]
+					vm.depth--
+					return next
+				}
+			} else {
+				rl.ops[pc] = func(vm *VM, fr []uint64) int {
+					vm.depth--
+					return next
+				}
+			}
+		} else if pc == len(body)-1 {
 			// Function-final end: deposit the result, exit the driver.
 			if cf.nresults > 0 {
 				s := rl.home(h - 1)
@@ -1457,49 +1548,158 @@ func (rl *regLowering) emitSingle(pc int, h int32) int {
 		}
 
 	case wasm.OpCall:
-		idx := in.Idx
-		sp := int(h)
+		fl := &cf.flat[pc]
 		cpc := int32(pc)
-		rl.ops[pc] = func(vm *VM, fr []uint64) int {
-			if _, err := vm.invokeAtReg(idx, fr[numLoc:], sp); err != nil {
-				vm.regErr = err
-				vm.regTrapPC = cpc
-				return regTrapRet
+		switch {
+		case fl.flags&fInlEnter != 0:
+			// Inlined call marker: the op's charge rode on the segment;
+			// bump the logical depth (so call-stack exhaustion traps
+			// exactly where a real call would) and zero the callee's
+			// non-param local registers.
+			zbase := rl.home(h)
+			nz := int(fl.arity)
+			rl.ops[pc] = func(vm *VM, fr []uint64) int {
+				vm.depth++
+				if vm.depth > vm.maxDepth {
+					vm.regErr = ErrCallStackExhausted
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				clear(fr[zbase : zbase+nz])
+				return next
 			}
-			return next
+		case fl.flags&fCallDef != 0:
+			// Residual call to a defined function: everything the generic
+			// path derives per call — import compare, function lookup,
+			// frame size, result commit — is resolved here, once.
+			di := int(fl.target)
+			ce := &rl.cm.funcs[di]
+			fsize := ce.numLoc + ce.maxStack
+			np, loc := ce.nparams, ce.numLoc
+			argBase := rl.home(h) - np
+			if ce.nresults > 0 {
+				rl.ops[pc] = func(vm *VM, fr []uint64) int {
+					nf := vm.getFrame(fsize, np, loc)
+					copy(nf, fr[argBase:argBase+np])
+					res, err := vm.execReg(ce, di, nf)
+					if err != nil {
+						vm.regErr = err
+						vm.regTrapPC = cpc
+						return regTrapRet
+					}
+					fr[argBase] = res
+					return next
+				}
+			} else {
+				rl.ops[pc] = func(vm *VM, fr []uint64) int {
+					nf := vm.getFrame(fsize, np, loc)
+					copy(nf, fr[argBase:argBase+np])
+					if _, err := vm.execReg(ce, di, nf); err != nil {
+						vm.regErr = err
+						vm.regTrapPC = cpc
+						return regTrapRet
+					}
+					return next
+				}
+			}
+		case fl.flags&fCallHost != 0:
+			hidx := uint32(fl.target)
+			sp := int(h)
+			rl.ops[pc] = func(vm *VM, fr []uint64) int {
+				if _, err := vm.invokeHost(hidx, fr[numLoc:], sp); err != nil {
+					vm.regErr = err
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				return next
+			}
+		default:
+			// LegacyCalls artifact (bench baseline): the generic
+			// pre-optimization path.
+			fidx := in.Idx
+			sp := int(h)
+			rl.ops[pc] = func(vm *VM, fr []uint64) int {
+				if _, err := vm.invokeAtRegSlow(fidx, fr[numLoc:], sp); err != nil {
+					vm.regErr = err
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				return next
+			}
 		}
 
 	case wasm.OpCallIndirect:
 		tidx := in.Idx
+		fl := &cf.flat[pc]
 		c := rl.home(h - 1)
 		sp := int(h - 1)
 		cpc := int32(pc)
-		rl.ops[pc] = func(vm *VM, fr []uint64) int {
-			elem := uint32(fr[c])
-			if int(elem) >= len(vm.table) {
-				vm.regErr = ErrUndefinedElement
-				vm.regTrapPC = cpc
-				return regTrapRet
+		if fl.flags&fICSite != 0 {
+			site := int(fl.target)
+			rl.ops[pc] = func(vm *VM, fr []uint64) int {
+				elem := uint32(fr[c])
+				var fi int32
+				if ic := &vm.icache[site]; ic.elem == int32(elem) {
+					// Monomorphic hit: bounds and type check already vouched
+					// for this element at this site.
+					fi = ic.fidx
+				} else {
+					if int(elem) >= len(vm.table) {
+						vm.regErr = ErrUndefinedElement
+						vm.regTrapPC = cpc
+						return regTrapRet
+					}
+					fi = vm.table[elem]
+					if fi < 0 {
+						vm.regErr = ErrUndefinedElement
+						vm.regTrapPC = cpc
+						return regTrapRet
+					}
+					want := vm.module.Types[tidx]
+					got, err := vm.module.FuncTypeAt(uint32(fi))
+					if err != nil || !got.Equal(want) {
+						vm.regErr = ErrIndirectTypeBad
+						vm.regTrapPC = cpc
+						return regTrapRet
+					}
+					*ic = icEntry{elem: int32(elem), fidx: fi}
+				}
+				if _, err := vm.invokeAtReg(uint32(fi), fr[numLoc:], sp); err != nil {
+					vm.regErr = err
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				return next
 			}
-			fi := vm.table[elem]
-			if fi < 0 {
-				vm.regErr = ErrUndefinedElement
-				vm.regTrapPC = cpc
-				return regTrapRet
+		} else {
+			// LegacyCalls artifact: full checks on every dispatch.
+			rl.ops[pc] = func(vm *VM, fr []uint64) int {
+				elem := uint32(fr[c])
+				if int(elem) >= len(vm.table) {
+					vm.regErr = ErrUndefinedElement
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				fi := vm.table[elem]
+				if fi < 0 {
+					vm.regErr = ErrUndefinedElement
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				want := vm.module.Types[tidx]
+				got, err := vm.module.FuncTypeAt(uint32(fi))
+				if err != nil || !got.Equal(want) {
+					vm.regErr = ErrIndirectTypeBad
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				if _, err := vm.invokeAtRegSlow(uint32(fi), fr[numLoc:], sp); err != nil {
+					vm.regErr = err
+					vm.regTrapPC = cpc
+					return regTrapRet
+				}
+				return next
 			}
-			want := vm.module.Types[tidx]
-			got, err := vm.module.FuncTypeAt(uint32(fi))
-			if err != nil || !got.Equal(want) {
-				vm.regErr = ErrIndirectTypeBad
-				vm.regTrapPC = cpc
-				return regTrapRet
-			}
-			if _, err := vm.invokeAtReg(uint32(fi), fr[numLoc:], sp); err != nil {
-				vm.regErr = err
-				vm.regTrapPC = cpc
-				return regTrapRet
-			}
-			return next
 		}
 
 	case wasm.OpMemoryGrow:

@@ -55,8 +55,11 @@ type regCode struct {
 // defined-function index (cost-table lookup); frame is the register file:
 // numLoc locals followed by one home register per operand-stack slot.
 func (vm *VM) execReg(f *compiledFunc, fi int, frame []uint64) (uint64, error) {
+	// Inlined-call markers bump depth mid-stream; restoring the entry depth
+	// keeps it right when a trap unwinds past open inline regions.
+	d0 := vm.depth
 	vm.depth++
-	defer func() { vm.depth-- }()
+	defer func() { vm.depth = d0 }()
 	if vm.depth > vm.maxDepth {
 		return 0, ErrCallStackExhausted
 	}
@@ -95,7 +98,33 @@ func (vm *VM) invokeAtReg(idx uint32, st []uint64, sp int) (int, error) {
 	}
 	di := int(idx) - nimp
 	cf := &vm.funcs[di]
-	frame := vm.getFrame(cf.numLoc + cf.maxStack)
+	frame := vm.getFrame(cf.numLoc+cf.maxStack, cf.nparams, cf.numLoc)
+	copy(frame, st[sp-cf.nparams:sp])
+	sp -= cf.nparams
+	res, err := vm.execReg(cf, di, frame)
+	if err != nil {
+		return sp, err
+	}
+	if cf.nresults > 0 {
+		st[sp] = res
+		sp++
+	}
+	return sp, nil
+}
+
+// invokeAtRegSlow is invokeAtReg without the compile-time call descriptors:
+// runtime host/defined split and a fully-cleared callee frame, as the
+// engine behaved before the call fast path. Reached only from LegacyCalls
+// artifacts (the call-heavy benchmark baseline).
+func (vm *VM) invokeAtRegSlow(idx uint32, st []uint64, sp int) (int, error) {
+	nimp := len(vm.hostFns)
+	if int(idx) < nimp {
+		return vm.invokeHost(idx, st, sp)
+	}
+	di := int(idx) - nimp
+	cf := &vm.funcs[di]
+	n := cf.numLoc + cf.maxStack
+	frame := vm.getFrame(n, 0, n)
 	copy(frame, st[sp-cf.nparams:sp])
 	sp -= cf.nparams
 	res, err := vm.execReg(cf, di, frame)
